@@ -1,0 +1,96 @@
+"""Shared fixtures and method panels for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures on the
+synthetic datasets and prints the analogue next to the paper's expected
+*shape* (who wins, where the gaps are).  Timing goes through
+pytest-benchmark (one round per experiment — these are experiments, not
+microbenchmarks; the microbenchmarks live in test_substrate_micro.py).
+
+Environment knobs:
+
+- ``REPRO_BENCH_FAST=1`` — restrict the train-fraction grid to {2%, 20%}
+  and shrink training budgets, for a quick smoke of every bench.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.baselines import make_method
+from repro.baselines.base import TrainSettings
+from repro.baselines.registry import conch_method
+from repro.core import ConCHConfig
+from repro.data import load_dataset
+from repro.data.registry import dataset_hyperparams
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+TRAIN_FRACTIONS = (0.02, 0.20) if FAST else (0.02, 0.05, 0.10, 0.20)
+GNN_EPOCHS = 60 if FAST else 120
+CONCH_EPOCHS = 100 if FAST else 200
+
+
+def conch_config(dataset_name: str, **overrides) -> ConCHConfig:
+    """Paper per-dataset hyper-parameters (§V-C) at reproduction scale."""
+    params = dataset_hyperparams(dataset_name)
+    base = dict(
+        k=params.k,
+        num_layers=params.num_layers,
+        context_dim=params.context_dim,
+        hidden_dim=64,
+        out_dim=64,
+        lambda_ss=params.lambda_ss,
+        epochs=CONCH_EPOCHS,
+        patience=60,
+        embed_num_walks=6,
+        embed_walk_length=30,
+        embed_window=4,
+        embed_epochs=3,
+    )
+    base.update(overrides)
+    return ConCHConfig(**base)
+
+
+def method_panel(dataset_name: str) -> Dict[str, object]:
+    """The Table-I method panel with scale-appropriate budgets."""
+    settings = TrainSettings(epochs=GNN_EPOCHS, patience=40)
+    att_settings = TrainSettings(epochs=GNN_EPOCHS, patience=40)
+    return {
+        "node2vec": make_method("node2vec", num_walks=3, walk_length=15),
+        "mp2vec": make_method("mp2vec", num_walks=3, walk_length=15),
+        "GCN": make_method("GCN", settings=settings),
+        "GAT": make_method("GAT", settings=att_settings, num_heads=2),
+        "MVGRL": make_method("MVGRL", epochs=60),
+        "HAN": make_method("HAN", settings=att_settings, num_heads=2),
+        "HetGNN": make_method("HetGNN", epochs=60),
+        "MAGNN": make_method("MAGNN", settings=att_settings, per_node_cap=32),
+        "HGT": make_method("HGT", settings=settings, num_layers=1),
+        "HDGI": make_method("HDGI", epochs=60),
+        "HGCN": make_method("HGCN", settings=settings),
+        "GNetMine": make_method("GNetMine"),
+        "LabelProp": make_method("LabelProp"),
+        "ConCH": conch_method(base_config=conch_config(dataset_name)),
+    }
+
+
+@pytest.fixture(scope="session")
+def dblp():
+    return load_dataset("dblp")
+
+
+@pytest.fixture(scope="session")
+def yelp():
+    return load_dataset("yelp")
+
+
+@pytest.fixture(scope="session")
+def freebase():
+    return load_dataset("freebase")
+
+
+@pytest.fixture(scope="session")
+def aminer():
+    return load_dataset("aminer")

@@ -1,0 +1,121 @@
+"""Figure 7: the efficiency study.
+
+(a)-(c) Training-time vs validation Micro-F1 convergence for the
+semi-supervised HIN methods (ConCH, HAN, MAGNN, HGT, HGCN) at 20% train.
+Paper shape: ConCH converges fastest to the best score; MAGNN/HGT reach
+good scores but need far longer; MAGNN cannot run on Yelp (OOM).
+
+(d) ConCH per-epoch runtime vs k: should grow roughly linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import GNN_EPOCHS, conch_config
+from repro.autograd.tensor import Tensor
+from repro.baselines import make_method
+from repro.baselines.base import TrainSettings
+from repro.baselines.registry import conch_method
+from repro.core import ConCHTrainer, prepare_conch_data
+from repro.data import stratified_split
+from repro.eval.harness import run_method_on_split
+
+
+def _efficiency_panel(dataset_name):
+    settings = TrainSettings(epochs=GNN_EPOCHS, patience=10_000)  # no early stop
+    return {
+        "HGCN": make_method("HGCN", settings=settings),
+        "HAN": make_method("HAN", settings=settings, num_heads=2),
+        "HGT": make_method("HGT", settings=settings, num_layers=1),
+        "MAGNN": make_method("MAGNN", settings=settings, per_node_cap=32),
+        "ConCH": conch_method(
+            base_config=conch_config(
+                dataset_name, epochs=GNN_EPOCHS, patience=10_000
+            )
+        ),
+    }
+
+
+@pytest.mark.parametrize("dataset_name", ["dblp", "yelp", "freebase"])
+def test_convergence_curves(benchmark, dataset_name, request):
+    dataset = request.getfixturevalue(dataset_name)
+    split = stratified_split(dataset.labels, 0.20, seed=0)
+    panel = _efficiency_panel(dataset_name)
+
+    def run():
+        traces = {}
+        failures = {}
+        for name, method in panel.items():
+            try:
+                output = method(dataset, split, 0)
+                traces[name] = output.recorder
+            except MemoryError as error:
+                failures[name] = str(error)
+        return traces, failures
+
+    traces, failures = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print(f"\nFig. 7 analogue — {dataset.name} — convergence at 20% train")
+    print(f"{'method':<8} {'secs':>8} {'best val':>9} {'t(best-5%)':>11}")
+    best_overall = max(t.best_val for t in traces.values())
+    for name, recorder in traces.items():
+        reach = recorder.time_to_reach(best_overall - 0.05)
+        reach_str = f"{reach:.1f}s" if reach is not None else "never"
+        print(
+            f"{name:<8} {recorder.total_seconds:>7.1f}s {recorder.best_val:>9.4f} "
+            f"{reach_str:>11}"
+        )
+    for name, reason in failures.items():
+        print(f"{name:<8} OOM: {reason[:70]}")
+
+    assert "ConCH" in traces
+    conch = traces["ConCH"]
+    reach_conch = conch.time_to_reach(best_overall - 0.05)
+    assert reach_conch is not None, "ConCH never got within 5% of the best score"
+
+
+def test_epoch_runtime_vs_k(benchmark, dblp, yelp, freebase):
+    """Fig. 7(d): ConCH per-epoch runtime grows ~linearly with k."""
+    from repro.embedding.metapath2vec import metapath2vec_embeddings
+
+    datasets = {"dblp": dblp, "yelp": yelp, "freebase": freebase}
+    ks = [5, 10, 15, 20, 25]
+
+    def run():
+        rows = {}
+        for name, dataset in datasets.items():
+            split = stratified_split(dataset.labels, 0.20, seed=0)
+            base = conch_config(name)
+            # metapath2vec does not depend on k: train it once per dataset.
+            embeddings = metapath2vec_embeddings(
+                dataset.hin,
+                dataset.metapaths,
+                dim=base.context_dim,
+                num_walks=base.embed_num_walks,
+                walk_length=base.embed_walk_length,
+                window=base.embed_window,
+                epochs=base.embed_epochs,
+                seed=base.seed,
+            )
+            times = []
+            for k in ks:
+                config = conch_config(name, k=k, epochs=5, patience=10_000)
+                data = prepare_conch_data(dataset, config, embeddings=embeddings)
+                trainer = ConCHTrainer(data, config)
+                start = time.perf_counter()
+                trainer.fit(split)
+                times.append((time.perf_counter() - start) / 5.0)
+            rows[name] = times
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nFig. 7(d) analogue — ConCH per-epoch seconds vs k")
+    print("k:        " + "  ".join(f"{k:>6}" for k in ks))
+    for name, times in rows.items():
+        print(f"{name:<9} " + "  ".join(f"{t:>6.3f}" for t in times))
+        # Linearity check: runtime at k=25 should not be wildly superlinear.
+        assert times[-1] < 12 * max(times[0], 1e-3), f"{name} superlinear in k"

@@ -1,0 +1,109 @@
+"""Figure 9: hyper-parameter sensitivity of ConCH (20% train, Micro-F1).
+
+Paper shape: accuracy improves with output embedding dimensionality and
+is stable over wide ranges of k and λ; very large input context dims can
+hurt (noise) — Freebase shows a drop at 128.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import FAST, conch_config
+from repro.core import ConCHTrainer, prepare_conch_data
+from repro.data import stratified_split
+
+
+def _score(dataset, config, split, embeddings=None):
+    data = prepare_conch_data(dataset, config, embeddings=embeddings)
+    trainer = ConCHTrainer(data, config).fit(split)
+    return trainer.evaluate(split.test)["micro_f1"]
+
+
+def _sweep(dataset, name, values, override):
+    from repro.embedding.metapath2vec import metapath2vec_embeddings
+
+    split = stratified_split(dataset.labels, 0.20, seed=0)
+    # metapath2vec only depends on context_dim among the swept knobs;
+    # reuse one embedding table for the other sweeps.
+    base = conch_config(dataset.name)
+    shared = None
+    if name != "context_dim":
+        shared = metapath2vec_embeddings(
+            dataset.hin,
+            dataset.metapaths,
+            dim=base.context_dim,
+            num_walks=base.embed_num_walks,
+            walk_length=base.embed_walk_length,
+            window=base.embed_window,
+            epochs=base.embed_epochs,
+            seed=base.seed,
+        )
+    scores = []
+    for value in values:
+        config = conch_config(dataset.name, **override(value))
+        scores.append(_score(dataset, config, split, embeddings=shared))
+    print(f"\nFig. 9 analogue — {dataset.name} — {name}")
+    for value, score in zip(values, scores):
+        print(f"  {name}={value:<8} micro-F1 {score:.4f}")
+    return np.asarray(scores)
+
+
+DIMS = [8, 32, 128] if FAST else [8, 16, 32, 64, 128]
+KS = [5, 15, 25] if FAST else [5, 10, 15, 20, 25]
+LAMBDAS = [0.001, 0.1, 1.0] if FAST else [0.0001, 0.001, 0.01, 0.1, 1.0]
+
+
+@pytest.mark.parametrize("dataset_name", ["dblp", "freebase"])
+def test_output_dim_sensitivity(benchmark, dataset_name, request):
+    dataset = request.getfixturevalue(dataset_name)
+    scores = benchmark.pedantic(
+        lambda: _sweep(
+            dataset, "out_dim", DIMS,
+            lambda d: {"out_dim": d, "hidden_dim": d},
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: small dims cannot capture enough information.
+    assert scores[-1] >= scores[0] - 0.05
+
+
+@pytest.mark.parametrize("dataset_name", ["dblp", "freebase"])
+def test_context_dim_sensitivity(benchmark, dataset_name, request):
+    dataset = request.getfixturevalue(dataset_name)
+    scores = benchmark.pedantic(
+        lambda: _sweep(
+            dataset, "context_dim", DIMS, lambda d: {"context_dim": d}
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert np.all(scores > 1.2 / dataset.num_classes)
+
+
+@pytest.mark.parametrize("dataset_name", ["dblp", "yelp"])
+def test_k_sensitivity(benchmark, dataset_name, request):
+    dataset = request.getfixturevalue(dataset_name)
+    scores = benchmark.pedantic(
+        lambda: _sweep(dataset, "k", KS, lambda k: {"k": k}),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: ConCH is stable in k — even small k performs well.
+    assert scores.max() - scores.min() < 0.25
+
+
+@pytest.mark.parametrize("dataset_name", ["dblp", "yelp"])
+def test_lambda_sensitivity(benchmark, dataset_name, request):
+    dataset = request.getfixturevalue(dataset_name)
+    scores = benchmark.pedantic(
+        lambda: _sweep(
+            dataset, "lambda_ss", LAMBDAS, lambda l: {"lambda_ss": l}
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Paper: stable over a wide range of λ.
+    assert scores.max() - scores.min() < 0.25

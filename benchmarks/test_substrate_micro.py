@@ -1,0 +1,125 @@
+"""Microbenchmarks of the substrate (true pytest-benchmark usage).
+
+These time the hot inner operations the experiments are built from:
+PathSim computation, context enumeration, bipartite convolution
+forward/backward, sparse matmul, segment softmax, and a skip-gram epoch.
+They guard against performance regressions in the library itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, ops, sparse_matmul
+from repro.core.bipartite_conv import BipartiteConv
+from repro.data import load_dataset
+from repro.embedding.skipgram import SkipGramConfig, train_skipgram
+from repro.embedding.walks import metapath_walks
+from repro.hin import NeighborFilter, build_bipartite_graph
+from repro.hin.pathsim import pathsim_matrix
+
+
+@pytest.fixture(scope="module")
+def dblp_small():
+    from repro.data import DBLPConfig
+
+    return load_dataset(
+        "dblp", config=DBLPConfig(num_authors=200, num_papers=700, num_conferences=12)
+    )
+
+
+def test_bench_pathsim_matrix(benchmark, dblp_small):
+    metapath = dblp_small.metapaths[2]  # APCPA, the densest
+    result = benchmark(pathsim_matrix, dblp_small.hin, metapath)
+    assert result.nnz > 0
+
+
+def test_bench_neighbor_filter(benchmark, dblp_small):
+    nf = NeighborFilter(k=5)
+    pairs = benchmark(nf.retained_pairs, dblp_small.hin, dblp_small.metapaths[0])
+    assert pairs.shape[1] == 2
+
+
+def test_bench_bipartite_build_with_instances(benchmark, dblp_small):
+    nf = NeighborFilter(k=5)
+    graph = benchmark.pedantic(
+        build_bipartite_graph,
+        args=(dblp_small.hin, dblp_small.metapaths[0], nf),
+        kwargs={"enumerate_instances": True, "max_instances": 8},
+        rounds=3,
+        iterations=1,
+    )
+    assert graph.contexts is not None
+
+
+def test_bench_bipartite_conv_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    n, m, d = 500, 2000, 64
+    rows = np.repeat(np.arange(m), 2) % n
+    cols = np.repeat(np.arange(m), 2)
+    incidence = sp.csr_matrix(
+        (np.ones(2 * m), (rows, cols)), shape=(n, m)
+    )
+    conv = BipartiteConv(d, d, d, rng)
+    h_x = Tensor(rng.normal(size=(n, d)), requires_grad=False)
+    h_c = Tensor(rng.normal(size=(m, d)), requires_grad=False)
+
+    def step():
+        conv.zero_grad()
+        new_x, new_c = conv(incidence, h_x, h_c)
+        (new_x.sum() + new_c.sum()).backward()
+        return new_x
+
+    result = benchmark(step)
+    assert result.shape == (n, d)
+
+
+def test_bench_sparse_matmul(benchmark):
+    rng = np.random.default_rng(0)
+    matrix = sp.random(2000, 2000, density=0.005, random_state=0, format="csr")
+    dense = Tensor(rng.normal(size=(2000, 64)))
+    result = benchmark(sparse_matmul, matrix, dense)
+    assert result.shape == (2000, 64)
+
+
+def test_bench_segment_softmax(benchmark):
+    rng = np.random.default_rng(0)
+    scores = Tensor(rng.normal(size=20_000), requires_grad=False)
+    ids = rng.integers(0, 1000, size=20_000)
+
+    result = benchmark(ops.segment_softmax, scores, ids, 1000)
+    assert result.shape == (20_000,)
+
+
+def test_bench_skipgram_epoch(benchmark, dblp_small):
+    rng = np.random.default_rng(0)
+    walks = metapath_walks(
+        dblp_small.hin, dblp_small.metapaths[0], num_walks=2, walk_length=15, rng=rng
+    )
+    config = SkipGramConfig(dim=32, epochs=1, seed=0)
+    table = benchmark.pedantic(
+        train_skipgram,
+        args=(walks, dblp_small.hin.total_nodes, config),
+        rounds=3,
+        iterations=1,
+    )
+    assert table.shape == (dblp_small.hin.total_nodes, 32)
+
+
+def test_bench_cross_entropy_backward(benchmark):
+    from repro.nn import cross_entropy
+
+    rng = np.random.default_rng(0)
+    logits_data = rng.normal(size=(5000, 16))
+    labels = rng.integers(0, 16, size=5000)
+
+    def step():
+        logits = Tensor(logits_data, requires_grad=True)
+        loss = cross_entropy(logits, labels)
+        loss.backward()
+        return loss
+
+    result = benchmark(step)
+    assert np.isfinite(result.item())

@@ -1,0 +1,80 @@
+"""Table I: the full classification contest.
+
+Paper: 12 methods × {DBLP, Yelp, Freebase} × {2, 5, 10, 20}% × {Micro-F1,
+Macro-F1}; ConCH wins all 24 contests, with the widest margins at 2%.
+
+Known divergences reproduced on purpose:
+- MAGNN runs out of memory on Yelp (instance blow-up) — shown as ``OOM``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import TRAIN_FRACTIONS, method_panel
+from repro.eval import format_contest_table, run_contest, summarize_results
+
+
+def _run_dataset_contest(dataset):
+    methods = method_panel(dataset.name)
+    results = []
+    failures = {}
+    for name, method in methods.items():
+        try:
+            results.extend(
+                run_contest(
+                    {name: method},
+                    dataset,
+                    train_fractions=TRAIN_FRACTIONS,
+                    repeats=1,
+                )
+            )
+        except MemoryError as error:
+            failures[name] = f"OOM ({error})"
+    return results, failures, list(methods)
+
+
+def _report(dataset, results, failures, method_names):
+    contests = sorted(
+        {r.contest_id for r in results},
+        key=lambda c: int(c.split("@")[1].rstrip("%")),
+    )
+    for metric in ("micro_f1", "macro_f1"):
+        table = summarize_results(results, metric=metric)
+        print()
+        print(
+            format_contest_table(
+                table,
+                methods=[m for m in method_names if m in table],
+                contests=contests,
+                title=f"Table I analogue — {dataset.name} — {metric}",
+            )
+        )
+    for name, reason in failures.items():
+        print(f"  {name}: {reason}")
+    conch = {r.contest_id: r.micro_f1 for r in results if r.method == "ConCH"}
+    best_other = {
+        contest: max(
+            r.micro_f1 for r in results
+            if r.method != "ConCH" and r.contest_id == contest
+        )
+        for contest in contests
+    }
+    wins = sum(conch[c] >= best_other[c] for c in contests)
+    print(f"\nConCH wins {wins}/{len(contests)} contests (paper: all).")
+
+
+@pytest.mark.parametrize("dataset_name", ["dblp", "yelp", "freebase"])
+def test_table1(benchmark, dataset_name, request):
+    dataset = request.getfixturevalue(dataset_name)
+
+    def run():
+        return _run_dataset_contest(dataset)
+
+    results, failures, names = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(dataset, results, failures, names)
+    assert results, "contest produced no results"
+    # Sanity: ConCH ran everywhere and is competitive (>= chance by far).
+    conch_scores = [r.micro_f1 for r in results if r.method == "ConCH"]
+    assert len(conch_scores) == len(TRAIN_FRACTIONS)
+    assert min(conch_scores) > 1.5 / dataset.num_classes

@@ -1,0 +1,107 @@
+"""Build your own HIN from scratch and classify it with ConCH.
+
+Constructs a small e-commerce network (Users, Items, Brands, Categories),
+plants a user-segment labeling, defines meta-paths, and runs the full
+ConCH pipeline — demonstrating every public API a downstream user needs
+to apply this library to their own data.
+
+Usage:  python examples/custom_hin.py
+"""
+
+import numpy as np
+
+from repro.core import ConCHConfig, ConCHTrainer, prepare_conch_data
+from repro.data.base import HINDataset
+from repro.data.splits import stratified_split
+from repro.hin import HIN, MetaPath
+
+
+def build_ecommerce_hin(seed: int = 0) -> HINDataset:
+    """Users buy items; items have a brand and a category.
+
+    Users are labeled by shopping segment; segments prefer certain
+    categories, so the meta-path U-I-C-I-U (bought items of the same
+    category) carries the signal, while U-I-U (co-purchase) is sparser.
+    """
+    rng = np.random.default_rng(seed)
+    num_users, num_items, num_brands, num_categories = 150, 400, 20, 12
+    num_segments = 3
+
+    user_segment = rng.integers(0, num_segments, size=num_users)
+    # Force coverage of all segments.
+    user_segment[:num_segments] = np.arange(num_segments)
+    category_segment = rng.integers(0, num_segments, size=num_categories)
+    category_segment[:num_segments] = np.arange(num_segments)
+    item_category = rng.integers(0, num_categories, size=num_items)
+    item_brand = rng.integers(0, num_brands, size=num_items)
+
+    category_pools = [
+        np.flatnonzero(category_segment == s) for s in range(num_segments)
+    ]
+
+    # Purchases: users mostly buy items in categories of their own segment.
+    ui_src, ui_dst = [], []
+    for user in range(num_users):
+        segment = user_segment[user]
+        for _ in range(rng.integers(3, 9)):
+            if rng.random() < 0.75:
+                category = int(rng.choice(category_pools[segment]))
+                candidates = np.flatnonzero(item_category == category)
+            else:
+                candidates = np.arange(num_items)
+            if candidates.size == 0:
+                candidates = np.arange(num_items)
+            ui_src.append(user)
+            ui_dst.append(int(rng.choice(candidates)))
+
+    hin = HIN(name="ecommerce")
+    hin.add_node_type("U", num_users)
+    hin.add_node_type("I", num_items)
+    hin.add_node_type("B", num_brands)
+    hin.add_node_type("C", num_categories)
+    hin.add_edges("buys", "U", "I", ui_src, ui_dst)
+    hin.add_edges("branded", "I", "B", np.arange(num_items), item_brand)
+    hin.add_edges("in_category", "I", "C", np.arange(num_items), item_category)
+
+    # Features: weak segment signal for users, category one-hots for items.
+    hin.set_features(
+        "U", np.eye(num_segments)[user_segment] + rng.normal(0, 1.0, (num_users, 3))
+    )
+    hin.set_features("I", np.eye(num_categories)[item_category])
+    hin.set_features("B", rng.normal(size=(num_brands, 4)))
+    hin.set_features("C", np.eye(num_categories))
+    hin.set_labels("U", user_segment)
+
+    return HINDataset(
+        name="ecommerce",
+        hin=hin,
+        target_type="U",
+        metapaths=[MetaPath.parse("UIU"), MetaPath.parse("UICIU")],
+        class_names=["bargain", "brand-loyal", "premium"],
+    ).validate()
+
+
+def main() -> None:
+    dataset = build_ecommerce_hin()
+    print(f"Custom dataset: {dataset}")
+    print(f"Schema: {dataset.hin.schema()}")
+
+    split = stratified_split(dataset.labels, train_fraction=0.15, seed=0)
+    config = ConCHConfig(
+        k=5, num_layers=1, context_dim=16, hidden_dim=32, out_dim=32,
+        lambda_ss=0.3, epochs=150, patience=50, max_instances=8,
+    )
+    data = prepare_conch_data(dataset, config)
+    trainer = ConCHTrainer(data, config).fit(split)
+
+    scores = trainer.evaluate(split.test)
+    print(f"\nTest Micro-F1: {scores['micro_f1']:.4f}")
+    print(f"Test Macro-F1: {scores['macro_f1']:.4f}")
+    weights = trainer.attention_weights()
+    print("\nMeta-path attention:")
+    for metapath, weight in zip(dataset.metapaths, weights):
+        print(f"  {metapath.name:<7} {weight:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Scarce-label contest on DBLP (a Table-I slice at 2% training labels).
+
+The paper's central claim: with very few labeled nodes, ConCH's
+self-supervision and context modeling keep it accurate while baselines
+degrade.  This example runs a small method panel on identical 2% splits.
+
+Usage:  python examples/dblp_scarce_labels.py
+"""
+
+from repro.baselines import make_method
+from repro.baselines.base import TrainSettings
+from repro.baselines.registry import conch_method
+from repro.core import ConCHConfig
+from repro.data import load_dataset
+from repro.eval import format_contest_table, run_contest, summarize_results
+
+
+def main() -> None:
+    dataset = load_dataset("dblp")
+    settings = TrainSettings(epochs=100, patience=40)
+
+    methods = {
+        "GNetMine": make_method("GNetMine"),
+        "LabelProp": make_method("LabelProp"),
+        "GCN": make_method("GCN", settings=settings),
+        "HDGI": make_method("HDGI"),
+        "HGCN": make_method("HGCN", settings=settings),
+        "ConCH": conch_method(
+            base_config=ConCHConfig(
+                k=5, num_layers=2, context_dim=32, hidden_dim=64, out_dim=64,
+                lambda_ss=0.3, epochs=200, patience=60,
+            )
+        ),
+    }
+
+    results = run_contest(
+        methods,
+        dataset,
+        train_fractions=[0.02, 0.20],
+        repeats=1,
+        verbose=True,
+    )
+
+    contests = sorted({r.contest_id for r in results})
+    table = summarize_results(results, metric="micro_f1")
+    print()
+    print(
+        format_contest_table(
+            table,
+            methods=list(methods),
+            contests=contests,
+            title="Micro-F1 (winner per contest marked *)",
+        )
+    )
+    print(
+        "\nExpected shape (paper Table I): ConCH wins both contests, and the "
+        "gap over the runner-up is widest at 2%."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Ablation study on Freebase movies (Fig. 5 analogue).
+
+Compares full ConCH against its five ablation variants (§V-E):
+no-contexts (nc), random neighbors (rd), supervised-only (su),
+pretrain+finetune (ft), and equal meta-path weights (ew).
+
+Usage:  python examples/freebase_ablation.py
+"""
+
+from repro.baselines.registry import conch_method
+from repro.core import ConCHConfig
+from repro.data import load_dataset
+from repro.eval import run_contest, summarize_results, format_contest_table
+
+VARIANT_LABELS = {
+    "full": "ConCH",
+    "nc": "ConCH_nc",
+    "rd": "ConCH_rd",
+    "su": "ConCH_su",
+    "ft": "ConCH_ft",
+    "ew": "ConCH_ew",
+}
+
+
+def main() -> None:
+    dataset = load_dataset("freebase")
+    print(f"Dataset: {dataset}")
+
+    # Paper §V-C: k=10, L=1, context dim 32 on Freebase.
+    base = ConCHConfig(
+        k=10,
+        num_layers=1,
+        context_dim=32,
+        hidden_dim=64,
+        out_dim=64,
+        lambda_ss=0.3,
+        epochs=150,
+        patience=50,
+    )
+    methods = {
+        label: conch_method(variant, base_config=base)
+        for variant, label in VARIANT_LABELS.items()
+    }
+
+    results = run_contest(
+        methods, dataset, train_fractions=[0.05, 0.20], repeats=1, verbose=True
+    )
+    contests = sorted({r.contest_id for r in results})
+    print()
+    print(
+        format_contest_table(
+            summarize_results(results, metric="macro_f1"),
+            methods=list(methods),
+            contests=contests,
+            title="Macro-F1 ablations (winner per contest marked *)",
+        )
+    )
+    print(
+        "\nExpected shape (paper Figs. 3-5): the full model leads; dropping "
+        "contexts (nc) hurts most on Freebase; the su gap grows as labels shrink."
+    )
+
+
+if __name__ == "__main__":
+    main()

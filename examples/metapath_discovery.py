@@ -1,0 +1,81 @@
+"""Automatic meta-path discovery on a schema you have never hand-analyzed.
+
+The paper assumes a curated meta-path set per dataset.  This example
+shows the alternative workflow for a new HIN:
+
+1. enumerate every symmetric meta-path the schema allows,
+2. rank them by training-label homophily × coverage (using *only* the
+   labeled training nodes, as the semi-supervised setting demands),
+3. greedily select a non-redundant subset,
+4. train ConCH on the discovered set and compare against the curated one.
+
+Usage:  python examples/metapath_discovery.py
+"""
+
+from repro.core import ConCHConfig, ConCHTrainer, prepare_conch_data
+from repro.data import load_dataset, stratified_split
+from repro.data.base import HINDataset
+from repro.hin.discovery import discover_metapaths, rank_metapaths, select_metapaths
+
+
+def main() -> None:
+    dataset = load_dataset("dblp")
+    split = stratified_split(dataset.labels, train_fraction=0.10, seed=0)
+
+    # 1. Enumerate candidates from the schema alone.
+    candidates = discover_metapaths(dataset.hin, dataset.target_type, max_length=4)
+    print(f"Schema admits {len(candidates)} symmetric candidates:")
+    print(f"  {[c.name for c in candidates]}")
+
+    # 2. Rank by homophily on *training* labels only.
+    ranked = rank_metapaths(
+        dataset.hin, candidates, dataset.labels, train_idx=split.train
+    )
+    print("\nRanked candidates (train-label homophily x coverage):")
+    for entry in ranked:
+        print(
+            f"  {entry.metapath.name:<8} homophily {entry.homophily:.3f}  "
+            f"coverage {entry.coverage:.3f}  score {entry.score:.3f}  "
+            f"({entry.labeled_pairs} labeled pairs)"
+        )
+
+    # 3. Select a compact non-redundant set.
+    selected = select_metapaths(
+        dataset.hin,
+        dataset.target_type,
+        dataset.labels,
+        train_idx=split.train,
+        max_length=4,
+        limit=3,
+    )
+    discovered_names = [entry.metapath.name for entry in selected]
+    print(f"\nSelected meta-path set: {discovered_names}")
+
+    # 4. Train ConCH on curated vs discovered sets, same split.
+    config = ConCHConfig(
+        k=5, num_layers=2, context_dim=32, epochs=150, patience=50,
+        embed_num_walks=4, embed_walk_length=20, embed_epochs=2,
+    )
+    for label, paths in [
+        ("curated   ", dataset.metapaths),
+        ("discovered", [entry.metapath for entry in selected]),
+    ]:
+        bundle = HINDataset(
+            name=f"dblp-{label.strip()}",
+            hin=dataset.hin,
+            target_type=dataset.target_type,
+            metapaths=list(paths),
+            class_names=dataset.class_names,
+        ).validate()
+        data = prepare_conch_data(bundle, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        scores = trainer.evaluate(split.test)
+        names = [m.name for m in paths]
+        print(
+            f"{label} {str(names):<30} test micro-F1 {scores['micro_f1']:.4f}  "
+            f"macro-F1 {scores['macro_f1']:.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Swapping the neighbor filter's ranking function.
+
+ConCH filters each node's meta-path neighbors to the top-k by PathSim
+(Eq. 1).  The ranking function is pluggable: this example trains the same
+model with HeteSim, JoinSim, cosine structural equivalence, and random
+selection, and reports how much the choice matters — and how much the
+selected neighbor sets actually overlap.
+
+Usage:  python examples/similarity_filtering.py
+"""
+
+from repro.core import ConCHConfig, ConCHTrainer, prepare_conch_data
+from repro.data import load_dataset, stratified_split
+from repro.hin.similarity import SIMILARITY_MEASURES, measure_agreement
+
+
+def main() -> None:
+    dataset = load_dataset("dblp")
+    split = stratified_split(dataset.labels, train_fraction=0.05, seed=0)
+    print(f"Dataset: {dataset}; {split.sizes['train']} labeled authors")
+
+    base = ConCHConfig(
+        k=5, num_layers=2, context_dim=32, epochs=150, patience=50,
+        embed_num_walks=4, embed_walk_length=20, embed_epochs=2,
+    )
+
+    # 1. How similar are the top-k sets the measures pick?  (APCPA)
+    metapath = dataset.metapaths[-1]
+    print(f"\nTop-{base.k} neighbor-set agreement with PathSim on {metapath.name}:")
+    for measure in ("hetesim", "joinsim", "cosine"):
+        agreement = measure_agreement(
+            dataset.hin, metapath, "pathsim", measure, base.k
+        )
+        print(f"  {measure:<8} Jaccard {agreement:.3f}")
+
+    # 2. Train ConCH once per ranking strategy on the same split.
+    print("\nConCH test scores by filtering strategy:")
+    for strategy in list(SIMILARITY_MEASURES) + ["random"]:
+        config = base.with_overrides(neighbor_strategy=strategy)
+        data = prepare_conch_data(dataset, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        scores = trainer.evaluate(split.test)
+        print(
+            f"  {strategy:<8} micro-F1 {scores['micro_f1']:.4f}  "
+            f"macro-F1 {scores['macro_f1']:.4f}"
+        )
+    print(
+        "\nExpected shape: all ranked measures cluster together, random"
+        " trails — the ConCH_rd gap is about *ranking*, not PathSim per se."
+    )
+
+
+if __name__ == "__main__":
+    main()

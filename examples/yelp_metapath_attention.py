@@ -1,0 +1,54 @@
+"""Meta-path attention analysis on Yelp (Fig. 6b analogue).
+
+The paper finds that ConCH's semantic attention gives the keyword
+meta-path BRKRB ("restaurants whose reviews contain the same food
+keyword") a much larger weight than BRURB ("restaurants visited by the
+same customer") — keywords directly indicate the food category while
+customers visit restaurants of many categories.
+
+Usage:  python examples/yelp_metapath_attention.py
+"""
+
+from repro.core import ConCHConfig, ConCHTrainer, prepare_conch_data
+from repro.data import load_dataset, stratified_split
+
+
+def bar(weight: float, width: int = 40) -> str:
+    filled = int(round(weight * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main() -> None:
+    dataset = load_dataset("yelp")
+    print(f"Dataset: {dataset}")
+    split = stratified_split(dataset.labels, train_fraction=0.20, seed=0)
+
+    # Paper §V-C: k=10 and L=1 on Yelp.
+    config = ConCHConfig(
+        k=10,
+        num_layers=1,
+        context_dim=32,
+        hidden_dim=64,
+        out_dim=64,
+        lambda_ss=0.3,
+        epochs=200,
+        patience=60,
+    )
+    data = prepare_conch_data(dataset, config)
+    trainer = ConCHTrainer(data, config).fit(split)
+
+    scores = trainer.evaluate(split.test)
+    print(f"Test Micro-F1: {scores['micro_f1']:.4f}")
+
+    weights = trainer.attention_weights()
+    print("\nLearned meta-path attention (Fig. 6b analogue):")
+    for metapath, weight in zip(dataset.metapaths, weights):
+        print(f"  {metapath.name:<7} {weight:.3f}  {bar(weight)}")
+    print(
+        "\nExpected shape: BRKRB (shared food keyword) outweighs BRURB "
+        "(shared customer)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim (this environment's pip lacks the wheel package)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This subpackage is the substrate that replaces PyTorch in this offline
+reproduction.  It provides:
+
+- :class:`~repro.autograd.tensor.Tensor`: an ndarray wrapper that records a
+  dynamic computation graph and supports ``.backward()``.
+- :mod:`~repro.autograd.ops`: functional-style operations (softmax,
+  log-softmax, concatenation, stacking, embedding lookup, ...).
+- :mod:`~repro.autograd.sparse`: a bridge so that ``scipy.sparse`` matrices
+  can left-multiply dense tensors inside the autograd graph.  Graph
+  convolutions (``A_hat @ H @ W``) use this heavily.
+- :mod:`~repro.autograd.gradcheck`: finite-difference gradient checking used
+  by the test suite to validate every differentiable op.
+
+The engine is deliberately small and explicit: tensors are float64 by
+default (numeric robustness matters more than speed at this scale), the
+graph is built eagerly, and ``backward`` runs a topological sort.
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import ops
+from repro.autograd.sparse import sparse_matmul
+from repro.autograd.gradcheck import gradcheck, numeric_gradient
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "sparse_matmul",
+    "gradcheck",
+    "numeric_gradient",
+]

@@ -1,0 +1,74 @@
+"""Sparse-dense products inside the autograd graph.
+
+Graph convolutions are dominated by products of a fixed sparse operator
+(normalized adjacency, incidence matrix of a bipartite graph) with a dense
+feature matrix.  ``scipy.sparse`` matrices do not carry gradients here —
+they are structural constants — but the dense operand does.
+
+``sparse_matmul(A, H)`` computes ``A @ H`` with backward ``A.T @ grad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor
+
+
+def sparse_matmul(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
+    """Multiply a constant scipy sparse matrix by a dense tensor.
+
+    Parameters
+    ----------
+    matrix:
+        A ``scipy.sparse`` matrix of shape ``(m, n)``.  Treated as a
+        constant (no gradient flows into it).
+    dense:
+        A tensor of shape ``(n, d)`` or ``(n,)``.
+
+    Returns
+    -------
+    Tensor of shape ``(m, d)`` or ``(m,)``.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError(f"expected a scipy.sparse matrix, got {type(matrix).__name__}")
+    if matrix.shape[1] != dense.data.shape[0]:
+        raise ValueError(
+            f"dimension mismatch: sparse {matrix.shape} @ dense {dense.data.shape}"
+        )
+    csr = matrix.tocsr()
+    out_data = csr @ dense.data
+
+    def backward(grad: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate(csr.T @ grad)
+
+    return dense._make(np.asarray(out_data), (dense,), backward)
+
+
+def normalize_adjacency(adj: sp.spmatrix, add_self_loops: bool = True) -> sp.csr_matrix:
+    """Symmetric GCN normalization ``D^{-1/2} (A + I) D^{-1/2}``.
+
+    Isolated nodes (zero degree after optional self-loops) get zero rows
+    rather than NaNs.
+    """
+    adj = sp.csr_matrix(adj, dtype=np.float64)
+    if add_self_loops:
+        adj = adj + sp.identity(adj.shape[0], dtype=np.float64, format="csr")
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+    d_mat = sp.diags(inv_sqrt)
+    return sp.csr_matrix(d_mat @ adj @ d_mat)
+
+
+def row_normalize(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Row-stochastic normalization ``D^{-1} A`` (zero rows stay zero)."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    inv = np.zeros_like(row_sums)
+    nonzero = row_sums > 0
+    inv[nonzero] = 1.0 / row_sums[nonzero]
+    return sp.csr_matrix(sp.diags(inv) @ matrix)

@@ -1,0 +1,102 @@
+"""Baseline methods from the paper's comparison study (Table I).
+
+Architecture-level numpy reimplementations of every competitor:
+
+==============  =============================================================
+method          summary
+==============  =============================================================
+node2vec        homogeneous (p,q)-walk embeddings + logistic regression
+metapath2vec    meta-path-guided walk embeddings + logistic regression
+GCN             2-layer graph convolution on the best meta-path projection
+GAT             2-layer graph attention on the best meta-path projection
+MVGRL           contrastive adjacency-vs-diffusion views + logistic regression
+HAN             node-level + semantic-level attention over meta-path graphs
+HetGNN          type-grouped neighbor aggregation, unsupervised + logreg
+MAGNN           per-instance intra-meta-path attention + semantic fusion
+HGT             typed multi-head transformer message passing
+HDGI            HAN-style encoder trained with DGI mutual information + logreg
+HGCN            relation-wise multi-kernel convolution + feature concat + MLP
+GNetMine        classic graph-regularized transductive label propagation
+LabelProp       label propagation on the best meta-path projection
+GraphSAGE       sampled mean-aggregation on the best meta-path projection
+DGI             deep graph infomax + logistic regression
+Grempt          meta-path Laplacian transductive regression, learned weights
+HIN2Vec         meta-path-relation prediction embeddings + logreg
+RGCN            relation-typed convolution, optional basis decomposition
+GTN             learned soft meta-paths (FastGTN-style channels)
+LINE            first+second-order edge-sampling embeddings + logreg
+PTE             joint bipartite-network embeddings + logreg
+==============  =============================================================
+
+Every method is exposed through :mod:`repro.baselines.registry` as a
+``MethodFn`` for the contest harness.
+"""
+
+from repro.baselines.base import SemiSupervisedTrainer, TrainSettings, choose_best_metapath
+from repro.baselines.logreg import LogisticRegressionClassifier, fit_logreg_on_embeddings
+from repro.baselines.gcn import GCN, GCNMethod
+from repro.baselines.gat import GAT, GATMethod
+from repro.baselines.mvgrl import MVGRLMethod
+from repro.baselines.han import HAN, HANMethod
+from repro.baselines.hetgnn import HetGNNMethod
+from repro.baselines.magnn import MAGNN, MAGNNMethod
+from repro.baselines.hgt import HGT, HGTMethod
+from repro.baselines.hdgi import HDGIMethod
+from repro.baselines.hgcn import HGCN, HGCNMethod
+from repro.baselines.gnetmine import GNetMineMethod
+from repro.baselines.label_propagation import LabelPropagationMethod
+from repro.baselines.graphsage import GraphSAGE, GraphSAGEMethod
+from repro.baselines.dgi import DGIModel, DGIMethod, dgi_embeddings
+from repro.baselines.grempt import GremptMethod, grempt_scores
+from repro.baselines.rgcn import RGCN, RGCNMethod
+from repro.baselines.gtn import GTN, GTNMethod
+from repro.baselines.registry import (
+    BASELINES,
+    HIN2VecMethod,
+    LINEMethod,
+    PTEMethod,
+    make_method,
+    conch_method,
+)
+
+__all__ = [
+    "SemiSupervisedTrainer",
+    "TrainSettings",
+    "choose_best_metapath",
+    "LogisticRegressionClassifier",
+    "fit_logreg_on_embeddings",
+    "GCN",
+    "GCNMethod",
+    "GAT",
+    "GATMethod",
+    "MVGRLMethod",
+    "HAN",
+    "HANMethod",
+    "HetGNNMethod",
+    "MAGNN",
+    "MAGNNMethod",
+    "HGT",
+    "HGTMethod",
+    "HDGIMethod",
+    "HGCN",
+    "HGCNMethod",
+    "GNetMineMethod",
+    "LabelPropagationMethod",
+    "GraphSAGE",
+    "GraphSAGEMethod",
+    "DGIModel",
+    "DGIMethod",
+    "dgi_embeddings",
+    "GremptMethod",
+    "grempt_scores",
+    "HIN2VecMethod",
+    "RGCN",
+    "RGCNMethod",
+    "GTN",
+    "GTNMethod",
+    "LINEMethod",
+    "PTEMethod",
+    "BASELINES",
+    "make_method",
+    "conch_method",
+]

@@ -1,0 +1,132 @@
+"""HAN (Wang et al., WWW 2019): Heterogeneous graph Attention Network.
+
+Per meta-path, a node-level GAT attention aggregates *all* meta-path
+neighbors (no filtering — the paper contrasts this with ConCH's top-k);
+a semantic-level attention then fuses the per-meta-path embeddings.  HAN
+does not use meta-path contexts, which is exactly the property the
+ConCH_nc comparison probes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.baselines.base import SemiSupervisedTrainer, TrainSettings
+from repro.baselines.gat import GATLayer, edges_with_self_loops
+from repro.data.base import HINDataset
+from repro.data.splits import Split
+from repro.hin.adjacency import metapath_binary_adjacency
+from repro.nn.init import glorot_uniform
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module, ModuleList, Parameter
+
+
+class HANSemanticAttention(Module):
+    """HAN's semantic attention: per-path score = mean_i q·tanh(W h_i + b)."""
+
+    def __init__(self, in_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.project = Linear(in_dim, hidden_dim, rng)
+        self.q = Parameter(glorot_uniform((hidden_dim,), rng), name="q")
+
+    def forward(self, per_path: List[Tensor]) -> Tuple[Tensor, np.ndarray]:
+        scores = []
+        for h in per_path:
+            transformed = self.project(h).tanh()       # (n, hidden)
+            scores.append((transformed @ self.q).mean())
+        raw = ops.stack(scores)                         # (num_paths,)
+        weights = ops.softmax(raw, axis=0)
+        stacked = ops.stack(per_path, axis=0)           # (q, n, d)
+        expanded = weights.reshape(-1, 1, 1)
+        fused = (stacked * expanded).sum(axis=0)
+        return fused, weights.data.copy()
+
+
+class HAN(Module):
+    """Node-level attention per meta-path + semantic fusion + linear head."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden_dim: int,
+        num_classes: int,
+        num_metapaths: int,
+        rng: np.random.Generator,
+        num_heads: int = 4,
+        semantic_dim: int = 32,
+        dropout: float = 0.5,
+    ):
+        super().__init__()
+        self.node_attention = ModuleList(
+            [
+                GATLayer(in_dim, hidden_dim, num_heads, rng, concat=True)
+                for _ in range(num_metapaths)
+            ]
+        )
+        fused_dim = hidden_dim * num_heads
+        self.semantic = HANSemanticAttention(fused_dim, semantic_dim, rng)
+        self.dropout = Dropout(dropout, rng)
+        self.head = Linear(fused_dim, num_classes, rng)
+        self._last_weights: Optional[np.ndarray] = None
+
+    def forward(
+        self,
+        edge_lists: List[Tuple[np.ndarray, np.ndarray]],
+        features: Tensor,
+    ) -> Tensor:
+        per_path = [
+            layer(src, dst, features).elu()
+            for layer, (src, dst) in zip(self.node_attention, edge_lists)
+        ]
+        fused, weights = self.semantic(per_path)
+        self._last_weights = weights
+        return self.head(self.dropout(fused))
+
+    def semantic_weights(self) -> Optional[np.ndarray]:
+        return self._last_weights
+
+
+def HANMethod(
+    hidden_dim: int = 16,
+    num_heads: int = 4,
+    settings: Optional[TrainSettings] = None,
+):
+    """Harness-compatible HAN method."""
+    settings = settings or TrainSettings()
+
+    def method(dataset: HINDataset, split: Split, seed: int):
+        from repro.eval.harness import MethodOutput
+
+        rng = np.random.default_rng(seed)
+        edge_lists = [
+            edges_with_self_loops(metapath_binary_adjacency(dataset.hin, mp))
+            for mp in dataset.metapaths
+        ]
+        x = Tensor(dataset.features)
+        model = HAN(
+            dataset.features.shape[1],
+            hidden_dim,
+            dataset.num_classes,
+            len(dataset.metapaths),
+            rng,
+            num_heads=num_heads,
+        )
+        trainer = SemiSupervisedTrainer(
+            model,
+            forward=lambda m: m(edge_lists, x),
+            labels=dataset.labels,
+            settings=settings,
+            method_name="HAN",
+        ).fit(split)
+        return MethodOutput(
+            test_predictions=trainer.predict(split.test),
+            recorder=trainer.recorder,
+            extras={"semantic_weights": model.semantic_weights()},
+        )
+
+    return method

@@ -1,0 +1,140 @@
+"""Multinomial logistic regression.
+
+The downstream classifier for all unsupervised baselines (node2vec,
+metapath2vec, MVGRL, HetGNN, HDGI): embeddings in, labels out.
+Trained full-batch with Adam and early stopping on validation accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.splits import Split
+from repro.eval.metrics import micro_f1
+from repro.nn.layers import Linear
+from repro.nn.losses import cross_entropy
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+from repro.nn.schedulers import EarlyStopping
+
+
+@dataclass
+class LogRegSettings:
+    lr: float = 0.05
+    weight_decay: float = 0.0005
+    epochs: int = 300
+    patience: int = 50
+
+
+class LogisticRegressionClassifier(Module):
+    """Softmax regression ``logits = X W^T + b``."""
+
+    def __init__(self, in_dim: int, num_classes: int, rng: np.random.Generator):
+        super().__init__()
+        self.linear = Linear(in_dim, num_classes, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.linear(x)
+
+
+def _standardize(features: np.ndarray) -> np.ndarray:
+    mean = features.mean(axis=0, keepdims=True)
+    std = features.std(axis=0, keepdims=True)
+    std[std == 0] = 1.0
+    return (features - mean) / std
+
+
+def fit_logreg_on_embeddings(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    split: Split,
+    num_classes: int,
+    seed: int = 0,
+    settings: Optional[LogRegSettings] = None,
+) -> np.ndarray:
+    """Train logreg on train embeddings; return test predictions.
+
+    Features are standardized (embedding scales vary wildly across
+    methods, and logreg is scale-sensitive).
+    """
+    settings = settings or LogRegSettings()
+    labels = np.asarray(labels)
+    features = Tensor(_standardize(np.asarray(embeddings, dtype=np.float64)))
+    rng = np.random.default_rng(seed)
+    model = LogisticRegressionClassifier(
+        features.shape[1], num_classes, rng
+    )
+    optimizer = Adam(
+        model.parameters(), lr=settings.lr, weight_decay=settings.weight_decay
+    )
+    stopper = EarlyStopping(patience=settings.patience, mode="max")
+
+    train_x = features[split.train]
+    train_y = labels[split.train]
+    for epoch in range(settings.epochs):
+        model.train()
+        optimizer.zero_grad()
+        loss = cross_entropy(model(train_x), train_y)
+        loss.backward()
+        optimizer.step()
+
+        model.eval()
+        with no_grad():
+            val_pred = model(features[split.val]).argmax(axis=1)
+        val_metric = micro_f1(labels[split.val], val_pred)
+        if stopper.step(val_metric, model, epoch):
+            break
+    stopper.restore(model)
+
+    model.eval()
+    with no_grad():
+        test_pred = model(features[split.test]).argmax(axis=1)
+    return test_pred
+
+
+def logreg_validation_score(
+    embeddings: np.ndarray,
+    labels: np.ndarray,
+    split: Split,
+    num_classes: int,
+    seed: int = 0,
+    settings: Optional[LogRegSettings] = None,
+) -> Dict[str, object]:
+    """Fit logreg and report both val metric and test predictions.
+
+    Used when a method must choose among several embedding variants
+    (e.g. metapath2vec picks its best single meta-path on validation).
+    """
+    settings = settings or LogRegSettings()
+    labels = np.asarray(labels)
+    features = Tensor(_standardize(np.asarray(embeddings, dtype=np.float64)))
+    rng = np.random.default_rng(seed)
+    model = LogisticRegressionClassifier(features.shape[1], num_classes, rng)
+    optimizer = Adam(
+        model.parameters(), lr=settings.lr, weight_decay=settings.weight_decay
+    )
+    stopper = EarlyStopping(patience=settings.patience, mode="max")
+    for epoch in range(settings.epochs):
+        model.train()
+        optimizer.zero_grad()
+        loss = cross_entropy(model(features[split.train]), labels[split.train])
+        loss.backward()
+        optimizer.step()
+        model.eval()
+        with no_grad():
+            val_pred = model(features[split.val]).argmax(axis=1)
+        if stopper.step(micro_f1(labels[split.val], val_pred), model, epoch):
+            break
+    stopper.restore(model)
+    model.eval()
+    with no_grad():
+        val_pred = model(features[split.val]).argmax(axis=1)
+        test_pred = model(features[split.test]).argmax(axis=1)
+    return {
+        "val_metric": micro_f1(labels[split.val], val_pred),
+        "test_predictions": test_pred,
+    }

@@ -1,0 +1,165 @@
+"""MVGRL (Hassani & Khasahmadi, 2020): contrastive multi-view learning.
+
+Two structural views of the (meta-path-projected) graph — the normalized
+adjacency (local) and a PPR diffusion matrix (global) — are encoded by
+separate GCN layers; a bilinear discriminator contrasts node embeddings
+of one view against the *other* view's graph summary, with row-shuffled
+features as negatives.  Unsupervised; embeddings go to logistic
+regression.
+
+Note: the diffusion matrix is dense (``n × n``).  On the AMiner-scale
+dataset this is exactly the out-of-memory failure mode the paper reports;
+the registry marks MVGRL as unavailable there.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.sparse import normalize_adjacency, sparse_matmul
+from repro.autograd.tensor import Tensor, no_grad
+from repro.baselines.base import choose_best_metapath
+from repro.baselines.logreg import logreg_validation_score
+from repro.core.discriminator import shuffle_features
+from repro.data.base import HINDataset
+from repro.data.splits import Split
+from repro.nn.layers import Bilinear, Linear
+from repro.nn.losses import binary_cross_entropy_with_logits
+from repro.nn.module import Module
+from repro.nn.optim import Adam
+
+
+def ppr_diffusion(adjacency: sp.spmatrix, alpha: float = 0.2) -> np.ndarray:
+    """Personalized-PageRank diffusion ``α (I − (1−α) Â)^{-1}`` (dense)."""
+    norm = normalize_adjacency(adjacency).toarray()
+    n = norm.shape[0]
+    return alpha * np.linalg.inv(np.eye(n) - (1.0 - alpha) * norm)
+
+
+class _GCNEncoder(Module):
+    """Single-layer GCN encoder (dense or sparse operator)."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, rng)
+
+    def forward(self, operator, features: Tensor) -> Tensor:
+        projected = self.linear(features)
+        if sp.issparse(operator):
+            return sparse_matmul(operator, projected).relu()
+        return (Tensor(operator) @ projected).relu()
+
+
+class MVGRLModel(Module):
+    """Two encoders + cross-view bilinear discriminator."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.encoder_local = _GCNEncoder(in_dim, out_dim, rng)
+        self.encoder_global = _GCNEncoder(in_dim, out_dim, rng)
+        self.discriminator = Bilinear(out_dim, out_dim, rng)
+
+    def loss(
+        self,
+        adj_op,
+        diff_op,
+        features: Tensor,
+        shuffled: Tensor,
+    ) -> Tensor:
+        h_local = self.encoder_local(adj_op, features)
+        h_global = self.encoder_global(diff_op, features)
+        h_local_neg = self.encoder_local(adj_op, shuffled)
+        h_global_neg = self.encoder_global(diff_op, shuffled)
+        s_local = h_local.mean(axis=0)
+        s_global = h_global.mean(axis=0)
+
+        n = features.shape[0]
+        ones = np.ones(n)
+        zeros = np.zeros(n)
+        # Cross-view contrast: local nodes vs global summary and vice versa.
+        terms = [
+            (self.discriminator(h_local, s_global), ones),
+            (self.discriminator(h_global, s_local), ones),
+            (self.discriminator(h_local_neg, s_global), zeros),
+            (self.discriminator(h_global_neg, s_local), zeros),
+        ]
+        total = None
+        for logits, target in terms:
+            term = binary_cross_entropy_with_logits(logits, target)
+            total = term if total is None else total + term
+        return total * 0.25
+
+    def embed(self, adj_op, diff_op, features: Tensor) -> np.ndarray:
+        with no_grad():
+            h_local = self.encoder_local(adj_op, features)
+            h_global = self.encoder_global(diff_op, features)
+        return (h_local.data + h_global.data).copy()
+
+
+def mvgrl_embeddings(
+    adjacency: sp.spmatrix,
+    features: np.ndarray,
+    dim: int = 32,
+    epochs: int = 100,
+    lr: float = 0.005,
+    alpha: float = 0.2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Train MVGRL unsupervised; return fused node embeddings."""
+    rng = np.random.default_rng(seed)
+    adj_op = normalize_adjacency(adjacency)
+    diff_op = ppr_diffusion(adjacency, alpha)
+    x = Tensor(features)
+    model = MVGRLModel(features.shape[1], dim, rng)
+    optimizer = Adam(model.parameters(), lr=lr)
+    for _ in range(epochs):
+        model.train()
+        optimizer.zero_grad()
+        shuffled = Tensor(shuffle_features(features, rng))
+        loss = model.loss(adj_op, diff_op, x, shuffled)
+        loss.backward()
+        optimizer.step()
+    model.eval()
+    return model.embed(adj_op, diff_op, x)
+
+
+def MVGRLMethod(dim: int = 32, epochs: int = 80, max_nodes: int = 1500):
+    """Harness-compatible MVGRL (best meta-path projection, then logreg).
+
+    Raises ``MemoryError`` beyond ``max_nodes`` to mirror the paper's
+    out-of-memory failure on AMiner (the dense diffusion matrix).
+    """
+
+    cache = {}
+
+    def method(dataset: HINDataset, split: Split, seed: int):
+        from repro.eval.harness import MethodOutput
+
+        if dataset.num_targets > max_nodes:
+            raise MemoryError(
+                f"MVGRL diffusion matrix would be dense "
+                f"{dataset.num_targets}x{dataset.num_targets} "
+                f"(paper reports the same OOM on AMiner)"
+            )
+
+        def run(adjacency, metapath):
+            # Unsupervised embeddings are split-independent: cache them.
+            key = (id(dataset), metapath.name, seed)
+            if key not in cache:
+                cache[key] = mvgrl_embeddings(
+                    adjacency, dataset.features, dim=dim, epochs=epochs, seed=seed
+                )
+            return logreg_validation_score(
+                cache[key], dataset.labels, split, dataset.num_classes, seed=seed
+            )
+
+        outcome = choose_best_metapath(dataset, split, run)
+        return MethodOutput(
+            test_predictions=np.asarray(outcome["test_predictions"]),
+            extras={"metapath": outcome["metapath"].name},
+        )
+
+    return method

@@ -1,0 +1,269 @@
+"""Method registry: every Table-I column as a harness-ready ``MethodFn``.
+
+``make_method(name)`` builds a method with scale-appropriate defaults;
+``conch_method(...)`` wraps ConCH (and its ablation variants) in the same
+interface so the harness treats everything uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.baselines.dgi import DGIMethod
+from repro.baselines.gat import GATMethod
+from repro.baselines.gcn import GCNMethod
+from repro.baselines.gnetmine import GNetMineMethod
+from repro.baselines.graphsage import GraphSAGEMethod
+from repro.baselines.grempt import GremptMethod
+from repro.baselines.gtn import GTNMethod
+from repro.baselines.han import HANMethod
+from repro.baselines.hdgi import HDGIMethod
+from repro.baselines.hetgnn import HetGNNMethod
+from repro.baselines.hgcn import HGCNMethod
+from repro.baselines.hgt import HGTMethod
+from repro.baselines.label_propagation import LabelPropagationMethod
+from repro.baselines.logreg import fit_logreg_on_embeddings, logreg_validation_score
+from repro.baselines.magnn import MAGNNMethod
+from repro.baselines.mvgrl import MVGRLMethod
+from repro.baselines.rgcn import RGCNMethod
+from repro.core.config import ConCHConfig
+from repro.core.trainer import ConCHTrainer, prepare_conch_data
+from repro.core.variants import variant_config
+from repro.data.base import HINDataset
+from repro.data.splits import Split
+from repro.embedding.hin2vec import HIN2VecConfig, hin2vec_embeddings
+from repro.embedding.line import LINEConfig, line_embeddings
+from repro.embedding.metapath2vec import metapath2vec_target_embeddings
+from repro.embedding.node2vec import node2vec_embeddings
+from repro.embedding.pte import pte_target_embeddings
+
+
+def Node2VecMethod(dim: int = 64, num_walks: int = 5, walk_length: int = 30):
+    """node2vec on the flattened homogeneous projection + logreg.
+
+    Embeddings are split-independent, so they are cached per (dataset,
+    seed) — contest grids only retrain the logistic regression.
+    """
+    cache: Dict[tuple, np.ndarray] = {}
+
+    def method(dataset: HINDataset, split: Split, seed: int):
+        from repro.eval.harness import MethodOutput
+
+        key = (id(dataset), seed)
+        if key not in cache:
+            adjacency = dataset.hin.to_homogeneous()
+            embeddings = node2vec_embeddings(
+                adjacency,
+                dim=dim,
+                num_walks=num_walks,
+                walk_length=walk_length,
+                seed=seed,
+            )
+            offsets = dataset.hin.global_offsets()
+            start = offsets[dataset.target_type]
+            cache[key] = embeddings[start: start + dataset.num_targets]
+        predictions = fit_logreg_on_embeddings(
+            cache[key], dataset.labels, split, dataset.num_classes, seed=seed
+        )
+        return MethodOutput(test_predictions=np.asarray(predictions))
+
+    return method
+
+
+def MetaPath2VecMethod(dim: int = 64, num_walks: int = 8, walk_length: int = 40):
+    """metapath2vec + logreg; best single meta-path by validation score.
+
+    mp2vec "can take only one meta-path as input" (paper §V-D note 2), so
+    each meta-path is tried and the best validation result reported.
+    Per-meta-path embeddings are cached per (dataset, seed).
+    """
+    cache: Dict[tuple, np.ndarray] = {}
+
+    def method(dataset: HINDataset, split: Split, seed: int):
+        from repro.eval.harness import MethodOutput
+
+        best = None
+        best_path = None
+        for metapath in dataset.metapaths:
+            key = (id(dataset), metapath.name, seed)
+            if key not in cache:
+                cache[key] = metapath2vec_target_embeddings(
+                    dataset.hin,
+                    metapath,
+                    dim=dim,
+                    num_walks=num_walks,
+                    walk_length=walk_length,
+                    seed=seed,
+                )
+            outcome = logreg_validation_score(
+                cache[key], dataset.labels, split, dataset.num_classes, seed=seed
+            )
+            if best is None or outcome["val_metric"] > best["val_metric"]:
+                best = outcome
+                best_path = metapath
+        return MethodOutput(
+            test_predictions=np.asarray(best["test_predictions"]),
+            extras={"metapath": best_path.name},
+        )
+
+    return method
+
+
+def HIN2VecMethod(dim: int = 64, epochs: int = 3, negatives: int = 4):
+    """HIN2Vec relation-prediction embeddings + logreg.
+
+    Uses *all* meta-paths jointly (unlike mp2vec's one-at-a-time
+    restriction the paper notes); embeddings are split-independent and
+    cached per (dataset, seed).
+    """
+    cache: Dict[tuple, np.ndarray] = {}
+
+    def method(dataset: HINDataset, split: Split, seed: int):
+        from repro.eval.harness import MethodOutput
+
+        key = (id(dataset), seed)
+        if key not in cache:
+            config = HIN2VecConfig(
+                dim=dim, epochs=epochs, negatives=negatives, seed=seed
+            )
+            cache[key] = hin2vec_embeddings(dataset.hin, dataset.metapaths, config)
+        predictions = fit_logreg_on_embeddings(
+            cache[key], dataset.labels, split, dataset.num_classes, seed=seed
+        )
+        return MethodOutput(test_predictions=np.asarray(predictions))
+
+    return method
+
+
+def LINEMethod(dim: int = 64, epochs: int = 30, order: str = "both"):
+    """LINE on the flattened homogeneous projection + logreg.
+
+    Like node2vec, LINE ignores the network's heterogeneity; it differs
+    by sampling edges directly instead of walk windows.  Embeddings are
+    split-independent and cached per (dataset, seed).
+    """
+    cache: Dict[tuple, np.ndarray] = {}
+
+    def method(dataset: HINDataset, split: Split, seed: int):
+        from repro.eval.harness import MethodOutput
+
+        key = (id(dataset), seed)
+        if key not in cache:
+            adjacency = dataset.hin.to_homogeneous()
+            config = LINEConfig(dim=dim, epochs=epochs, order=order, seed=seed)
+            embeddings = line_embeddings(adjacency, config=config)
+            offsets = dataset.hin.global_offsets()
+            start = offsets[dataset.target_type]
+            cache[key] = embeddings[start: start + dataset.num_targets]
+        predictions = fit_logreg_on_embeddings(
+            cache[key], dataset.labels, split, dataset.num_classes, seed=seed
+        )
+        return MethodOutput(test_predictions=np.asarray(predictions))
+
+    return method
+
+
+def PTEMethod(dim: int = 64, epochs: int = 30):
+    """PTE joint bipartite-network embeddings + logreg.
+
+    The heterogeneity-aware counterpart of LINE: one second-order SGNS
+    objective per relation network with type-correct negative sampling.
+    Embeddings are split-independent and cached per (dataset, seed).
+    """
+    cache: Dict[tuple, np.ndarray] = {}
+
+    def method(dataset: HINDataset, split: Split, seed: int):
+        from repro.eval.harness import MethodOutput
+
+        key = (id(dataset), seed)
+        if key not in cache:
+            config = LINEConfig(dim=dim, epochs=epochs, order="second", seed=seed)
+            cache[key] = pte_target_embeddings(
+                dataset.hin, dataset.target_type, config=config
+            )
+        predictions = fit_logreg_on_embeddings(
+            cache[key], dataset.labels, split, dataset.num_classes, seed=seed
+        )
+        return MethodOutput(test_predictions=np.asarray(predictions))
+
+    return method
+
+
+def conch_method(
+    variant: str = "full",
+    base_config: Optional[ConCHConfig] = None,
+    **overrides,
+):
+    """ConCH (or an ablation variant) as a harness ``MethodFn``.
+
+    Preprocessing is cached per (dataset identity, config fingerprint) so
+    contest grids do not redo PathSim/context extraction for every split —
+    matching the paper, which treats filtering and context features as
+    offline preprocessing.
+    """
+    cache: Dict[tuple, object] = {}
+
+    def method(dataset: HINDataset, split: Split, seed: int):
+        from repro.eval.harness import MethodOutput
+
+        base = base_config or ConCHConfig()
+        config = variant_config(variant, base).with_overrides(seed=seed, **overrides)
+        cache_key = (
+            id(dataset),
+            config.k,
+            config.neighbor_strategy,
+            config.use_contexts,
+            config.context_dim,
+            config.max_instances,
+            config.embed_num_walks,
+            config.embed_walk_length,
+            config.embed_window,
+            config.embed_epochs,
+            seed,
+        )
+        if cache_key not in cache:
+            cache[cache_key] = prepare_conch_data(dataset, config)
+        data = cache[cache_key]
+        trainer = ConCHTrainer(data, config).fit(split)
+        return MethodOutput(
+            test_predictions=trainer.predict(split.test),
+            recorder=trainer.recorder,
+            extras={"attention": trainer.attention_weights()},
+        )
+
+    return method
+
+
+BASELINES: Dict[str, Callable[..., Callable]] = {
+    "node2vec": Node2VecMethod,
+    "mp2vec": MetaPath2VecMethod,
+    "GCN": GCNMethod,
+    "GAT": GATMethod,
+    "MVGRL": MVGRLMethod,
+    "HAN": HANMethod,
+    "HetGNN": HetGNNMethod,
+    "MAGNN": MAGNNMethod,
+    "HGT": HGTMethod,
+    "HDGI": HDGIMethod,
+    "HGCN": HGCNMethod,
+    "GNetMine": GNetMineMethod,
+    "LabelProp": LabelPropagationMethod,
+    # Related-work methods beyond the Table-I panel.
+    "GraphSAGE": GraphSAGEMethod,
+    "DGI": DGIMethod,
+    "Grempt": GremptMethod,
+    "HIN2Vec": HIN2VecMethod,
+    "RGCN": RGCNMethod,
+    "GTN": GTNMethod,
+    "LINE": LINEMethod,
+    "PTE": PTEMethod,
+}
+
+
+def make_method(name: str, **kwargs) -> Callable:
+    """Instantiate a registered baseline by name."""
+    if name not in BASELINES:
+        raise KeyError(f"unknown baseline {name!r}; known: {sorted(BASELINES)}")
+    return BASELINES[name](**kwargs)

@@ -1,0 +1,150 @@
+"""Mutual object/context graph convolution (§IV-C, Eqs. 4–5).
+
+One :class:`BipartiteConv` layer performs the timestep update
+
+    h_c^{t+1} = ReLU( W1·(h_u^t + h_v^t) + W2·h_c^t )          (Eq. 4)
+    h_x^{t+1} = ReLU( W3·Σ_{c∋x} h_c^{t+1} + W4·h_x^t )        (Eq. 5)
+
+vectorized through the bipartite incidence matrix ``B`` (objects ×
+contexts): ``B.T @ H_x`` sums each context's two endpoints and
+``B @ H_c`` sums each object's incident contexts.
+
+Update order: Algorithm 1 (lines 14–15) updates contexts *first* and then
+objects, so the object update consumes the timestep-``t+1`` context
+embeddings (Gauss–Seidel).  This matters: with it, a single layer (the
+paper's ``L=1`` setting on Yelp/Freebase) already propagates neighbor
+features object → context → object.  Eq. 5's superscript reads ``(t)``,
+but under that literal (Jacobi) reading an L=1 model would never see its
+neighbors' features at all, which cannot reproduce the paper's L=1
+results; we follow the algorithm's order.  A ``jacobi=True`` switch keeps
+the literal reading available for the ablation benches.
+
+:class:`NeighborConv` is the ``ConCH_nc`` ablation: contexts are dropped
+and objects aggregate directly from their filtered meta-path neighbors
+through the neighbor adjacency ``N``:
+
+    h_x^{t+1} = ReLU( W3·Σ_{v∈N(x)} h_v^t + W4·h_x^t )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.sparse import row_normalize, sparse_matmul
+from repro.autograd.tensor import Tensor
+from repro.nn.init import glorot_uniform
+from repro.nn.module import Module, Parameter
+
+
+class BipartiteConv(Module):
+    """One mutual-update layer over an object/context bipartite graph."""
+
+    def __init__(
+        self,
+        object_in_dim: int,
+        context_in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        aggregator: str = "sum",
+        jacobi: bool = False,
+    ):
+        super().__init__()
+        if aggregator not in ("sum", "mean"):
+            raise ValueError(f"unknown aggregator {aggregator!r}")
+        self.aggregator = aggregator
+        self.jacobi = jacobi
+        self.object_in_dim = object_in_dim
+        self.context_in_dim = context_in_dim
+        self.out_dim = out_dim
+        # W1: endpoint-objects -> context update.
+        self.w1 = Parameter(glorot_uniform((out_dim, object_in_dim), rng), name="W1")
+        # W2: context self term.
+        self.w2 = Parameter(glorot_uniform((out_dim, context_in_dim), rng), name="W2")
+        # W3: incident-contexts -> object update.  Gauss-Seidel consumes the
+        # freshly-updated contexts (dim out_dim); Jacobi the old ones.
+        w3_in = context_in_dim if jacobi else out_dim
+        self.w3 = Parameter(glorot_uniform((out_dim, w3_in), rng), name="W3")
+        # W4: object self term.
+        self.w4 = Parameter(glorot_uniform((out_dim, object_in_dim), rng), name="W4")
+
+    def forward(
+        self,
+        incidence: sp.csr_matrix,
+        h_objects: Tensor,
+        h_contexts: Tensor,
+    ) -> Tuple[Tensor, Tensor]:
+        """Apply Eqs. 4–5; returns ``(new_objects, new_contexts)``."""
+        if incidence.shape != (h_objects.shape[0], h_contexts.shape[0]):
+            raise ValueError(
+                f"incidence {incidence.shape} incompatible with objects "
+                f"{h_objects.shape} / contexts {h_contexts.shape}"
+            )
+        forward_op = incidence
+        backward_op = incidence.T.tocsr()
+        if self.aggregator == "mean":
+            forward_op = row_normalize(incidence)
+            backward_op = row_normalize(backward_op)
+
+        if h_contexts.shape[0] > 0:
+            # Eq. 4 — context update from its (at most two) endpoint objects.
+            endpoint_sum = sparse_matmul(backward_op, h_objects)     # (m, d_x)
+            new_contexts = (
+                endpoint_sum @ self.w1.T + h_contexts @ self.w2.T
+            ).relu()
+            # Eq. 5 — object update from incident contexts.  Gauss-Seidel
+            # (Algorithm 1 order) consumes the new contexts; Jacobi the old.
+            source = h_contexts if self.jacobi else new_contexts
+            context_sum = sparse_matmul(forward_op, source)
+        else:
+            # Degenerate graph with no contexts: objects see only themselves.
+            new_contexts = h_contexts @ self.w2.T
+            w3_in = self.context_in_dim if self.jacobi else self.out_dim
+            context_sum = Tensor(np.zeros((h_objects.shape[0], w3_in)))
+        new_objects = (context_sum @ self.w3.T + h_objects @ self.w4.T).relu()
+        return new_objects, new_contexts
+
+
+class NeighborConv(Module):
+    """Direct neighbor aggregation without contexts (``ConCH_nc``)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        rng: np.random.Generator,
+        aggregator: str = "sum",
+    ):
+        super().__init__()
+        if aggregator not in ("sum", "mean"):
+            raise ValueError(f"unknown aggregator {aggregator!r}")
+        self.aggregator = aggregator
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.w3 = Parameter(glorot_uniform((out_dim, in_dim), rng), name="W3")
+        self.w4 = Parameter(glorot_uniform((out_dim, in_dim), rng), name="W4")
+
+    def forward(self, neighbor_adj: sp.csr_matrix, h_objects: Tensor) -> Tensor:
+        if neighbor_adj.shape[0] != h_objects.shape[0]:
+            raise ValueError(
+                f"adjacency {neighbor_adj.shape} incompatible with objects "
+                f"{h_objects.shape}"
+            )
+        op = row_normalize(neighbor_adj) if self.aggregator == "mean" else neighbor_adj
+        neighbor_sum = sparse_matmul(op, h_objects)
+        return (neighbor_sum @ self.w3.T + h_objects @ self.w4.T).relu()
+
+
+def neighbor_adjacency_from_pairs(pairs: np.ndarray, num_objects: int) -> sp.csr_matrix:
+    """Symmetric n×n adjacency over the retained top-k pairs."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return sp.csr_matrix((num_objects, num_objects), dtype=np.float64)
+    rows = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    cols = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    data = np.ones(rows.shape[0], dtype=np.float64)
+    adj = sp.csr_matrix((data, (rows, cols)), shape=(num_objects, num_objects))
+    adj.data[:] = 1.0
+    return adj

@@ -1,0 +1,180 @@
+"""Prediction-confidence calibration.
+
+Semi-supervised GNNs trained on 2% labels are routinely over-confident;
+a downstream user acting on ConCH's softmax scores (Eq. 9) needs them to
+mean what they say.  This module provides the standard post-hoc remedy:
+
+- :func:`expected_calibration_error` / :func:`max_calibration_error` —
+  the gap between confidence and accuracy, binned by confidence.
+- :class:`TemperatureScaler` — single-parameter temperature scaling
+  (Guo et al., ICML 2017): rescale logits by ``1/T`` with ``T`` chosen to
+  minimize validation NLL.  Monotone per-class, so accuracy and argmax
+  predictions are unchanged; only the confidence sharpness moves.
+- :func:`reliability_table` — the per-bin diagnostic behind reliability
+  diagrams.
+
+Works on raw logits or on probability rows (``log p`` is a valid logit
+representative for temperature scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy import optimize
+
+
+def _stable_softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def _validate_probabilities(probabilities: np.ndarray, labels: np.ndarray):
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if probabilities.ndim != 2:
+        raise ValueError(f"probabilities must be 2-D, got {probabilities.shape}")
+    if labels.shape != (probabilities.shape[0],):
+        raise ValueError(
+            f"labels {labels.shape} do not match probabilities "
+            f"{probabilities.shape}"
+        )
+    if probabilities.shape[0] == 0:
+        raise ValueError("empty probability matrix")
+    return probabilities, labels
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    """One confidence bin of a reliability diagram."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_confidence: float
+    accuracy: float
+
+
+def reliability_table(
+    probabilities: np.ndarray, labels: np.ndarray, num_bins: int = 10
+) -> List[ReliabilityBin]:
+    """Equal-width confidence bins with per-bin accuracy.
+
+    Empty bins are kept (count 0, confidence/accuracy 0) so callers can
+    rely on exactly ``num_bins`` rows.
+    """
+    if num_bins < 1:
+        raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+    probabilities, labels = _validate_probabilities(probabilities, labels)
+    confidences = probabilities.max(axis=1)
+    predictions = probabilities.argmax(axis=1)
+    correct = (predictions == labels).astype(np.float64)
+
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins: List[ReliabilityBin] = []
+    for i in range(num_bins):
+        lower, upper = edges[i], edges[i + 1]
+        # Left-closed bins; the last bin includes confidence == 1.
+        if i == num_bins - 1:
+            mask = (confidences >= lower) & (confidences <= upper)
+        else:
+            mask = (confidences >= lower) & (confidences < upper)
+        count = int(mask.sum())
+        bins.append(
+            ReliabilityBin(
+                lower=float(lower),
+                upper=float(upper),
+                count=count,
+                mean_confidence=float(confidences[mask].mean()) if count else 0.0,
+                accuracy=float(correct[mask].mean()) if count else 0.0,
+            )
+        )
+    return bins
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, labels: np.ndarray, num_bins: int = 10
+) -> float:
+    """ECE: count-weighted mean |confidence − accuracy| over bins."""
+    bins = reliability_table(probabilities, labels, num_bins)
+    total = sum(b.count for b in bins)
+    return float(
+        sum(
+            b.count * abs(b.mean_confidence - b.accuracy) for b in bins
+        )
+        / total
+    )
+
+
+def max_calibration_error(
+    probabilities: np.ndarray, labels: np.ndarray, num_bins: int = 10
+) -> float:
+    """MCE: worst per-bin |confidence − accuracy| (non-empty bins)."""
+    bins = reliability_table(probabilities, labels, num_bins)
+    gaps = [abs(b.mean_confidence - b.accuracy) for b in bins if b.count]
+    return float(max(gaps)) if gaps else 0.0
+
+
+class TemperatureScaler:
+    """Single-temperature post-hoc calibration.
+
+    ``fit`` selects ``T > 0`` minimizing the negative log-likelihood of
+    ``softmax(logits / T)`` on held-out (validation) data;
+    ``transform`` applies it.  Argmax predictions are invariant to ``T``.
+    """
+
+    def __init__(self):
+        self.temperature: float = 1.0
+        self._fitted = False
+
+    @staticmethod
+    def _nll(logits: np.ndarray, labels: np.ndarray, temperature: float) -> float:
+        probs = _stable_softmax(logits / temperature)
+        picked = probs[np.arange(labels.shape[0]), labels]
+        return float(-np.mean(np.log(np.maximum(picked, 1e-12))))
+
+    def fit(self, logits: np.ndarray, labels: np.ndarray) -> "TemperatureScaler":
+        """Choose the temperature on validation logits + labels."""
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if logits.ndim != 2 or labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"need (n, r) logits and (n,) labels, got {logits.shape}, "
+                f"{labels.shape}"
+            )
+        if logits.shape[0] == 0:
+            raise ValueError("cannot fit on empty validation data")
+        result = optimize.minimize_scalar(
+            lambda log_t: self._nll(logits, labels, float(np.exp(log_t))),
+            bounds=(-4.0, 4.0),
+            method="bounded",
+        )
+        self.temperature = float(np.exp(result.x))
+        self._fitted = True
+        return self
+
+    def fit_from_probabilities(
+        self, probabilities: np.ndarray, labels: np.ndarray
+    ) -> "TemperatureScaler":
+        """Fit when only softmax outputs are available (uses ``log p``)."""
+        probabilities, labels = _validate_probabilities(probabilities, labels)
+        return self.fit(np.log(np.maximum(probabilities, 1e-12)), labels)
+
+    def transform(self, logits: np.ndarray) -> np.ndarray:
+        """Calibrated probabilities for new logits."""
+        if not self._fitted:
+            raise RuntimeError("TemperatureScaler.fit must be called first")
+        logits = np.asarray(logits, dtype=np.float64)
+        return _stable_softmax(logits / self.temperature)
+
+    def transform_probabilities(self, probabilities: np.ndarray) -> np.ndarray:
+        """Calibrated probabilities from uncalibrated softmax outputs."""
+        if not self._fitted:
+            raise RuntimeError("TemperatureScaler.fit must be called first")
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        return _stable_softmax(
+            np.log(np.maximum(probabilities, 1e-12)) / self.temperature
+        )

@@ -1,0 +1,130 @@
+"""``ConCHClassifier``: a scikit-learn-style convenience wrapper.
+
+Bundles preprocessing + training + prediction behind ``fit`` / ``predict``
+/ ``predict_scores`` so downstream users who just want "an HIN classifier"
+don't have to touch the pipeline pieces.  Also supports saving/loading
+trained weights.
+
+Example
+-------
+>>> from repro.core import ConCHClassifier
+>>> from repro.data import load_dataset, stratified_split
+>>> dataset = load_dataset("dblp")
+>>> split = stratified_split(dataset.labels, 0.1)
+>>> clf = ConCHClassifier(k=5, num_layers=2, epochs=100)
+>>> clf.fit(dataset, split)                      # doctest: +SKIP
+>>> predictions = clf.predict()                  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.autograd.tensor import no_grad
+from repro.core.config import ConCHConfig
+from repro.core.trainer import ConCHData, ConCHTrainer, prepare_conch_data
+from repro.data.base import HINDataset
+from repro.data.splits import Split
+
+
+class ConCHClassifier:
+    """High-level fit/predict interface over the ConCH pipeline.
+
+    Keyword arguments are forwarded to :class:`~repro.core.config.ConCHConfig`.
+    """
+
+    def __init__(self, config: Optional[ConCHConfig] = None, **config_kwargs):
+        if config is not None and config_kwargs:
+            raise ValueError("pass either a config object or keyword overrides, not both")
+        self.config = config or ConCHConfig(**config_kwargs)
+        self._trainer: Optional[ConCHTrainer] = None
+        self._data: Optional[ConCHData] = None
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        dataset: HINDataset,
+        split: Split,
+        verbose: bool = False,
+    ) -> "ConCHClassifier":
+        """Preprocess (cached per classifier) and train."""
+        if self._data is None:
+            self._data = prepare_conch_data(dataset, self.config)
+        self._trainer = ConCHTrainer(self._data, self.config).fit(
+            split, verbose=verbose
+        )
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._trainer is not None
+
+    def _require_fitted(self) -> ConCHTrainer:
+        if self._trainer is None:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        return self._trainer
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+
+    def predict(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Predicted labels for ``indices`` (default: all target nodes)."""
+        return self._require_fitted().predict(indices)
+
+    def predict_scores(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Softmax class probabilities ``(n, num_classes)``."""
+        trainer = self._require_fitted()
+        trainer.model.eval()
+        with no_grad():
+            logits, _ = trainer.model(
+                trainer._features, trainer._operators, trainer._context_tensors
+            )
+        shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        if indices is None:
+            return probs
+        return probs[np.asarray(indices)]
+
+    def embeddings(self) -> np.ndarray:
+        """Fused object embeddings ``z`` (Algorithm 1's output)."""
+        return self._require_fitted().embeddings()
+
+    def score(self, indices: np.ndarray) -> Dict[str, float]:
+        """Micro/Macro-F1 on an index set."""
+        return self._require_fitted().evaluate(indices)
+
+    def metapath_weights(self) -> np.ndarray:
+        """Learned semantic attention weights (Fig. 6)."""
+        weights = self._require_fitted().attention_weights()
+        assert weights is not None
+        return weights
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save_weights(self, path: Union[str, Path]) -> None:
+        """Save trained model weights to an ``.npz`` file."""
+        trainer = self._require_fitted()
+        state = trainer.model.state_dict()
+        np.savez(Path(path), **state)
+
+    def load_weights(self, path: Union[str, Path], dataset: HINDataset, split: Split) -> None:
+        """Rebuild the model for ``dataset`` and load weights from disk.
+
+        ``split`` is only used to build the trainer skeleton; no training
+        happens.
+        """
+        if self._data is None:
+            self._data = prepare_conch_data(dataset, self.config)
+        self._trainer = ConCHTrainer(self._data, self.config)
+        loaded = np.load(Path(path))
+        self._trainer.model.load_state_dict({k: loaded[k] for k in loaded.files})

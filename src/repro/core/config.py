@@ -1,0 +1,85 @@
+"""ConCH hyper-parameters (paper §V-C defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class ConCHConfig:
+    """Everything that controls a ConCH run.
+
+    Paper defaults (§V-C): learning rate 0.001, dropout 0.5, ℓ2 penalty
+    0.0005, early-stopping patience 100, output dim 128, k and L per
+    dataset, λ tuned over {0.001, 0.01, 0.1, 1}.
+
+    The scale-sensitive defaults here (dims, epochs) are tuned for the
+    synthetic CPU-scale datasets; shapes match the paper.
+    """
+
+    # Model dimensions.
+    hidden_dim: int = 64
+    out_dim: int = 64
+    context_dim: int = 64        # initial context feature dimensionality
+    attention_dim: int = 32      # hidden width of the semantic-attention MLP
+    classifier_hidden: int = 32  # hidden width of the 2-layer MLP head
+
+    # Structure.
+    k: int = 5                   # top-k neighbors kept per node (§IV-A)
+    num_layers: int = 1          # bipartite-conv layers L
+    # "pathsim" (paper) | "random" (ConCH_rd) | "hetesim" | "joinsim" |
+    # "cosine" (alternative ranking functions, filtering ablation).
+    neighbor_strategy: str = "pathsim"
+    use_contexts: bool = True    # False => ConCH_nc (direct neighbor aggregation)
+    use_attention: bool = True   # False => ConCH_ew (equal meta-path weights)
+    # The paper's Eqs. 4-5 use the sum aggregator; at this reproduction's
+    # scale the un-normalized sum destabilizes training (feature scales
+    # grow with the context count), so the default is the degree-normalized
+    # mean.  Both are implemented; benchmarks/test_ablation.py compares them.
+    aggregator: str = "mean"     # "mean" (default here) | "sum" (paper text)
+    # Algorithm 1 updates contexts before objects, so the object update
+    # consumes the fresh context embeddings ("gauss_seidel").  "jacobi" is
+    # the literal Eq.-5 superscript reading, kept for the ablation bench.
+    update_order: str = "gauss_seidel"  # "gauss_seidel" | "jacobi"
+    max_instances: int = 16      # per-pair cap in context enumeration
+
+    # metapath2vec pretraining for the initial context features (§IV-B).
+    embed_num_walks: int = 10
+    embed_walk_length: int = 40
+    embed_window: int = 5
+    embed_epochs: int = 4
+
+    # Self-supervision.
+    lambda_ss: float = 0.3       # λ in Eq. 14; 0 disables (ConCH_su)
+    training_mode: str = "multitask"  # "multitask" | "supervised" | "finetune"
+
+    # Optimization.
+    lr: float = 0.005
+    dropout: float = 0.5
+    weight_decay: float = 0.0005
+    epochs: int = 300
+    patience: int = 100
+    pretrain_epochs: int = 100   # only used by training_mode="finetune"
+    seed: int = 0
+
+    def __post_init__(self):
+        from repro.hin.neighbors import NeighborFilter
+
+        if self.neighbor_strategy not in NeighborFilter.STRATEGIES:
+            raise ValueError(f"unknown neighbor strategy {self.neighbor_strategy!r}")
+        if self.aggregator not in ("sum", "mean"):
+            raise ValueError(f"unknown aggregator {self.aggregator!r}")
+        if self.update_order not in ("gauss_seidel", "jacobi"):
+            raise ValueError(f"unknown update order {self.update_order!r}")
+        if self.training_mode not in ("multitask", "supervised", "finetune"):
+            raise ValueError(f"unknown training mode {self.training_mode!r}")
+        if self.num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {self.num_layers}")
+        if self.lambda_ss < 0:
+            raise ValueError(f"lambda_ss must be >= 0, got {self.lambda_ss}")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
+
+    def with_overrides(self, **kwargs) -> "ConCHConfig":
+        """Copy with selected fields replaced."""
+        return replace(self, **kwargs)

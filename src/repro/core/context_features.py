@@ -1,0 +1,87 @@
+"""Context feature construction (§IV-B, Eqs. 2–3).
+
+A path instance's embedding is the MEAN of the initial (metapath2vec)
+embeddings of the nodes along it (Eq. 2); a context's initial feature is
+the MEAN of its instances' embeddings (Eq. 3).  Learning context
+embeddings from scratch would add ``O(num_contexts × dim)`` parameters;
+this construction keeps them as fixed inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hin.bipartite import BipartiteGraph
+from repro.hin.context import MetaPathContext
+from repro.hin.metapath import MetaPath
+
+
+def path_instance_embedding(
+    instance: tuple,
+    metapath: MetaPath,
+    embeddings: Dict[str, np.ndarray],
+) -> np.ndarray:
+    """Eq. 2: mean of the node embeddings along one path instance."""
+    node_types = metapath.node_types
+    if len(instance) != len(node_types):
+        raise ValueError(
+            f"instance length {len(instance)} != meta-path length {len(node_types)}"
+        )
+    vectors = [embeddings[t][node] for t, node in zip(node_types, instance)]
+    return np.mean(vectors, axis=0)
+
+
+def context_embedding(
+    context: MetaPathContext,
+    metapath: MetaPath,
+    embeddings: Dict[str, np.ndarray],
+    dim: int,
+) -> np.ndarray:
+    """Eq. 3: mean of the context's instance embeddings.
+
+    An empty context (possible if enumeration was capped at zero, which
+    should not happen for retained pairs) falls back to the mean of the
+    endpoint embeddings.
+    """
+    if context.instances:
+        instance_vectors = [
+            path_instance_embedding(instance, metapath, embeddings)
+            for instance in context.instances
+        ]
+        return np.mean(instance_vectors, axis=0)
+    endpoint_type = metapath.source_type
+    table = embeddings[endpoint_type]
+    return 0.5 * (table[context.u] + table[context.v])
+
+
+def build_context_features(
+    bipartite: BipartiteGraph,
+    embeddings: Dict[str, np.ndarray],
+) -> np.ndarray:
+    """Feature matrix ``(num_contexts, dim)`` for one bipartite graph.
+
+    Parameters
+    ----------
+    bipartite:
+        Must have been built with ``enumerate_instances=True`` so the
+        per-pair instance lists are available.
+    embeddings:
+        Per-type initial embeddings, e.g. from
+        :func:`repro.embedding.metapath2vec.metapath2vec_embeddings`.
+    """
+    if bipartite.contexts is None:
+        raise ValueError(
+            "bipartite graph lacks enumerated contexts; build it with "
+            "enumerate_instances=True"
+        )
+    metapath = bipartite.metapath
+    missing = [t for t in metapath.node_types if t not in embeddings]
+    if missing:
+        raise KeyError(f"missing embeddings for node types {missing}")
+    dim = embeddings[metapath.source_type].shape[1]
+    features = np.zeros((bipartite.num_contexts, dim))
+    for index, context in enumerate(bipartite.contexts):
+        features[index] = context_embedding(context, metapath, embeddings, dim)
+    return features

@@ -1,0 +1,68 @@
+"""Self-supervised machinery (§IV-E, Eqs. 11–13).
+
+ConCH maximizes mutual information between node embeddings and a global
+summary vector ``s = MEAN({z_i})`` (Eq. 11) with a noise-contrastive
+objective (Eq. 12).  The discriminator is the bilinear scorer
+
+    D(z_i, s) = σ(z_i^T · W_D · s)                             (Eq. 13)
+
+Negative samples come from a "negative" bipartite graph: same adjacency,
+rows of the initial object feature matrix randomly shuffled (following
+HDGI [49]).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.layers import Bilinear
+from repro.nn.losses import binary_cross_entropy_with_logits
+from repro.nn.module import Module
+
+
+class Discriminator(Module):
+    """Bilinear node-vs-summary discriminator (Eq. 13).
+
+    ``forward`` returns raw logits; the sigmoid lives inside the stable
+    BCE loss.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.bilinear = Bilinear(dim, dim, rng)
+
+    def forward(self, z: Tensor, summary: Tensor) -> Tensor:
+        return self.bilinear(z, summary)
+
+    def loss(self, z_pos: Tensor, z_neg: Tensor, summary: Tensor) -> Tensor:
+        """Eq. 12: BCE pushing positives to 1 and negatives to 0."""
+        logits_pos = self.forward(z_pos, summary)
+        logits_neg = self.forward(z_neg, summary)
+        loss_pos = binary_cross_entropy_with_logits(
+            logits_pos, np.ones(logits_pos.shape[0])
+        )
+        loss_neg = binary_cross_entropy_with_logits(
+            logits_neg, np.zeros(logits_neg.shape[0])
+        )
+        return (loss_pos + loss_neg) * 0.5
+
+
+def summary_vector(z: Tensor) -> Tensor:
+    """Eq. 11: the mean of all object embeddings."""
+    return z.mean(axis=0)
+
+
+def shuffle_features(features: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Row-shuffle the object feature matrix (negative-graph construction).
+
+    Guaranteed to be a proper derangement-ish shuffle for n >= 2: if the
+    permutation happens to be the identity, it is rolled by one.
+    """
+    n = features.shape[0]
+    permutation = rng.permutation(n)
+    if n > 1 and np.array_equal(permutation, np.arange(n)):
+        permutation = np.roll(permutation, 1)
+    return features[permutation]

@@ -1,0 +1,234 @@
+"""Mini-batch ConCH training.
+
+The paper trains full-batch and notes the per-meta-path computations are
+independent, so ConCH "can be easily parallelized" (§IV-E).  The other
+lever for scale is batching over *objects*: because the top-k filter
+bounds every object's contexts by ``k`` and every context touches at most
+two objects, slicing the bipartite graph to a batch of objects keeps at
+most ``k·|batch|`` contexts — the working set is O(batch), not O(n).
+
+:class:`MiniBatchConCHTrainer` trains on shuffled object batches:
+
+- the supervised loss uses the labeled nodes inside the batch,
+- the self-supervised loss contrasts the batch against its own summary
+  vector (a minibatch estimate of Eq. 11's global mean),
+- contexts whose second endpoint falls outside the batch still aggregate
+  it — the operator rows are sliced, not the context set — so no
+  boundary information is lost.
+
+Inference always runs full-batch (deterministic, and cheap relative to
+training).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.core.config import ConCHConfig
+from repro.core.discriminator import shuffle_features
+from repro.core.model import ConCH
+from repro.core.trainer import ConCHData
+from repro.data.splits import Split
+from repro.eval.metrics import macro_f1, micro_f1
+from repro.eval.timing import ConvergenceRecorder
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.schedulers import EarlyStopping
+
+
+def slice_operator(
+    operator: sp.csr_matrix, batch: np.ndarray, square: bool
+) -> sp.csr_matrix:
+    """Restrict an operator to a batch of object rows.
+
+    For the bipartite incidence (``square=False``) only rows are sliced:
+    every context incident to a batch object is kept, including ones whose
+    other endpoint is outside the batch.  For the neighbor adjacency of
+    the ``ConCH_nc`` mode (``square=True``) both axes are sliced, keeping
+    within-batch edges only.
+    """
+    sliced = operator.tocsr()[batch]
+    if square:
+        sliced = sliced.tocsc()[:, batch].tocsr()
+    return sliced
+
+
+def iterate_batches(
+    num_objects: int, batch_size: int, rng: np.random.Generator
+) -> Iterator[np.ndarray]:
+    """Shuffled index batches covering every object exactly once."""
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    order = rng.permutation(num_objects)
+    for start in range(0, num_objects, batch_size):
+        yield order[start: start + batch_size]
+
+
+class MiniBatchConCHTrainer:
+    """Trains ConCH on object mini-batches.
+
+    Semantics match :class:`~repro.core.trainer.ConCHTrainer` with
+    ``training_mode`` restricted to ``"multitask"`` and ``"supervised"``
+    (fine-tuning's pretrain stage is full-batch by construction; use the
+    full-batch trainer for ``ConCH_ft``).
+
+    Parameters
+    ----------
+    data:
+        Preprocessed inputs from
+        :func:`~repro.core.trainer.prepare_conch_data`.
+    config:
+        Hyper-parameters.
+    batch_size:
+        Objects per batch; ``None`` or ``>= n`` degenerates to full-batch.
+    """
+
+    def __init__(
+        self,
+        data: ConCHData,
+        config: ConCHConfig,
+        batch_size: Optional[int] = None,
+    ):
+        if config.training_mode == "finetune":
+            raise ValueError(
+                "mini-batch training supports multitask/supervised modes; "
+                "use ConCHTrainer for the finetune ablation"
+            )
+        self.data = data
+        self.config = config
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size if batch_size is not None else data.num_objects
+        self.rng = np.random.default_rng(config.seed + 1)
+        self.model = ConCH(
+            feature_dim=data.feature_dim,
+            context_dim=data.context_dim,
+            num_metapaths=len(data.metapath_data),
+            num_classes=data.num_classes,
+            config=config,
+            rng=np.random.default_rng(config.seed + 2),
+        )
+        self.recorder = ConvergenceRecorder(method="ConCH-minibatch")
+        self._full_operators = [
+            m.incidence if config.use_contexts else m.neighbor_adj
+            for m in data.metapath_data
+        ]
+        self._context_tensors = [
+            Tensor(m.context_features) for m in data.metapath_data
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Batch machinery
+    # ------------------------------------------------------------------ #
+
+    def _batch_inputs(
+        self, batch: np.ndarray, features: np.ndarray
+    ) -> Tuple[Tensor, List[sp.csr_matrix]]:
+        square = not self.config.use_contexts
+        operators = [
+            slice_operator(op, batch, square) for op in self._full_operators
+        ]
+        return Tensor(features[batch]), operators
+
+    def _batch_loss(
+        self, batch: np.ndarray, train_mask: np.ndarray
+    ) -> Optional[Tensor]:
+        """Multi-task loss on one batch; None if it has nothing to learn from."""
+        use_ss = (
+            self.config.training_mode == "multitask" and self.config.lambda_ss > 0
+        )
+        x, operators = self._batch_inputs(batch, self.data.features)
+        labeled = np.flatnonzero(train_mask[batch])
+        if labeled.size == 0 and not use_ss:
+            return None
+        z = self.model.embed(x, operators, self._context_tensors)
+        total: Optional[Tensor] = None
+        if labeled.size:
+            logits = self.model.classify(z)
+            total = cross_entropy(
+                logits[labeled], self.data.labels[batch][labeled]
+            )
+        if use_ss and batch.size >= 2:
+            shuffled = Tensor(
+                shuffle_features(self.data.features[batch], self.rng)
+            )
+            z_neg = self.model.embed(
+                shuffled, operators, self._context_tensors, record_attention=False
+            )
+            weighted = (
+                self.model.self_supervised_loss(z, z_neg) * self.config.lambda_ss
+            )
+            total = weighted if total is None else total + weighted
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    def fit(self, split: Split, verbose: bool = False) -> "MiniBatchConCHTrainer":
+        """Mini-batch epochs with full-batch validation early stopping."""
+        optimizer = Adam(
+            self.model.parameters(),
+            lr=self.config.lr,
+            weight_decay=self.config.weight_decay,
+        )
+        train_mask = np.zeros(self.data.num_objects, dtype=bool)
+        train_mask[split.train] = True
+        stopper = EarlyStopping(patience=self.config.patience, mode="max")
+        self.recorder.start()
+        for epoch in range(self.config.epochs):
+            self.model.train()
+            epoch_losses: List[float] = []
+            for batch in iterate_batches(
+                self.data.num_objects, self.batch_size, self.rng
+            ):
+                loss = self._batch_loss(batch, train_mask)
+                if loss is None:
+                    continue
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+
+            val_metric = self.evaluate(split.val)["micro_f1"]
+            mean_loss = float(np.mean(epoch_losses)) if epoch_losses else 0.0
+            self.recorder.log(epoch, mean_loss, val_metric)
+            if verbose and epoch % 20 == 0:
+                print(
+                    f"[minibatch] epoch {epoch:3d} loss {mean_loss:.4f} "
+                    f"val micro-F1 {val_metric:.4f}"
+                )
+            if stopper.step(val_metric, self.model, epoch):
+                break
+        stopper.restore(self.model)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Inference (full-batch)
+    # ------------------------------------------------------------------ #
+
+    def predict(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        self.model.eval()
+        with no_grad():
+            logits, _ = self.model(
+                Tensor(self.data.features),
+                self._full_operators,
+                self._context_tensors,
+            )
+        predictions = logits.argmax(axis=1)
+        if indices is None:
+            return predictions
+        return predictions[np.asarray(indices)]
+
+    def evaluate(self, indices: np.ndarray) -> Dict[str, float]:
+        indices = np.asarray(indices)
+        predictions = self.predict(indices)
+        truth = self.data.labels[indices]
+        return {
+            "micro_f1": micro_f1(truth, predictions),
+            "macro_f1": macro_f1(truth, predictions, self.data.num_classes),
+        }

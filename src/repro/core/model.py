@@ -1,0 +1,209 @@
+"""The ConCH model (§IV, Fig. 2).
+
+Per meta-path, a stack of :class:`~repro.core.bipartite_conv.BipartiteConv`
+layers mutually updates object and context embeddings (steps { in Fig. 2);
+semantic attention fuses the per-meta-path object embeddings (step |);
+a two-layer MLP predicts labels (step }, Eq. 9); and a bilinear
+discriminator scores node/summary pairs for the self-supervised loss
+(steps ~/, Eqs. 11–13).
+
+The same ``embed`` pass is reused for the "negative" bipartite graphs by
+feeding shuffled object features (the adjacency stays fixed).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.core.bipartite_conv import BipartiteConv, NeighborConv
+from repro.core.config import ConCHConfig
+from repro.core.discriminator import Discriminator, summary_vector
+from repro.core.semantic_attention import EqualWeightFusion, SemanticAttention
+from repro.nn.layers import Dropout, MLP
+from repro.nn.module import Module, ModuleList
+
+
+class _MetaPathStack(Module):
+    """The per-meta-path tower: L conv layers (with or without contexts)."""
+
+    def __init__(
+        self,
+        feature_dim: int,
+        context_dim: int,
+        config: ConCHConfig,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.use_contexts = config.use_contexts
+        self.layers = ModuleList()
+        dims_out = [
+            config.hidden_dim if layer < config.num_layers - 1 else config.out_dim
+            for layer in range(config.num_layers)
+        ]
+        obj_in, ctx_in = feature_dim, context_dim
+        for out_dim in dims_out:
+            if self.use_contexts:
+                self.layers.append(
+                    BipartiteConv(
+                        obj_in,
+                        ctx_in,
+                        out_dim,
+                        rng,
+                        config.aggregator,
+                        jacobi=config.update_order == "jacobi",
+                    )
+                )
+            else:
+                self.layers.append(
+                    NeighborConv(obj_in, out_dim, rng, config.aggregator)
+                )
+            obj_in = ctx_in = out_dim
+
+    def forward(
+        self,
+        operator: sp.csr_matrix,
+        h_objects: Tensor,
+        h_contexts: Optional[Tensor],
+    ) -> Tensor:
+        for layer in self.layers:
+            if self.use_contexts:
+                h_objects, h_contexts = layer(operator, h_objects, h_contexts)
+            else:
+                h_objects = layer(operator, h_objects)
+        return h_objects
+
+
+class ConCH(Module):
+    """ConCH: context-aware heterogeneous graph classification model.
+
+    Parameters
+    ----------
+    feature_dim:
+        Dimensionality of the target objects' input features.
+    context_dim:
+        Dimensionality of the initial context features (metapath2vec dim).
+    num_metapaths:
+        Number of meta-paths (towers).
+    num_classes:
+        Label count ``r``.
+    config:
+        Hyper-parameters; see :class:`~repro.core.config.ConCHConfig`.
+    rng:
+        Generator used for initialization and dropout.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int,
+        context_dim: int,
+        num_metapaths: int,
+        num_classes: int,
+        config: ConCHConfig,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if num_metapaths < 1:
+            raise ValueError("ConCH needs at least one meta-path")
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.config = config
+        self.num_metapaths = num_metapaths
+        self.num_classes = num_classes
+
+        self.input_dropout = Dropout(config.dropout, rng)
+        self.towers = ModuleList(
+            [
+                _MetaPathStack(feature_dim, context_dim, config, rng)
+                for _ in range(num_metapaths)
+            ]
+        )
+        if config.use_attention:
+            self.fusion = SemanticAttention(config.out_dim, config.attention_dim, rng)
+        else:
+            self.fusion = EqualWeightFusion()
+        # Eq. 9: two-layer MLP label head (W7 · ReLU(W8 · z)).
+        self.classifier = MLP(
+            [config.out_dim, config.classifier_hidden, num_classes],
+            rng,
+            dropout=config.dropout,
+        )
+        self.discriminator = Discriminator(config.out_dim, rng)
+        self._last_attention: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Forward passes
+    # ------------------------------------------------------------------ #
+
+    def embed(
+        self,
+        features: Tensor,
+        operators: Sequence[sp.csr_matrix],
+        context_features: Sequence[Optional[Tensor]],
+        record_attention: bool = True,
+    ) -> Tensor:
+        """Steps {–| of Fig. 2: per-meta-path conv then semantic fusion.
+
+        Parameters
+        ----------
+        features:
+            Object feature matrix ``(n, feature_dim)``.
+        operators:
+            Per meta-path, the bipartite incidence (contexts mode) or the
+            filtered neighbor adjacency (``ConCH_nc`` mode).
+        context_features:
+            Per meta-path, the initial context features ``(m_P, context_dim)``
+            (ignored / may be None in ``ConCH_nc`` mode).
+        """
+        if len(operators) != self.num_metapaths:
+            raise ValueError(
+                f"expected {self.num_metapaths} operators, got {len(operators)}"
+            )
+        h0 = self.input_dropout(features)
+        per_path: List[Tensor] = []
+        for tower, operator, ctx in zip(self.towers, operators, context_features):
+            per_path.append(tower(operator, h0, ctx))
+        z, weights = self.fusion(per_path)
+        if record_attention:
+            self._last_attention = weights
+        return z
+
+    def classify(self, z: Tensor) -> Tensor:
+        """Eq. 9: logits ``(n, num_classes)`` from fused embeddings."""
+        return self.classifier(z)
+
+    def forward(
+        self,
+        features: Tensor,
+        operators: Sequence[sp.csr_matrix],
+        context_features: Sequence[Optional[Tensor]],
+    ) -> Tuple[Tensor, Tensor]:
+        """Full pass; returns ``(logits, z)``."""
+        z = self.embed(features, operators, context_features)
+        return self.classify(z), z
+
+    # ------------------------------------------------------------------ #
+    # Self-supervision helpers
+    # ------------------------------------------------------------------ #
+
+    def self_supervised_loss(self, z_pos: Tensor, z_neg: Tensor) -> Tensor:
+        """Eqs. 11–13 with the summary from the positive pass."""
+        summary = summary_vector(z_pos)
+        return self.discriminator.loss(z_pos, z_neg, summary)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def attention_weights(self) -> Optional[np.ndarray]:
+        """Per-node meta-path attention weights from the last forward."""
+        return self._last_attention
+
+    def mean_attention_weights(self) -> Optional[np.ndarray]:
+        """Fig. 6: average learned weight of each meta-path."""
+        if self._last_attention is None:
+            return None
+        return self._last_attention.mean(axis=0)

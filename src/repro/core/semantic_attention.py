@@ -1,0 +1,100 @@
+"""Semantic (meta-path-level) attention fusion (§IV-D, Eqs. 6–8).
+
+Per node ``x_i`` and meta-path ``P``, a two-layer MLP scores the
+per-meta-path embedding:
+
+    w̃_i^P = a^T · ξ( W5 · tanh(W6 · h_i^P) )                  (Eq. 6)
+
+scores are softmax-normalized across meta-paths (Eq. 7) and the final
+embedding is ``z_i = ReLU(Σ_P w_i^P · h_i^P)`` (Eq. 8).
+
+The ``ConCH_ew`` ablation bypasses the attention and uses equal weights.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.init import glorot_uniform
+from repro.nn.module import Module, Parameter
+
+
+class SemanticAttention(Module):
+    """Attention over per-meta-path node embeddings."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        attention_dim: int,
+        rng: np.random.Generator,
+        negative_slope: float = 0.01,
+    ):
+        super().__init__()
+        self.in_dim = in_dim
+        self.attention_dim = attention_dim
+        self.negative_slope = negative_slope
+        self.w6 = Parameter(glorot_uniform((attention_dim, in_dim), rng), name="W6")
+        self.w5 = Parameter(glorot_uniform((attention_dim, attention_dim), rng), name="W5")
+        self.a = Parameter(glorot_uniform((attention_dim,), rng), name="a")
+        self._last_weights: Optional[np.ndarray] = None
+
+    def scores(self, per_path: List[Tensor]) -> Tensor:
+        """Raw (pre-softmax) scores, shape ``(n, num_paths)``."""
+        columns = []
+        for h in per_path:
+            hidden = (h @ self.w6.T).tanh()              # (n, att)
+            hidden = (hidden @ self.w5.T).leaky_relu(self.negative_slope)
+            columns.append(hidden @ self.a)              # (n,)
+        return ops.stack(columns, axis=1)
+
+    def forward(self, per_path: List[Tensor]) -> Tuple[Tensor, np.ndarray]:
+        """Fuse per-meta-path embeddings.
+
+        Returns
+        -------
+        (z, weights):
+            ``z`` — fused embeddings ``(n, in_dim)`` (Eq. 8);
+            ``weights`` — detached per-node attention weights
+            ``(n, num_paths)`` for analysis (Fig. 6).
+        """
+        if not per_path:
+            raise ValueError("semantic attention needs at least one meta-path")
+        if len(per_path) == 1:
+            z = per_path[0].relu()
+            weights = np.ones((per_path[0].shape[0], 1))
+            self._last_weights = weights
+            return z, weights
+
+        raw = self.scores(per_path)                      # (n, q)
+        weights = ops.softmax(raw, axis=1)               # Eq. 7
+        stacked = ops.stack(per_path, axis=1)            # (n, q, d)
+        expanded = weights.reshape(weights.shape[0], weights.shape[1], 1)
+        fused = (stacked * expanded).sum(axis=1)         # (n, d)
+        z = fused.relu()                                 # Eq. 8
+        self._last_weights = weights.data.copy()
+        return z, self._last_weights
+
+    def mean_weights(self) -> Optional[np.ndarray]:
+        """Average attention weight per meta-path from the last forward."""
+        if self._last_weights is None:
+            return None
+        return self._last_weights.mean(axis=0)
+
+
+class EqualWeightFusion(Module):
+    """``ConCH_ew``: average the per-meta-path embeddings with equal weights."""
+
+    def forward(self, per_path: List[Tensor]) -> Tuple[Tensor, np.ndarray]:
+        if not per_path:
+            raise ValueError("fusion needs at least one meta-path")
+        num_paths = len(per_path)
+        total = per_path[0]
+        for h in per_path[1:]:
+            total = total + h
+        z = (total * (1.0 / num_paths)).relu()
+        weights = np.full((per_path[0].shape[0], num_paths), 1.0 / num_paths)
+        return z, weights

@@ -1,0 +1,295 @@
+"""ConCH preprocessing and training (§IV-E, Algorithm 1).
+
+Preprocessing (:func:`prepare_conch_data`) is done once per (dataset, k,
+strategy) — exactly as the paper performs neighbor filtering and context
+feature extraction offline.  Training (:class:`ConCHTrainer`) then runs
+the multi-task objective with Adam and early stopping.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.core.bipartite_conv import neighbor_adjacency_from_pairs
+from repro.core.config import ConCHConfig
+from repro.core.context_features import build_context_features
+from repro.core.discriminator import shuffle_features
+from repro.core.model import ConCH
+from repro.data.base import HINDataset
+from repro.data.splits import Split
+from repro.embedding.metapath2vec import metapath2vec_embeddings
+from repro.eval.metrics import macro_f1, micro_f1
+from repro.eval.timing import ConvergenceRecorder
+from repro.hin.bipartite import BipartiteGraph, build_bipartite_graph
+from repro.hin.metapath import MetaPath
+from repro.hin.neighbors import NeighborFilter
+from repro.nn.losses import cross_entropy
+from repro.nn.optim import Adam
+from repro.nn.schedulers import EarlyStopping
+
+
+@dataclass
+class MetaPathData:
+    """Preprocessed per-meta-path inputs."""
+
+    metapath: MetaPath
+    incidence: sp.csr_matrix          # objects × contexts
+    context_features: np.ndarray      # (num_contexts, context_dim)
+    neighbor_adj: sp.csr_matrix       # objects × objects (for ConCH_nc)
+
+    @property
+    def num_contexts(self) -> int:
+        return self.incidence.shape[1]
+
+
+@dataclass
+class ConCHData:
+    """Everything the trainer needs, preprocessed."""
+
+    name: str
+    features: np.ndarray              # (n, feature_dim) target object features
+    labels: np.ndarray                # (n,)
+    num_classes: int
+    metapath_data: List[MetaPathData]
+    preprocess_seconds: float = 0.0
+
+    @property
+    def num_objects(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def feature_dim(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def context_dim(self) -> int:
+        return self.metapath_data[0].context_features.shape[1]
+
+    @property
+    def metapaths(self) -> List[MetaPath]:
+        return [m.metapath for m in self.metapath_data]
+
+
+def prepare_conch_data(
+    dataset: HINDataset,
+    config: ConCHConfig,
+    embeddings: Optional[Dict[str, np.ndarray]] = None,
+) -> ConCHData:
+    """Offline steps x–z of Fig. 2 plus context feature construction.
+
+    Parameters
+    ----------
+    dataset:
+        A classification-ready HIN bundle.
+    config:
+        Controls ``k``, the neighbor strategy, the context embedding
+        dimensionality and the per-pair instance cap.
+    embeddings:
+        Optional precomputed per-type initial embeddings (else
+        metapath2vec is trained here, as in the paper).
+    """
+    start = time.perf_counter()
+    rng = np.random.default_rng(config.seed)
+    hin = dataset.hin
+
+    if config.use_contexts and embeddings is None:
+        embeddings = metapath2vec_embeddings(
+            hin,
+            dataset.metapaths,
+            dim=config.context_dim,
+            num_walks=config.embed_num_walks,
+            walk_length=config.embed_walk_length,
+            window=config.embed_window,
+            epochs=config.embed_epochs,
+            seed=config.seed,
+        )
+
+    neighbor_filter = NeighborFilter(k=config.k, strategy=config.neighbor_strategy)
+    num_objects = dataset.num_targets
+    metapath_data: List[MetaPathData] = []
+    for metapath in dataset.metapaths:
+        bipartite = build_bipartite_graph(
+            hin,
+            metapath,
+            neighbor_filter,
+            rng=rng,
+            enumerate_instances=config.use_contexts,
+            max_instances=config.max_instances,
+        )
+        if config.use_contexts:
+            context_features = build_context_features(bipartite, embeddings)
+        else:
+            context_features = np.zeros((bipartite.num_contexts, config.context_dim))
+        neighbor_adj = neighbor_adjacency_from_pairs(bipartite.pairs, num_objects)
+        metapath_data.append(
+            MetaPathData(
+                metapath=metapath,
+                incidence=bipartite.incidence,
+                context_features=context_features,
+                neighbor_adj=neighbor_adj,
+            )
+        )
+
+    return ConCHData(
+        name=dataset.name,
+        features=dataset.features,
+        labels=dataset.labels,
+        num_classes=dataset.num_classes,
+        metapath_data=metapath_data,
+        preprocess_seconds=time.perf_counter() - start,
+    )
+
+
+class ConCHTrainer:
+    """Trains a :class:`~repro.core.model.ConCH` model on prepared data.
+
+    Supports the three training modes of the ablation study:
+
+    - ``multitask`` (paper default): ``L = L_sup + λ·L_ss`` per epoch.
+    - ``supervised`` (``ConCH_su``): ``L = L_sup`` only.
+    - ``finetune`` (``ConCH_ft``): ``pretrain_epochs`` of ``L_ss`` only,
+      then supervised fine-tuning with early stopping.
+    """
+
+    def __init__(self, data: ConCHData, config: ConCHConfig):
+        self.data = data
+        self.config = config
+        self.rng = np.random.default_rng(config.seed + 1)
+        self.model = ConCH(
+            feature_dim=data.feature_dim,
+            context_dim=data.context_dim,
+            num_metapaths=len(data.metapath_data),
+            num_classes=data.num_classes,
+            config=config,
+            rng=np.random.default_rng(config.seed + 2),
+        )
+        self.recorder = ConvergenceRecorder(method="ConCH")
+        self._features = Tensor(data.features)
+        self._context_tensors = [
+            Tensor(m.context_features) for m in data.metapath_data
+        ]
+        self._operators = [
+            m.incidence if config.use_contexts else m.neighbor_adj
+            for m in data.metapath_data
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Forward helpers
+    # ------------------------------------------------------------------ #
+
+    def _embed(self, features: Tensor, record_attention: bool = True) -> Tensor:
+        return self.model.embed(
+            features, self._operators, self._context_tensors, record_attention
+        )
+
+    def _epoch_losses(self, split: Split, use_sup: bool, use_ss: bool):
+        """One optimization step's loss; returns (total, z)."""
+        z = self._embed(self._features)
+        total = None
+        if use_sup:
+            logits = self.model.classify(z)
+            total = cross_entropy(
+                logits[split.train], self.data.labels[split.train]
+            )
+        if use_ss and self.config.lambda_ss > 0:
+            shuffled = Tensor(shuffle_features(self.data.features, self.rng))
+            z_neg = self._embed(shuffled, record_attention=False)
+            loss_ss = self.model.self_supervised_loss(z, z_neg)
+            weighted = loss_ss * self.config.lambda_ss
+            total = weighted if total is None else total + weighted
+        if total is None:
+            raise RuntimeError("epoch requested with neither loss term enabled")
+        return total, z
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+
+    def fit(self, split: Split, verbose: bool = False) -> "ConCHTrainer":
+        """Train with the configured mode; restores the best val weights."""
+        mode = self.config.training_mode
+        optimizer = Adam(
+            self.model.parameters(),
+            lr=self.config.lr,
+            weight_decay=self.config.weight_decay,
+        )
+        self.recorder.start()
+
+        if mode == "finetune":
+            # Stage 1: self-supervised pretraining only.
+            for _ in range(self.config.pretrain_epochs):
+                self.model.train()
+                optimizer.zero_grad()
+                loss, _ = self._epoch_losses(split, use_sup=False, use_ss=True)
+                loss.backward()
+                optimizer.step()
+            # Stage 2 below runs supervised-only.
+            use_ss = False
+        else:
+            use_ss = mode == "multitask"
+
+        stopper = EarlyStopping(patience=self.config.patience, mode="max")
+        for epoch in range(self.config.epochs):
+            self.model.train()
+            optimizer.zero_grad()
+            loss, _ = self._epoch_losses(split, use_sup=True, use_ss=use_ss)
+            loss.backward()
+            optimizer.step()
+
+            val_metric = self.evaluate(split.val)["micro_f1"]
+            self.recorder.log(epoch, loss.item(), val_metric)
+            if verbose and epoch % 20 == 0:
+                print(
+                    f"[{self.data.name}] epoch {epoch:3d} "
+                    f"loss {loss.item():.4f} val micro-F1 {val_metric:.4f}"
+                )
+            if stopper.step(val_metric, self.model, epoch):
+                break
+        stopper.restore(self.model)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+
+    def predict(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Predicted labels for the given indices (default: all objects)."""
+        self.model.eval()
+        with no_grad():
+            logits, _ = self.model(
+                self._features, self._operators, self._context_tensors
+            )
+        predictions = logits.argmax(axis=1)
+        if indices is None:
+            return predictions
+        return predictions[np.asarray(indices)]
+
+    def embeddings(self) -> np.ndarray:
+        """Final fused object embeddings ``{z_i}`` (Algorithm 1 output)."""
+        self.model.eval()
+        with no_grad():
+            z = self._embed(self._features)
+        return z.data.copy()
+
+    def evaluate(self, indices: np.ndarray) -> Dict[str, float]:
+        """Micro/Macro-F1 on an index set."""
+        indices = np.asarray(indices)
+        predictions = self.predict(indices)
+        truth = self.data.labels[indices]
+        return {
+            "micro_f1": micro_f1(truth, predictions),
+            "macro_f1": macro_f1(truth, predictions, self.data.num_classes),
+        }
+
+    def attention_weights(self) -> Optional[np.ndarray]:
+        """Mean learned meta-path weights (Fig. 6) from the last forward."""
+        self.model.eval()
+        with no_grad():
+            self._embed(self._features)
+        return self.model.mean_attention_weights()

@@ -1,0 +1,64 @@
+"""Ablation variants of ConCH (§V-E).
+
+Each variant is a config transformation over a base
+:class:`~repro.core.config.ConCHConfig`:
+
+========  =====================================================
+variant   change
+========  =====================================================
+``full``  the complete model (paper's ConCH)
+``nc``    no mp-contexts — direct neighbor aggregation
+``rd``    random-k neighbor selection instead of PathSim top-k
+``su``    supervised loss only (no self-supervision)
+``ft``    pretrain on L_ss, then fine-tune on L_sup
+``ew``    equal meta-path weights (no semantic attention)
+========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.config import ConCHConfig
+
+
+def _full(config: ConCHConfig) -> ConCHConfig:
+    return config
+
+
+def _nc(config: ConCHConfig) -> ConCHConfig:
+    return config.with_overrides(use_contexts=False)
+
+
+def _rd(config: ConCHConfig) -> ConCHConfig:
+    return config.with_overrides(neighbor_strategy="random")
+
+
+def _su(config: ConCHConfig) -> ConCHConfig:
+    return config.with_overrides(training_mode="supervised", lambda_ss=0.0)
+
+
+def _ft(config: ConCHConfig) -> ConCHConfig:
+    return config.with_overrides(training_mode="finetune")
+
+
+def _ew(config: ConCHConfig) -> ConCHConfig:
+    return config.with_overrides(use_attention=False)
+
+
+VARIANTS: Dict[str, Callable[[ConCHConfig], ConCHConfig]] = {
+    "full": _full,
+    "nc": _nc,
+    "rd": _rd,
+    "su": _su,
+    "ft": _ft,
+    "ew": _ew,
+}
+
+
+def variant_config(name: str, base: ConCHConfig) -> ConCHConfig:
+    """Config for a named ablation variant derived from ``base``."""
+    key = name.lower()
+    if key not in VARIANTS:
+        raise KeyError(f"unknown ConCH variant {name!r}; known: {sorted(VARIANTS)}")
+    return VARIANTS[key](base)

@@ -1,0 +1,147 @@
+"""Shared dataset plumbing: the :class:`HINDataset` container and feature
+synthesis helpers used by all generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hin.graph import HIN
+from repro.hin.metapath import MetaPath
+
+
+@dataclass
+class HINDataset:
+    """A classification-ready HIN bundle.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"dblp"``, ``"yelp"``, ...).
+    hin:
+        The network; features for every node type and labels for
+        ``target_type`` are already attached.
+    target_type:
+        The node type to classify.
+    metapaths:
+        The paper's meta-path set for this dataset.
+    class_names:
+        Human-readable label names, index-aligned with label ids.
+    """
+
+    name: str
+    hin: HIN
+    target_type: str
+    metapaths: List[MetaPath]
+    class_names: List[str]
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.hin.labels(self.target_type)
+
+    @property
+    def features(self) -> np.ndarray:
+        return self.hin.features(self.target_type)
+
+    @property
+    def num_targets(self) -> int:
+        return self.hin.num_nodes(self.target_type)
+
+    def validate(self) -> "HINDataset":
+        """Sanity-check the bundle; raises on inconsistency."""
+        schema = self.hin.schema()
+        for metapath in self.metapaths:
+            metapath.validate(schema)
+            if not metapath.endpoints_match(self.target_type):
+                raise ValueError(
+                    f"meta-path {metapath.name!r} does not start/end at "
+                    f"target type {self.target_type!r}"
+                )
+        labels = self.labels
+        if labels.min() < 0 or labels.max() >= self.num_classes:
+            raise ValueError("labels out of range for declared classes")
+        present = np.unique(labels)
+        if present.size < self.num_classes:
+            raise ValueError(
+                f"only {present.size}/{self.num_classes} classes present in labels"
+            )
+        return self
+
+    def __repr__(self) -> str:
+        paths = ", ".join(m.name for m in self.metapaths)
+        return (
+            f"HINDataset({self.name!r}, target={self.target_type!r}, "
+            f"n={self.num_targets}, classes={self.num_classes}, metapaths=[{paths}])"
+        )
+
+
+def class_prototypes(
+    rng: np.random.Generator, num_classes: int, dim: int, separation: float = 1.0
+) -> np.ndarray:
+    """Random unit-ish prototype vector per class, scaled by ``separation``.
+
+    Stands in for "the average GloVe embedding of an area's keywords": each
+    class gets a direction in feature space; instances scatter around it.
+    """
+    prototypes = rng.normal(0.0, 1.0, size=(num_classes, dim))
+    norms = np.linalg.norm(prototypes, axis=1, keepdims=True)
+    return separation * prototypes / norms
+
+
+def noisy_features(
+    prototypes: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    noise: float = 1.0,
+) -> np.ndarray:
+    """Per-node features = class prototype + isotropic Gaussian noise."""
+    labels = np.asarray(labels)
+    dim = prototypes.shape[1]
+    return prototypes[labels] + rng.normal(0.0, noise, size=(labels.shape[0], dim))
+
+
+def mixture_labels(
+    rng: np.random.Generator, count: int, num_classes: int, skew: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Sample labels, optionally with a non-uniform class prior ``skew``.
+
+    Guarantees every class appears at least once (resamples the first
+    ``num_classes`` entries deterministically if needed).
+    """
+    if count < num_classes:
+        raise ValueError(f"need at least {num_classes} nodes, got {count}")
+    if skew is None:
+        labels = rng.integers(0, num_classes, size=count)
+    else:
+        skew = np.asarray(skew, dtype=np.float64)
+        skew = skew / skew.sum()
+        labels = rng.choice(num_classes, size=count, p=skew)
+    # Ensure coverage of all classes.
+    present = set(np.unique(labels).tolist())
+    missing = [c for c in range(num_classes) if c not in present]
+    for slot, cls in enumerate(missing):
+        labels[slot] = cls
+    return labels.astype(np.int64)
+
+
+def biased_choice(
+    rng: np.random.Generator,
+    own_pool: np.ndarray,
+    other_pool: np.ndarray,
+    affinity: float,
+) -> int:
+    """Pick from ``own_pool`` with probability ``affinity``, else from the other.
+
+    The basic mechanism for planting label-correlated edges: e.g. an author
+    publishing at a venue of their own research area with probability
+    ``affinity``.
+    """
+    use_own = own_pool.size > 0 and (other_pool.size == 0 or rng.random() < affinity)
+    pool = own_pool if use_own else other_pool
+    return int(pool[rng.integers(0, pool.size)])

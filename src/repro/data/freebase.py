@@ -1,0 +1,132 @@
+"""Synthetic Freebase-Movie HIN.
+
+Schema (paper §V-A): Movies (M), Actors (A), Directors (D), Producers (P);
+relations M–A, M–D, M–P.  The task is to classify movies into three genres
+{Action, Comedy, Drama}.  Meta-paths: {MAM, MDM, MPM}.
+
+Planted structure mirrors the paper's findings:
+
+- Actors, directors and producers all have *moderate* genre affinity, so
+  all three meta-paths are useful with ``MAM``/``MDM`` slightly stronger
+  than ``MPM`` (Fig. 6c).
+- Movies carry only one-hot identity features (the paper encodes movies
+  one-hot), so absolutely everything must come from structure — and the
+  genre signal is deliberately noisy, which keeps absolute F1 well below
+  DBLP/Yelp as in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.data.base import HINDataset, mixture_labels
+from repro.hin.graph import HIN
+from repro.hin.metapath import MetaPath
+
+CLASS_NAMES = ["Action", "Comedy", "Drama"]
+
+
+@dataclass
+class FreebaseConfig:
+    """Knobs for the synthetic Freebase generator (~6x scale-down).
+
+    The movie count is kept high enough that a 2% training fraction still
+    yields ~12 labeled movies; at a 10x scale-down the 2% regime would
+    have only ~7 labels, far harsher than the paper's (~70 labels).
+    """
+
+    num_movies: int = 600
+    num_actors: int = 1800
+    num_directors: int = 300
+    num_producers: int = 500
+    actors_per_movie: int = 6
+    directors_per_movie: int = 1
+    producers_per_movie: int = 2
+    actor_affinity: float = 0.62
+    director_affinity: float = 0.66
+    producer_affinity: float = 0.55
+    seed: int = 0
+
+
+def _attach(
+    rng: np.random.Generator,
+    movie_labels: np.ndarray,
+    pools: List[np.ndarray],
+    per_movie: int,
+    affinity: float,
+    population: int,
+) -> tuple:
+    """Connect each movie to ``per_movie`` crew members with genre affinity."""
+    src: List[int] = []
+    dst: List[int] = []
+    for movie, genre in enumerate(movie_labels):
+        chosen = set()
+        for _ in range(per_movie):
+            if rng.random() < affinity and pools[genre].size:
+                person = int(rng.choice(pools[genre]))
+            else:
+                person = int(rng.integers(0, population))
+            if person not in chosen:
+                chosen.add(person)
+                src.append(movie)
+                dst.append(person)
+    return src, dst
+
+
+def make_freebase(config: FreebaseConfig | None = None) -> HINDataset:
+    """Generate the synthetic Freebase-Movie dataset."""
+    config = config or FreebaseConfig()
+    rng = np.random.default_rng(config.seed)
+    num_classes = len(CLASS_NAMES)
+
+    movie_labels = mixture_labels(rng, config.num_movies, num_classes)
+    actor_genre = mixture_labels(rng, config.num_actors, num_classes)
+    director_genre = mixture_labels(rng, config.num_directors, num_classes)
+    producer_genre = mixture_labels(rng, config.num_producers, num_classes)
+
+    actor_pools = [np.flatnonzero(actor_genre == c) for c in range(num_classes)]
+    director_pools = [np.flatnonzero(director_genre == c) for c in range(num_classes)]
+    producer_pools = [np.flatnonzero(producer_genre == c) for c in range(num_classes)]
+
+    ma_src, ma_dst = _attach(
+        rng, movie_labels, actor_pools, config.actors_per_movie,
+        config.actor_affinity, config.num_actors,
+    )
+    md_src, md_dst = _attach(
+        rng, movie_labels, director_pools, config.directors_per_movie,
+        config.director_affinity, config.num_directors,
+    )
+    mp_src, mp_dst = _attach(
+        rng, movie_labels, producer_pools, config.producers_per_movie,
+        config.producer_affinity, config.num_producers,
+    )
+
+    hin = HIN(name="freebase-synthetic")
+    hin.add_node_type("M", config.num_movies)
+    hin.add_node_type("A", config.num_actors)
+    hin.add_node_type("D", config.num_directors)
+    hin.add_node_type("P", config.num_producers)
+    hin.add_edges("stars", "M", "A", ma_src, ma_dst)
+    hin.add_edges("directed_by", "M", "D", md_src, md_dst)
+    hin.add_edges("produced_by", "M", "P", mp_src, mp_dst)
+
+    # One-hot movie features, exactly as in the paper.  Crew features are
+    # random identifiers: a person's genre affinity is latent (it shows up
+    # only through which movies they work on), as in the real Freebase data.
+    hin.set_features("M", np.eye(config.num_movies))
+    hin.set_features("A", rng.normal(0.0, 1.0, size=(config.num_actors, 8)))
+    hin.set_features("D", rng.normal(0.0, 1.0, size=(config.num_directors, 8)))
+    hin.set_features("P", rng.normal(0.0, 1.0, size=(config.num_producers, 8)))
+    hin.set_labels("M", movie_labels)
+
+    metapaths = [MetaPath.parse("MAM"), MetaPath.parse("MDM"), MetaPath.parse("MPM")]
+    return HINDataset(
+        name="freebase",
+        hin=hin,
+        target_type="M",
+        metapaths=metapaths,
+        class_names=list(CLASS_NAMES),
+    ).validate()

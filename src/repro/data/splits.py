@@ -1,0 +1,141 @@
+"""Train/validation/test split machinery.
+
+The paper varies the training-set fraction over {2%, 5%, 10%, 20%}
+(Table I) and feeds *the same splits* to every method.  Splits here are
+stratified by class and guarantee at least one training node per class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+TRAIN_FRACTIONS = (0.02, 0.05, 0.10, 0.20)
+
+
+@dataclass(frozen=True)
+class Split:
+    """Index sets for one train/val/test partition."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def __post_init__(self):
+        total = self.train.size + self.val.size + self.test.size
+        combined = np.concatenate([self.train, self.val, self.test])
+        if np.unique(combined).size != total:
+            raise ValueError("split index sets overlap")
+
+    @property
+    def sizes(self) -> Dict[str, int]:
+        return {"train": self.train.size, "val": self.val.size, "test": self.test.size}
+
+
+def stratified_split(
+    labels: np.ndarray,
+    train_fraction: float,
+    val_fraction: float = 0.10,
+    rng: np.random.Generator | None = None,
+    seed: int = 0,
+) -> Split:
+    """Class-stratified split with a fixed validation fraction.
+
+    Each class contributes ``round(train_fraction * class_size)`` training
+    nodes (at least 1) and ``round(val_fraction * class_size)`` validation
+    nodes (at least 1); the rest are test nodes.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in (0, 1), got {val_fraction}")
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError("train + val fractions must leave room for a test set")
+    labels = np.asarray(labels)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+
+    train_idx: List[np.ndarray] = []
+    val_idx: List[np.ndarray] = []
+    test_idx: List[np.ndarray] = []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        if members.size < 3:
+            raise ValueError(
+                f"class {cls} has only {members.size} members; cannot split 3 ways"
+            )
+        members = rng.permutation(members)
+        n_train = max(1, int(round(train_fraction * members.size)))
+        n_val = max(1, int(round(val_fraction * members.size)))
+        # Keep at least one test node per class.
+        n_train = min(n_train, members.size - 2)
+        n_val = min(n_val, members.size - n_train - 1)
+        train_idx.append(members[:n_train])
+        val_idx.append(members[n_train: n_train + n_val])
+        test_idx.append(members[n_train + n_val:])
+
+    return Split(
+        train=np.sort(np.concatenate(train_idx)),
+        val=np.sort(np.concatenate(val_idx)),
+        test=np.sort(np.concatenate(test_idx)),
+    )
+
+
+def split_grid(
+    labels: np.ndarray,
+    fractions: Sequence[float] = TRAIN_FRACTIONS,
+    repeats: int = 1,
+    val_fraction: float = 0.10,
+    seed: int = 0,
+) -> Dict[float, List[Split]]:
+    """The full Table-I grid: per train fraction, ``repeats`` random splits.
+
+    Every method in a contest is evaluated on the identical splits, as the
+    paper does ("we feed all the methods the same training/validation/test
+    set splits").
+    """
+    grid: Dict[float, List[Split]] = {}
+    for fraction in fractions:
+        grid[fraction] = [
+            stratified_split(
+                labels, fraction, val_fraction=val_fraction,
+                seed=seed * 10_000 + int(fraction * 1000) * 100 + repeat,
+            )
+            for repeat in range(repeats)
+        ]
+    return grid
+
+
+def corrupt_labels(
+    labels: np.ndarray,
+    indices: np.ndarray,
+    noise_rate: float,
+    num_classes: int,
+    rng: np.random.Generator | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """Copy of ``labels`` with a fraction of ``indices`` flipped uniformly.
+
+    Robustness-study helper: flips ``round(noise_rate * len(indices))``
+    entries (training labels, typically) to a *different* uniformly-random
+    class.  The returned array is a copy; entries outside ``indices`` are
+    untouched.
+    """
+    if not 0.0 <= noise_rate <= 1.0:
+        raise ValueError(f"noise_rate must be in [0, 1], got {noise_rate}")
+    if num_classes < 2:
+        raise ValueError(f"need at least 2 classes to flip, got {num_classes}")
+    labels = np.asarray(labels).copy()
+    indices = np.asarray(indices)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    n_flip = int(round(noise_rate * indices.size))
+    if n_flip == 0:
+        return labels
+    victims = rng.choice(indices, size=n_flip, replace=False)
+    # Shift by a nonzero offset mod num_classes: always a different class.
+    offsets = rng.integers(1, num_classes, size=n_flip)
+    labels[victims] = (labels[victims] + offsets) % num_classes
+    return labels

@@ -1,0 +1,51 @@
+"""Random-walk network-embedding substrate.
+
+ConCH bootstraps its *context features* from metapath2vec embeddings
+(§IV-B), and two of the paper's baselines are embedding methods fed into a
+logistic-regression classifier (node2vec, metapath2vec).  This package
+implements the whole stack in numpy:
+
+- :mod:`~repro.embedding.walks` — uniform, node2vec (p,q)-biased, and
+  meta-path-guided random walks.
+- :mod:`~repro.embedding.skipgram` — skip-gram with negative sampling
+  (SGNS), the word2vec trainer all walk methods share.
+- :mod:`~repro.embedding.deepwalk` / :mod:`~repro.embedding.node2vec` /
+  :mod:`~repro.embedding.metapath2vec` — the user-facing methods.
+- :mod:`~repro.embedding.hin2vec` — meta-path-relation prediction
+  embeddings (the related-work alternative to walk-based methods).
+- :mod:`~repro.embedding.line` / :mod:`~repro.embedding.pte` — edge-sampling
+  SGNS (no walks): LINE's first/second-order proximities and PTE's joint
+  bipartite-network training with type-correct negative sampling.
+"""
+
+from repro.embedding.walks import (
+    uniform_random_walks,
+    node2vec_walks,
+    metapath_walks,
+)
+from repro.embedding.skipgram import SkipGramConfig, train_skipgram
+from repro.embedding.deepwalk import deepwalk_embeddings
+from repro.embedding.node2vec import node2vec_embeddings
+from repro.embedding.metapath2vec import metapath2vec_embeddings
+from repro.embedding.hin2vec import HIN2Vec, HIN2VecConfig, hin2vec_embeddings
+from repro.embedding.line import LINEConfig, line_embeddings, train_edge_sgns
+from repro.embedding.pte import pte_embeddings, pte_target_embeddings
+
+__all__ = [
+    "uniform_random_walks",
+    "node2vec_walks",
+    "metapath_walks",
+    "SkipGramConfig",
+    "train_skipgram",
+    "deepwalk_embeddings",
+    "node2vec_embeddings",
+    "metapath2vec_embeddings",
+    "HIN2Vec",
+    "HIN2VecConfig",
+    "hin2vec_embeddings",
+    "LINEConfig",
+    "line_embeddings",
+    "train_edge_sgns",
+    "pte_embeddings",
+    "pte_target_embeddings",
+]

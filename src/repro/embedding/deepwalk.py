@@ -1,0 +1,26 @@
+"""DeepWalk (Perozzi et al., KDD 2014): uniform walks + SGNS."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.embedding.skipgram import SkipGramConfig, train_skipgram
+from repro.embedding.walks import uniform_random_walks
+
+
+def deepwalk_embeddings(
+    adj: sp.spmatrix,
+    dim: int = 64,
+    num_walks: int = 5,
+    walk_length: int = 20,
+    window: int = 3,
+    epochs: int = 2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Embed a homogeneous graph with DeepWalk; returns ``(n, dim)``."""
+    adj = sp.csr_matrix(adj)
+    rng = np.random.default_rng(seed)
+    walks = uniform_random_walks(adj, num_walks, walk_length, rng)
+    config = SkipGramConfig(dim=dim, window=window, epochs=epochs, seed=seed)
+    return train_skipgram(walks, adj.shape[0], config)

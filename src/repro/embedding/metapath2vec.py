@@ -1,0 +1,78 @@
+"""metapath2vec (Dong et al., KDD 2017): meta-path-guided walks + SGNS.
+
+Two entry points:
+
+- :func:`metapath2vec_embeddings` — embeddings for *all* node types from
+  one meta-path (returned as a dict keyed by type).  ConCH uses this to
+  build its initial context features (§IV-B): every node on a path
+  instance needs an embedding, whatever its type.
+- :func:`metapath2vec_target_embeddings` — the baseline usage: embed only
+  the target type, trying every given meta-path (the paper reports the
+  best single meta-path result).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.embedding.skipgram import SkipGramConfig, train_skipgram
+from repro.embedding.walks import metapath_walks
+from repro.hin.graph import HIN
+from repro.hin.metapath import MetaPath
+
+
+def metapath2vec_embeddings(
+    hin: HIN,
+    metapaths: Sequence[MetaPath],
+    dim: int = 64,
+    num_walks: int = 5,
+    walk_length: int = 20,
+    window: int = 3,
+    epochs: int = 2,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Train one SGNS model over walks from *all* given meta-paths.
+
+    Returns a per-type embedding dict ``{node_type: (count, dim)}`` in the
+    HIN's local id spaces.
+    """
+    rng = np.random.default_rng(seed)
+    walks: List[np.ndarray] = []
+    for metapath in metapaths:
+        walks.extend(metapath_walks(hin, metapath, num_walks, walk_length, rng))
+    config = SkipGramConfig(dim=dim, window=window, epochs=epochs, seed=seed)
+    table = train_skipgram(walks, hin.total_nodes, config)
+
+    offsets = hin.global_offsets()
+    result: Dict[str, np.ndarray] = {}
+    for node_type in hin.node_types:
+        start = offsets[node_type]
+        stop = start + hin.num_nodes(node_type)
+        result[node_type] = table[start:stop]
+    return result
+
+
+def metapath2vec_target_embeddings(
+    hin: HIN,
+    metapath: MetaPath,
+    dim: int = 64,
+    num_walks: int = 5,
+    walk_length: int = 20,
+    window: int = 3,
+    epochs: int = 2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Baseline usage: embeddings of the meta-path's source type only."""
+    embeddings = metapath2vec_embeddings(
+        hin,
+        [metapath],
+        dim=dim,
+        num_walks=num_walks,
+        walk_length=walk_length,
+        window=window,
+        epochs=epochs,
+        seed=seed,
+    )
+    return embeddings[metapath.source_type]

@@ -1,0 +1,33 @@
+"""node2vec (Grover & Leskovec, KDD 2016): (p, q)-biased walks + SGNS.
+
+Used as a baseline: the paper applies node2vec to an HIN "by ignoring the
+heterogeneity of the network", i.e. on the flattened homogeneous
+projection (:meth:`repro.hin.graph.HIN.to_homogeneous`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.embedding.skipgram import SkipGramConfig, train_skipgram
+from repro.embedding.walks import node2vec_walks
+
+
+def node2vec_embeddings(
+    adj: sp.spmatrix,
+    dim: int = 64,
+    num_walks: int = 5,
+    walk_length: int = 20,
+    window: int = 3,
+    p: float = 1.0,
+    q: float = 1.0,
+    epochs: int = 2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Embed a homogeneous graph with node2vec; returns ``(n, dim)``."""
+    adj = sp.csr_matrix(adj)
+    rng = np.random.default_rng(seed)
+    walks = node2vec_walks(adj, num_walks, walk_length, rng, p=p, q=q)
+    config = SkipGramConfig(dim=dim, window=window, epochs=epochs, seed=seed)
+    return train_skipgram(walks, adj.shape[0], config)

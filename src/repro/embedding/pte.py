@@ -1,0 +1,89 @@
+"""PTE (Tang et al., KDD 2015) — heterogeneous LINE over bipartite networks.
+
+The paper's related work (§II, [35]) cites PTE as the heterogeneous
+extension of LINE: a heterogeneous graph is viewed as a collection of
+bipartite networks (one per relation), and a *joint* second-order SGNS
+objective is trained over all of them with a shared vertex table.
+
+Two details matter and are preserved here:
+
+* edges of a relation are trained in **both directions** (each endpoint
+  serves as the other's context), and
+* negative contexts are drawn from the **correct node type** — for an
+  ``A→P`` sample the corrupted context is another ``P`` node, never an
+  ``A`` node.  This is what distinguishes PTE from running LINE on the
+  flattened graph.
+
+Embeddings live in the HIN's global id space; use
+:func:`pte_target_embeddings` to slice out the classification targets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.embedding.line import EdgeGroup, LINEConfig, train_edge_sgns
+from repro.hin.graph import HIN
+
+
+def _bipartite_groups(hin: HIN) -> List[EdgeGroup]:
+    """Two direction-specific sampling groups per forward relation."""
+    offsets = hin.global_offsets()
+    groups: List[EdgeGroup] = []
+    for relation in hin.relations:
+        if relation.name.endswith("_rev"):
+            continue
+        matrix = hin.relation_matrix(relation.name).tocoo()
+        src = matrix.row.astype(np.int64) + offsets[relation.src_type]
+        dst = matrix.col.astype(np.int64) + offsets[relation.dst_type]
+        dst_pool = np.arange(
+            offsets[relation.dst_type],
+            offsets[relation.dst_type] + hin.num_nodes(relation.dst_type),
+        )
+        src_pool = np.arange(
+            offsets[relation.src_type],
+            offsets[relation.src_type] + hin.num_nodes(relation.src_type),
+        )
+        groups.append((src, dst, dst_pool))
+        groups.append((dst, src, src_pool))
+    return groups
+
+
+def pte_embeddings(
+    hin: HIN,
+    dim: int = 64,
+    config: LINEConfig | None = None,
+    return_context: bool = False,
+    **overrides,
+) -> np.ndarray:
+    """Joint PTE embeddings for *all* nodes, indexed by global id.
+
+    With ``return_context=True`` the context table is returned as well;
+    ``vertex[i] · context[j]`` is the score PTE's objective optimizes and
+    the right statistic for link prediction.
+    """
+    if config is None:
+        config = LINEConfig(dim=dim, order="second", **overrides)
+    groups = _bipartite_groups(hin)
+    return train_edge_sgns(
+        groups,
+        hin.total_nodes,
+        config,
+        first_order=False,
+        return_context=return_context,
+    )
+
+
+def pte_target_embeddings(
+    hin: HIN,
+    target_type: str,
+    dim: int = 64,
+    config: LINEConfig | None = None,
+    **overrides,
+) -> np.ndarray:
+    """PTE embeddings restricted to one node type's rows."""
+    embeddings = pte_embeddings(hin, dim=dim, config=config, **overrides)
+    start = hin.global_offsets()[target_type]
+    return embeddings[start: start + hin.num_nodes(target_type)]

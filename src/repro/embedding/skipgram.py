@@ -1,0 +1,136 @@
+"""Skip-gram with negative sampling (SGNS), the word2vec trainer.
+
+Given a corpus of walks (sequences of node ids), we slide a window to form
+(center, context) pairs and optimize
+
+    log σ(u_c · v_w) + Σ_neg log σ(-u_n · v_w)
+
+with vectorized minibatch SGD over two embedding tables (input ``v`` and
+output ``u``).  Negative nodes are drawn from the unigram distribution
+raised to 3/4, as in word2vec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SkipGramConfig:
+    """SGNS hyper-parameters."""
+
+    dim: int = 64
+    window: int = 3
+    negatives: int = 5
+    epochs: int = 2
+    lr: float = 0.025
+    batch_size: int = 1024
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.dim <= 0:
+            raise ValueError(f"dim must be positive, got {self.dim}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.negatives < 1:
+            raise ValueError(f"negatives must be >= 1, got {self.negatives}")
+
+
+def build_pairs(walks: List[np.ndarray], window: int) -> Tuple[np.ndarray, np.ndarray]:
+    """(center, context) pairs from walks with the given window size."""
+    centers: List[np.ndarray] = []
+    contexts: List[np.ndarray] = []
+    for walk in walks:
+        length = walk.shape[0]
+        if length < 2:
+            continue
+        for offset in range(1, window + 1):
+            if length <= offset:
+                break
+            # Forward pairs (i, i+offset) and the symmetric reverse.
+            centers.append(walk[:-offset])
+            contexts.append(walk[offset:])
+            centers.append(walk[offset:])
+            contexts.append(walk[:-offset])
+    if not centers:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    return np.concatenate(centers), np.concatenate(contexts)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def train_skipgram(
+    walks: List[np.ndarray],
+    vocab_size: int,
+    config: SkipGramConfig | None = None,
+) -> np.ndarray:
+    """Train SGNS over a walk corpus; returns the input embedding table.
+
+    Nodes that never appear in a walk keep their small random init.
+    """
+    config = config or SkipGramConfig()
+    rng = np.random.default_rng(config.seed)
+    centers, contexts = build_pairs(walks, config.window)
+
+    scale = 0.5 / config.dim
+    input_emb = rng.uniform(-scale, scale, size=(vocab_size, config.dim))
+    output_emb = np.zeros((vocab_size, config.dim))
+    if centers.size == 0:
+        return input_emb
+
+    # Unigram^0.75 negative-sampling table.
+    counts = np.bincount(contexts, minlength=vocab_size).astype(np.float64)
+    probs = counts ** 0.75
+    total = probs.sum()
+    if total == 0:
+        probs = np.full(vocab_size, 1.0 / vocab_size)
+    else:
+        probs /= total
+
+    num_pairs = centers.shape[0]
+    for epoch in range(config.epochs):
+        order = rng.permutation(num_pairs)
+        lr = config.lr * (1.0 - epoch / max(1, config.epochs)) + 1e-4
+        for start in range(0, num_pairs, config.batch_size):
+            batch = order[start: start + config.batch_size]
+            c = centers[batch]
+            w = contexts[batch]
+            negatives = rng.choice(
+                vocab_size, size=(batch.shape[0], config.negatives), p=probs
+            )
+
+            v = input_emb[c]                      # (b, d)
+            u_pos = output_emb[w]                 # (b, d)
+            u_neg = output_emb[negatives]         # (b, neg, d)
+
+            # Positive term gradients.
+            score_pos = _sigmoid((v * u_pos).sum(axis=1))          # (b,)
+            coeff_pos = (score_pos - 1.0)[:, None]                 # want σ→1
+            grad_v = coeff_pos * u_pos
+            grad_u_pos = coeff_pos * v
+
+            # Negative term gradients.
+            score_neg = _sigmoid(np.einsum("bd,bnd->bn", v, u_neg))  # (b, neg)
+            coeff_neg = score_neg[..., None]                         # want σ→0
+            grad_v += np.einsum("bnd,bn->bd", u_neg, score_neg)
+            grad_u_neg = coeff_neg * v[:, None, :]
+
+            # Scatter updates (np.add.at handles duplicate ids in a batch).
+            np.add.at(input_emb, c, -lr * grad_v)
+            np.add.at(output_emb, w, -lr * grad_u_pos)
+            np.add.at(
+                output_emb,
+                negatives.reshape(-1),
+                -lr * grad_u_neg.reshape(-1, config.dim),
+            )
+    return input_emb

@@ -1,0 +1,153 @@
+"""Random-walk corpus generators.
+
+All walk functions emit integer node-id sequences.  For heterogeneous
+walks the ids live in the HIN's *global* id space (see
+:meth:`repro.hin.graph.HIN.global_offsets`) so one shared skip-gram
+vocabulary covers every node type.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.hin.graph import HIN
+from repro.hin.metapath import MetaPath
+
+
+def _row(adj: sp.csr_matrix, node: int) -> np.ndarray:
+    return adj.indices[adj.indptr[node]: adj.indptr[node + 1]]
+
+
+def uniform_random_walks(
+    adj: sp.csr_matrix,
+    num_walks: int,
+    walk_length: int,
+    rng: np.random.Generator,
+    start_nodes: Optional[np.ndarray] = None,
+) -> List[np.ndarray]:
+    """DeepWalk-style uniform random walks.
+
+    Parameters
+    ----------
+    adj:
+        Homogeneous adjacency (csr).  Walks stop early at sink nodes.
+    num_walks:
+        Walks started per start node.
+    walk_length:
+        Number of nodes per walk (including the start).
+    start_nodes:
+        Defaults to every node.
+    """
+    adj = adj.tocsr()
+    if start_nodes is None:
+        start_nodes = np.arange(adj.shape[0])
+    walks: List[np.ndarray] = []
+    for _ in range(num_walks):
+        for start in start_nodes:
+            walk = [int(start)]
+            current = int(start)
+            for _ in range(walk_length - 1):
+                neighbors = _row(adj, current)
+                if neighbors.size == 0:
+                    break
+                current = int(neighbors[rng.integers(0, neighbors.size)])
+                walk.append(current)
+            walks.append(np.asarray(walk, dtype=np.int64))
+    return walks
+
+
+def node2vec_walks(
+    adj: sp.csr_matrix,
+    num_walks: int,
+    walk_length: int,
+    rng: np.random.Generator,
+    p: float = 1.0,
+    q: float = 1.0,
+    start_nodes: Optional[np.ndarray] = None,
+) -> List[np.ndarray]:
+    """Second-order biased walks (Grover & Leskovec, KDD 2016).
+
+    Transition weights from ``prev`` through ``cur`` to ``x``:
+    ``1/p`` if ``x == prev``; ``1`` if ``x`` adjacent to ``prev``;
+    ``1/q`` otherwise.  Computed on the fly (no alias tables) — adequate
+    at this scale and much simpler.
+    """
+    if p <= 0 or q <= 0:
+        raise ValueError(f"p and q must be positive, got p={p}, q={q}")
+    adj = adj.tocsr()
+    if start_nodes is None:
+        start_nodes = np.arange(adj.shape[0])
+
+    neighbor_sets = [set(_row(adj, node).tolist()) for node in range(adj.shape[0])]
+    walks: List[np.ndarray] = []
+    for _ in range(num_walks):
+        for start in start_nodes:
+            walk = [int(start)]
+            for _ in range(walk_length - 1):
+                current = walk[-1]
+                neighbors = _row(adj, current)
+                if neighbors.size == 0:
+                    break
+                if len(walk) == 1:
+                    nxt = int(neighbors[rng.integers(0, neighbors.size)])
+                else:
+                    prev = walk[-2]
+                    prev_neighbors = neighbor_sets[prev]
+                    weights = np.empty(neighbors.size)
+                    for i, candidate in enumerate(neighbors):
+                        if candidate == prev:
+                            weights[i] = 1.0 / p
+                        elif int(candidate) in prev_neighbors:
+                            weights[i] = 1.0
+                        else:
+                            weights[i] = 1.0 / q
+                    weights /= weights.sum()
+                    nxt = int(rng.choice(neighbors, p=weights))
+                walk.append(nxt)
+            walks.append(np.asarray(walk, dtype=np.int64))
+    return walks
+
+
+def metapath_walks(
+    hin: HIN,
+    metapath: MetaPath,
+    num_walks: int,
+    walk_length: int,
+    rng: np.random.Generator,
+) -> List[np.ndarray]:
+    """Meta-path-guided walks (metapath2vec, Dong et al. KDD 2017).
+
+    The walk repeatedly traverses the meta-path's type pattern.  For a
+    symmetric meta-path like ``APCPA`` the pattern cycles (``A P C P A P C
+    P A ...``).  Node ids are *global*.
+
+    Walks start from every node of the meta-path's source type.
+    """
+    offsets = hin.global_offsets()
+    # Per-hop adjacency matrices (local id spaces).
+    chain = []
+    for src_type, dst_type in zip(metapath.node_types[:-1], metapath.node_types[1:]):
+        chain.append((hin.adjacency(src_type, dst_type).tocsr(), dst_type))
+    source_type = metapath.source_type
+    num_sources = hin.num_nodes(source_type)
+    hops = len(chain)
+
+    walks: List[np.ndarray] = []
+    for _ in range(num_walks):
+        for start in range(num_sources):
+            walk_global = [offsets[source_type] + start]
+            current_local = start
+            hop_index = 0
+            for _ in range(walk_length - 1):
+                adj, dst_type = chain[hop_index % hops]
+                neighbors = _row(adj, current_local)
+                if neighbors.size == 0:
+                    break
+                current_local = int(neighbors[rng.integers(0, neighbors.size)])
+                walk_global.append(offsets[dst_type] + current_local)
+                hop_index += 1
+            walks.append(np.asarray(walk_global, dtype=np.int64))
+    return walks

@@ -1,0 +1,109 @@
+"""Evaluation: metrics, the contest harness, timing, statistics, table
+formatting, and the unsupervised downstream tasks (clustering NMI/ARI,
+link prediction AUC/AP) used to compare embedding quality."""
+
+from repro.eval.metrics import micro_f1, macro_f1, accuracy, confusion_matrix, f1_scores
+from repro.eval.timing import ConvergenceRecorder, EpochRecord
+from repro.eval.harness import (
+    ContestResult,
+    run_contest,
+    run_method_on_split,
+    summarize_results,
+)
+from repro.eval.tables import format_table, format_contest_table
+from repro.eval.plotting import ascii_plot, ascii_bars, convergence_plot
+from repro.eval.statistics import (
+    PairwiseComparison,
+    bootstrap_ci,
+    compare_methods,
+    count_wins,
+    friedman_test,
+    mean_ranks,
+    mean_std,
+    paired_t_test,
+    wilcoxon_signed_rank,
+    win_matrix,
+)
+from repro.eval.reporting import (
+    markdown_pairwise_section,
+    markdown_report,
+    markdown_score_table,
+    markdown_win_summary,
+)
+from repro.eval.clustering import (
+    KMeansResult,
+    adjusted_rand_index,
+    clustering_report,
+    kmeans,
+    normalized_mutual_information,
+    purity,
+    silhouette_score,
+)
+from repro.eval.linkpred import (
+    LinkSplit,
+    average_precision,
+    holdout_relation_split,
+    link_prediction_report,
+    roc_auc,
+    score_pairs,
+)
+from repro.eval.scalability import (
+    ScalePoint,
+    conch_scaling_sweep,
+    format_scaling_table,
+    growth_exponent,
+    measure_epoch_seconds,
+    total_instance_count,
+)
+
+__all__ = [
+    "micro_f1",
+    "macro_f1",
+    "accuracy",
+    "confusion_matrix",
+    "f1_scores",
+    "ConvergenceRecorder",
+    "EpochRecord",
+    "ContestResult",
+    "run_contest",
+    "run_method_on_split",
+    "summarize_results",
+    "format_table",
+    "format_contest_table",
+    "ascii_plot",
+    "ascii_bars",
+    "convergence_plot",
+    "PairwiseComparison",
+    "mean_std",
+    "bootstrap_ci",
+    "paired_t_test",
+    "wilcoxon_signed_rank",
+    "friedman_test",
+    "mean_ranks",
+    "count_wins",
+    "compare_methods",
+    "win_matrix",
+    "ScalePoint",
+    "conch_scaling_sweep",
+    "measure_epoch_seconds",
+    "total_instance_count",
+    "growth_exponent",
+    "format_scaling_table",
+    "markdown_score_table",
+    "markdown_win_summary",
+    "markdown_pairwise_section",
+    "markdown_report",
+    "KMeansResult",
+    "kmeans",
+    "normalized_mutual_information",
+    "adjusted_rand_index",
+    "purity",
+    "silhouette_score",
+    "clustering_report",
+    "LinkSplit",
+    "holdout_relation_split",
+    "score_pairs",
+    "roc_auc",
+    "average_precision",
+    "link_prediction_report",
+]

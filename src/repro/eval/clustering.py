@@ -1,0 +1,235 @@
+"""Clustering-based evaluation of embedding quality.
+
+HIN-embedding papers (metapath2vec, HIN2Vec, MAGNN, ...) complement the
+classification contest with an *unsupervised* downstream task: k-means on
+the learned target-node embeddings, scored against the ground-truth
+classes with NMI / ARI / purity.  This module provides that protocol in
+numpy so the embedding substrates (:mod:`repro.embedding`) and ConCH's
+own embeddings can be compared off the classification axis.
+
+All metrics take plain integer label arrays and are symmetric in the
+cluster labelling (invariant to permuting cluster ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def _contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Joint count table ``C[i, j] = #{x : a[x] = i and b[x] = j}``."""
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("label arrays must be 1-D and the same length")
+    if a.size == 0:
+        raise ValueError("label arrays must be non-empty")
+    if a.min() < 0 or b.min() < 0:
+        raise ValueError("labels must be non-negative integers")
+    table = np.zeros((a.max() + 1, b.max() + 1), dtype=np.int64)
+    np.add.at(table, (a, b), 1)
+    return table
+
+
+def _entropy(counts: np.ndarray) -> float:
+    total = counts.sum()
+    probabilities = counts[counts > 0] / total
+    return float(-(probabilities * np.log(probabilities)).sum())
+
+
+def normalized_mutual_information(a: np.ndarray, b: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalization, in ``[0, 1]``.
+
+    Returns 1.0 when the two labellings are identical up to renaming and
+    0.0 when either labelling is constant (no information to share).
+    """
+    table = _contingency(a, b)
+    n = table.sum()
+    row = table.sum(axis=1)
+    col = table.sum(axis=0)
+    h_a = _entropy(row)
+    h_b = _entropy(col)
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0  # both labellings constant: identical partitions
+    if h_a == 0.0 or h_b == 0.0:
+        return 0.0  # one side carries no information
+    nonzero = table > 0
+    joint = table[nonzero] / n
+    outer = np.outer(row, col)[nonzero] / (n * n)
+    mutual = float((joint * np.log(joint / outer)).sum())
+    return max(0.0, mutual / (0.5 * (h_a + h_b)))
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """ARI: 1 for identical partitions, ~0 in expectation for random ones."""
+    table = _contingency(a, b)
+    n = table.sum()
+    if n < 2:
+        raise ValueError("ARI needs at least two samples")
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table.astype(np.float64)).sum()
+    sum_rows = comb2(table.sum(axis=1).astype(np.float64)).sum()
+    sum_cols = comb2(table.sum(axis=0).astype(np.float64)).sum()
+    total = comb2(np.float64(n))
+    expected = sum_rows * sum_cols / total
+    maximum = 0.5 * (sum_rows + sum_cols)
+    if maximum == expected:
+        return 1.0
+    return float((sum_cells - expected) / (maximum - expected))
+
+
+def purity(truth: np.ndarray, clusters: np.ndarray) -> float:
+    """Fraction of samples in their cluster's majority class, in ``(0, 1]``."""
+    table = _contingency(clusters, truth)
+    return float(table.max(axis=1).sum() / table.sum())
+
+
+@dataclass
+class KMeansResult:
+    """Output of :func:`kmeans`: assignments, centers, and final inertia."""
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+
+
+def _plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by squared distance."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]))
+    centers[0] = points[rng.integers(0, n)]
+    closest = ((points - centers[0]) ** 2).sum(axis=1)
+    for index in range(1, k):
+        total = closest.sum()
+        if total == 0:
+            centers[index:] = points[rng.integers(0, n, size=k - index)]
+            break
+        probabilities = closest / total
+        centers[index] = points[rng.choice(n, p=probabilities)]
+        distance = ((points - centers[index]) ** 2).sum(axis=1)
+        closest = np.minimum(closest, distance)
+    return centers
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    max_iter: int = 100,
+    n_init: int = 4,
+    tol: float = 1e-7,
+) -> KMeansResult:
+    """Lloyd's algorithm with k-means++ seeding; best of ``n_init`` restarts.
+
+    Empty clusters are re-seeded with the point farthest from its center,
+    so the result always has exactly ``k`` non-empty clusters when
+    ``k <= n``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n; got k={k}, n={n}")
+    rng = np.random.default_rng(seed)
+
+    best: KMeansResult | None = None
+    for _ in range(max(1, n_init)):
+        centers = _plus_plus_init(points, k, rng)
+        labels = np.zeros(n, dtype=np.int64)
+        inertia = np.inf
+        for _ in range(max_iter):
+            distances = (
+                (points ** 2).sum(axis=1, keepdims=True)
+                - 2.0 * points @ centers.T
+                + (centers ** 2).sum(axis=1)
+            )
+            labels = distances.argmin(axis=1)
+            new_inertia = float(distances[np.arange(n), labels].sum())
+            for cluster in range(k):
+                members = labels == cluster
+                if members.any():
+                    centers[cluster] = points[members].mean(axis=0)
+                else:
+                    farthest = distances[np.arange(n), labels].argmax()
+                    centers[cluster] = points[farthest]
+            if inertia - new_inertia < tol:
+                inertia = new_inertia
+                break
+            inertia = new_inertia
+        if best is None or inertia < best.inertia:
+            best = KMeansResult(labels=labels, centers=centers.copy(), inertia=inertia)
+    assert best is not None
+    return best
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette ``(b - a) / max(a, b)`` over all points, in ``[-1, 1]``.
+
+    ``a`` is the mean intra-cluster distance, ``b`` the mean distance to
+    the nearest other cluster.  Unlike NMI/ARI this needs no ground
+    truth — it scores cluster *geometry*, so it is usable for selecting
+    ``k``.  Points in singleton clusters score 0 by convention.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if points.ndim != 2 or labels.shape != (points.shape[0],):
+        raise ValueError("points must be (n, d) with one label per row")
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValueError("silhouette needs at least two clusters")
+
+    n = points.shape[0]
+    distances = np.sqrt(
+        np.maximum(
+            (points ** 2).sum(axis=1, keepdims=True)
+            - 2.0 * points @ points.T
+            + (points ** 2).sum(axis=1),
+            0.0,
+        )
+    )
+    scores = np.zeros(n)
+    cluster_masks = {cluster: labels == cluster for cluster in unique}
+    for index in range(n):
+        own = cluster_masks[labels[index]]
+        own_size = own.sum()
+        if own_size == 1:
+            continue  # singleton: score 0 by convention
+        a = distances[index][own].sum() / (own_size - 1)
+        b = min(
+            distances[index][mask].mean()
+            for cluster, mask in cluster_masks.items()
+            if cluster != labels[index]
+        )
+        scores[index] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def clustering_report(
+    embeddings: np.ndarray,
+    truth: np.ndarray,
+    num_classes: int,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """k-means the embeddings into ``num_classes`` clusters and score them."""
+    truth = np.asarray(truth)
+    if embeddings.shape[0] != truth.shape[0]:
+        raise ValueError("embeddings and truth must align")
+    result = kmeans(embeddings, num_classes, seed=seed)
+    report = {
+        "nmi": normalized_mutual_information(truth, result.labels),
+        "ari": adjusted_rand_index(truth, result.labels),
+        "purity": purity(truth, result.labels),
+        "inertia": result.inertia,
+    }
+    if num_classes >= 2:
+        report["silhouette"] = silhouette_score(embeddings, result.labels)
+    return report

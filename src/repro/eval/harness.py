@@ -1,0 +1,148 @@
+"""The contest harness: run methods × datasets × train-fractions grids.
+
+A *method* here is any callable with the signature
+
+    method(dataset: HINDataset, split: Split, seed: int) -> MethodOutput
+
+returning test-set predictions (and optionally a convergence trace).  The
+baseline registry (:mod:`repro.baselines.registry`) provides such
+callables for every method in Table I; ConCH's comes from
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.base import HINDataset
+from repro.data.splits import Split, stratified_split
+from repro.eval.metrics import macro_f1, micro_f1
+from repro.eval.timing import ConvergenceRecorder
+
+
+@dataclass
+class MethodOutput:
+    """What a method returns for one (dataset, split) run."""
+
+    test_predictions: np.ndarray
+    recorder: Optional[ConvergenceRecorder] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+MethodFn = Callable[[HINDataset, Split, int], MethodOutput]
+
+
+@dataclass
+class ContestResult:
+    """Scores of one method on one contest (possibly averaged over repeats)."""
+
+    method: str
+    dataset: str
+    train_fraction: float
+    micro_f1: float
+    macro_f1: float
+    micro_std: float = 0.0
+    macro_std: float = 0.0
+    seconds: float = 0.0
+
+    @property
+    def contest_id(self) -> str:
+        return f"{self.dataset}@{int(self.train_fraction * 100)}%"
+
+
+def run_method_on_split(
+    method: MethodFn,
+    dataset: HINDataset,
+    split: Split,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Run one method once; returns micro/macro F1 and wall-clock seconds."""
+    start = time.perf_counter()
+    output = method(dataset, split, seed)
+    elapsed = time.perf_counter() - start
+    truth = dataset.labels[split.test]
+    predictions = np.asarray(output.test_predictions)
+    if predictions.shape != truth.shape:
+        raise ValueError(
+            f"method returned {predictions.shape} predictions for "
+            f"{truth.shape} test nodes"
+        )
+    return {
+        "micro_f1": micro_f1(truth, predictions),
+        "macro_f1": macro_f1(truth, predictions, dataset.num_classes),
+        "seconds": elapsed,
+    }
+
+
+def run_contest(
+    methods: Dict[str, MethodFn],
+    dataset: HINDataset,
+    train_fractions: Sequence[float] = (0.02, 0.05, 0.10, 0.20),
+    repeats: int = 1,
+    val_fraction: float = 0.10,
+    seed: int = 0,
+    verbose: bool = False,
+) -> List[ContestResult]:
+    """The Table-I protocol: same splits fed to every method.
+
+    For each train fraction, ``repeats`` random stratified splits are
+    generated once and shared across methods; scores are averaged.
+    """
+    results: List[ContestResult] = []
+    for fraction in train_fractions:
+        splits = [
+            stratified_split(
+                dataset.labels,
+                fraction,
+                val_fraction=val_fraction,
+                seed=seed * 1000 + int(fraction * 1000) + repeat,
+            )
+            for repeat in range(repeats)
+        ]
+        for name, method in methods.items():
+            micro_scores: List[float] = []
+            macro_scores: List[float] = []
+            seconds = 0.0
+            for repeat, split in enumerate(splits):
+                scores = run_method_on_split(
+                    method, dataset, split, seed=seed + repeat
+                )
+                micro_scores.append(scores["micro_f1"])
+                macro_scores.append(scores["macro_f1"])
+                seconds += scores["seconds"]
+            result = ContestResult(
+                method=name,
+                dataset=dataset.name,
+                train_fraction=fraction,
+                micro_f1=float(np.mean(micro_scores)),
+                macro_f1=float(np.mean(macro_scores)),
+                micro_std=float(np.std(micro_scores)),
+                macro_std=float(np.std(macro_scores)),
+                seconds=seconds / max(1, repeats),
+            )
+            results.append(result)
+            if verbose:
+                print(
+                    f"{dataset.name} {int(fraction * 100):>2}% {name:<14} "
+                    f"micro {result.micro_f1:.4f} macro {result.macro_f1:.4f} "
+                    f"({result.seconds:.1f}s)"
+                )
+    return results
+
+
+def summarize_results(
+    results: Sequence[ContestResult], metric: str = "micro_f1"
+) -> Dict[str, Dict[str, float]]:
+    """Pivot results into ``{method: {contest_id: score}}`` for tabulation."""
+    if metric not in ("micro_f1", "macro_f1"):
+        raise ValueError(f"unknown metric {metric!r}")
+    table: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        table.setdefault(result.method, {})[result.contest_id] = getattr(
+            result, metric
+        )
+    return table

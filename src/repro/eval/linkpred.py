@@ -1,0 +1,231 @@
+"""Link-prediction evaluation of embedding quality.
+
+The second standard downstream task for network embeddings (§II of the
+paper: "link prediction, classification and recommendation"): hold out a
+fraction of one relation's edges, re-embed the reduced HIN, and check
+that held-out (positive) pairs outscore never-linked (negative) pairs.
+
+Protocol
+--------
+1. :func:`holdout_relation_split` removes a random fraction of a chosen
+   relation's edges and returns the reduced HIN plus positive/negative
+   pair sets in **global id space** (negatives are sampled type-correctly
+   from unlinked pairs of the same relation).
+2. Any embedding method runs on the reduced HIN.
+3. :func:`link_prediction_report` scores pairs (dot / cosine / Hadamard)
+   and reports ROC-AUC and average precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.hin.graph import HIN
+
+
+@dataclass
+class LinkSplit:
+    """A link-prediction task instance.
+
+    Attributes
+    ----------
+    hin:
+        The reduced network (held-out edges removed, everything else —
+        node types, features, labels, other relations — preserved).
+    relation:
+        Name of the relation evaluated.
+    positives / negatives:
+        ``(m, 2)`` global-id pairs: held-out true edges, and sampled
+        never-linked pairs of the same (src type, dst type) signature.
+    """
+
+    hin: HIN
+    relation: str
+    positives: np.ndarray
+    negatives: np.ndarray
+
+
+def _rebuild_without(
+    hin: HIN, relation_name: str, keep_mask: np.ndarray
+) -> HIN:
+    """Copy an HIN, dropping the masked-out edges of one forward relation."""
+    reduced = HIN(name=f"{hin.name}-holdout")
+    for node_type in hin.node_types:
+        reduced.add_node_type(node_type, hin.num_nodes(node_type))
+        if hin.has_features(node_type):
+            reduced.set_features(node_type, hin.features(node_type))
+        if hin.has_labels(node_type):
+            reduced.set_labels(node_type, hin.labels(node_type))
+    for relation in hin.relations:
+        if relation.name.endswith("_rev"):
+            continue
+        matrix = hin.relation_matrix(relation.name).tocoo()
+        src, dst = matrix.row, matrix.col
+        if relation.name == relation_name:
+            src, dst = src[keep_mask], dst[keep_mask]
+        reduced.add_edges(relation.name, relation.src_type, relation.dst_type, src, dst)
+    return reduced
+
+
+def holdout_relation_split(
+    hin: HIN,
+    relation_name: str,
+    fraction: float = 0.2,
+    negatives_per_positive: int = 1,
+    seed: int = 0,
+) -> LinkSplit:
+    """Hold out ``fraction`` of a forward relation's edges for evaluation.
+
+    Negative pairs are drawn uniformly from (src, dst) combinations of the
+    relation's type signature that are *not* edges in the full graph, one
+    batch of ``negatives_per_positive`` per held-out edge.
+    """
+    if relation_name.endswith("_rev"):
+        raise ValueError("hold out the forward relation, not its reverse")
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    if negatives_per_positive < 1:
+        raise ValueError("negatives_per_positive must be >= 1")
+    relation = hin.relation_info(relation_name)
+    matrix = hin.relation_matrix(relation_name).tocoo()
+    num_edges = matrix.nnz
+    if num_edges < 2:
+        raise ValueError(f"relation {relation_name!r} has too few edges to split")
+
+    rng = np.random.default_rng(seed)
+    num_held = max(1, int(round(fraction * num_edges)))
+    held = np.zeros(num_edges, dtype=bool)
+    held[rng.choice(num_edges, size=num_held, replace=False)] = True
+
+    offsets = hin.global_offsets()
+    src_offset = offsets[relation.src_type]
+    dst_offset = offsets[relation.dst_type]
+    positives = np.stack(
+        [matrix.row[held] + src_offset, matrix.col[held] + dst_offset], axis=1
+    )
+
+    # Rejection-sample type-correct negatives absent from the *full* graph.
+    existing = set(zip(matrix.row.tolist(), matrix.col.tolist()))
+    n_src = hin.num_nodes(relation.src_type)
+    n_dst = hin.num_nodes(relation.dst_type)
+    if len(existing) >= n_src * n_dst:
+        raise ValueError("relation is complete; no negative pairs exist")
+    wanted = num_held * negatives_per_positive
+    negatives = []
+    while len(negatives) < wanted:
+        batch_src = rng.integers(0, n_src, size=2 * wanted)
+        batch_dst = rng.integers(0, n_dst, size=2 * wanted)
+        for s, d in zip(batch_src.tolist(), batch_dst.tolist()):
+            if (s, d) not in existing:
+                existing.add((s, d))  # avoid duplicate negatives
+                negatives.append((s + src_offset, d + dst_offset))
+                if len(negatives) == wanted:
+                    break
+    reduced = _rebuild_without(hin, relation_name, ~held)
+    return LinkSplit(
+        hin=reduced,
+        relation=relation_name,
+        positives=positives,
+        negatives=np.asarray(negatives, dtype=np.int64),
+    )
+
+
+def score_pairs(
+    embeddings: np.ndarray,
+    pairs: np.ndarray,
+    op: str = "dot",
+    context_embeddings: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Score candidate links from node embeddings.
+
+    ``op`` is one of ``"dot"``, ``"cosine"``, or ``"hadamard"`` (the sum
+    of the elementwise product — identical ranking to dot, kept for
+    parity with common link-prediction toolkits that expose it).
+
+    For *second-order* SGNS embeddings (LINE-2nd, PTE) pass the context
+    table as ``context_embeddings``: the destination endpoint is then
+    looked up in the context table, which is the score those objectives
+    actually optimize.  Symmetric embeddings leave it ``None``.
+    """
+    pairs = np.asarray(pairs)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(f"pairs must be (m, 2), got {pairs.shape}")
+    destination_table = (
+        embeddings if context_embeddings is None else context_embeddings
+    )
+    if destination_table.shape != embeddings.shape:
+        raise ValueError("context_embeddings must match embeddings' shape")
+    u = embeddings[pairs[:, 0]]
+    v = destination_table[pairs[:, 1]]
+    if op == "dot" or op == "hadamard":
+        return (u * v).sum(axis=1)
+    if op == "cosine":
+        norms = np.linalg.norm(u, axis=1) * np.linalg.norm(v, axis=1)
+        return (u * v).sum(axis=1) / np.maximum(norms, 1e-12)
+    raise ValueError(f"unknown op {op!r}; use 'dot', 'cosine' or 'hadamard'")
+
+
+def roc_auc(positive_scores: np.ndarray, negative_scores: np.ndarray) -> float:
+    """AUC via the Mann–Whitney rank statistic (ties count half)."""
+    positive_scores = np.asarray(positive_scores, dtype=np.float64)
+    negative_scores = np.asarray(negative_scores, dtype=np.float64)
+    if positive_scores.size == 0 or negative_scores.size == 0:
+        raise ValueError("need at least one positive and one negative score")
+    all_scores = np.concatenate([positive_scores, negative_scores])
+    order = np.argsort(all_scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, all_scores.size + 1)
+    # Average ranks within tied groups.
+    sorted_scores = all_scores[order]
+    tie_start = 0
+    for index in range(1, all_scores.size + 1):
+        if index == all_scores.size or sorted_scores[index] != sorted_scores[tie_start]:
+            ranks[order[tie_start:index]] = 0.5 * (tie_start + 1 + index)
+            tie_start = index
+    n_pos = positive_scores.size
+    n_neg = negative_scores.size
+    rank_sum = ranks[:n_pos].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def average_precision(
+    positive_scores: np.ndarray, negative_scores: np.ndarray
+) -> float:
+    """AP = mean over positives of precision at each positive's rank."""
+    positive_scores = np.asarray(positive_scores, dtype=np.float64)
+    negative_scores = np.asarray(negative_scores, dtype=np.float64)
+    if positive_scores.size == 0 or negative_scores.size == 0:
+        raise ValueError("need at least one positive and one negative score")
+    scores = np.concatenate([positive_scores, negative_scores])
+    labels = np.concatenate(
+        [np.ones(positive_scores.size), np.zeros(negative_scores.size)]
+    )
+    order = np.argsort(-scores, kind="mergesort")
+    labels = labels[order]
+    hits = np.cumsum(labels)
+    precision_at = hits / np.arange(1, labels.size + 1)
+    return float((precision_at * labels).sum() / labels.sum())
+
+
+def link_prediction_report(
+    embeddings: np.ndarray,
+    split: LinkSplit,
+    op: str = "dot",
+    context_embeddings: Optional[np.ndarray] = None,
+) -> Dict[str, float]:
+    """AUC/AP of an embedding table (global id space) on a link split."""
+    positive = score_pairs(
+        embeddings, split.positives, op=op, context_embeddings=context_embeddings
+    )
+    negative = score_pairs(
+        embeddings, split.negatives, op=op, context_embeddings=context_embeddings
+    )
+    return {
+        "auc": roc_auc(positive, negative),
+        "ap": average_precision(positive, negative),
+        "num_positives": float(split.positives.shape[0]),
+        "num_negatives": float(split.negatives.shape[0]),
+    }

@@ -1,0 +1,73 @@
+"""Classification metrics: Micro-F1, Macro-F1, accuracy, confusion matrix.
+
+Implemented from scratch (no sklearn offline).  Conventions match
+sklearn's: per-class F1 is 0 when a class has no predictions and no true
+members' overlap; Macro-F1 averages per-class F1 over the classes present
+in the *union* of true and predicted labels (we average over all classes
+``0..num_classes-1`` when ``num_classes`` is given, which matches the
+paper's fixed label sets).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {y_true.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Counts ``C[i, j]`` = #samples with true class i predicted as j."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def f1_scores(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None
+) -> np.ndarray:
+    """Per-class F1 (0 where precision + recall is 0)."""
+    matrix = confusion_matrix(y_true, y_pred, num_classes)
+    true_pos = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    denom = predicted + actual
+    scores = np.zeros(matrix.shape[0])
+    nonzero = denom > 0
+    scores[nonzero] = 2.0 * true_pos[nonzero] / denom[nonzero]
+    return scores
+
+
+def macro_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, num_classes: Optional[int] = None
+) -> float:
+    """Unweighted mean of per-class F1."""
+    return float(f1_scores(y_true, y_pred, num_classes).mean())
+
+
+def micro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Global F1; equals accuracy for single-label multi-class problems."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float((y_true == y_pred).mean())
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float((y_true == y_pred).mean())

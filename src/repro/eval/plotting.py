@@ -1,0 +1,106 @@
+"""Terminal (ASCII) plotting for experiment outputs.
+
+The paper's Figs. 7–9 are line charts; in a terminal-only environment we
+render them as fixed-size ASCII grids so the benchmark output is directly
+eyeballable.  Deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+def _scale(value: float, low: float, high: float, size: int) -> int:
+    if high == low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, int(round(position * (size - 1)))))
+
+
+def ascii_plot(
+    series: Dict[str, Sequence[Point]],
+    width: int = 70,
+    height: int = 16,
+    title: Optional[str] = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render named (x, y) series on one ASCII grid.
+
+    Each series is drawn with its own marker character (``*``, ``o``,
+    ``+``, ...); a legend maps markers to names.  Returns the plot as a
+    string (the caller prints it).
+    """
+    markers = "*o+x#@%&"
+    all_points = [p for points in series.values() for p in points]
+    if not all_points:
+        return "(no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            col = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_high:.3f} ┤" if ylabel == "" else f"{ylabel} {y_high:.3f} ┤")
+    for row in grid:
+        lines.append("       │" + "".join(row))
+    lines.append(f"{y_low:.3f} ┼" + "─" * width)
+    lines.append(f"        {x_low:.2f}{' ' * max(1, width - 18)}{x_high:.2f}  {xlabel}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("        " + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Dict[str, float],
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart for weight-style outputs (Fig. 6)."""
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    scale = width / peak if peak > 0 else 0.0
+    name_width = max(len(name) for name in values)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        bar = "#" * int(round(value * scale))
+        lines.append(f"  {name.ljust(name_width)} {value:.3f} {bar}")
+    return "\n".join(lines)
+
+
+def convergence_plot(
+    recorders: Dict[str, "object"],
+    width: int = 70,
+    height: int = 14,
+    title: Optional[str] = None,
+) -> str:
+    """Fig.-7-style plot from named ConvergenceRecorder objects."""
+    series = {
+        name: recorder.curve()
+        for name, recorder in recorders.items()
+        if getattr(recorder, "records", None)
+    }
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        title=title,
+        xlabel="seconds",
+    )

@@ -1,0 +1,112 @@
+"""Markdown report generation from contest results.
+
+Turns :class:`~repro.eval.harness.ContestResult` lists into the artifacts
+the paper presents: a Table-I-style score grid (winner bolded per
+contest), a win-count summary, and a pairwise-comparison section — ready
+to paste into EXPERIMENTS.md or a README.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.harness import ContestResult
+from repro.eval.statistics import compare_methods, count_wins, scores_by_contest
+
+
+def _contest_sort_key(contest_id: str):
+    dataset, fraction = contest_id.split("@")
+    return (dataset, int(fraction.rstrip("%")))
+
+
+def markdown_score_table(
+    results: Sequence[ContestResult],
+    metric: str = "micro_f1",
+    bold_winners: bool = True,
+    decimals: int = 4,
+) -> str:
+    """Markdown grid ``method × contest``; per-contest winners in bold."""
+    table = scores_by_contest(results, metric)
+    if not table:
+        raise ValueError("no results to tabulate")
+    contests = sorted(table, key=_contest_sort_key)
+    methods = sorted({m for scores in table.values() for m in scores})
+
+    lines = ["| method | " + " | ".join(contests) + " |"]
+    lines.append("|---" * (len(contests) + 1) + "|")
+    for method in methods:
+        cells: List[str] = []
+        for contest in contests:
+            scores = table[contest]
+            if method not in scores:
+                cells.append("—")
+                continue
+            value = f"{scores[method]:.{decimals}f}"
+            if bold_winners and scores[method] == max(scores.values()):
+                value = f"**{value}**"
+            cells.append(value)
+        lines.append(f"| {method} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def markdown_win_summary(
+    results: Sequence[ContestResult],
+    metric: str = "micro_f1",
+    tie_tolerance: float = 0.0,
+) -> str:
+    """One-line-per-method win counts, best first."""
+    wins = count_wins(results, metric, tie_tolerance=tie_tolerance)
+    num_contests = len(scores_by_contest(results, metric))
+    lines = [f"Contests won ({metric}, tie tolerance {tie_tolerance:g}):", ""]
+    for method, won in sorted(wins.items(), key=lambda kv: (-kv[1], kv[0])):
+        lines.append(f"- **{method}**: {won}/{num_contests}")
+    return "\n".join(lines)
+
+
+def markdown_pairwise_section(
+    results: Sequence[ContestResult],
+    reference: str,
+    metric: str = "micro_f1",
+) -> str:
+    """Reference-vs-everyone comparison table with mean gaps and p-values."""
+    table = scores_by_contest(results, metric)
+    methods = sorted({m for scores in table.values() for m in scores})
+    if reference not in methods:
+        raise ValueError(f"unknown reference method {reference!r}")
+    lines = [
+        f"| {reference} vs | contests | wins | losses | ties | mean gap | p (paired t) |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for other in methods:
+        if other == reference:
+            continue
+        c = compare_methods(results, reference, other, metric)
+        lines.append(
+            f"| {other} | {c.contests} | {c.wins_a} | {c.wins_b} | {c.ties} "
+            f"| {c.mean_gap:+.4f} | {c.p_value:.3f} |"
+        )
+    return "\n".join(lines)
+
+
+def markdown_report(
+    results: Sequence[ContestResult],
+    title: str,
+    reference: Optional[str] = None,
+    metric: str = "micro_f1",
+    tie_tolerance: float = 0.0,
+) -> str:
+    """Full report: title, score grid, win summary, optional pairwise section."""
+    sections = [
+        f"# {title}",
+        "",
+        f"Metric: `{metric}`.",
+        "",
+        markdown_score_table(results, metric),
+        "",
+        markdown_win_summary(results, metric, tie_tolerance=tie_tolerance),
+    ]
+    if reference is not None:
+        sections += ["", markdown_pairwise_section(results, reference, metric)]
+    return "\n".join(sections) + "\n"

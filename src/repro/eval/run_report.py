@@ -1,0 +1,105 @@
+"""Command-line contest runner with a markdown report.
+
+Usage::
+
+    python -m repro.eval.run_report --dataset dblp --fractions 0.02 0.2 \
+        --methods Grempt DGI HIN2Vec ConCH --out report.md
+
+Runs the requested panel under the Table-I protocol and writes (or
+prints) a markdown report: score grid with bolded winners, win counts,
+and a pairwise section against a reference method (default ConCH, when
+present).  This is the scriptable twin of
+``benchmarks/test_extended_baselines.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.baselines import make_method
+from repro.baselines.base import TrainSettings
+from repro.baselines.registry import BASELINES, conch_method
+from repro.core import ConCHConfig
+from repro.data import load_dataset
+from repro.data.registry import dataset_hyperparams
+from repro.eval.harness import run_contest
+from repro.eval.reporting import markdown_report
+
+
+def build_methods(names: List[str], dataset_name: str, epochs: int) -> Dict[str, object]:
+    """Instantiate the requested methods with scale-appropriate budgets."""
+    settings = TrainSettings(epochs=epochs, patience=max(20, epochs // 3))
+    params = dataset_hyperparams(dataset_name)
+    conch_cfg = ConCHConfig(
+        k=params.k,
+        num_layers=params.num_layers,
+        context_dim=params.context_dim,
+        lambda_ss=params.lambda_ss,
+        epochs=max(epochs, 150),
+        patience=60,
+    )
+    methods: Dict[str, object] = {}
+    for name in names:
+        if name == "ConCH":
+            methods[name] = conch_method(base_config=conch_cfg)
+        elif name in ("GCN", "GAT", "HAN", "HGT", "HGCN", "MAGNN", "GraphSAGE"):
+            methods[name] = make_method(name, settings=settings)
+        elif name in ("MVGRL", "HetGNN", "HDGI", "DGI"):
+            methods[name] = make_method(name, epochs=min(epochs, 80))
+        elif name in BASELINES:
+            methods[name] = make_method(name)
+        else:
+            raise SystemExit(
+                f"unknown method {name!r}; known: {sorted(BASELINES) + ['ConCH']}"
+            )
+    return methods
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="dblp")
+    parser.add_argument(
+        "--fractions", nargs="+", type=float, default=[0.02, 0.05, 0.10, 0.20]
+    )
+    parser.add_argument(
+        "--methods", nargs="+", default=["Grempt", "DGI", "HIN2Vec", "ConCH"]
+    )
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--epochs", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--reference", default=None, help="pairwise reference method")
+    parser.add_argument("--tie-tolerance", type=float, default=0.0)
+    parser.add_argument("--out", default=None, help="write the report here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    dataset = load_dataset(args.dataset)
+    methods = build_methods(args.methods, args.dataset, args.epochs)
+    results = run_contest(
+        methods,
+        dataset,
+        train_fractions=args.fractions,
+        repeats=args.repeats,
+        seed=args.seed,
+        verbose=True,
+    )
+    reference = args.reference
+    if reference is None and "ConCH" in methods:
+        reference = "ConCH"
+    report = markdown_report(
+        results,
+        title=f"Contest report — {args.dataset}",
+        reference=reference,
+        tie_tolerance=args.tie_tolerance,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"report written to {args.out}", file=sys.stderr)
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

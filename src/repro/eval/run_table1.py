@@ -1,0 +1,115 @@
+"""Command-line Table-I runner.
+
+Usage::
+
+    python -m repro.eval.run_table1 --dataset dblp --fractions 0.02 0.2 \
+        --methods GCN HDGI ConCH --repeats 1
+
+Runs the requested method panel on the requested dataset and prints the
+Micro-/Macro-F1 contest tables.  ``--methods all`` runs the full panel
+(slow).  This is the scriptable twin of ``benchmarks/test_table1.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict
+
+from repro.baselines import BASELINES, make_method
+from repro.baselines.base import TrainSettings
+from repro.baselines.registry import conch_method
+from repro.core import ConCHConfig
+from repro.data import load_dataset
+from repro.data.registry import dataset_hyperparams
+from repro.eval.harness import run_contest, summarize_results
+from repro.eval.tables import format_contest_table
+
+
+def build_methods(names, dataset_name: str, epochs: int) -> Dict[str, object]:
+    settings = TrainSettings(epochs=epochs, patience=max(20, epochs // 3))
+    params = dataset_hyperparams(dataset_name)
+    conch_cfg = ConCHConfig(
+        k=params.k,
+        num_layers=params.num_layers,
+        context_dim=32,
+        hidden_dim=64,
+        out_dim=64,
+        lambda_ss=0.3,
+        epochs=max(epochs, 150),
+        patience=60,
+    )
+    factories = {
+        "node2vec": lambda: make_method("node2vec", num_walks=3, walk_length=15),
+        "mp2vec": lambda: make_method("mp2vec", num_walks=3, walk_length=15),
+        "GCN": lambda: make_method("GCN", settings=settings),
+        "GAT": lambda: make_method("GAT", settings=settings, num_heads=2),
+        "MVGRL": lambda: make_method("MVGRL", epochs=60),
+        "HAN": lambda: make_method("HAN", settings=settings, num_heads=2),
+        "HetGNN": lambda: make_method("HetGNN", epochs=60),
+        "MAGNN": lambda: make_method("MAGNN", settings=settings, per_node_cap=32),
+        "HGT": lambda: make_method("HGT", settings=settings, num_layers=1),
+        "HDGI": lambda: make_method("HDGI", epochs=60),
+        "HGCN": lambda: make_method("HGCN", settings=settings),
+        "GNetMine": lambda: make_method("GNetMine"),
+        "LabelProp": lambda: make_method("LabelProp"),
+        "ConCH": lambda: conch_method(base_config=conch_cfg),
+    }
+    if names == ["all"]:
+        names = list(factories)
+    unknown = [n for n in names if n not in factories]
+    if unknown:
+        raise SystemExit(f"unknown methods {unknown}; known: {sorted(factories)}")
+    return {name: factories[name]() for name in names}
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="dblp",
+                        choices=["dblp", "yelp", "freebase", "aminer"])
+    parser.add_argument("--fractions", nargs="+", type=float,
+                        default=[0.02, 0.05, 0.10, 0.20])
+    parser.add_argument("--methods", nargs="+", default=["all"])
+    parser.add_argument("--repeats", type=int, default=1)
+    parser.add_argument("--epochs", type=int, default=120,
+                        help="training budget for the GNN baselines")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    dataset = load_dataset(args.dataset, seed=args.seed)
+    methods = build_methods(args.methods, args.dataset, args.epochs)
+
+    results = []
+    for name, method in methods.items():
+        try:
+            results.extend(
+                run_contest(
+                    {name: method},
+                    dataset,
+                    train_fractions=args.fractions,
+                    repeats=args.repeats,
+                    seed=args.seed,
+                    verbose=True,
+                )
+            )
+        except MemoryError as error:
+            print(f"{name}: OOM — {error}")
+
+    contests = sorted(
+        {r.contest_id for r in results},
+        key=lambda c: int(c.split("@")[1].rstrip("%")),
+    )
+    for metric in ("micro_f1", "macro_f1"):
+        table = summarize_results(results, metric=metric)
+        print()
+        print(
+            format_contest_table(
+                table,
+                methods=[m for m in methods if m in table],
+                contests=contests,
+                title=f"{args.dataset} — {metric}",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

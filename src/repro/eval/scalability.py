@@ -1,0 +1,159 @@
+"""Scalability measurements: how cost grows with graph size and with *k*.
+
+The paper's efficiency arguments (§V-G) are about growth *rates*: ConCH's
+per-epoch cost is ``O(6 k n d1 d2 |PS|)`` — linear in both the number of
+target objects ``n`` and the filter size ``k`` — while instance-
+enumerating methods (MAGNN) blow up with path-instance counts.  This
+module measures those curves directly:
+
+- :func:`measure_epoch_seconds` — mean wall-clock per training epoch of a
+  prepared ConCH model.
+- :func:`conch_scaling_sweep` — preprocess + epoch time as the dataset is
+  scaled up (Fig. 7(d)'s *k* sweep generalized to ``n``).
+- :func:`instance_count_sweep` — total meta-path instance counts at each
+  scale, the quantity that drives MAGNN's memory failure (§V-D note 4).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.data.base import HINDataset
+from repro.data.splits import stratified_split
+from repro.hin.adjacency import metapath_adjacency
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle with repro.core
+    from repro.core.config import ConCHConfig
+    from repro.core.trainer import ConCHData
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One measurement of the scaling sweep."""
+
+    scale: float
+    num_targets: int
+    total_edges: int
+    preprocess_seconds: float
+    epoch_seconds: float
+    total_instances: int     # sum of commuting-matrix entries over meta-paths
+
+
+def measure_epoch_seconds(
+    data: "ConCHData",
+    config: "ConCHConfig",
+    epochs: int = 3,
+    train_fraction: float = 0.2,
+    seed: int = 0,
+) -> float:
+    """Mean seconds per training epoch (forward + backward + step).
+
+    Uses a throwaway stratified split; early stopping is disabled by
+    running exactly ``epochs`` epochs and averaging.
+    """
+    from repro.core.trainer import ConCHTrainer
+
+    if epochs < 1:
+        raise ValueError(f"epochs must be >= 1, got {epochs}")
+    split = stratified_split(data.labels, train_fraction, seed=seed)
+    timed_config = config.with_overrides(epochs=epochs, patience=epochs + 1)
+    trainer = ConCHTrainer(data, timed_config)
+    start = time.perf_counter()
+    trainer.fit(split)
+    elapsed = time.perf_counter() - start
+    epochs_run = max(1, len(trainer.recorder.records))
+    return elapsed / epochs_run
+
+
+def total_instance_count(dataset: HINDataset) -> int:
+    """Sum of path-instance counts over the dataset's meta-path set.
+
+    This is the number MAGNN must materialize; its growth rate across
+    scales explains the paper's out-of-memory observations.
+    """
+    total = 0
+    for metapath in dataset.metapaths:
+        counts = metapath_adjacency(dataset.hin, metapath, remove_self_paths=True)
+        total += int(counts.sum())
+    return total
+
+
+def conch_scaling_sweep(
+    dataset_factory: Callable[[float], HINDataset],
+    scales: Sequence[float],
+    config: Optional["ConCHConfig"] = None,
+    epochs: int = 3,
+    seed: int = 0,
+) -> List[ScalePoint]:
+    """Measure ConCH preprocess and epoch time over dataset scales.
+
+    Parameters
+    ----------
+    dataset_factory:
+        Maps a scale factor (1.0 = base size) to a dataset; the factory
+        owns what "scale" means (usually multiplying node counts).
+    scales:
+        Increasing scale factors to measure.
+    config:
+        ConCH configuration (cheap embedding defaults recommended).
+    """
+    from repro.core.config import ConCHConfig
+    from repro.core.trainer import prepare_conch_data
+
+    if not scales:
+        raise ValueError("need at least one scale factor")
+    config = config or ConCHConfig()
+    points: List[ScalePoint] = []
+    for scale in scales:
+        dataset = dataset_factory(float(scale))
+        data = prepare_conch_data(dataset, config.with_overrides(seed=seed))
+        epoch_seconds = measure_epoch_seconds(data, config, epochs=epochs, seed=seed)
+        points.append(
+            ScalePoint(
+                scale=float(scale),
+                num_targets=dataset.num_targets,
+                total_edges=dataset.hin.total_edges,
+                preprocess_seconds=data.preprocess_seconds,
+                epoch_seconds=epoch_seconds,
+                total_instances=total_instance_count(dataset),
+            )
+        )
+    return points
+
+
+def growth_exponent(sizes: Sequence[float], seconds: Sequence[float]) -> float:
+    """Least-squares slope of log(seconds) vs log(size).
+
+    ≈1 means linear scaling (the paper's claim for ConCH in both ``n``
+    and ``k``); ≈2 quadratic.  Requires positive inputs.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    seconds = np.asarray(seconds, dtype=np.float64)
+    if sizes.shape != seconds.shape or sizes.size < 2:
+        raise ValueError("need at least two (size, seconds) pairs")
+    if (sizes <= 0).any() or (seconds <= 0).any():
+        raise ValueError("sizes and seconds must be positive")
+    slope, _ = np.polyfit(np.log(sizes), np.log(seconds), 1)
+    return float(slope)
+
+
+def format_scaling_table(points: Sequence[ScalePoint]) -> str:
+    """Human-readable sweep table (used by the scalability bench)."""
+    lines = [
+        f"{'scale':>6} | {'targets':>8} | {'edges':>9} | "
+        f"{'instances':>10} | {'prep (s)':>9} | {'epoch (s)':>9}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for point in points:
+        lines.append(
+            f"{point.scale:>6.2f} | {point.num_targets:>8d} | "
+            f"{point.total_edges:>9d} | {point.total_instances:>10d} | "
+            f"{point.preprocess_seconds:>9.3f} | {point.epoch_seconds:>9.4f}"
+        )
+    return "\n".join(lines)

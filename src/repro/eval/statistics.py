@@ -1,0 +1,227 @@
+"""Statistical analysis of contest results.
+
+The paper averages 10 repeated runs per contest (§V-C) and argues from
+win counts ("ConCH achieves the best performance in all 24 cases").  This
+module makes those arguments checkable:
+
+- :func:`mean_std` / :func:`bootstrap_ci` — aggregate repeated runs.
+- :func:`paired_t_test` / :func:`wilcoxon_signed_rank` — paired
+  significance of one method over another across contests.
+- :func:`friedman_test` — omnibus ranking test over a whole method panel.
+- :func:`win_matrix` / :func:`count_wins` — the "wins all 24 contests"
+  bookkeeping, with tie tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.eval.harness import ContestResult
+
+
+def mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Sample mean and (population) standard deviation."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("empty value sequence")
+    return float(values.mean()), float(values.std())
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("empty value sequence")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(values, size=(num_resamples, values.size), replace=True)
+    means = resamples.mean(axis=1)
+    tail = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [tail, 1.0 - tail])
+    return float(low), float(high)
+
+
+def paired_t_test(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Paired t-test of ``a`` vs ``b``; returns ``(statistic, p_value)``.
+
+    Positive statistic means ``a``'s mean exceeds ``b``'s.  Identical
+    sequences return ``(0, 1)`` rather than NaN.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"need equal-length 1-D sequences, got {a.shape}, {b.shape}")
+    if a.size < 2:
+        raise ValueError("need at least two paired observations")
+    if np.allclose(a, b):
+        return 0.0, 1.0
+    statistic, p_value = stats.ttest_rel(a, b)
+    return float(statistic), float(p_value)
+
+
+def wilcoxon_signed_rank(
+    a: Sequence[float], b: Sequence[float]
+) -> Tuple[float, float]:
+    """Wilcoxon signed-rank test (non-parametric paired comparison)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError(f"need equal-length 1-D sequences, got {a.shape}, {b.shape}")
+    if np.allclose(a, b):
+        return 0.0, 1.0
+    statistic, p_value = stats.wilcoxon(a, b)
+    return float(statistic), float(p_value)
+
+
+def friedman_test(score_matrix: np.ndarray) -> Tuple[float, float]:
+    """Friedman omnibus test over a ``(contests, methods)`` score matrix.
+
+    Rejecting the null means the methods' rankings differ systematically
+    across contests (the premise behind per-contest winner tables).
+    """
+    score_matrix = np.asarray(score_matrix, dtype=np.float64)
+    if score_matrix.ndim != 2 or score_matrix.shape[1] < 3:
+        raise ValueError(
+            f"need a (contests, >=3 methods) matrix, got {score_matrix.shape}"
+        )
+    statistic, p_value = stats.friedmanchisquare(
+        *[score_matrix[:, j] for j in range(score_matrix.shape[1])]
+    )
+    return float(statistic), float(p_value)
+
+
+def mean_ranks(score_matrix: np.ndarray) -> np.ndarray:
+    """Mean rank of each method over contests (rank 1 = best score)."""
+    score_matrix = np.asarray(score_matrix, dtype=np.float64)
+    if score_matrix.ndim != 2:
+        raise ValueError(f"need a 2-D matrix, got shape {score_matrix.shape}")
+    # Rank descending: the highest score gets rank 1; ties share the mean rank.
+    ranks = np.apply_along_axis(
+        lambda row: stats.rankdata(-row), axis=1, arr=score_matrix
+    )
+    return ranks.mean(axis=0)
+
+
+# --------------------------------------------------------------------- #
+# Contest-result bookkeeping
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PairwiseComparison:
+    """Summary of method A vs method B over shared contests."""
+
+    method_a: str
+    method_b: str
+    contests: int
+    wins_a: int
+    wins_b: int
+    ties: int
+    mean_gap: float          # mean(score_a - score_b)
+    p_value: float           # paired t-test (1.0 when degenerate)
+
+
+def scores_by_contest(
+    results: Sequence[ContestResult], metric: str = "micro_f1"
+) -> Dict[str, Dict[str, float]]:
+    """Pivot results into ``{contest_id: {method: score}}``."""
+    if metric not in ("micro_f1", "macro_f1"):
+        raise ValueError(f"unknown metric {metric!r}")
+    table: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        table.setdefault(result.contest_id, {})[result.method] = getattr(
+            result, metric
+        )
+    return table
+
+
+def count_wins(
+    results: Sequence[ContestResult],
+    metric: str = "micro_f1",
+    tie_tolerance: float = 0.0,
+) -> Dict[str, int]:
+    """Per-method count of contests won (within ``tie_tolerance`` of the top).
+
+    With a nonzero tolerance several methods can share one contest, which
+    is how near-tie panels (the paper's Freebase margins) should be read.
+    """
+    wins: Dict[str, int] = {}
+    for contest_scores in scores_by_contest(results, metric).values():
+        best = max(contest_scores.values())
+        for method, score in contest_scores.items():
+            wins.setdefault(method, 0)
+            if score >= best - tie_tolerance:
+                wins[method] += 1
+    return wins
+
+
+def compare_methods(
+    results: Sequence[ContestResult],
+    method_a: str,
+    method_b: str,
+    metric: str = "micro_f1",
+    tie_tolerance: float = 1e-9,
+) -> PairwiseComparison:
+    """Paired comparison of two methods over the contests both ran."""
+    paired: List[Tuple[float, float]] = []
+    for contest_scores in scores_by_contest(results, metric).values():
+        if method_a in contest_scores and method_b in contest_scores:
+            paired.append((contest_scores[method_a], contest_scores[method_b]))
+    if not paired:
+        raise ValueError(
+            f"no shared contests between {method_a!r} and {method_b!r}"
+        )
+    a = np.array([p[0] for p in paired])
+    b = np.array([p[1] for p in paired])
+    gaps = a - b
+    wins_a = int((gaps > tie_tolerance).sum())
+    wins_b = int((gaps < -tie_tolerance).sum())
+    ties = len(paired) - wins_a - wins_b
+    if len(paired) >= 2:
+        _, p_value = paired_t_test(a, b)
+    else:
+        p_value = 1.0
+    return PairwiseComparison(
+        method_a=method_a,
+        method_b=method_b,
+        contests=len(paired),
+        wins_a=wins_a,
+        wins_b=wins_b,
+        ties=ties,
+        mean_gap=float(gaps.mean()),
+        p_value=p_value,
+    )
+
+
+def win_matrix(
+    results: Sequence[ContestResult],
+    metric: str = "micro_f1",
+    tie_tolerance: float = 1e-9,
+) -> Tuple[List[str], np.ndarray]:
+    """Pairwise win counts: entry ``(i, j)`` = contests where i beat j.
+
+    Returns the sorted method list and the integer matrix.
+    """
+    table = scores_by_contest(results, metric)
+    methods = sorted({m for scores in table.values() for m in scores})
+    index = {m: i for i, m in enumerate(methods)}
+    matrix = np.zeros((len(methods), len(methods)), dtype=np.int64)
+    for contest_scores in table.values():
+        present = list(contest_scores)
+        for a in present:
+            for b in present:
+                if a == b:
+                    continue
+                if contest_scores[a] > contest_scores[b] + tie_tolerance:
+                    matrix[index[a], index[b]] += 1
+    return methods, matrix

@@ -1,0 +1,84 @@
+"""Plain-text table rendering for experiment outputs.
+
+The benches print Table-I-style grids (methods × contests) so the paper's
+rows can be compared side by side with the reproduction's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a fixed-width table.
+
+    Numeric cells are formatted with ``float_format``; everything else via
+    ``str``.
+    """
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line([str(h) for h in headers]))
+    parts.append("-+-".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_contest_table(
+    results: Dict[str, Dict[str, float]],
+    methods: Sequence[str],
+    contests: Sequence[str],
+    title: Optional[str] = None,
+    highlight_best: bool = True,
+) -> str:
+    """Render ``results[method][contest] -> score`` with per-contest winners.
+
+    The winner of each contest column is marked with ``*`` (mirroring the
+    paper's bold entries in Table I).
+    """
+    best: Dict[str, float] = {}
+    for contest in contests:
+        scores = [
+            results[m][contest]
+            for m in methods
+            if contest in results.get(m, {})
+        ]
+        best[contest] = max(scores) if scores else float("nan")
+
+    rows: List[List[str]] = []
+    for method in methods:
+        row: List[str] = [method]
+        for contest in contests:
+            value = results.get(method, {}).get(contest)
+            if value is None:
+                row.append("-")
+                continue
+            cell = f"{value:.4f}"
+            if highlight_best and value == best[contest]:
+                cell += "*"
+            row.append(cell)
+        rows.append(row)
+    return format_table(["method"] + list(contests), rows, title=title)

@@ -1,0 +1,64 @@
+"""Convergence recording for the efficiency study (Fig. 7 / Fig. 8).
+
+Trainers append an :class:`EpochRecord` per epoch; benches plot/compare
+"seconds elapsed vs validation Micro-F1" curves across methods.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class EpochRecord:
+    """One epoch's bookkeeping."""
+
+    epoch: int
+    elapsed_seconds: float
+    train_loss: float
+    val_metric: float
+
+
+@dataclass
+class ConvergenceRecorder:
+    """Wall-clock + metric trace of one training run."""
+
+    method: str = ""
+    records: List[EpochRecord] = field(default_factory=list)
+    _start: Optional[float] = None
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def log(self, epoch: int, train_loss: float, val_metric: float) -> None:
+        if self._start is None:
+            self.start()
+        self.records.append(
+            EpochRecord(
+                epoch=epoch,
+                elapsed_seconds=time.perf_counter() - self._start,
+                train_loss=float(train_loss),
+                val_metric=float(val_metric),
+            )
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        return self.records[-1].elapsed_seconds if self.records else 0.0
+
+    @property
+    def best_val(self) -> float:
+        return max((r.val_metric for r in self.records), default=float("nan"))
+
+    def time_to_reach(self, threshold: float) -> Optional[float]:
+        """Seconds until the validation metric first reached ``threshold``."""
+        for record in self.records:
+            if record.val_metric >= threshold:
+                return record.elapsed_seconds
+        return None
+
+    def curve(self) -> List[tuple]:
+        """(seconds, val_metric) pairs, ready for plotting or tabulation."""
+        return [(r.elapsed_seconds, r.val_metric) for r in self.records]

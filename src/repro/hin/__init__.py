@@ -1,0 +1,94 @@
+"""Heterogeneous-information-network substrate.
+
+Implements the data structures and algorithms of §III–IV of the ConCH
+paper that sit *below* the neural model:
+
+- :class:`~repro.hin.graph.HIN` — a typed multigraph whose relations are
+  stored as scipy sparse biadjacency matrices (Definition 1).
+- :class:`~repro.hin.schema.NetworkSchema` — the schematic graph over node
+  types and relations (Definition 2).
+- :class:`~repro.hin.metapath.MetaPath` — a sequence of node types /
+  relations (Definition 3), parseable from strings like ``"APCPA"``.
+- :mod:`~repro.hin.adjacency` — sparse composition of meta-path commuting
+  matrices (path-instance counts between endpoint pairs).
+- :mod:`~repro.hin.pathsim` — PathSim similarity (Eq. 1, [58]).
+- :mod:`~repro.hin.similarity` — alternative similarity measures
+  (HeteSim, JoinSim, cosine) for the filtering ablation.
+- :mod:`~repro.hin.neighbors` — top-*k* PathSim neighbor filtering (§IV-A)
+  and the random-*k* variant used by the ``ConCH_rd`` ablation.
+- :mod:`~repro.hin.discovery` — automatic meta-path enumeration and
+  ranking (the "meta-paths obtained via automatic methods" of §IV-A).
+- :mod:`~repro.hin.context` — meta-path context extraction (Definition 4)
+  and path-instance enumeration.
+- :class:`~repro.hin.bipartite.BipartiteGraph` — the object/context
+  bipartite graph of §IV-C, with incidence matrices ready for convolution.
+"""
+
+from repro.hin.graph import HIN
+from repro.hin.schema import NetworkSchema
+from repro.hin.metapath import MetaPath
+from repro.hin.adjacency import metapath_adjacency, relation_chain
+from repro.hin.pathsim import pathsim_matrix, pathsim_pairs
+from repro.hin.similarity import (
+    SIMILARITY_MEASURES,
+    cosine_commuting_matrix,
+    hetesim_matrix,
+    joinsim_matrix,
+    similarity_matrix,
+)
+from repro.hin.neighbors import (
+    NeighborFilter,
+    random_k_neighbors,
+    top_k_pathsim_neighbors,
+    top_k_similarity_neighbors,
+)
+from repro.hin.discovery import discover_metapaths, rank_metapaths, select_metapaths
+from repro.hin.metagraph import (
+    MetaGraph,
+    metagraph_adjacency,
+    metagraph_binary_adjacency,
+    metagraph_pathsim,
+    top_k_metagraph_neighbors,
+)
+from repro.hin.context import enumerate_path_instances, extract_contexts, MetaPathContext
+from repro.hin.bipartite import BipartiteGraph, build_bipartite_graph
+from repro.hin.analysis import MetaPathStats, dataset_report, label_homophily, metapath_stats
+from repro.hin.io import load_hin, save_hin
+
+__all__ = [
+    "HIN",
+    "NetworkSchema",
+    "MetaPath",
+    "metapath_adjacency",
+    "relation_chain",
+    "pathsim_matrix",
+    "pathsim_pairs",
+    "SIMILARITY_MEASURES",
+    "similarity_matrix",
+    "hetesim_matrix",
+    "joinsim_matrix",
+    "cosine_commuting_matrix",
+    "top_k_pathsim_neighbors",
+    "top_k_similarity_neighbors",
+    "random_k_neighbors",
+    "NeighborFilter",
+    "discover_metapaths",
+    "rank_metapaths",
+    "select_metapaths",
+    "MetaGraph",
+    "metagraph_adjacency",
+    "metagraph_binary_adjacency",
+    "metagraph_pathsim",
+    "top_k_metagraph_neighbors",
+    "enumerate_path_instances",
+    "extract_contexts",
+    "MetaPathContext",
+    "BipartiteGraph",
+    "build_bipartite_graph",
+    "MetaPathStats",
+    "dataset_report",
+    "label_homophily",
+    "metapath_stats",
+    "load_hin",
+    "save_hin",
+]

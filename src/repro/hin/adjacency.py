@@ -1,0 +1,81 @@
+"""Meta-path commuting matrices via sparse composition.
+
+For a meta-path ``P = T1 - T2 - ... - T_{l+1}`` the *commuting matrix*
+``M = A_{T1,T2} @ A_{T2,T3} @ ... @ A_{Tl,T_{l+1}}`` counts, for every
+endpoint pair ``(u, v)``, the number of path instances of ``P`` from ``u``
+to ``v``.  PathSim (Eq. 1) and the neighbor filter (§IV-A) are both
+computed directly from ``M``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.hin.graph import HIN
+from repro.hin.metapath import MetaPath
+
+
+def relation_chain(hin: HIN, metapath: MetaPath) -> List[sp.csr_matrix]:
+    """The list of per-hop biadjacency matrices along a meta-path."""
+    metapath.validate(hin.schema())
+    chain: List[sp.csr_matrix] = []
+    for src_type, dst_type in zip(metapath.node_types[:-1], metapath.node_types[1:]):
+        chain.append(hin.adjacency(src_type, dst_type))
+    return chain
+
+
+def metapath_adjacency(
+    hin: HIN,
+    metapath: MetaPath,
+    remove_self_paths: bool = True,
+    max_count: Optional[float] = None,
+) -> sp.csr_matrix:
+    """Commuting (path-instance count) matrix of a meta-path.
+
+    Parameters
+    ----------
+    hin:
+        The network.
+    metapath:
+        A meta-path valid under ``hin``'s schema.
+    remove_self_paths:
+        Zero the diagonal when source and target types coincide, so a node
+        is not its own meta-path neighbor.  (PathSim still needs the
+        diagonal of the *raw* matrix; callers that need it should pass
+        ``remove_self_paths=False``.)
+    max_count:
+        Optional clamp on entries, guarding against pathological blow-up
+        on hub-heavy synthetic graphs.
+
+    Returns
+    -------
+    csr_matrix of shape ``(count(src_type), count(dst_type))`` whose entry
+    ``(u, v)`` is the number of path instances from ``u`` to ``v``.
+    """
+    chain = relation_chain(hin, metapath)
+    product: sp.csr_matrix = chain[0]
+    for matrix in chain[1:]:
+        product = sp.csr_matrix(product @ matrix)
+    if max_count is not None:
+        product.data = np.minimum(product.data, max_count)
+    if remove_self_paths and metapath.source_type == metapath.target_type:
+        product = product.tolil()
+        product.setdiag(0.0)
+        product = product.tocsr()
+        product.eliminate_zeros()
+    return product
+
+
+def metapath_binary_adjacency(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
+    """Binary (reachability) version of the commuting matrix.
+
+    This is the "convert an HIN to a homogeneous network using meta-paths"
+    operation used to run GCN/GAT/MVGRL baselines.
+    """
+    counts = metapath_adjacency(hin, metapath, remove_self_paths=True)
+    binary = counts.copy()
+    binary.data[:] = 1.0
+    return binary

@@ -1,0 +1,141 @@
+"""HIN diagnostics: statistics used to sanity-check datasets and to
+understand why particular meta-paths help a classification task.
+
+These are the quantities the paper's discussion appeals to informally —
+e.g. "APA is a sparse relation" and "an author is related to a large
+number of other authors by APCPA" (§V-F) — computed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hin.adjacency import metapath_adjacency, metapath_binary_adjacency
+from repro.hin.graph import HIN
+from repro.hin.metapath import MetaPath
+from repro.hin.pathsim import pathsim_matrix
+
+
+@dataclass(frozen=True)
+class MetaPathStats:
+    """Summary statistics of one meta-path relation over a labeled HIN.
+
+    Attributes
+    ----------
+    metapath_name:
+        The meta-path.
+    coverage:
+        Fraction of target nodes with at least one meta-path neighbor
+        ("sparse relations" like APA have low coverage).
+    mean_degree:
+        Average number of distinct meta-path neighbors per node.
+    homophily:
+        Fraction of connected (binary projection) pairs sharing a label —
+        the raw usefulness of the relation for classification.
+    pathsim_homophily:
+        PathSim-weighted homophily: the same fraction with each pair
+        weighted by its PathSim score.  ConCH's top-k filter exploits the
+        gap between this and plain ``homophily``.
+    mean_instances_per_pair:
+        Mean path-instance count over connected pairs (context sizes).
+    """
+
+    metapath_name: str
+    coverage: float
+    mean_degree: float
+    homophily: float
+    pathsim_homophily: float
+    mean_instances_per_pair: float
+
+
+def metapath_stats(
+    hin: HIN, metapath: MetaPath, labels: Optional[np.ndarray] = None
+) -> MetaPathStats:
+    """Compute :class:`MetaPathStats` for one meta-path.
+
+    ``labels`` defaults to the HIN's labels for the meta-path's endpoint
+    type.
+    """
+    target_type = metapath.source_type
+    if labels is None:
+        labels = hin.labels(target_type)
+    labels = np.asarray(labels)
+
+    counts = metapath_adjacency(hin, metapath, remove_self_paths=True)
+    binary = counts.copy()
+    binary.data[:] = 1.0
+    degrees = np.asarray(binary.sum(axis=1)).ravel()
+    coverage = float((degrees > 0).mean())
+    mean_degree = float(degrees.mean())
+
+    coo = binary.tocoo()
+    if coo.nnz:
+        same = (labels[coo.row] == labels[coo.col]).astype(np.float64)
+        homophily = float(same.mean())
+        instance_counts = counts.tocoo().data
+        mean_instances = float(instance_counts.mean())
+    else:
+        homophily = 0.0
+        mean_instances = 0.0
+
+    scores = pathsim_matrix(hin, metapath).tocoo()
+    if scores.nnz:
+        same = (labels[scores.row] == labels[scores.col]).astype(np.float64)
+        total = scores.data.sum()
+        pathsim_homophily = float((same * scores.data).sum() / total) if total else 0.0
+    else:
+        pathsim_homophily = 0.0
+
+    return MetaPathStats(
+        metapath_name=metapath.name,
+        coverage=coverage,
+        mean_degree=mean_degree,
+        homophily=homophily,
+        pathsim_homophily=pathsim_homophily,
+        mean_instances_per_pair=mean_instances,
+    )
+
+
+def dataset_report(dataset) -> str:
+    """Human-readable diagnostics for a :class:`repro.data.base.HINDataset`.
+
+    Includes per-type node counts, per-relation edge counts, label
+    balance, and per-meta-path statistics.
+    """
+    hin = dataset.hin
+    lines: List[str] = [f"Dataset {dataset.name!r} — target type {dataset.target_type!r}"]
+    lines.append("node types: " + ", ".join(
+        f"{t}:{hin.num_nodes(t)}" for t in hin.node_types
+    ))
+    forward = [r for r in hin.relations if not r.name.endswith("_rev")]
+    lines.append("relations:  " + ", ".join(
+        f"{r.name}({r.src_type}-{r.dst_type}):{hin.relation_matrix(r.name).nnz}"
+        for r in forward
+    ))
+    labels = dataset.labels
+    balance = np.bincount(labels, minlength=dataset.num_classes)
+    lines.append(
+        "labels:     " + ", ".join(
+            f"{name}:{count}" for name, count in zip(dataset.class_names, balance)
+        )
+    )
+    lines.append(
+        f"{'meta-path':<10} {'coverage':>8} {'degree':>8} {'homoph.':>8} "
+        f"{'ps-homo.':>8} {'inst/pair':>9}"
+    )
+    for metapath in dataset.metapaths:
+        stats = metapath_stats(hin, metapath, labels)
+        lines.append(
+            f"{stats.metapath_name:<10} {stats.coverage:>8.3f} "
+            f"{stats.mean_degree:>8.1f} {stats.homophily:>8.3f} "
+            f"{stats.pathsim_homophily:>8.3f} {stats.mean_instances_per_pair:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+def label_homophily(hin: HIN, metapath: MetaPath) -> float:
+    """Shortcut: plain homophily of one meta-path's binary projection."""
+    return metapath_stats(hin, metapath).homophily

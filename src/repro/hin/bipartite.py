@@ -1,0 +1,134 @@
+"""Object/context bipartite graphs (§IV-C).
+
+For each meta-path ``P``, ConCH builds a bipartite graph
+``G_P = (X, V_C, E_OC)`` whose left part is the set of target objects and
+whose right part is the set of retained meta-path contexts.  An edge links
+object ``x`` and context ``c`` when the path instances in ``c`` start or
+end at ``x`` — i.e. each context node has degree exactly 2 (its two
+endpoint objects), and each object's degree is bounded by the neighbor
+filter's ``k`` (up to ``2k`` when the union of both endpoints' top-k lists
+is used, as here).
+
+The incidence matrix ``B`` (objects × contexts) drives both directions of
+the mutual update (Eqs. 4–5):
+
+- context update aggregates its two endpoints:  ``B.T @ H_x``
+- object update sums its incident contexts:     ``B @ H_c``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.hin.context import MetaPathContext
+from repro.hin.graph import HIN
+from repro.hin.metapath import MetaPath
+from repro.hin.neighbors import NeighborFilter
+
+
+@dataclass
+class BipartiteGraph:
+    """Incidence structure between target objects and meta-path contexts.
+
+    Attributes
+    ----------
+    metapath:
+        The meta-path this graph was derived from.
+    num_objects:
+        Number of target-type objects (left part size).
+    pairs:
+        ``(m, 2)`` array of context endpoint pairs; context ``j`` connects
+        objects ``pairs[j, 0]`` and ``pairs[j, 1]``.
+    incidence:
+        Sparse ``(num_objects, m)`` binary matrix ``B``.
+    contexts:
+        Optional list of enumerated :class:`MetaPathContext` (same order
+        as ``pairs``); present when instance-level detail was requested.
+    """
+
+    metapath: MetaPath
+    num_objects: int
+    pairs: np.ndarray
+    incidence: sp.csr_matrix
+    contexts: Optional[List[MetaPathContext]] = None
+
+    @property
+    def num_contexts(self) -> int:
+        return self.pairs.shape[0]
+
+    def object_degrees(self) -> np.ndarray:
+        """Degree of each object node in the bipartite graph."""
+        return np.asarray(self.incidence.sum(axis=1)).ravel().astype(np.int64)
+
+    def context_degrees(self) -> np.ndarray:
+        """Degree of each context node (2 unless endpoints coincide)."""
+        return np.asarray(self.incidence.sum(axis=0)).ravel().astype(np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph({self.metapath.name!r}, objects={self.num_objects}, "
+            f"contexts={self.num_contexts})"
+        )
+
+
+def incidence_from_pairs(pairs: np.ndarray, num_objects: int) -> sp.csr_matrix:
+    """Build the object×context incidence matrix from endpoint pairs."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    m = pairs.shape[0]
+    if m == 0:
+        return sp.csr_matrix((num_objects, 0), dtype=np.float64)
+    rows = pairs.reshape(-1)
+    cols = np.repeat(np.arange(m, dtype=np.int64), 2)
+    data = np.ones(rows.shape[0], dtype=np.float64)
+    matrix = sp.csr_matrix((data, (rows, cols)), shape=(num_objects, m))
+    # A context whose endpoints coincide would produce a 2; clamp binary.
+    matrix.data[:] = np.minimum(matrix.data, 1.0)
+    return matrix
+
+
+def build_bipartite_graph(
+    hin: HIN,
+    metapath: MetaPath,
+    neighbor_filter: NeighborFilter,
+    rng: Optional[np.random.Generator] = None,
+    enumerate_instances: bool = False,
+    max_instances: int = 32,
+) -> BipartiteGraph:
+    """Construct the object/context bipartite graph for one meta-path.
+
+    Steps x–z of Fig. 2: filter neighbors, take the retained pairs as
+    contexts, and connect each context to its two endpoint objects.
+
+    Parameters
+    ----------
+    enumerate_instances:
+        When True, also enumerate each context's path instances (needed by
+        the context-feature builder; skippable when features are computed
+        elsewhere or for the ``ConCH_nc`` ablation).
+    """
+    target_type = metapath.source_type
+    if not metapath.endpoints_match(target_type):
+        raise ValueError(
+            f"meta-path {metapath.name!r} must start and end at the target type"
+        )
+    num_objects = hin.num_nodes(target_type)
+    pairs = neighbor_filter.retained_pairs(hin, metapath, rng=rng)
+    incidence = incidence_from_pairs(pairs, num_objects)
+
+    contexts: Optional[List[MetaPathContext]] = None
+    if enumerate_instances:
+        from repro.hin.context import extract_contexts
+
+        contexts = extract_contexts(hin, metapath, pairs, max_instances=max_instances)
+
+    return BipartiteGraph(
+        metapath=metapath,
+        num_objects=num_objects,
+        pairs=pairs,
+        incidence=incidence,
+        contexts=contexts,
+    )

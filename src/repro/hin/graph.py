@@ -1,0 +1,284 @@
+"""The :class:`HIN` typed multigraph (Definition 1 of the paper).
+
+Nodes of each type are numbered ``0..count-1`` *within their type*; a
+relation between two types is stored as a scipy sparse biadjacency matrix
+of shape ``(count(src_type), count(dst_type))``.  This representation makes
+meta-path composition a chain of sparse matrix products and keeps memory
+proportional to the number of edges.
+
+Features (per type) and labels (usually only the classification target
+type) hang off the graph as numpy arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.hin.schema import NetworkSchema
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A typed edge set: ``name`` relates ``src_type`` to ``dst_type``."""
+
+    name: str
+    src_type: str
+    dst_type: str
+
+
+class HIN:
+    """A heterogeneous information network.
+
+    Example
+    -------
+    >>> hin = HIN()
+    >>> hin.add_node_type("A", 3)          # authors
+    >>> hin.add_node_type("P", 4)          # papers
+    >>> hin.add_edges("writes", "A", "P", [0, 0, 1, 2], [0, 1, 1, 3])
+    >>> hin.adjacency("A", "P").shape
+    (3, 4)
+    """
+
+    def __init__(self, name: str = "hin"):
+        self.name = name
+        self._counts: Dict[str, int] = {}
+        self._relations: Dict[str, Relation] = {}
+        self._biadjacency: Dict[str, sp.csr_matrix] = {}
+        self._features: Dict[str, np.ndarray] = {}
+        self._labels: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def add_node_type(self, node_type: str, count: int) -> None:
+        """Register ``count`` nodes of a new type."""
+        if not node_type:
+            raise ValueError("node type name must be non-empty")
+        if node_type in self._counts:
+            raise ValueError(f"node type {node_type!r} already exists")
+        if count <= 0:
+            raise ValueError(f"node count must be positive, got {count}")
+        self._counts[node_type] = int(count)
+
+    def add_edges(
+        self,
+        relation: str,
+        src_type: str,
+        dst_type: str,
+        src_ids: Sequence[int],
+        dst_ids: Sequence[int],
+        symmetric_name: Optional[str] = None,
+    ) -> None:
+        """Add a relation as a set of (src, dst) pairs.
+
+        Duplicate pairs are collapsed (binary adjacency).  The reverse
+        relation is registered automatically under ``symmetric_name``
+        (default ``"<relation>_rev"``) so meta-paths can traverse edges in
+        both directions.
+        """
+        for node_type in (src_type, dst_type):
+            if node_type not in self._counts:
+                raise KeyError(f"unknown node type {node_type!r}")
+        if relation in self._relations:
+            raise ValueError(f"relation {relation!r} already exists")
+        src_ids = np.asarray(src_ids, dtype=np.int64)
+        dst_ids = np.asarray(dst_ids, dtype=np.int64)
+        if src_ids.shape != dst_ids.shape:
+            raise ValueError("src_ids and dst_ids must have the same length")
+        if src_ids.size and (src_ids.min() < 0 or src_ids.max() >= self._counts[src_type]):
+            raise IndexError(f"src ids out of range for type {src_type!r}")
+        if dst_ids.size and (dst_ids.min() < 0 or dst_ids.max() >= self._counts[dst_type]):
+            raise IndexError(f"dst ids out of range for type {dst_type!r}")
+
+        shape = (self._counts[src_type], self._counts[dst_type])
+        data = np.ones(src_ids.shape[0], dtype=np.float64)
+        matrix = sp.csr_matrix((data, (src_ids, dst_ids)), shape=shape)
+        matrix.data[:] = 1.0  # collapse duplicates to binary
+        matrix.sum_duplicates()
+        matrix.data[:] = 1.0
+
+        self._relations[relation] = Relation(relation, src_type, dst_type)
+        self._biadjacency[relation] = matrix
+
+        reverse = symmetric_name or f"{relation}_rev"
+        if src_type != dst_type or relation != reverse:
+            self._relations[reverse] = Relation(reverse, dst_type, src_type)
+            self._biadjacency[reverse] = sp.csr_matrix(matrix.T)
+
+    def set_features(self, node_type: str, features: np.ndarray) -> None:
+        features = np.asarray(features, dtype=np.float64)
+        if node_type not in self._counts:
+            raise KeyError(f"unknown node type {node_type!r}")
+        if features.shape[0] != self._counts[node_type]:
+            raise ValueError(
+                f"feature rows {features.shape[0]} != node count {self._counts[node_type]}"
+            )
+        self._features[node_type] = features
+
+    def set_labels(self, node_type: str, labels: np.ndarray) -> None:
+        labels = np.asarray(labels, dtype=np.int64)
+        if node_type not in self._counts:
+            raise KeyError(f"unknown node type {node_type!r}")
+        if labels.shape != (self._counts[node_type],):
+            raise ValueError(
+                f"labels shape {labels.shape} != ({self._counts[node_type]},)"
+            )
+        self._labels[node_type] = labels
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_types(self) -> List[str]:
+        return list(self._counts)
+
+    @property
+    def relations(self) -> List[Relation]:
+        return list(self._relations.values())
+
+    def num_nodes(self, node_type: str) -> int:
+        if node_type not in self._counts:
+            raise KeyError(f"unknown node type {node_type!r}")
+        return self._counts[node_type]
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self._counts.values())
+
+    @property
+    def total_edges(self) -> int:
+        """Directed edge count over all registered relations (incl. reverses)."""
+        return int(sum(m.nnz for m in self._biadjacency.values()))
+
+    def relation_matrix(self, relation: str) -> sp.csr_matrix:
+        """Biadjacency of one named relation."""
+        if relation not in self._biadjacency:
+            raise KeyError(f"unknown relation {relation!r}")
+        return self._biadjacency[relation]
+
+    def relation_info(self, relation: str) -> Relation:
+        if relation not in self._relations:
+            raise KeyError(f"unknown relation {relation!r}")
+        return self._relations[relation]
+
+    def adjacency(self, src_type: str, dst_type: str) -> sp.csr_matrix:
+        """Union (binary OR) of all relations from ``src_type`` to ``dst_type``."""
+        for node_type in (src_type, dst_type):
+            if node_type not in self._counts:
+                raise KeyError(f"unknown node type {node_type!r}")
+        shape = (self._counts[src_type], self._counts[dst_type])
+        total = sp.csr_matrix(shape, dtype=np.float64)
+        found = False
+        for relation in self._relations.values():
+            if relation.src_type == src_type and relation.dst_type == dst_type:
+                total = total + self._biadjacency[relation.name]
+                found = True
+        if not found:
+            raise KeyError(f"no relation from {src_type!r} to {dst_type!r}")
+        total = sp.csr_matrix(total)
+        total.data[:] = 1.0
+        return total
+
+    def has_adjacency(self, src_type: str, dst_type: str) -> bool:
+        return any(
+            r.src_type == src_type and r.dst_type == dst_type
+            for r in self._relations.values()
+        )
+
+    def features(self, node_type: str) -> np.ndarray:
+        if node_type not in self._features:
+            raise KeyError(f"no features set for type {node_type!r}")
+        return self._features[node_type]
+
+    def has_features(self, node_type: str) -> bool:
+        return node_type in self._features
+
+    def labels(self, node_type: str) -> np.ndarray:
+        if node_type not in self._labels:
+            raise KeyError(f"no labels set for type {node_type!r}")
+        return self._labels[node_type]
+
+    def has_labels(self, node_type: str) -> bool:
+        return node_type in self._labels
+
+    def schema(self) -> NetworkSchema:
+        """Derive the schematic graph (Definition 2)."""
+        edges = [
+            (relation.src_type, relation.dst_type, relation.name)
+            for relation in self._relations.values()
+        ]
+        return NetworkSchema(self.node_types, edges)
+
+    def is_heterogeneous(self) -> bool:
+        """A network is an HIN iff it has >1 node type or >1 relation."""
+        forward = [r for r in self._relations.values() if not r.name.endswith("_rev")]
+        return len(self._counts) > 1 or len(forward) > 1
+
+    # ------------------------------------------------------------------ #
+    # Homogeneous projection & interoperability
+    # ------------------------------------------------------------------ #
+
+    def global_offsets(self) -> Dict[str, int]:
+        """Offset of each type in a flattened global id space."""
+        offsets: Dict[str, int] = {}
+        running = 0
+        for node_type, count in self._counts.items():
+            offsets[node_type] = running
+            running += count
+        return offsets
+
+    def to_homogeneous(self) -> sp.csr_matrix:
+        """Flatten all types/relations into one global adjacency matrix.
+
+        Used to run homogeneous baselines (node2vec, GCN-on-the-raw-graph)
+        "ignoring the heterogeneity of the network" as the paper does.
+        """
+        offsets = self.global_offsets()
+        total = self.total_nodes
+        rows: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+        for relation in self._relations.values():
+            matrix = self._biadjacency[relation.name].tocoo()
+            rows.append(matrix.row + offsets[relation.src_type])
+            cols.append(matrix.col + offsets[relation.dst_type])
+        if rows:
+            row = np.concatenate(rows)
+            col = np.concatenate(cols)
+        else:
+            row = np.empty(0, dtype=np.int64)
+            col = np.empty(0, dtype=np.int64)
+        data = np.ones(row.shape[0], dtype=np.float64)
+        adj = sp.csr_matrix((data, (row, col)), shape=(total, total))
+        adj = adj + adj.T
+        adj.data[:] = 1.0
+        return adj
+
+    def to_networkx(self):
+        """Export to a ``networkx.MultiGraph`` with typed nodes (diagnostics)."""
+        import networkx as nx
+
+        graph = nx.MultiGraph()
+        for node_type, count in self._counts.items():
+            for i in range(count):
+                graph.add_node((node_type, i), node_type=node_type)
+        for relation in self._relations.values():
+            if relation.name.endswith("_rev"):
+                continue
+            matrix = self._biadjacency[relation.name].tocoo()
+            for src, dst in zip(matrix.row, matrix.col):
+                graph.add_edge(
+                    (relation.src_type, int(src)),
+                    (relation.dst_type, int(dst)),
+                    relation=relation.name,
+                )
+        return graph
+
+    def __repr__(self) -> str:
+        types = ", ".join(f"{t}:{c}" for t, c in self._counts.items())
+        return f"HIN({self.name!r}, nodes=[{types}], edges={self.total_edges})"

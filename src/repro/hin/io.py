@@ -1,0 +1,77 @@
+"""HIN serialization: save/load a network (with features and labels) as
+a single ``.npz`` archive.
+
+Format (all arrays; strings are stored via numpy's unicode dtype):
+
+- ``__types``: node type names, ``__counts``: node counts
+- ``rel/<name>/meta``: [src_type, dst_type]
+- ``rel/<name>/src``, ``rel/<name>/dst``: edge endpoint ids
+- ``feat/<type>``: feature matrix
+- ``label/<type>``: label vector
+
+Reverse relations (``*_rev``) are not stored; they are regenerated on
+load by :meth:`repro.hin.graph.HIN.add_edges`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.hin.graph import HIN
+
+
+def save_hin(hin: HIN, path: Union[str, Path]) -> None:
+    """Write a HIN to ``path`` (``.npz``)."""
+    arrays = {
+        "__name": np.array(hin.name),
+        "__types": np.array(hin.node_types),
+        "__counts": np.array([hin.num_nodes(t) for t in hin.node_types]),
+    }
+    for relation in hin.relations:
+        if relation.name.endswith("_rev"):
+            continue
+        matrix = hin.relation_matrix(relation.name).tocoo()
+        arrays[f"rel/{relation.name}/meta"] = np.array(
+            [relation.src_type, relation.dst_type]
+        )
+        arrays[f"rel/{relation.name}/src"] = matrix.row.astype(np.int64)
+        arrays[f"rel/{relation.name}/dst"] = matrix.col.astype(np.int64)
+    for node_type in hin.node_types:
+        if hin.has_features(node_type):
+            arrays[f"feat/{node_type}"] = hin.features(node_type)
+        try:
+            arrays[f"label/{node_type}"] = hin.labels(node_type)
+        except KeyError:
+            pass
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_hin(path: Union[str, Path]) -> HIN:
+    """Read a HIN previously written by :func:`save_hin`."""
+    archive = np.load(Path(path), allow_pickle=False)
+    hin = HIN(name=str(archive["__name"]))
+    types = [str(t) for t in archive["__types"]]
+    counts = archive["__counts"]
+    for node_type, count in zip(types, counts):
+        hin.add_node_type(node_type, int(count))
+
+    for key in archive.files:
+        if key.startswith("rel/") and key.endswith("/meta"):
+            name = key[len("rel/"): -len("/meta")]
+            src_type, dst_type = (str(x) for x in archive[key])
+            hin.add_edges(
+                name,
+                src_type,
+                dst_type,
+                archive[f"rel/{name}/src"],
+                archive[f"rel/{name}/dst"],
+            )
+    for key in archive.files:
+        if key.startswith("feat/"):
+            hin.set_features(key[len("feat/"):], archive[key])
+        elif key.startswith("label/"):
+            hin.set_labels(key[len("label/"):], archive[key])
+    return hin

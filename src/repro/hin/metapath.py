@@ -1,0 +1,94 @@
+"""Meta-paths (Definition 3).
+
+A :class:`MetaPath` is a sequence of node types, e.g. ``["A", "P", "A"]``
+(co-authorship on DBLP).  Symmetric meta-paths — palindromic type
+sequences — are the ones PathSim is defined over; the classification
+pipeline requires the meta-path to start and end at the target type.
+
+Meta-paths can be parsed from compact strings (``"APCPA"``) when every
+type name is a single character, or from dash-separated names
+(``"Movie-Actor-Movie"``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.hin.schema import NetworkSchema
+
+
+class MetaPath:
+    """A typed path template ``T1 - T2 - ... - T_{l+1}``."""
+
+    def __init__(self, node_types: Sequence[str], name: Optional[str] = None):
+        if len(node_types) < 2:
+            raise ValueError("a meta-path needs at least two node types")
+        self.node_types: List[str] = [str(t) for t in node_types]
+        self.name = name or "".join(self.node_types) if all(
+            len(t) == 1 for t in self.node_types
+        ) else (name or "-".join(self.node_types))
+
+    # ------------------------------------------------------------------ #
+    # Parsing
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(cls, text: str) -> "MetaPath":
+        """Parse ``"APA"`` (single-char types) or ``"Movie-Actor-Movie"``."""
+        text = text.strip()
+        if not text:
+            raise ValueError("empty meta-path string")
+        if "-" in text:
+            parts = [part.strip() for part in text.split("-")]
+            if any(not part for part in parts):
+                raise ValueError(f"malformed meta-path string {text!r}")
+            return cls(parts, name=text)
+        return cls(list(text), name=text)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def length(self) -> int:
+        """Number of hops (edges) in the template."""
+        return len(self.node_types) - 1
+
+    @property
+    def source_type(self) -> str:
+        return self.node_types[0]
+
+    @property
+    def target_type(self) -> str:
+        return self.node_types[-1]
+
+    def is_symmetric(self) -> bool:
+        """True iff the type sequence is a palindrome (PathSim requires this)."""
+        return self.node_types == self.node_types[::-1]
+
+    def endpoints_match(self, node_type: str) -> bool:
+        return self.source_type == node_type and self.target_type == node_type
+
+    def validate(self, schema: NetworkSchema) -> "MetaPath":
+        """Check against a schema; returns self for chaining."""
+        schema.validate_metapath(self.node_types)
+        return self
+
+    def reversed(self) -> "MetaPath":
+        return MetaPath(self.node_types[::-1])
+
+    # ------------------------------------------------------------------ #
+    # Equality / hashing (used as dict keys throughout the pipeline)
+    # ------------------------------------------------------------------ #
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MetaPath) and self.node_types == other.node_types
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.node_types))
+
+    def __repr__(self) -> str:
+        return f"MetaPath({self.name!r})"
+
+    def __len__(self) -> int:
+        return len(self.node_types)

@@ -1,0 +1,57 @@
+"""Network schema (Definition 2): the schematic graph over node types.
+
+The schema is used to validate meta-paths before any expensive sparse
+algebra: a meta-path is well-formed iff every consecutive pair of types is
+connected by some relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+
+class NetworkSchema:
+    """Schematic graph: node set = object types, edge set = relations."""
+
+    def __init__(self, node_types: Sequence[str], edges: Iterable[Tuple[str, str, str]]):
+        self.node_types: List[str] = list(node_types)
+        type_set = set(self.node_types)
+        self._edges: List[Tuple[str, str, str]] = []
+        self._connected: Set[Tuple[str, str]] = set()
+        for src, dst, relation in edges:
+            if src not in type_set or dst not in type_set:
+                raise ValueError(f"schema edge ({src}, {dst}) uses unknown node type")
+            self._edges.append((src, dst, relation))
+            self._connected.add((src, dst))
+
+    @property
+    def edges(self) -> List[Tuple[str, str, str]]:
+        return list(self._edges)
+
+    def are_connected(self, src_type: str, dst_type: str) -> bool:
+        return (src_type, dst_type) in self._connected
+
+    def relations_between(self, src_type: str, dst_type: str) -> List[str]:
+        return [rel for s, d, rel in self._edges if s == src_type and d == dst_type]
+
+    def validate_metapath(self, type_sequence: Sequence[str]) -> None:
+        """Raise ``ValueError`` unless consecutive types are schema-adjacent."""
+        if len(type_sequence) < 2:
+            raise ValueError("a meta-path needs at least two node types")
+        unknown = [t for t in type_sequence if t not in self.node_types]
+        if unknown:
+            raise ValueError(f"meta-path uses unknown node types: {unknown}")
+        for src, dst in zip(type_sequence[:-1], type_sequence[1:]):
+            if not self.are_connected(src, dst):
+                raise ValueError(
+                    f"meta-path step {src} -> {dst} has no relation in the schema"
+                )
+
+    def degree(self, node_type: str) -> int:
+        """Number of schema edges incident to a type (diagnostics)."""
+        return sum(1 for s, d, _ in self._edges if s == node_type or d == node_type)
+
+    def __repr__(self) -> str:
+        pairs = sorted({(s, d) for s, d, _ in self._edges})
+        rendered = ", ".join(f"{s}-{d}" for s, d in pairs)
+        return f"NetworkSchema(types={self.node_types}, edges=[{rendered}])"

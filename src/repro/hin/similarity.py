@@ -1,0 +1,210 @@
+"""Meta-path similarity measures beyond PathSim.
+
+ConCH filters neighbors by PathSim (Eq. 1); the paper notes the choice of
+ranking function is orthogonal to the architecture.  This module provides
+the standard alternatives from the HIN similarity-search literature so the
+filtering stage can be ablated:
+
+- :func:`hetesim_matrix` — HeteSim (Shi et al., TKDE 2014): cosine of the
+  *probability* distributions over middle-type objects reached from each
+  endpoint along the two half-paths.
+- :func:`joinsim_matrix` — JoinSim (Xiong et al., VLDB 2015): path-join
+  count normalized by the geometric mean of the self-join counts,
+  ``M[u,v] / sqrt(M[u,u] * M[v,v])``.
+- :func:`cosine_commuting_matrix` — structural equivalence: cosine
+  similarity of commuting-matrix rows (two nodes are similar when they
+  reach the *same* meta-path neighbors, even if not each other).
+
+All measures are symmetric, bounded in ``[0, 1]``, and returned as sparse
+matrices with a structurally absent diagonal, matching the conventions of
+:func:`repro.hin.pathsim.pathsim_matrix`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.hin.adjacency import metapath_adjacency, relation_chain
+from repro.hin.graph import HIN
+from repro.hin.metapath import MetaPath
+from repro.hin.pathsim import pathsim_matrix
+
+#: Ranking measures usable by the neighbor filter (plus "random").
+SIMILARITY_MEASURES = ("pathsim", "hetesim", "joinsim", "cosine")
+
+
+def _require_symmetric(metapath: MetaPath, measure: str) -> None:
+    if not metapath.is_symmetric():
+        raise ValueError(
+            f"{measure} requires a symmetric meta-path, got {metapath.name!r}"
+        )
+
+
+def _require_middle_type(metapath: MetaPath, measure: str) -> None:
+    if len(metapath.node_types) % 2 == 0:
+        raise ValueError(
+            f"{measure} needs a middle node type; meta-path {metapath.name!r} "
+            f"has an even number of types (decompose the middle relation first)"
+        )
+
+
+def _row_normalize(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Rows rescaled to sum to 1 (zero rows stay zero)."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    scale = np.divide(
+        1.0, row_sums, out=np.zeros_like(row_sums), where=row_sums > 0
+    )
+    return sp.csr_matrix(sp.diags(scale) @ matrix)
+
+
+def _l2_normalize_rows(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Rows rescaled to unit L2 norm (zero rows stay zero)."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel())
+    scale = np.divide(1.0, norms, out=np.zeros_like(norms), where=norms > 0)
+    return sp.csr_matrix(sp.diags(scale) @ matrix)
+
+
+def _drop_diagonal(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    matrix = matrix.tolil()
+    matrix.setdiag(0.0)
+    matrix = matrix.tocsr()
+    matrix.eliminate_zeros()
+    return matrix
+
+
+def half_commuting_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
+    """Path-instance counts from the endpoint type to the middle type.
+
+    For ``APCPA`` this is the ``A @ P @ C`` product — the number of
+    half-paths from each author to each conference.  Requires a symmetric
+    meta-path with an odd number of node types.
+    """
+    _require_symmetric(metapath, "half_commuting_matrix")
+    _require_middle_type(metapath, "half_commuting_matrix")
+    chain = relation_chain(hin, metapath)
+    half = chain[: len(chain) // 2]
+    product: sp.csr_matrix = half[0]
+    for matrix in half[1:]:
+        product = sp.csr_matrix(product @ matrix)
+    return product
+
+
+def hetesim_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
+    """HeteSim scores for all connected pairs.
+
+    Each hop of the half-path is row-normalized into a transition
+    probability matrix; a node's *reachability distribution* over
+    middle-type objects is the product of these.  HeteSim is the cosine of
+    two nodes' distributions:
+
+        HS(u, v) = <p_u, p_v> / (|p_u| * |p_v|)
+
+    Diagonal entries (always 1 for nodes with any half-path) are dropped.
+    """
+    _require_symmetric(metapath, "HeteSim")
+    _require_middle_type(metapath, "HeteSim")
+    chain = relation_chain(hin, metapath)
+    half = chain[: len(chain) // 2]
+    reach: sp.csr_matrix = _row_normalize(half[0])
+    for matrix in half[1:]:
+        reach = sp.csr_matrix(reach @ _row_normalize(matrix))
+    unit = _l2_normalize_rows(reach)
+    scores = sp.csr_matrix(unit @ unit.T)
+    # Cosine of probability vectors is bounded by 1; clip accumulated
+    # floating-point excess so downstream ranking code can rely on [0, 1].
+    scores.data = np.clip(scores.data, 0.0, 1.0)
+    return _drop_diagonal(scores)
+
+
+def joinsim_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
+    """JoinSim scores for all connected pairs.
+
+        JS(u, v) = M[u, v] / sqrt(M[u, u] * M[v, v])
+
+    where ``M`` is the commuting matrix.  Cauchy–Schwarz bounds this by 1;
+    it differs from PathSim (arithmetic-mean denominator) in penalizing
+    degree imbalance less severely.
+    """
+    _require_symmetric(metapath, "JoinSim")
+    counts = metapath_adjacency(hin, metapath, remove_self_paths=False).tocoo()
+    diag = metapath_adjacency(hin, metapath, remove_self_paths=False).diagonal()
+
+    row, col, data = counts.row, counts.col, counts.data
+    off_diag = row != col
+    row, col, data = row[off_diag], col[off_diag], data[off_diag]
+    denom = np.sqrt(diag[row] * diag[col])
+    valid = denom > 0
+    row, col, data, denom = row[valid], col[valid], data[valid], denom[valid]
+    scores = np.clip(data / denom, 0.0, 1.0)
+    n = counts.shape[0]
+    return sp.csr_matrix((scores, (row, col)), shape=(n, n))
+
+
+def cosine_commuting_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
+    """Cosine similarity of commuting-matrix rows (structural equivalence).
+
+    Two nodes score high when their meta-path *neighborhoods* overlap,
+    regardless of whether they are meta-path neighbors of each other —
+    e.g. two authors publishing at the same venues score high under
+    ``APCPA`` even with no shared paper.
+    """
+    _require_symmetric(metapath, "cosine")
+    counts = metapath_adjacency(hin, metapath, remove_self_paths=False)
+    unit = _l2_normalize_rows(counts)
+    scores = sp.csr_matrix(unit @ unit.T)
+    scores.data = np.clip(scores.data, 0.0, 1.0)
+    return _drop_diagonal(scores)
+
+
+def similarity_matrix(
+    hin: HIN, metapath: MetaPath, measure: str = "pathsim"
+) -> sp.csr_matrix:
+    """Dispatch to one of the registered similarity measures.
+
+    Parameters
+    ----------
+    measure:
+        One of :data:`SIMILARITY_MEASURES`.
+    """
+    if measure == "pathsim":
+        return pathsim_matrix(hin, metapath)
+    if measure == "hetesim":
+        return hetesim_matrix(hin, metapath)
+    if measure == "joinsim":
+        return joinsim_matrix(hin, metapath)
+    if measure == "cosine":
+        return cosine_commuting_matrix(hin, metapath)
+    raise ValueError(
+        f"unknown similarity measure {measure!r}; known: {SIMILARITY_MEASURES}"
+    )
+
+
+def measure_agreement(
+    hin: HIN,
+    metapath: MetaPath,
+    measure_a: str,
+    measure_b: str,
+    k: int,
+) -> float:
+    """Mean Jaccard overlap of two measures' per-node top-k neighbor sets.
+
+    Diagnostic used by the filtering ablation to quantify how much the
+    ranking function actually changes the selected neighbors.
+    """
+    from repro.hin.neighbors import _top_k_rows  # local: avoid cycle at import
+
+    lists_a = _top_k_rows(similarity_matrix(hin, metapath, measure_a), k)
+    lists_b = _top_k_rows(similarity_matrix(hin, metapath, measure_b), k)
+    overlaps: List[float] = []
+    for top_a, top_b in zip(lists_a, lists_b):
+        set_a, set_b = set(top_a.tolist()), set(top_b.tolist())
+        union = set_a | set_b
+        if not union:
+            continue
+        overlaps.append(len(set_a & set_b) / len(union))
+    return float(np.mean(overlaps)) if overlaps else 1.0

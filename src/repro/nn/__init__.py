@@ -1,0 +1,49 @@
+"""A small neural-network library over :mod:`repro.autograd`.
+
+Provides the layer/optimizer/initializer surface the ConCH paper needs:
+``Module``/``Parameter`` containers, ``Linear``, ``MLP``, ``Dropout``,
+activations, cross-entropy and binary-cross-entropy losses, ``Adam`` and
+``SGD`` with ℓ2 weight decay, Glorot (Xavier) initialization, and an
+``EarlyStopping`` helper matching the paper's patience-based protocol.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear, MLP, Dropout, Sequential, Bilinear
+from repro.nn.activations import ReLU, LeakyReLU, Tanh, Sigmoid, ELU, Identity
+from repro.nn.losses import (
+    cross_entropy,
+    binary_cross_entropy_with_logits,
+    l2_penalty,
+    mean_squared_error,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.init import glorot_uniform, glorot_normal, kaiming_uniform, zeros_init
+from repro.nn.schedulers import EarlyStopping
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "Dropout",
+    "Sequential",
+    "Bilinear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "ELU",
+    "Identity",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "l2_penalty",
+    "mean_squared_error",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "glorot_uniform",
+    "glorot_normal",
+    "kaiming_uniform",
+    "zeros_init",
+    "EarlyStopping",
+]

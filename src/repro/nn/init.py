@@ -1,0 +1,50 @@
+"""Weight initializers.
+
+The paper initializes with Glorot (Xavier) initialization [62]; we provide
+both uniform and normal variants plus Kaiming for completeness.
+All initializers take an explicit ``numpy.random.Generator`` so experiments
+are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer shapes must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Xavier/Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He/Kaiming uniform for ReLU fan-in scaling."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros_init(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zeros (used for biases)."""
+    del rng
+    return np.zeros(shape)

@@ -1,0 +1,139 @@
+"""Core layers: Linear, Dropout, Sequential, MLP, Bilinear.
+
+Each layer takes an explicit ``numpy.random.Generator`` for initialization
+(and for dropout masks), keeping every experiment reproducible from a
+single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.activations import Identity, ReLU
+from repro.nn.init import glorot_uniform, zeros_init
+from repro.nn.module import Module, ModuleList, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with Glorot-initialized weight."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        init: Callable = glorot_uniform,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"Linear dimensions must be positive, got ({in_features}, {out_features})"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init((out_features, in_features), rng), name="weight")
+        self.bias = Parameter(zeros_init((out_features,), rng), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.p, self.rng, training=self.training)
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = ModuleList(list(modules))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable hidden sizes and activation.
+
+    ``dims = [in, h1, ..., out]``.  The activation is applied between
+    layers but not after the final one; optional dropout after each hidden
+    activation.
+    """
+
+    def __init__(
+        self,
+        dims: Sequence[int],
+        rng: np.random.Generator,
+        activation: Optional[Module] = None,
+        dropout: float = 0.0,
+        bias: bool = True,
+    ):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output dimension")
+        self.dims = list(dims)
+        self.activation = activation if activation is not None else ReLU()
+        self.linears = ModuleList(
+            [Linear(dims[i], dims[i + 1], rng, bias=bias) for i in range(len(dims) - 1)]
+        )
+        self.dropout = Dropout(dropout, rng) if dropout > 0.0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.linears) - 1
+        for index, linear in enumerate(self.linears):
+            x = linear(x)
+            if index != last:
+                x = self.activation(x)
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x
+
+
+class Bilinear(Module):
+    """Bilinear form ``score(x, y) = x^T W y`` (the DGI discriminator, Eq. 13).
+
+    ``forward`` accepts a batch of ``x`` rows and a single summary vector
+    ``y`` (or a batch of the same length) and returns one score per row.
+    """
+
+    def __init__(self, left_features: int, right_features: int, rng: np.random.Generator):
+        super().__init__()
+        self.weight = Parameter(
+            glorot_uniform((left_features, right_features), rng), name="weight"
+        )
+
+    def forward(self, x: Tensor, y: Tensor) -> Tensor:
+        projected = x @ self.weight  # (n, right)
+        if y.ndim == 1:
+            return projected @ y  # (n,)
+        return (projected * y).sum(axis=1)

@@ -1,0 +1,81 @@
+"""Loss functions.
+
+``cross_entropy`` implements the paper's Eq. 10 (softmax cross entropy over
+logits with integer labels).  ``binary_cross_entropy_with_logits`` backs the
+DGI-style self-supervised objective (Eq. 12).  ``l2_penalty`` is the ℓ2-norm
+regularizer on the weight matrices (§V-C, penalty weight 0.0005).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Parameter
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross entropy.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(n, num_classes)``.
+    labels:
+        Integer class indices of shape ``(n,)``.
+    """
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"labels shape {labels.shape} incompatible with logits {logits.shape}"
+        )
+    if labels.size == 0:
+        raise ValueError("cross_entropy called with an empty batch")
+    log_probs = ops.log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(labels.shape[0]), labels]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically stable mean BCE over raw scores.
+
+    Uses the standard ``max(x, 0) - x*t + log(1 + exp(-|x|))`` formulation.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.shape != logits.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} must match logits shape {logits.shape}"
+        )
+    positive_part = logits.relu()
+    linear_part = logits * Tensor(targets)
+    log_part = ((-logits.abs()).exp() + 1.0).log()
+    return (positive_part - linear_part + log_part).mean()
+
+
+def mean_squared_error(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    targets = np.asarray(targets, dtype=np.float64)
+    diff = predictions - Tensor(targets)
+    return (diff * diff).mean()
+
+
+def l2_penalty(parameters: Iterable[Parameter], weight: float) -> Optional[Tensor]:
+    """``weight * sum_j ||W_j||^2`` over all given parameters.
+
+    Returns ``None`` when ``weight == 0`` or there are no parameters, so the
+    caller can skip adding a constant-zero node to the graph.
+    """
+    if weight == 0.0:
+        return None
+    total: Optional[Tensor] = None
+    for parameter in parameters:
+        term = (parameter * parameter).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return None
+    return total * weight

@@ -1,0 +1,173 @@
+"""``Module`` and ``Parameter``: containers for learnable state.
+
+Mirrors the familiar torch.nn design at a much smaller scale: modules hold
+parameters and submodules discovered by attribute assignment; ``.parameters()``
+walks the tree; ``train()``/``eval()`` toggle behaviour of stochastic layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is always a leaf with ``requires_grad=True``."""
+
+    def __init__(self, data, name: Optional[str] = None):
+        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for neural-network building blocks.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; these are auto-registered for :meth:`parameters` /
+    :meth:`named_parameters` traversal.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------ #
+    # Registration helpers for containers holding lists of params/modules
+    # ------------------------------------------------------------------ #
+
+    def register_parameter(self, name: str, parameter: Parameter) -> Parameter:
+        self._parameters[name] = parameter
+        return parameter
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    # ------------------------------------------------------------------ #
+    # Traversal
+    # ------------------------------------------------------------------ #
+
+    def parameters(self) -> List[Parameter]:
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, parameter in self._parameters.items():
+            yield (f"{prefix}{name}", parameter)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for module in self._modules.values():
+            yield from module.modules()
+
+    def num_parameters(self) -> int:
+        """Total count of scalar learnable parameters."""
+        return sum(p.data.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # Mode switching and gradient bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def train(self, mode: bool = True) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # State (de)serialization — plain dicts of numpy arrays
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch; missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            if parameter.data.shape != state[name].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{parameter.data.shape} vs {state[name].shape}"
+                )
+            parameter.data[...] = state[name]
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """Holds an ordered list of submodules (indexable, iterable)."""
+
+    def __init__(self, modules: Optional[List[Module]] = None):
+        super().__init__()
+        self._items: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.register_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class ParameterList(Module):
+    """Holds an ordered list of parameters."""
+
+    def __init__(self, parameters: Optional[List[Parameter]] = None):
+        super().__init__()
+        self._items: List[Parameter] = []
+        for parameter in parameters or []:
+            self.append(parameter)
+
+    def append(self, parameter: Parameter) -> "ParameterList":
+        self.register_parameter(str(len(self._items)), parameter)
+        self._items.append(parameter)
+        return self
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> Parameter:
+        return self._items[index]
+
+    def __len__(self) -> int:
+        return len(self._items)

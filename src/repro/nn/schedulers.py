@@ -1,0 +1,65 @@
+"""Training-control utilities.
+
+``EarlyStopping`` implements the paper's protocol (§V-C): stop when the
+monitored validation metric has not improved for ``patience`` consecutive
+epochs, and restore the best weights seen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+class EarlyStopping:
+    """Patience-based early stopping that snapshots the best model state.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving epochs tolerated (paper: 100).
+    mode:
+        ``"max"`` for accuracy-like metrics, ``"min"`` for losses.
+    min_delta:
+        Minimum change that counts as an improvement.
+    """
+
+    def __init__(self, patience: int = 100, mode: str = "max", min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if mode not in ("max", "min"):
+            raise ValueError(f"mode must be 'max' or 'min', got {mode!r}")
+        self.patience = patience
+        self.mode = mode
+        self.min_delta = min_delta
+        self.best_value: Optional[float] = None
+        self.best_epoch: int = -1
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self._bad_epochs = 0
+
+    def _improved(self, value: float) -> bool:
+        if self.best_value is None:
+            return True
+        if self.mode == "max":
+            return value > self.best_value + self.min_delta
+        return value < self.best_value - self.min_delta
+
+    def step(self, value: float, model: Optional[Module] = None, epoch: int = -1) -> bool:
+        """Record a metric value; return ``True`` if training should stop."""
+        if self._improved(value):
+            self.best_value = value
+            self.best_epoch = epoch
+            self._bad_epochs = 0
+            if model is not None:
+                self.best_state = model.state_dict()
+            return False
+        self._bad_epochs += 1
+        return self._bad_epochs >= self.patience
+
+    def restore(self, model: Module) -> None:
+        """Load the best snapshotted weights back into ``model``."""
+        if self.best_state is not None:
+            model.load_state_dict(self.best_state)

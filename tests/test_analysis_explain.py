@@ -1,0 +1,123 @@
+"""Tests for HIN diagnostics (hin.analysis) and explanations (core.explain)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConCHConfig, ConCHTrainer, prepare_conch_data
+from repro.core.explain import Explanation, explain_node
+from repro.data import DBLPConfig, FreebaseConfig, load_dataset, stratified_split
+from repro.hin import MetaPath
+from repro.hin.analysis import dataset_report, label_homophily, metapath_stats
+from tests.test_hin_graph import movie_hin
+
+
+class TestMetaPathStats:
+    def test_fig1_example_values(self):
+        hin = movie_hin()
+        hin.set_labels("M", np.array([0, 0, 1, 1]))
+        stats = metapath_stats(hin, MetaPath.parse("MAM"))
+        # Every movie has at least one MAM neighbor.
+        assert stats.coverage == 1.0
+        # Binary MAM projection: M1-M2, M1-M3, M1-M4, M2-M3, M2-M4 (sym).
+        assert stats.mean_degree == pytest.approx(10 / 4)
+        # Same-label connected pairs: (M1,M2) and (M3? M3-M4 not connected).
+        # Pairs (directed): 12,13,14,21,23,24,31,32,41,42 -> same: 12,21,34? no.
+        assert 0.0 <= stats.homophily <= 1.0
+        assert stats.mean_instances_per_pair >= 1.0
+
+    def test_pathsim_homophily_bounds(self):
+        hin = movie_hin()
+        hin.set_labels("M", np.array([0, 0, 1, 1]))
+        stats = metapath_stats(hin, MetaPath.parse("MAM"))
+        assert 0.0 <= stats.pathsim_homophily <= 1.0
+
+    def test_explicit_labels_override(self):
+        hin = movie_hin()
+        stats = metapath_stats(
+            hin, MetaPath.parse("MAM"), labels=np.array([0, 0, 0, 0])
+        )
+        assert stats.homophily == 1.0
+
+    def test_label_homophily_shortcut(self):
+        hin = movie_hin()
+        hin.set_labels("M", np.array([0, 0, 0, 0]))
+        assert label_homophily(hin, MetaPath.parse("MAM")) == 1.0
+
+    def test_generator_semantics_dblp(self):
+        """APA should have lower coverage (sparser) than APCPA."""
+        dataset = load_dataset(
+            "dblp",
+            config=DBLPConfig(num_authors=80, num_papers=260, num_conferences=8),
+        )
+        apa = metapath_stats(dataset.hin, dataset.metapaths[0])
+        apcpa = metapath_stats(dataset.hin, dataset.metapaths[2])
+        assert apcpa.mean_degree > apa.mean_degree
+
+    def test_dataset_report_renders(self):
+        dataset = load_dataset(
+            "freebase",
+            config=FreebaseConfig(
+                num_movies=40, num_actors=120, num_directors=25, num_producers=40
+            ),
+        )
+        report = dataset_report(dataset)
+        assert "freebase" in report
+        for metapath in dataset.metapaths:
+            assert metapath.name in report
+
+
+class TestExplainNode:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        dataset = load_dataset(
+            "dblp",
+            config=DBLPConfig(num_authors=80, num_papers=260, num_conferences=8),
+        )
+        config = ConCHConfig(
+            epochs=25, patience=25, k=3, num_layers=1, context_dim=16,
+            hidden_dim=16, out_dim=16, lr=0.01,
+            embed_num_walks=3, embed_walk_length=15, embed_epochs=1,
+        )
+        split = stratified_split(dataset.labels, 0.2, seed=0)
+        data = prepare_conch_data(dataset, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        trainer.data = data  # explain_node reads trainer.data
+        return dataset, trainer
+
+    def test_explanation_structure(self, fitted):
+        dataset, trainer = fitted
+        explanation = explain_node(trainer, dataset, node=0, max_neighbors=3)
+        assert isinstance(explanation, Explanation)
+        assert explanation.node == 0
+        assert 0 <= explanation.predicted_label < dataset.num_classes
+        assert len(explanation.evidence) == len(dataset.metapaths)
+        attention_total = sum(e.attention_weight for e in explanation.evidence)
+        assert attention_total == pytest.approx(1.0, abs=1e-6)
+
+    def test_neighbors_sorted_by_pathsim(self, fitted):
+        dataset, trainer = fitted
+        explanation = explain_node(trainer, dataset, node=1, max_neighbors=5)
+        for evidence in explanation.evidence:
+            scores = [n.pathsim for n in evidence.neighbors]
+            assert scores == sorted(scores, reverse=True)
+
+    def test_instances_connect_the_pair(self, fitted):
+        dataset, trainer = fitted
+        explanation = explain_node(trainer, dataset, node=2, max_neighbors=2)
+        for evidence in explanation.evidence:
+            for item in evidence.neighbors:
+                for instance in item.instances:
+                    assert instance[0] in (2, item.neighbor)
+                    assert instance[-1] in (2, item.neighbor)
+
+    def test_render(self, fitted):
+        dataset, trainer = fitted
+        explanation = explain_node(trainer, dataset, node=0)
+        text = explanation.render(class_names=dataset.class_names)
+        assert "node 0" in text
+        assert any(mp.name in text for mp in dataset.metapaths)
+
+    def test_out_of_range(self, fitted):
+        dataset, trainer = fitted
+        with pytest.raises(IndexError):
+            explain_node(trainer, dataset, node=10_000)

@@ -1,0 +1,178 @@
+"""Tests for functional ops: softmax family, segment ops, shape ops, dropout."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, ops
+
+
+class TestSoftmax:
+    def setup_method(self):
+        self.rng = np.random.default_rng(3)
+
+    def test_rows_sum_to_one(self):
+        x = Tensor(self.rng.normal(size=(4, 5)))
+        out = ops.softmax(x, axis=1).data
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(4))
+
+    def test_stability_large_values(self):
+        x = Tensor(np.array([[1000.0, 1000.0]]))
+        out = ops.softmax(x).data
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_gradcheck(self):
+        x = Tensor(self.rng.normal(size=(3, 4)), requires_grad=True)
+        gradcheck(lambda a: ops.softmax(a, axis=1), [x])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(self.rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(
+            ops.log_softmax(x, axis=1).data,
+            np.log(ops.softmax(x, axis=1).data),
+        )
+
+    def test_log_softmax_gradcheck(self):
+        x = Tensor(self.rng.normal(size=(2, 5)), requires_grad=True)
+        gradcheck(lambda a: ops.log_softmax(a, axis=1), [x])
+
+    def test_masked_softmax_zeroes_masked(self):
+        x = Tensor(np.array([[1.0, 2.0, 3.0]]))
+        mask = np.array([[True, False, True]])
+        out = ops.masked_softmax(x, mask, axis=1).data
+        assert out[0, 1] == 0.0
+        np.testing.assert_allclose(out.sum(), 1.0)
+
+    def test_masked_softmax_all_masked_row_is_zero(self):
+        x = Tensor(np.array([[1.0, 2.0]]))
+        out = ops.masked_softmax(x, np.array([[False, False]]), axis=1).data
+        np.testing.assert_allclose(out, [[0.0, 0.0]])
+
+    def test_masked_softmax_gradcheck(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        mask = rng.random((3, 4)) > 0.3
+        mask[:, 0] = True  # no fully-masked rows
+        gradcheck(lambda a: ops.masked_softmax(a, mask, axis=1), [x])
+
+
+class TestSegmentOps:
+    def test_segment_sum_values(self):
+        x = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        out = ops.segment_sum(x, np.array([0, 0, 1]), 2).data
+        np.testing.assert_allclose(out, [[3.0], [3.0]])
+
+    def test_segment_sum_empty_segment(self):
+        x = Tensor(np.array([[1.0]]))
+        out = ops.segment_sum(x, np.array([2]), 3).data
+        np.testing.assert_allclose(out, [[0.0], [0.0], [1.0]])
+
+    def test_segment_sum_gradcheck(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(size=(5, 2)), requires_grad=True)
+        ids = np.array([0, 1, 0, 2, 1])
+        gradcheck(lambda a: ops.segment_sum(a, ids, 3), [x])
+
+    def test_segment_mean_values(self):
+        x = Tensor(np.array([[2.0], [4.0], [10.0]]))
+        out = ops.segment_mean(x, np.array([0, 0, 1]), 2).data
+        np.testing.assert_allclose(out, [[3.0], [10.0]])
+
+    def test_segment_mean_empty_segment_is_zero(self):
+        x = Tensor(np.array([[2.0]]))
+        out = ops.segment_mean(x, np.array([0]), 2).data
+        np.testing.assert_allclose(out[1], [0.0])
+
+    def test_segment_softmax_normalizes_per_segment(self):
+        scores = Tensor(np.array([1.0, 2.0, 3.0, 4.0]))
+        ids = np.array([0, 0, 1, 1])
+        out = ops.segment_softmax(scores, ids, 2).data
+        np.testing.assert_allclose(out[:2].sum(), 1.0)
+        np.testing.assert_allclose(out[2:].sum(), 1.0)
+
+    def test_segment_softmax_gradcheck(self):
+        rng = np.random.default_rng(2)
+        scores = Tensor(rng.normal(size=7), requires_grad=True)
+        ids = np.array([0, 1, 0, 2, 1, 2, 2])
+        gradcheck(lambda a: ops.segment_softmax(a, ids, 3), [scores])
+
+    def test_segment_softmax_large_scores_stable(self):
+        scores = Tensor(np.array([1000.0, 1000.0]))
+        out = ops.segment_softmax(scores, np.array([0, 0]), 1).data
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+
+class TestShapeOps:
+    def setup_method(self):
+        self.rng = np.random.default_rng(5)
+
+    def test_concatenate_forward(self):
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.zeros((3, 2)))
+        out = ops.concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+
+    def test_concatenate_gradcheck(self):
+        a = Tensor(self.rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(2, 2)), requires_grad=True)
+        gradcheck(lambda x, y: ops.concatenate([x, y], axis=1), [a, b])
+
+    def test_stack_forward(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(np.zeros(3))
+        assert ops.stack([a, b], axis=0).shape == (2, 3)
+        assert ops.stack([a, b], axis=1).shape == (3, 2)
+
+    def test_stack_gradcheck(self):
+        a = Tensor(self.rng.normal(size=(4,)), requires_grad=True)
+        b = Tensor(self.rng.normal(size=(4,)), requires_grad=True)
+        gradcheck(lambda x, y: ops.stack([x, y], axis=1), [a, b])
+
+    def test_where_gradcheck(self):
+        cond = np.array([True, False, True])
+        a = Tensor(self.rng.normal(size=3), requires_grad=True)
+        b = Tensor(self.rng.normal(size=3), requires_grad=True)
+        gradcheck(lambda x, y: ops.where(cond, x, y), [a, b])
+
+    def test_constructors(self):
+        assert ops.zeros(2, 3).shape == (2, 3)
+        assert ops.ones(4).data.sum() == 4.0
+        base = Tensor(np.ones((2, 2)))
+        assert ops.zeros_like(base).data.sum() == 0.0
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((10, 10)))
+        out = ops.dropout(x, 0.5, rng, training=False)
+        assert out is x
+
+    def test_zero_p_is_identity(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(5))
+        assert ops.dropout(x, 0.0, rng, training=True) is x
+
+    def test_invalid_p_raises(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ops.dropout(Tensor(np.ones(3)), 1.0, rng)
+
+    def test_expected_scale_preserved(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = ops.dropout(x, 0.5, rng, training=True)
+        assert abs(out.data.mean() - 1.0) < 0.05
+
+    def test_gradient_flows_through_mask(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones(1000), requires_grad=True)
+        out = ops.dropout(x, 0.5, rng, training=True)
+        out.sum().backward()
+        # Gradient equals the mask: zeros where dropped, 2.0 where kept.
+        kept = x.grad > 0
+        np.testing.assert_allclose(x.grad[kept], 2.0)
+
+    def test_embedding_lookup(self):
+        table = Tensor(np.eye(4), requires_grad=True)
+        out = ops.embedding_lookup(table, np.array([3, 1]))
+        np.testing.assert_allclose(out.data, [[0, 0, 0, 1], [0, 1, 0, 0]])

@@ -1,0 +1,91 @@
+"""Tests for the sparse-dense autograd bridge and graph normalizations."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor, gradcheck, sparse_matmul
+from repro.autograd.sparse import normalize_adjacency, row_normalize
+
+
+class TestSparseMatmul:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+        self.matrix = sp.random(6, 4, density=0.5, random_state=0, format="csr")
+
+    def test_forward_matches_dense(self):
+        x = Tensor(self.rng.normal(size=(4, 3)))
+        out = sparse_matmul(self.matrix, x)
+        np.testing.assert_allclose(out.data, self.matrix.toarray() @ x.data)
+
+    def test_backward_gradcheck(self):
+        x = Tensor(self.rng.normal(size=(4, 3)), requires_grad=True)
+        gradcheck(lambda a: sparse_matmul(self.matrix, a), [x])
+
+    def test_vector_operand(self):
+        x = Tensor(self.rng.normal(size=4), requires_grad=True)
+        out = sparse_matmul(self.matrix, x)
+        assert out.shape == (6,)
+        gradcheck(lambda a: sparse_matmul(self.matrix, a), [x])
+
+    def test_rejects_dense_matrix(self):
+        with pytest.raises(TypeError):
+            sparse_matmul(np.eye(3), Tensor(np.ones((3, 2))))
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            sparse_matmul(self.matrix, Tensor(np.ones((5, 2))))
+
+    def test_grad_not_recorded_for_constant(self):
+        x = Tensor(np.ones((4, 2)))
+        out = sparse_matmul(self.matrix, x)
+        assert not out.requires_grad
+
+
+class TestNormalizeAdjacency:
+    def test_symmetric_normalization_rows(self):
+        adj = sp.csr_matrix(np.array([[0, 1], [1, 0]], dtype=float))
+        norm = normalize_adjacency(adj)  # A + I has degree 2 everywhere
+        np.testing.assert_allclose(norm.toarray(), np.full((2, 2), 0.5))
+
+    def test_without_self_loops(self):
+        adj = sp.csr_matrix(np.array([[0, 1], [1, 0]], dtype=float))
+        norm = normalize_adjacency(adj, add_self_loops=False)
+        np.testing.assert_allclose(norm.toarray(), [[0, 1], [1, 0]])
+
+    def test_isolated_node_no_nan(self):
+        adj = sp.csr_matrix((3, 3))
+        norm = normalize_adjacency(adj, add_self_loops=False)
+        assert np.all(np.isfinite(norm.toarray()))
+
+    def test_self_loop_keeps_isolated_node_connected(self):
+        adj = sp.csr_matrix((2, 2))
+        norm = normalize_adjacency(adj, add_self_loops=True)
+        np.testing.assert_allclose(norm.toarray(), np.eye(2))
+
+    def test_spectral_radius_at_most_one(self):
+        rng = np.random.default_rng(1)
+        dense = (rng.random((10, 10)) > 0.6).astype(float)
+        dense = np.maximum(dense, dense.T)
+        np.fill_diagonal(dense, 0)
+        norm = normalize_adjacency(sp.csr_matrix(dense)).toarray()
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+
+class TestRowNormalize:
+    def test_rows_sum_to_one(self):
+        matrix = sp.csr_matrix(np.array([[1, 3], [2, 2]], dtype=float))
+        out = row_normalize(matrix).toarray()
+        np.testing.assert_allclose(out.sum(axis=1), [1.0, 1.0])
+
+    def test_zero_row_stays_zero(self):
+        matrix = sp.csr_matrix(np.array([[0, 0], [1, 1]], dtype=float))
+        out = row_normalize(matrix).toarray()
+        np.testing.assert_allclose(out[0], [0.0, 0.0])
+        np.testing.assert_allclose(out[1], [0.5, 0.5])
+
+    def test_rectangular(self):
+        matrix = sp.csr_matrix(np.ones((2, 5)))
+        out = row_normalize(matrix).toarray()
+        np.testing.assert_allclose(out, np.full((2, 5), 0.2))

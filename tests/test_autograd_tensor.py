@@ -1,0 +1,340 @@
+"""Tests for the core Tensor autodiff engine."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck, no_grad
+from repro.autograd.tensor import _unbroadcast
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64
+
+    def test_float32_upcast_to_float64(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.dtype == np.float64
+
+    def test_integer_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2, 3]), requires_grad=True)
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == 3.5
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_len_and_size(self):
+        t = Tensor(np.zeros((4, 5)))
+        assert len(t) == 4
+        assert t.size == 20
+        assert t.ndim == 2
+
+
+class TestBackwardMechanics:
+    def test_simple_chain(self):
+        x = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2.0, 4.0, 6.0])
+
+    def test_gradient_accumulates_across_uses(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x + x  # dy/dx = 2x + 1 = 5
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_backward_requires_scalar_without_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_with_seed(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+    def test_backward_seed_shape_mismatch(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 3).backward(np.array([1.0]))
+
+    def test_backward_on_constant_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_context(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_diamond_graph(self):
+        # z = a*b where a = x+1, b = x*2; dz/dx = b + 2a.
+        x = Tensor([3.0], requires_grad=True)
+        a = x + 1.0
+        b = x * 2.0
+        z = (a * b).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [6.0 + 8.0])
+
+    def test_deep_chain_iterative_topo(self):
+        # A long chain would overflow a recursive topological sort.
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestUnbroadcast:
+    def test_no_change_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sums_leading_axes(self):
+        g = np.ones((4, 2, 3))
+        out = _unbroadcast(g, (2, 3))
+        np.testing.assert_allclose(out, np.full((2, 3), 4.0))
+
+    def test_sums_size_one_axes(self):
+        g = np.ones((2, 3))
+        out = _unbroadcast(g, (2, 1))
+        np.testing.assert_allclose(out, np.full((2, 1), 3.0))
+
+    def test_scalar_target(self):
+        g = np.ones((5, 4))
+        out = _unbroadcast(g, ())
+        assert out.shape == ()
+        assert out == 20.0
+
+
+class TestArithmeticGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(42)
+
+    def _rand(self, *shape):
+        return Tensor(self.rng.normal(size=shape), requires_grad=True)
+
+    def test_add_gradcheck(self):
+        gradcheck(lambda a, b: a + b, [self._rand(3, 4), self._rand(3, 4)])
+
+    def test_add_broadcast_gradcheck(self):
+        gradcheck(lambda a, b: a + b, [self._rand(3, 4), self._rand(4)])
+
+    def test_sub_gradcheck(self):
+        gradcheck(lambda a, b: a - b, [self._rand(2, 3), self._rand(2, 3)])
+
+    def test_rsub(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (5.0 - x).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [-1.0, -1.0])
+
+    def test_mul_gradcheck(self):
+        gradcheck(lambda a, b: a * b, [self._rand(3, 2), self._rand(3, 2)])
+
+    def test_div_gradcheck(self):
+        a = self._rand(3, 3)
+        b = Tensor(self.rng.uniform(0.5, 2.0, size=(3, 3)), requires_grad=True)
+        gradcheck(lambda a, b: a / b, [a, b])
+
+    def test_rdiv(self):
+        x = Tensor([2.0], requires_grad=True)
+        (4.0 / x).sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0])
+
+    def test_neg_gradcheck(self):
+        gradcheck(lambda a: -a, [self._rand(4)])
+
+    def test_pow_gradcheck(self):
+        x = Tensor(self.rng.uniform(0.5, 2.0, size=(3,)), requires_grad=True)
+        gradcheck(lambda a: a ** 3, [x])
+
+    def test_pow_rejects_tensor_exponent(self):
+        x = Tensor([1.0], requires_grad=True)
+        with pytest.raises(TypeError):
+            x ** Tensor([2.0])
+
+    def test_scalar_mixing(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (2.0 * x + 1.0).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+
+class TestMatmulGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+
+    def _rand(self, *shape):
+        return Tensor(self.rng.normal(size=shape), requires_grad=True)
+
+    def test_matmul_2d_gradcheck(self):
+        gradcheck(lambda a, b: a @ b, [self._rand(3, 4), self._rand(4, 2)])
+
+    def test_matvec_gradcheck(self):
+        gradcheck(lambda a, b: a @ b, [self._rand(3, 4), self._rand(4)])
+
+    def test_transpose_gradcheck(self):
+        gradcheck(lambda a: a.T @ a, [self._rand(3, 4)])
+
+    def test_transpose_with_axes(self):
+        x = self._rand(2, 3, 4)
+        y = x.transpose(2, 0, 1)
+        assert y.shape == (4, 2, 3)
+        gradcheck(lambda a: a.transpose(2, 0, 1), [x])
+
+    def test_reshape_gradcheck(self):
+        gradcheck(lambda a: a.reshape(6, 2), [self._rand(3, 4)])
+
+    def test_flatten(self):
+        x = self._rand(2, 3)
+        assert x.flatten().shape == (6,)
+
+
+class TestReductionGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(11)
+
+    def _rand(self, *shape):
+        return Tensor(self.rng.normal(size=shape), requires_grad=True)
+
+    def test_sum_all(self):
+        gradcheck(lambda a: a.sum(), [self._rand(3, 4)])
+
+    def test_sum_axis(self):
+        gradcheck(lambda a: a.sum(axis=0), [self._rand(3, 4)])
+
+    def test_sum_keepdims(self):
+        gradcheck(lambda a: a.sum(axis=1, keepdims=True), [self._rand(3, 4)])
+
+    def test_mean_all(self):
+        gradcheck(lambda a: a.mean(), [self._rand(5,)])
+
+    def test_mean_axis(self):
+        gradcheck(lambda a: a.mean(axis=1), [self._rand(3, 4)])
+
+    def test_max_all_unique(self):
+        x = Tensor(np.array([1.0, 5.0, 3.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_max_axis(self):
+        x = Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_max_ties_split_gradient(self):
+        x = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.5, 0.5])
+
+
+class TestNonlinearityGradients:
+    def setup_method(self):
+        self.rng = np.random.default_rng(13)
+
+    def _rand(self, *shape, offset=0.0):
+        return Tensor(self.rng.normal(size=shape) + offset, requires_grad=True)
+
+    def test_exp(self):
+        gradcheck(lambda a: a.exp(), [self._rand(4)])
+
+    def test_log(self):
+        x = Tensor(self.rng.uniform(0.5, 3.0, size=(4,)), requires_grad=True)
+        gradcheck(lambda a: a.log(), [x])
+
+    def test_sqrt(self):
+        x = Tensor(self.rng.uniform(0.5, 3.0, size=(4,)), requires_grad=True)
+        gradcheck(lambda a: a.sqrt(), [x])
+
+    def test_abs(self):
+        x = Tensor(np.array([-2.0, 3.0, -0.5]), requires_grad=True)
+        gradcheck(lambda a: a.abs(), [x])
+
+    def test_relu_forward(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(x.relu().data, [0.0, 0.0, 2.0])
+
+    def test_relu_gradient(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        x.relu().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0])
+
+    def test_leaky_relu(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        x.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.1, 1.0])
+
+    def test_tanh_gradcheck(self):
+        gradcheck(lambda a: a.tanh(), [self._rand(5)])
+
+    def test_sigmoid_gradcheck(self):
+        gradcheck(lambda a: a.sigmoid(), [self._rand(5)])
+
+    def test_sigmoid_extreme_values_stable(self):
+        x = Tensor(np.array([-500.0, 500.0]))
+        out = x.sigmoid().data
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_elu_gradcheck(self):
+        gradcheck(lambda a: a.elu(), [self._rand(6)])
+
+    def test_elu_forward(self):
+        x = Tensor(np.array([-1.0, 1.0]))
+        out = x.elu().data
+        np.testing.assert_allclose(out, [np.exp(-1.0) - 1.0, 1.0])
+
+    def test_clip(self):
+        x = Tensor(np.array([-5.0, 0.5, 5.0]), requires_grad=True)
+        x.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestIndexing:
+    def test_getitem_slice(self):
+        x = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3), requires_grad=True)
+        x[0].sum().backward()
+        np.testing.assert_allclose(x.grad, [[1, 1, 1], [0, 0, 0]])
+
+    def test_index_select_with_duplicates(self):
+        x = Tensor(np.eye(3), requires_grad=True)
+        y = x.index_select(np.array([0, 0, 2]))
+        assert y.shape == (3, 3)
+        y.sum().backward()
+        # Row 0 selected twice -> each entry accumulates gradient 2.
+        np.testing.assert_allclose(x.grad.sum(axis=1), [6.0, 0.0, 3.0])
+
+    def test_fancy_index_gradient(self):
+        x = Tensor(np.arange(4, dtype=np.float64), requires_grad=True)
+        y = x[np.array([1, 1, 3])]
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 2.0, 0.0, 1.0])
+
+    def test_argmax(self):
+        x = Tensor(np.array([[1.0, 3.0], [5.0, 2.0]]))
+        np.testing.assert_array_equal(x.argmax(axis=1), [1, 0])
+
+    def test_comparisons_return_arrays(self):
+        x = Tensor(np.array([1.0, 3.0]))
+        assert (x > 2.0).tolist() == [False, True]
+        assert (x < 2.0).tolist() == [True, False]

@@ -1,0 +1,173 @@
+"""Model-level unit tests for baseline architectures (shapes, gradients,
+attention normalization) — complementing the end-to-end tests."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor
+from repro.baselines.gat import GAT, GATLayer, edges_with_self_loops
+from repro.baselines.gcn import GCN
+from repro.baselines.han import HAN, HANSemanticAttention
+from repro.baselines.hgcn import HGCN
+from repro.baselines.hgt import HGT, HGTLayer, relation_edge_lists
+from repro.baselines.magnn import MAGNN
+from repro.baselines.mvgrl import MVGRLModel, ppr_diffusion
+from repro.autograd.sparse import normalize_adjacency
+from repro.hin import MetaPath
+from tests.test_hin_graph import movie_hin
+
+
+def small_graph(n=6, seed=0):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((n, n)) > 0.5).astype(float)
+    dense = np.maximum(dense, dense.T)
+    np.fill_diagonal(dense, 0)
+    return sp.csr_matrix(dense)
+
+
+class TestGCNModel:
+    def test_logits_shape(self):
+        rng = np.random.default_rng(0)
+        adj = normalize_adjacency(small_graph())
+        model = GCN(4, 8, 3, rng)
+        logits = model(adj, Tensor(np.random.default_rng(1).normal(size=(6, 4))))
+        assert logits.shape == (6, 3)
+
+    def test_gradients_reach_both_layers(self):
+        rng = np.random.default_rng(0)
+        adj = normalize_adjacency(small_graph())
+        model = GCN(4, 8, 3, rng)
+        logits = model(adj, Tensor(np.ones((6, 4))))
+        logits.sum().backward()
+        assert model.layer1.weight.grad is not None
+        assert model.layer2.weight.grad is not None
+
+
+class TestGATModel:
+    def test_layer_multi_head_concat(self):
+        rng = np.random.default_rng(0)
+        src, dst = edges_with_self_loops(small_graph())
+        layer = GATLayer(4, 8, num_heads=3, rng=rng, concat=True)
+        out = layer(src, dst, Tensor(np.ones((6, 4))))
+        assert out.shape == (6, 24)
+
+    def test_layer_head_average(self):
+        rng = np.random.default_rng(0)
+        src, dst = edges_with_self_loops(small_graph())
+        layer = GATLayer(4, 8, num_heads=3, rng=rng, concat=False)
+        out = layer(src, dst, Tensor(np.ones((6, 4))))
+        assert out.shape == (6, 8)
+
+    def test_full_model(self):
+        rng = np.random.default_rng(0)
+        src, dst = edges_with_self_loops(small_graph())
+        model = GAT(4, 5, 3, rng, num_heads=2)
+        logits = model(src, dst, Tensor(np.ones((6, 4))))
+        assert logits.shape == (6, 3)
+        logits.sum().backward()
+        assert all(p.grad is not None for p in model.parameters())
+
+
+class TestHANModel:
+    def test_semantic_attention_weights(self):
+        rng = np.random.default_rng(0)
+        attn = HANSemanticAttention(4, 8, rng)
+        paths = [Tensor(rng.normal(size=(5, 4))) for _ in range(3)]
+        fused, weights = attn(paths)
+        assert fused.shape == (5, 4)
+        assert weights.shape == (3,)
+        np.testing.assert_allclose(weights.sum(), 1.0)
+
+    def test_full_model_and_weights_exposed(self):
+        rng = np.random.default_rng(0)
+        adj = small_graph()
+        edge_lists = [edges_with_self_loops(adj), edges_with_self_loops(adj.T.tocsr())]
+        model = HAN(4, 5, 3, 2, rng, num_heads=2)
+        logits = model(edge_lists, Tensor(np.ones((6, 4))))
+        assert logits.shape == (6, 3)
+        assert model.semantic_weights().shape == (2,)
+
+
+class TestHGTModel:
+    def test_forward_shapes(self):
+        hin = movie_hin()
+        rng = np.random.default_rng(0)
+        for t, dim in [("M", 4), ("A", 3), ("D", 3), ("P", 3)]:
+            hin.set_features(t, rng.normal(size=(hin.num_nodes(t), dim)))
+        relations = relation_edge_lists(hin)
+        type_dims = {t: hin.features(t).shape[1] for t in hin.node_types}
+        model = HGT(type_dims, relations, "M", 8, 3, rng, num_layers=2, num_heads=2)
+        features = {t: Tensor(hin.features(t)) for t in hin.node_types}
+        logits = model(features)
+        assert logits.shape == (4, 3)
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            HGTLayer(["A"], [], dim=7, num_heads=2, rng=np.random.default_rng(0))
+
+    def test_residual_keeps_isolated_types(self):
+        # A node type with no incoming relations keeps its representation.
+        hin = movie_hin()
+        rng = np.random.default_rng(0)
+        relations = [
+            r for r in relation_edge_lists(hin)
+            if r[0] == "A" and r[1] == "M"
+        ]
+        layer = HGTLayer(["M", "A"], relations, 8, 2, rng)
+        h = {
+            "M": Tensor(rng.normal(size=(4, 8))),
+            "A": Tensor(rng.normal(size=(2, 8))),
+        }
+        out = layer(h)
+        np.testing.assert_allclose(out["A"].data, h["A"].data)
+
+
+class TestMAGNNModel:
+    def test_forward(self):
+        hin = movie_hin()
+        rng = np.random.default_rng(0)
+        for t, dim in [("M", 4), ("A", 3), ("D", 3), ("P", 3)]:
+            hin.set_features(t, rng.normal(size=(hin.num_nodes(t), dim)))
+        from repro.baselines.magnn import enumerate_instances_from_all
+
+        metapaths = [MetaPath.parse("MAM"), MetaPath.parse("MDM")]
+        instance_data = [
+            enumerate_instances_from_all(hin, mp, per_node_cap=16) for mp in metapaths
+        ]
+        type_dims = {t: hin.features(t).shape[1] for t in hin.node_types}
+        model = MAGNN(type_dims, metapaths, 8, 3, rng)
+        features = {t: Tensor(hin.features(t)) for t in hin.node_types}
+        logits = model(features, instance_data)
+        assert logits.shape == (4, 3)
+        logits.sum().backward()
+        grads = [p.grad is not None for p in model.parameters()]
+        assert any(grads)
+
+
+class TestHGCNModel:
+    def test_forward(self):
+        rng = np.random.default_rng(0)
+        subnetworks = [small_graph(seed=1), small_graph(seed=2)]
+        model = HGCN(4, subnetworks, kernel_dim=6, num_classes=3, rng=rng)
+        logits = model(Tensor(np.ones((6, 4))))
+        assert logits.shape == (6, 3)
+
+
+class TestMVGRLModel:
+    def test_ppr_requires_valid_alpha(self):
+        diff = ppr_diffusion(small_graph(), alpha=0.3)
+        assert diff.shape == (6, 6)
+        assert np.all(np.isfinite(diff))
+
+    def test_loss_and_embed(self):
+        rng = np.random.default_rng(0)
+        adj = normalize_adjacency(small_graph())
+        diff = ppr_diffusion(small_graph())
+        model = MVGRLModel(4, 8, rng)
+        x = Tensor(np.random.default_rng(1).normal(size=(6, 4)))
+        shuffled = Tensor(np.random.default_rng(2).normal(size=(6, 4)))
+        loss = model.loss(adj, diff, x, shuffled)
+        assert np.isfinite(loss.item())
+        emb = model.embed(adj, diff, x)
+        assert emb.shape == (6, 8)

@@ -1,0 +1,244 @@
+"""Tests for the baseline zoo: each method runs and beats chance on a tiny
+dataset; structural units (projections, propagation) are checked directly."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines import BASELINES, choose_best_metapath, make_method
+from repro.baselines.base import TrainSettings
+from repro.baselines.gat import edges_with_self_loops
+from repro.baselines.gnetmine import gnetmine_scores
+from repro.baselines.hetgnn import type_reach_operators
+from repro.baselines.hgcn import kernel_operators, relation_subnetworks
+from repro.baselines.hgt import relation_edge_lists
+from repro.baselines.label_propagation import propagate_labels
+from repro.baselines.logreg import fit_logreg_on_embeddings
+from repro.baselines.magnn import enumerate_instances_from_all
+from repro.baselines.mvgrl import ppr_diffusion
+from repro.baselines.registry import conch_method
+from repro.core import ConCHConfig
+from repro.data import DBLPConfig, load_dataset, stratified_split
+from repro.eval.harness import run_method_on_split
+from repro.hin import MetaPath
+from tests.test_hin_graph import movie_hin
+
+
+TINY = DBLPConfig(num_authors=80, num_papers=260, num_conferences=8)
+FAST_SETTINGS = TrainSettings(epochs=30, patience=30, lr=0.01)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("dblp", config=TINY)
+
+
+@pytest.fixture(scope="module")
+def split(dataset):
+    return stratified_split(dataset.labels, 0.2, seed=0)
+
+
+CHANCE = 0.25  # four balanced classes
+
+
+class TestStructuralUnits:
+    def test_edges_with_self_loops(self):
+        adj = sp.csr_matrix(np.array([[0, 1], [0, 0]], dtype=float))
+        src, dst = edges_with_self_loops(adj)
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert (0, 1) in pairs
+        assert (0, 0) in pairs and (1, 1) in pairs
+
+    def test_ppr_diffusion_rows_sum_to_one(self):
+        adj = sp.csr_matrix(np.array([[0, 1], [1, 0]], dtype=float))
+        diff = ppr_diffusion(adj, alpha=0.2)
+        # PPR over a symmetric-normalized operator preserves total mass.
+        np.testing.assert_allclose(diff.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_type_reach_operators_cover_multi_hop(self):
+        dataset = load_dataset("yelp")
+        operators = type_reach_operators(dataset.hin, "B")
+        # U and K are two hops from B (through R).
+        assert set(operators) == {"R", "U", "K"}
+        assert operators["U"].shape == (
+            dataset.hin.num_nodes("B"),
+            dataset.hin.num_nodes("U"),
+        )
+
+    def test_relation_subnetworks(self):
+        hin = movie_hin()
+        subnetworks = relation_subnetworks(hin, "M")
+        assert len(subnetworks) == 3  # via A, D, P
+        for sub in subnetworks:
+            assert sub.shape == (4, 4)
+            assert np.all(sub.diagonal() == 0)
+
+    def test_kernel_operators_count(self):
+        adj = sp.csr_matrix(np.eye(3))
+        assert len(kernel_operators(adj)) == 3
+
+    def test_relation_edge_lists(self, dataset):
+        relations = relation_edge_lists(dataset.hin)
+        names = {(s, d) for s, d, _, _ in relations}
+        assert ("A", "P") in names and ("P", "A") in names
+
+    def test_magnn_instance_enumeration(self):
+        hin = movie_hin()
+        instances, anchors = enumerate_instances_from_all(
+            hin, MetaPath.parse("MAM"), per_node_cap=100
+        )
+        assert instances.shape[1] == 3
+        np.testing.assert_array_equal(instances[:, 0], anchors)
+        assert np.all(instances[:, 0] != instances[:, 2])
+
+    def test_magnn_budget_raises_memory_error(self):
+        hin = movie_hin()
+        with pytest.raises(MemoryError):
+            enumerate_instances_from_all(
+                hin, MetaPath.parse("MAM"), per_node_cap=100, instance_budget=2
+            )
+
+    def test_gnetmine_propagates_labels(self, dataset, split):
+        scores = gnetmine_scores(
+            dataset.hin,
+            "A",
+            split.train,
+            dataset.labels[split.train],
+            dataset.num_classes,
+        )
+        predictions = scores[split.test].argmax(axis=1)
+        acc = (predictions == dataset.labels[split.test]).mean()
+        assert acc > CHANCE
+
+    def test_label_propagation_unit(self):
+        # Two cliques, one seed each: propagation labels each clique.
+        dense = np.zeros((6, 6))
+        dense[:3, :3] = 1
+        dense[3:, 3:] = 1
+        np.fill_diagonal(dense, 0)
+        scores = propagate_labels(
+            sp.csr_matrix(dense),
+            train_indices=np.array([0, 3]),
+            train_labels=np.array([0, 1]),
+            num_nodes=6,
+            num_classes=2,
+        )
+        predictions = scores.argmax(axis=1)
+        np.testing.assert_array_equal(predictions, [0, 0, 0, 1, 1, 1])
+
+    def test_propagate_invalid_beta(self):
+        with pytest.raises(ValueError):
+            propagate_labels(
+                sp.eye(2, format="csr"), np.array([0]), np.array([0]), 2, 2, beta=1.5
+            )
+
+    def test_logreg_learns_linear_problem(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(120, 4))
+        y = (x[:, 0] > 0).astype(np.int64)
+        labels = y
+        split = stratified_split(labels, 0.3, seed=0)
+        preds = fit_logreg_on_embeddings(x, labels, split, 2)
+        acc = (preds == labels[split.test]).mean()
+        assert acc > 0.9
+
+    def test_choose_best_metapath_picks_max_val(self, dataset, split):
+        calls = []
+
+        def run(adjacency, metapath):
+            calls.append(metapath.name)
+            score = {"APA": 0.3, "APAPA": 0.9, "APCPA": 0.5}[metapath.name]
+            return {
+                "val_metric": score,
+                "test_predictions": np.zeros(split.test.size, dtype=int),
+            }
+
+        best = choose_best_metapath(dataset, split, run)
+        assert best["metapath"].name == "APAPA"
+        assert len(calls) == 3
+
+
+class TestRegistry:
+    def test_all_names_registered(self):
+        expected = {
+            # Table-I panel.
+            "node2vec", "mp2vec", "GCN", "GAT", "MVGRL", "HAN", "HetGNN",
+            "MAGNN", "HGT", "HDGI", "HGCN", "GNetMine", "LabelProp",
+            # Related-work extensions (§II).
+            "GraphSAGE", "DGI", "Grempt", "HIN2Vec",
+            "RGCN", "GTN", "LINE", "PTE",
+        }
+        assert set(BASELINES) == expected
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            make_method("DeepThought")
+
+
+@pytest.mark.parametrize(
+    "name,kwargs",
+    [
+        ("GNetMine", {}),
+        ("LabelProp", {}),
+        ("GCN", {"settings": FAST_SETTINGS}),
+        ("HGCN", {"settings": FAST_SETTINGS}),
+        ("HDGI", {"epochs": 20}),
+        ("HetGNN", {"epochs": 20}),
+        ("MVGRL", {"epochs": 20}),
+        ("HGT", {"settings": FAST_SETTINGS, "num_layers": 1}),
+        ("HAN", {"settings": FAST_SETTINGS, "num_heads": 2}),
+        ("GAT", {"settings": FAST_SETTINGS, "num_heads": 2}),
+        ("MAGNN", {"settings": FAST_SETTINGS, "per_node_cap": 16}),
+        ("node2vec", {"num_walks": 2, "walk_length": 10}),
+        ("mp2vec", {"num_walks": 5, "walk_length": 20}),
+    ],
+)
+def test_baseline_beats_chance(dataset, split, name, kwargs):
+    method = make_method(name, **kwargs)
+    scores = run_method_on_split(method, dataset, split, seed=0)
+    assert scores["micro_f1"] > CHANCE + 0.1, f"{name} too weak: {scores}"
+
+
+class TestMVGRLMemoryGuard:
+    def test_oom_on_large_dataset(self, dataset, split):
+        method = make_method("MVGRL", max_nodes=10)
+        with pytest.raises(MemoryError):
+            method(dataset, split, 0)
+
+
+class TestConCHMethodAdapter:
+    def test_conch_method_runs(self, dataset, split):
+        cfg = ConCHConfig(
+            epochs=30, patience=30, k=3, num_layers=1, context_dim=16,
+            hidden_dim=16, out_dim=16, lr=0.01, aggregator="mean",
+        )
+        method = conch_method(base_config=cfg)
+        scores = run_method_on_split(method, dataset, split, seed=0)
+        assert scores["micro_f1"] > CHANCE + 0.1
+
+    def test_conch_variant_adapter(self, dataset, split):
+        cfg = ConCHConfig(
+            epochs=20, patience=20, k=3, num_layers=1, context_dim=16,
+            hidden_dim=16, out_dim=16, lr=0.01, aggregator="mean",
+        )
+        method = conch_method("nc", base_config=cfg)
+        scores = run_method_on_split(method, dataset, split, seed=0)
+        assert scores["micro_f1"] > CHANCE
+
+    def test_preprocessing_cached_across_splits(self, dataset):
+        cfg = ConCHConfig(
+            epochs=5, patience=5, k=3, num_layers=1, context_dim=16,
+            hidden_dim=16, out_dim=16, aggregator="mean",
+        )
+        method = conch_method(base_config=cfg)
+        import time
+
+        split_a = stratified_split(dataset.labels, 0.2, seed=0)
+        split_b = stratified_split(dataset.labels, 0.2, seed=1)
+        start = time.perf_counter()
+        method(dataset, split_a, 0)
+        first = time.perf_counter() - start
+        start = time.perf_counter()
+        method(dataset, split_b, 0)
+        second = time.perf_counter() - start
+        assert second < first  # preparation reused

@@ -1,0 +1,232 @@
+"""Tests for the extended baseline set: Grempt, GraphSAGE, DGI, HIN2Vec."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines import make_method
+from repro.baselines.base import TrainSettings
+from repro.baselines.dgi import DGIModel, dgi_embeddings
+from repro.baselines.graphsage import (
+    GraphSAGE,
+    full_mean_operator,
+    sampled_mean_operator,
+)
+from repro.baselines.grempt import grempt_scores, normalized_laplacian
+from repro.data.dblp import DBLPConfig, make_dblp
+from repro.data.splits import stratified_split
+from repro.eval.metrics import micro_f1
+from repro.hin.metapath import MetaPath
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp(DBLPConfig(num_authors=100, num_papers=320, seed=2))
+
+
+@pytest.fixture(scope="module")
+def split(dblp):
+    return stratified_split(dblp.labels, 0.2, seed=0)
+
+
+def chance_level(dataset) -> float:
+    counts = np.bincount(dataset.labels)
+    return counts.max() / counts.sum()
+
+
+class TestNormalizedLaplacian:
+    def test_psd_and_symmetric(self):
+        rng = np.random.default_rng(0)
+        weights = sp.random(20, 20, density=0.3, random_state=0)
+        weights = sp.csr_matrix(abs(weights + weights.T))
+        lap = normalized_laplacian(weights)
+        dense = lap.toarray()
+        assert np.allclose(dense, dense.T)
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.min() > -1e-9
+
+    def test_constant_vector_in_kernel_of_connected_graph(self):
+        # Complete graph: L @ 1 = 0 after normalization.
+        n = 5
+        weights = sp.csr_matrix(np.ones((n, n)) - np.eye(n))
+        lap = normalized_laplacian(weights)
+        assert np.allclose(lap @ np.ones(n), 0.0, atol=1e-9)
+
+    def test_zero_degree_row_safe(self):
+        weights = sp.csr_matrix((3, 3))
+        lap = normalized_laplacian(weights)
+        assert np.allclose(lap.toarray(), np.eye(3))
+
+
+class TestGrempt:
+    def test_scores_shape(self, dblp, split):
+        scores, weights = grempt_scores(
+            dblp.hin,
+            dblp.metapaths,
+            split.train,
+            dblp.labels[split.train],
+            dblp.num_classes,
+            dblp.num_targets,
+        )
+        assert scores.shape == (dblp.num_targets, dblp.num_classes)
+        assert weights.shape == (len(dblp.metapaths),)
+
+    def test_weights_on_simplex(self, dblp, split):
+        _, weights = grempt_scores(
+            dblp.hin,
+            dblp.metapaths,
+            split.train,
+            dblp.labels[split.train],
+            dblp.num_classes,
+            dblp.num_targets,
+        )
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights > 0).all()
+
+    def test_beats_chance(self, dblp, split):
+        method = make_method("Grempt")
+        out = method(dblp, split, 0)
+        score = micro_f1(dblp.labels[split.test], out.test_predictions)
+        assert score > chance_level(dblp) + 0.1
+
+    def test_labeled_nodes_recovered(self, dblp, split):
+        # With strong anchoring, training nodes predict their own label.
+        scores, _ = grempt_scores(
+            dblp.hin,
+            dblp.metapaths,
+            split.train,
+            dblp.labels[split.train],
+            dblp.num_classes,
+            dblp.num_targets,
+            mu=100.0,
+        )
+        predicted = scores[split.train].argmax(axis=1)
+        agreement = (predicted == dblp.labels[split.train]).mean()
+        assert agreement > 0.9
+
+    def test_bad_hyperparameters(self, dblp, split):
+        with pytest.raises(ValueError):
+            grempt_scores(
+                dblp.hin, dblp.metapaths, split.train,
+                dblp.labels[split.train], dblp.num_classes, dblp.num_targets,
+                mu=0.0,
+            )
+        with pytest.raises(ValueError):
+            grempt_scores(
+                dblp.hin, dblp.metapaths, split.train,
+                dblp.labels[split.train], dblp.num_classes, dblp.num_targets,
+                rho=1.0,
+            )
+
+    def test_deterministic(self, dblp, split):
+        method = make_method("Grempt")
+        first = method(dblp, split, 0).test_predictions
+        second = method(dblp, split, 99).test_predictions  # seed ignored
+        assert np.array_equal(first, second)
+
+
+class TestSampledOperator:
+    def test_row_sums_are_one_or_zero(self):
+        rng = np.random.default_rng(0)
+        adjacency = sp.random(30, 30, density=0.2, random_state=1).tocsr()
+        adjacency.data[:] = 1.0
+        operator = sampled_mean_operator(adjacency, sample_size=3, rng=rng)
+        sums = np.asarray(operator.sum(axis=1)).ravel()
+        degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+        assert np.allclose(sums[degrees > 0], 1.0)
+        assert np.allclose(sums[degrees == 0], 0.0)
+
+    def test_sample_size_respected(self):
+        rng = np.random.default_rng(0)
+        adjacency = sp.csr_matrix(np.ones((10, 10)) - np.eye(10))
+        operator = sampled_mean_operator(adjacency, sample_size=4, rng=rng)
+        per_row = np.diff(operator.tocsr().indptr)
+        assert (per_row <= 4).all()
+
+    def test_sampled_support_subset_of_adjacency(self):
+        rng = np.random.default_rng(0)
+        adjacency = sp.random(25, 25, density=0.3, random_state=2).tocsr()
+        adjacency.data[:] = 1.0
+        operator = sampled_mean_operator(adjacency, sample_size=2, rng=rng)
+        violation = operator.astype(bool).toarray() & ~adjacency.astype(bool).toarray()
+        assert not violation.any()
+
+    def test_bad_sample_size(self):
+        with pytest.raises(ValueError):
+            sampled_mean_operator(sp.eye(3).tocsr(), 0, np.random.default_rng(0))
+
+    def test_full_operator_is_limit(self):
+        adjacency = sp.csr_matrix(np.ones((6, 6)) - np.eye(6))
+        rng = np.random.default_rng(0)
+        sampled = sampled_mean_operator(adjacency, sample_size=100, rng=rng)
+        full = full_mean_operator(adjacency)
+        assert np.allclose(sampled.toarray(), full.toarray())
+
+
+class TestGraphSAGE:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(0)
+        model = GraphSAGE(in_dim=8, hidden_dim=16, num_classes=3, rng=rng)
+        adjacency = full_mean_operator(sp.eye(12).tocsr())
+        from repro.autograd.tensor import Tensor
+
+        logits = model(adjacency, Tensor(rng.normal(size=(12, 8))))
+        assert logits.shape == (12, 3)
+
+    def test_method_beats_chance(self, dblp, split):
+        method = make_method(
+            "GraphSAGE", settings=TrainSettings(epochs=40, patience=20)
+        )
+        out = method(dblp, split, 0)
+        score = micro_f1(dblp.labels[split.test], out.test_predictions)
+        assert score > chance_level(dblp) + 0.1
+        assert out.extras["metapath"] in {m.name for m in dblp.metapaths}
+
+
+class TestDGI:
+    def test_embedding_shape(self, dblp):
+        from repro.hin.adjacency import metapath_binary_adjacency
+
+        adjacency = metapath_binary_adjacency(dblp.hin, dblp.metapaths[0])
+        embeddings = dgi_embeddings(adjacency, dblp.features, dim=8, epochs=5)
+        assert embeddings.shape == (dblp.num_targets, 8)
+        assert np.isfinite(embeddings).all()
+
+    def test_loss_decreases(self, dblp):
+        from repro.autograd.tensor import Tensor
+        from repro.autograd.sparse import normalize_adjacency
+        from repro.core.discriminator import shuffle_features
+        from repro.hin.adjacency import metapath_binary_adjacency
+        from repro.nn.optim import Adam
+
+        rng = np.random.default_rng(0)
+        adjacency = metapath_binary_adjacency(dblp.hin, dblp.metapaths[2])
+        norm = normalize_adjacency(adjacency)
+        x = Tensor(dblp.features)
+        model = DGIModel(dblp.features.shape[1], 16, rng)
+        optimizer = Adam(model.parameters(), lr=0.01)
+        losses = []
+        for _ in range(30):
+            optimizer.zero_grad()
+            shuffled = Tensor(shuffle_features(dblp.features, rng))
+            loss = model.loss(norm, x, shuffled)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_method_beats_chance(self, dblp, split):
+        method = make_method("DGI", epochs=40)
+        out = method(dblp, split, 0)
+        score = micro_f1(dblp.labels[split.test], out.test_predictions)
+        assert score > chance_level(dblp) + 0.1
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["GraphSAGE", "DGI", "Grempt", "HIN2Vec"])
+    def test_new_methods_registered(self, name):
+        assert callable(make_method(name))
+
+    def test_unknown_method_still_raises(self):
+        with pytest.raises(KeyError):
+            make_method("NotAMethod")

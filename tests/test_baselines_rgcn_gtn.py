@@ -1,0 +1,328 @@
+"""Tests for the relation-typed extras: RGCN and GTN."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.gradcheck import numeric_gradient
+from repro.autograd.tensor import Tensor
+from repro.baselines import make_method
+from repro.baselines.base import TrainSettings
+from repro.baselines.gtn import GTN, GTChannel, global_relation_operators
+from repro.baselines.rgcn import RGCN, RelationalConv, relation_message_operators
+from repro.data.dblp import DBLPConfig, make_dblp
+from repro.data.splits import stratified_split
+from repro.eval.metrics import micro_f1
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp(DBLPConfig(num_authors=100, num_papers=320, seed=2))
+
+
+@pytest.fixture(scope="module")
+def split(dblp):
+    return stratified_split(dblp.labels, 0.2, seed=0)
+
+
+def chance_level(dataset) -> float:
+    counts = np.bincount(dataset.labels)
+    return counts.max() / counts.sum()
+
+
+class TestRelationMessageOperators:
+    def test_one_operator_per_relation(self, dblp):
+        operators = relation_message_operators(dblp.hin)
+        assert len(operators) == len(dblp.hin.relations)
+
+    def test_shapes_are_dst_by_src(self, dblp):
+        hin = dblp.hin
+        for (src_type, dst_type, operator), relation in zip(
+            relation_message_operators(hin), hin.relations
+        ):
+            assert src_type == relation.src_type
+            assert dst_type == relation.dst_type
+            assert operator.shape == (
+                hin.num_nodes(dst_type),
+                hin.num_nodes(src_type),
+            )
+
+    def test_rows_are_stochastic_where_nonempty(self, dblp):
+        for _, _, operator in relation_message_operators(dblp.hin):
+            sums = np.asarray(operator.sum(axis=1)).ravel()
+            nonzero = sums > 0
+            assert np.allclose(sums[nonzero], 1.0)
+
+
+class TestRelationalConv:
+    def _embeddings(self, hin, dim, rng):
+        return {
+            t: Tensor(rng.normal(size=(hin.num_nodes(t), dim)))
+            for t in hin.node_types
+        }
+
+    def test_forward_preserves_shapes(self, dblp):
+        rng = np.random.default_rng(0)
+        hin = dblp.hin
+        operators = relation_message_operators(hin)
+        layer = RelationalConv(hin.node_types, operators, 8, rng)
+        h = self._embeddings(hin, 8, rng)
+        out = layer(h)
+        for node_type in hin.node_types:
+            assert out[node_type].shape == h[node_type].shape
+
+    def test_basis_decomposition_shrinks_parameters(self, dblp):
+        rng = np.random.default_rng(0)
+        hin = dblp.hin
+        operators = relation_message_operators(hin)
+        full = RelationalConv(hin.node_types, operators, 16, rng)
+        shared = RelationalConv(hin.node_types, operators, 16, rng, num_bases=2)
+        count = lambda m: sum(p.size for p in m.parameters())
+        assert count(shared) < count(full)
+
+    def test_basis_forward_matches_shapes_and_grads_flow(self, dblp):
+        rng = np.random.default_rng(1)
+        hin = dblp.hin
+        operators = relation_message_operators(hin)
+        layer = RelationalConv(hin.node_types, operators, 8, rng, num_bases=3)
+        h = self._embeddings(hin, 8, rng)
+        out = layer(h)
+        loss = sum(out[t].sum() for t in hin.node_types)
+        loss.backward()
+        bases = layer._parameters["bases"]
+        assert bases.grad is not None
+        assert np.isfinite(bases.grad).all()
+
+    def test_basis_coefficient_gradient_matches_finite_differences(self):
+        # W_r = sum_b a_rb V_b composed through a matmul: check d/d a.
+        rng = np.random.default_rng(0)
+        bases = Tensor(rng.normal(size=(3, 4, 4)), requires_grad=True)
+        coeff = Tensor(rng.normal(size=3), requires_grad=True)
+        h = Tensor(rng.normal(size=(5, 4)))
+
+        def forward(coeff_t, bases_t):
+            weight = (coeff_t.reshape(3, 1, 1) * bases_t).sum(axis=0)
+            return h @ weight
+
+        out = forward(coeff, bases)
+        out.backward(np.ones_like(out.data))
+        numeric = numeric_gradient(forward, [coeff, bases], wrt=0)
+        assert np.allclose(coeff.grad, numeric, atol=1e-5)
+
+    def test_rejects_bad_num_bases(self, dblp):
+        rng = np.random.default_rng(0)
+        operators = relation_message_operators(dblp.hin)
+        with pytest.raises(ValueError):
+            RelationalConv(dblp.hin.node_types, operators, 8, rng, num_bases=0)
+
+
+class TestRGCNModel:
+    def test_logits_shape(self, dblp):
+        rng = np.random.default_rng(0)
+        hin = dblp.hin
+        operators = relation_message_operators(hin)
+        type_dims = {t: hin.features(t).shape[1] for t in hin.node_types}
+        model = RGCN(
+            type_dims, operators, dblp.target_type, 16, dblp.num_classes, rng
+        )
+        features = {t: Tensor(hin.features(t)) for t in hin.node_types}
+        logits = model(features)
+        assert logits.shape == (dblp.num_targets, dblp.num_classes)
+
+    def test_rejects_zero_layers(self, dblp):
+        rng = np.random.default_rng(0)
+        hin = dblp.hin
+        operators = relation_message_operators(hin)
+        type_dims = {t: hin.features(t).shape[1] for t in hin.node_types}
+        with pytest.raises(ValueError):
+            RGCN(
+                type_dims,
+                operators,
+                dblp.target_type,
+                16,
+                dblp.num_classes,
+                rng,
+                num_layers=0,
+            )
+
+    def test_method_beats_chance(self, dblp, split):
+        method = make_method(
+            "RGCN", settings=TrainSettings(epochs=60, patience=30)
+        )
+        out = method(dblp, split, 0)
+        score = micro_f1(dblp.labels[split.test], out.test_predictions)
+        assert score > chance_level(dblp) + 0.1
+
+    def test_method_with_bases_beats_chance(self, dblp, split):
+        method = make_method(
+            "RGCN", num_bases=2, settings=TrainSettings(epochs=60, patience=30)
+        )
+        out = method(dblp, split, 0)
+        score = micro_f1(dblp.labels[split.test], out.test_predictions)
+        assert score > chance_level(dblp) + 0.1
+
+
+class TestGlobalRelationOperators:
+    def test_identity_first_and_counts(self, dblp):
+        names, operators = global_relation_operators(dblp.hin)
+        assert names[0] == "I"
+        assert len(names) == len(operators) == len(dblp.hin.relations) + 1
+
+    def test_operators_are_global_and_stochastic(self, dblp):
+        total = dblp.hin.total_nodes
+        _, operators = global_relation_operators(dblp.hin)
+        for operator in operators:
+            assert operator.shape == (total, total)
+            sums = np.asarray(operator.sum(axis=1)).ravel()
+            nonzero = sums > 0
+            assert np.allclose(sums[nonzero], 1.0)
+
+    def test_edge_direction_pulls_src_into_dst_rows(self, dblp):
+        # For relation A->P, operator rows are P (dst) and columns A (src).
+        hin = dblp.hin
+        offsets = hin.global_offsets()
+        names, operators = global_relation_operators(hin)
+        relation = hin.relations[0]
+        operator = operators[names.index(relation.name)].tocoo()
+        src_lo = offsets[relation.src_type]
+        src_hi = src_lo + hin.num_nodes(relation.src_type)
+        dst_lo = offsets[relation.dst_type]
+        dst_hi = dst_lo + hin.num_nodes(relation.dst_type)
+        assert ((operator.row >= dst_lo) & (operator.row < dst_hi)).all()
+        assert ((operator.col >= src_lo) & (operator.col < src_hi)).all()
+
+
+class TestGTChannel:
+    def test_identity_hop_is_noop(self, dblp):
+        rng = np.random.default_rng(0)
+        names, operators = global_relation_operators(dblp.hin)
+        channel = GTChannel(len(names), num_hops=1, rng=rng)
+        # Saturate the softmax on the identity operator.
+        select = channel._parameters["select_0"]
+        select.data[:] = -50.0
+        select.data[0] = 50.0
+        h = Tensor(rng.normal(size=(dblp.hin.total_nodes, 4)))
+        out = channel(operators, h)
+        assert np.allclose(out.numpy(), h.numpy(), atol=1e-8)
+
+    def test_hop_weights_on_simplex(self, dblp):
+        rng = np.random.default_rng(0)
+        names, _ = global_relation_operators(dblp.hin)
+        channel = GTChannel(len(names), num_hops=3, rng=rng)
+        for hop in range(3):
+            weights = channel.hop_weights(hop).numpy()
+            assert weights.shape == (len(names),)
+            assert np.all(weights > 0)
+            assert np.isclose(weights.sum(), 1.0)
+
+    def test_rejects_zero_hops(self):
+        with pytest.raises(ValueError):
+            GTChannel(3, num_hops=0, rng=np.random.default_rng(0))
+
+    def test_selection_gradient_matches_finite_differences(self, dblp):
+        # The soft relation mixture sum_r softmax(w)_r (M_r @ H): check d/dw.
+        from repro.autograd import ops
+        from repro.autograd.sparse import sparse_matmul
+
+        rng = np.random.default_rng(0)
+        _, operators = global_relation_operators(dblp.hin)
+        operators = operators[:3]
+        h = Tensor(rng.normal(size=(dblp.hin.total_nodes, 3)))
+        w = Tensor(rng.normal(size=3), requires_grad=True)
+
+        def forward(w_t):
+            alpha = ops.softmax(w_t)
+            mixed = None
+            for index, operator in enumerate(operators):
+                term = sparse_matmul(operator, h) * alpha[index]
+                mixed = term if mixed is None else mixed + term
+            return mixed
+
+        out = forward(w)
+        out.backward(np.ones_like(out.data))
+        numeric = numeric_gradient(forward, [w], wrt=0)
+        assert np.allclose(w.grad, numeric, atol=1e-5)
+
+
+class TestGTNModel:
+    def _build(self, dblp, rng, **kwargs):
+        hin = dblp.hin
+        names, operators = global_relation_operators(hin)
+        type_dims = {t: hin.features(t).shape[1] for t in hin.node_types}
+        model = GTN(
+            type_dims, names, dblp.target_type, 8, dblp.num_classes, rng, **kwargs
+        )
+        offsets = hin.global_offsets()
+        start = offsets[dblp.target_type]
+        target_rows = np.arange(start, start + dblp.num_targets)
+        features = {t: Tensor(hin.features(t)) for t in hin.node_types}
+        return model, operators, features, offsets, target_rows
+
+    def test_logits_shape(self, dblp):
+        rng = np.random.default_rng(0)
+        model, operators, features, offsets, rows = self._build(dblp, rng)
+        logits = model(operators, features, offsets, rows)
+        assert logits.shape == (dblp.num_targets, dblp.num_classes)
+
+    def test_relation_weights_readout(self, dblp):
+        rng = np.random.default_rng(0)
+        model, *_ = self._build(dblp, rng, num_channels=3, num_hops=2)
+        readout = model.relation_weights()
+        assert len(readout) == 3
+        for hops in readout:
+            assert len(hops) == 2
+            for weights in hops:
+                assert "I" in weights
+                assert np.isclose(sum(weights.values()), 1.0)
+
+    def test_rejects_zero_channels(self, dblp):
+        rng = np.random.default_rng(0)
+        hin = dblp.hin
+        names, _ = global_relation_operators(hin)
+        type_dims = {t: hin.features(t).shape[1] for t in hin.node_types}
+        with pytest.raises(ValueError):
+            GTN(
+                type_dims,
+                names,
+                dblp.target_type,
+                8,
+                dblp.num_classes,
+                rng,
+                num_channels=0,
+            )
+
+    def test_method_beats_chance_and_reports_weights(self, dblp, split):
+        method = make_method(
+            "GTN", settings=TrainSettings(epochs=60, patience=30)
+        )
+        out = method(dblp, split, 0)
+        score = micro_f1(dblp.labels[split.test], out.test_predictions)
+        assert score > chance_level(dblp) + 0.1
+        assert "relation_weights" in out.extras
+
+    def test_selection_weights_move_during_training(self, dblp, split):
+        rng = np.random.default_rng(0)
+        model, operators, features, offsets, rows = self._build(dblp, rng)
+        before = [
+            hop.copy() for hops in model.relation_weights() for hop in hops
+        ]
+        from repro.baselines.base import SemiSupervisedTrainer
+
+        SemiSupervisedTrainer(
+            model,
+            forward=lambda m: m(operators, features, offsets, rows),
+            labels=dblp.labels,
+            settings=TrainSettings(epochs=15, patience=15),
+        ).fit(split)
+        after = [hop for hops in model.relation_weights() for hop in hops]
+        moved = any(
+            not np.isclose(b[name], a[name], atol=1e-6)
+            for b, a in zip(before, after)
+            for name in b
+        )
+        assert moved
+
+
+class TestRegistryExtras:
+    @pytest.mark.parametrize("name", ["RGCN", "GTN"])
+    def test_registered(self, name):
+        assert callable(make_method(name))

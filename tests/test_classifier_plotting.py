@@ -1,0 +1,122 @@
+"""Tests for the ConCHClassifier wrapper and ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConCHClassifier, ConCHConfig
+from repro.data import DBLPConfig, load_dataset, stratified_split
+from repro.eval import ConvergenceRecorder, ascii_bars, ascii_plot, convergence_plot
+
+
+TINY = DBLPConfig(num_authors=80, num_papers=260, num_conferences=8)
+FAST = dict(
+    epochs=30, patience=30, k=3, num_layers=1, context_dim=16,
+    hidden_dim=16, out_dim=16, lr=0.01,
+    embed_num_walks=3, embed_walk_length=15, embed_epochs=2,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("dblp", config=TINY)
+
+
+@pytest.fixture(scope="module")
+def split(dataset):
+    return stratified_split(dataset.labels, 0.2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset, split):
+    return ConCHClassifier(**FAST).fit(dataset, split)
+
+
+class TestClassifier:
+    def test_config_xor_kwargs(self):
+        with pytest.raises(ValueError):
+            ConCHClassifier(config=ConCHConfig(), k=5)
+
+    def test_unfitted_raises(self):
+        clf = ConCHClassifier(**FAST)
+        assert not clf.is_fitted
+        with pytest.raises(RuntimeError):
+            clf.predict()
+
+    def test_fit_predict(self, fitted, dataset, split):
+        assert fitted.is_fitted
+        predictions = fitted.predict(split.test)
+        assert predictions.shape == split.test.shape
+        acc = (predictions == dataset.labels[split.test]).mean()
+        assert acc > 0.3
+
+    def test_scores_are_probabilities(self, fitted, dataset):
+        probs = fitted.predict_scores()
+        assert probs.shape == (dataset.num_targets, dataset.num_classes)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0, rtol=1e-9)
+        assert np.all(probs >= 0)
+
+    def test_scores_match_predictions(self, fitted):
+        probs = fitted.predict_scores()
+        np.testing.assert_array_equal(probs.argmax(axis=1), fitted.predict())
+
+    def test_embeddings(self, fitted, dataset):
+        z = fitted.embeddings()
+        assert z.shape == (dataset.num_targets, FAST["out_dim"])
+
+    def test_score_dict(self, fitted, split):
+        scores = fitted.score(split.test)
+        assert set(scores) == {"micro_f1", "macro_f1"}
+
+    def test_metapath_weights(self, fitted, dataset):
+        weights = fitted.metapath_weights()
+        assert weights.shape == (len(dataset.metapaths),)
+        np.testing.assert_allclose(weights.sum(), 1.0, atol=1e-6)
+
+    def test_save_load_roundtrip(self, fitted, dataset, split, tmp_path):
+        path = tmp_path / "weights.npz"
+        fitted.save_weights(path)
+        clone = ConCHClassifier(**FAST)
+        clone.load_weights(path, dataset, split)
+        np.testing.assert_array_equal(clone.predict(), fitted.predict())
+
+
+class TestAsciiPlot:
+    def test_empty_series(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20,
+            height=6,
+            title="demo",
+        )
+        assert "demo" in text
+        assert "*=a" in text
+        assert "o=b" in text
+
+    def test_constant_series(self):
+        text = ascii_plot({"flat": [(0, 1.0), (5, 1.0)]}, width=10, height=4)
+        assert "*" in text
+
+    def test_bars(self):
+        text = ascii_bars({"APA": 0.1, "APCPA": 0.9}, width=10, title="w")
+        lines = text.splitlines()
+        assert lines[0] == "w"
+        assert lines[2].count("#") == 10  # APCPA is the peak
+        assert lines[1].count("#") == 1
+
+    def test_bars_empty(self):
+        assert ascii_bars({}) == "(no data)"
+
+    def test_convergence_plot(self):
+        recorder = ConvergenceRecorder(method="x")
+        recorder.start()
+        recorder.log(0, 1.0, 0.2)
+        recorder.log(1, 0.5, 0.8)
+        text = convergence_plot({"x": recorder}, width=20, height=5)
+        assert "seconds" in text
+
+    def test_convergence_plot_skips_empty(self):
+        empty = ConvergenceRecorder()
+        assert convergence_plot({"x": empty}) == "(no data)"

@@ -1,0 +1,307 @@
+"""Tests for ConCH components: context features, conv layers, attention,
+discriminator (Eqs. 2-13)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.autograd import Tensor
+from repro.core import (
+    BipartiteConv,
+    Discriminator,
+    NeighborConv,
+    SemanticAttention,
+    build_context_features,
+    path_instance_embedding,
+    shuffle_features,
+)
+from repro.core.bipartite_conv import neighbor_adjacency_from_pairs
+from repro.core.context_features import context_embedding
+from repro.core.discriminator import summary_vector
+from repro.core.semantic_attention import EqualWeightFusion
+from repro.hin import MetaPath, NeighborFilter, build_bipartite_graph
+from repro.hin.context import MetaPathContext
+from tests.test_hin_graph import movie_hin
+
+
+class TestContextFeatures:
+    def _embeddings(self):
+        hin = movie_hin()
+        rng = np.random.default_rng(0)
+        return {t: rng.normal(size=(hin.num_nodes(t), 6)) for t in hin.node_types}
+
+    def test_instance_embedding_is_mean(self):
+        emb = self._embeddings()
+        mp = MetaPath.parse("MAM")
+        instance = (0, 1, 2)
+        expected = (emb["M"][0] + emb["A"][1] + emb["M"][2]) / 3.0
+        np.testing.assert_allclose(
+            path_instance_embedding(instance, mp, emb), expected
+        )
+
+    def test_instance_length_mismatch(self):
+        emb = self._embeddings()
+        with pytest.raises(ValueError):
+            path_instance_embedding((0, 1), MetaPath.parse("MAM"), emb)
+
+    def test_context_embedding_is_mean_over_instances(self):
+        emb = self._embeddings()
+        mp = MetaPath.parse("MAM")
+        ctx = MetaPathContext(u=0, v=1, instances=[(0, 0, 1), (0, 1, 1)])
+        expected = 0.5 * (
+            path_instance_embedding((0, 0, 1), mp, emb)
+            + path_instance_embedding((0, 1, 1), mp, emb)
+        )
+        np.testing.assert_allclose(context_embedding(ctx, mp, emb, 6), expected)
+
+    def test_empty_context_falls_back_to_endpoints(self):
+        emb = self._embeddings()
+        mp = MetaPath.parse("MAM")
+        ctx = MetaPathContext(u=0, v=1, instances=[])
+        expected = 0.5 * (emb["M"][0] + emb["M"][1])
+        np.testing.assert_allclose(context_embedding(ctx, mp, emb, 6), expected)
+
+    def test_build_features_matrix(self):
+        hin = movie_hin()
+        emb = self._embeddings()
+        graph = build_bipartite_graph(
+            hin, MetaPath.parse("MAM"), NeighborFilter(k=2),
+            enumerate_instances=True,
+        )
+        feats = build_context_features(graph, emb)
+        assert feats.shape == (graph.num_contexts, 6)
+        assert np.all(np.isfinite(feats))
+
+    def test_build_requires_instances(self):
+        hin = movie_hin()
+        graph = build_bipartite_graph(hin, MetaPath.parse("MAM"), NeighborFilter(k=2))
+        with pytest.raises(ValueError):
+            build_context_features(graph, self._embeddings())
+
+    def test_missing_type_embeddings(self):
+        hin = movie_hin()
+        graph = build_bipartite_graph(
+            hin, MetaPath.parse("MAM"), NeighborFilter(k=2),
+            enumerate_instances=True,
+        )
+        with pytest.raises(KeyError):
+            build_context_features(graph, {"M": np.zeros((4, 6))})
+
+
+class TestBipartiteConv:
+    def test_equations_with_identity_weights_gauss_seidel(self):
+        """With W1..W4 = I, Eqs. 4-5 reduce to explicit sums we can check."""
+        rng = np.random.default_rng(0)
+        conv = BipartiteConv(2, 2, 2, rng)
+        for name in ("w1", "w2", "w3", "w4"):
+            getattr(conv, name).data[...] = np.eye(2)
+        # Two objects, one context linking them.
+        incidence = sp.csr_matrix(np.array([[1.0], [1.0]]))
+        h_x = Tensor(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        h_c = Tensor(np.array([[3.0, 3.0]]))
+        new_x, new_c = conv(incidence, h_x, h_c)
+        # Eq. 4: ReLU((h_u + h_v) + h_c) = [1+0+3, 0+2+3] = [4, 5].
+        np.testing.assert_allclose(new_c.data, [[4.0, 5.0]])
+        # Eq. 5 (Gauss-Seidel: consumes the NEW context): ReLU(h_c' + h_x).
+        np.testing.assert_allclose(new_x.data, [[5.0, 5.0], [4.0, 7.0]])
+
+    def test_equations_with_identity_weights_jacobi(self):
+        rng = np.random.default_rng(0)
+        conv = BipartiteConv(2, 2, 2, rng, jacobi=True)
+        for name in ("w1", "w2", "w3", "w4"):
+            getattr(conv, name).data[...] = np.eye(2)
+        incidence = sp.csr_matrix(np.array([[1.0], [1.0]]))
+        h_x = Tensor(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        h_c = Tensor(np.array([[3.0, 3.0]]))
+        new_x, new_c = conv(incidence, h_x, h_c)
+        np.testing.assert_allclose(new_c.data, [[4.0, 5.0]])
+        # Jacobi: object update uses the OLD context embedding.
+        np.testing.assert_allclose(new_x.data, [[4.0, 3.0], [3.0, 5.0]])
+
+    def test_output_shapes(self):
+        rng = np.random.default_rng(0)
+        conv = BipartiteConv(5, 3, 7, rng)
+        incidence = sp.csr_matrix(np.ones((4, 2)))
+        new_x, new_c = conv(incidence, Tensor(np.ones((4, 5))), Tensor(np.ones((2, 3))))
+        assert new_x.shape == (4, 7)
+        assert new_c.shape == (2, 7)
+
+    def test_gradients_flow(self):
+        rng = np.random.default_rng(0)
+        conv = BipartiteConv(3, 3, 4, rng)
+        incidence = sp.csr_matrix(np.array([[1.0, 0.0], [1.0, 1.0], [0.0, 1.0]]))
+        h_x = Tensor(rng.normal(size=(3, 3)))
+        h_c = Tensor(rng.normal(size=(2, 3)))
+        new_x, new_c = conv(incidence, h_x, h_c)
+        (new_x.sum() + new_c.sum()).backward()
+        for p in conv.parameters():
+            assert p.grad is not None
+
+    def test_empty_context_set(self):
+        rng = np.random.default_rng(0)
+        conv = BipartiteConv(3, 3, 4, rng)
+        incidence = sp.csr_matrix((2, 0))
+        new_x, new_c = conv(incidence, Tensor(np.ones((2, 3))), Tensor(np.zeros((0, 3))))
+        assert new_x.shape == (2, 4)
+        assert new_c.shape == (0, 4)
+
+    def test_shape_mismatch_rejected(self):
+        rng = np.random.default_rng(0)
+        conv = BipartiteConv(3, 3, 4, rng)
+        incidence = sp.csr_matrix((2, 5))
+        with pytest.raises(ValueError):
+            conv(incidence, Tensor(np.ones((2, 3))), Tensor(np.ones((4, 3))))
+
+    def test_mean_vs_sum_aggregator(self):
+        rng = np.random.default_rng(0)
+        sum_conv = BipartiteConv(2, 2, 2, rng, aggregator="sum")
+        mean_conv = BipartiteConv(2, 2, 2, np.random.default_rng(0), aggregator="mean")
+        incidence = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        h_x = Tensor(np.ones((2, 2)))
+        h_c = Tensor(np.ones((2, 2)))
+        sum_x, _ = sum_conv(incidence, h_x, h_c)
+        mean_x, _ = mean_conv(incidence, h_x, h_c)
+        # Mean aggregation halves the context contribution (degree 2).
+        assert sum_x.data.sum() != mean_x.data.sum()
+
+    def test_invalid_aggregator(self):
+        with pytest.raises(ValueError):
+            BipartiteConv(2, 2, 2, np.random.default_rng(0), aggregator="max")
+
+
+class TestNeighborConv:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        conv = NeighborConv(3, 5, rng)
+        adj = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        out = conv(adj, Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 5)
+
+    def test_adjacency_from_pairs(self):
+        pairs = np.array([[0, 1], [1, 2]])
+        adj = neighbor_adjacency_from_pairs(pairs, 4).toarray()
+        assert adj[0, 1] == 1 and adj[1, 0] == 1
+        assert adj[1, 2] == 1 and adj[2, 1] == 1
+        assert adj[3].sum() == 0
+
+    def test_adjacency_from_no_pairs(self):
+        adj = neighbor_adjacency_from_pairs(np.empty((0, 2)), 3)
+        assert adj.shape == (3, 3)
+        assert adj.nnz == 0
+
+
+class TestSemanticAttention:
+    def test_weights_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        attn = SemanticAttention(4, 3, rng)
+        paths = [Tensor(rng.normal(size=(5, 4))) for _ in range(3)]
+        z, weights = attn(paths)
+        assert z.shape == (5, 4)
+        np.testing.assert_allclose(weights.sum(axis=1), np.ones(5))
+
+    def test_single_path_passthrough(self):
+        rng = np.random.default_rng(0)
+        attn = SemanticAttention(4, 3, rng)
+        h = Tensor(np.abs(rng.normal(size=(5, 4))))
+        z, weights = attn([h])
+        np.testing.assert_allclose(z.data, h.data)
+        np.testing.assert_allclose(weights, np.ones((5, 1)))
+
+    def test_empty_paths_rejected(self):
+        rng = np.random.default_rng(0)
+        attn = SemanticAttention(4, 3, rng)
+        with pytest.raises(ValueError):
+            attn([])
+
+    def test_mean_weights_available_after_forward(self):
+        rng = np.random.default_rng(0)
+        attn = SemanticAttention(4, 3, rng)
+        assert attn.mean_weights() is None
+        paths = [Tensor(rng.normal(size=(5, 4))) for _ in range(2)]
+        attn(paths)
+        mean = attn.mean_weights()
+        assert mean.shape == (2,)
+        np.testing.assert_allclose(mean.sum(), 1.0)
+
+    def test_attention_prefers_informative_path(self):
+        """Train attention end-to-end: weight should shift to the useful path."""
+        from repro.nn import Adam, cross_entropy
+
+        rng = np.random.default_rng(0)
+        labels = np.array([0, 0, 1, 1] * 5)
+        signal = np.zeros((20, 4))
+        signal[labels == 0, 0] = 2.0
+        signal[labels == 1, 1] = 2.0
+        noise = rng.normal(size=(20, 4))
+
+        attn = SemanticAttention(4, 8, rng)
+        from repro.nn import Linear
+
+        head = Linear(4, 2, rng)
+        params = attn.parameters() + head.parameters()
+        optimizer = Adam(params, lr=0.05)
+        for _ in range(150):
+            optimizer.zero_grad()
+            z, _ = attn([Tensor(signal), Tensor(noise)])
+            loss = cross_entropy(head(z), labels)
+            loss.backward()
+            optimizer.step()
+        mean = attn.mean_weights()
+        assert mean[0] > 0.6
+
+    def test_equal_weight_fusion(self):
+        fusion = EqualWeightFusion()
+        a = Tensor(np.full((3, 2), 2.0))
+        b = Tensor(np.full((3, 2), 4.0))
+        z, weights = fusion([a, b])
+        np.testing.assert_allclose(z.data, np.full((3, 2), 3.0))
+        np.testing.assert_allclose(weights, np.full((3, 2), 0.5))
+
+    def test_equal_weight_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EqualWeightFusion()([])
+
+
+class TestDiscriminator:
+    def test_summary_vector_is_mean(self):
+        z = Tensor(np.array([[1.0, 3.0], [3.0, 5.0]]))
+        np.testing.assert_allclose(summary_vector(z).data, [2.0, 4.0])
+
+    def test_loss_positive_scalar(self):
+        rng = np.random.default_rng(0)
+        disc = Discriminator(4, rng)
+        z_pos = Tensor(rng.normal(size=(6, 4)))
+        z_neg = Tensor(rng.normal(size=(6, 4)))
+        loss = disc.loss(z_pos, z_neg, summary_vector(z_pos))
+        assert loss.data.size == 1
+        assert loss.item() > 0
+
+    def test_loss_decreases_with_training(self):
+        from repro.nn import Adam
+
+        rng = np.random.default_rng(0)
+        disc = Discriminator(4, rng)
+        z_pos = Tensor(rng.normal(size=(20, 4)) + 2.0)
+        z_neg = Tensor(rng.normal(size=(20, 4)) - 2.0)
+        summary = summary_vector(z_pos)
+        optimizer = Adam(disc.parameters(), lr=0.05)
+        first = disc.loss(z_pos, z_neg, summary).item()
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss = disc.loss(z_pos, z_neg, summary)
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first
+
+    def test_shuffle_features_permutes(self):
+        rng = np.random.default_rng(0)
+        feats = np.arange(20, dtype=float).reshape(10, 2)
+        shuffled = shuffle_features(feats, rng)
+        assert not np.array_equal(shuffled, feats)
+        np.testing.assert_allclose(np.sort(shuffled, axis=0), np.sort(feats, axis=0))
+
+    def test_shuffle_never_identity_for_small_n(self):
+        feats = np.arange(4, dtype=float).reshape(2, 2)
+        for seed in range(30):
+            shuffled = shuffle_features(feats, np.random.default_rng(seed))
+            assert not np.array_equal(shuffled, feats)

@@ -1,0 +1,130 @@
+"""Tests for mini-batch ConCH training."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import ConCHConfig, prepare_conch_data
+from repro.core.minibatch import (
+    MiniBatchConCHTrainer,
+    iterate_batches,
+    slice_operator,
+)
+from repro.data import stratified_split
+from repro.data.dblp import DBLPConfig, make_dblp
+
+
+def small_config(**overrides) -> ConCHConfig:
+    base = dict(
+        hidden_dim=16,
+        out_dim=16,
+        context_dim=8,
+        embed_num_walks=1,
+        embed_walk_length=8,
+        embed_epochs=1,
+        epochs=30,
+        patience=15,
+    )
+    base.update(overrides)
+    return ConCHConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp(DBLPConfig(num_authors=90, num_papers=280, seed=6))
+
+
+@pytest.fixture(scope="module")
+def prepared(dblp):
+    return prepare_conch_data(dblp, small_config())
+
+
+@pytest.fixture(scope="module")
+def split(dblp):
+    return stratified_split(dblp.labels, 0.2, seed=0)
+
+
+class TestBatchIteration:
+    def test_batches_partition_everything(self):
+        rng = np.random.default_rng(0)
+        batches = list(iterate_batches(25, 7, rng))
+        combined = np.sort(np.concatenate(batches))
+        assert np.array_equal(combined, np.arange(25))
+        assert all(b.size <= 7 for b in batches)
+
+    def test_single_batch_when_large(self):
+        rng = np.random.default_rng(0)
+        batches = list(iterate_batches(10, 100, rng))
+        assert len(batches) == 1
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(iterate_batches(10, 0, np.random.default_rng(0)))
+
+
+class TestSliceOperator:
+    def test_incidence_rows_only(self):
+        operator = sp.csr_matrix(np.arange(12, dtype=float).reshape(3, 4))
+        batch = np.array([2, 0])
+        sliced = slice_operator(operator, batch, square=False)
+        assert sliced.shape == (2, 4)
+        assert np.allclose(sliced.toarray(), operator.toarray()[[2, 0]])
+
+    def test_square_slices_both_axes(self):
+        operator = sp.csr_matrix(np.arange(16, dtype=float).reshape(4, 4))
+        batch = np.array([1, 3])
+        sliced = slice_operator(operator, batch, square=True)
+        assert sliced.shape == (2, 2)
+        assert np.allclose(sliced.toarray(), operator.toarray()[np.ix_([1, 3], [1, 3])])
+
+
+class TestTraining:
+    def test_learns_above_chance(self, prepared, split, dblp):
+        trainer = MiniBatchConCHTrainer(
+            prepared, small_config(), batch_size=32
+        ).fit(split)
+        score = trainer.evaluate(split.test)["micro_f1"]
+        chance = np.bincount(dblp.labels).max() / dblp.labels.size
+        assert score > chance + 0.15
+
+    def test_full_batch_degenerate(self, prepared, split):
+        # batch_size=None runs one batch per epoch and should also learn.
+        trainer = MiniBatchConCHTrainer(prepared, small_config()).fit(split)
+        assert trainer.batch_size == prepared.num_objects
+        assert trainer.evaluate(split.val)["micro_f1"] > 0.5
+
+    def test_supervised_mode(self, prepared, split):
+        config = small_config(training_mode="supervised", lambda_ss=0.0)
+        trainer = MiniBatchConCHTrainer(prepared, config, batch_size=32).fit(split)
+        assert trainer.evaluate(split.val)["micro_f1"] > 0.5
+
+    def test_finetune_mode_rejected(self, prepared):
+        with pytest.raises(ValueError, match="finetune"):
+            MiniBatchConCHTrainer(
+                prepared, small_config(training_mode="finetune")
+            )
+
+    def test_bad_batch_size_rejected(self, prepared):
+        with pytest.raises(ValueError):
+            MiniBatchConCHTrainer(prepared, small_config(), batch_size=0)
+
+    def test_predict_full_coverage(self, prepared, split):
+        trainer = MiniBatchConCHTrainer(
+            prepared, small_config(epochs=5), batch_size=32
+        ).fit(split)
+        predictions = trainer.predict()
+        assert predictions.shape == (prepared.num_objects,)
+        assert predictions.min() >= 0
+        assert predictions.max() < prepared.num_classes
+
+    def test_recorder_populated(self, prepared, split):
+        trainer = MiniBatchConCHTrainer(
+            prepared, small_config(epochs=5), batch_size=32
+        ).fit(split)
+        assert len(trainer.recorder.records) >= 1
+
+    def test_nc_mode_trains(self, dblp, split):
+        config = small_config(use_contexts=False, epochs=10)
+        data = prepare_conch_data(dblp, config)
+        trainer = MiniBatchConCHTrainer(data, config, batch_size=32).fit(split)
+        assert trainer.evaluate(split.val)["micro_f1"] > 0.3

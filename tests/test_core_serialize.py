@@ -1,0 +1,118 @@
+"""Tests for ConCH model checkpointing (save_model / load_model)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConCH, ConCHConfig, load_model, save_model
+from repro.core.trainer import ConCHTrainer, prepare_conch_data
+from repro.data import stratified_split
+from repro.data.dblp import DBLPConfig, make_dblp
+
+
+def small_config(**overrides) -> ConCHConfig:
+    base = dict(
+        hidden_dim=8,
+        out_dim=8,
+        context_dim=8,
+        attention_dim=8,
+        classifier_hidden=8,
+        embed_num_walks=1,
+        embed_walk_length=8,
+        embed_epochs=1,
+        epochs=5,
+    )
+    base.update(overrides)
+    return ConCHConfig(**base)
+
+
+def fresh_model(config=None, feature_dim=12, num_metapaths=2, num_classes=3):
+    config = config or small_config()
+    return ConCH(
+        feature_dim, config.context_dim, num_metapaths, num_classes,
+        config, np.random.default_rng(0),
+    )
+
+
+class TestRoundTrip:
+    def test_parameters_identical(self, tmp_path):
+        model = fresh_model()
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        for (name_a, a), (name_b, b) in zip(
+            model.named_parameters(), restored.named_parameters()
+        ):
+            assert name_a == name_b
+            assert np.array_equal(a.data, b.data)
+
+    def test_config_preserved(self, tmp_path):
+        config = small_config(k=7, lambda_ss=0.123, aggregator="sum")
+        model = fresh_model(config)
+        save_model(model, tmp_path / "model.npz")
+        restored = load_model(tmp_path / "model.npz")
+        assert restored.config == config
+
+    def test_restored_model_in_eval_mode(self, tmp_path):
+        model = fresh_model()
+        model.train()
+        save_model(model, tmp_path / "model.npz")
+        assert not load_model(tmp_path / "model.npz").training
+
+    def test_nc_variant_roundtrip(self, tmp_path):
+        config = small_config(use_contexts=False)
+        model = fresh_model(config)
+        save_model(model, tmp_path / "model.npz")
+        restored = load_model(tmp_path / "model.npz")
+        assert restored.num_metapaths == model.num_metapaths
+        assert restored.config.use_contexts is False
+
+    def test_two_layer_roundtrip(self, tmp_path):
+        config = small_config(num_layers=2)
+        model = fresh_model(config)
+        save_model(model, tmp_path / "model.npz")
+        restored = load_model(tmp_path / "model.npz")
+        assert len(list(restored.parameters())) == len(list(model.parameters()))
+
+
+class TestTrainedModel:
+    def test_predictions_survive_roundtrip(self, tmp_path):
+        dataset = make_dblp(DBLPConfig(num_authors=60, num_papers=180, seed=4))
+        config = small_config()
+        data = prepare_conch_data(dataset, config)
+        split = stratified_split(dataset.labels, 0.2, seed=0)
+        trainer = ConCHTrainer(data, config).fit(split)
+        before = trainer.predict(split.test)
+
+        save_model(trainer.model, tmp_path / "trained.npz")
+        restored = load_model(tmp_path / "trained.npz")
+
+        from repro.autograd.tensor import Tensor, no_grad
+
+        operators = [m.incidence for m in data.metapath_data]
+        contexts = [Tensor(m.context_features) for m in data.metapath_data]
+        with no_grad():
+            logits, _ = restored(Tensor(data.features), operators, contexts)
+        after = logits.argmax(axis=1)[split.test]
+        assert np.array_equal(before, after)
+
+
+class TestErrors:
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.ones(3))
+        with pytest.raises(ValueError, match="missing header"):
+            load_model(path)
+
+    def test_version_mismatch(self, tmp_path):
+        import json
+
+        model = fresh_model()
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        archive = dict(np.load(path, allow_pickle=False))
+        header = json.loads(str(archive["__header"]))
+        header["format_version"] = 999
+        archive["__header"] = np.array(json.dumps(header))
+        np.savez(path, **archive)
+        with pytest.raises(ValueError, match="format"):
+            load_model(path)

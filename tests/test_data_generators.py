@@ -1,0 +1,217 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AMinerConfig,
+    DBLPConfig,
+    FreebaseConfig,
+    YelpConfig,
+    load_dataset,
+    make_aminer,
+    make_dblp,
+    make_freebase,
+    make_yelp,
+)
+from repro.data.base import biased_choice, class_prototypes, mixture_labels, noisy_features
+from repro.data.registry import DATASETS, dataset_hyperparams
+from repro.hin.adjacency import metapath_binary_adjacency
+
+
+SMALL = {
+    "dblp": DBLPConfig(num_authors=60, num_papers=200, num_conferences=8),
+    "yelp": YelpConfig(num_businesses=40, num_reviews=300, num_users=25, num_keywords=18),
+    "freebase": FreebaseConfig(
+        num_movies=40, num_actors=120, num_directors=25, num_producers=40
+    ),
+    "aminer": AMinerConfig(num_papers=80, num_authors=100, num_conferences=10),
+}
+
+
+@pytest.fixture(params=["dblp", "yelp", "freebase", "aminer"])
+def small_dataset(request):
+    return load_dataset(request.param, config=SMALL[request.param])
+
+
+class TestAllGenerators:
+    def test_validates(self, small_dataset):
+        small_dataset.validate()
+
+    def test_all_classes_present(self, small_dataset):
+        labels = small_dataset.labels
+        assert np.unique(labels).size == small_dataset.num_classes
+
+    def test_features_attached_for_every_type(self, small_dataset):
+        hin = small_dataset.hin
+        for node_type in hin.node_types:
+            features = hin.features(node_type)
+            assert features.shape[0] == hin.num_nodes(node_type)
+            assert np.all(np.isfinite(features))
+
+    def test_metapaths_start_end_at_target(self, small_dataset):
+        for mp in small_dataset.metapaths:
+            assert mp.endpoints_match(small_dataset.target_type)
+            assert mp.is_symmetric()
+
+    def test_deterministic_given_seed(self, small_dataset):
+        name = small_dataset.name
+        again = load_dataset(name, config=SMALL[name])
+        np.testing.assert_array_equal(small_dataset.labels, again.labels)
+        np.testing.assert_allclose(small_dataset.features, again.features)
+
+    def test_no_isolated_target_nodes(self, small_dataset):
+        # Every target node must appear in at least one meta-path projection.
+        hin = small_dataset.hin
+        target = small_dataset.target_type
+        first_hop = hin.adjacency(target, small_dataset.metapaths[0].node_types[1])
+        degrees = np.asarray(first_hop.sum(axis=1)).ravel()
+        assert degrees.min() >= 1
+
+    def test_repr(self, small_dataset):
+        text = repr(small_dataset)
+        assert small_dataset.name in text
+
+
+class TestPlantedStructure:
+    def _purity(self, dataset, metapath):
+        """Fraction of meta-path-connected pairs sharing a label."""
+        adj = metapath_binary_adjacency(dataset.hin, metapath).tocoo()
+        labels = dataset.labels
+        same = labels[adj.row] == labels[adj.col]
+        return same.mean()
+
+    def test_dblp_apcpa_beats_chance(self):
+        dataset = load_dataset("dblp", config=SMALL["dblp"])
+        # The *binary* APCPA projection connects most author pairs (venues
+        # are hubs), so its purity is only modestly above chance; the
+        # PathSim weighting is what concentrates it.  Check the margin.
+        apcpa = dataset.metapaths[2]
+        purity = self._purity(dataset, apcpa)
+        assert purity > 1.0 / dataset.num_classes + 0.04
+
+    def test_yelp_keyword_path_stronger_than_user_path(self):
+        dataset = load_dataset("yelp", config=SMALL["yelp"])
+        brurb, brkrb = dataset.metapaths
+        assert self._purity(dataset, brkrb) > self._purity(dataset, brurb)
+
+    def test_freebase_all_paths_informative(self):
+        dataset = load_dataset("freebase", config=SMALL["freebase"])
+        chance = 1.0 / dataset.num_classes
+        for mp in dataset.metapaths:
+            assert self._purity(dataset, mp) > chance
+
+    def test_higher_affinity_increases_purity(self):
+        low = make_freebase(
+            FreebaseConfig(
+                num_movies=40, num_actors=120, num_directors=25,
+                num_producers=40, actor_affinity=0.34,
+            )
+        )
+        high = make_freebase(
+            FreebaseConfig(
+                num_movies=40, num_actors=120, num_directors=25,
+                num_producers=40, actor_affinity=0.95,
+            )
+        )
+        mam = low.metapaths[0]
+        assert self._purity(high, mam) > self._purity(low, mam)
+
+
+class TestConfigs:
+    def test_dblp_needs_enough_conferences(self):
+        with pytest.raises(ValueError):
+            make_dblp(DBLPConfig(num_conferences=2))
+
+    def test_yelp_needs_enough_keywords(self):
+        with pytest.raises(ValueError):
+            make_yelp(YelpConfig(num_keywords=2))
+
+    def test_aminer_scale(self):
+        base = AMinerConfig(num_papers=100, num_authors=120, num_conferences=10)
+        scaled = AMinerConfig(
+            num_papers=100, num_authors=120, num_conferences=10, scale=2.0
+        ).scaled()
+        assert scaled.num_papers == 200
+        assert scaled.scale == 1.0
+        dataset = make_aminer(scaled)
+        assert dataset.num_targets == 200
+
+    def test_freebase_one_hot_features(self):
+        dataset = load_dataset("freebase", config=SMALL["freebase"])
+        np.testing.assert_allclose(
+            dataset.features, np.eye(dataset.num_targets)
+        )
+
+    def test_yelp_business_features_are_attribute_encodings(self):
+        dataset = load_dataset("yelp", config=SMALL["yelp"])
+        feats = dataset.features
+        assert feats.shape[1] == 4
+        np.testing.assert_allclose(feats[:, 0] + feats[:, 1], 1.0)
+        np.testing.assert_allclose(feats[:, 2] + feats[:, 3], 1.0)
+
+
+class TestRegistry:
+    def test_known_datasets(self):
+        assert set(DATASETS) == {"dblp", "yelp", "freebase", "aminer"}
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("imdb")
+
+    def test_wrong_config_type(self):
+        with pytest.raises(TypeError):
+            load_dataset("dblp", config=YelpConfig())
+
+    def test_hyperparams_match_paper(self):
+        # k and (except Freebase, see registry docstring) L follow §V-C.
+        assert dataset_hyperparams("dblp").k == 5
+        assert dataset_hyperparams("dblp").num_layers == 2
+        assert dataset_hyperparams("yelp").k == 10
+        assert dataset_hyperparams("yelp").num_layers == 1
+        assert dataset_hyperparams("freebase").k == 10
+        assert dataset_hyperparams("freebase").lambda_ss > 0
+
+    def test_case_insensitive(self):
+        assert dataset_hyperparams("DBLP").k == 5
+
+
+class TestBaseHelpers:
+    def test_class_prototypes_norms(self):
+        rng = np.random.default_rng(0)
+        protos = class_prototypes(rng, 4, 16, separation=2.5)
+        np.testing.assert_allclose(np.linalg.norm(protos, axis=1), 2.5)
+
+    def test_noisy_features_shape(self):
+        rng = np.random.default_rng(0)
+        protos = class_prototypes(rng, 3, 8)
+        labels = np.array([0, 1, 2, 0])
+        feats = noisy_features(protos, labels, rng, noise=0.1)
+        assert feats.shape == (4, 8)
+
+    def test_mixture_labels_coverage(self):
+        rng = np.random.default_rng(0)
+        labels = mixture_labels(rng, 10, 4)
+        assert np.unique(labels).size == 4
+
+    def test_mixture_labels_skew(self):
+        rng = np.random.default_rng(0)
+        labels = mixture_labels(rng, 5000, 2, skew=np.array([0.9, 0.1]))
+        assert (labels == 0).mean() > 0.8
+
+    def test_mixture_labels_too_few(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mixture_labels(rng, 2, 4)
+
+    def test_biased_choice_respects_affinity(self):
+        rng = np.random.default_rng(0)
+        own = np.array([1, 2, 3])
+        other = np.array([10, 11])
+        picks = [biased_choice(rng, own, other, 1.0) for _ in range(50)]
+        assert all(p in own for p in picks)
+
+    def test_biased_choice_empty_own_pool(self):
+        rng = np.random.default_rng(0)
+        pick = biased_choice(rng, np.array([]), np.array([7]), 1.0)
+        assert pick == 7

@@ -1,0 +1,57 @@
+"""Tests for the label-corruption helper used by the robustness bench."""
+
+import numpy as np
+import pytest
+
+from repro.data import corrupt_labels
+
+
+class TestCorruptLabels:
+    def setup_method(self):
+        self.labels = np.repeat([0, 1, 2, 3], 25)
+        self.indices = np.arange(40)
+
+    def test_zero_noise_is_identity(self):
+        noisy = corrupt_labels(self.labels, self.indices, 0.0, 4)
+        assert np.array_equal(noisy, self.labels)
+
+    def test_original_untouched(self):
+        before = self.labels.copy()
+        corrupt_labels(self.labels, self.indices, 0.5, 4, seed=0)
+        assert np.array_equal(self.labels, before)
+
+    def test_flip_count(self):
+        noisy = corrupt_labels(self.labels, self.indices, 0.5, 4, seed=0)
+        changed = (noisy != self.labels).sum()
+        assert changed == 20  # round(0.5 * 40)
+
+    def test_flips_only_inside_indices(self):
+        noisy = corrupt_labels(self.labels, self.indices, 1.0, 4, seed=0)
+        outside = np.setdiff1d(np.arange(self.labels.size), self.indices)
+        assert np.array_equal(noisy[outside], self.labels[outside])
+
+    def test_flipped_labels_differ(self):
+        noisy = corrupt_labels(self.labels, self.indices, 1.0, 4, seed=0)
+        assert (noisy[self.indices] != self.labels[self.indices]).all()
+
+    def test_flipped_labels_in_range(self):
+        noisy = corrupt_labels(self.labels, self.indices, 1.0, 4, seed=0)
+        assert noisy.min() >= 0 and noisy.max() < 4
+
+    def test_deterministic_with_seed(self):
+        a = corrupt_labels(self.labels, self.indices, 0.3, 4, seed=5)
+        b = corrupt_labels(self.labels, self.indices, 0.3, 4, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_bad_noise_rate(self):
+        with pytest.raises(ValueError):
+            corrupt_labels(self.labels, self.indices, 1.5, 4)
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            corrupt_labels(self.labels, self.indices, 0.5, 1)
+
+    def test_binary_flip_is_complement(self):
+        labels = np.array([0, 1, 0, 1, 0, 1])
+        noisy = corrupt_labels(labels, np.arange(6), 1.0, 2, seed=0)
+        assert np.array_equal(noisy, 1 - labels)

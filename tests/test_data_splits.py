@@ -1,0 +1,101 @@
+"""Tests for stratified splitting (Table-I protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import Split, split_grid, stratified_split
+
+
+def balanced_labels(per_class=50, num_classes=4):
+    return np.repeat(np.arange(num_classes), per_class)
+
+
+class TestStratifiedSplit:
+    def test_partition_is_disjoint_and_complete(self):
+        labels = balanced_labels()
+        split = stratified_split(labels, 0.1)
+        combined = np.concatenate([split.train, split.val, split.test])
+        assert np.array_equal(np.sort(combined), np.arange(labels.size))
+
+    def test_train_fraction_respected(self):
+        labels = balanced_labels(per_class=100)
+        split = stratified_split(labels, 0.1)
+        assert split.train.size == 40  # 10% of 400
+
+    def test_stratification(self):
+        labels = balanced_labels(per_class=100)
+        split = stratified_split(labels, 0.2)
+        for cls in range(4):
+            assert (labels[split.train] == cls).sum() == 20
+
+    def test_minimum_one_per_class(self):
+        labels = balanced_labels(per_class=10)
+        split = stratified_split(labels, 0.02)  # 0.2 nodes/class -> floor 1
+        for cls in range(4):
+            assert (labels[split.train] == cls).sum() >= 1
+
+    def test_at_least_one_test_per_class(self):
+        labels = balanced_labels(per_class=5)
+        split = stratified_split(labels, 0.2, val_fraction=0.2)
+        for cls in range(4):
+            assert (labels[split.test] == cls).sum() >= 1
+
+    def test_seed_determinism(self):
+        labels = balanced_labels()
+        a = stratified_split(labels, 0.1, seed=7)
+        b = stratified_split(labels, 0.1, seed=7)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_different_seeds_differ(self):
+        labels = balanced_labels()
+        a = stratified_split(labels, 0.1, seed=1)
+        b = stratified_split(labels, 0.1, seed=2)
+        assert not np.array_equal(a.train, b.train)
+
+    def test_invalid_fractions(self):
+        labels = balanced_labels()
+        with pytest.raises(ValueError):
+            stratified_split(labels, 0.0)
+        with pytest.raises(ValueError):
+            stratified_split(labels, 1.2)
+        with pytest.raises(ValueError):
+            stratified_split(labels, 0.5, val_fraction=0.6)
+
+    def test_tiny_class_rejected(self):
+        labels = np.array([0, 0, 0, 1, 1])  # class 1 has only 2 members
+        with pytest.raises(ValueError):
+            stratified_split(labels, 0.2)
+
+    def test_overlapping_split_rejected(self):
+        with pytest.raises(ValueError):
+            Split(
+                train=np.array([0, 1]),
+                val=np.array([1, 2]),
+                test=np.array([3]),
+            )
+
+    def test_sizes_property(self):
+        labels = balanced_labels()
+        split = stratified_split(labels, 0.1)
+        sizes = split.sizes
+        assert sizes["train"] + sizes["val"] + sizes["test"] == labels.size
+
+
+class TestSplitGrid:
+    def test_grid_structure(self):
+        labels = balanced_labels()
+        grid = split_grid(labels, fractions=[0.05, 0.2], repeats=3)
+        assert set(grid) == {0.05, 0.2}
+        assert all(len(v) == 3 for v in grid.values())
+
+    def test_repeats_differ(self):
+        labels = balanced_labels()
+        grid = split_grid(labels, fractions=[0.1], repeats=2)
+        a, b = grid[0.1]
+        assert not np.array_equal(a.train, b.train)
+
+    def test_grid_deterministic(self):
+        labels = balanced_labels()
+        g1 = split_grid(labels, fractions=[0.1], repeats=2, seed=3)
+        g2 = split_grid(labels, fractions=[0.1], repeats=2, seed=3)
+        np.testing.assert_array_equal(g1[0.1][0].train, g2[0.1][0].train)

@@ -1,0 +1,190 @@
+"""Tests for random walks, skip-gram, and the embedding methods."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.embedding import (
+    SkipGramConfig,
+    deepwalk_embeddings,
+    metapath2vec_embeddings,
+    metapath_walks,
+    node2vec_embeddings,
+    node2vec_walks,
+    train_skipgram,
+    uniform_random_walks,
+)
+from repro.embedding.skipgram import build_pairs
+from repro.embedding.metapath2vec import metapath2vec_target_embeddings
+from repro.hin import MetaPath
+from tests.test_hin_graph import movie_hin
+
+
+def ring_graph(n=10):
+    rows = np.arange(n)
+    cols = (rows + 1) % n
+    adj = sp.csr_matrix(
+        (np.ones(n), (rows, cols)), shape=(n, n)
+    )
+    return sp.csr_matrix(adj + adj.T)
+
+
+def two_cliques(size=6):
+    """Two disjoint cliques: node embeddings should separate them."""
+    n = 2 * size
+    dense = np.zeros((n, n))
+    dense[:size, :size] = 1
+    dense[size:, size:] = 1
+    np.fill_diagonal(dense, 0)
+    return sp.csr_matrix(dense)
+
+
+class TestWalks:
+    def test_uniform_walks_follow_edges(self):
+        adj = ring_graph()
+        rng = np.random.default_rng(0)
+        walks = uniform_random_walks(adj, num_walks=2, walk_length=5, rng=rng)
+        dense = adj.toarray()
+        for walk in walks:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert dense[a, b] == 1
+
+    def test_walk_counts_and_length(self):
+        adj = ring_graph(8)
+        rng = np.random.default_rng(0)
+        walks = uniform_random_walks(adj, num_walks=3, walk_length=4, rng=rng)
+        assert len(walks) == 24
+        assert all(len(w) == 4 for w in walks)
+
+    def test_sink_node_stops_walk(self):
+        adj = sp.csr_matrix(np.array([[0, 1], [0, 0]], dtype=float))
+        rng = np.random.default_rng(0)
+        walks = uniform_random_walks(adj, 1, 10, rng, start_nodes=np.array([0]))
+        assert walks[0].tolist() == [0, 1]
+
+    def test_node2vec_walks_follow_edges(self):
+        adj = ring_graph()
+        rng = np.random.default_rng(0)
+        walks = node2vec_walks(adj, 1, 6, rng, p=0.5, q=2.0)
+        dense = adj.toarray()
+        for walk in walks:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert dense[a, b] == 1
+
+    def test_node2vec_invalid_pq(self):
+        adj = ring_graph()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            node2vec_walks(adj, 1, 5, rng, p=0.0)
+
+    def test_node2vec_high_q_stays_local(self):
+        # With q >> 1, return probability dominates -> revisit rate is high.
+        adj = ring_graph(20)
+        rng = np.random.default_rng(0)
+        local = node2vec_walks(adj, 5, 20, rng, p=0.25, q=8.0)
+        revisit = np.mean([len(set(w.tolist())) for w in local])
+        rng = np.random.default_rng(0)
+        explore = node2vec_walks(adj, 5, 20, rng, p=8.0, q=0.25)
+        distinct = np.mean([len(set(w.tolist())) for w in explore])
+        assert distinct > revisit
+
+    def test_metapath_walks_respect_type_pattern(self):
+        hin = movie_hin()
+        mp = MetaPath.parse("MAM")
+        rng = np.random.default_rng(0)
+        walks = metapath_walks(hin, mp, num_walks=2, walk_length=7, rng=rng)
+        offsets = hin.global_offsets()
+
+        def type_of(global_id):
+            for node_type in hin.node_types:
+                start = offsets[node_type]
+                if start <= global_id < start + hin.num_nodes(node_type):
+                    return node_type
+            raise AssertionError("bad id")
+
+        pattern = ["M", "A"]  # cycle for MAM
+        for walk in walks:
+            for position, node in enumerate(walk):
+                assert type_of(node) == pattern[position % 2]
+
+    def test_metapath_walks_start_at_every_source(self):
+        hin = movie_hin()
+        rng = np.random.default_rng(0)
+        walks = metapath_walks(hin, MetaPath.parse("MAM"), 1, 3, rng)
+        starts = sorted(w[0] for w in walks)
+        offsets = hin.global_offsets()
+        assert starts == [offsets["M"] + i for i in range(4)]
+
+
+class TestSkipGram:
+    def test_build_pairs_window(self):
+        walks = [np.array([0, 1, 2])]
+        centers, contexts = build_pairs(walks, window=1)
+        pairs = set(zip(centers.tolist(), contexts.tolist()))
+        assert pairs == {(0, 1), (1, 0), (1, 2), (2, 1)}
+
+    def test_build_pairs_empty(self):
+        centers, contexts = build_pairs([np.array([5])], window=2)
+        assert centers.size == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SkipGramConfig(dim=0)
+        with pytest.raises(ValueError):
+            SkipGramConfig(window=0)
+        with pytest.raises(ValueError):
+            SkipGramConfig(negatives=0)
+
+    def test_training_separates_cliques(self):
+        adj = two_cliques(6)
+        rng = np.random.default_rng(0)
+        walks = uniform_random_walks(adj, num_walks=10, walk_length=10, rng=rng)
+        emb = train_skipgram(
+            walks, 12, SkipGramConfig(dim=16, epochs=3, seed=0)
+        )
+        # Cosine similarity within cliques should exceed across cliques.
+        norm = emb / np.linalg.norm(emb, axis=1, keepdims=True)
+        sims = norm @ norm.T
+        within = (sims[:6, :6].sum() - 6) / 30 + (sims[6:, 6:].sum() - 6) / 30
+        across = sims[:6, 6:].mean()
+        assert within / 2 > across
+
+    def test_unseen_nodes_keep_init(self):
+        walks = [np.array([0, 1])]
+        emb = train_skipgram(walks, 5, SkipGramConfig(dim=4, epochs=1))
+        assert emb.shape == (5, 4)
+        assert np.all(np.abs(emb[4]) <= 0.5 / 4 + 1e-12)
+
+
+class TestEmbeddingMethods:
+    def test_deepwalk_shapes(self):
+        emb = deepwalk_embeddings(ring_graph(), dim=8, num_walks=2, walk_length=6)
+        assert emb.shape == (10, 8)
+
+    def test_node2vec_shapes(self):
+        emb = node2vec_embeddings(
+            ring_graph(), dim=8, num_walks=2, walk_length=6, p=0.5, q=2.0
+        )
+        assert emb.shape == (10, 8)
+
+    def test_metapath2vec_per_type_tables(self):
+        hin = movie_hin()
+        tables = metapath2vec_embeddings(
+            hin, [MetaPath.parse("MAM"), MetaPath.parse("MDM")], dim=8,
+            num_walks=2, walk_length=6,
+        )
+        assert set(tables) == {"M", "A", "D", "P"}
+        assert tables["M"].shape == (4, 8)
+        assert tables["A"].shape == (2, 8)
+
+    def test_metapath2vec_target_only(self):
+        hin = movie_hin()
+        emb = metapath2vec_target_embeddings(
+            hin, MetaPath.parse("MAM"), dim=8, num_walks=2, walk_length=6
+        )
+        assert emb.shape == (4, 8)
+
+    def test_deterministic(self):
+        a = deepwalk_embeddings(ring_graph(), dim=4, num_walks=1, walk_length=5, seed=3)
+        b = deepwalk_embeddings(ring_graph(), dim=4, num_walks=1, walk_length=5, seed=3)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,136 @@
+"""Tests for HIN2Vec relation-prediction embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.data.dblp import DBLPConfig, make_dblp
+from repro.embedding.hin2vec import (
+    HIN2Vec,
+    HIN2VecConfig,
+    build_triples,
+    hin2vec_embeddings,
+)
+from repro.hin import HIN, MetaPath
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp(DBLPConfig(num_authors=80, num_papers=260, seed=5))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = HIN2VecConfig()
+        assert config.dim > 0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"dim": 0}, {"negatives": 0}, {"epochs": 0}]
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HIN2VecConfig(**kwargs)
+
+
+class TestTriples:
+    def test_triples_cover_all_relations(self, dblp):
+        rng = np.random.default_rng(0)
+        u, v, r = build_triples(dblp.hin, dblp.metapaths, rng)
+        assert u.shape == v.shape == r.shape
+        assert set(np.unique(r)) == set(range(len(dblp.metapaths)))
+
+    def test_triples_are_real_pairs(self, dblp):
+        from repro.hin.adjacency import metapath_adjacency
+
+        rng = np.random.default_rng(0)
+        u, v, r = build_triples(dblp.hin, dblp.metapaths, rng)
+        counts = metapath_adjacency(
+            dblp.hin, dblp.metapaths[0], remove_self_paths=True
+        ).tocsr()
+        mask = r == 0
+        for uu, vv in zip(u[mask][:50], v[mask][:50]):
+            assert counts[uu, vv] > 0
+
+    def test_no_self_pairs(self, dblp):
+        rng = np.random.default_rng(0)
+        u, v, _ = build_triples(dblp.hin, dblp.metapaths, rng)
+        assert (u != v).all()
+
+    def test_empty_metapath_set_raises(self, dblp):
+        # A meta-path with no instances at all.
+        hin = HIN()
+        hin.add_node_type("A", 3)
+        hin.add_node_type("P", 2)
+        hin.add_edges("writes", "A", "P", [0], [0])  # single edge: no APA pairs
+        with pytest.raises(ValueError, match="no meta-path"):
+            build_triples(hin, [MetaPath.parse("APA")], np.random.default_rng(0))
+
+
+class TestModel:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            HIN2Vec(0, 1, HIN2VecConfig())
+        with pytest.raises(ValueError):
+            HIN2Vec(5, 0, HIN2VecConfig())
+
+    def test_loss_decreases(self, dblp):
+        rng = np.random.default_rng(0)
+        u, v, r = build_triples(dblp.hin, dblp.metapaths, rng)
+        config = HIN2VecConfig(dim=16, epochs=5, seed=0)
+        model = HIN2Vec(dblp.num_targets, len(dblp.metapaths), config)
+        trace = model.fit(u, v, r)
+        assert len(trace) == 5
+        assert trace[-1] < trace[0]
+
+    def test_relation_gates_in_unit_interval(self, dblp):
+        config = HIN2VecConfig(dim=8, epochs=1)
+        model = HIN2Vec(dblp.num_targets, len(dblp.metapaths), config)
+        gates = model.relation_gates()
+        assert gates.shape == (len(dblp.metapaths), 8)
+        assert ((gates > 0) & (gates < 1)).all()
+
+    def test_deterministic_given_seed(self, dblp):
+        rng = np.random.default_rng(0)
+        u, v, r = build_triples(dblp.hin, dblp.metapaths, rng)
+        config = HIN2VecConfig(dim=8, epochs=2, seed=7)
+        first = HIN2Vec(dblp.num_targets, len(dblp.metapaths), config)
+        first.fit(u, v, r)
+        second = HIN2Vec(dblp.num_targets, len(dblp.metapaths), config)
+        second.fit(u, v, r)
+        assert np.array_equal(first.node_vectors, second.node_vectors)
+
+
+class TestEndToEnd:
+    def test_embedding_shape_and_finite(self, dblp):
+        embeddings = hin2vec_embeddings(
+            dblp.hin, dblp.metapaths, HIN2VecConfig(dim=16, epochs=2)
+        )
+        assert embeddings.shape == (dblp.num_targets, 16)
+        assert np.isfinite(embeddings).all()
+
+    def test_rejects_mismatched_endpoints(self, dblp):
+        with pytest.raises(ValueError, match="start/end"):
+            hin2vec_embeddings(
+                dblp.hin,
+                [dblp.metapaths[0], MetaPath.parse("PAP")],
+                HIN2VecConfig(dim=8, epochs=1),
+            )
+
+    def test_rejects_empty_metapaths(self, dblp):
+        with pytest.raises(ValueError, match="at least one"):
+            hin2vec_embeddings(dblp.hin, [], HIN2VecConfig())
+
+    def test_embeddings_separate_classes(self, dblp):
+        # Mean within-class cosine similarity should exceed between-class:
+        # connected (same-area) authors co-occur in positive triples.
+        embeddings = hin2vec_embeddings(
+            dblp.hin, dblp.metapaths, HIN2VecConfig(dim=32, epochs=6, seed=1)
+        )
+        norms = np.linalg.norm(embeddings, axis=1, keepdims=True)
+        unit = embeddings / np.maximum(norms, 1e-12)
+        sims = unit @ unit.T
+        labels = dblp.labels
+        same = labels[:, None] == labels[None, :]
+        off_diag = ~np.eye(labels.size, dtype=bool)
+        within = sims[same & off_diag].mean()
+        between = sims[~same].mean()
+        assert within > between

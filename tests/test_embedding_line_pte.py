@@ -1,0 +1,186 @@
+"""Tests for the edge-sampling embeddings: LINE and PTE."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines import make_method
+from repro.data.dblp import DBLPConfig, make_dblp
+from repro.data.splits import stratified_split
+from repro.embedding.line import (
+    LINEConfig,
+    line_embeddings,
+    train_edge_sgns,
+)
+from repro.embedding.pte import (
+    _bipartite_groups,
+    pte_embeddings,
+    pte_target_embeddings,
+)
+from repro.eval.metrics import micro_f1
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp(DBLPConfig(num_authors=100, num_papers=320, seed=2))
+
+
+def two_cliques(size: int = 8) -> sp.csr_matrix:
+    """Two disjoint cliques joined by nothing: an easy proximity testbed."""
+    block = np.ones((size, size)) - np.eye(size)
+    adjacency = np.zeros((2 * size, 2 * size))
+    adjacency[:size, :size] = block
+    adjacency[size:, size:] = block
+    return sp.csr_matrix(adjacency)
+
+
+class TestLINEConfig:
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            LINEConfig(order="third")
+
+    def test_rejects_odd_dim_for_both(self):
+        with pytest.raises(ValueError):
+            LINEConfig(dim=9, order="both")
+
+    def test_rejects_nonpositive_epochs(self):
+        with pytest.raises(ValueError):
+            LINEConfig(epochs=0)
+
+
+class TestTrainEdgeSGNS:
+    def test_empty_groups_return_init(self):
+        config = LINEConfig(dim=8, epochs=1)
+        emb = train_edge_sgns([], 10, config)
+        assert emb.shape == (10, 8)
+
+    def test_mismatched_group_raises(self):
+        config = LINEConfig(dim=8, epochs=1)
+        group = (np.array([0, 1]), np.array([1]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            train_edge_sgns([group], 4, config)
+
+    def test_deterministic_for_fixed_seed(self):
+        adjacency = two_cliques(6)
+        a = line_embeddings(adjacency, dim=8, epochs=2, seed=3)
+        b = line_embeddings(adjacency, dim=8, epochs=2, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_result(self):
+        adjacency = two_cliques(6)
+        a = line_embeddings(adjacency, dim=8, epochs=2, seed=3)
+        b = line_embeddings(adjacency, dim=8, epochs=2, seed=4)
+        assert not np.array_equal(a, b)
+
+
+class TestLINEProximity:
+    @pytest.mark.parametrize("order", ["first", "second", "both"])
+    def test_cliques_are_separated(self, order):
+        size = 8
+        adjacency = two_cliques(size)
+        emb = line_embeddings(
+            adjacency, dim=16, epochs=30, order=order, seed=0
+        )
+        emb = emb / (np.linalg.norm(emb, axis=1, keepdims=True) + 1e-12)
+        within, across = [], []
+        for i in range(2 * size):
+            for j in range(i + 1, 2 * size):
+                sim = float(emb[i] @ emb[j])
+                same = (i < size) == (j < size)
+                (within if same else across).append(sim)
+        assert np.mean(within) > np.mean(across)
+
+    def test_both_concatenates_halves(self):
+        adjacency = two_cliques(4)
+        emb = line_embeddings(adjacency, dim=12, epochs=1, order="both", seed=0)
+        assert emb.shape == (8, 12)
+
+    def test_return_context_first_order_shares_table(self):
+        adjacency = two_cliques(4)
+        vertex, context = line_embeddings(
+            adjacency, dim=8, epochs=1, order="first", seed=0, return_context=True
+        )
+        assert vertex is context
+
+    def test_return_context_both_concatenates(self):
+        adjacency = two_cliques(4)
+        vertex, context = line_embeddings(
+            adjacency, dim=12, epochs=1, order="both", seed=0, return_context=True
+        )
+        assert vertex.shape == context.shape == (8, 12)
+        # First-order half shares tables, second-order half does not.
+        assert np.array_equal(vertex[:, :6], context[:, :6])
+        assert not np.array_equal(vertex[:, 6:], context[:, 6:])
+
+    def test_rejects_rectangular_matrix(self):
+        with pytest.raises(ValueError):
+            line_embeddings(sp.csr_matrix((4, 5)), dim=8)
+
+    def test_isolated_nodes_keep_small_init(self):
+        adjacency = sp.csr_matrix(
+            ([1.0, 1.0], ([0, 1], [1, 0])), shape=(3, 3)
+        )
+        emb = line_embeddings(adjacency, dim=8, epochs=2, order="first", seed=0)
+        # Node 2 has no edges; its row never receives an update and stays
+        # inside the uniform init envelope.
+        assert np.abs(emb[2]).max() <= 0.5 / 8 + 1e-12
+
+
+class TestPTE:
+    def test_groups_cover_both_directions(self, dblp):
+        groups = _bipartite_groups(dblp.hin)
+        forward = [r for r in dblp.hin.relations if not r.name.endswith("_rev")]
+        assert len(groups) == 2 * len(forward)
+
+    def test_negative_pools_are_type_correct(self, dblp):
+        hin = dblp.hin
+        offsets = hin.global_offsets()
+        forward = [r for r in hin.relations if not r.name.endswith("_rev")]
+        groups = _bipartite_groups(hin)
+        for relation, (src_dst_group, dst_src_group) in zip(
+            forward, zip(groups[0::2], groups[1::2])
+        ):
+            dst_lo = offsets[relation.dst_type]
+            dst_hi = dst_lo + hin.num_nodes(relation.dst_type)
+            pool = src_dst_group[2]
+            assert pool.min() >= dst_lo and pool.max() < dst_hi
+            src_lo = offsets[relation.src_type]
+            src_hi = src_lo + hin.num_nodes(relation.src_type)
+            pool = dst_src_group[2]
+            assert pool.min() >= src_lo and pool.max() < src_hi
+
+    def test_embeddings_cover_all_nodes(self, dblp):
+        emb = pte_embeddings(dblp.hin, dim=8, epochs=1, seed=0)
+        assert emb.shape == (dblp.hin.total_nodes, 8)
+        assert np.isfinite(emb).all()
+
+    def test_return_context_tables(self, dblp):
+        vertex, context = pte_embeddings(
+            dblp.hin, dim=8, epochs=1, seed=0, return_context=True
+        )
+        assert vertex.shape == context.shape == (dblp.hin.total_nodes, 8)
+        # Second-order training keeps the tables distinct.
+        assert not np.array_equal(vertex, context)
+
+    def test_target_embeddings_slice(self, dblp):
+        full = pte_embeddings(dblp.hin, dim=8, epochs=1, seed=0)
+        target = pte_target_embeddings(
+            dblp.hin, dblp.target_type, dim=8, epochs=1, seed=0
+        )
+        start = dblp.hin.global_offsets()[dblp.target_type]
+        assert np.array_equal(target, full[start: start + dblp.num_targets])
+
+
+class TestHarnessMethods:
+    @pytest.mark.parametrize("name", ["LINE", "PTE"])
+    def test_registered(self, name):
+        assert callable(make_method(name))
+
+    @pytest.mark.parametrize("name", ["LINE", "PTE"])
+    def test_method_beats_chance(self, dblp, name):
+        split = stratified_split(dblp.labels, 0.2, seed=0)
+        method = make_method(name)
+        out = method(dblp, split, 0)
+        score = micro_f1(dblp.labels[split.test], out.test_predictions)
+        counts = np.bincount(dblp.labels)
+        assert score > counts.max() / counts.sum() + 0.05

@@ -1,0 +1,239 @@
+"""Tests for k-means and the clustering agreement metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.clustering import (
+    adjusted_rand_index,
+    clustering_report,
+    kmeans,
+    normalized_mutual_information,
+    purity,
+    silhouette_score,
+)
+
+labelings = st.lists(st.integers(0, 4), min_size=2, max_size=60)
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_ids_is_one(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_constant_vs_varied_is_zero(self):
+        a = np.zeros(6, dtype=int)
+        b = np.array([0, 1, 0, 1, 0, 1])
+        assert normalized_mutual_information(a, b) == 0.0
+
+    def test_both_constant_is_one(self):
+        a = np.zeros(5, dtype=int)
+        b = np.ones(5, dtype=int) * 3
+        assert normalized_mutual_information(a, b) == 1.0
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, size=5000)
+        b = rng.integers(0, 3, size=5000)
+        assert normalized_mutual_information(a, b) < 0.01
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.zeros(3, int), np.zeros(4, int))
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.array([-1, 0]), np.array([0, 1]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(labelings, st.integers(0, 10))
+    def test_symmetric(self, labels, shift):
+        a = np.array(labels)
+        b = np.roll(a, shift)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(labelings)
+    def test_bounded_and_self_perfect(self, labels):
+        a = np.array(labels)
+        value = normalized_mutual_information(a, a)
+        assert value == pytest.approx(1.0)
+        b = np.zeros_like(a)
+        assert 0.0 <= normalized_mutual_information(a, b) <= 1.0
+
+
+class TestARI:
+    def test_identical_is_one(self):
+        labels = np.array([0, 1, 1, 0, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([1, 1, 2, 2, 0, 0])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert abs(adjusted_rand_index(a, b)) < 0.01
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index(np.array([0]), np.array([0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(labelings, st.integers(0, 10))
+    def test_symmetric_and_bounded_above(self, labels, shift):
+        a = np.array(labels)
+        b = np.roll(a, shift)
+        forward = adjusted_rand_index(a, b)
+        backward = adjusted_rand_index(b, a)
+        assert forward == pytest.approx(backward)
+        assert forward <= 1.0 + 1e-12
+
+
+class TestPurity:
+    def test_perfect_clusters(self):
+        truth = np.array([0, 0, 1, 1])
+        clusters = np.array([1, 1, 0, 0])
+        assert purity(truth, clusters) == 1.0
+
+    def test_single_cluster_majority(self):
+        truth = np.array([0, 0, 0, 1])
+        clusters = np.zeros(4, dtype=int)
+        assert purity(truth, clusters) == pytest.approx(0.75)
+
+    @settings(max_examples=40, deadline=None)
+    @given(labelings)
+    def test_bounds(self, labels):
+        truth = np.array(labels)
+        clusters = np.arange(truth.size)  # singleton clusters: purity 1
+        assert purity(truth, clusters) == 1.0
+        num_classes = truth.max() + 1
+        constant = np.zeros_like(truth)
+        assert purity(truth, constant) >= 1.0 / max(1, num_classes)
+
+
+class TestKMeans:
+    def blobs(self, seed=0, per=30, centers=((0, 0), (10, 10), (-10, 10))):
+        rng = np.random.default_rng(seed)
+        points, truth = [], []
+        for index, center in enumerate(centers):
+            points.append(rng.normal(0, 0.5, size=(per, 2)) + np.array(center))
+            truth.extend([index] * per)
+        return np.concatenate(points), np.array(truth)
+
+    def test_recovers_separated_blobs(self):
+        points, truth = self.blobs()
+        result = kmeans(points, 3, seed=0)
+        assert normalized_mutual_information(truth, result.labels) == pytest.approx(1.0)
+        assert adjusted_rand_index(truth, result.labels) == pytest.approx(1.0)
+
+    def test_inertia_zero_when_k_equals_n(self):
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        result = kmeans(points, 3, seed=0)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+    def test_k_one_center_is_mean(self):
+        points, _ = self.blobs()
+        result = kmeans(points, 1, seed=0)
+        assert np.allclose(result.centers[0], points.mean(axis=0))
+
+    def test_all_clusters_populated(self):
+        points, _ = self.blobs()
+        result = kmeans(points, 5, seed=3)
+        assert np.unique(result.labels).size == 5
+
+    def test_deterministic_for_seed(self):
+        points, _ = self.blobs()
+        a = kmeans(points, 3, seed=7)
+        b = kmeans(points, 3, seed=7)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_rejects_bad_k(self):
+        points = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 5)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 2)
+
+    def test_more_restarts_never_hurt_inertia(self):
+        points, _ = self.blobs(seed=2, per=20)
+        one = kmeans(points, 4, seed=5, n_init=1)
+        many = kmeans(points, 4, seed=5, n_init=8)
+        assert many.inertia <= one.inertia + 1e-9
+
+
+class TestSilhouette:
+    def test_well_separated_blobs_score_high(self):
+        rng = np.random.default_rng(0)
+        points = np.concatenate(
+            [rng.normal(0, 0.2, size=(20, 2)), rng.normal(10, 0.2, size=(20, 2))]
+        )
+        labels = np.repeat([0, 1], 20)
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_bad_assignment_scores_negative(self):
+        rng = np.random.default_rng(0)
+        points = np.concatenate(
+            [rng.normal(0, 0.2, size=(20, 2)), rng.normal(10, 0.2, size=(20, 2))]
+        )
+        # Swap half of each blob into the other cluster.
+        labels = np.repeat([0, 1], 20)
+        labels[:10] = 1
+        labels[20:30] = 0
+        assert silhouette_score(points, labels) < 0.1
+
+    def test_bounded(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(30, 3))
+        labels = rng.integers(0, 3, size=30)
+        if np.unique(labels).size < 2:
+            labels[0] = (labels[0] + 1) % 3
+        value = silhouette_score(points, labels)
+        assert -1.0 <= value <= 1.0
+
+    def test_singleton_clusters_score_zero(self):
+        points = np.array([[0.0, 0.0], [5.0, 5.0], [5.1, 5.1]])
+        labels = np.array([0, 1, 1])
+        # Point 0 is a singleton (contributes 0); the pair scores high.
+        value = silhouette_score(points, labels)
+        assert 0.0 < value < 1.0
+
+    def test_rejects_single_cluster(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((4, 2)), np.zeros(4, dtype=int))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((4, 2)), np.zeros(3, dtype=int))
+
+
+class TestClusteringReport:
+    def test_report_on_separable_embeddings(self):
+        rng = np.random.default_rng(0)
+        truth = np.repeat(np.arange(3), 25)
+        prototypes = np.eye(3) * 8.0
+        embeddings = prototypes[truth] + rng.normal(0, 0.3, size=(75, 3))
+        report = clustering_report(embeddings, truth, 3, seed=0)
+        assert report["nmi"] > 0.95
+        assert report["ari"] > 0.95
+        assert report["purity"] > 0.95
+        assert report["inertia"] > 0.0
+
+    def test_rejects_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            clustering_report(np.zeros((4, 2)), np.zeros(5, int), 2)

@@ -1,0 +1,219 @@
+"""Tests for the link-prediction holdout protocol and ranking metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dblp import DBLPConfig, make_dblp
+from repro.embedding.pte import pte_embeddings
+from repro.eval.linkpred import (
+    average_precision,
+    holdout_relation_split,
+    link_prediction_report,
+    roc_auc,
+    score_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp(DBLPConfig(num_authors=100, num_papers=320, seed=2))
+
+
+@pytest.fixture(scope="module")
+def forward_relation(dblp):
+    return next(
+        r.name for r in dblp.hin.relations if not r.name.endswith("_rev")
+    )
+
+
+class TestROCAUC:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([3.0, 4.0]), np.array([1.0, 2.0])) == 1.0
+
+    def test_inverted_separation(self):
+        assert roc_auc(np.array([1.0, 2.0]), np.array([3.0, 4.0])) == 0.0
+
+    def test_all_tied_is_half(self):
+        assert roc_auc(np.ones(5), np.ones(7)) == pytest.approx(0.5)
+
+    def test_interleaved(self):
+        # pos {1, 3}, neg {0, 2}: pairs won = (1>0) + (3>0) + (3>2) = 3 of 4.
+        assert roc_auc(np.array([1.0, 3.0]), np.array([0.0, 2.0])) == pytest.approx(0.75)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([]), np.array([1.0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+        st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+    )
+    def test_complement_symmetry(self, pos, neg):
+        pos, neg = np.array(pos), np.array(neg)
+        forward = roc_auc(pos, neg)
+        backward = roc_auc(neg, pos)
+        assert forward + backward == pytest.approx(1.0)
+        assert 0.0 <= forward <= 1.0
+
+    # Scores on a coarse grid so an affine transform cannot merge two
+    # distinct values through float rounding (which would change ties).
+    grid_scores = st.lists(
+        st.floats(-100, 100).map(lambda x: round(x, 2)), min_size=1, max_size=30
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(grid_scores, grid_scores, st.floats(0.5, 10), st.floats(-5, 5))
+    def test_invariant_to_monotone_transform(self, pos, neg, scale, shift):
+        pos, neg = np.array(pos), np.array(neg)
+        base = roc_auc(pos, neg)
+        transformed = roc_auc(pos * scale + shift, neg * scale + shift)
+        assert transformed == pytest.approx(base)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking_is_one(self):
+        assert average_precision(np.array([5.0, 4.0]), np.array([1.0, 2.0])) == 1.0
+
+    def test_worst_ranking(self):
+        # Positives ranked 3rd and 4th of 4: AP = mean(1/3, 2/4).
+        ap = average_precision(np.array([1.0, 0.5]), np.array([3.0, 2.0]))
+        assert ap == pytest.approx(0.5 * (1.0 / 3.0 + 2.0 / 4.0))
+
+    def test_bounded_by_auc_relationship(self):
+        rng = np.random.default_rng(0)
+        pos = rng.normal(1.0, 1.0, size=50)
+        neg = rng.normal(0.0, 1.0, size=50)
+        ap = average_precision(pos, neg)
+        assert 0.0 < ap <= 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            average_precision(np.array([1.0]), np.array([]))
+
+
+class TestScorePairs:
+    def test_dot_scores(self):
+        emb = np.array([[1.0, 0.0], [0.0, 2.0], [1.0, 1.0]])
+        pairs = np.array([[0, 2], [1, 2]])
+        assert np.allclose(score_pairs(emb, pairs, op="dot"), [1.0, 2.0])
+
+    def test_cosine_is_normalized(self):
+        emb = np.array([[2.0, 0.0], [4.0, 0.0], [0.0, 1.0]])
+        pairs = np.array([[0, 1], [0, 2]])
+        scores = score_pairs(emb, pairs, op="cosine")
+        assert scores[0] == pytest.approx(1.0)
+        assert scores[1] == pytest.approx(0.0)
+
+    def test_rejects_bad_shapes_and_op(self):
+        emb = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            score_pairs(emb, np.zeros((2, 3), dtype=int))
+        with pytest.raises(ValueError):
+            score_pairs(emb, np.zeros((2, 2), dtype=int), op="l2")
+
+    def test_context_table_scores_destination_side(self):
+        emb = np.array([[1.0, 0.0], [0.0, 1.0]])
+        context = np.array([[0.0, 2.0], [3.0, 0.0]])
+        pairs = np.array([[0, 1], [1, 0]])
+        scores = score_pairs(emb, pairs, context_embeddings=context)
+        # u from emb, v from context: [1,0]·[3,0]=3 and [0,1]·[0,2]=2.
+        assert np.allclose(scores, [3.0, 2.0])
+
+    def test_context_table_shape_mismatch_raises(self):
+        emb = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            score_pairs(
+                emb,
+                np.zeros((1, 2), dtype=int),
+                context_embeddings=np.zeros((3, 4)),
+            )
+
+
+class TestHoldoutSplit:
+    def test_edge_counts_balance(self, dblp, forward_relation):
+        full = dblp.hin.relation_matrix(forward_relation).nnz
+        split = holdout_relation_split(dblp.hin, forward_relation, 0.2, seed=0)
+        reduced = split.hin.relation_matrix(forward_relation).nnz
+        assert reduced + split.positives.shape[0] == full
+        assert split.positives.shape[0] == max(1, round(0.2 * full))
+
+    def test_other_relations_untouched(self, dblp, forward_relation):
+        split = holdout_relation_split(dblp.hin, forward_relation, 0.2, seed=0)
+        for relation in dblp.hin.relations:
+            if relation.name.endswith("_rev") or relation.name == forward_relation:
+                continue
+            original = dblp.hin.relation_matrix(relation.name)
+            reduced = split.hin.relation_matrix(relation.name)
+            assert (original != reduced).nnz == 0
+
+    def test_features_and_labels_preserved(self, dblp, forward_relation):
+        split = holdout_relation_split(dblp.hin, forward_relation, 0.2, seed=0)
+        for node_type in dblp.hin.node_types:
+            assert split.hin.num_nodes(node_type) == dblp.hin.num_nodes(node_type)
+            if dblp.hin.has_features(node_type):
+                assert np.array_equal(
+                    split.hin.features(node_type), dblp.hin.features(node_type)
+                )
+        assert np.array_equal(
+            split.hin.labels(dblp.target_type), dblp.hin.labels(dblp.target_type)
+        )
+
+    def test_negatives_are_nonedges_and_type_correct(self, dblp, forward_relation):
+        hin = dblp.hin
+        split = holdout_relation_split(
+            hin, forward_relation, 0.2, negatives_per_positive=2, seed=0
+        )
+        assert split.negatives.shape[0] == 2 * split.positives.shape[0]
+        relation = hin.relation_info(forward_relation)
+        offsets = hin.global_offsets()
+        matrix = hin.relation_matrix(forward_relation).tocsr()
+        src_lo = offsets[relation.src_type]
+        dst_lo = offsets[relation.dst_type]
+        for u, v in split.negatives:
+            s, d = u - src_lo, v - dst_lo
+            assert 0 <= s < hin.num_nodes(relation.src_type)
+            assert 0 <= d < hin.num_nodes(relation.dst_type)
+            assert matrix[s, d] == 0
+
+    def test_negatives_unique(self, dblp, forward_relation):
+        split = holdout_relation_split(dblp.hin, forward_relation, 0.2, seed=0)
+        seen = {tuple(pair) for pair in split.negatives.tolist()}
+        assert len(seen) == split.negatives.shape[0]
+
+    def test_rejects_bad_arguments(self, dblp, forward_relation):
+        with pytest.raises(ValueError):
+            holdout_relation_split(dblp.hin, forward_relation, 0.0)
+        with pytest.raises(ValueError):
+            holdout_relation_split(dblp.hin, forward_relation + "_rev", 0.2)
+        with pytest.raises(ValueError):
+            holdout_relation_split(
+                dblp.hin, forward_relation, 0.2, negatives_per_positive=0
+            )
+
+    def test_deterministic_for_seed(self, dblp, forward_relation):
+        a = holdout_relation_split(dblp.hin, forward_relation, 0.2, seed=5)
+        b = holdout_relation_split(dblp.hin, forward_relation, 0.2, seed=5)
+        assert np.array_equal(a.positives, b.positives)
+        assert np.array_equal(a.negatives, b.negatives)
+
+
+class TestEndToEnd:
+    def test_pte_beats_random_embeddings(self, dblp):
+        # published_at (paper -> conference) is venue-driven and therefore
+        # the most predictable relation in the synthetic DBLP.
+        split = holdout_relation_split(dblp.hin, "published_at", 0.2, seed=0)
+        vertex, context = pte_embeddings(
+            split.hin, dim=32, epochs=20, seed=0, return_context=True
+        )
+        rng = np.random.default_rng(0)
+        random = rng.normal(size=vertex.shape)
+        learned_report = link_prediction_report(
+            vertex, split, context_embeddings=context
+        )
+        random_report = link_prediction_report(random, split)
+        assert learned_report["auc"] > 0.65
+        assert learned_report["auc"] > random_report["auc"] + 0.1
+        assert learned_report["ap"] > random_report["ap"]

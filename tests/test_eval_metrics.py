@@ -1,0 +1,209 @@
+"""Tests for metrics, tables, timing, and the contest harness."""
+
+import numpy as np
+import pytest
+
+from repro.data import DBLPConfig, load_dataset, stratified_split
+from repro.eval import (
+    ContestResult,
+    ConvergenceRecorder,
+    accuracy,
+    confusion_matrix,
+    f1_scores,
+    format_contest_table,
+    format_table,
+    macro_f1,
+    micro_f1,
+    run_contest,
+    run_method_on_split,
+    summarize_results,
+)
+from repro.eval.harness import MethodOutput
+
+
+class TestMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([0, 1, 2, 1])
+        assert micro_f1(y, y) == 1.0
+        assert macro_f1(y, y) == 1.0
+        assert accuracy(y, y) == 1.0
+
+    def test_micro_equals_accuracy_single_label(self):
+        y_true = np.array([0, 1, 2, 0, 1])
+        y_pred = np.array([0, 2, 2, 0, 0])
+        assert micro_f1(y_true, y_pred) == accuracy(y_true, y_pred)
+
+    def test_confusion_matrix_values(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        matrix = confusion_matrix(y_true, y_pred)
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_f1_hand_computed(self):
+        # Class 0: precision 1/1, recall 1/2 -> F1 = 2/3.
+        # Class 1: precision 2/3, recall 2/2 -> F1 = 0.8.
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        scores = f1_scores(y_true, y_pred)
+        np.testing.assert_allclose(scores, [2 / 3, 0.8])
+        assert macro_f1(y_true, y_pred) == pytest.approx((2 / 3 + 0.8) / 2)
+
+    def test_absent_class_counts_as_zero(self):
+        y_true = np.array([0, 0])
+        y_pred = np.array([0, 0])
+        assert macro_f1(y_true, y_pred, num_classes=3) == pytest.approx(1.0 / 3)
+
+    def test_never_predicted_class(self):
+        y_true = np.array([0, 1])
+        y_pred = np.array([0, 0])
+        scores = f1_scores(y_true, y_pred)
+        assert scores[1] == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            micro_f1(np.array([0, 1]), np.array([0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            micro_f1(np.array([]), np.array([]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            micro_f1(np.zeros((2, 2), dtype=int), np.zeros((2, 2), dtype=int))
+
+
+class TestRecorder:
+    def test_records_accumulate(self):
+        recorder = ConvergenceRecorder(method="x")
+        recorder.start()
+        recorder.log(0, 1.0, 0.5)
+        recorder.log(1, 0.5, 0.7)
+        assert len(recorder.records) == 2
+        assert recorder.best_val == 0.7
+        assert recorder.total_seconds >= 0
+
+    def test_time_to_reach(self):
+        recorder = ConvergenceRecorder()
+        recorder.start()
+        recorder.log(0, 1.0, 0.3)
+        recorder.log(1, 0.5, 0.8)
+        assert recorder.time_to_reach(0.5) is not None
+        assert recorder.time_to_reach(0.99) is None
+
+    def test_curve_pairs(self):
+        recorder = ConvergenceRecorder()
+        recorder.start()
+        recorder.log(0, 1.0, 0.4)
+        curve = recorder.curve()
+        assert len(curve) == 1
+        assert curve[0][1] == 0.4
+
+    def test_empty_recorder(self):
+        recorder = ConvergenceRecorder()
+        assert recorder.total_seconds == 0.0
+        assert np.isnan(recorder.best_val)
+
+
+class TestTables:
+    def test_format_table_basic(self):
+        text = format_table(["a", "b"], [[1.5, "x"], [2.25, "y"]])
+        assert "1.5000" in text
+        assert "x" in text
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1.0]], title="Table I")
+        assert text.startswith("Table I")
+
+    def test_contest_table_marks_winner(self):
+        results = {
+            "m1": {"c1": 0.9, "c2": 0.5},
+            "m2": {"c1": 0.8, "c2": 0.7},
+        }
+        text = format_contest_table(results, ["m1", "m2"], ["c1", "c2"])
+        assert "0.9000*" in text
+        assert "0.7000*" in text
+
+    def test_contest_table_missing_cell(self):
+        results = {"m1": {"c1": 0.9}}
+        text = format_contest_table(results, ["m1", "m2"], ["c1"])
+        assert "-" in text
+
+
+def _oracle_method(dataset, split, seed):
+    """A fake method that predicts perfectly (for harness plumbing tests)."""
+    return MethodOutput(test_predictions=dataset.labels[split.test].copy())
+
+
+def _chance_method(dataset, split, seed):
+    rng = np.random.default_rng(seed)
+    return MethodOutput(
+        test_predictions=rng.integers(0, dataset.num_classes, size=split.test.size)
+    )
+
+
+def _bad_shape_method(dataset, split, seed):
+    return MethodOutput(test_predictions=np.zeros(3, dtype=int))
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return load_dataset(
+            "dblp", config=DBLPConfig(num_authors=60, num_papers=200, num_conferences=8)
+        )
+
+    def test_run_method_on_split(self, dataset):
+        split = stratified_split(dataset.labels, 0.2)
+        scores = run_method_on_split(_oracle_method, dataset, split)
+        assert scores["micro_f1"] == 1.0
+        assert scores["seconds"] >= 0
+
+    def test_bad_prediction_shape_rejected(self, dataset):
+        split = stratified_split(dataset.labels, 0.2)
+        with pytest.raises(ValueError):
+            run_method_on_split(_bad_shape_method, dataset, split)
+
+    def test_run_contest_grid(self, dataset):
+        results = run_contest(
+            {"oracle": _oracle_method, "chance": _chance_method},
+            dataset,
+            train_fractions=[0.1, 0.2],
+            repeats=2,
+        )
+        assert len(results) == 4  # 2 methods x 2 fractions
+        oracle = [r for r in results if r.method == "oracle"]
+        assert all(r.micro_f1 == 1.0 for r in oracle)
+        chance = [r for r in results if r.method == "chance"]
+        assert all(r.micro_f1 < 0.6 for r in chance)
+
+    def test_contest_id(self):
+        result = ContestResult("m", "dblp", 0.05, 0.9, 0.8)
+        assert result.contest_id == "dblp@5%"
+
+    def test_summarize_results(self, dataset):
+        results = run_contest(
+            {"oracle": _oracle_method}, dataset, train_fractions=[0.1]
+        )
+        table = summarize_results(results)
+        assert table["oracle"]["dblp@10%"] == 1.0
+
+    def test_summarize_bad_metric(self):
+        with pytest.raises(ValueError):
+            summarize_results([], metric="auc")
+
+    def test_repeats_share_splits_across_methods(self, dataset):
+        """Both methods must see identical splits (paper protocol)."""
+        seen = {}
+
+        def spy(name):
+            def method(ds, split, seed):
+                seen.setdefault(name, []).append(split.train.tolist())
+                return MethodOutput(test_predictions=ds.labels[split.test].copy())
+
+            return method
+
+        run_contest(
+            {"a": spy("a"), "b": spy("b")}, dataset,
+            train_fractions=[0.1], repeats=2,
+        )
+        assert seen["a"] == seen["b"]

@@ -1,0 +1,100 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.eval.harness import ContestResult
+from repro.eval.reporting import (
+    markdown_pairwise_section,
+    markdown_report,
+    markdown_score_table,
+    markdown_win_summary,
+)
+
+
+def result(method, dataset, fraction, micro):
+    return ContestResult(
+        method=method,
+        dataset=dataset,
+        train_fraction=fraction,
+        micro_f1=micro,
+        macro_f1=micro,
+    )
+
+
+@pytest.fixture()
+def panel():
+    rows = []
+    for fraction, a, b in [(0.02, 0.95, 0.90), (0.20, 0.97, 0.96)]:
+        rows.append(result("ConCH", "dblp", fraction, a))
+        rows.append(result("HAN", "dblp", fraction, b))
+    return rows
+
+
+class TestScoreTable:
+    def test_structure(self, panel):
+        table = markdown_score_table(panel)
+        lines = table.splitlines()
+        assert lines[0].startswith("| method |")
+        assert "dblp@2%" in lines[0] and "dblp@20%" in lines[0]
+        assert len(lines) == 4  # header + separator + 2 methods
+
+    def test_winner_bolded(self, panel):
+        table = markdown_score_table(panel)
+        assert "**0.9500**" in table
+        assert "**0.9000**" not in table
+
+    def test_no_bold_option(self, panel):
+        table = markdown_score_table(panel, bold_winners=False)
+        assert "**" not in table
+
+    def test_missing_cell_rendered(self, panel):
+        panel.append(result("MAGNN", "dblp", 0.02, 0.93))  # absent at 20%
+        table = markdown_score_table(panel)
+        magnn_row = next(l for l in table.splitlines() if "MAGNN" in l)
+        assert "—" in magnn_row
+
+    def test_contests_sorted_by_fraction(self, panel):
+        header = markdown_score_table(panel).splitlines()[0]
+        assert header.index("dblp@2%") < header.index("dblp@20%")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            markdown_score_table([])
+
+
+class TestWinSummary:
+    def test_counts(self, panel):
+        summary = markdown_win_summary(panel)
+        assert "**ConCH**: 2/2" in summary
+        assert "**HAN**: 0/2" in summary
+
+    def test_tie_tolerance(self, panel):
+        summary = markdown_win_summary(panel, tie_tolerance=0.02)
+        assert "**HAN**: 1/2" in summary
+
+
+class TestPairwiseSection:
+    def test_structure(self, panel):
+        section = markdown_pairwise_section(panel, "ConCH")
+        lines = section.splitlines()
+        assert lines[0].startswith("| ConCH vs |")
+        assert any("HAN" in line for line in lines[2:])
+        assert "+0.0300" in section  # mean gap
+
+    def test_unknown_reference(self, panel):
+        with pytest.raises(ValueError):
+            markdown_pairwise_section(panel, "Nobody")
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, panel):
+        report = markdown_report(panel, "Table I analogue", reference="ConCH")
+        assert report.startswith("# Table I analogue")
+        assert "| method |" in report
+        assert "Contests won" in report
+        assert "| ConCH vs |" in report
+        assert report.endswith("\n")
+
+    def test_reference_optional(self, panel):
+        report = markdown_report(panel, "T")
+        assert "| ConCH vs |" not in report

@@ -1,0 +1,68 @@
+"""Tests for the ``python -m repro.eval.run_report`` CLI."""
+
+import numpy as np
+import pytest
+
+import repro.eval.run_report as run_report
+from repro.data.dblp import DBLPConfig, make_dblp
+
+
+@pytest.fixture()
+def tiny_dblp(monkeypatch):
+    dataset = make_dblp(DBLPConfig(num_authors=60, num_papers=180, seed=9))
+    monkeypatch.setattr(run_report, "load_dataset", lambda name: dataset)
+    return dataset
+
+
+class TestBuildMethods:
+    def test_known_methods(self):
+        methods = run_report.build_methods(
+            ["Grempt", "GNetMine", "ConCH"], "dblp", epochs=10
+        )
+        assert set(methods) == {"Grempt", "GNetMine", "ConCH"}
+        assert all(callable(m) for m in methods.values())
+
+    def test_unknown_method_exits(self):
+        with pytest.raises(SystemExit, match="unknown method"):
+            run_report.build_methods(["Nope"], "dblp", epochs=10)
+
+
+class TestMain:
+    def test_writes_report_file(self, tiny_dblp, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        run_report.main(
+            [
+                "--dataset", "dblp",
+                "--fractions", "0.2",
+                "--methods", "Grempt", "GNetMine",
+                "--out", str(out),
+            ]
+        )
+        text = out.read_text()
+        assert text.startswith("# Contest report — dblp")
+        assert "| method |" in text
+        assert "Grempt" in text and "GNetMine" in text
+        assert "Contests won" in text
+
+    def test_prints_to_stdout_without_out(self, tiny_dblp, capsys):
+        run_report.main(
+            ["--fractions", "0.2", "--methods", "Grempt", "LabelProp"]
+        )
+        captured = capsys.readouterr().out
+        assert "# Contest report" in captured
+
+    def test_reference_defaults_to_conch_when_present(self, tiny_dblp, capsys):
+        run_report.main(
+            [
+                "--fractions", "0.2",
+                "--methods", "Grempt", "ConCH",
+                "--epochs", "15",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert "| ConCH vs |" in captured
+
+    def test_no_pairwise_without_reference(self, tiny_dblp, capsys):
+        run_report.main(["--fractions", "0.2", "--methods", "Grempt", "LabelProp"])
+        captured = capsys.readouterr().out
+        assert "vs |" not in captured.splitlines()[0]

@@ -1,0 +1,107 @@
+"""Tests for the scalability measurement helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ConCHConfig
+from repro.core.trainer import prepare_conch_data
+from repro.data.dblp import DBLPConfig, make_dblp
+from repro.eval.scalability import (
+    ScalePoint,
+    conch_scaling_sweep,
+    format_scaling_table,
+    growth_exponent,
+    measure_epoch_seconds,
+    total_instance_count,
+)
+
+
+def fast_config(**overrides) -> ConCHConfig:
+    base = dict(
+        context_dim=8,
+        hidden_dim=8,
+        out_dim=8,
+        embed_num_walks=1,
+        embed_walk_length=8,
+        embed_epochs=1,
+        epochs=3,
+    )
+    base.update(overrides)
+    return ConCHConfig(**base)
+
+
+def tiny_dblp(scale: float = 1.0):
+    return make_dblp(
+        DBLPConfig(
+            num_authors=max(40, int(60 * scale)),
+            num_papers=max(120, int(200 * scale)),
+            seed=7,
+        )
+    )
+
+
+class TestEpochTiming:
+    def test_positive_and_finite(self):
+        config = fast_config()
+        data = prepare_conch_data(tiny_dblp(), config)
+        seconds = measure_epoch_seconds(data, config, epochs=2)
+        assert 0 < seconds < 60
+
+    def test_bad_epochs(self):
+        config = fast_config()
+        data = prepare_conch_data(tiny_dblp(), config)
+        with pytest.raises(ValueError):
+            measure_epoch_seconds(data, config, epochs=0)
+
+
+class TestInstanceCount:
+    def test_counts_positive(self):
+        assert total_instance_count(tiny_dblp()) > 0
+
+    def test_counts_grow_with_scale(self):
+        small = total_instance_count(tiny_dblp(1.0))
+        large = total_instance_count(tiny_dblp(3.0))
+        assert large > small
+
+
+class TestSweep:
+    def test_sweep_shapes(self):
+        points = conch_scaling_sweep(
+            tiny_dblp, scales=[1.0, 2.0], config=fast_config(), epochs=2
+        )
+        assert len(points) == 2
+        assert all(isinstance(p, ScalePoint) for p in points)
+        assert points[1].num_targets > points[0].num_targets
+        assert all(p.epoch_seconds > 0 for p in points)
+
+    def test_empty_scales_rejected(self):
+        with pytest.raises(ValueError):
+            conch_scaling_sweep(tiny_dblp, scales=[], config=fast_config())
+
+    def test_format_table(self):
+        points = [
+            ScalePoint(1.0, 100, 500, 0.1, 0.01, 2000),
+            ScalePoint(2.0, 200, 1000, 0.2, 0.02, 4000),
+        ]
+        table = format_scaling_table(points)
+        assert "targets" in table
+        assert "200" in table
+        assert len(table.splitlines()) == 4
+
+
+class TestGrowthExponent:
+    def test_linear_is_one(self):
+        sizes = np.array([100, 200, 400, 800], dtype=float)
+        assert growth_exponent(sizes, 0.003 * sizes) == pytest.approx(1.0)
+
+    def test_quadratic_is_two(self):
+        sizes = np.array([100, 200, 400], dtype=float)
+        assert growth_exponent(sizes, 1e-6 * sizes**2) == pytest.approx(2.0)
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            growth_exponent([1.0, 2.0], [0.0, 1.0])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            growth_exponent([1.0], [1.0])

@@ -1,0 +1,169 @@
+"""Tests for contest-result statistics (aggregation, significance, wins)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import ContestResult
+from repro.eval.statistics import (
+    PairwiseComparison,
+    bootstrap_ci,
+    compare_methods,
+    count_wins,
+    friedman_test,
+    mean_ranks,
+    mean_std,
+    paired_t_test,
+    scores_by_contest,
+    wilcoxon_signed_rank,
+    win_matrix,
+)
+
+
+def result(method, dataset, fraction, micro, macro=None):
+    return ContestResult(
+        method=method,
+        dataset=dataset,
+        train_fraction=fraction,
+        micro_f1=micro,
+        macro_f1=macro if macro is not None else micro,
+    )
+
+
+@pytest.fixture()
+def panel():
+    """Two datasets × two fractions; A always wins, B middles, C loses."""
+    results = []
+    for dataset, base in [("dblp", 0.9), ("yelp", 0.8)]:
+        for fraction in (0.02, 0.2):
+            results.append(result("A", dataset, fraction, base + 0.05))
+            results.append(result("B", dataset, fraction, base))
+            results.append(result("C", dataset, fraction, base - 0.1))
+    return results
+
+
+class TestAggregates:
+    def test_mean_std(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(np.std([1, 2, 3]))
+
+    def test_mean_std_empty(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+    def test_bootstrap_ci_brackets_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0.8, 0.02, size=50)
+        low, high = bootstrap_ci(values, seed=1)
+        assert low < values.mean() < high
+        assert high - low < 0.05
+
+    def test_bootstrap_ci_deterministic(self):
+        values = [0.7, 0.72, 0.71, 0.69]
+        assert bootstrap_ci(values, seed=3) == bootstrap_ci(values, seed=3)
+
+    def test_bootstrap_bad_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+class TestSignificance:
+    def test_paired_t_detects_clear_gap(self):
+        a = [0.9, 0.91, 0.92, 0.9, 0.91]
+        b = [0.8, 0.81, 0.8, 0.79, 0.82]
+        statistic, p_value = paired_t_test(a, b)
+        assert statistic > 0
+        assert p_value < 0.01
+
+    def test_paired_t_identical_is_degenerate(self):
+        statistic, p_value = paired_t_test([0.5, 0.6], [0.5, 0.6])
+        assert statistic == 0.0
+        assert p_value == 1.0
+
+    def test_paired_t_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])
+
+    def test_wilcoxon_detects_clear_gap(self):
+        a = [0.9, 0.91, 0.92, 0.9, 0.91, 0.93, 0.9, 0.92]
+        b = [0.8, 0.81, 0.8, 0.79, 0.82, 0.8, 0.81, 0.8]
+        _, p_value = wilcoxon_signed_rank(a, b)
+        assert p_value < 0.05
+
+    def test_friedman_rejects_on_consistent_ranking(self):
+        rng = np.random.default_rng(0)
+        contests = 12
+        scores = np.column_stack(
+            [
+                rng.normal(0.9, 0.01, contests),
+                rng.normal(0.8, 0.01, contests),
+                rng.normal(0.7, 0.01, contests),
+            ]
+        )
+        statistic, p_value = friedman_test(scores)
+        assert p_value < 0.01
+
+    def test_friedman_needs_three_methods(self):
+        with pytest.raises(ValueError):
+            friedman_test(np.ones((5, 2)))
+
+    def test_mean_ranks_ordering(self):
+        scores = np.array([[0.9, 0.8, 0.7], [0.95, 0.85, 0.6]])
+        ranks = mean_ranks(scores)
+        assert ranks[0] == pytest.approx(1.0)
+        assert ranks[2] == pytest.approx(3.0)
+
+    def test_mean_ranks_ties_share(self):
+        ranks = mean_ranks(np.array([[0.5, 0.5, 0.1]]))
+        assert ranks[0] == ranks[1] == pytest.approx(1.5)
+
+
+class TestContestBookkeeping:
+    def test_scores_by_contest_pivot(self, panel):
+        table = scores_by_contest(panel)
+        assert set(table) == {"dblp@2%", "dblp@20%", "yelp@2%", "yelp@20%"}
+        assert table["dblp@2%"]["A"] == pytest.approx(0.95)
+
+    def test_scores_by_contest_bad_metric(self, panel):
+        with pytest.raises(ValueError):
+            scores_by_contest(panel, metric="auc")
+
+    def test_count_wins(self, panel):
+        wins = count_wins(panel)
+        assert wins["A"] == 4
+        assert wins["B"] == 0
+        assert wins["C"] == 0
+
+    def test_count_wins_with_tolerance(self, panel):
+        wins = count_wins(panel, tie_tolerance=0.06)
+        assert wins["A"] == 4
+        assert wins["B"] == 4   # within 0.05 of A everywhere
+        assert wins["C"] == 0
+
+    def test_compare_methods(self, panel):
+        comparison = compare_methods(panel, "A", "C")
+        assert isinstance(comparison, PairwiseComparison)
+        assert comparison.contests == 4
+        assert comparison.wins_a == 4
+        assert comparison.wins_b == 0
+        assert comparison.mean_gap == pytest.approx(0.15)
+
+    def test_compare_methods_no_overlap(self, panel):
+        with pytest.raises(ValueError):
+            compare_methods(panel, "A", "Z")
+
+    def test_win_matrix(self, panel):
+        methods, matrix = win_matrix(panel)
+        a, b, c = (methods.index(m) for m in ("A", "B", "C"))
+        assert matrix[a, b] == 4 and matrix[a, c] == 4
+        assert matrix[b, a] == 0 and matrix[b, c] == 4
+        assert np.trace(matrix) == 0
+
+    def test_win_matrix_antisymmetric_total(self, panel):
+        # i-beats-j and j-beats-i cannot both count the same contest.
+        methods, matrix = win_matrix(panel)
+        n_contests = 4
+        for i in range(len(methods)):
+            for j in range(len(methods)):
+                if i != j:
+                    assert matrix[i, j] + matrix[j, i] <= n_contests

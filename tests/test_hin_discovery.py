@@ -1,0 +1,184 @@
+"""Tests for automatic meta-path discovery (enumerate / rank / select)."""
+
+import numpy as np
+import pytest
+
+from repro.data.dblp import DBLPConfig, make_dblp
+from repro.hin import HIN, MetaPath
+from repro.hin.discovery import (
+    MetaPathScore,
+    discover_metapaths,
+    rank_metapaths,
+    select_metapaths,
+)
+from tests.test_hin_graph import movie_hin
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return make_dblp(DBLPConfig(num_authors=100, num_papers=320, seed=3))
+
+
+class TestDiscover:
+    def test_movie_schema_paths(self):
+        paths = discover_metapaths(movie_hin(), "M", max_length=2)
+        names = {p.name for p in paths}
+        assert names == {"MAM", "MDM", "MPM"}
+
+    def test_longer_paths_at_length_four(self):
+        # Every movie half-path of length 2 revisits M (the schema is a
+        # star), so length-4 candidates only appear with include_trivial.
+        paths = discover_metapaths(movie_hin(), "M", max_length=4, include_trivial=True)
+        names = {p.name for p in paths}
+        assert {"MAM", "MDM", "MPM"} <= names
+        assert any(p.length == 4 for p in paths)
+        assert "MAMAM" in names
+
+    def test_all_results_symmetric_and_anchored(self):
+        for path in discover_metapaths(movie_hin(), "M", max_length=4):
+            assert path.is_symmetric()
+            assert path.endpoints_match("M")
+            assert len(path.node_types) % 2 == 1
+
+    def test_trivial_revisits_excluded_by_default(self):
+        dblp_paths = discover_metapaths(
+            make_dblp(DBLPConfig(num_authors=40, num_papers=120, seed=0)).hin,
+            "A",
+            max_length=4,
+        )
+        names = {p.name for p in dblp_paths}
+        assert "APCPA" in names
+        assert "APAPA" not in names  # half-path revisits A
+
+    def test_trivial_revisits_opt_in(self):
+        hin = make_dblp(DBLPConfig(num_authors=40, num_papers=120, seed=0)).hin
+        names = {
+            p.name
+            for p in discover_metapaths(hin, "A", max_length=4, include_trivial=True)
+        }
+        assert "APAPA" in names
+
+    def test_deterministic_order(self):
+        first = [p.name for p in discover_metapaths(movie_hin(), "M", max_length=4)]
+        second = [p.name for p in discover_metapaths(movie_hin(), "M", max_length=4)]
+        assert first == second
+        assert first == sorted(first, key=lambda n: (len(n), n))
+
+    def test_unknown_type(self):
+        with pytest.raises(KeyError):
+            discover_metapaths(movie_hin(), "X")
+
+    def test_bad_max_length(self):
+        with pytest.raises(ValueError):
+            discover_metapaths(movie_hin(), "M", max_length=1)
+
+
+class TestRank:
+    def test_scores_sorted_descending(self, dblp):
+        candidates = discover_metapaths(dblp.hin, "A", max_length=4)
+        ranked = rank_metapaths(dblp.hin, candidates, dblp.labels)
+        scores = [entry.score for entry in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_homophily_in_unit_interval(self, dblp):
+        candidates = discover_metapaths(dblp.hin, "A", max_length=4)
+        for entry in rank_metapaths(dblp.hin, candidates, dblp.labels):
+            assert 0.0 <= entry.homophily <= 1.0
+            assert 0.0 <= entry.coverage <= 1.0
+
+    def test_train_restriction_uses_fewer_pairs(self, dblp):
+        candidates = discover_metapaths(dblp.hin, "A", max_length=4)
+        full = rank_metapaths(dblp.hin, candidates, dblp.labels)
+        train_idx = np.arange(20)
+        restricted = rank_metapaths(
+            dblp.hin, candidates, dblp.labels, train_idx=train_idx
+        )
+        full_pairs = {e.metapath.name: e.labeled_pairs for e in full}
+        for entry in restricted:
+            assert entry.labeled_pairs <= full_pairs[entry.metapath.name]
+
+    def test_empty_train_set_scores_zero(self, dblp):
+        candidates = discover_metapaths(dblp.hin, "A", max_length=2)
+        ranked = rank_metapaths(
+            dblp.hin, candidates, dblp.labels, train_idx=np.empty(0, dtype=np.int64)
+        )
+        assert all(entry.score == 0.0 for entry in ranked)
+
+    def test_informative_path_beats_random_relation(self):
+        # Plant a relation that ignores labels entirely next to one that
+        # follows them: the label-following path must rank first.
+        rng = np.random.default_rng(0)
+        hin = HIN()
+        hin.add_node_type("A", 60)
+        hin.add_node_type("G", 6)   # label-pure groups
+        hin.add_node_type("R", 6)   # random groups
+        labels = np.repeat([0, 1, 2], 20)
+        hin.add_edges("in_group", "A", "G", np.arange(60), labels * 2)
+        hin.add_edges("in_random", "A", "R", np.arange(60), rng.integers(0, 6, 60))
+        ranked = rank_metapaths(
+            hin,
+            [MetaPath.parse("AGA"), MetaPath.parse("ARA")],
+            labels,
+        )
+        assert ranked[0].metapath.name == "AGA"
+        assert ranked[0].homophily == pytest.approx(1.0)
+
+
+class TestSelect:
+    def test_limit_respected(self, dblp):
+        selected = select_metapaths(dblp.hin, "A", dblp.labels, limit=1)
+        assert len(selected) == 1
+
+    def test_selected_are_scored_entries(self, dblp):
+        selected = select_metapaths(dblp.hin, "A", dblp.labels, limit=3)
+        assert all(isinstance(entry, MetaPathScore) for entry in selected)
+        assert all(entry.labeled_pairs > 0 for entry in selected)
+
+    def test_redundant_duplicate_is_skipped(self):
+        # Two relations producing identical pair sets: only one survives.
+        hin = HIN()
+        hin.add_node_type("A", 30)
+        hin.add_node_type("G", 3)
+        hin.add_node_type("H", 3)
+        labels = np.repeat([0, 1, 2], 10)
+        hin.add_edges("g", "A", "G", np.arange(30), labels)
+        hin.add_edges("h", "A", "H", np.arange(30), labels)
+        selected = select_metapaths(hin, "A", labels, limit=3)
+        names = [entry.metapath.name for entry in selected]
+        assert len(names) == 1
+        assert names[0] in ("AGA", "AHA")
+
+    def test_min_coverage_filters_sparse_relations(self):
+        hin = HIN()
+        hin.add_node_type("A", 50)
+        hin.add_node_type("G", 5)
+        hin.add_node_type("S", 2)
+        labels = np.repeat([0, 1, 2, 3, 4], 10)
+        hin.add_edges("g", "A", "G", np.arange(50), labels)
+        hin.add_edges("s", "A", "S", [0, 1], [0, 0])  # covers 2/50 nodes
+        selected = select_metapaths(hin, "A", labels, min_coverage=0.2, limit=3)
+        assert [entry.metapath.name for entry in selected] == ["AGA"]
+
+    def test_bad_limit(self, dblp):
+        with pytest.raises(ValueError):
+            select_metapaths(dblp.hin, "A", dblp.labels, limit=0)
+
+    def test_discovered_set_feeds_conch_pipeline(self, dblp):
+        # The discovered meta-paths slot into the standard preprocessing.
+        from repro.core.config import ConCHConfig
+        from repro.core.trainer import prepare_conch_data
+        from repro.data.base import HINDataset
+
+        selected = select_metapaths(dblp.hin, "A", dblp.labels, limit=2)
+        dataset = HINDataset(
+            name="dblp-discovered",
+            hin=dblp.hin,
+            target_type="A",
+            metapaths=[entry.metapath for entry in selected],
+            class_names=dblp.class_names,
+        ).validate()
+        config = ConCHConfig(
+            context_dim=16, embed_num_walks=2, embed_walk_length=10, embed_epochs=1
+        )
+        data = prepare_conch_data(dataset, config)
+        assert len(data.metapath_data) == len(selected)

@@ -1,0 +1,187 @@
+"""Tests for the HIN typed graph and schema."""
+
+import numpy as np
+import pytest
+
+from repro.hin import HIN, MetaPath, NetworkSchema
+
+
+def movie_hin() -> HIN:
+    """The Fig. 1 example: movies, actors, directors, producers."""
+    hin = HIN(name="fig1")
+    hin.add_node_type("M", 4)
+    hin.add_node_type("A", 2)
+    hin.add_node_type("D", 2)
+    hin.add_node_type("P", 2)
+    # M1,M2,M3 feature A1; M1,M2,M4 feature A2 (0-indexed here).
+    hin.add_edges("stars", "M", "A", [0, 1, 2, 0, 1, 3], [0, 0, 0, 1, 1, 1])
+    hin.add_edges("directed_by", "M", "D", [0, 1, 2, 3], [0, 0, 1, 1])
+    hin.add_edges("produced_by", "M", "P", [1, 2, 2, 3], [0, 0, 1, 1])
+    return hin
+
+
+class TestConstruction:
+    def test_node_counts(self):
+        hin = movie_hin()
+        assert hin.num_nodes("M") == 4
+        assert hin.total_nodes == 10
+
+    def test_duplicate_type_rejected(self):
+        hin = HIN()
+        hin.add_node_type("A", 3)
+        with pytest.raises(ValueError):
+            hin.add_node_type("A", 5)
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            HIN().add_node_type("A", 0)
+
+    def test_unknown_type_in_edges(self):
+        hin = HIN()
+        hin.add_node_type("A", 2)
+        with pytest.raises(KeyError):
+            hin.add_edges("r", "A", "B", [0], [0])
+
+    def test_out_of_range_ids(self):
+        hin = HIN()
+        hin.add_node_type("A", 2)
+        hin.add_node_type("B", 2)
+        with pytest.raises(IndexError):
+            hin.add_edges("r", "A", "B", [5], [0])
+
+    def test_mismatched_edge_arrays(self):
+        hin = HIN()
+        hin.add_node_type("A", 2)
+        hin.add_node_type("B", 2)
+        with pytest.raises(ValueError):
+            hin.add_edges("r", "A", "B", [0, 1], [0])
+
+    def test_duplicate_relation_rejected(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            hin.add_edges("stars", "M", "A", [0], [0])
+
+    def test_duplicate_edges_collapse_to_binary(self):
+        hin = HIN()
+        hin.add_node_type("A", 2)
+        hin.add_node_type("B", 2)
+        hin.add_edges("r", "A", "B", [0, 0, 0], [1, 1, 1])
+        assert hin.relation_matrix("r")[0, 1] == 1.0
+
+    def test_reverse_relation_registered(self):
+        hin = movie_hin()
+        forward = hin.relation_matrix("stars")
+        backward = hin.relation_matrix("stars_rev")
+        np.testing.assert_allclose(forward.toarray().T, backward.toarray())
+
+    def test_is_heterogeneous(self):
+        assert movie_hin().is_heterogeneous()
+        homo = HIN()
+        homo.add_node_type("X", 3)
+        homo.add_edges("link", "X", "X", [0, 1], [1, 2])
+        assert not homo.is_heterogeneous()
+
+
+class TestAccessors:
+    def test_adjacency_union(self):
+        hin = movie_hin()
+        adj = hin.adjacency("M", "A")
+        assert adj.shape == (4, 2)
+        assert adj.nnz == 6
+
+    def test_adjacency_missing_pair(self):
+        hin = movie_hin()
+        with pytest.raises(KeyError):
+            hin.adjacency("A", "D")
+
+    def test_has_adjacency(self):
+        hin = movie_hin()
+        assert hin.has_adjacency("M", "A")
+        assert hin.has_adjacency("A", "M")  # via reverse
+        assert not hin.has_adjacency("A", "D")
+
+    def test_features_roundtrip(self):
+        hin = movie_hin()
+        feats = np.arange(8, dtype=float).reshape(4, 2)
+        hin.set_features("M", feats)
+        np.testing.assert_allclose(hin.features("M"), feats)
+
+    def test_features_wrong_rows(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            hin.set_features("M", np.zeros((3, 2)))
+
+    def test_missing_features_raise(self):
+        with pytest.raises(KeyError):
+            movie_hin().features("M")
+
+    def test_labels_roundtrip(self):
+        hin = movie_hin()
+        hin.set_labels("M", np.array([0, 1, 0, 2]))
+        np.testing.assert_array_equal(hin.labels("M"), [0, 1, 0, 2])
+
+    def test_labels_wrong_shape(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            hin.set_labels("M", np.array([0, 1]))
+
+
+class TestSchema:
+    def test_schema_edges(self):
+        schema = movie_hin().schema()
+        assert schema.are_connected("M", "A")
+        assert schema.are_connected("A", "M")
+        assert not schema.are_connected("A", "D")
+
+    def test_validate_metapath_ok(self):
+        schema = movie_hin().schema()
+        schema.validate_metapath(["M", "A", "M"])
+
+    def test_validate_metapath_bad_step(self):
+        schema = movie_hin().schema()
+        with pytest.raises(ValueError):
+            schema.validate_metapath(["A", "D"])
+
+    def test_validate_metapath_unknown_type(self):
+        schema = movie_hin().schema()
+        with pytest.raises(ValueError):
+            schema.validate_metapath(["M", "Z"])
+
+    def test_validate_too_short(self):
+        schema = movie_hin().schema()
+        with pytest.raises(ValueError):
+            schema.validate_metapath(["M"])
+
+    def test_relations_between(self):
+        schema = movie_hin().schema()
+        assert "stars" in schema.relations_between("M", "A")
+
+    def test_degree(self):
+        schema = movie_hin().schema()
+        # M touches stars(+rev), directed_by(+rev), produced_by(+rev).
+        assert schema.degree("M") == 6
+
+
+class TestGlobalProjection:
+    def test_offsets_partition_id_space(self):
+        hin = movie_hin()
+        offsets = hin.global_offsets()
+        sizes = sorted(offsets.values())
+        assert sizes[0] == 0
+        assert max(offsets[t] + hin.num_nodes(t) for t in offsets) == hin.total_nodes
+
+    def test_homogeneous_symmetric(self):
+        adj = movie_hin().to_homogeneous()
+        assert (adj != adj.T).nnz == 0
+
+    def test_homogeneous_edge_count(self):
+        hin = movie_hin()
+        adj = hin.to_homogeneous()
+        # 6 + 4 + 4 undirected edges -> 28 directed entries.
+        assert adj.nnz == 28
+
+    def test_to_networkx(self):
+        graph = movie_hin().to_networkx()
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == 14
+        assert graph.nodes[("M", 0)]["node_type"] == "M"

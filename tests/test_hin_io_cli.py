@@ -1,0 +1,76 @@
+"""Tests for HIN serialization and the run_table1 CLI plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.eval.run_table1 import build_methods
+from repro.hin.io import load_hin, save_hin
+from tests.test_hin_graph import movie_hin
+
+
+class TestHINSerialization:
+    def test_roundtrip_structure(self, tmp_path):
+        hin = movie_hin()
+        hin.set_features("M", np.arange(16, dtype=float).reshape(4, 4))
+        hin.set_labels("M", np.array([0, 1, 2, 0]))
+        path = tmp_path / "movie.npz"
+        save_hin(hin, path)
+        loaded = load_hin(path)
+
+        assert loaded.name == hin.name
+        assert loaded.node_types == hin.node_types
+        for node_type in hin.node_types:
+            assert loaded.num_nodes(node_type) == hin.num_nodes(node_type)
+        np.testing.assert_allclose(
+            loaded.adjacency("M", "A").toarray(),
+            hin.adjacency("M", "A").toarray(),
+        )
+        np.testing.assert_allclose(loaded.features("M"), hin.features("M"))
+        np.testing.assert_array_equal(loaded.labels("M"), hin.labels("M"))
+
+    def test_reverse_relations_regenerated(self, tmp_path):
+        hin = movie_hin()
+        path = tmp_path / "movie.npz"
+        save_hin(hin, path)
+        loaded = load_hin(path)
+        assert loaded.has_adjacency("A", "M")
+
+    def test_roundtrip_metapath_algebra_identical(self, tmp_path):
+        from repro.hin import MetaPath
+        from repro.hin.pathsim import pathsim_matrix
+
+        hin = movie_hin()
+        path = tmp_path / "movie.npz"
+        save_hin(hin, path)
+        loaded = load_hin(path)
+        original = pathsim_matrix(hin, MetaPath.parse("MAM")).toarray()
+        roundtrip = pathsim_matrix(loaded, MetaPath.parse("MAM")).toarray()
+        np.testing.assert_allclose(original, roundtrip)
+
+    def test_dataset_generator_roundtrip(self, tmp_path):
+        from repro.data import DBLPConfig, load_dataset
+
+        dataset = load_dataset(
+            "dblp",
+            config=DBLPConfig(num_authors=60, num_papers=200, num_conferences=8),
+        )
+        path = tmp_path / "dblp.npz"
+        save_hin(dataset.hin, path)
+        loaded = load_hin(path)
+        np.testing.assert_array_equal(loaded.labels("A"), dataset.labels)
+        assert loaded.total_edges == dataset.hin.total_edges
+
+
+class TestRunTable1CLI:
+    def test_build_methods_subset(self):
+        methods = build_methods(["GCN", "ConCH"], "dblp", epochs=10)
+        assert set(methods) == {"GCN", "ConCH"}
+
+    def test_build_methods_all(self):
+        methods = build_methods(["all"], "yelp", epochs=10)
+        assert "MAGNN" in methods and "ConCH" in methods
+        assert len(methods) == 14
+
+    def test_build_methods_unknown(self):
+        with pytest.raises(SystemExit):
+            build_methods(["Oracle9000"], "dblp", epochs=10)

@@ -1,0 +1,152 @@
+"""Tests for meta-graphs (conjunctive meta-path stages)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hin import HIN, MetaPath
+from repro.hin.adjacency import metapath_adjacency
+from repro.hin.metagraph import (
+    MetaGraph,
+    metagraph_adjacency,
+    metagraph_binary_adjacency,
+    metagraph_pathsim,
+    top_k_metagraph_neighbors,
+)
+from repro.hin.pathsim import pathsim_matrix
+from tests.test_hin_graph import movie_hin
+
+MAM = MetaPath.parse("MAM")
+MDM = MetaPath.parse("MDM")
+MPM = MetaPath.parse("MPM")
+
+
+class TestConstruction:
+    def test_name_rendering(self):
+        assert MetaGraph([[MAM, MDM]]).name == "(MAM&MDM)"
+        assert MetaGraph([[MAM], [MDM]]).name == "(MAM)>(MDM)"
+
+    def test_custom_name(self):
+        assert MetaGraph([[MAM]], name="co-star").name == "co-star"
+
+    def test_endpoints(self):
+        graph = MetaGraph([[MAM, MDM]])
+        assert graph.source_type == "M"
+        assert graph.target_type == "M"
+        assert graph.endpoints_match("M")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MetaGraph([])
+        with pytest.raises(ValueError):
+            MetaGraph([[]])
+
+    def test_mismatched_branch_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="endpoint"):
+            MetaGraph([[MAM, MetaPath.parse("MAD")]])
+
+    def test_non_chaining_stages_rejected(self):
+        with pytest.raises(ValueError, match="chain"):
+            MetaGraph([[MetaPath.parse("MAD")], [MetaPath.parse("MAM")]])
+
+    def test_equality_and_hash(self):
+        assert MetaGraph([[MAM, MDM]]) == MetaGraph([[MAM, MDM]])
+        assert hash(MetaGraph([[MAM]])) == hash(MetaGraph([[MAM]]))
+        assert MetaGraph([[MAM]]) != MetaGraph([[MDM]])
+
+    def test_symmetry(self):
+        assert MetaGraph([[MAM, MDM]]).is_symmetric()
+        # Mirrored stage sequence: (MAM)>(MDM)>(MAM) reads the same both ways.
+        assert MetaGraph([[MAM], [MDM], [MAM]]).is_symmetric()
+        # (MAM)>(MDM) does not: its reverse is (MDM)>(MAM).
+        assert not MetaGraph([[MAM], [MDM]]).is_symmetric()
+        assert not MetaGraph([[MetaPath.parse("MAD")]]).is_symmetric()
+
+    def test_validate_against_schema(self):
+        hin = movie_hin()
+        MetaGraph([[MAM, MDM]]).validate(hin.schema())
+        with pytest.raises(ValueError):
+            MetaGraph([[MetaPath(["M", "X", "M"])]]).validate(hin.schema())
+
+
+class TestAdjacency:
+    def test_single_branch_degenerates_to_metapath(self):
+        hin = movie_hin()
+        via_graph = metagraph_adjacency(hin, MetaGraph([[MAM]])).toarray()
+        via_path = metapath_adjacency(hin, MAM).toarray()
+        assert np.allclose(via_graph, via_path)
+
+    def test_conjunction_is_hadamard(self):
+        hin = movie_hin()
+        conj = metagraph_adjacency(
+            hin, MetaGraph([[MAM, MDM]]), remove_self_paths=False
+        ).toarray()
+        a = metapath_adjacency(hin, MAM, remove_self_paths=False).toarray()
+        b = metapath_adjacency(hin, MDM, remove_self_paths=False).toarray()
+        assert np.allclose(conj, a * b)
+
+    def test_conjunction_is_subset_of_each_branch(self):
+        hin = movie_hin()
+        conj = metagraph_binary_adjacency(hin, MetaGraph([[MAM, MPM]])).toarray()
+        a = metapath_adjacency(hin, MAM).toarray() > 0
+        b = metapath_adjacency(hin, MPM).toarray() > 0
+        assert not (conj.astype(bool) & ~(a & b)).any()
+
+    def test_hand_checked_conjunction(self):
+        # Fig. 1 graph: M1,M2 share actor A1 AND director D1 — the only
+        # movie pair sharing both an actor and a director.
+        hin = movie_hin()
+        conj = metagraph_binary_adjacency(hin, MetaGraph([[MAM, MDM]])).toarray()
+        expected = np.zeros((4, 4))
+        expected[0, 1] = expected[1, 0] = 1.0
+        expected[2, 3] = expected[3, 2] = 1.0  # M3,M4: actor A? check below
+        # M3 stars A1? edges: stars M:[0,1,2,0,1,3] A:[0,0,0,1,1,1] so
+        # M3(idx2)-A1(0); M4(idx3)-A2(1).  They share no actor => no edge.
+        expected[2, 3] = expected[3, 2] = 0.0
+        assert np.allclose(conj, expected)
+
+    def test_staged_composition(self):
+        hin = movie_hin()
+        staged = metagraph_adjacency(
+            hin, MetaGraph([[MAM], [MDM]]), remove_self_paths=False
+        ).toarray()
+        a = metapath_adjacency(hin, MAM, remove_self_paths=False).toarray()
+        b = metapath_adjacency(hin, MDM, remove_self_paths=False).toarray()
+        assert np.allclose(staged, a @ b)
+
+    def test_self_paths_removed_by_default(self):
+        hin = movie_hin()
+        counts = metagraph_adjacency(hin, MetaGraph([[MAM, MDM]]))
+        assert np.allclose(counts.diagonal(), 0.0)
+
+
+class TestPathSim:
+    def test_single_branch_matches_metapath_pathsim(self):
+        hin = movie_hin()
+        via_graph = metagraph_pathsim(hin, MetaGraph([[MAM]])).toarray()
+        via_path = pathsim_matrix(hin, MAM).toarray()
+        assert np.allclose(via_graph, via_path)
+
+    def test_bounds_and_symmetry(self):
+        hin = movie_hin()
+        scores = metagraph_pathsim(hin, MetaGraph([[MAM, MDM]]))
+        if scores.nnz:
+            assert scores.data.min() > 0
+            assert scores.data.max() <= 1.0 + 1e-12
+        assert abs(scores - scores.T).max() < 1e-12
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            metagraph_pathsim(movie_hin(), MetaGraph([[MetaPath.parse("MAD")]]))
+
+
+class TestTopK:
+    def test_top_k_sizes(self):
+        hin = movie_hin()
+        lists = top_k_metagraph_neighbors(hin, MetaGraph([[MAM, MDM]]), k=2)
+        assert len(lists) == 4
+        assert all(entry.size <= 2 for entry in lists)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_metagraph_neighbors(movie_hin(), MetaGraph([[MAM]]), k=0)

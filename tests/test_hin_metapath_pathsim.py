@@ -1,0 +1,161 @@
+"""Tests for meta-paths, commuting matrices, and PathSim (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.hin import HIN, MetaPath
+from repro.hin.adjacency import (
+    metapath_adjacency,
+    metapath_binary_adjacency,
+    relation_chain,
+)
+from repro.hin.pathsim import pathsim_matrix, pathsim_pairs, pathsim_single
+from tests.test_hin_graph import movie_hin
+
+
+class TestMetaPathParsing:
+    def test_parse_single_char(self):
+        mp = MetaPath.parse("APA")
+        assert mp.node_types == ["A", "P", "A"]
+        assert mp.name == "APA"
+
+    def test_parse_dashed(self):
+        mp = MetaPath.parse("Movie-Actor-Movie")
+        assert mp.node_types == ["Movie", "Actor", "Movie"]
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(ValueError):
+            MetaPath.parse("")
+
+    def test_parse_malformed_dashes(self):
+        with pytest.raises(ValueError):
+            MetaPath.parse("A--B")
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            MetaPath(["A"])
+
+    def test_length_is_hops(self):
+        assert MetaPath.parse("APCPA").length == 4
+        assert len(MetaPath.parse("APCPA")) == 5
+
+    def test_symmetry(self):
+        assert MetaPath.parse("APA").is_symmetric()
+        assert MetaPath.parse("APCPA").is_symmetric()
+        assert not MetaPath.parse("APC").is_symmetric()
+
+    def test_endpoints(self):
+        mp = MetaPath.parse("APC")
+        assert mp.source_type == "A"
+        assert mp.target_type == "C"
+        assert not mp.endpoints_match("A")
+        assert MetaPath.parse("APA").endpoints_match("A")
+
+    def test_reversed(self):
+        assert MetaPath.parse("APC").reversed().node_types == ["C", "P", "A"]
+
+    def test_equality_and_hash(self):
+        assert MetaPath.parse("APA") == MetaPath.parse("APA")
+        assert hash(MetaPath.parse("APA")) == hash(MetaPath.parse("APA"))
+        assert MetaPath.parse("APA") != MetaPath.parse("APCPA")
+
+    def test_validate_against_schema(self):
+        hin = movie_hin()
+        MetaPath.parse("MAM").validate(hin.schema())
+        with pytest.raises(ValueError):
+            MetaPath.parse("MAD").validate(hin.schema())
+
+
+class TestCommutingMatrix:
+    def test_relation_chain_shapes(self):
+        hin = movie_hin()
+        chain = relation_chain(hin, MetaPath.parse("MAM"))
+        assert chain[0].shape == (4, 2)
+        assert chain[1].shape == (2, 4)
+
+    def test_mam_counts_match_hand_computation(self):
+        hin = movie_hin()
+        counts = metapath_adjacency(
+            hin, MetaPath.parse("MAM"), remove_self_paths=False
+        ).toarray()
+        # M1 stars A1,A2; M2 stars A1,A2; M3 stars A1; M4 stars A2.
+        # counts[0,1] = |{A1, A2}| = 2; counts[0,2] = 1 (A1); counts[0,0]=2.
+        assert counts[0, 1] == 2
+        assert counts[0, 2] == 1
+        assert counts[0, 3] == 1
+        assert counts[0, 0] == 2
+        assert counts[2, 3] == 0  # M3 (A1 only) vs M4 (A2 only)
+
+    def test_remove_self_paths(self):
+        hin = movie_hin()
+        counts = metapath_adjacency(hin, MetaPath.parse("MAM")).toarray()
+        assert np.all(np.diag(counts) == 0)
+
+    def test_binary_adjacency(self):
+        hin = movie_hin()
+        binary = metapath_binary_adjacency(hin, MetaPath.parse("MAM")).toarray()
+        assert set(np.unique(binary)) <= {0.0, 1.0}
+        assert binary[0, 1] == 1.0
+
+    def test_max_count_clamp(self):
+        hin = movie_hin()
+        counts = metapath_adjacency(
+            hin, MetaPath.parse("MAM"), remove_self_paths=False, max_count=1.0
+        )
+        assert counts.toarray().max() == 1.0
+
+    def test_invalid_metapath_rejected(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            metapath_adjacency(hin, MetaPath.parse("MAD"))
+
+
+class TestPathSim:
+    def test_symmetric_range(self):
+        hin = movie_hin()
+        scores = pathsim_matrix(hin, MetaPath.parse("MAM")).toarray()
+        assert np.all(scores >= 0.0)
+        assert np.all(scores <= 1.0)
+        np.testing.assert_allclose(scores, scores.T)
+
+    def test_hand_computed_value(self):
+        hin = movie_hin()
+        # M1-M2 via MAM: M[0,1]=2, M[0,0]=2, M[1,1]=2 -> PS = 2*2/(2+2) = 1.
+        assert pathsim_single(hin, MetaPath.parse("MAM"), 0, 1) == 1.0
+        # M1-M3: M[0,2]=1, M[0,0]=2, M[2,2]=1 -> PS = 2/3.
+        assert pathsim_single(hin, MetaPath.parse("MAM"), 0, 2) == pytest.approx(2 / 3)
+
+    def test_matrix_matches_single(self):
+        hin = movie_hin()
+        mp = MetaPath.parse("MAM")
+        matrix = pathsim_matrix(hin, mp)
+        for u in range(4):
+            for v in range(4):
+                if u == v:
+                    continue
+                assert matrix[u, v] == pytest.approx(pathsim_single(hin, mp, u, v))
+
+    def test_identical_neighborhoods_score_one(self):
+        hin = movie_hin()
+        # M1 and M2 both star exactly {A1, A2}.
+        assert pathsim_single(hin, MetaPath.parse("MAM"), 0, 1) == 1.0
+
+    def test_disconnected_pair_scores_zero(self):
+        hin = movie_hin()
+        assert pathsim_single(hin, MetaPath.parse("MAM"), 2, 3) == 0.0
+
+    def test_requires_symmetric_metapath(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            pathsim_matrix(hin, MetaPath(["M", "A"]))
+
+    def test_pairs_interface(self):
+        hin = movie_hin()
+        pairs = np.array([[0, 1], [0, 2]])
+        scores = pathsim_pairs(hin, MetaPath.parse("MAM"), pairs)
+        np.testing.assert_allclose(scores, [1.0, 2 / 3])
+
+    def test_pairs_bad_shape(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            pathsim_pairs(hin, MetaPath.parse("MAM"), np.array([0, 1]))

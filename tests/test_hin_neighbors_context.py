@@ -1,0 +1,172 @@
+"""Tests for neighbor filtering (§IV-A), contexts (Def. 4), bipartite graphs (§IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.hin import (
+    HIN,
+    MetaPath,
+    NeighborFilter,
+    build_bipartite_graph,
+    enumerate_path_instances,
+    extract_contexts,
+    random_k_neighbors,
+    top_k_pathsim_neighbors,
+)
+from repro.hin.bipartite import incidence_from_pairs
+from repro.hin.context import count_instances
+from tests.test_hin_graph import movie_hin
+
+
+class TestTopKNeighbors:
+    def test_at_most_k(self):
+        hin = movie_hin()
+        neighbors = top_k_pathsim_neighbors(hin, MetaPath.parse("MAM"), k=1)
+        assert all(len(n) <= 1 for n in neighbors)
+
+    def test_sorted_by_score(self):
+        hin = movie_hin()
+        neighbors = top_k_pathsim_neighbors(hin, MetaPath.parse("MAM"), k=3)
+        # For M1 (idx 0): PS to M2 = 1.0, to M3 = 2/3, to M4 = 2/3.
+        assert neighbors[0][0] == 1
+
+    def test_k_larger_than_neighborhood(self):
+        hin = movie_hin()
+        neighbors = top_k_pathsim_neighbors(hin, MetaPath.parse("MAM"), k=100)
+        # M3 only reaches M1, M2 via A1.
+        assert set(neighbors[2].tolist()) == {0, 1}
+
+    def test_invalid_k(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            top_k_pathsim_neighbors(hin, MetaPath.parse("MAM"), k=0)
+
+    def test_random_k_subset_of_true_neighbors(self):
+        hin = movie_hin()
+        rng = np.random.default_rng(0)
+        random_lists = random_k_neighbors(hin, MetaPath.parse("MAM"), 2, rng)
+        full = top_k_pathsim_neighbors(hin, MetaPath.parse("MAM"), k=100)
+        for rand, ref in zip(random_lists, full):
+            assert set(rand.tolist()) <= set(ref.tolist())
+
+    def test_filter_strategy_validation(self):
+        with pytest.raises(ValueError):
+            NeighborFilter(k=5, strategy="best")
+        with pytest.raises(ValueError):
+            NeighborFilter(k=-1)
+
+    def test_random_strategy_needs_rng(self):
+        hin = movie_hin()
+        nf = NeighborFilter(k=2, strategy="random")
+        with pytest.raises(ValueError):
+            nf.select(hin, MetaPath.parse("MAM"))
+
+    def test_retained_pairs_are_sorted_unique(self):
+        hin = movie_hin()
+        nf = NeighborFilter(k=2)
+        pairs = nf.retained_pairs(hin, MetaPath.parse("MAM"))
+        assert pairs.shape[1] == 2
+        assert np.all(pairs[:, 0] < pairs[:, 1])
+        as_tuples = [tuple(p) for p in pairs]
+        assert len(as_tuples) == len(set(as_tuples))
+
+
+class TestPathInstanceEnumeration:
+    def test_instances_match_commuting_count(self):
+        hin = movie_hin()
+        mp = MetaPath.parse("MAM")
+        for u in range(4):
+            for v in range(4):
+                if u == v:
+                    continue
+                ctx = enumerate_path_instances(hin, mp, u, v, max_instances=100)
+                assert len(ctx.instances) == count_instances(hin, mp, u, v)
+
+    def test_instance_structure(self):
+        hin = movie_hin()
+        ctx = enumerate_path_instances(hin, MetaPath.parse("MAM"), 0, 1)
+        for instance in ctx.instances:
+            assert len(instance) == 3
+            assert instance[0] == 0
+            assert instance[-1] == 1
+        # M1 and M2 share A1 and A2: two instances.
+        middles = sorted(inst[1] for inst in ctx.instances)
+        assert middles == [0, 1]
+
+    def test_cap_truncates(self):
+        hin = movie_hin()
+        ctx = enumerate_path_instances(hin, MetaPath.parse("MAM"), 0, 1, max_instances=1)
+        assert len(ctx.instances) == 1
+        assert ctx.truncated
+
+    def test_longer_metapath(self):
+        hin = movie_hin()
+        mp = MetaPath.parse("MAMAM")
+        ctx = enumerate_path_instances(hin, mp, 0, 2, max_instances=1000)
+        assert len(ctx.instances) == count_instances(hin, mp, 0, 2)
+        for instance in ctx.instances:
+            assert len(instance) == 5
+
+    def test_extract_contexts_batch(self):
+        hin = movie_hin()
+        pairs = np.array([[0, 1], [0, 2]])
+        contexts = extract_contexts(hin, MetaPath.parse("MAM"), pairs)
+        assert len(contexts) == 2
+        assert contexts[0].size == 2
+        assert contexts[1].size == 1
+
+    def test_extract_contexts_empty(self):
+        hin = movie_hin()
+        assert extract_contexts(hin, MetaPath.parse("MAM"), np.empty((0, 2))) == []
+
+    def test_extract_contexts_bad_shape(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            extract_contexts(hin, MetaPath.parse("MAM"), np.array([0, 1]))
+
+
+class TestBipartiteGraph:
+    def test_incidence_shape_and_degrees(self):
+        pairs = np.array([[0, 1], [1, 2]])
+        incidence = incidence_from_pairs(pairs, 4)
+        assert incidence.shape == (4, 2)
+        degrees = np.asarray(incidence.sum(axis=0)).ravel()
+        np.testing.assert_allclose(degrees, [2.0, 2.0])  # each context: 2 endpoints
+
+    def test_incidence_empty(self):
+        incidence = incidence_from_pairs(np.empty((0, 2)), 3)
+        assert incidence.shape == (3, 0)
+
+    def test_build_bipartite_graph(self):
+        hin = movie_hin()
+        graph = build_bipartite_graph(
+            hin, MetaPath.parse("MAM"), NeighborFilter(k=2)
+        )
+        assert graph.num_objects == 4
+        assert graph.num_contexts == graph.pairs.shape[0]
+        assert np.all(graph.context_degrees() == 2)
+
+    def test_object_degree_bounded_by_2k(self):
+        hin = movie_hin()
+        k = 2
+        graph = build_bipartite_graph(hin, MetaPath.parse("MAM"), NeighborFilter(k=k))
+        assert graph.object_degrees().max() <= 2 * k
+
+    def test_with_instances(self):
+        hin = movie_hin()
+        graph = build_bipartite_graph(
+            hin,
+            MetaPath.parse("MAM"),
+            NeighborFilter(k=2),
+            enumerate_instances=True,
+        )
+        assert graph.contexts is not None
+        assert len(graph.contexts) == graph.num_contexts
+        for pair, ctx in zip(graph.pairs, graph.contexts):
+            assert (ctx.u, ctx.v) == (pair[0], pair[1])
+            assert ctx.size >= 1
+
+    def test_rejects_non_target_metapath(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            build_bipartite_graph(hin, MetaPath(["M", "A"]), NeighborFilter(k=2))

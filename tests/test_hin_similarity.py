@@ -1,0 +1,192 @@
+"""Tests for the alternative similarity measures (HeteSim, JoinSim, cosine)
+and their integration with the neighbor filter."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hin import HIN, MetaPath
+from repro.hin.adjacency import metapath_adjacency
+from repro.hin.neighbors import NeighborFilter, top_k_similarity_neighbors
+from repro.hin.pathsim import pathsim_matrix
+from repro.hin.similarity import (
+    SIMILARITY_MEASURES,
+    cosine_commuting_matrix,
+    half_commuting_matrix,
+    hetesim_matrix,
+    joinsim_matrix,
+    measure_agreement,
+    similarity_matrix,
+)
+from tests.test_hin_graph import movie_hin
+
+MAM = MetaPath.parse("MAM")
+MDM = MetaPath.parse("MDM")
+
+
+def line_hin() -> HIN:
+    """Hand-checkable 3-author / 2-paper chain: a0-p0-a1-p1-a2."""
+    hin = HIN(name="line")
+    hin.add_node_type("A", 3)
+    hin.add_node_type("P", 2)
+    hin.add_edges("writes", "A", "P", [0, 1, 1, 2], [0, 0, 1, 1])
+    return hin
+
+
+class TestHeteSim:
+    def test_bounds_and_symmetry(self):
+        hin = movie_hin()
+        scores = hetesim_matrix(hin, MAM)
+        assert scores.nnz > 0
+        assert (scores.data >= 0).all() and (scores.data <= 1.0).all()
+        assert abs(scores - scores.T).max() < 1e-12
+
+    def test_diagonal_absent(self):
+        scores = hetesim_matrix(movie_hin(), MAM)
+        assert np.allclose(scores.diagonal(), 0.0)
+
+    def test_line_graph_value(self):
+        # a0 reaches only p0, a2 reaches only p1: HS(a0, a2) has no overlap.
+        # a0 and a1 share p0; a1's distribution is (1/2, 1/2), a0's is (1, 0)
+        # so HS(a0, a1) = (1/2) / (1 * sqrt(1/2)) = 1/sqrt(2).
+        scores = hetesim_matrix(line_hin(), MetaPath.parse("APA"))
+        assert scores[0, 2] == 0.0
+        assert scores[0, 1] == pytest.approx(1.0 / np.sqrt(2.0))
+
+    def test_identical_neighborhoods_score_one(self):
+        hin = HIN()
+        hin.add_node_type("A", 2)
+        hin.add_node_type("P", 2)
+        # Both authors write both papers: identical distributions.
+        hin.add_edges("writes", "A", "P", [0, 0, 1, 1], [0, 1, 0, 1])
+        scores = hetesim_matrix(hin, MetaPath.parse("APA"))
+        assert scores[0, 1] == pytest.approx(1.0)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            hetesim_matrix(movie_hin(), MetaPath.parse("MAD"))
+
+    def test_rejects_even_type_count(self):
+        hin = HIN()
+        hin.add_node_type("A", 2)
+        hin.add_edges("knows", "A", "A", [0], [1])
+        with pytest.raises(ValueError, match="middle"):
+            hetesim_matrix(hin, MetaPath(["A", "A"]))
+
+
+class TestJoinSim:
+    def test_bounds_and_symmetry(self):
+        scores = joinsim_matrix(movie_hin(), MAM)
+        assert (scores.data > 0).all() and (scores.data <= 1.0).all()
+        assert abs(scores - scores.T).max() < 1e-12
+
+    def test_value_against_counts(self):
+        hin = movie_hin()
+        counts = metapath_adjacency(hin, MAM, remove_self_paths=False)
+        scores = joinsim_matrix(hin, MAM)
+        u, v = 0, 1
+        expected = counts[u, v] / np.sqrt(counts[u, u] * counts[v, v])
+        assert scores[u, v] == pytest.approx(expected)
+
+    def test_upper_bounds_pathsim(self):
+        # sqrt(ab) <= (a+b)/2, so JoinSim >= PathSim entrywise.
+        hin = movie_hin()
+        join = joinsim_matrix(hin, MAM).toarray()
+        path = pathsim_matrix(hin, MAM).toarray()
+        assert (join + 1e-12 >= path).all()
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValueError):
+            joinsim_matrix(movie_hin(), MetaPath.parse("MAD"))
+
+
+class TestCosineCommuting:
+    def test_bounds_and_symmetry(self):
+        scores = cosine_commuting_matrix(movie_hin(), MAM)
+        assert (scores.data >= 0).all() and (scores.data <= 1.0).all()
+        assert abs(scores - scores.T).max() < 1e-12
+
+    def test_detects_structural_equivalence(self):
+        # a0 and a2 both write only p0 and p1 — identical APA rows — while
+        # a1 writes only p2.  Cosine flags (a0, a2) even though PathSim
+        # also connects them; scores must be exactly 1.
+        hin = HIN()
+        hin.add_node_type("A", 3)
+        hin.add_node_type("P", 3)
+        hin.add_edges("writes", "A", "P", [0, 0, 2, 2, 1], [0, 1, 0, 1, 2])
+        scores = cosine_commuting_matrix(hin, MetaPath.parse("APA"))
+        assert scores[0, 2] == pytest.approx(1.0)
+
+    def test_denser_than_pathsim(self):
+        # Structural equivalence connects nodes PathSim cannot (no shared
+        # path needed), so the support is a superset on the movie graph.
+        hin = movie_hin()
+        cos = cosine_commuting_matrix(hin, MAM)
+        path = pathsim_matrix(hin, MAM)
+        assert cos.nnz >= path.nnz
+
+
+class TestHalfCommuting:
+    def test_shape_and_counts(self):
+        hin = movie_hin()
+        half = half_commuting_matrix(hin, MAM)
+        assert half.shape == (4, 2)
+        # Full commuting matrix equals half @ half.T for odd-type paths.
+        full = metapath_adjacency(hin, MAM, remove_self_paths=False)
+        assert abs(sp.csr_matrix(half @ half.T) - full).max() < 1e-12
+
+
+class TestDispatch:
+    def test_all_measures_registered(self):
+        hin = movie_hin()
+        for measure in SIMILARITY_MEASURES:
+            scores = similarity_matrix(hin, MAM, measure)
+            assert scores.shape == (4, 4)
+
+    def test_unknown_measure(self):
+        with pytest.raises(ValueError, match="unknown similarity"):
+            similarity_matrix(movie_hin(), MAM, "simrank")
+
+    def test_pathsim_dispatch_matches_direct(self):
+        hin = movie_hin()
+        via_dispatch = similarity_matrix(hin, MAM, "pathsim").toarray()
+        direct = pathsim_matrix(hin, MAM).toarray()
+        assert np.allclose(via_dispatch, direct)
+
+
+class TestNeighborFilterIntegration:
+    @pytest.mark.parametrize("strategy", ["hetesim", "joinsim", "cosine"])
+    def test_filter_accepts_new_strategies(self, strategy):
+        hin = movie_hin()
+        lists = NeighborFilter(k=2, strategy=strategy).select(hin, MAM)
+        assert len(lists) == 4
+        assert all(entry.size <= 2 for entry in lists)
+
+    def test_top_k_function(self):
+        lists = top_k_similarity_neighbors(movie_hin(), MAM, k=1, measure="joinsim")
+        assert all(entry.size <= 1 for entry in lists)
+
+    def test_top_k_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_similarity_neighbors(movie_hin(), MAM, k=0, measure="hetesim")
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            NeighborFilter(k=2, strategy="simrank")
+
+    def test_retained_pairs_under_hetesim(self):
+        pairs = NeighborFilter(k=2, strategy="hetesim").retained_pairs(
+            movie_hin(), MAM
+        )
+        assert pairs.shape[1] == 2
+        assert (pairs[:, 0] < pairs[:, 1]).all()
+
+
+class TestMeasureAgreement:
+    def test_self_agreement_is_one(self):
+        value = measure_agreement(movie_hin(), MAM, "pathsim", "pathsim", k=2)
+        assert value == pytest.approx(1.0)
+
+    def test_agreement_in_unit_interval(self):
+        value = measure_agreement(movie_hin(), MAM, "pathsim", "cosine", k=2)
+        assert 0.0 <= value <= 1.0

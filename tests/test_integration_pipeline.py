@@ -1,0 +1,113 @@
+"""Cross-module integration tests: the full pipeline on micro datasets.
+
+These complement the per-module unit tests by checking that the pieces
+compose: generator → PathSim filter → contexts → bipartite graphs →
+model → trainer → metrics, and that the paper's qualitative orderings
+emerge end to end even at micro scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import conch_method
+from repro.core import ConCHConfig, ConCHTrainer, prepare_conch_data, variant_config
+from repro.data import (
+    DBLPConfig,
+    YelpConfig,
+    load_dataset,
+    stratified_split,
+)
+from repro.eval.harness import run_contest, summarize_results
+
+
+MICRO_DBLP = DBLPConfig(num_authors=100, num_papers=340, num_conferences=10)
+MICRO_YELP = YelpConfig(
+    num_businesses=60, num_reviews=500, num_users=40, num_keywords=20
+)
+FAST = dict(
+    epochs=60, patience=60, k=4, context_dim=16, hidden_dim=24, out_dim=24,
+    lr=0.01, lambda_ss=0.3,
+    embed_num_walks=4, embed_walk_length=20, embed_epochs=2,
+)
+
+
+@pytest.fixture(scope="module")
+def dblp():
+    return load_dataset("dblp", config=MICRO_DBLP)
+
+
+@pytest.fixture(scope="module")
+def yelp():
+    return load_dataset("yelp", config=MICRO_YELP)
+
+
+class TestEndToEnd:
+    def test_conch_learns_dblp(self, dblp):
+        config = ConCHConfig(num_layers=2, **FAST)
+        split = stratified_split(dblp.labels, 0.2, seed=0)
+        data = prepare_conch_data(dblp, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        assert trainer.evaluate(split.test)["micro_f1"] > 0.6
+
+    def test_conch_learns_yelp(self, yelp):
+        config = ConCHConfig(num_layers=1, **FAST)
+        split = stratified_split(yelp.labels, 0.2, seed=0)
+        data = prepare_conch_data(yelp, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        assert trainer.evaluate(split.test)["micro_f1"] > 0.5
+
+    def test_yelp_attention_prefers_keyword_path(self, yelp):
+        """Fig. 6b shape at micro scale: BRKRB >= BRURB."""
+        config = ConCHConfig(num_layers=1, **FAST)
+        split = stratified_split(yelp.labels, 0.2, seed=0)
+        data = prepare_conch_data(yelp, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        weights = trainer.attention_weights()
+        names = [m.name for m in yelp.metapaths]
+        assert weights[names.index("BRKRB")] >= weights[names.index("BRURB")] - 0.15
+
+    def test_more_labels_do_not_hurt_much(self, dblp):
+        config = ConCHConfig(num_layers=2, **FAST)
+        data = prepare_conch_data(dblp, config)
+        scores = {}
+        for fraction in (0.05, 0.20):
+            split = stratified_split(dblp.labels, fraction, seed=0)
+            trainer = ConCHTrainer(data, config).fit(split)
+            scores[fraction] = trainer.evaluate(split.test)["micro_f1"]
+        assert scores[0.20] >= scores[0.05] - 0.1
+
+    def test_full_beats_random_neighbors_on_average(self, dblp):
+        base = ConCHConfig(num_layers=2, **FAST)
+        splits = [stratified_split(dblp.labels, 0.1, seed=s) for s in range(2)]
+        data_full = prepare_conch_data(dblp, base)
+        rd_config = variant_config("rd", base)
+        data_rd = prepare_conch_data(dblp, rd_config)
+        full_scores = [
+            ConCHTrainer(data_full, base).fit(s).evaluate(s.test)["micro_f1"]
+            for s in splits
+        ]
+        rd_scores = [
+            ConCHTrainer(data_rd, rd_config).fit(s).evaluate(s.test)["micro_f1"]
+            for s in splits
+        ]
+        # PathSim filtering should not lose to random selection by much;
+        # typically it wins (paper Fig. 3-5).
+        assert np.mean(full_scores) >= np.mean(rd_scores) - 0.05
+
+    def test_contest_harness_with_conch(self, dblp):
+        method = conch_method(base_config=ConCHConfig(num_layers=1, **FAST))
+        results = run_contest(
+            {"ConCH": method}, dblp, train_fractions=[0.1], repeats=2
+        )
+        table = summarize_results(results)
+        assert 0.0 <= table["ConCH"]["dblp@10%"] <= 1.0
+
+    def test_prepared_data_reusable_across_variants(self, dblp):
+        """su/ew variants share preprocessing with the full model."""
+        base = ConCHConfig(num_layers=1, **FAST)
+        data = prepare_conch_data(dblp, base)
+        split = stratified_split(dblp.labels, 0.2, seed=0)
+        for variant in ("su", "ew", "ft"):
+            config = variant_config(variant, base)
+            trainer = ConCHTrainer(data, config).fit(split)
+            assert trainer.evaluate(split.test)["micro_f1"] > 0.4

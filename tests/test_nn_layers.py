@@ -1,0 +1,230 @@
+"""Tests for nn layers, modules, initializers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import (
+    MLP,
+    Bilinear,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    glorot_normal,
+    glorot_uniform,
+    kaiming_uniform,
+    zeros_init,
+)
+from repro.nn.module import ModuleList, ParameterList
+
+
+class TestModuleRegistration:
+    def test_parameters_discovered(self):
+        rng = np.random.default_rng(0)
+
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.linear = Linear(3, 2, rng)
+                self.scale = Parameter(np.ones(2))
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert "scale" in names
+        assert "linear.weight" in names
+        assert "linear.bias" in names
+
+    def test_num_parameters(self):
+        rng = np.random.default_rng(0)
+        linear = Linear(3, 2, rng)
+        assert linear.num_parameters() == 3 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_state_dict_roundtrip(self):
+        rng = np.random.default_rng(0)
+        a = Linear(3, 2, rng)
+        b = Linear(3, 2, np.random.default_rng(99))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        rng = np.random.default_rng(0)
+        a = Linear(3, 2, rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": np.zeros((2, 3))})
+
+    def test_state_dict_shape_mismatch_raises(self):
+        rng = np.random.default_rng(0)
+        a = Linear(3, 2, rng)
+        bad = a.state_dict()
+        bad["weight"] = np.zeros((5, 5))
+        with pytest.raises(ValueError):
+            a.load_state_dict(bad)
+
+    def test_zero_grad(self):
+        rng = np.random.default_rng(0)
+        linear = Linear(2, 1, rng)
+        out = linear(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert linear.weight.grad is not None
+        linear.zero_grad()
+        assert linear.weight.grad is None
+
+    def test_module_list(self):
+        rng = np.random.default_rng(0)
+        layers = ModuleList([Linear(2, 2, rng), Linear(2, 2, rng)])
+        assert len(layers) == 2
+        assert len(list(layers[0].parameters())) == 2
+        parent = Module()
+        parent.layers = layers
+        assert len(parent.parameters()) == 4
+
+    def test_parameter_list(self):
+        params = ParameterList([Parameter(np.ones(2)), Parameter(np.zeros(3))])
+        assert len(params) == 2
+        assert params[1].data.shape == (3,)
+
+
+class TestLinear:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        linear = Linear(4, 3, rng)
+        out = linear(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(0)
+        linear = Linear(4, 3, rng, bias=False)
+        assert linear.bias is None
+        assert len(linear.parameters()) == 1
+
+    def test_invalid_dims(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            Linear(0, 3, rng)
+
+    def test_gradcheck_through_linear(self):
+        rng = np.random.default_rng(0)
+        linear = Linear(3, 2, rng)
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        gradcheck(lambda a: linear(a), [x])
+        # Also check weight gradient.
+        gradcheck(lambda w: Tensor(x.data) @ w.T, [linear.weight])
+
+    def test_known_values(self):
+        rng = np.random.default_rng(0)
+        linear = Linear(2, 1, rng)
+        linear.weight.data[...] = [[2.0, 3.0]]
+        linear.bias.data[...] = [1.0]
+        out = linear(Tensor(np.array([[1.0, 1.0]])))
+        np.testing.assert_allclose(out.data, [[6.0]])
+
+
+class TestMLP:
+    def test_requires_two_dims(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_depth(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP([4, 8, 3], rng)
+        assert len(mlp.linears) == 2
+
+    def test_forward_shape(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP([4, 8, 3], rng, dropout=0.2)
+        out = mlp(Tensor(np.ones((7, 4))))
+        assert out.shape == (7, 3)
+
+    def test_no_activation_after_last_layer(self):
+        # Output of an MLP must be able to go negative (logits).
+        rng = np.random.default_rng(0)
+        mlp = MLP([2, 4, 1], rng)
+        outs = mlp(Tensor(np.linspace(-3, 3, 50).reshape(25, 2))).data
+        assert outs.min() < 0  # ReLU after last layer would forbid this
+
+    def test_custom_activation(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP([2, 4, 1], rng, activation=Tanh())
+        assert isinstance(mlp.activation, Tanh)
+
+
+class TestBilinear:
+    def test_scores_shape_vector_summary(self):
+        rng = np.random.default_rng(0)
+        bilinear = Bilinear(4, 4, rng)
+        x = Tensor(np.ones((6, 4)))
+        s = Tensor(np.ones(4))
+        assert bilinear(x, s).shape == (6,)
+
+    def test_matches_manual_computation(self):
+        rng = np.random.default_rng(0)
+        bilinear = Bilinear(3, 3, rng)
+        x = np.random.default_rng(1).normal(size=(2, 3))
+        s = np.random.default_rng(2).normal(size=3)
+        expected = x @ bilinear.weight.data @ s
+        np.testing.assert_allclose(bilinear(Tensor(x), Tensor(s)).data, expected)
+
+    def test_batch_summary(self):
+        rng = np.random.default_rng(0)
+        bilinear = Bilinear(3, 3, rng)
+        x = Tensor(np.ones((5, 3)))
+        y = Tensor(np.ones((5, 3)))
+        assert bilinear(x, y).shape == (5,)
+
+
+class TestActivationsAndDropout:
+    def test_activation_modules(self):
+        x = Tensor(np.array([-1.0, 1.0]))
+        assert ReLU()(x).data.tolist() == [0.0, 1.0]
+        assert Sigmoid()(x).data[1] > 0.5
+        np.testing.assert_allclose(Tanh()(x).data, np.tanh(x.data))
+
+    def test_dropout_eval_identity(self):
+        rng = np.random.default_rng(0)
+        drop = Dropout(0.9, rng)
+        drop.eval()
+        x = Tensor(np.ones(100))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5, np.random.default_rng(0))
+
+
+class TestInitializers:
+    def test_glorot_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_glorot_normal_std(self):
+        rng = np.random.default_rng(0)
+        w = glorot_normal((500, 500), rng)
+        assert abs(w.std() - np.sqrt(2.0 / 1000)) < 0.005
+
+    def test_kaiming_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = kaiming_uniform((10, 40), rng)
+        assert np.all(np.abs(w) <= np.sqrt(6.0 / 40))
+
+    def test_zeros(self):
+        assert zeros_init((3, 3), np.random.default_rng(0)).sum() == 0.0
+
+    def test_vector_shape(self):
+        rng = np.random.default_rng(0)
+        assert glorot_uniform((7,), rng).shape == (7,)

@@ -1,0 +1,210 @@
+"""Tests for losses, optimizers, and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, gradcheck
+from repro.nn import (
+    Adam,
+    EarlyStopping,
+    Linear,
+    SGD,
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    l2_penalty,
+    mean_squared_error,
+)
+from repro.nn.module import Module, Parameter
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 1.0, 0.0]]))
+        labels = np.array([0])
+        loss = cross_entropy(logits, labels).item()
+        expected = -np.log(np.exp(2.0) / np.exp([2.0, 1.0, 0.0]).sum())
+        assert abs(loss - expected) < 1e-10
+
+    def test_uniform_logits_give_log_k(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0])).item()
+        assert abs(loss - np.log(3)) < 1e-10
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=(5, 4)), requires_grad=True)
+        labels = np.array([0, 1, 2, 3, 1])
+        gradcheck(lambda a: cross_entropy(a, labels), [logits])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((0, 3))), np.array([], dtype=int))
+
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = cross_entropy(logits, np.array([0, 1])).item()
+        assert loss < 1e-10
+
+
+class TestBCEWithLogits:
+    def test_matches_manual(self):
+        logits = Tensor(np.array([0.5, -1.0]))
+        targets = np.array([1.0, 0.0])
+        loss = binary_cross_entropy_with_logits(logits, targets).item()
+        p = 1 / (1 + np.exp(-logits.data))
+        expected = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert abs(loss - expected) < 1e-10
+
+    def test_stable_at_extreme_logits(self):
+        logits = Tensor(np.array([1000.0, -1000.0]))
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0])).item()
+        assert np.isfinite(loss)
+        assert loss < 1e-10
+
+    def test_gradcheck(self):
+        rng = np.random.default_rng(0)
+        logits = Tensor(rng.normal(size=6), requires_grad=True)
+        targets = np.array([1.0, 0.0, 1.0, 1.0, 0.0, 0.0])
+        gradcheck(lambda a: binary_cross_entropy_with_logits(a, targets), [logits])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            binary_cross_entropy_with_logits(Tensor(np.zeros(3)), np.zeros(4))
+
+
+class TestOtherLosses:
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mean_squared_error(pred, np.array([0.0, 0.0])).item() == 2.5
+
+    def test_l2_penalty_value(self):
+        params = [Parameter(np.array([3.0, 4.0]))]
+        assert l2_penalty(params, 0.1).item() == pytest.approx(2.5)
+
+    def test_l2_penalty_zero_weight_returns_none(self):
+        assert l2_penalty([Parameter(np.ones(2))], 0.0) is None
+
+    def test_l2_penalty_no_params_returns_none(self):
+        assert l2_penalty([], 1.0) is None
+
+
+class TestOptimizers:
+    def test_sgd_minimizes_quadratic(self):
+        x = Parameter(np.array([5.0]))
+        opt = SGD([x], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = (x * x).sum()
+            loss.backward()
+            opt.step()
+        assert abs(x.data[0]) < 1e-4
+
+    def test_sgd_momentum_faster_on_ravine(self):
+        def run(momentum):
+            x = Parameter(np.array([5.0, 5.0]))
+            opt = SGD([x], lr=0.02, momentum=momentum)
+            scale = Tensor(np.array([1.0, 25.0]))
+            for _ in range(50):
+                opt.zero_grad()
+                (x * x * scale).sum().backward()
+                opt.step()
+            return np.abs(x.data).sum()
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_minimizes_quadratic(self):
+        x = Parameter(np.array([3.0, -2.0]))
+        opt = Adam([x], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            (x * x).sum().backward()
+            opt.step()
+        assert np.abs(x.data).max() < 1e-3
+
+    def test_weight_decay_shrinks_weights(self):
+        x = Parameter(np.array([1.0]))
+        opt = SGD([x], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (x * 0.0).sum().backward()  # zero task gradient
+        opt.step()
+        assert x.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        x = Parameter(np.array([1.0]))
+        y = Parameter(np.array([2.0]))
+        opt = Adam([x, y], lr=0.1)
+        (x * x).sum().backward()
+        opt.step()
+        assert y.data[0] == 2.0
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            Adam([])
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=-1.0)
+
+    def test_adam_bias_correction_first_step(self):
+        # After one step from zero moments, update should be ~lr * sign(grad).
+        x = Parameter(np.array([1.0]))
+        opt = Adam([x], lr=0.1)
+        (x * 2.0).sum().backward()
+        opt.step()
+        assert x.data[0] == pytest.approx(0.9, abs=1e-6)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=3, mode="max")
+        assert not stopper.step(0.9, epoch=0)
+        assert not stopper.step(0.5, epoch=1)
+        assert not stopper.step(0.5, epoch=2)
+        assert stopper.step(0.5, epoch=3)
+
+    def test_improvement_resets_counter(self):
+        stopper = EarlyStopping(patience=2, mode="max")
+        stopper.step(0.5, epoch=0)
+        stopper.step(0.4, epoch=1)
+        assert not stopper.step(0.6, epoch=2)  # improvement
+        assert not stopper.step(0.5, epoch=3)
+        assert stopper.step(0.5, epoch=4)
+
+    def test_min_mode(self):
+        stopper = EarlyStopping(patience=1, mode="min")
+        stopper.step(1.0, epoch=0)
+        assert not stopper.step(0.5, epoch=1)
+        assert stopper.step(0.6, epoch=2)
+
+    def test_restores_best_weights(self):
+        rng = np.random.default_rng(0)
+        model = Linear(2, 2, rng)
+        stopper = EarlyStopping(patience=10, mode="max")
+        stopper.step(1.0, model, epoch=0)
+        best = model.weight.data.copy()
+        model.weight.data[...] = 0.0
+        stopper.step(0.5, model, epoch=1)
+        stopper.restore(model)
+        np.testing.assert_allclose(model.weight.data, best)
+
+    def test_tracks_best_epoch(self):
+        stopper = EarlyStopping(patience=5, mode="max")
+        stopper.step(0.3, epoch=0)
+        stopper.step(0.9, epoch=1)
+        stopper.step(0.5, epoch=2)
+        assert stopper.best_epoch == 1
+        assert stopper.best_value == 0.9
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="sideways")

@@ -1,0 +1,107 @@
+"""Additional coverage for nn containers and trainer plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines.base import SemiSupervisedTrainer, TrainSettings
+from repro.data import DBLPConfig, load_dataset, stratified_split
+from repro.nn import Linear, ReLU, Sequential
+from repro.nn.module import Module
+
+
+class TestSequential:
+    def test_indexing_and_len(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(2, 4, rng), ReLU(), Linear(4, 1, rng))
+        assert len(net) == 3
+        assert isinstance(net[1], ReLU)
+
+    def test_forward_chains(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(2, 4, rng), ReLU(), Linear(4, 1, rng))
+        out = net(Tensor(np.ones((3, 2))))
+        assert out.shape == (3, 1)
+
+    def test_parameters_collected(self):
+        rng = np.random.default_rng(0)
+        net = Sequential(Linear(2, 4, rng), Linear(4, 1, rng))
+        assert len(net.parameters()) == 4
+
+
+class TestTrainSettings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainSettings(lr=0.0)
+        with pytest.raises(ValueError):
+            TrainSettings(epochs=0)
+
+
+class TestSemiSupervisedTrainer:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        dataset = load_dataset(
+            "dblp",
+            config=DBLPConfig(num_authors=60, num_papers=200, num_conferences=8),
+        )
+        split = stratified_split(dataset.labels, 0.2, seed=0)
+        return dataset, split
+
+    def test_trains_simple_linear_model(self, problem):
+        dataset, split = problem
+        rng = np.random.default_rng(0)
+        model = Linear(dataset.features.shape[1], dataset.num_classes, rng)
+        x = Tensor(dataset.features)
+        trainer = SemiSupervisedTrainer(
+            model,
+            forward=lambda m: m(x),
+            labels=dataset.labels,
+            settings=TrainSettings(epochs=50, patience=50, lr=0.05),
+        ).fit(split)
+        scores = trainer.evaluate(split.test, dataset.num_classes)
+        assert scores["micro_f1"] > 0.4
+
+    def test_recorder_times_are_monotone(self, problem):
+        dataset, split = problem
+        rng = np.random.default_rng(0)
+        model = Linear(dataset.features.shape[1], dataset.num_classes, rng)
+        x = Tensor(dataset.features)
+        trainer = SemiSupervisedTrainer(
+            model,
+            forward=lambda m: m(x),
+            labels=dataset.labels,
+            settings=TrainSettings(epochs=10, patience=10),
+        ).fit(split)
+        times = [r.elapsed_seconds for r in trainer.recorder.records]
+        assert times == sorted(times)
+
+    def test_early_stopping_restores_best(self, problem):
+        dataset, split = problem
+        rng = np.random.default_rng(0)
+        model = Linear(dataset.features.shape[1], dataset.num_classes, rng)
+        x = Tensor(dataset.features)
+        trainer = SemiSupervisedTrainer(
+            model,
+            forward=lambda m: m(x),
+            labels=dataset.labels,
+            settings=TrainSettings(epochs=60, patience=5, lr=0.1),
+        ).fit(split)
+        # After restore, validation score equals the recorded best.
+        val_pred = trainer.predict(split.val)
+        from repro.eval.metrics import micro_f1
+
+        best = max(r.val_metric for r in trainer.recorder.records)
+        assert micro_f1(dataset.labels[split.val], val_pred) == pytest.approx(best)
+
+    def test_predict_all_nodes(self, problem):
+        dataset, split = problem
+        rng = np.random.default_rng(0)
+        model = Linear(dataset.features.shape[1], dataset.num_classes, rng)
+        x = Tensor(dataset.features)
+        trainer = SemiSupervisedTrainer(
+            model,
+            forward=lambda m: m(x),
+            labels=dataset.labels,
+            settings=TrainSettings(epochs=5, patience=5),
+        ).fit(split)
+        assert trainer.predict().shape == (dataset.num_targets,)

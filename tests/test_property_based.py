@@ -1,0 +1,231 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor, ops
+from repro.autograd.tensor import _unbroadcast
+from repro.data.splits import stratified_split
+from repro.eval.metrics import accuracy, f1_scores, macro_f1, micro_f1
+from repro.hin import HIN, MetaPath
+from repro.hin.pathsim import pathsim_matrix
+
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def label_pairs(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    num_classes = draw(st.integers(min_value=1, max_value=5))
+    y_true = draw(
+        arrays(np.int64, n, elements=st.integers(0, num_classes - 1))
+    )
+    y_pred = draw(
+        arrays(np.int64, n, elements=st.integers(0, num_classes - 1))
+    )
+    return y_true, y_pred, num_classes
+
+
+class TestMetricProperties:
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, data):
+        y_true, y_pred, k = data
+        assert 0.0 <= micro_f1(y_true, y_pred) <= 1.0
+        assert 0.0 <= macro_f1(y_true, y_pred, k) <= 1.0
+
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_identity_is_perfect(self, data):
+        y_true, _, k = data
+        assert micro_f1(y_true, y_true) == 1.0
+
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariance(self, data):
+        y_true, y_pred, k = data
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(y_true.size)
+        assert micro_f1(y_true, y_pred) == pytest.approx(
+            micro_f1(y_true[perm], y_pred[perm])
+        )
+        assert macro_f1(y_true, y_pred, k) == pytest.approx(
+            macro_f1(y_true[perm], y_pred[perm], k)
+        )
+
+    @given(label_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_f1_symmetric_in_true_pred(self, data):
+        # Swapping y_true and y_pred transposes the confusion matrix, which
+        # swaps precision and recall per class -> per-class F1 unchanged.
+        y_true, y_pred, k = data
+        np.testing.assert_allclose(
+            f1_scores(y_true, y_pred, k), f1_scores(y_pred, y_true, k)
+        )
+
+
+class TestSoftmaxProperties:
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 8), st.integers(1, 8)),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_softmax_is_distribution(self, x):
+        out = ops.softmax(Tensor(x), axis=1).data
+        assert np.all(out >= 0)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-9)
+
+    @given(
+        arrays(np.float64, st.integers(2, 20), elements=finite_floats),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_softmax_shift_invariance(self, x, shift):
+        a = ops.softmax(Tensor(x), axis=0).data
+        b = ops.softmax(Tensor(x + shift), axis=0).data
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    @given(
+        arrays(np.float64, st.integers(1, 30), elements=finite_floats),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_segment_softmax_sums_to_one_per_nonempty_segment(self, x, k):
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, k, size=x.size)
+        out = ops.segment_softmax(Tensor(x), ids, k).data
+        for segment in range(k):
+            mask = ids == segment
+            if mask.any():
+                np.testing.assert_allclose(out[mask].sum(), 1.0, rtol=1e-9)
+
+
+class TestUnbroadcastProperty:
+    @given(
+        st.tuples(st.integers(1, 4), st.integers(1, 4)),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_unbroadcast_inverts_broadcast_sum(self, shape, lead):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=shape)
+        expanded = np.broadcast_to(base, (lead,) + shape)
+        grad = np.ones_like(expanded)
+        out = _unbroadcast(grad, shape)
+        np.testing.assert_allclose(out, np.full(shape, float(lead)))
+
+
+@st.composite
+def random_bipartite_hin(draw):
+    """A random 2-type HIN with an X-Y-X meta-path."""
+    nx = draw(st.integers(min_value=2, max_value=8))
+    ny = draw(st.integers(min_value=1, max_value=6))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, nx - 1), st.integers(0, ny - 1)),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    hin = HIN()
+    hin.add_node_type("X", nx)
+    hin.add_node_type("Y", ny)
+    src = [e[0] for e in edges]
+    dst = [e[1] for e in edges]
+    hin.add_edges("r", "X", "Y", src, dst)
+    return hin
+
+
+class TestPathSimProperties:
+    @given(random_bipartite_hin())
+    @settings(max_examples=40, deadline=None)
+    def test_pathsim_bounds_and_symmetry(self, hin):
+        scores = pathsim_matrix(hin, MetaPath.parse("XYX")).toarray()
+        assert np.all(scores >= 0.0)
+        assert np.all(scores <= 1.0 + 1e-12)
+        np.testing.assert_allclose(scores, scores.T)
+
+    @given(random_bipartite_hin())
+    @settings(max_examples=40, deadline=None)
+    def test_identical_twins_score_one(self, hin):
+        """Duplicate a node's neighborhood: PathSim between twins is 1."""
+        adj = hin.adjacency("X", "Y").toarray()
+        row = adj[0]
+        if row.sum() == 0:
+            return
+        twin = HIN()
+        nx = adj.shape[0] + 1
+        twin.add_node_type("X", nx)
+        twin.add_node_type("Y", adj.shape[1])
+        src, dst = np.nonzero(np.vstack([adj, row]))
+        twin.add_edges("r", "X", "Y", src, dst)
+        scores = pathsim_matrix(twin, MetaPath.parse("XYX"))
+        assert scores[0, nx - 1] == pytest.approx(1.0)
+
+
+class TestSplitProperties:
+    @given(
+        st.integers(min_value=3, max_value=6),
+        st.integers(min_value=8, max_value=30),
+        st.sampled_from([0.05, 0.1, 0.2, 0.3]),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_split_is_partition(self, num_classes, per_class, fraction, seed):
+        labels = np.repeat(np.arange(num_classes), per_class)
+        split = stratified_split(labels, fraction, seed=seed)
+        combined = np.sort(
+            np.concatenate([split.train, split.val, split.test])
+        )
+        np.testing.assert_array_equal(combined, np.arange(labels.size))
+        # Every class in every partition of train.
+        for cls in range(num_classes):
+            assert (labels[split.train] == cls).sum() >= 1
+            assert (labels[split.test] == cls).sum() >= 1
+
+
+class TestTensorAlgebraProperties:
+    @given(
+        arrays(np.float64, st.integers(1, 12), elements=finite_floats),
+        arrays(np.float64, st.integers(1, 12), elements=finite_floats),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutes(self, a, b):
+        n = min(a.size, b.size)
+        x, y = Tensor(a[:n]), Tensor(b[:n])
+        np.testing.assert_allclose((x + y).data, (y + x).data)
+
+    @given(arrays(np.float64, st.integers(1, 12), elements=finite_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_relu_idempotent(self, a):
+        x = Tensor(a)
+        once = x.relu().data
+        twice = x.relu().relu().data
+        np.testing.assert_allclose(once, twice)
+
+    @given(arrays(np.float64, st.integers(2, 12), elements=finite_floats))
+    @settings(max_examples=60, deadline=None)
+    def test_sum_gradient_is_ones(self, a):
+        x = Tensor(a, requires_grad=True)
+        x.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(1, 6), st.integers(1, 6)),
+            elements=finite_floats,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_double_transpose_identity(self, a):
+        x = Tensor(a)
+        np.testing.assert_allclose(x.T.T.data, a)

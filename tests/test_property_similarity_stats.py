@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) for the similarity measures,
+meta-path discovery, and contest statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.splits import corrupt_labels
+from repro.eval.statistics import (
+    bootstrap_ci,
+    count_wins,
+    mean_ranks,
+    mean_std,
+    win_matrix,
+)
+from repro.eval.harness import ContestResult
+from repro.hin import HIN, MetaPath
+from repro.hin.discovery import discover_metapaths, rank_metapaths
+from repro.hin.pathsim import pathsim_matrix
+from repro.hin.similarity import (
+    cosine_commuting_matrix,
+    hetesim_matrix,
+    joinsim_matrix,
+)
+
+
+@st.composite
+def random_bipartite_hin(draw):
+    """A random A–P network with at least one edge."""
+    num_a = draw(st.integers(min_value=2, max_value=12))
+    num_p = draw(st.integers(min_value=1, max_value=10))
+    num_edges = draw(st.integers(min_value=1, max_value=40))
+    src = draw(
+        arrays(np.int64, num_edges, elements=st.integers(0, num_a - 1))
+    )
+    dst = draw(
+        arrays(np.int64, num_edges, elements=st.integers(0, num_p - 1))
+    )
+    hin = HIN()
+    hin.add_node_type("A", num_a)
+    hin.add_node_type("P", num_p)
+    hin.add_edges("writes", "A", "P", src, dst)
+    return hin
+
+
+APA = MetaPath.parse("APA")
+
+
+class TestSimilarityProperties:
+    @given(random_bipartite_hin())
+    @settings(max_examples=40, deadline=None)
+    def test_all_measures_bounded_and_symmetric(self, hin):
+        for fn in (hetesim_matrix, joinsim_matrix, cosine_commuting_matrix):
+            scores = fn(hin, APA)
+            if scores.nnz:
+                assert scores.data.min() >= 0.0
+                assert scores.data.max() <= 1.0 + 1e-12
+            assert abs(scores - scores.T).max() < 1e-9
+
+    @given(random_bipartite_hin())
+    @settings(max_examples=40, deadline=None)
+    def test_joinsim_dominates_pathsim(self, hin):
+        # AM-GM: M[u,v]/sqrt(Muu*Mvv) >= 2*M[u,v]/(Muu+Mvv) entrywise.
+        join = joinsim_matrix(hin, APA).toarray()
+        path = pathsim_matrix(hin, APA).toarray()
+        assert (join + 1e-9 >= path).all()
+
+    @given(random_bipartite_hin())
+    @settings(max_examples=40, deadline=None)
+    def test_same_support_for_path_measures(self, hin):
+        # PathSim and JoinSim score exactly the meta-path-connected pairs.
+        join = joinsim_matrix(hin, APA)
+        path = pathsim_matrix(hin, APA)
+        assert (join.astype(bool) != path.astype(bool)).nnz == 0
+
+    @given(random_bipartite_hin())
+    @settings(max_examples=30, deadline=None)
+    def test_diagonals_absent(self, hin):
+        for fn in (hetesim_matrix, joinsim_matrix, cosine_commuting_matrix):
+            assert np.allclose(fn(hin, APA).diagonal(), 0.0)
+
+
+class TestDiscoveryProperties:
+    @given(random_bipartite_hin(), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_discovered_paths_valid(self, hin, max_length):
+        schema = hin.schema()
+        for path in discover_metapaths(hin, "A", max_length=max_length):
+            assert path.is_symmetric()
+            assert path.endpoints_match("A")
+            schema.validate_metapath(path.node_types)  # must not raise
+
+    @given(
+        random_bipartite_hin(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rank_scores_bounded(self, hin, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 3, size=hin.num_nodes("A"))
+        ranked = rank_metapaths(hin, [APA], labels)
+        for entry in ranked:
+            assert 0.0 <= entry.homophily <= 1.0
+            assert 0.0 <= entry.coverage <= 1.0
+            assert 0.0 <= entry.score <= 1.0
+
+
+positive_floats = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestStatisticsProperties:
+    @given(st.lists(positive_floats, min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_mean_std_consistent_with_numpy(self, values):
+        mean, std = mean_std(values)
+        assert mean == pytest.approx(float(np.mean(values)))
+        assert std == pytest.approx(float(np.std(values)))
+
+    @given(st.lists(positive_floats, min_size=2, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_bootstrap_ci_ordered_and_within_range(self, values):
+        low, high = bootstrap_ci(values, seed=0)
+        assert low <= high
+        assert min(values) - 1e-9 <= low
+        assert high <= max(values) + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["A", "B", "C"]),
+                st.sampled_from(["d1", "d2"]),
+                st.sampled_from([0.02, 0.2]),
+                positive_floats,
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_win_matrix_conservation(self, rows):
+        results = [
+            ContestResult(m, d, f, s, s) for (m, d, f, s) in rows
+        ]
+        methods, matrix = win_matrix(results)
+        assert np.trace(matrix) == 0
+        assert (matrix >= 0).all()
+        # Total wins in a contest can't exceed pairs present in it.
+        wins = count_wins(results)
+        assert all(w >= 0 for w in wins.values())
+
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(
+                st.integers(min_value=1, max_value=8),
+                st.integers(min_value=2, max_value=6),
+            ),
+            elements=positive_floats,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mean_ranks_bounds(self, scores):
+        ranks = mean_ranks(scores)
+        num_methods = scores.shape[1]
+        assert ranks.shape == (num_methods,)
+        assert (ranks >= 1.0 - 1e-9).all()
+        assert (ranks <= num_methods + 1e-9).all()
+        # Rank sum per contest is n(n+1)/2, so the mean-rank total is fixed.
+        assert ranks.sum() == pytest.approx(num_methods * (num_methods + 1) / 2)
+
+
+class TestCorruptionProperties:
+    @given(
+        st.integers(min_value=10, max_value=60),
+        st.integers(min_value=2, max_value=5),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_corruption_flip_budget(self, n, num_classes, rate, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, num_classes, size=n)
+        indices = np.arange(n // 2)
+        noisy = corrupt_labels(labels, indices, rate, num_classes, seed=seed)
+        changed = (noisy != labels).sum()
+        assert changed == int(round(rate * indices.size))
+        assert noisy.min() >= 0 and noisy.max() < num_classes
+
+
+class TestMetaGraphProperties:
+    @given(random_bipartite_hin())
+    @settings(max_examples=30, deadline=None)
+    def test_single_branch_degenerates(self, hin):
+        from repro.hin.adjacency import metapath_adjacency
+        from repro.hin.metagraph import MetaGraph, metagraph_adjacency
+
+        via_graph = metagraph_adjacency(hin, MetaGraph([[APA]]))
+        via_path = metapath_adjacency(hin, APA)
+        assert abs(via_graph - via_path).max() < 1e-12
+
+    @given(random_bipartite_hin())
+    @settings(max_examples=30, deadline=None)
+    def test_conjunction_support_subset(self, hin):
+        # (APA & APA) support equals APA support; counts are squared.
+        from repro.hin.adjacency import metapath_adjacency
+        from repro.hin.metagraph import MetaGraph, metagraph_adjacency
+
+        conj = metagraph_adjacency(
+            hin, MetaGraph([[APA, APA]]), remove_self_paths=False
+        )
+        single = metapath_adjacency(hin, APA, remove_self_paths=False)
+        assert (conj.astype(bool) != single.astype(bool)).nnz == 0
+        assert abs(conj - single.multiply(single)).max() < 1e-12
+
+    @given(random_bipartite_hin(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_metagraph_pathsim_bounded(self, hin, k):
+        from repro.hin.metagraph import (
+            MetaGraph,
+            metagraph_pathsim,
+            top_k_metagraph_neighbors,
+        )
+
+        graph = MetaGraph([[APA, APA]])
+        scores = metagraph_pathsim(hin, graph)
+        if scores.nnz:
+            assert scores.data.min() > 0
+            assert scores.data.max() <= 1.0 + 1e-12
+        lists = top_k_metagraph_neighbors(hin, graph, k)
+        assert all(entry.size <= k for entry in lists)

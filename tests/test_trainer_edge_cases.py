@@ -1,0 +1,98 @@
+"""Edge-case tests for the ConCH trainer and prepared-data plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConCHConfig, ConCHTrainer, prepare_conch_data
+from repro.core.trainer import ConCHData, MetaPathData
+from repro.data import DBLPConfig, load_dataset, stratified_split
+from repro.embedding.metapath2vec import metapath2vec_embeddings
+
+
+TINY = DBLPConfig(num_authors=80, num_papers=260, num_conferences=8)
+FAST = dict(
+    epochs=15, patience=15, k=3, num_layers=1, context_dim=16,
+    hidden_dim=16, out_dim=16, lr=0.01,
+    embed_num_walks=3, embed_walk_length=15, embed_epochs=1,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("dblp", config=TINY)
+
+
+@pytest.fixture(scope="module")
+def split(dataset):
+    return stratified_split(dataset.labels, 0.2, seed=0)
+
+
+class TestPrecomputedEmbeddings:
+    def test_prepare_accepts_external_embeddings(self, dataset):
+        config = ConCHConfig(**FAST)
+        embeddings = metapath2vec_embeddings(
+            dataset.hin, dataset.metapaths, dim=config.context_dim,
+            num_walks=2, walk_length=10, epochs=1,
+        )
+        data = prepare_conch_data(dataset, config, embeddings=embeddings)
+        assert data.context_dim == config.context_dim
+
+    def test_same_embeddings_give_same_features(self, dataset):
+        config = ConCHConfig(**FAST)
+        embeddings = metapath2vec_embeddings(
+            dataset.hin, dataset.metapaths, dim=config.context_dim,
+            num_walks=2, walk_length=10, epochs=1,
+        )
+        a = prepare_conch_data(dataset, config, embeddings=embeddings)
+        b = prepare_conch_data(dataset, config, embeddings=embeddings)
+        for mp_a, mp_b in zip(a.metapath_data, b.metapath_data):
+            np.testing.assert_allclose(mp_a.context_features, mp_b.context_features)
+
+
+class TestTrainerBehaviour:
+    def test_early_stopping_limits_epochs(self, dataset, split):
+        config = ConCHConfig(**FAST).with_overrides(epochs=500, patience=3)
+        data = prepare_conch_data(dataset, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        # With patience 3 the run must stop well before 500 epochs.
+        assert len(trainer.recorder.records) < 200
+
+    def test_recorder_val_matches_evaluate(self, dataset, split):
+        config = ConCHConfig(**FAST)
+        data = prepare_conch_data(dataset, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        best_recorded = max(r.val_metric for r in trainer.recorder.records)
+        # After restore, current val metric equals the best recorded one.
+        assert trainer.evaluate(split.val)["micro_f1"] == pytest.approx(best_recorded)
+
+    def test_jacobi_mode_runs(self, dataset, split):
+        config = ConCHConfig(**FAST).with_overrides(update_order="jacobi")
+        data = prepare_conch_data(dataset, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        assert trainer.evaluate(split.test)["micro_f1"] > 0.25
+
+    def test_sum_aggregator_runs(self, dataset, split):
+        config = ConCHConfig(**FAST).with_overrides(aggregator="sum")
+        data = prepare_conch_data(dataset, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        assert trainer.evaluate(split.test)["micro_f1"] > 0.25
+
+    def test_zero_lambda_multitask_equals_supervised_loss_path(self, dataset, split):
+        # lambda_ss = 0 in multitask mode must not try to build the SS term.
+        config = ConCHConfig(**FAST).with_overrides(lambda_ss=0.0)
+        data = prepare_conch_data(dataset, config)
+        trainer = ConCHTrainer(data, config).fit(split)
+        assert len(trainer.recorder.records) > 0
+
+    def test_preprocess_seconds_positive(self, dataset):
+        config = ConCHConfig(**FAST)
+        data = prepare_conch_data(dataset, config)
+        assert data.preprocess_seconds > 0
+        assert data.num_objects == dataset.num_targets
+
+    def test_metapath_data_properties(self, dataset):
+        config = ConCHConfig(**FAST)
+        data = prepare_conch_data(dataset, config)
+        assert [m.metapath for m in data.metapath_data] == data.metapaths
+        for mp_data in data.metapath_data:
+            assert mp_data.num_contexts == mp_data.incidence.shape[1]
