@@ -17,6 +17,10 @@ from benchmarks.conftest import TRAIN_FRACTIONS, conch_config
 from repro.baselines.registry import conch_method
 from repro.eval import format_contest_table, run_contest, summarize_results
 
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 VARIANTS = ["full", "nc", "rd", "su", "ft", "ew"]
 
 

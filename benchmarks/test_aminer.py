@@ -20,6 +20,10 @@ from repro.baselines.registry import conch_method
 from repro.data import stratified_split
 from repro.eval import format_contest_table, run_contest, summarize_results
 
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def _aminer_panel():
     settings = TrainSettings(epochs=GNN_EPOCHS, patience=40)

@@ -15,6 +15,10 @@ from benchmarks.conftest import conch_config
 from repro.core import ConCHTrainer, prepare_conch_data
 from repro.data import stratified_split
 
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def _train_and_read_attention(dataset):
     config = conch_config(dataset.name)

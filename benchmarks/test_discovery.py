@@ -23,6 +23,10 @@ from repro.data.base import HINDataset
 from repro.eval.harness import run_method_on_split
 from repro.hin.discovery import select_metapaths
 
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 FRACTION = 0.20
 
 

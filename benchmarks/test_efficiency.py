@@ -24,6 +24,10 @@ from repro.core import ConCHTrainer, prepare_conch_data
 from repro.data import stratified_split
 from repro.eval.harness import run_method_on_split
 
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def _efficiency_panel(dataset_name):
     settings = TrainSettings(epochs=GNN_EPOCHS, patience=10_000)  # no early stop

@@ -24,6 +24,8 @@ vertex·context statistic their objective optimizes.
 
 from __future__ import annotations
 
+import pytest
+
 from typing import Dict
 
 import numpy as np
@@ -39,6 +41,10 @@ from repro.embedding.node2vec import node2vec_embeddings
 from repro.embedding.pte import pte_embeddings, pte_target_embeddings
 from repro.eval.clustering import clustering_report
 from repro.eval.linkpred import holdout_relation_split, link_prediction_report
+
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
 
 
 def _target_embedding_panel(dataset, seed: int = 0) -> Dict[str, np.ndarray]:

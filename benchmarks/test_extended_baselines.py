@@ -26,6 +26,10 @@ from repro.eval.statistics import (
     scores_by_contest,
 )
 
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def _panel(dataset_name: str):
     settings = TrainSettings(epochs=GNN_EPOCHS, patience=40)

@@ -21,6 +21,10 @@ from repro.data import stratified_split
 from repro.eval.harness import run_method_on_split
 from repro.hin.similarity import SIMILARITY_MEASURES, measure_agreement
 
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 STRATEGIES = list(SIMILARITY_MEASURES) + ["random"]
 
 

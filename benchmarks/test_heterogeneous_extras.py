@@ -16,6 +16,8 @@ Expected shape:
 
 from __future__ import annotations
 
+import pytest
+
 import numpy as np
 
 from benchmarks.conftest import GNN_EPOCHS, TRAIN_FRACTIONS, conch_config
@@ -24,6 +26,10 @@ from repro.baselines.base import TrainSettings
 from repro.baselines.registry import conch_method
 from repro.eval.harness import run_contest, summarize_results
 from repro.eval.statistics import compare_methods, count_wins
+
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
 
 
 def _panel(dataset_name: str):

@@ -30,6 +30,10 @@ from repro.core.variants import variant_config
 from repro.data import corrupt_labels, stratified_split
 from repro.eval.metrics import micro_f1
 
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
 NOISE_RATES = (0.0, 0.2, 0.4) if FAST else (0.0, 0.1, 0.2, 0.3, 0.4)
 FRACTION = 0.20

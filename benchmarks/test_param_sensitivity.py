@@ -14,6 +14,10 @@ from benchmarks.conftest import FAST, conch_config
 from repro.core import ConCHTrainer, prepare_conch_data
 from repro.data import stratified_split
 
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def _score(dataset, config, split, embeddings=None):
     data = prepare_conch_data(dataset, config, embeddings=embeddings)

@@ -14,6 +14,10 @@ import pytest
 from benchmarks.conftest import TRAIN_FRACTIONS, method_panel
 from repro.eval import format_contest_table, run_contest, summarize_results
 
+#: Experiment-scale benchmark (full training runs); excluded from the
+#: fast lane `pytest -m "not slow"` (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 
 def _run_dataset_contest(dataset):
     methods = method_panel(dataset.name)

@@ -32,9 +32,9 @@ import scipy.sparse.linalg as spla
 
 from repro.data.base import HINDataset
 from repro.data.splits import Split
+from repro.hin.engine import get_engine
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
-from repro.hin.pathsim import pathsim_matrix
 
 
 def normalized_laplacian(weights: sp.csr_matrix) -> sp.csr_matrix:
@@ -75,8 +75,10 @@ def grempt_scores(
     if rho <= 1:
         raise ValueError(f"rho must be > 1, got {rho}")
     train_indices = np.asarray(train_indices)
+    engine = get_engine(hin)
     laplacians = [
-        normalized_laplacian(pathsim_matrix(hin, metapath)) for metapath in metapaths
+        normalized_laplacian(engine.similarity(metapath, "pathsim"))
+        for metapath in metapaths
     ]
 
     anchor = np.zeros(num_targets)

@@ -25,6 +25,7 @@ from repro.autograd import ops
 from repro.baselines.base import SemiSupervisedTrainer, TrainSettings
 from repro.data.base import HINDataset
 from repro.data.splits import Split
+from repro.hin.engine import drop_diagonal, get_engine
 from repro.hin.graph import HIN
 from repro.nn.layers import Dropout, Linear, MLP
 from repro.nn.module import Module, ModuleList
@@ -37,11 +38,10 @@ def relation_subnetworks(hin: HIN, target_type: str) -> List[sp.csr_matrix]:
     for other in schema.node_types:
         if other == target_type or not schema.are_connected(target_type, other):
             continue
-        forward = hin.adjacency(target_type, other)
+        forward = get_engine(hin).base(target_type, other)
         two_hop = sp.csr_matrix(forward @ forward.T)
-        two_hop = two_hop.tolil()
-        two_hop.setdiag(0.0)
-        two_hop = two_hop.tocsr()
+        two_hop.sort_indices()
+        two_hop = drop_diagonal(two_hop)
         two_hop.eliminate_zeros()
         two_hop.data[:] = 1.0
         subnetworks.append(two_hop)

@@ -27,6 +27,7 @@ from repro.embedding.metapath2vec import metapath2vec_embeddings
 from repro.eval.metrics import macro_f1, micro_f1
 from repro.eval.timing import ConvergenceRecorder
 from repro.hin.bipartite import BipartiteGraph, build_bipartite_graph
+from repro.hin.engine import get_engine
 from repro.hin.metapath import MetaPath
 from repro.hin.neighbors import NeighborFilter
 from repro.nn.losses import cross_entropy
@@ -58,6 +59,9 @@ class ConCHData:
     num_classes: int
     metapath_data: List[MetaPathData]
     preprocess_seconds: float = 0.0
+    #: Commuting-matrix engine telemetry captured after preprocessing
+    #: (composed products, cache hits/misses) — see CommutingEngine.stats.
+    substrate_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def num_objects(self) -> int:
@@ -97,6 +101,10 @@ def prepare_conch_data(
     start = time.perf_counter()
     rng = np.random.default_rng(config.seed)
     hin = dataset.hin
+    # One shared engine serves every substrate consumer below (neighbor
+    # filtering, context enumeration, random walks): each meta-path's
+    # commuting matrix is composed at most once for the whole pipeline.
+    engine = get_engine(hin)
 
     if config.use_contexts and embeddings is None:
         embeddings = metapath2vec_embeddings(
@@ -143,6 +151,7 @@ def prepare_conch_data(
         num_classes=dataset.num_classes,
         metapath_data=metapath_data,
         preprocess_seconds=time.perf_counter() - start,
+        substrate_stats=engine.stats(),
     )
 
 

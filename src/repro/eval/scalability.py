@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.data.base import HINDataset
 from repro.data.splits import stratified_split
-from repro.hin.adjacency import metapath_adjacency
+from repro.hin.engine import get_engine
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle with repro.core
     from repro.core.config import ConCHConfig
@@ -77,9 +77,10 @@ def total_instance_count(dataset: HINDataset) -> int:
     This is the number MAGNN must materialize; its growth rate across
     scales explains the paper's out-of-memory observations.
     """
+    engine = get_engine(dataset.hin)
     total = 0
     for metapath in dataset.metapaths:
-        counts = metapath_adjacency(dataset.hin, metapath, remove_self_paths=True)
+        counts = engine.counts(metapath, remove_self_paths=True)
         total += int(counts.sum())
     return total
 

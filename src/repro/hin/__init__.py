@@ -9,8 +9,12 @@ paper that sit *below* the neural model:
   types and relations (Definition 2).
 - :class:`~repro.hin.metapath.MetaPath` — a sequence of node types /
   relations (Definition 3), parseable from strings like ``"APCPA"``.
+- :mod:`~repro.hin.engine` — the shared commuting-matrix engine: per-HIN
+  memoization of chain products with prefix sharing, cached similarity
+  views, and vectorized top-k / pair-lookup / diagonal-drop kernels.
 - :mod:`~repro.hin.adjacency` — sparse composition of meta-path commuting
-  matrices (path-instance counts between endpoint pairs).
+  matrices (path-instance counts between endpoint pairs); thin wrappers
+  over the engine.
 - :mod:`~repro.hin.pathsim` — PathSim similarity (Eq. 1, [58]).
 - :mod:`~repro.hin.similarity` — alternative similarity measures
   (HeteSim, JoinSim, cosine) for the filtering ablation.
@@ -28,6 +32,13 @@ from repro.hin.graph import HIN
 from repro.hin.schema import NetworkSchema
 from repro.hin.metapath import MetaPath
 from repro.hin.adjacency import metapath_adjacency, relation_chain
+from repro.hin.engine import (
+    CommutingEngine,
+    csr_pair_values,
+    csr_row_topk,
+    drop_diagonal,
+    get_engine,
+)
 from repro.hin.pathsim import pathsim_matrix, pathsim_pairs
 from repro.hin.similarity import (
     SIMILARITY_MEASURES,
@@ -61,6 +72,11 @@ __all__ = [
     "MetaPath",
     "metapath_adjacency",
     "relation_chain",
+    "CommutingEngine",
+    "get_engine",
+    "csr_row_topk",
+    "csr_pair_values",
+    "drop_diagonal",
     "pathsim_matrix",
     "pathsim_pairs",
     "SIMILARITY_MEASURES",

@@ -5,26 +5,32 @@ For a meta-path ``P = T1 - T2 - ... - T_{l+1}`` the *commuting matrix*
 endpoint pair ``(u, v)``, the number of path instances of ``P`` from ``u``
 to ``v``.  PathSim (Eq. 1) and the neighbor filter (§IV-A) are both
 computed directly from ``M``.
+
+Composition and caching live in :mod:`repro.hin.engine`; the functions
+here are thin compatibility wrappers that return *owned copies*, so
+callers may mutate the result freely without corrupting the shared cache.
+Substrate-internal code should use the engine directly and treat its
+matrices as read-only.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-import numpy as np
 import scipy.sparse as sp
 
+from repro.hin.engine import get_engine
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
 
 
 def relation_chain(hin: HIN, metapath: MetaPath) -> List[sp.csr_matrix]:
-    """The list of per-hop biadjacency matrices along a meta-path."""
-    metapath.validate(hin.schema())
-    chain: List[sp.csr_matrix] = []
-    for src_type, dst_type in zip(metapath.node_types[:-1], metapath.node_types[1:]):
-        chain.append(hin.adjacency(src_type, dst_type))
-    return chain
+    """The list of per-hop biadjacency matrices along a meta-path.
+
+    Served from the engine's base-adjacency cache; the matrices are
+    shared — do not mutate them in place.
+    """
+    return get_engine(hin).chain(metapath)
 
 
 def metapath_adjacency(
@@ -53,20 +59,13 @@ def metapath_adjacency(
     Returns
     -------
     csr_matrix of shape ``(count(src_type), count(dst_type))`` whose entry
-    ``(u, v)`` is the number of path instances from ``u`` to ``v``.
+    ``(u, v)`` is the number of path instances from ``u`` to ``v``.  The
+    chain product itself is composed at most once per HIN (engine cache);
+    the returned matrix is a fresh copy the caller owns.
     """
-    chain = relation_chain(hin, metapath)
-    product: sp.csr_matrix = chain[0]
-    for matrix in chain[1:]:
-        product = sp.csr_matrix(product @ matrix)
-    if max_count is not None:
-        product.data = np.minimum(product.data, max_count)
-    if remove_self_paths and metapath.source_type == metapath.target_type:
-        product = product.tolil()
-        product.setdiag(0.0)
-        product = product.tocsr()
-        product.eliminate_zeros()
-    return product
+    return get_engine(hin).counts(
+        metapath, remove_self_paths=remove_self_paths, max_count=max_count
+    ).copy()
 
 
 def metapath_binary_adjacency(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
@@ -75,7 +74,4 @@ def metapath_binary_adjacency(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
     This is the "convert an HIN to a homogeneous network using meta-paths"
     operation used to run GCN/GAT/MVGRL baselines.
     """
-    counts = metapath_adjacency(hin, metapath, remove_self_paths=True)
-    binary = counts.copy()
-    binary.data[:] = 1.0
-    return binary
+    return get_engine(hin).binary(metapath).copy()

@@ -13,10 +13,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.hin.adjacency import metapath_adjacency, metapath_binary_adjacency
+from repro.hin.engine import get_engine
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
-from repro.hin.pathsim import pathsim_matrix
 
 
 @dataclass(frozen=True)
@@ -64,9 +63,9 @@ def metapath_stats(
         labels = hin.labels(target_type)
     labels = np.asarray(labels)
 
-    counts = metapath_adjacency(hin, metapath, remove_self_paths=True)
-    binary = counts.copy()
-    binary.data[:] = 1.0
+    engine = get_engine(hin)
+    counts = engine.counts(metapath, remove_self_paths=True)
+    binary = engine.binary(metapath)
     degrees = np.asarray(binary.sum(axis=1)).ravel()
     coverage = float((degrees > 0).mean())
     mean_degree = float(degrees.mean())
@@ -81,7 +80,7 @@ def metapath_stats(
         homophily = 0.0
         mean_instances = 0.0
 
-    scores = pathsim_matrix(hin, metapath).tocoo()
+    scores = engine.similarity(metapath, "pathsim").tocoo()
     if scores.nnz:
         same = (labels[scores.row] == labels[scores.col]).astype(np.float64)
         total = scores.data.sum()

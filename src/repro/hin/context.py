@@ -20,7 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.hin.adjacency import relation_chain
+from repro.hin.engine import get_engine
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
 
@@ -68,7 +68,7 @@ def enumerate_path_instances(
     Depth-first over the per-hop adjacency chain; stops after
     ``max_instances`` instances or ``max_expansions`` node expansions.
     """
-    chain = [m.tocsr() for m in relation_chain(hin, metapath)]
+    chain = get_engine(hin).chain(metapath)
     hops = len(chain)
     context = MetaPathContext(u=min(u, v), v=max(u, v))
     # Last-hop reverse adjacency: which nodes at position l-1 connect to v.
@@ -129,8 +129,6 @@ def extract_contexts(
 
 
 def count_instances(hin: HIN, metapath: MetaPath, u: int, v: int) -> int:
-    """Exact instance count via the commuting matrix (for validation)."""
-    from repro.hin.adjacency import metapath_adjacency
-
-    counts = metapath_adjacency(hin, metapath, remove_self_paths=False)
+    """Exact instance count via the cached commuting matrix (validation)."""
+    counts = get_engine(hin).counts(metapath)
     return int(counts[u, v])

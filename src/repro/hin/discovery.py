@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.hin.adjacency import metapath_binary_adjacency
+from repro.hin.engine import get_engine
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
 from repro.hin.schema import NetworkSchema
@@ -158,9 +158,10 @@ def rank_metapaths(
     else:
         mask[np.asarray(train_idx)] = True
 
+    engine = get_engine(hin)
     scored: List[MetaPathScore] = []
     for metapath in metapaths:
-        binary = metapath_binary_adjacency(hin, metapath).tocoo()
+        binary = engine.binary(metapath).tocoo()
         degrees = np.zeros(labels.shape[0])
         if binary.nnz:
             np.add.at(degrees, binary.row, 1.0)
@@ -188,7 +189,7 @@ def rank_metapaths(
 
 
 def _pair_set(hin: HIN, metapath: MetaPath) -> Set[Tuple[int, int]]:
-    binary = metapath_binary_adjacency(hin, metapath).tocoo()
+    binary = get_engine(hin).binary(metapath).tocoo()
     return {
         (int(u), int(v)) if u < v else (int(v), int(u))
         for u, v in zip(binary.row, binary.col)

@@ -1,0 +1,561 @@
+"""Shared commuting-matrix engine: compose each meta-path product once.
+
+Every stage of the ConCH pipeline — PathSim filtering (§IV-A), the
+similarity ablations, bipartite context graphs (§IV-C), meta-path
+discovery, diagnostics, and several baselines — consumes *commuting
+matrices*: chain products ``A_{T1,T2} @ ... @ A_{Tl,T_{l+1}}`` of per-hop
+biadjacency matrices.  The seed recomputed these chains at every call
+site; this module memoizes them per HIN so each distinct product is
+composed exactly once.
+
+Prefix-sharing scheme
+---------------------
+Products are keyed by their node-type tuple (``("A", "P", "C")`` for the
+``APC`` half-chain).  A chain is composed by splitting its key into two
+shorter keys and multiplying their (recursively memoized) products, so
+sub-chains are shared across meta-paths: composing ``APCPA`` materializes
+``AP`` and ``APC`` along the way, and a later request for the HeteSim
+half-path ``APC`` — or for ``APCPC`` — hits the cache.  Three candidate
+splits are considered for every key:
+
+- **left association** ``(T1..Tl) @ (Tl, Tl+1)`` — maximizes prefix reuse;
+- **right association** ``(T1, T2) @ (T2..Tl+1)`` — maximizes suffix reuse;
+- **middle split** for palindromic odd-length keys — shares the half-path
+  product that HeteSim and :func:`half_commuting_matrix` need anyway.
+
+The winner is the split with the lowest *estimated* sparse-flop cost
+(``nnz(X) * nnz(Y) / inner_dim``, with sub-product nnz estimated by the
+standard density-propagation bound when not already cached); ties go to
+left association.  Cached sub-products count as free, so the association
+adapts as the cache warms.
+
+Views and bulk operations
+-------------------------
+From one cached product the engine serves counts (with or without the
+diagonal), the diagonal itself, the binary (reachability) projection, the
+half-path product, and all four similarity measures — plus vectorized
+bulk operations that replace per-row/per-pair Python loops:
+
+- :func:`csr_row_topk` — lexsort-based row-wise top-k over a whole CSR;
+- :func:`csr_pair_values` — ``searchsorted`` lookup of ``(u, v)`` entries
+  on the ``indptr``/``indices`` structure, never densifying;
+- :func:`drop_diagonal` — boolean-mask diagonal removal on the COO
+  coordinate arrays that stays CSR end-to-end (no LIL round-trip).
+
+Cache invalidation
+------------------
+:class:`~repro.hin.graph.HIN` bumps a structural version counter on every
+mutation (``add_node_type`` / ``add_edges``); the engine compares it on
+every access and drops all cached state when the graph changed.  Matrices
+returned by engine methods are shared cache entries: **treat them as
+read-only** (the legacy wrappers in :mod:`repro.hin.adjacency` hand out
+copies for callers that want ownership).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.hin.graph import HIN
+from repro.hin.metapath import MetaPath
+
+Key = Tuple[str, ...]
+
+#: Ranking measures the engine can serve (mirrors similarity.py).
+MEASURES = ("pathsim", "hetesim", "joinsim", "cosine")
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized bulk operations (engine-independent, reusable)
+# ---------------------------------------------------------------------- #
+
+
+def drop_diagonal(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Copy of ``matrix`` with a structurally absent diagonal.
+
+    Masks the COO coordinate arrays instead of round-tripping through LIL
+    (`tolil()`/`setdiag`/`tocsr`), staying CSR-sorted throughout: within a
+    CSR row the column indices are already ordered, and removing entries
+    preserves that order, so no re-sort or duplicate coalescing happens.
+    """
+    matrix = sp.csr_matrix(matrix)
+    n_rows = matrix.shape[0]
+    lengths = np.diff(matrix.indptr)
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), lengths)
+    keep = matrix.indices != rows
+    kept_per_row = np.bincount(rows[keep], minlength=n_rows)
+    indptr = np.concatenate(
+        ([0], np.cumsum(kept_per_row, dtype=matrix.indptr.dtype))
+    )
+    return sp.csr_matrix(
+        (matrix.data[keep], matrix.indices[keep], indptr), shape=matrix.shape
+    )
+
+
+def csr_row_topk(matrix: sp.spmatrix, k: int) -> List[np.ndarray]:
+    """Per-row top-``k`` column indices by value, ties broken by column id.
+
+    One ``lexsort`` over ``(column, -value, row)`` replaces the per-row
+    Python loop: after the sort, rows occupy the same contiguous segments
+    as in ``indptr``, so the top-k of every row is a vectorized slice.
+    Unlike the seed loop (whose ``argpartition`` broke value ties at the
+    k boundary arbitrarily), ties are always resolved toward the lower
+    column id, making neighbor selection fully deterministic.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    matrix = sp.csr_matrix(matrix)
+    n_rows = matrix.shape[0]
+    lengths = np.diff(matrix.indptr)
+    rows = np.repeat(np.arange(n_rows, dtype=np.int64), lengths)
+    order = np.lexsort((matrix.indices, -matrix.data, rows))
+    sorted_cols = matrix.indices[order]
+    ranks = np.arange(matrix.nnz, dtype=np.int64) - np.repeat(
+        matrix.indptr[:-1].astype(np.int64), lengths
+    )
+    keep = ranks < k
+    kept_per_row = np.minimum(lengths, k)
+    boundaries = np.cumsum(kept_per_row)[:-1]
+    return np.split(sorted_cols[keep], boundaries)
+
+
+def csr_pair_keys(matrix: sp.csr_matrix) -> np.ndarray:
+    """Sorted ``row * ncols + col`` keys of a CSR's stored entries.
+
+    CSR stores rows in order and column indices sorted within each row,
+    so this flattened key array is globally sorted — ready for
+    ``np.searchsorted`` lookups (:func:`csr_pair_values`).
+    """
+    matrix = sp.csr_matrix(matrix)
+    if not matrix.has_sorted_indices:
+        matrix.sort_indices()
+    lengths = np.diff(matrix.indptr)
+    rows = np.repeat(np.arange(matrix.shape[0], dtype=np.int64), lengths)
+    return rows * np.int64(matrix.shape[1]) + matrix.indices
+
+
+def csr_pair_values(
+    matrix: sp.spmatrix,
+    u: np.ndarray,
+    v: np.ndarray,
+    keys: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Values ``matrix[u_i, v_i]`` for index arrays, absent entries = 0.
+
+    A single ``searchsorted`` against the flattened sorted entry keys
+    replaces per-pair ``matrix[u, v]`` indexing; ``keys`` may be passed
+    precomputed (see :func:`csr_pair_keys`) to amortize repeated lookups.
+    """
+    matrix = sp.csr_matrix(matrix)
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    if u.shape != v.shape:
+        raise ValueError("u and v must have the same shape")
+    if u.size and (
+        u.min() < 0
+        or u.max() >= matrix.shape[0]
+        or v.min() < 0
+        or v.max() >= matrix.shape[1]
+    ):
+        raise IndexError("pair indices out of range")
+    if keys is None:
+        keys = csr_pair_keys(matrix)
+    targets = u * np.int64(matrix.shape[1]) + v
+    positions = np.searchsorted(keys, targets)
+    positions_clipped = np.minimum(positions, max(keys.size - 1, 0))
+    out = np.zeros(u.shape[0], dtype=np.float64)
+    if keys.size:
+        hits = keys[positions_clipped] == targets
+        out[hits] = matrix.data[positions_clipped[hits]]
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# The engine
+# ---------------------------------------------------------------------- #
+
+
+def _row_normalize(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Rows rescaled to sum to 1 (zero rows stay zero)."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    scale = np.divide(
+        1.0, row_sums, out=np.zeros_like(row_sums), where=row_sums > 0
+    )
+    return sp.csr_matrix(sp.diags(scale) @ matrix)
+
+
+def _l2_normalize_rows(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Rows rescaled to unit L2 norm (zero rows stay zero)."""
+    matrix = sp.csr_matrix(matrix, dtype=np.float64)
+    norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel())
+    scale = np.divide(1.0, norms, out=np.zeros_like(norms), where=norms > 0)
+    return sp.csr_matrix(sp.diags(scale) @ matrix)
+
+
+class CommutingEngine:
+    """Per-HIN memoizing layer over meta-path chain products.
+
+    One engine serves one :class:`HIN`; obtain it through
+    :func:`get_engine` so all call sites share the same cache.  All cached
+    matrices are returned by reference — treat them as read-only.
+    """
+
+    def __init__(self, hin: HIN):
+        self._hin = hin
+        self._version = hin.version
+        self._base: Dict[Tuple[str, str], sp.csr_matrix] = {}
+        self._products: Dict[Key, sp.csr_matrix] = {}
+        self._views: Dict[Tuple, object] = {}
+        #: Log of composed (multiplied) product keys in the current cache
+        #: generation — the call-count spy hook: duplicates here mean a
+        #: product was rebuilt.  Cleared on invalidation.
+        self.compose_log: List[Key] = []
+        self.hits = 0
+        self.misses = 0
+
+    # -------------------------------------------------------------- #
+    # Invalidation
+    # -------------------------------------------------------------- #
+
+    def _sync(self) -> None:
+        """Drop every cache when the HIN mutated since the last access."""
+        if self._hin.version != self._version:
+            self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop all cached state and telemetry (mutation does this lazily).
+
+        The compose log and hit/miss counters reset too: the compose-once
+        contract is *per cache generation*, so a legitimately invalidated
+        engine recomposing a product is not a duplicate composition.
+        """
+        self._base.clear()
+        self._products.clear()
+        self._views.clear()
+        self.compose_log.clear()
+        self.hits = 0
+        self.misses = 0
+        self._version = self._hin.version
+
+    # -------------------------------------------------------------- #
+    # Base adjacencies and chain products
+    # -------------------------------------------------------------- #
+
+    def base(self, src_type: str, dst_type: str) -> sp.csr_matrix:
+        """Cached per-hop biadjacency (union of relations src → dst)."""
+        self._sync()
+        key = (src_type, dst_type)
+        if key not in self._base:
+            self._base[key] = self._hin.adjacency(src_type, dst_type)
+        return self._base[key]
+
+    def _validate(self, metapath: MetaPath) -> None:
+        """Schema-validate a meta-path once per cache generation."""
+        self._sync()
+        key = ("validated", tuple(metapath.node_types))
+        if key not in self._views:
+            metapath.validate(self._hin.schema())
+            self._views[key] = True
+
+    def chain(self, metapath: MetaPath) -> List[sp.csr_matrix]:
+        """Per-hop biadjacency list along a meta-path (all cached)."""
+        self._validate(metapath)
+        key = ("chain", tuple(metapath.node_types))
+        if key not in self._views:
+            types = metapath.node_types
+            self._views[key] = [
+                self.base(a, b) for a, b in zip(types[:-1], types[1:])
+            ]
+        return list(self._views[key])
+
+    def product(self, node_types: Sequence[str]) -> sp.csr_matrix:
+        """Memoized chain product for a node-type sequence."""
+        self._sync()
+        key = tuple(node_types)
+        if len(key) < 2:
+            raise ValueError("a chain needs at least two node types")
+        return self._product(key)
+
+    def _product(self, key: Key) -> sp.csr_matrix:
+        if key in self._products:
+            self.hits += 1
+            return self._products[key]
+        self.misses += 1
+        if len(key) == 2:
+            result = self.base(key[0], key[1])
+        else:
+            left_key, right_key = self._split(key)
+            result = sp.csr_matrix(
+                self._product(left_key) @ self._product(right_key)
+            )
+            result.sort_indices()
+            self.compose_log.append(key)
+        self._products[key] = result
+        return result
+
+    def _split(self, key: Key) -> Tuple[Key, Key]:
+        """Cost-aware association: pick the cheapest of the candidate splits.
+
+        Candidates: left association (prefix reuse), right association
+        (suffix reuse), and — for palindromic odd-length keys — the middle
+        split that shares the half-path product.  Cached sub-products cost
+        nothing, so warm caches steer the association toward reuse.
+        """
+        candidates = [len(key) - 2, 1]
+        if len(key) % 2 == 1 and key == key[::-1]:
+            candidates.insert(0, len(key) // 2)
+        best: Optional[Tuple[float, Key, Key]] = None
+        for split in candidates:
+            left, right = key[: split + 1], key[split:]
+            left_nnz, left_cost = self._estimate(left)
+            right_nnz, right_cost = self._estimate(right)
+            inner = max(1, self._hin.num_nodes(key[split]))
+            cost = left_cost + right_cost + left_nnz * right_nnz / inner
+            if best is None or cost < best[0]:
+                best = (cost, left, right)
+        assert best is not None
+        return best[1], best[2]
+
+    def _estimate(self, key: Key) -> Tuple[float, float]:
+        """``(estimated nnz, estimated flops to build)`` of a sub-product.
+
+        Cached products report their true nnz at zero cost; otherwise nnz
+        propagates by the standard density bound
+        ``nnz(XY) <= min(rows*cols, nnz(X)*nnz(Y)/inner)`` along a left
+        fold, which is cheap and adequate for choosing among three splits.
+        """
+        if key in self._products:
+            return float(self._products[key].nnz), 0.0
+        if len(key) == 2:
+            return float(self.base(key[0], key[1]).nnz), 0.0
+        nnz, cost = self._estimate(key[:2])
+        for position in range(1, len(key) - 1):
+            hop_nnz = float(self.base(key[position], key[position + 1]).nnz)
+            inner = max(1, self._hin.num_nodes(key[position]))
+            cost += nnz * hop_nnz / inner
+            bound = float(
+                self._hin.num_nodes(key[0])
+            ) * self._hin.num_nodes(key[position + 1])
+            nnz = min(bound, nnz * hop_nnz / inner)
+        return nnz, cost
+
+    # -------------------------------------------------------------- #
+    # Views of one cached product
+    # -------------------------------------------------------------- #
+
+    def counts(
+        self,
+        metapath: MetaPath,
+        remove_self_paths: bool = False,
+        max_count: Optional[float] = None,
+    ) -> sp.csr_matrix:
+        """Commuting (path-instance count) matrix, cached per variant."""
+        self._validate(metapath)
+        key = tuple(metapath.node_types)
+        view = ("counts", key, bool(remove_self_paths), max_count)
+        if view not in self._views:
+            matrix = self._product(key)
+            if max_count is not None:
+                matrix = matrix.copy()
+                matrix.data = np.minimum(matrix.data, max_count)
+            if remove_self_paths and metapath.source_type == metapath.target_type:
+                matrix = drop_diagonal(matrix)
+                matrix.eliminate_zeros()
+            self._views[view] = matrix
+        return self._views[view]
+
+    def diagonal(self, metapath: MetaPath) -> np.ndarray:
+        """Self-path counts ``M[u, u]`` from the cached raw product."""
+        self._sync()
+        key = ("diagonal", tuple(metapath.node_types))
+        if key not in self._views:
+            self._views[key] = self.counts(metapath).diagonal()
+        return self._views[key]
+
+    def binary(self, metapath: MetaPath) -> sp.csr_matrix:
+        """Binary (reachability) projection with the diagonal removed."""
+        self._sync()
+        key = ("binary", tuple(metapath.node_types))
+        if key not in self._views:
+            binary = self.counts(metapath, remove_self_paths=True).copy()
+            binary.data[:] = 1.0
+            self._views[key] = binary
+        return self._views[key]
+
+    def half(self, metapath: MetaPath) -> sp.csr_matrix:
+        """Half-path product (endpoint type → middle type)."""
+        self._require_symmetric(metapath, "half_commuting_matrix")
+        self._require_middle_type(metapath, "half_commuting_matrix")
+        types = metapath.node_types
+        return self.product(types[: len(types) // 2 + 1])
+
+    def _pair_lookup_keys(self, metapath: MetaPath) -> np.ndarray:
+        """Cached flattened entry keys of the raw counts matrix."""
+        self._sync()
+        key = ("pair_keys", tuple(metapath.node_types))
+        if key not in self._views:
+            self._views[key] = csr_pair_keys(self.counts(metapath))
+        return self._views[key]
+
+    # -------------------------------------------------------------- #
+    # Similarity measures
+    # -------------------------------------------------------------- #
+
+    @staticmethod
+    def _require_symmetric(metapath: MetaPath, measure: str) -> None:
+        if not metapath.is_symmetric():
+            raise ValueError(
+                f"{measure} requires a symmetric meta-path, got {metapath.name!r}"
+            )
+
+    @staticmethod
+    def _require_middle_type(metapath: MetaPath, measure: str) -> None:
+        if len(metapath.node_types) % 2 == 0:
+            raise ValueError(
+                f"{measure} needs a middle node type; meta-path "
+                f"{metapath.name!r} has an even number of types "
+                f"(decompose the middle relation first)"
+            )
+
+    def similarity(self, metapath: MetaPath, measure: str) -> sp.csr_matrix:
+        """Cached similarity matrix under one of :data:`MEASURES`."""
+        self._sync()
+        if measure not in MEASURES:
+            raise ValueError(
+                f"unknown similarity measure {measure!r}; known: {MEASURES}"
+            )
+        key = ("similarity", measure, tuple(metapath.node_types))
+        if key not in self._views:
+            self._views[key] = getattr(self, f"_{measure}")(metapath)
+        return self._views[key]
+
+    def _pathsim(self, metapath: MetaPath) -> sp.csr_matrix:
+        """PathSim (Eq. 1): counts and diagonal from ONE cached product."""
+        self._require_symmetric(metapath, "PathSim")
+        counts = self.counts(metapath).tocoo()
+        diag = self.diagonal(metapath)
+        row, col, data = counts.row, counts.col, counts.data
+        off_diag = row != col
+        row, col, data = row[off_diag], col[off_diag], data[off_diag]
+        denom = diag[row] + diag[col]
+        valid = denom > 0
+        row, col, data, denom = row[valid], col[valid], data[valid], denom[valid]
+        scores = 2.0 * data / denom
+        n = counts.shape[0]
+        return sp.csr_matrix((scores, (row, col)), shape=(n, n))
+
+    def _joinsim(self, metapath: MetaPath) -> sp.csr_matrix:
+        """JoinSim: geometric-mean denominator, same single product."""
+        self._require_symmetric(metapath, "JoinSim")
+        counts = self.counts(metapath).tocoo()
+        diag = self.diagonal(metapath)
+        row, col, data = counts.row, counts.col, counts.data
+        off_diag = row != col
+        row, col, data = row[off_diag], col[off_diag], data[off_diag]
+        denom = np.sqrt(diag[row] * diag[col])
+        valid = denom > 0
+        row, col, data, denom = row[valid], col[valid], data[valid], denom[valid]
+        scores = np.clip(data / denom, 0.0, 1.0)
+        n = counts.shape[0]
+        return sp.csr_matrix((scores, (row, col)), shape=(n, n))
+
+    def _hetesim(self, metapath: MetaPath) -> sp.csr_matrix:
+        """HeteSim: cosine of half-path reachability distributions."""
+        self._require_symmetric(metapath, "HeteSim")
+        self._require_middle_type(metapath, "HeteSim")
+        chain = self.chain(metapath)
+        half = chain[: len(chain) // 2]
+        reach: sp.csr_matrix = _row_normalize(half[0])
+        for matrix in half[1:]:
+            reach = sp.csr_matrix(reach @ _row_normalize(matrix))
+        unit = _l2_normalize_rows(reach)
+        scores = sp.csr_matrix(unit @ unit.T)
+        scores.data = np.clip(scores.data, 0.0, 1.0)
+        return drop_diagonal(scores)
+
+    def _cosine(self, metapath: MetaPath) -> sp.csr_matrix:
+        """Cosine of commuting-matrix rows (structural equivalence)."""
+        self._require_symmetric(metapath, "cosine")
+        unit = _l2_normalize_rows(self.counts(metapath))
+        scores = sp.csr_matrix(unit @ unit.T)
+        scores.data = np.clip(scores.data, 0.0, 1.0)
+        return drop_diagonal(scores)
+
+    # -------------------------------------------------------------- #
+    # Bulk operations over cached matrices
+    # -------------------------------------------------------------- #
+
+    def top_k(
+        self, metapath: MetaPath, k: int, measure: str = "pathsim"
+    ) -> List[np.ndarray]:
+        """Per-node top-``k`` neighbor ids under a similarity measure.
+
+        Returns fresh arrays the caller owns (unlike the shared matrix
+        views): neighbor lists are small and callers historically mutate
+        them (sampling, set ops), which must not corrupt the cache.
+        """
+        self._sync()
+        key = ("top_k", measure, tuple(metapath.node_types), int(k))
+        if key not in self._views:
+            self._views[key] = csr_row_topk(
+                self.similarity(metapath, measure), k
+            )
+        return [neighbors.copy() for neighbors in self._views[key]]
+
+    def pathsim_pairs(self, metapath: MetaPath, pairs: np.ndarray) -> np.ndarray:
+        """PathSim for explicit ``(u, v)`` pairs without a full matrix.
+
+        Looks the ``m`` numerators up by ``searchsorted`` against the
+        cached counts matrix and reads denominators off the cached
+        diagonal — nothing n×n is built beyond the (already cached)
+        commuting matrix itself.
+        """
+        self._require_symmetric(metapath, "PathSim")
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"pairs must have shape (m, 2), got {pairs.shape}")
+        counts = self.counts(metapath)
+        u, v = pairs[:, 0], pairs[:, 1]
+        numerators = csr_pair_values(
+            counts, u, v, keys=self._pair_lookup_keys(metapath)
+        )
+        diag = self.diagonal(metapath)
+        denominators = diag[u] + diag[v]
+        scores = np.zeros(pairs.shape[0], dtype=np.float64)
+        off_diag = u != v
+        valid = off_diag & (denominators > 0)
+        scores[valid] = 2.0 * numerators[valid] / denominators[valid]
+        return scores
+
+    # -------------------------------------------------------------- #
+    # Introspection
+    # -------------------------------------------------------------- #
+
+    def stats(self) -> Dict[str, int]:
+        """Cache telemetry: composed products, cached views, hit/miss."""
+        return {
+            "composed_products": len(self.compose_log),
+            "cached_products": len(self._products),
+            "cached_views": len(self._views),
+            "cached_base": len(self._base),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def get_engine(hin: HIN) -> CommutingEngine:
+    """The shared :class:`CommutingEngine` of a HIN (created on demand).
+
+    The engine is stowed on the HIN instance so every call site touching
+    the same graph shares one cache; mutation invalidates it lazily via
+    the HIN's structural version counter.
+    """
+    engine = getattr(hin, "_commuting_engine", None)
+    if engine is None or engine._hin is not hin:
+        engine = CommutingEngine(hin)
+        hin._commuting_engine = engine
+    return engine

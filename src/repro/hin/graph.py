@@ -50,6 +50,16 @@ class HIN:
         self._biadjacency: Dict[str, sp.csr_matrix] = {}
         self._features: Dict[str, np.ndarray] = {}
         self._labels: Dict[str, np.ndarray] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Structural mutation counter (bumped by node/edge additions).
+
+        :mod:`repro.hin.engine` compares this against the version its
+        caches were built at and invalidates them when the graph changed.
+        """
+        return self._version
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -64,6 +74,7 @@ class HIN:
         if count <= 0:
             raise ValueError(f"node count must be positive, got {count}")
         self._counts[node_type] = int(count)
+        self._version += 1
 
     def add_edges(
         self,
@@ -109,6 +120,7 @@ class HIN:
         if src_type != dst_type or relation != reverse:
             self._relations[reverse] = Relation(reverse, dst_type, src_type)
             self._biadjacency[reverse] = sp.csr_matrix(matrix.T)
+        self._version += 1
 
     def set_features(self, node_type: str, features: np.ndarray) -> None:
         features = np.asarray(features, dtype=np.float64)

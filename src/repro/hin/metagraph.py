@@ -29,7 +29,7 @@ from typing import List, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.hin.adjacency import metapath_adjacency
+from repro.hin.engine import drop_diagonal, get_engine
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
 from repro.hin.schema import NetworkSchema
@@ -142,11 +142,12 @@ def metagraph_adjacency(
     pair); stages compose by matrix product.
     """
     metagraph.validate(hin.schema())
+    engine = get_engine(hin)
     product: sp.csr_matrix | None = None
     for stage in metagraph.stages:
         stage_matrix: sp.csr_matrix | None = None
         for metapath in stage:
-            counts = metapath_adjacency(hin, metapath, remove_self_paths=False)
+            counts = engine.counts(metapath)
             stage_matrix = (
                 counts if stage_matrix is None else stage_matrix.multiply(counts)
             )
@@ -156,10 +157,13 @@ def metagraph_adjacency(
         )
     assert product is not None  # stages validated non-empty
     if remove_self_paths and metagraph.source_type == metagraph.target_type:
-        product = product.tolil()
-        product.setdiag(0.0)
-        product = product.tocsr()
+        product = drop_diagonal(product)
         product.eliminate_zeros()
+        return product
+    if len(metagraph.stages) == 1 and len(metagraph.stages[0]) == 1:
+        # Degenerate meta-graph: product IS the engine's cached counts
+        # matrix; hand the caller an owned copy instead of the cache entry.
+        product = product.copy()
     return product
 
 
@@ -177,10 +181,9 @@ def metagraph_pathsim(hin: HIN, metagraph: MetaGraph) -> sp.csr_matrix:
         raise ValueError(
             f"PathSim requires a symmetric meta-graph, got {metagraph.name!r}"
         )
-    counts = metagraph_adjacency(hin, metagraph, remove_self_paths=False).tocoo()
-    diag = metagraph_adjacency(
-        hin, metagraph, remove_self_paths=False
-    ).diagonal()
+    full = metagraph_adjacency(hin, metagraph, remove_self_paths=False)
+    diag = full.diagonal()
+    counts = full.tocoo()
     row, col, data = counts.row, counts.col, counts.data
     off_diag = row != col
     row, col, data = row[off_diag], col[off_diag], data[off_diag]
@@ -196,8 +199,8 @@ def top_k_metagraph_neighbors(
     hin: HIN, metagraph: MetaGraph, k: int
 ) -> List[np.ndarray]:
     """Top-*k* neighbors per node by meta-graph PathSim (filter plumbing)."""
-    from repro.hin.neighbors import _top_k_rows
+    from repro.hin.engine import csr_row_topk
 
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    return _top_k_rows(metagraph_pathsim(hin, metagraph), k)
+    return csr_row_topk(metagraph_pathsim(hin, metagraph), k)

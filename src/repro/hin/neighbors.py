@@ -5,39 +5,23 @@ PathSim score.  The ``ConCH_rd`` ablation replaces this ranking by a
 uniform random sample of *k* meta-path neighbors; the similarity measures
 in :mod:`repro.hin.similarity` (HeteSim, JoinSim, cosine) can be swapped
 in as alternative ranking functions for the filtering ablation.
+
+Ranking goes through :mod:`repro.hin.engine`: similarity matrices are
+cached per HIN and the per-row top-k selection is a single vectorized
+lexsort (:func:`repro.hin.engine.csr_row_topk`) instead of a Python loop
+over rows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
-import scipy.sparse as sp
 
-from repro.hin.adjacency import metapath_adjacency
+from repro.hin.engine import get_engine
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
-from repro.hin.pathsim import pathsim_matrix
-
-
-def _top_k_rows(matrix: sp.csr_matrix, k: int) -> List[np.ndarray]:
-    """Per-row top-k column indices by value (ties broken by column id)."""
-    matrix = matrix.tocsr()
-    result: List[np.ndarray] = []
-    for row in range(matrix.shape[0]):
-        start, stop = matrix.indptr[row], matrix.indptr[row + 1]
-        cols = matrix.indices[start:stop]
-        vals = matrix.data[start:stop]
-        if cols.size <= k:
-            order = np.argsort(-vals, kind="stable")
-            result.append(cols[order])
-            continue
-        # argpartition for the top-k, then sort those k by score.
-        part = np.argpartition(-vals, k - 1)[:k]
-        order = part[np.argsort(-vals[part], kind="stable")]
-        result.append(cols[order])
-    return result
 
 
 def top_k_pathsim_neighbors(hin: HIN, metapath: MetaPath, k: int) -> List[np.ndarray]:
@@ -48,8 +32,7 @@ def top_k_pathsim_neighbors(hin: HIN, metapath: MetaPath, k: int) -> List[np.nda
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    scores = pathsim_matrix(hin, metapath)
-    return _top_k_rows(scores, k)
+    return get_engine(hin).top_k(metapath, k, "pathsim")
 
 
 def top_k_similarity_neighbors(
@@ -60,12 +43,9 @@ def top_k_similarity_neighbors(
     ``measure="pathsim"`` reproduces :func:`top_k_pathsim_neighbors`; see
     :data:`repro.hin.similarity.SIMILARITY_MEASURES` for the alternatives.
     """
-    from repro.hin.similarity import similarity_matrix
-
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    scores = similarity_matrix(hin, metapath, measure)
-    return _top_k_rows(scores, k)
+    return get_engine(hin).top_k(metapath, k, measure)
 
 
 def random_k_neighbors(
@@ -74,7 +54,7 @@ def random_k_neighbors(
     """Uniformly sample ``k`` meta-path neighbors per node (``ConCH_rd``)."""
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    counts = metapath_adjacency(hin, metapath, remove_self_paths=True).tocsr()
+    counts = get_engine(hin).counts(metapath, remove_self_paths=True)
     result: List[np.ndarray] = []
     for row in range(counts.shape[0]):
         cols = counts.indices[counts.indptr[row]: counts.indptr[row + 1]]
@@ -138,13 +118,18 @@ class NeighborFilter:
         bipartite graph (§IV-C).
         """
         neighbor_lists = self.select(hin, metapath, rng=rng)
-        pairs = set()
-        for u, neighbors in enumerate(neighbor_lists):
-            for v in neighbors:
-                v = int(v)
-                if u == v:
-                    continue
-                pairs.add((u, v) if u < v else (v, u))
-        if not pairs:
+        lengths = np.fromiter(
+            (len(neighbors) for neighbors in neighbor_lists),
+            dtype=np.int64,
+            count=len(neighbor_lists),
+        )
+        if lengths.sum() == 0:
             return np.empty((0, 2), dtype=np.int64)
-        return np.asarray(sorted(pairs), dtype=np.int64)
+        u = np.repeat(np.arange(len(neighbor_lists), dtype=np.int64), lengths)
+        v = np.concatenate(neighbor_lists).astype(np.int64)
+        off_diag = u != v
+        u, v = u[off_diag], v[off_diag]
+        if u.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        ordered = np.stack([np.minimum(u, v), np.maximum(u, v)], axis=1)
+        return np.unique(ordered, axis=0)

@@ -6,16 +6,19 @@ Given the commuting matrix ``M`` of a *symmetric* meta-path,
 
 ConCH uses PathSim to rank a node's meta-path neighbors and keep the
 top-*k* (§IV-A).
+
+All heavy lifting is delegated to :mod:`repro.hin.engine`: the commuting
+matrix is composed once per HIN and both the counts and the diagonal are
+read from that single cached product (the seed recomputed the full chain
+twice per call).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 import scipy.sparse as sp
 
-from repro.hin.adjacency import metapath_adjacency
+from repro.hin.engine import get_engine
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
 
@@ -29,40 +32,25 @@ def pathsim_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
     pairs cannot have off-diagonal paths for a symmetric meta-path built
     from a real adjacency chain, but synthetic clamps could create them).
     """
-    if not metapath.is_symmetric():
-        raise ValueError(
-            f"PathSim requires a symmetric meta-path, got {metapath.name!r}"
-        )
-    counts = metapath_adjacency(hin, metapath, remove_self_paths=False).tocoo()
-    diag = metapath_adjacency(hin, metapath, remove_self_paths=False).diagonal()
-
-    row, col, data = counts.row, counts.col, counts.data
-    off_diag = row != col
-    row, col, data = row[off_diag], col[off_diag], data[off_diag]
-    denom = diag[row] + diag[col]
-    valid = denom > 0
-    row, col, data, denom = row[valid], col[valid], data[valid], denom[valid]
-    scores = 2.0 * data / denom
-    n = counts.shape[0]
-    return sp.csr_matrix((scores, (row, col)), shape=(n, n))
+    return get_engine(hin).similarity(metapath, "pathsim").copy()
 
 
 def pathsim_pairs(
     hin: HIN, metapath: MetaPath, pairs: np.ndarray
 ) -> np.ndarray:
-    """PathSim scores for explicit ``(u, v)`` pairs (shape ``(m, 2)``)."""
-    pairs = np.asarray(pairs, dtype=np.int64)
-    if pairs.ndim != 2 or pairs.shape[1] != 2:
-        raise ValueError(f"pairs must have shape (m, 2), got {pairs.shape}")
-    matrix = pathsim_matrix(hin, metapath).tocsr()
-    return np.asarray(
-        [matrix[u, v] for u, v in pairs], dtype=np.float64
-    )
+    """PathSim scores for explicit ``(u, v)`` pairs (shape ``(m, 2)``).
+
+    Vectorized ``searchsorted`` lookup against the cached commuting
+    matrix — the full n×n PathSim matrix is never materialized and no
+    per-pair Python loop runs.
+    """
+    return get_engine(hin).pathsim_pairs(metapath, pairs)
 
 
 def pathsim_single(hin: HIN, metapath: MetaPath, u: int, v: int) -> float:
     """PathSim between two nodes (reference implementation, Eq. 1)."""
-    counts = metapath_adjacency(hin, metapath, remove_self_paths=False)
+    engine = get_engine(hin)
+    counts = engine.counts(metapath)
     numerator = 2.0 * counts[u, v]
     denominator = counts[u, u] + counts[v, v]
     if denominator == 0:

@@ -18,6 +18,10 @@ filtering stage can be ablated:
 All measures are symmetric, bounded in ``[0, 1]``, and returned as sparse
 matrices with a structurally absent diagonal, matching the conventions of
 :func:`repro.hin.pathsim.pathsim_matrix`.
+
+The matrices themselves are computed and cached by
+:mod:`repro.hin.engine` (one commuting-matrix composition per HIN, shared
+across measures); these wrappers return owned copies.
 """
 
 from __future__ import annotations
@@ -27,54 +31,12 @@ from typing import List
 import numpy as np
 import scipy.sparse as sp
 
-from repro.hin.adjacency import metapath_adjacency, relation_chain
+from repro.hin.engine import MEASURES, get_engine
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
-from repro.hin.pathsim import pathsim_matrix
 
 #: Ranking measures usable by the neighbor filter (plus "random").
-SIMILARITY_MEASURES = ("pathsim", "hetesim", "joinsim", "cosine")
-
-
-def _require_symmetric(metapath: MetaPath, measure: str) -> None:
-    if not metapath.is_symmetric():
-        raise ValueError(
-            f"{measure} requires a symmetric meta-path, got {metapath.name!r}"
-        )
-
-
-def _require_middle_type(metapath: MetaPath, measure: str) -> None:
-    if len(metapath.node_types) % 2 == 0:
-        raise ValueError(
-            f"{measure} needs a middle node type; meta-path {metapath.name!r} "
-            f"has an even number of types (decompose the middle relation first)"
-        )
-
-
-def _row_normalize(matrix: sp.csr_matrix) -> sp.csr_matrix:
-    """Rows rescaled to sum to 1 (zero rows stay zero)."""
-    matrix = sp.csr_matrix(matrix, dtype=np.float64)
-    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
-    scale = np.divide(
-        1.0, row_sums, out=np.zeros_like(row_sums), where=row_sums > 0
-    )
-    return sp.csr_matrix(sp.diags(scale) @ matrix)
-
-
-def _l2_normalize_rows(matrix: sp.csr_matrix) -> sp.csr_matrix:
-    """Rows rescaled to unit L2 norm (zero rows stay zero)."""
-    matrix = sp.csr_matrix(matrix, dtype=np.float64)
-    norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel())
-    scale = np.divide(1.0, norms, out=np.zeros_like(norms), where=norms > 0)
-    return sp.csr_matrix(sp.diags(scale) @ matrix)
-
-
-def _drop_diagonal(matrix: sp.csr_matrix) -> sp.csr_matrix:
-    matrix = matrix.tolil()
-    matrix.setdiag(0.0)
-    matrix = matrix.tocsr()
-    matrix.eliminate_zeros()
-    return matrix
+SIMILARITY_MEASURES = MEASURES
 
 
 def half_commuting_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
@@ -84,14 +46,7 @@ def half_commuting_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
     half-paths from each author to each conference.  Requires a symmetric
     meta-path with an odd number of node types.
     """
-    _require_symmetric(metapath, "half_commuting_matrix")
-    _require_middle_type(metapath, "half_commuting_matrix")
-    chain = relation_chain(hin, metapath)
-    half = chain[: len(chain) // 2]
-    product: sp.csr_matrix = half[0]
-    for matrix in half[1:]:
-        product = sp.csr_matrix(product @ matrix)
-    return product
+    return get_engine(hin).half(metapath).copy()
 
 
 def hetesim_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
@@ -106,19 +61,7 @@ def hetesim_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
 
     Diagonal entries (always 1 for nodes with any half-path) are dropped.
     """
-    _require_symmetric(metapath, "HeteSim")
-    _require_middle_type(metapath, "HeteSim")
-    chain = relation_chain(hin, metapath)
-    half = chain[: len(chain) // 2]
-    reach: sp.csr_matrix = _row_normalize(half[0])
-    for matrix in half[1:]:
-        reach = sp.csr_matrix(reach @ _row_normalize(matrix))
-    unit = _l2_normalize_rows(reach)
-    scores = sp.csr_matrix(unit @ unit.T)
-    # Cosine of probability vectors is bounded by 1; clip accumulated
-    # floating-point excess so downstream ranking code can rely on [0, 1].
-    scores.data = np.clip(scores.data, 0.0, 1.0)
-    return _drop_diagonal(scores)
+    return get_engine(hin).similarity(metapath, "hetesim").copy()
 
 
 def joinsim_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
@@ -128,21 +71,11 @@ def joinsim_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
 
     where ``M`` is the commuting matrix.  Cauchy–Schwarz bounds this by 1;
     it differs from PathSim (arithmetic-mean denominator) in penalizing
-    degree imbalance less severely.
+    degree imbalance less severely.  ``M`` is composed once: both the
+    off-diagonal counts and the self-join diagonal come from the same
+    cached product.
     """
-    _require_symmetric(metapath, "JoinSim")
-    counts = metapath_adjacency(hin, metapath, remove_self_paths=False).tocoo()
-    diag = metapath_adjacency(hin, metapath, remove_self_paths=False).diagonal()
-
-    row, col, data = counts.row, counts.col, counts.data
-    off_diag = row != col
-    row, col, data = row[off_diag], col[off_diag], data[off_diag]
-    denom = np.sqrt(diag[row] * diag[col])
-    valid = denom > 0
-    row, col, data, denom = row[valid], col[valid], data[valid], denom[valid]
-    scores = np.clip(data / denom, 0.0, 1.0)
-    n = counts.shape[0]
-    return sp.csr_matrix((scores, (row, col)), shape=(n, n))
+    return get_engine(hin).similarity(metapath, "joinsim").copy()
 
 
 def cosine_commuting_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
@@ -153,12 +86,7 @@ def cosine_commuting_matrix(hin: HIN, metapath: MetaPath) -> sp.csr_matrix:
     e.g. two authors publishing at the same venues score high under
     ``APCPA`` even with no shared paper.
     """
-    _require_symmetric(metapath, "cosine")
-    counts = metapath_adjacency(hin, metapath, remove_self_paths=False)
-    unit = _l2_normalize_rows(counts)
-    scores = sp.csr_matrix(unit @ unit.T)
-    scores.data = np.clip(scores.data, 0.0, 1.0)
-    return _drop_diagonal(scores)
+    return get_engine(hin).similarity(metapath, "cosine").copy()
 
 
 def similarity_matrix(
@@ -171,17 +99,11 @@ def similarity_matrix(
     measure:
         One of :data:`SIMILARITY_MEASURES`.
     """
-    if measure == "pathsim":
-        return pathsim_matrix(hin, metapath)
-    if measure == "hetesim":
-        return hetesim_matrix(hin, metapath)
-    if measure == "joinsim":
-        return joinsim_matrix(hin, metapath)
-    if measure == "cosine":
-        return cosine_commuting_matrix(hin, metapath)
-    raise ValueError(
-        f"unknown similarity measure {measure!r}; known: {SIMILARITY_MEASURES}"
-    )
+    if measure not in SIMILARITY_MEASURES:
+        raise ValueError(
+            f"unknown similarity measure {measure!r}; known: {SIMILARITY_MEASURES}"
+        )
+    return get_engine(hin).similarity(metapath, measure).copy()
 
 
 def measure_agreement(
@@ -196,10 +118,9 @@ def measure_agreement(
     Diagnostic used by the filtering ablation to quantify how much the
     ranking function actually changes the selected neighbors.
     """
-    from repro.hin.neighbors import _top_k_rows  # local: avoid cycle at import
-
-    lists_a = _top_k_rows(similarity_matrix(hin, metapath, measure_a), k)
-    lists_b = _top_k_rows(similarity_matrix(hin, metapath, measure_b), k)
+    engine = get_engine(hin)
+    lists_a = engine.top_k(metapath, k, measure_a)
+    lists_b = engine.top_k(metapath, k, measure_b)
     overlaps: List[float] = []
     for top_a, top_b in zip(lists_a, lists_b):
         set_a, set_b = set(top_a.tolist()), set(top_b.tolist())

@@ -67,13 +67,19 @@ class TestEndToEnd:
         assert weights[names.index("BRKRB")] >= weights[names.index("BRURB")] - 0.15
 
     def test_more_labels_do_not_hurt_much(self, dblp):
+        # Averaged over two split seeds: a single micro-scale run is noisy
+        # enough that legitimate substrate changes (e.g. deterministic
+        # PathSim tie-breaking) flip the one-seed comparison by <0.001.
         config = ConCHConfig(num_layers=2, **FAST)
         data = prepare_conch_data(dblp, config)
         scores = {}
         for fraction in (0.05, 0.20):
-            split = stratified_split(dblp.labels, fraction, seed=0)
-            trainer = ConCHTrainer(data, config).fit(split)
-            scores[fraction] = trainer.evaluate(split.test)["micro_f1"]
+            per_seed = []
+            for seed in (0, 1):
+                split = stratified_split(dblp.labels, fraction, seed=seed)
+                trainer = ConCHTrainer(data, config).fit(split)
+                per_seed.append(trainer.evaluate(split.test)["micro_f1"])
+            scores[fraction] = float(np.mean(per_seed))
         assert scores[0.20] >= scores[0.05] - 0.1
 
     def test_full_beats_random_neighbors_on_average(self, dblp):
