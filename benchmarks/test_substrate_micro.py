@@ -7,9 +7,12 @@ They guard against performance regressions in the library itself.
 
 The ``substrate``-prefixed benches track the commuting-matrix engine
 (PR: shared memoization of meta-path products): end-to-end
-``prepare_conch_data`` preprocessing, bulk pair lookup, and row-wise
-top-k.  Their numbers in the BENCH output are the regression guard for
-the engine's speedup over the seed's recompute-everything behavior.
+``prepare_conch_data`` preprocessing, bulk pair lookup, row-wise top-k,
+and the batched context-enumeration kernel (PR: pruned frontier
+expansion replacing the per-pair DFS), measured both cold (engine
+invalidated, suffix products recomposed) and warm (pure kernel).  Their
+numbers in the BENCH output are the regression guard for the substrate's
+speedup over the seed's recompute-everything behavior.
 """
 
 from __future__ import annotations
@@ -67,6 +70,52 @@ def test_bench_substrate_prepare_conch_data(benchmark, dblp_small):
     # Compose-once guarantee holds across repeated preprocessing rounds.
     engine = get_engine(dblp_small.hin)
     assert len(engine.compose_log) == len(set(engine.compose_log))
+
+
+def test_bench_substrate_context_kernel_warm(benchmark, dblp_small):
+    """Batched frontier enumeration with a fully warm engine cache.
+
+    Times exactly the kernel (frontier expansion + suffix pruning +
+    truncation) on the densest meta-path's retained pairs; chain,
+    suffix products, and lookup keys are pre-composed.  This is the
+    regression guard for the PR that replaced the per-pair Python DFS.
+    """
+    from repro.hin.context import enumerate_contexts
+
+    metapath = dblp_small.metapaths[2]  # APCPA, the densest
+    nf = NeighborFilter(k=5)
+    pairs = nf.retained_pairs(dblp_small.hin, metapath)
+    engine = get_engine(dblp_small.hin)
+    engine.suffix_products(metapath)  # warm the pruning masks
+    batch = benchmark(
+        enumerate_contexts, dblp_small.hin, metapath, pairs, 8
+    )
+    assert batch.num_pairs == pairs.shape[0]
+    assert batch.instance_ids.shape[0] > 0
+
+
+def test_bench_substrate_context_kernel_cold(benchmark, dblp_small):
+    """Same enumeration from an invalidated engine (cold composition).
+
+    The cold/warm pair makes the composition cost visible separately
+    from the kernel itself (ROADMAP's cold/warm annotation item): cold
+    pays suffix-product composition, warm is pure frontier expansion.
+    """
+    from repro.hin.context import enumerate_contexts
+
+    metapath = dblp_small.metapaths[2]
+    nf = NeighborFilter(k=5)
+    pairs = nf.retained_pairs(dblp_small.hin, metapath)
+    engine = get_engine(dblp_small.hin)
+
+    def cold_enumerate():
+        engine.invalidate()
+        return enumerate_contexts(dblp_small.hin, metapath, pairs, 8)
+
+    batch = benchmark.pedantic(cold_enumerate, rounds=3, iterations=1)
+    assert batch.num_pairs == pairs.shape[0]
+    # Leave the engine warm for the benches that follow.
+    engine.suffix_products(metapath)
 
 
 def test_bench_substrate_pathsim_pairs(benchmark, dblp_small):

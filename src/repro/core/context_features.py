@@ -5,6 +5,19 @@ embeddings of the nodes along it (Eq. 2); a context's initial feature is
 the MEAN of its instances' embeddings (Eq. 3).  Learning context
 embeddings from scratch would add ``O(num_contexts × dim)`` parameters;
 this construction keeps them as fixed inputs.
+
+The batch path (:func:`context_features_from_batch`) computes both means
+fully vectorized from the enumeration kernel's flat
+``(total_instances, path_len)`` id matrix: Eq. 2 is a sum of per-position
+embedding gathers, Eq. 3 a contiguous segment sum (``np.add.reduceat``
+over the batch's instance boundaries) — no per-instance Python.  A pair whose context is empty
+(its cap emptied it, or it has no instances at all) falls back to the
+mean of its endpoint embeddings; such pairs carry ``truncated=True``
+whenever instances exist but were not kept, so the fallback is always
+visible to callers.  The per-instance helpers
+(:func:`path_instance_embedding`, :func:`context_embedding`) remain for
+single-context consumers and as the reference the vectorized path is
+tested against.
 """
 
 from __future__ import annotations
@@ -14,7 +27,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.hin.bipartite import BipartiteGraph
-from repro.hin.context import MetaPathContext
+from repro.hin.context import ContextBatch, MetaPathContext
 from repro.hin.metapath import MetaPath
 
 
@@ -41,9 +54,7 @@ def context_embedding(
 ) -> np.ndarray:
     """Eq. 3: mean of the context's instance embeddings.
 
-    An empty context (possible if enumeration was capped at zero, which
-    should not happen for retained pairs) falls back to the mean of the
-    endpoint embeddings.
+    An empty context falls back to the mean of the endpoint embeddings.
     """
     if context.instances:
         instance_vectors = [
@@ -56,32 +67,90 @@ def context_embedding(
     return 0.5 * (table[context.u] + table[context.v])
 
 
+def _check_embeddings(
+    metapath: MetaPath, embeddings: Dict[str, np.ndarray]
+) -> int:
+    missing = [t for t in metapath.node_types if t not in embeddings]
+    if missing:
+        raise KeyError(f"missing embeddings for node types {missing}")
+    return embeddings[metapath.source_type].shape[1]
+
+
+def context_features_from_batch(
+    batch: ContextBatch,
+    embeddings: Dict[str, np.ndarray],
+) -> np.ndarray:
+    """Vectorized Eqs. 2–3 over a :class:`ContextBatch`.
+
+    Returns the ``(num_pairs, dim)`` feature matrix; pairs with no kept
+    instances get the endpoint-mean fallback.
+    """
+    metapath = batch.metapath
+    dim = _check_embeddings(metapath, embeddings)
+    node_types = metapath.node_types
+    ids = batch.instance_ids
+    total = ids.shape[0]
+
+    # Eq. 2 for every instance at once: per-position embedding gathers.
+    instance_embeddings = np.zeros((total, dim))
+    for position, node_type in enumerate(node_types):
+        instance_embeddings += embeddings[node_type][ids[:, position]]
+    instance_embeddings /= len(node_types)
+
+    # Eq. 3: segment means over each pair's instance block.  Instances
+    # are grouped contiguously per pair (ContextBatch.indptr), so one
+    # reduceat over the non-empty segment starts sums every block; an
+    # empty segment contributes no rows to its successor's span.
+    features = np.zeros((batch.num_pairs, dim))
+    sizes = batch.sizes
+    covered = sizes > 0
+    nonempty = np.flatnonzero(covered)
+    if nonempty.size:
+        starts = batch.indptr[nonempty]
+        sums = np.add.reduceat(instance_embeddings, starts, axis=0)
+        features[nonempty] = sums / sizes[nonempty, None]
+
+    if not covered.all():
+        table = embeddings[metapath.source_type]
+        empty = ~covered
+        features[empty] = 0.5 * (
+            table[batch.pairs[empty, 0]] + table[batch.pairs[empty, 1]]
+        )
+    return features
+
+
 def build_context_features(
     bipartite: BipartiteGraph,
     embeddings: Dict[str, np.ndarray],
 ) -> np.ndarray:
     """Feature matrix ``(num_contexts, dim)`` for one bipartite graph.
 
+    Uses the flat :class:`ContextBatch` fast path when the graph carries
+    one (anything built by
+    :func:`repro.hin.bipartite.build_bipartite_graph` with
+    ``enumerate_instances=True``); falls back to the per-context loop for
+    hand-assembled graphs that only hold a context list.
+
     Parameters
     ----------
     bipartite:
         Must have been built with ``enumerate_instances=True`` so the
-        per-pair instance lists are available.
+        per-pair instances are available.
     embeddings:
         Per-type initial embeddings, e.g. from
         :func:`repro.embedding.metapath2vec.metapath2vec_embeddings`.
     """
-    if bipartite.contexts is None:
+    if bipartite.context_batch is not None:
+        return context_features_from_batch(bipartite.context_batch, embeddings)
+    contexts: Optional[List[MetaPathContext]] = bipartite.contexts
+    if contexts is None:
         raise ValueError(
             "bipartite graph lacks enumerated contexts; build it with "
             "enumerate_instances=True"
         )
     metapath = bipartite.metapath
-    missing = [t for t in metapath.node_types if t not in embeddings]
-    if missing:
-        raise KeyError(f"missing embeddings for node types {missing}")
-    dim = embeddings[metapath.source_type].shape[1]
+    dim = _check_embeddings(metapath, embeddings)
     features = np.zeros((bipartite.num_contexts, dim))
-    for index, context in enumerate(bipartite.contexts):
+    for index, context in enumerate(contexts):
         features[index] = context_embedding(context, metapath, embeddings, dim)
     return features

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.trainer import ConCHData, ConCHTrainer
 from repro.data.base import HINDataset
-from repro.hin.context import enumerate_path_instances
+from repro.hin.context import enumerate_contexts
 from repro.hin.metapath import MetaPath
 from repro.hin.pathsim import pathsim_single
 
@@ -128,23 +128,30 @@ def explain_node(
             attention_weight=float(node_attention[index]),
         )
         # Neighbors of `node` among the retained pairs.
-        pairs = mp_data.incidence.tocsc()
         row = mp_data.neighbor_adj.tocsr()
         neighbors = row.indices[row.indptr[node]: row.indptr[node + 1]]
         scored = [
             (int(v), pathsim_single(hin, metapath, node, int(v))) for v in neighbors
         ]
         scored.sort(key=lambda item: -item[1])
-        for neighbor, score in scored[:max_neighbors]:
-            context = enumerate_path_instances(
-                hin, metapath, node, neighbor, max_instances=max_instances
-            )
+        top = scored[:max_neighbors]
+        # One batched kernel call per meta-path covers every listed
+        # neighbor; the kernel canonicalizes each (node, neighbor) pair,
+        # so instance tuples run context.u -> context.v regardless of
+        # which endpoint is being explained.
+        pair_array = np.array(
+            [[node, neighbor] for neighbor, _ in top], dtype=np.int64
+        ).reshape(-1, 2)
+        batch = enumerate_contexts(
+            hin, metapath, pair_array, max_instances=max_instances
+        )
+        for position, (neighbor, score) in enumerate(top):
             mp_evidence.neighbors.append(
                 NeighborEvidence(
                     neighbor=neighbor,
                     pathsim=score,
                     neighbor_label=int(labels[neighbor]),
-                    instances=context.instances,
+                    instances=batch.context(position).instances,
                 )
             )
         evidence.append(mp_evidence)

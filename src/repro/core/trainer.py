@@ -43,6 +43,9 @@ class MetaPathData:
     incidence: sp.csr_matrix          # objects × contexts
     context_features: np.ndarray      # (num_contexts, context_dim)
     neighbor_adj: sp.csr_matrix       # objects × objects (for ConCH_nc)
+    #: Contexts whose instance lists hit the per-pair cap (0 when the
+    #: ConCH_nc path skips enumeration entirely).
+    truncated_contexts: int = 0
 
     @property
     def num_contexts(self) -> int:
@@ -131,9 +134,14 @@ def prepare_conch_data(
             max_instances=config.max_instances,
         )
         if config.use_contexts:
+            # The bipartite graph carries the kernel's flat ContextBatch;
+            # feature construction consumes it without ever materializing
+            # per-instance Python tuples.
             context_features = build_context_features(bipartite, embeddings)
+            truncated = int(bipartite.context_batch.truncated.sum())
         else:
             context_features = np.zeros((bipartite.num_contexts, config.context_dim))
+            truncated = 0
         neighbor_adj = neighbor_adjacency_from_pairs(bipartite.pairs, num_objects)
         metapath_data.append(
             MetaPathData(
@@ -141,6 +149,7 @@ def prepare_conch_data(
                 incidence=bipartite.incidence,
                 context_features=context_features,
                 neighbor_adj=neighbor_adj,
+                truncated_contexts=truncated,
             )
         )
 

@@ -61,7 +61,13 @@ from repro.hin.metagraph import (
     metagraph_pathsim,
     top_k_metagraph_neighbors,
 )
-from repro.hin.context import enumerate_path_instances, extract_contexts, MetaPathContext
+from repro.hin.context import (
+    ContextBatch,
+    enumerate_contexts,
+    enumerate_path_instances,
+    extract_contexts,
+    MetaPathContext,
+)
 from repro.hin.bipartite import BipartiteGraph, build_bipartite_graph
 from repro.hin.analysis import MetaPathStats, dataset_report, label_homophily, metapath_stats
 from repro.hin.io import load_hin, save_hin
@@ -96,6 +102,8 @@ __all__ = [
     "metagraph_binary_adjacency",
     "metagraph_pathsim",
     "top_k_metagraph_neighbors",
+    "ContextBatch",
+    "enumerate_contexts",
     "enumerate_path_instances",
     "extract_contexts",
     "MetaPathContext",

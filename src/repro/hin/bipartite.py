@@ -18,19 +18,17 @@ the mutual update (Eqs. 4–5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.hin.context import MetaPathContext
+from repro.hin.context import ContextBatch, MetaPathContext, enumerate_contexts
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
 from repro.hin.neighbors import NeighborFilter
 
 
-@dataclass
 class BipartiteGraph:
     """Incidence structure between target objects and meta-path contexts.
 
@@ -45,16 +43,39 @@ class BipartiteGraph:
         objects ``pairs[j, 0]`` and ``pairs[j, 1]``.
     incidence:
         Sparse ``(num_objects, m)`` binary matrix ``B``.
-    contexts:
-        Optional list of enumerated :class:`MetaPathContext` (same order
+    context_batch:
+        Flat enumerated instances (:class:`ContextBatch`, same pair order
         as ``pairs``); present when instance-level detail was requested.
+        The vectorized feature builder consumes this directly.
+    contexts:
+        Per-pair :class:`MetaPathContext` view, materialized lazily from
+        the batch on first access (tuple lists are Python-heavy; the hot
+        path never touches them).  Hand-assembled graphs may pass an
+        explicit list instead of a batch.
     """
 
-    metapath: MetaPath
-    num_objects: int
-    pairs: np.ndarray
-    incidence: sp.csr_matrix
-    contexts: Optional[List[MetaPathContext]] = None
+    def __init__(
+        self,
+        metapath: MetaPath,
+        num_objects: int,
+        pairs: np.ndarray,
+        incidence: sp.csr_matrix,
+        *,
+        context_batch: Optional[ContextBatch] = None,
+        contexts: Optional[List[MetaPathContext]] = None,
+    ):
+        self.metapath = metapath
+        self.num_objects = num_objects
+        self.pairs = pairs
+        self.incidence = incidence
+        self.context_batch = context_batch
+        self._contexts = contexts
+
+    @property
+    def contexts(self) -> Optional[List[MetaPathContext]]:
+        if self._contexts is None and self.context_batch is not None:
+            self._contexts = self.context_batch.to_contexts()
+        return self._contexts
 
     @property
     def num_contexts(self) -> int:
@@ -119,16 +140,16 @@ def build_bipartite_graph(
     pairs = neighbor_filter.retained_pairs(hin, metapath, rng=rng)
     incidence = incidence_from_pairs(pairs, num_objects)
 
-    contexts: Optional[List[MetaPathContext]] = None
+    context_batch: Optional[ContextBatch] = None
     if enumerate_instances:
-        from repro.hin.context import extract_contexts
-
-        contexts = extract_contexts(hin, metapath, pairs, max_instances=max_instances)
+        context_batch = enumerate_contexts(
+            hin, metapath, pairs, max_instances=max_instances
+        )
 
     return BipartiteGraph(
         metapath=metapath,
         num_objects=num_objects,
         pairs=pairs,
         incidence=incidence,
-        contexts=contexts,
+        context_batch=context_batch,
     )

@@ -6,21 +6,60 @@ context into a first-class node of a bipartite graph; its initial feature
 vector is built by :mod:`repro.core.context_features` from the instances
 enumerated here (Eqs. 2–3).
 
-Enumeration is exact up to a per-pair cap (``max_instances``): on
-hub-heavy graphs the number of instances of long meta-paths can explode,
-and the paper's context feature is a *mean* over instances, which a
-truncated enumeration approximates unbiasedly enough at our scale.
+Enumeration strategy
+--------------------
+All retained pairs of a meta-path are enumerated **together** by a
+batched frontier-expansion kernel (:func:`enumerate_contexts`) over the
+CSR hop matrices cached in :class:`repro.hin.engine.CommutingEngine`:
+
+- The frontier is a flat ``(num_partial_paths, depth+1)`` id matrix plus
+  an owner (pair index) array; one hop expands every partial path at once
+  through ``indptr``/``indices`` slicing — no per-node Python loop.
+- Each new frontier is pruned with *backward reachability masks* served
+  by the engine's cached suffix chain products
+  (:meth:`CommutingEngine.suffix_products`): a partial path whose head
+  cannot reach its pair's target through the remaining hops is dropped
+  before it is ever expanded, so every surviving partial path completes
+  into at least one instance and no dead branch costs work.
+- Work and memory are therefore ``O(total retained instance prefixes)``,
+  and per-pair caps bound the frontier at ``max_instances`` partial paths
+  per pair per depth.
+
+Ordering and truncation semantics
+---------------------------------
+Instances are produced in **ascending lexicographic order** of their node
+id tuples (CSR column indices are sorted, and expansion preserves order).
+When a pair has more than ``max_instances`` instances, exactly the first
+``max_instances`` in that order are kept and the context is marked
+``truncated`` — a deterministic prefix, unlike the seed DFS whose LIFO
+pops kept an arbitrary tail-biased subset.  Exact (uncapped) instance
+counts come for free from the cached commuting matrix, so ``truncated``
+is always consistent: ``truncated == (total_count > size)``, including
+when a cap leaves a retained pair's context empty.
+
+Endpoint canonicalization
+-------------------------
+For meta-paths whose two endpoint types coincide (the only case ConCH
+builds contexts for), pairs are canonicalized to ``u = min, v = max``
+**before** enumeration, so ``instances[i][0] == context.u`` and
+``instances[i][-1] == context.v`` for both argument orders.  For
+asymmetric-endpoint meta-paths the passed orientation is kept (swapping
+ids across types would be meaningless).
+
+A fixed-semantics per-pair DFS (:func:`dfs_enumerate_path_instances`) is
+retained as the brute-force reference implementation for equivalence
+tests; :func:`enumerate_path_instances` and :func:`extract_contexts` are
+thin compatibility wrappers over the kernel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
-import scipy.sparse as sp
 
-from repro.hin.engine import get_engine
+from repro.hin.engine import csr_pair_values, get_engine
 from repro.hin.graph import HIN
 from repro.hin.metapath import MetaPath
 
@@ -32,27 +71,303 @@ class MetaPathContext:
     Attributes
     ----------
     u, v:
-        Endpoint node ids (within the target type), ``u < v``.
+        Endpoint node ids (within the target type), canonicalized to
+        ``u <= v`` when the meta-path's endpoint types coincide.
     instances:
         Path instances as tuples of node ids, one id per meta-path
         position (so each tuple has ``len(metapath)`` entries, starting
-        with ``u`` and ending with ``v``).
+        with ``u`` and ending with ``v``), in ascending lexicographic
+        order.
     truncated:
-        True when enumeration stopped at the cap.
+        True when the instance list is an (exact, deterministic) prefix
+        of the full instance set rather than all of it.
+    total_count:
+        Exact number of instances connecting the pair, regardless of
+        caps, when known (the kernel reads it off the cached commuting
+        matrix); None for hand-built contexts.
     """
 
     u: int
     v: int
     instances: List[Tuple[int, ...]] = field(default_factory=list)
     truncated: bool = False
+    total_count: Optional[int] = None
 
     @property
     def size(self) -> int:
         return len(self.instances)
 
 
-def _row_neighbors(matrix: sp.csr_matrix, row: int) -> np.ndarray:
-    return matrix.indices[matrix.indptr[row]: matrix.indptr[row + 1]]
+@dataclass
+class ContextBatch:
+    """All contexts of one meta-path's retained pairs, in flat arrays.
+
+    The kernel's native output: instances of every pair concatenated into
+    one ``(total_instances, path_len)`` id matrix with CSR-style segment
+    boundaries, ready for vectorized feature construction
+    (:func:`repro.core.context_features.build_context_features`) without
+    materializing per-instance Python tuples.
+
+    Attributes
+    ----------
+    metapath:
+        The enumerated meta-path.
+    pairs:
+        ``(m, 2)`` canonicalized endpoint pairs, in input order.
+    instance_ids:
+        ``(total_kept, L)`` int64 matrix; row = one path instance.
+    indptr:
+        ``(m + 1,)`` segment boundaries: pair ``j``'s instances are rows
+        ``indptr[j]:indptr[j+1]`` of ``instance_ids``, in ascending
+        lexicographic order.
+    total_counts:
+        ``(m,)`` exact uncapped instance counts per pair.
+    truncated:
+        ``(m,)`` bool; ``total_counts > sizes``.
+    """
+
+    metapath: MetaPath
+    pairs: np.ndarray
+    instance_ids: np.ndarray
+    indptr: np.ndarray
+    total_counts: np.ndarray
+    truncated: np.ndarray
+
+    @property
+    def num_pairs(self) -> int:
+        return self.pairs.shape[0]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Instances kept per pair (``(m,)``)."""
+        return np.diff(self.indptr)
+
+    def owner(self) -> np.ndarray:
+        """Pair index of every row of ``instance_ids`` (non-decreasing)."""
+        return np.repeat(
+            np.arange(self.num_pairs, dtype=np.int64), self.sizes
+        )
+
+    def context(self, index: int) -> MetaPathContext:
+        """Materialize one pair's :class:`MetaPathContext`."""
+        lo, hi = int(self.indptr[index]), int(self.indptr[index + 1])
+        rows = self.instance_ids[lo:hi]
+        return MetaPathContext(
+            u=int(self.pairs[index, 0]),
+            v=int(self.pairs[index, 1]),
+            instances=[tuple(int(x) for x in row) for row in rows],
+            truncated=bool(self.truncated[index]),
+            total_count=int(self.total_counts[index]),
+        )
+
+    def to_contexts(self) -> List[MetaPathContext]:
+        """Materialize the legacy per-pair context list (compat path)."""
+        return [self.context(j) for j in range(self.num_pairs)]
+
+
+def _canonicalize_pairs(metapath: MetaPath, pairs: np.ndarray) -> np.ndarray:
+    """Sort each pair ascending when the endpoint types coincide."""
+    if metapath.source_type != metapath.target_type:
+        return pairs
+    return np.stack(
+        [np.minimum(pairs[:, 0], pairs[:, 1]), np.maximum(pairs[:, 0], pairs[:, 1])],
+        axis=1,
+    )
+
+
+def _cap_segments(owner: np.ndarray, num_segments: int, cap: int) -> np.ndarray:
+    """Mask keeping the first ``cap`` entries of each owner segment.
+
+    ``owner`` must be non-decreasing (the kernel's expansion preserves
+    pair grouping), so each segment is contiguous and the within-segment
+    rank is a subtraction against segment starts.
+    """
+    counts = np.bincount(owner, minlength=num_segments)
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    ranks = np.arange(owner.size, dtype=np.int64) - starts[owner]
+    return ranks < cap
+
+
+def enumerate_contexts(
+    hin: HIN,
+    metapath: MetaPath,
+    pairs: np.ndarray,
+    max_instances: int = 32,
+) -> ContextBatch:
+    """Batched frontier-expansion enumeration of all pairs' contexts.
+
+    One hop-synchronous pass over the meta-path expands every pair's
+    partial paths together; see the module docstring for the pruning,
+    ordering, and truncation guarantees.
+
+    Parameters
+    ----------
+    pairs:
+        ``(m, 2)`` node-id pairs, e.g. from
+        :meth:`repro.hin.neighbors.NeighborFilter.retained_pairs`; each
+        pair is canonicalized to ascending order when the meta-path's
+        endpoint types coincide.
+    max_instances:
+        Per-pair cap; the first ``max_instances`` instances in ascending
+        lexicographic order are kept.
+    """
+    if max_instances < 1:
+        raise ValueError(f"max_instances must be >= 1, got {max_instances}")
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        pairs = pairs.reshape(0, 2)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(f"pairs must have shape (m, 2), got {pairs.shape}")
+
+    engine = get_engine(hin)
+    chain = engine.chain(metapath)
+    hops = len(chain)
+    path_len = hops + 1
+    pairs = _canonicalize_pairs(metapath, pairs)
+    m = pairs.shape[0]
+
+    total_counts = engine.pair_counts(metapath, pairs).astype(np.int64)
+    if m == 0 or total_counts.sum() == 0:
+        return ContextBatch(
+            metapath=metapath,
+            pairs=pairs,
+            instance_ids=np.empty((0, path_len), dtype=np.int64),
+            indptr=np.zeros(m + 1, dtype=np.int64),
+            total_counts=total_counts,
+            truncated=np.zeros(m, dtype=bool),
+        )
+
+    suffixes = engine.suffix_products(metapath)
+    targets_per_pair = pairs[:, 1]
+
+    # Position-0 frontier: one partial path per connectable pair.  The
+    # totals>0 filter *is* the suffix-product prune at position 0.
+    alive = np.flatnonzero(total_counts > 0)
+    owner = alive.astype(np.int64)
+    paths = pairs[alive, 0][:, None]
+
+    for depth in range(hops - 1):
+        # Expand position `depth` → `depth+1` for every partial path.
+        matrix = chain[depth]
+        heads = paths[:, -1]
+        starts = matrix.indptr[heads].astype(np.int64)
+        degrees = matrix.indptr[heads + 1].astype(np.int64) - starts
+        total = int(degrees.sum())
+        parent = np.repeat(np.arange(heads.size, dtype=np.int64), degrees)
+        ends = np.cumsum(degrees)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            ends - degrees, degrees
+        )
+        nodes = matrix.indices[np.repeat(starts, degrees) + offsets].astype(
+            np.int64
+        )
+        new_owner = owner[parent]
+
+        # Backward-reachability prune: drop partial paths whose head
+        # cannot reach the pair's target through the remaining hops.
+        position = depth + 1
+        completions = csr_pair_values(
+            suffixes[position],
+            nodes,
+            targets_per_pair[new_owner],
+            keys=engine.suffix_pair_keys(metapath, position),
+        )
+        keep = completions > 0.0
+        # Per-pair cap: every survivor completes at least once, so the
+        # first `max_instances` instances come from the first
+        # `max_instances` partial paths of each pair.
+        keep[keep] = _cap_segments(new_owner[keep], m, max_instances)
+
+        parent, nodes, owner = parent[keep], nodes[keep], new_owner[keep]
+        paths = np.concatenate([paths[parent], nodes[:, None]], axis=1)
+        if owner.size == 0:
+            break
+
+    if owner.size:
+        # Final position: pruning guaranteed adjacency to the target, so
+        # completion is appending each pair's target id (for hops == 1
+        # the totals>0 filter played that role).
+        paths = np.concatenate(
+            [paths, targets_per_pair[owner][:, None]], axis=1
+        )
+        keep = _cap_segments(owner, m, max_instances)
+        paths, owner = paths[keep], owner[keep]
+    else:
+        paths = np.empty((0, path_len), dtype=np.int64)
+
+    sizes = np.bincount(owner, minlength=m)
+    indptr = np.concatenate(([0], np.cumsum(sizes))).astype(np.int64)
+    return ContextBatch(
+        metapath=metapath,
+        pairs=pairs,
+        instance_ids=paths,
+        indptr=indptr,
+        total_counts=total_counts,
+        truncated=total_counts > sizes,
+    )
+
+
+def dfs_enumerate_path_instances(
+    hin: HIN,
+    metapath: MetaPath,
+    u: int,
+    v: int,
+    max_instances: int = 32,
+    max_expansions: int = 10_000,
+) -> MetaPathContext:
+    """Reference per-pair DFS with the kernel's exact semantics.
+
+    Kept as the brute-force oracle the frontier kernel is tested against
+    (and as a fallback that needs no suffix products).  Semantics match
+    :func:`enumerate_contexts` whenever ``max_expansions`` is not hit:
+    canonical endpoint order, ascending lexicographic instance order,
+    and a deterministic-prefix truncation policy.
+
+    ``max_expansions`` bounds *memory*, not just pops: a node is only
+    pushed while the budget lasts, so the stack never grows past the
+    expansion budget.
+    """
+    pair = _canonicalize_pairs(metapath, np.array([[u, v]], dtype=np.int64))
+    u, v = int(pair[0, 0]), int(pair[0, 1])
+    engine = get_engine(hin)
+    chain = engine.chain(metapath)
+    hops = len(chain)
+    context = MetaPathContext(
+        u=u, v=v, total_count=int(engine.pair_counts(metapath, pair)[0])
+    )
+    last = chain[-1]
+    expansions = 0
+    exhausted = False
+
+    # Iterative DFS carrying the partial path; neighbors are pushed in
+    # reverse so LIFO pops visit them in ascending id order.
+    stack: List[Tuple[int, Tuple[int, ...]]] = [(0, (u,))]
+    while stack and not exhausted:
+        depth, path = stack.pop()
+        node = path[-1]
+        if depth == hops - 1:
+            # Final hop: membership test node -> v (indices sorted by the
+            # engine's base() guarantee).
+            row = last.indices[last.indptr[node]: last.indptr[node + 1]]
+            position = np.searchsorted(row, v)
+            if position < row.size and row[position] == v:
+                context.instances.append(path + (v,))
+                if len(context.instances) >= max_instances:
+                    exhausted = True
+            continue
+        matrix = chain[depth]
+        neighbors = matrix.indices[matrix.indptr[node]: matrix.indptr[node + 1]]
+        for neighbor in neighbors[::-1]:
+            if expansions >= max_expansions:
+                exhausted = True
+                break
+            expansions += 1
+            stack.append((depth + 1, path + (int(neighbor),)))
+
+    # The flag is exact, not "did a budget trip": a pair whose instance
+    # count equals the cap is complete, hence not truncated.
+    context.truncated = context.total_count > len(context.instances)
+    return context
 
 
 def enumerate_path_instances(
@@ -63,40 +378,24 @@ def enumerate_path_instances(
     max_instances: int = 32,
     max_expansions: int = 10_000,
 ) -> MetaPathContext:
-    """Enumerate path instances of ``metapath`` from ``u`` to ``v``.
+    """Enumerate path instances of ``metapath`` between ``u`` and ``v``.
 
-    Depth-first over the per-hop adjacency chain; stops after
-    ``max_instances`` instances or ``max_expansions`` node expansions.
+    Thin single-pair wrapper over the batched frontier kernel
+    (:func:`enumerate_contexts`); ``max_expansions`` is accepted for
+    backward compatibility but unused — the kernel's suffix pruning never
+    expands a dead branch, so its work is bounded by the instances kept.
     """
-    chain = get_engine(hin).chain(metapath)
-    hops = len(chain)
-    context = MetaPathContext(u=min(u, v), v=max(u, v))
-    # Last-hop reverse adjacency: which nodes at position l-1 connect to v.
-    last = chain[-1]
-    expansions = 0
-
-    # Iterative DFS carrying the partial path.
-    stack: List[Tuple[int, Tuple[int, ...]]] = [(0, (u,))]
-    while stack:
-        depth, path = stack.pop()
-        node = path[-1]
-        if depth == hops - 1:
-            # Final hop: check direct adjacency node -> v.
-            row = _row_neighbors(last, node)
-            position = np.searchsorted(row, v)
-            if position < row.size and row[position] == v:
-                context.instances.append(path + (v,))
-                if len(context.instances) >= max_instances:
-                    context.truncated = True
-                    return context
-            continue
-        neighbors = _row_neighbors(chain[depth], node)
-        for neighbor in neighbors:
-            expansions += 1
-            if expansions > max_expansions:
-                context.truncated = True
-                return context
-            stack.append((depth + 1, path + (int(neighbor),)))
+    del max_expansions  # kernel needs no expansion budget
+    batch = enumerate_contexts(
+        hin, metapath, np.array([[u, v]], dtype=np.int64), max_instances
+    )
+    context = batch.context(0)
+    # All instances share the kernel's endpoint structure (first column
+    # is u, the appended final column is v), so checking one is enough.
+    assert not context.instances or (
+        context.instances[0][0] == context.u
+        and context.instances[0][-1] == context.v
+    ), "instance tuples must span (context.u, context.v)"
     return context
 
 
@@ -108,24 +407,14 @@ def extract_contexts(
 ) -> List[MetaPathContext]:
     """Enumerate contexts for all retained pairs of a meta-path.
 
-    Parameters
-    ----------
-    pairs:
-        Array of shape ``(m, 2)`` of node-id pairs (``u < v``), e.g. from
-        :meth:`repro.hin.neighbors.NeighborFilter.retained_pairs`.
+    Compatibility wrapper materializing :func:`enumerate_contexts` into
+    per-pair :class:`MetaPathContext` objects; vectorized consumers
+    should use the :class:`ContextBatch` directly.
     """
     pairs = np.asarray(pairs, dtype=np.int64)
     if pairs.size == 0:
         return []
-    if pairs.ndim != 2 or pairs.shape[1] != 2:
-        raise ValueError(f"pairs must have shape (m, 2), got {pairs.shape}")
-    contexts: List[MetaPathContext] = []
-    for u, v in pairs:
-        context = enumerate_path_instances(
-            hin, metapath, int(u), int(v), max_instances=max_instances
-        )
-        contexts.append(context)
-    return contexts
+    return enumerate_contexts(hin, metapath, pairs, max_instances).to_contexts()
 
 
 def count_instances(hin: HIN, metapath: MetaPath, u: int, v: int) -> int:

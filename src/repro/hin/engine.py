@@ -246,11 +246,20 @@ class CommutingEngine:
     # -------------------------------------------------------------- #
 
     def base(self, src_type: str, dst_type: str) -> sp.csr_matrix:
-        """Cached per-hop biadjacency (union of relations src → dst)."""
+        """Cached per-hop biadjacency (union of relations src → dst).
+
+        Column indices are guaranteed sorted within each row: the context
+        kernel and the DFS fallback binary-search these index arrays
+        (``np.searchsorted`` membership tests), which silently return
+        wrong answers on unsorted CSR.
+        """
         self._sync()
         key = (src_type, dst_type)
         if key not in self._base:
-            self._base[key] = self._hin.adjacency(src_type, dst_type)
+            matrix = self._hin.adjacency(src_type, dst_type)
+            if not matrix.has_sorted_indices:
+                matrix.sort_indices()
+            self._base[key] = matrix
         return self._base[key]
 
     def _validate(self, metapath: MetaPath) -> None:
@@ -400,6 +409,64 @@ class CommutingEngine:
         if key not in self._views:
             self._views[key] = csr_pair_keys(self.counts(metapath))
         return self._views[key]
+
+    # -------------------------------------------------------------- #
+    # Suffix (reverse-chain) views — pruning masks for the context
+    # kernel
+    # -------------------------------------------------------------- #
+
+    def suffix_products(self, metapath: MetaPath) -> List[sp.csr_matrix]:
+        """Cached suffix chain products ``position → target endpoint``.
+
+        Entry ``j`` is the product of hops ``j..L-2`` of the meta-path,
+        i.e. the matrix whose ``(x, v)`` entry counts path completions
+        from a node ``x`` at meta-path position ``j`` to a target-type
+        node ``v``.  Entry 0 is the full commuting matrix and entry
+        ``L-2`` is the last hop's biadjacency.  The batched frontier
+        kernel (:mod:`repro.hin.context`) uses these as backward
+        reachability masks: a partial path whose head has a zero suffix
+        entry for its pair's target can never complete and is pruned
+        before expansion.
+
+        Suffix sub-products are shared through the same memo as every
+        other chain (the right-association split candidate composes
+        ``(T1, T2) @ (T2..Tl+1)``, so ``suffix[j]`` reuses
+        ``suffix[j+1]`` when that association wins).
+        """
+        self._validate(metapath)
+        key = ("suffix_products", tuple(metapath.node_types))
+        if key not in self._views:
+            types = tuple(metapath.node_types)
+            self._views[key] = [
+                self._product(types[j:]) for j in range(len(types) - 1)
+            ]
+        return list(self._views[key])
+
+    def suffix_pair_keys(self, metapath: MetaPath, position: int) -> np.ndarray:
+        """Cached ``csr_pair_keys`` of one suffix product (kernel lookups)."""
+        self._sync()
+        key = ("suffix_keys", tuple(metapath.node_types), int(position))
+        if key not in self._views:
+            suffix = self.suffix_products(metapath)[position]
+            self._views[key] = csr_pair_keys(suffix)
+        return self._views[key]
+
+    def pair_counts(self, metapath: MetaPath, pairs: np.ndarray) -> np.ndarray:
+        """Exact path-instance counts for explicit ``(u, v)`` pairs.
+
+        One ``searchsorted`` against the cached commuting matrix — the
+        vectorized form of :func:`repro.hin.context.count_instances`.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise ValueError(f"pairs must have shape (m, 2), got {pairs.shape}")
+        counts = self.counts(metapath)
+        return csr_pair_values(
+            counts,
+            pairs[:, 0],
+            pairs[:, 1],
+            keys=self._pair_lookup_keys(metapath),
+        )
 
     # -------------------------------------------------------------- #
     # Similarity measures

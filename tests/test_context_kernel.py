@@ -1,0 +1,322 @@
+"""Tests for the batched frontier context kernel (vs the reference DFS).
+
+Covers the PR's contract: bit-identical instance sets between
+:func:`repro.hin.context.enumerate_contexts` and the brute-force DFS,
+exact sizes against the commuting matrix when under caps, canonical
+endpoint ordering for both argument orders, deterministic ascending
+truncation, and vectorized-vs-loop equality of the context feature
+builder.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.context_features import (
+    build_context_features,
+    context_embedding,
+    context_features_from_batch,
+)
+from repro.hin import (
+    HIN,
+    MetaPath,
+    NeighborFilter,
+    build_bipartite_graph,
+    enumerate_contexts,
+    enumerate_path_instances,
+)
+from repro.hin.context import (
+    count_instances,
+    dfs_enumerate_path_instances,
+)
+from repro.hin.engine import get_engine
+from tests.test_hin_graph import movie_hin
+
+
+def random_hin(seed: int, n_a: int = 12, n_b: int = 18, n_c: int = 5) -> HIN:
+    """A small random A/B/C tripartite HIN for exhaustive comparisons."""
+    rng = np.random.default_rng(seed)
+    hin = HIN(name=f"rand{seed}")
+    hin.add_node_type("A", n_a)
+    hin.add_node_type("B", n_b)
+    hin.add_node_type("C", n_c)
+    n_ab = max(1, int(n_a * n_b * 0.15))
+    n_bc = max(1, int(n_b * n_c * 0.3))
+    hin.add_edges(
+        "ab", "A", "B",
+        rng.integers(0, n_a, size=n_ab), rng.integers(0, n_b, size=n_ab),
+    )
+    hin.add_edges(
+        "bc", "B", "C",
+        rng.integers(0, n_b, size=n_bc), rng.integers(0, n_c, size=n_bc),
+    )
+    return hin
+
+
+def all_pairs(n: int) -> np.ndarray:
+    u, v = np.triu_indices(n, k=1)
+    return np.stack([u, v], axis=1)
+
+
+class TestKernelEquivalence:
+    """Frontier kernel == brute-force DFS, instance for instance."""
+
+    @pytest.mark.parametrize("mp_name", ["MAM", "MAMAM", "MDMPM"])
+    def test_movie_hin_all_pairs_uncapped(self, mp_name):
+        hin = movie_hin()
+        mp = MetaPath.parse(mp_name)
+        pairs = all_pairs(4)
+        batch = enumerate_contexts(hin, mp, pairs, max_instances=10_000)
+        for j, (u, v) in enumerate(pairs):
+            ref = dfs_enumerate_path_instances(
+                hin, mp, int(u), int(v),
+                max_instances=10_000, max_expansions=10**9,
+            )
+            got = batch.context(j)
+            assert got.instances == ref.instances
+            assert not got.truncated and not ref.truncated
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("mp_name", ["ABA", "ABCBA"])
+    def test_random_hins_uncapped(self, seed, mp_name):
+        hin = random_hin(seed)
+        mp = MetaPath.parse(mp_name)
+        pairs = all_pairs(hin.num_nodes("A"))
+        batch = enumerate_contexts(hin, mp, pairs, max_instances=10**6)
+        for j, (u, v) in enumerate(pairs):
+            ref = dfs_enumerate_path_instances(
+                hin, mp, int(u), int(v),
+                max_instances=10**6, max_expansions=10**9,
+            )
+            assert batch.context(j).instances == ref.instances
+
+    @pytest.mark.parametrize("cap", [1, 2, 5])
+    def test_capped_sets_match_dfs(self, cap):
+        """Both implementations keep the same deterministic prefix."""
+        hin = random_hin(3)
+        mp = MetaPath.parse("ABCBA")
+        pairs = all_pairs(hin.num_nodes("A"))
+        batch = enumerate_contexts(hin, mp, pairs, max_instances=cap)
+        for j, (u, v) in enumerate(pairs):
+            ref = dfs_enumerate_path_instances(
+                hin, mp, int(u), int(v),
+                max_instances=cap, max_expansions=10**9,
+            )
+            got = batch.context(j)
+            assert got.instances == ref.instances
+            assert got.truncated == ref.truncated
+
+    def test_sizes_match_commuting_counts_under_caps(self):
+        hin = random_hin(4)
+        mp = MetaPath.parse("ABA")
+        pairs = all_pairs(hin.num_nodes("A"))
+        batch = enumerate_contexts(hin, mp, pairs, max_instances=10**6)
+        for j, (u, v) in enumerate(pairs):
+            expected = count_instances(hin, mp, int(u), int(v))
+            assert batch.context(j).size == expected
+            assert int(batch.total_counts[j]) == expected
+
+    def test_single_hop_metapath(self):
+        """Degenerate two-type path: instances are the edges themselves."""
+        hin = random_hin(5)
+        mp = MetaPath(["A", "B"])
+        adjacency = hin.adjacency("A", "B").tocoo()
+        pairs = np.stack([adjacency.row, adjacency.col], axis=1).astype(np.int64)
+        batch = enumerate_contexts(hin, mp, pairs, max_instances=4)
+        assert np.array_equal(batch.instance_ids, pairs)
+        assert np.all(batch.sizes == 1)
+        assert not batch.truncated.any()
+
+
+class TestEndpointCanonicalization:
+    def test_both_argument_orders_identical(self):
+        hin = movie_hin()
+        mp = MetaPath.parse("MAM")
+        forward = enumerate_path_instances(hin, mp, 0, 2, max_instances=100)
+        backward = enumerate_path_instances(hin, mp, 2, 0, max_instances=100)
+        assert (forward.u, forward.v) == (0, 2) == (backward.u, backward.v)
+        assert forward.instances == backward.instances
+        for instance in forward.instances:
+            assert instance[0] == forward.u
+            assert instance[-1] == forward.v
+
+    def test_dfs_canonicalizes_too(self):
+        hin = movie_hin()
+        mp = MetaPath.parse("MAM")
+        context = dfs_enumerate_path_instances(hin, mp, 3, 1)
+        assert (context.u, context.v) == (1, 3)
+        assert all(i[0] == 1 and i[-1] == 3 for i in context.instances)
+
+    def test_asymmetric_endpoints_not_swapped(self):
+        """Cross-type pairs keep their orientation (swap is meaningless)."""
+        hin = random_hin(6)
+        mp = MetaPath(["A", "B"])
+        adjacency = hin.adjacency("A", "B").tocoo()
+        u, v = int(adjacency.row[0]), int(adjacency.col[0])
+        context = enumerate_path_instances(hin, mp, u, v)
+        assert (context.u, context.v) == (u, v)
+
+
+class TestTruncation:
+    def test_truncation_keeps_ascending_prefix(self):
+        hin = random_hin(7)
+        mp = MetaPath.parse("ABCBA")
+        pairs = all_pairs(hin.num_nodes("A"))
+        full = enumerate_contexts(hin, mp, pairs, max_instances=10**6)
+        capped = enumerate_contexts(hin, mp, pairs, max_instances=3)
+        for j in range(pairs.shape[0]):
+            whole = full.context(j)
+            prefix = capped.context(j)
+            assert prefix.instances == whole.instances[:3]
+            assert prefix.truncated == (whole.size > 3)
+            # Ascending lexicographic order within the full set.
+            assert whole.instances == sorted(whole.instances)
+
+    def test_truncated_flag_consistent_with_counts(self):
+        hin = random_hin(8)
+        mp = MetaPath.parse("ABA")
+        pairs = all_pairs(hin.num_nodes("A"))
+        batch = enumerate_contexts(hin, mp, pairs, max_instances=2)
+        np.testing.assert_array_equal(
+            batch.truncated, batch.total_counts > batch.sizes
+        )
+
+    def test_truncation_deterministic_across_calls(self):
+        hin = random_hin(9)
+        mp = MetaPath.parse("ABCBA")
+        pairs = all_pairs(hin.num_nodes("A"))
+        first = enumerate_contexts(hin, mp, pairs, max_instances=2)
+        get_engine(hin).invalidate()
+        second = enumerate_contexts(hin, mp, pairs, max_instances=2)
+        assert np.array_equal(first.instance_ids, second.instance_ids)
+        assert np.array_equal(first.indptr, second.indptr)
+
+    def test_dfs_expansion_budget_bounds_stack(self):
+        """max_expansions stops pushes (memory), marking truncation."""
+        hin = random_hin(10)
+        mp = MetaPath.parse("ABCBA")
+        pairs = all_pairs(hin.num_nodes("A"))
+        counts = get_engine(hin).pair_counts(mp, pairs)
+        # Pick the best-connected pair so a tiny budget must truncate.
+        u, v = map(int, pairs[int(np.argmax(counts))])
+        context = dfs_enumerate_path_instances(
+            hin, mp, u, v, max_instances=10**6, max_expansions=1
+        )
+        assert context.truncated
+        assert context.size < context.total_count
+
+    def test_max_instances_must_be_positive(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            enumerate_contexts(
+                hin, MetaPath.parse("MAM"), np.array([[0, 1]]), max_instances=0
+            )
+
+
+class TestBatchStructure:
+    def test_empty_pairs(self):
+        hin = movie_hin()
+        batch = enumerate_contexts(hin, MetaPath.parse("MAM"), np.empty((0, 2)))
+        assert batch.num_pairs == 0
+        assert batch.instance_ids.shape == (0, 3)
+        assert batch.to_contexts() == []
+
+    def test_bad_shape_rejected(self):
+        hin = movie_hin()
+        with pytest.raises(ValueError):
+            enumerate_contexts(hin, MetaPath.parse("MAM"), np.array([0, 1]))
+
+    def test_owner_and_indptr_agree(self):
+        hin = random_hin(11)
+        mp = MetaPath.parse("ABA")
+        pairs = all_pairs(hin.num_nodes("A"))
+        batch = enumerate_contexts(hin, mp, pairs, max_instances=5)
+        owner = batch.owner()
+        assert owner.shape[0] == batch.instance_ids.shape[0]
+        assert np.all(np.diff(owner) >= 0)
+        for j in range(batch.num_pairs):
+            segment = owner[batch.indptr[j]: batch.indptr[j + 1]]
+            assert np.all(segment == j)
+
+    def test_disconnected_pair_has_empty_context(self):
+        hin = movie_hin()
+        # M (idx 2) and M (idx 3) share no actor: MAM context is empty.
+        mp = MetaPath.parse("MAM")
+        assert count_instances(hin, mp, 2, 3) == 0
+        batch = enumerate_contexts(hin, mp, np.array([[2, 3]]))
+        context = batch.context(0)
+        assert context.size == 0
+        assert not context.truncated
+
+
+class TestVectorizedFeatures:
+    def _embeddings(self, hin, dim=6, seed=0):
+        rng = np.random.default_rng(seed)
+        return {t: rng.normal(size=(hin.num_nodes(t), dim)) for t in hin.node_types}
+
+    @pytest.mark.parametrize("mp_name", ["MAM", "MAMAM"])
+    def test_batch_features_match_per_context_loop(self, mp_name):
+        hin = movie_hin()
+        mp = MetaPath.parse(mp_name)
+        embeddings = self._embeddings(hin)
+        graph = build_bipartite_graph(
+            hin, mp, NeighborFilter(k=2), enumerate_instances=True
+        )
+        vectorized = build_context_features(graph, embeddings)
+        loop = np.stack(
+            [
+                context_embedding(context, mp, embeddings, 6)
+                for context in graph.contexts
+            ]
+        )
+        np.testing.assert_allclose(vectorized, loop, rtol=1e-12, atol=1e-12)
+
+    def test_empty_context_fallback_matches_loop(self):
+        hin = movie_hin()
+        mp = MetaPath.parse("MAM")
+        embeddings = self._embeddings(hin)
+        # Pair (2, 3) has no MAM instance: endpoint-mean fallback.
+        batch = enumerate_contexts(hin, mp, np.array([[0, 1], [2, 3]]))
+        features = context_features_from_batch(batch, embeddings)
+        expected_fallback = 0.5 * (embeddings["M"][2] + embeddings["M"][3])
+        np.testing.assert_allclose(features[1], expected_fallback)
+        expected_mean = context_embedding(batch.context(0), mp, embeddings, 6)
+        np.testing.assert_allclose(features[0], expected_mean)
+
+    def test_hand_assembled_graph_uses_loop_fallback(self):
+        from repro.hin.bipartite import BipartiteGraph, incidence_from_pairs
+        from repro.hin.context import MetaPathContext
+
+        hin = movie_hin()
+        mp = MetaPath.parse("MAM")
+        embeddings = self._embeddings(hin)
+        pairs = np.array([[0, 1]])
+        graph = BipartiteGraph(
+            metapath=mp,
+            num_objects=4,
+            pairs=pairs,
+            incidence=incidence_from_pairs(pairs, 4),
+            contexts=[MetaPathContext(u=0, v=1, instances=[(0, 0, 1)])],
+        )
+        features = build_context_features(graph, embeddings)
+        expected = (
+            embeddings["M"][0] + embeddings["A"][0] + embeddings["M"][1]
+        ) / 3.0
+        np.testing.assert_allclose(features[0], expected)
+
+    def test_trainer_records_truncation(self):
+        from repro.core import ConCHConfig
+        from repro.core.trainer import prepare_conch_data
+        from repro.data import DBLPConfig, load_dataset
+
+        dataset = load_dataset(
+            "dblp",
+            config=DBLPConfig(num_authors=30, num_papers=80, num_conferences=4),
+        )
+        config = ConCHConfig(
+            k=3, context_dim=8, embed_num_walks=1, embed_walk_length=6,
+            embed_epochs=1, max_instances=1,
+        )
+        data = prepare_conch_data(dataset, config)
+        # With a cap of one instance per pair, the dense APCPA meta-path
+        # must truncate somewhere.
+        assert any(m.truncated_contexts > 0 for m in data.metapath_data)

@@ -99,6 +99,17 @@ class TestPathInstanceEnumeration:
         assert len(ctx.instances) == 1
         assert ctx.truncated
 
+    def test_unordered_arguments_canonicalized(self):
+        """Regression: u > v used to enumerate from v while claiming u < v."""
+        hin = movie_hin()
+        mp = MetaPath.parse("MAM")
+        ctx = enumerate_path_instances(hin, mp, 1, 0, max_instances=100)
+        assert (ctx.u, ctx.v) == (0, 1)
+        assert all(i[0] == 0 and i[-1] == 1 for i in ctx.instances)
+        assert ctx.instances == enumerate_path_instances(
+            hin, mp, 0, 1, max_instances=100
+        ).instances
+
     def test_longer_metapath(self):
         hin = movie_hin()
         mp = MetaPath.parse("MAMAM")
