@@ -9,10 +9,19 @@ The ``substrate``-prefixed benches track the commuting-matrix engine
 (PR: shared memoization of meta-path products): end-to-end
 ``prepare_conch_data`` preprocessing, bulk pair lookup, row-wise top-k,
 and the batched context-enumeration kernel (PR: pruned frontier
-expansion replacing the per-pair DFS), measured both cold (engine
-invalidated, suffix products recomposed) and warm (pure kernel).  Their
-numbers in the BENCH output are the regression guard for the substrate's
-speedup over the seed's recompute-everything behavior.
+expansion replacing the per-pair DFS).  Their numbers in the BENCH
+output are the regression guard for the substrate's speedup over the
+seed's recompute-everything behavior.
+
+Cold/warm annotation (ROADMAP item, closed by the cache-management PR):
+each substrate path is measured **cold** (explicit ``invalidate()``
+before every round, so composition cost is visible), **warm** (memoized
+engine, pure consumer cost), and — for the preprocessing pipeline —
+**disk-warm** (cold memory but a warm ``ProductStore`` under a tmp
+cache dir: the second-process scenario, composing zero products).  The
+disk store is never ambient: benches pass explicit tmp dirs and restore
+the shared engine's configuration afterwards, so CI machines never
+touch a shared cache directory.
 """
 
 from __future__ import annotations
@@ -43,13 +52,13 @@ def dblp_small():
     )
 
 
-def test_bench_substrate_prepare_conch_data(benchmark, dblp_small):
-    """The `prepare_conch_data` substrate path (filter + contexts).
+@pytest.fixture(scope="module")
+def prepare_bench_inputs(dblp_small):
+    """Shared config + precomputed embeddings for the prepare benches.
 
-    Embeddings are precomputed once so the measurement isolates the
+    Embeddings are precomputed once so the measurements isolate the
     substrate: PathSim filtering, retained pairs, context enumeration,
-    and context-feature assembly — the engine's cache makes repeated
-    preprocessing (ablations, variant sweeps) near-free.
+    and context-feature assembly.
     """
     config = ConCHConfig(
         k=5, context_dim=16, embed_num_walks=2, embed_walk_length=10,
@@ -59,6 +68,37 @@ def test_bench_substrate_prepare_conch_data(benchmark, dblp_small):
         dblp_small.hin, dblp_small.metapaths, dim=config.context_dim,
         num_walks=2, walk_length=10, epochs=1, seed=0,
     )
+    return config, embeddings
+
+
+def test_bench_substrate_prepare_conch_data_cold(
+    benchmark, dblp_small, prepare_bench_inputs
+):
+    """Cold `prepare_conch_data`: every round pays full composition.
+
+    `invalidate()` before each round drops the engine's memory caches
+    (no disk store is configured), so this is the first-consumer cost —
+    the number to compare against the warm bench below (ROADMAP's
+    cold/warm timing annotation).
+    """
+    config, embeddings = prepare_bench_inputs
+    engine = get_engine(dblp_small.hin)
+
+    def prepare_cold():
+        engine.invalidate()
+        return prepare_conch_data(dblp_small, config, embeddings=embeddings)
+
+    data = benchmark.pedantic(prepare_cold, rounds=3, iterations=1)
+    assert data.substrate_stats["composed_products"] > 0
+
+
+def test_bench_substrate_prepare_conch_data_warm(
+    benchmark, dblp_small, prepare_bench_inputs
+):
+    """Warm `prepare_conch_data`: the engine's cache makes repeated
+    preprocessing (ablations, variant sweeps) near-free."""
+    config, embeddings = prepare_bench_inputs
+    prepare_conch_data(dblp_small, config, embeddings=embeddings)  # warm up
     data = benchmark.pedantic(
         prepare_conch_data,
         args=(dblp_small, config),
@@ -70,6 +110,40 @@ def test_bench_substrate_prepare_conch_data(benchmark, dblp_small):
     # Compose-once guarantee holds across repeated preprocessing rounds.
     engine = get_engine(dblp_small.hin)
     assert len(engine.compose_log) == len(set(engine.compose_log))
+
+
+def test_bench_substrate_prepare_conch_data_disk_warm(
+    benchmark, dblp_small, prepare_bench_inputs, tmp_path_factory
+):
+    """Cold-memory / warm-disk `prepare_conch_data` (second-process cost).
+
+    A first run populates a tmp-dir ProductStore; every measured round
+    then invalidates the engine's memory caches, so all chain products
+    are reloaded from `.npz` instead of recomposed — the cost a fresh
+    process pays on an unchanged dataset.
+    """
+    config, embeddings = prepare_bench_inputs
+    cache_dir = str(tmp_path_factory.mktemp("product-store"))
+    engine = get_engine(dblp_small.hin, cache_dir=cache_dir)
+    try:
+        # Populate from cold memory: write-through fires on composition,
+        # so a memory-warm engine (earlier benches) would write nothing.
+        engine.invalidate()
+        prepare_conch_data(dblp_small, config, embeddings=embeddings)
+
+        def prepare_disk_warm():
+            engine.invalidate()
+            return prepare_conch_data(dblp_small, config, embeddings=embeddings)
+
+        data = benchmark.pedantic(prepare_disk_warm, rounds=3, iterations=1)
+        # The warm store served every product: zero compositions.
+        assert data.substrate_stats["composed_products"] == 0
+        assert data.substrate_stats["disk_hits"] > 0
+    finally:
+        # Detach the tmp store and drop its loaded state so later benches
+        # measure the plain in-memory engine.
+        engine.set_cache_dir(None)
+        engine.invalidate()
 
 
 def test_bench_substrate_context_kernel_warm(benchmark, dblp_small):

@@ -1,0 +1,16 @@
+"""Repo-wide test fixtures.
+
+The commuting engine's disk-backed product store is opt-in via the
+``REPRO_CACHE_DIR`` environment variable (see :mod:`repro.hin.cache`).
+An ambient value would silently serve cached products to the cold-path
+benches and compose-spy tests — and write ``.npz`` files into a shared
+directory.  Strip it for every test, suite-wide: disk-store tests pass
+explicit ``tmp_path`` cache dirs instead.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_product_store(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)

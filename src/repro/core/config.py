@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 
 @dataclass
@@ -49,6 +50,13 @@ class ConCHConfig:
     embed_window: int = 5
     embed_epochs: int = 4
 
+    # Substrate cache management (repro.hin.cache).  None = leave the
+    # shared engine's current configuration untouched; a byte budget
+    # bounds resident cached products/views (LRU eviction), a cache dir
+    # enables the cross-run disk-backed product store.
+    cache_memory_budget: Optional[int] = None
+    cache_dir: Optional[str] = None
+
     # Self-supervision.
     lambda_ss: float = 0.3       # λ in Eq. 14; 0 disables (ConCH_su)
     training_mode: str = "multitask"  # "multitask" | "supervised" | "finetune"
@@ -77,6 +85,11 @@ class ConCHConfig:
             raise ValueError(f"num_layers must be >= 1, got {self.num_layers}")
         if self.lambda_ss < 0:
             raise ValueError(f"lambda_ss must be >= 0, got {self.lambda_ss}")
+        if self.cache_memory_budget is not None and self.cache_memory_budget < 0:
+            raise ValueError(
+                f"cache_memory_budget must be >= 0 or None, "
+                f"got {self.cache_memory_budget}"
+            )
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError(f"dropout must be in [0, 1), got {self.dropout}")
 

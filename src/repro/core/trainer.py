@@ -107,7 +107,15 @@ def prepare_conch_data(
     # One shared engine serves every substrate consumer below (neighbor
     # filtering, context enumeration, random walks): each meta-path's
     # commuting matrix is composed at most once for the whole pipeline.
-    engine = get_engine(hin)
+    # Config may bound the cache's resident bytes and/or point it at a
+    # disk-backed product store (a warm store skips composition entirely
+    # on repeated runs over the same dataset).
+    engine_config = {}
+    if config.cache_memory_budget is not None:
+        engine_config["memory_budget"] = config.cache_memory_budget
+    if config.cache_dir is not None:
+        engine_config["cache_dir"] = config.cache_dir
+    engine = get_engine(hin, **engine_config)
 
     if config.use_contexts and embeddings is None:
         embeddings = metapath2vec_embeddings(

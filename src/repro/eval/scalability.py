@@ -91,6 +91,8 @@ def conch_scaling_sweep(
     config: Optional["ConCHConfig"] = None,
     epochs: int = 3,
     seed: int = 0,
+    memory_budget: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[ScalePoint]:
     """Measure ConCH preprocess and epoch time over dataset scales.
 
@@ -103,6 +105,12 @@ def conch_scaling_sweep(
         Increasing scale factors to measure.
     config:
         ConCH configuration (cheap embedding defaults recommended).
+    memory_budget:
+        Optional byte cap on the substrate cache at every scale — the
+        knob that keeps the sweep's resident memory bounded as graphs
+        grow (see :mod:`repro.hin.cache`).
+    cache_dir:
+        Optional disk-backed product store shared across sweep runs.
     """
     from repro.core.config import ConCHConfig
     from repro.core.trainer import prepare_conch_data
@@ -110,10 +118,15 @@ def conch_scaling_sweep(
     if not scales:
         raise ValueError("need at least one scale factor")
     config = config or ConCHConfig()
+    overrides = {"seed": seed}
+    if memory_budget is not None:
+        overrides["cache_memory_budget"] = memory_budget
+    if cache_dir is not None:
+        overrides["cache_dir"] = cache_dir
     points: List[ScalePoint] = []
     for scale in scales:
         dataset = dataset_factory(float(scale))
-        data = prepare_conch_data(dataset, config.with_overrides(seed=seed))
+        data = prepare_conch_data(dataset, config.with_overrides(**overrides))
         epoch_seconds = measure_epoch_seconds(data, config, epochs=epochs, seed=seed)
         points.append(
             ScalePoint(

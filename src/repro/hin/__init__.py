@@ -12,6 +12,9 @@ paper that sit *below* the neural model:
 - :mod:`~repro.hin.engine` — the shared commuting-matrix engine: per-HIN
   memoization of chain products with prefix sharing, cached similarity
   views, and vectorized top-k / pair-lookup / diagonal-drop kernels.
+- :mod:`~repro.hin.cache` — cache management behind the engine: an LRU
+  byte budget over all memoized views and a disk-backed product store
+  keyed by HIN content hash (see its docstring for the tuning guide).
 - :mod:`~repro.hin.adjacency` — sparse composition of meta-path commuting
   matrices (path-instance counts between endpoint pairs); thin wrappers
   over the engine.
@@ -32,12 +35,14 @@ from repro.hin.graph import HIN
 from repro.hin.schema import NetworkSchema
 from repro.hin.metapath import MetaPath
 from repro.hin.adjacency import metapath_adjacency, relation_chain
+from repro.hin.cache import LRUByteCache, ProductStore, nbytes_of
 from repro.hin.engine import (
     CommutingEngine,
     csr_pair_values,
     csr_row_topk,
     drop_diagonal,
     get_engine,
+    release_engine,
 )
 from repro.hin.pathsim import pathsim_matrix, pathsim_pairs
 from repro.hin.similarity import (
@@ -70,7 +75,7 @@ from repro.hin.context import (
 )
 from repro.hin.bipartite import BipartiteGraph, build_bipartite_graph
 from repro.hin.analysis import MetaPathStats, dataset_report, label_homophily, metapath_stats
-from repro.hin.io import load_hin, save_hin
+from repro.hin.io import hin_content_hash, load_hin, save_hin
 
 __all__ = [
     "HIN",
@@ -80,6 +85,10 @@ __all__ = [
     "relation_chain",
     "CommutingEngine",
     "get_engine",
+    "release_engine",
+    "LRUByteCache",
+    "ProductStore",
+    "nbytes_of",
     "csr_row_topk",
     "csr_pair_values",
     "drop_diagonal",
@@ -113,6 +122,7 @@ __all__ = [
     "dataset_report",
     "label_homophily",
     "metapath_stats",
+    "hin_content_hash",
     "load_hin",
     "save_hin",
 ]

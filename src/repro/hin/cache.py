@@ -1,0 +1,348 @@
+"""Cache management for the commuting-matrix engine.
+
+The :class:`~repro.hin.engine.CommutingEngine` memoizes every composed
+chain product and derived view (counts, similarity matrices, suffix
+pruning masks, top-k lists).  Left unmanaged, those entries are pinned to
+the HIN until :meth:`~repro.hin.engine.CommutingEngine.invalidate` — on
+large graphs and long experiment sweeps resident memory grows without
+bound, and every fresh process re-pays full composition even on an
+unchanged dataset.  This module supplies the two mechanisms that bound
+both costs:
+
+:class:`LRUByteCache`
+    A byte-budgeted least-recently-used cache.  Every entry is registered
+    with its ``nbytes`` (see :func:`nbytes_of`) and a recency stamp; when
+    the resident total exceeds the budget, least-recently-used *evictable*
+    entries are dropped (an eviction callback lets the owner spill them
+    first).  Eviction never changes semantics: the engine transparently
+    recomposes an evicted entry on next access, and prefix sharing still
+    consults whatever survives.
+
+:class:`ProductStore`
+    A disk-backed store for composed chain products.  Files are ``.npz``
+    archives keyed by a content hash of the HIN (edge arrays + schema —
+    :func:`repro.hin.io.hin_content_hash`) and the product's node-type
+    tuple, so repeated runs over the same dataset skip composition
+    entirely.  A corrupt or stale file (hash mismatch, truncated archive)
+    is ignored and rewritten; writes are atomic (temp file + ``rename``)
+    so a crashed run never leaves a torn archive behind.
+
+Cache tuning
+------------
+- ``CommutingEngine(hin, memory_budget=...)`` (or
+  ``get_engine(hin, memory_budget=...)``) caps the bytes resident in the
+  engine's view cache; ``None`` (the default, via
+  :data:`DEFAULT_MEMORY_BUDGET`) means unlimited, ``0`` caches nothing.
+  Base per-hop biadjacencies are pinned outside the budget — they are the
+  ground truth the graph itself holds anyway.
+- The disk store is opt-in: pass ``cache_dir=...`` or set the
+  :data:`CACHE_DIR_ENV` (``REPRO_CACHE_DIR``) environment variable.
+  Composed products are written through on composition, so a second
+  process over the same dataset composes zero products from scratch.
+- Cold vs. warm benchmarking: call ``engine.invalidate()`` before a cold
+  measurement (drops memory caches; disk files keyed by content hash stay
+  valid for an unchanged graph, so "cold memory / warm disk" is the
+  second-process scenario).  ``engine.stats()`` reports
+  hits/misses/evictions/spills/disk hits and resident bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import sys
+import zipfile
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Hashable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+#: Module-level default for ``CommutingEngine(memory_budget=...)``.
+#: ``None`` = unlimited (the historical pin-everything behavior).
+DEFAULT_MEMORY_BUDGET: Optional[int] = None
+
+#: Environment variable naming the default disk-backed product store
+#: directory.  Unset (the default, and what CI relies on) disables the
+#: disk store unless a ``cache_dir`` is passed explicitly.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Optional[str]:
+    """The product-store directory from :data:`CACHE_DIR_ENV`, if set."""
+    directory = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return directory or None
+
+
+def nbytes_of(value: Any) -> int:
+    """Best-effort resident size in bytes of a cached value.
+
+    Understands scipy sparse matrices (sum of their constituent arrays),
+    numpy arrays, and containers thereof; anything else falls back to
+    ``sys.getsizeof``.  This is an *accounting* size — Python object
+    overhead of containers is ignored, which is negligible next to the
+    array payloads the cache manages.
+    """
+    if sp.issparse(value):
+        total = 0
+        for attr in ("data", "indices", "indptr", "row", "col", "offsets"):
+            array = getattr(value, attr, None)
+            if isinstance(array, np.ndarray):
+                total += array.nbytes
+        return total
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(nbytes_of(item) for item in value)
+    if isinstance(value, dict):
+        return sum(nbytes_of(item) for item in value.values())
+    return int(sys.getsizeof(value))
+
+
+@dataclass
+class _Entry:
+    value: Any
+    nbytes: int
+    evictable: bool
+
+
+class LRUByteCache:
+    """A least-recently-used cache with a byte budget.
+
+    Entries are kept in recency order (:class:`~collections.OrderedDict`);
+    :meth:`get` freshens, :meth:`put` inserts at the most-recent end and
+    then evicts least-recently-used evictable entries until the resident
+    total fits the budget again.  Entries registered with ``nbytes=0``
+    (aliases of data pinned elsewhere) are never chosen for eviction —
+    dropping them frees nothing.
+
+    The cache never drops *non-evictable* entries for space, so the
+    resident total can exceed the budget only by the non-evictable
+    portion; the engine registers everything recomputable as evictable.
+
+    Counters (``hits``/``misses``/``evictions``) are exact per-operation
+    counts; :meth:`reset_stats` zeroes them without touching contents.
+    """
+
+    def __init__(
+        self,
+        budget: Optional[int] = None,
+        on_evict: Optional[Callable[[Hashable, Any], None]] = None,
+    ):
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._budget = self._validate_budget(budget)
+        self._on_evict = on_evict
+        self._resident = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _validate_budget(budget: Optional[int]) -> Optional[int]:
+        if budget is None:
+            return None
+        budget = int(budget)
+        if budget < 0:
+            raise ValueError(f"memory budget must be >= 0 or None, got {budget}")
+        return budget
+
+    @property
+    def budget(self) -> Optional[int]:
+        """Byte budget; ``None`` = unlimited.  Shrinking evicts eagerly."""
+        return self._budget
+
+    @budget.setter
+    def budget(self, budget: Optional[int]) -> None:
+        self._budget = self._validate_budget(budget)
+        self._enforce()
+
+    @property
+    def resident_bytes(self) -> int:
+        """Accounted bytes of all currently cached entries."""
+        return self._resident
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def keys(self) -> Iterator[Hashable]:
+        """Keys in recency order (least recent first); no recency bump."""
+        return iter(list(self._entries))
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Value for ``key`` (freshening it), else ``default``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry.value
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Value for ``key`` without touching recency or counters."""
+        entry = self._entries.get(key)
+        return default if entry is None else entry.value
+
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        nbytes: Optional[int] = None,
+        evictable: bool = True,
+    ) -> None:
+        """Insert (or replace) an entry and enforce the budget.
+
+        ``nbytes`` defaults to :func:`nbytes_of`; pass ``0`` for aliases
+        whose bytes are pinned elsewhere.  With a budget of 0 the entry
+        is admitted and immediately evicted — callers still return the
+        value they just built, so semantics never change.
+        """
+        if nbytes is None:
+            nbytes = nbytes_of(value)
+        self.discard(key)
+        self._entries[key] = _Entry(value=value, nbytes=int(nbytes), evictable=evictable)
+        self._resident += int(nbytes)
+        self._enforce()
+
+    def discard(self, key: Hashable) -> None:
+        """Remove an entry without counting an eviction or spilling."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._resident -= entry.nbytes
+
+    def clear(self) -> None:
+        """Drop every entry (no eviction callbacks; counters are kept)."""
+        self._entries.clear()
+        self._resident = 0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _enforce(self) -> None:
+        if self._budget is None:
+            return
+        while self._resident > self._budget:
+            victim_key = None
+            for key, entry in self._entries.items():  # LRU-first order
+                if entry.evictable and entry.nbytes > 0:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                return
+            entry = self._entries.pop(victim_key)
+            self._resident -= entry.nbytes
+            self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(victim_key, entry.value)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "resident_bytes": self._resident,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class ProductStore:
+    """Disk-backed ``.npz`` store for composed commuting-matrix products.
+
+    A product is addressed by ``(content_hash, key)`` where
+    ``content_hash`` identifies the HIN's edge arrays + schema
+    (:func:`repro.hin.io.hin_content_hash`) and ``key`` is the node-type
+    tuple of the chain.  Both are stored *inside* the archive and
+    verified on load, so a file that is stale (graph changed), corrupt
+    (truncated, garbage), or a filename collision is silently treated as
+    a miss — the caller recomposes and rewrites it.
+    """
+
+    #: Bumped when the archive layout changes; mismatches read as misses.
+    FORMAT_VERSION = 1
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, content_hash: str, key: Sequence[str]) -> Path:
+        """Deterministic archive path for one ``(hash, node-type key)``."""
+        digest = hashlib.sha256(
+            f"v{self.FORMAT_VERSION}|{content_hash}|{'|'.join(key)}".encode()
+        ).hexdigest()[:40]
+        return self.directory / f"product-{digest}.npz"
+
+    def load(
+        self, content_hash: str, key: Sequence[str]
+    ) -> Optional[sp.csr_matrix]:
+        """The stored CSR product, or ``None`` on any miss/mismatch/corruption."""
+        path = self.path_for(content_hash, key)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                if int(archive["format_version"]) != self.FORMAT_VERSION:
+                    return None
+                if str(archive["content_hash"]) != content_hash:
+                    return None
+                if [str(t) for t in archive["key"]] != [str(t) for t in key]:
+                    return None
+                matrix = sp.csr_matrix(
+                    (
+                        archive["data"],
+                        archive["indices"],
+                        archive["indptr"],
+                    ),
+                    shape=tuple(int(s) for s in archive["shape"]),
+                )
+        except (
+            OSError,
+            ValueError,
+            KeyError,
+            EOFError,
+            zipfile.BadZipFile,
+            zlib.error,
+            struct.error,
+        ):
+            # Missing, truncated, non-zip, or field-incomplete archive:
+            # all read as a cache miss; the caller recomposes + rewrites.
+            return None
+        matrix.sort_indices()
+        return matrix
+
+    def save(
+        self, content_hash: str, key: Sequence[str], matrix: sp.spmatrix
+    ) -> bool:
+        """Atomically persist a product; returns False on I/O failure."""
+        matrix = sp.csr_matrix(matrix)
+        path = self.path_for(content_hash, key)
+        tmp_path = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+        try:
+            # Uncompressed on purpose: the store exists to beat
+            # recomposition, and zlib on every load eats the win for
+            # mid-sized products (disk is cheap, decompression is not).
+            with open(tmp_path, "wb") as handle:
+                np.savez(
+                    handle,
+                    format_version=np.int64(self.FORMAT_VERSION),
+                    content_hash=np.array(content_hash),
+                    key=np.array(list(key)),
+                    data=matrix.data,
+                    indices=matrix.indices,
+                    indptr=matrix.indptr,
+                    shape=np.array(matrix.shape, dtype=np.int64),
+                )
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                tmp_path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        return True

@@ -237,7 +237,6 @@ def enumerate_contexts(
             truncated=np.zeros(m, dtype=bool),
         )
 
-    suffixes = engine.suffix_products(metapath)
     targets_per_pair = pairs[:, 1]
 
     # Position-0 frontier: one partial path per connectable pair.  The
@@ -265,9 +264,13 @@ def enumerate_contexts(
 
         # Backward-reachability prune: drop partial paths whose head
         # cannot reach the pair's target through the remaining hops.
+        # Each position's suffix product is fetched lazily from the
+        # engine (it participates in the LRU memory budget): a frontier
+        # that dies early never composes the deeper suffixes, and a
+        # budgeted engine recomposes evicted masks transparently.
         position = depth + 1
         completions = csr_pair_values(
-            suffixes[position],
+            engine.suffix_product(metapath, position),
             nodes,
             targets_per_pair[new_owner],
             keys=engine.suffix_pair_keys(metapath, position),

@@ -42,6 +42,26 @@ bulk operations that replace per-row/per-pair Python loops:
 - :func:`drop_diagonal` — boolean-mask diagonal removal on the COO
   coordinate arrays that stays CSR end-to-end (no LIL round-trip).
 
+Cache management
+----------------
+All memoized state (chain products and every derived view) is routed
+through :class:`repro.hin.cache.LRUByteCache`: each entry is registered
+with its byte size and recency, and a configurable ``memory_budget``
+(constructor argument, or :data:`repro.hin.cache.DEFAULT_MEMORY_BUDGET`)
+evicts least-recently-used entries when resident bytes exceed it.
+Eviction is semantically invisible — an evicted product or view is
+transparently recomposed on next access, and prefix sharing consults
+whatever survives.  Base per-hop biadjacencies stay pinned outside the
+budget (they mirror what the HIN itself holds).
+
+Composed products can additionally persist to a disk-backed store
+(:class:`repro.hin.cache.ProductStore`) keyed by the HIN's content hash:
+pass ``cache_dir=...`` or set ``REPRO_CACHE_DIR``.  Cold lookups check
+disk before composing, compositions write through, and eviction spills
+any product not yet on disk — so a second process over the same dataset
+composes zero products from scratch.  See :mod:`repro.hin.cache` for the
+cache-tuning guide (budget, env var, cold/warm benchmarking).
+
 Cache invalidation
 ------------------
 :class:`~repro.hin.graph.HIN` bumps a structural version counter on every
@@ -54,15 +74,26 @@ copies for callers that want ownership).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import weakref
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.hin import cache as cache_config
+from repro.hin.cache import LRUByteCache, ProductStore, default_cache_dir
 from repro.hin.graph import HIN
+from repro.hin.io import hin_content_hash
 from repro.hin.metapath import MetaPath
 
 Key = Tuple[str, ...]
+
+#: Sentinel for "argument not given" (None is a meaningful value for both
+#: ``memory_budget`` — unlimited — and ``cache_dir`` — disk store off).
+_UNSET = object()
+
+_MISS = object()
 
 #: Ranking measures the engine can serve (mirrors similarity.py).
 MEASURES = ("pathsim", "hetesim", "joinsim", "cosine")
@@ -202,20 +233,134 @@ class CommutingEngine:
     One engine serves one :class:`HIN`; obtain it through
     :func:`get_engine` so all call sites share the same cache.  All cached
     matrices are returned by reference — treat them as read-only.
+
+    Parameters
+    ----------
+    hin:
+        The graph served.  A directly-constructed engine pins it alive;
+        engines obtained through :func:`get_engine` hold it weakly, so
+        dropping the HIN releases the shared engine and everything it
+        cached.
+    memory_budget:
+        Byte cap on resident cached entries (LRU eviction above it);
+        ``None`` = unlimited.  Defaults to
+        :data:`repro.hin.cache.DEFAULT_MEMORY_BUDGET`.
+    cache_dir:
+        Directory of the disk-backed product store; ``None`` disables it.
+        Defaults to the ``REPRO_CACHE_DIR`` environment variable.
     """
 
-    def __init__(self, hin: HIN):
-        self._hin = hin
+    def __init__(
+        self,
+        hin: HIN,
+        memory_budget: Union[Optional[int], object] = _UNSET,
+        cache_dir: Union[Optional[str], object] = _UNSET,
+    ):
+        self._hin_ref = weakref.ref(hin)
+        #: Strong pin on the graph: a directly-constructed engine keeps
+        #: its HIN alive (the pre-existing contract — callers may pass a
+        #: temporary).  :func:`get_engine` clears the pin on registry
+        #: engines so the weak-keyed registry lets both die together
+        #: when the caller drops the HIN.
+        self._hin_pin: Optional[HIN] = hin
         self._version = hin.version
+        #: Pinned per-hop biadjacencies — outside the memory budget; they
+        #: mirror edge data the HIN holds anyway and every recomposition
+        #: bottoms out on them.
         self._base: Dict[Tuple[str, str], sp.csr_matrix] = {}
-        self._products: Dict[Key, sp.csr_matrix] = {}
-        self._views: Dict[Tuple, object] = {}
+        self._validated: set = set()
+        if memory_budget is _UNSET:
+            memory_budget = cache_config.DEFAULT_MEMORY_BUDGET
+        self._cache = LRUByteCache(memory_budget, on_evict=self._on_evict)
+        if cache_dir is _UNSET:
+            cache_dir = default_cache_dir()
+        self._store: Optional[ProductStore] = (
+            ProductStore(cache_dir) if cache_dir else None
+        )
+        #: Product keys known to be on disk under the current content
+        #: hash (written or loaded this generation) — lets eviction skip
+        #: redundant spills.
+        self._on_disk: set = set()
         #: Log of composed (multiplied) product keys in the current cache
         #: generation — the call-count spy hook: duplicates here mean a
         #: product was rebuilt.  Cleared on invalidation.
         self.compose_log: List[Key] = []
-        self.hits = 0
-        self.misses = 0
+        self.disk_hits = 0
+        self.spills = 0
+
+    @property
+    def _hin(self) -> HIN:
+        hin = self._hin_ref()
+        if hin is None:
+            raise ReferenceError(
+                "the HIN behind this CommutingEngine was garbage-collected"
+            )
+        return hin
+
+    # -------------------------------------------------------------- #
+    # Cache configuration and telemetry plumbing
+    # -------------------------------------------------------------- #
+
+    @property
+    def memory_budget(self) -> Optional[int]:
+        """Resident-byte cap of the view cache (``None`` = unlimited)."""
+        return self._cache.budget
+
+    def set_memory_budget(self, memory_budget: Optional[int]) -> None:
+        """Change the budget; shrinking evicts eagerly to fit."""
+        self._cache.budget = memory_budget
+
+    @property
+    def cache_dir(self) -> Optional[str]:
+        """Directory of the disk-backed product store, if enabled."""
+        return str(self._store.directory) if self._store is not None else None
+
+    def set_cache_dir(self, cache_dir: Optional[str]) -> None:
+        """Point the engine at a (possibly different) product store.
+
+        A no-op when the directory is unchanged, so repeated pipeline
+        runs with the same config keep their on-disk bookkeeping.
+        """
+        if (str(Path(cache_dir)) if cache_dir else None) == self.cache_dir:
+            return
+        self._store = ProductStore(cache_dir) if cache_dir else None
+        self._on_disk.clear()
+
+    @property
+    def hits(self) -> int:
+        """Cache hits across all products and views this generation."""
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Cache misses across all products and views this generation."""
+        return self._cache.misses
+
+    def _content_hash(self) -> str:
+        return hin_content_hash(self._hin)
+
+    def _on_evict(self, key: Tuple, value) -> None:
+        """Eviction hook: spill a composed product to disk before dropping.
+
+        Products are normally written through at composition time, so
+        this only writes when the store was attached after the product
+        was composed (or a write failed); views are recomputable from
+        products and never spill.
+        """
+        if self._store is None or key[0] != "product":
+            return
+        hin = self._hin_ref()
+        if hin is None or hin.version != self._version:
+            # Eviction can fire without a _sync (set_memory_budget /
+            # set_cache_dir): never write a value composed from an older
+            # graph generation under the current content hash.
+            return
+        product_key = key[1]
+        if len(product_key) < 3 or product_key in self._on_disk:
+            return
+        if self._store.save(self._content_hash(), product_key, value):
+            self._on_disk.add(product_key)
+            self.spills += 1
 
     # -------------------------------------------------------------- #
     # Invalidation
@@ -232,13 +377,18 @@ class CommutingEngine:
         The compose log and hit/miss counters reset too: the compose-once
         contract is *per cache generation*, so a legitimately invalidated
         engine recomposing a product is not a duplicate composition.
+        Disk-store files are untouched — they are keyed by content hash,
+        so an unchanged graph reloads them instead of recomposing (the
+        "cold memory, warm disk" scenario of a fresh process).
         """
         self._base.clear()
-        self._products.clear()
-        self._views.clear()
+        self._validated.clear()
+        self._cache.clear()
+        self._cache.reset_stats()
+        self._on_disk.clear()
         self.compose_log.clear()
-        self.hits = 0
-        self.misses = 0
+        self.disk_hits = 0
+        self.spills = 0
         self._version = self._hin.version
 
     # -------------------------------------------------------------- #
@@ -265,21 +415,30 @@ class CommutingEngine:
     def _validate(self, metapath: MetaPath) -> None:
         """Schema-validate a meta-path once per cache generation."""
         self._sync()
-        key = ("validated", tuple(metapath.node_types))
-        if key not in self._views:
+        key = tuple(metapath.node_types)
+        if key not in self._validated:
             metapath.validate(self._hin.schema())
-            self._views[key] = True
+            self._validated.add(key)
+
+    def _view(self, key: Tuple, build):
+        """Serve one derived view through the budgeted LRU cache.
+
+        On a miss the view is rebuilt by ``build()`` and re-registered —
+        this is what makes eviction semantically invisible: the build
+        closures only read cached products (themselves recomposable) and
+        the pinned base matrices.
+        """
+        value = self._cache.get(key, _MISS)
+        if value is _MISS:
+            value = build()
+            self._cache.put(key, value)
+        return value
 
     def chain(self, metapath: MetaPath) -> List[sp.csr_matrix]:
-        """Per-hop biadjacency list along a meta-path (all cached)."""
+        """Per-hop biadjacency list along a meta-path (hops all cached)."""
         self._validate(metapath)
-        key = ("chain", tuple(metapath.node_types))
-        if key not in self._views:
-            types = metapath.node_types
-            self._views[key] = [
-                self.base(a, b) for a, b in zip(types[:-1], types[1:])
-            ]
-        return list(self._views[key])
+        types = metapath.node_types
+        return [self.base(a, b) for a, b in zip(types[:-1], types[1:])]
 
     def product(self, node_types: Sequence[str]) -> sp.csr_matrix:
         """Memoized chain product for a node-type sequence."""
@@ -290,20 +449,34 @@ class CommutingEngine:
         return self._product(key)
 
     def _product(self, key: Key) -> sp.csr_matrix:
-        if key in self._products:
-            self.hits += 1
-            return self._products[key]
-        self.misses += 1
+        cached = self._cache.get(("product", key), _MISS)
+        if cached is not _MISS:
+            return cached
         if len(key) == 2:
+            # Alias of the pinned base biadjacency: registered at 0 bytes
+            # (the base dict owns the memory) purely so repeated accesses
+            # count as hits.
             result = self.base(key[0], key[1])
-        else:
+            self._cache.put(("product", key), result, nbytes=0)
+            return result
+        result = None
+        if self._store is not None:
+            result = self._store.load(self._content_hash(), key)
+            if result is not None:
+                self.disk_hits += 1
+                self._on_disk.add(key)
+        if result is None:
             left_key, right_key = self._split(key)
             result = sp.csr_matrix(
                 self._product(left_key) @ self._product(right_key)
             )
             result.sort_indices()
             self.compose_log.append(key)
-        self._products[key] = result
+            if self._store is not None and key not in self._on_disk:
+                if self._store.save(self._content_hash(), key, result):
+                    self._on_disk.add(key)
+                    self.spills += 1
+        self._cache.put(("product", key), result)
         return result
 
     def _split(self, key: Key) -> Tuple[Key, Key]:
@@ -336,9 +509,13 @@ class CommutingEngine:
         propagates by the standard density bound
         ``nnz(XY) <= min(rows*cols, nnz(X)*nnz(Y)/inner)`` along a left
         fold, which is cheap and adequate for choosing among three splits.
+        (``peek`` keeps estimation from perturbing LRU recency or the
+        hit/miss counters; after eviction the estimate simply falls back
+        to the density bound — prefix sharing consults what survives.)
         """
-        if key in self._products:
-            return float(self._products[key].nnz), 0.0
+        cached = self._cache.peek(("product", key), _MISS)
+        if cached is not _MISS:
+            return float(cached.nnz), 0.0
         if len(key) == 2:
             return float(self.base(key[0], key[1]).nnz), 0.0
         nnz, cost = self._estimate(key[:2])
@@ -365,35 +542,43 @@ class CommutingEngine:
         """Commuting (path-instance count) matrix, cached per variant."""
         self._validate(metapath)
         key = tuple(metapath.node_types)
-        view = ("counts", key, bool(remove_self_paths), max_count)
-        if view not in self._views:
+        self_paths = remove_self_paths and metapath.source_type == metapath.target_type
+        if max_count is None and not self_paths:
+            # The raw variant IS the product — serving it directly keeps
+            # the budget accounting alias-free (one entry owns the bytes).
+            return self._product(key)
+
+        def build() -> sp.csr_matrix:
             matrix = self._product(key)
             if max_count is not None:
                 matrix = matrix.copy()
                 matrix.data = np.minimum(matrix.data, max_count)
-            if remove_self_paths and metapath.source_type == metapath.target_type:
+            if self_paths:
                 matrix = drop_diagonal(matrix)
                 matrix.eliminate_zeros()
-            self._views[view] = matrix
-        return self._views[view]
+            return matrix
+
+        return self._view(
+            ("counts", key, bool(remove_self_paths), max_count), build
+        )
 
     def diagonal(self, metapath: MetaPath) -> np.ndarray:
         """Self-path counts ``M[u, u]`` from the cached raw product."""
         self._sync()
         key = ("diagonal", tuple(metapath.node_types))
-        if key not in self._views:
-            self._views[key] = self.counts(metapath).diagonal()
-        return self._views[key]
+        return self._view(key, lambda: self.counts(metapath).diagonal())
 
     def binary(self, metapath: MetaPath) -> sp.csr_matrix:
         """Binary (reachability) projection with the diagonal removed."""
         self._sync()
         key = ("binary", tuple(metapath.node_types))
-        if key not in self._views:
+
+        def build() -> sp.csr_matrix:
             binary = self.counts(metapath, remove_self_paths=True).copy()
             binary.data[:] = 1.0
-            self._views[key] = binary
-        return self._views[key]
+            return binary
+
+        return self._view(key, build)
 
     def half(self, metapath: MetaPath) -> sp.csr_matrix:
         """Half-path product (endpoint type → middle type)."""
@@ -406,9 +591,7 @@ class CommutingEngine:
         """Cached flattened entry keys of the raw counts matrix."""
         self._sync()
         key = ("pair_keys", tuple(metapath.node_types))
-        if key not in self._views:
-            self._views[key] = csr_pair_keys(self.counts(metapath))
-        return self._views[key]
+        return self._view(key, lambda: csr_pair_keys(self.counts(metapath)))
 
     # -------------------------------------------------------------- #
     # Suffix (reverse-chain) views — pruning masks for the context
@@ -431,25 +614,33 @@ class CommutingEngine:
         Suffix sub-products are shared through the same memo as every
         other chain (the right-association split candidate composes
         ``(T1, T2) @ (T2..Tl+1)``, so ``suffix[j]`` reuses
-        ``suffix[j+1]`` when that association wins).
+        ``suffix[j+1]`` when that association wins).  Each suffix is an
+        individually cached product, so all of them participate in the
+        LRU memory budget; :meth:`suffix_product` serves one position
+        lazily without materializing the deeper ones.
         """
+        return [
+            self.suffix_product(metapath, position)
+            for position in range(len(metapath.node_types) - 1)
+        ]
+
+    def suffix_product(self, metapath: MetaPath, position: int) -> sp.csr_matrix:
+        """One suffix chain product ``position → target endpoint``."""
         self._validate(metapath)
-        key = ("suffix_products", tuple(metapath.node_types))
-        if key not in self._views:
-            types = tuple(metapath.node_types)
-            self._views[key] = [
-                self._product(types[j:]) for j in range(len(types) - 1)
-            ]
-        return list(self._views[key])
+        types = tuple(metapath.node_types)
+        if not 0 <= position < len(types) - 1:
+            raise IndexError(
+                f"suffix position {position} out of range for {metapath.name!r}"
+            )
+        return self._product(types[position:])
 
     def suffix_pair_keys(self, metapath: MetaPath, position: int) -> np.ndarray:
         """Cached ``csr_pair_keys`` of one suffix product (kernel lookups)."""
         self._sync()
         key = ("suffix_keys", tuple(metapath.node_types), int(position))
-        if key not in self._views:
-            suffix = self.suffix_products(metapath)[position]
-            self._views[key] = csr_pair_keys(suffix)
-        return self._views[key]
+        return self._view(
+            key, lambda: csr_pair_keys(self.suffix_product(metapath, position))
+        )
 
     def pair_counts(self, metapath: MetaPath, pairs: np.ndarray) -> np.ndarray:
         """Exact path-instance counts for explicit ``(u, v)`` pairs.
@@ -496,9 +687,7 @@ class CommutingEngine:
                 f"unknown similarity measure {measure!r}; known: {MEASURES}"
             )
         key = ("similarity", measure, tuple(metapath.node_types))
-        if key not in self._views:
-            self._views[key] = getattr(self, f"_{measure}")(metapath)
-        return self._views[key]
+        return self._view(key, lambda: getattr(self, f"_{measure}")(metapath))
 
     def _pathsim(self, metapath: MetaPath) -> sp.csr_matrix:
         """PathSim (Eq. 1): counts and diagonal from ONE cached product."""
@@ -567,11 +756,10 @@ class CommutingEngine:
         """
         self._sync()
         key = ("top_k", measure, tuple(metapath.node_types), int(k))
-        if key not in self._views:
-            self._views[key] = csr_row_topk(
-                self.similarity(metapath, measure), k
-            )
-        return [neighbors.copy() for neighbors in self._views[key]]
+        lists = self._view(
+            key, lambda: csr_row_topk(self.similarity(metapath, measure), k)
+        )
+        return [neighbors.copy() for neighbors in lists]
 
     def pathsim_pairs(self, metapath: MetaPath, pairs: np.ndarray) -> np.ndarray:
         """PathSim for explicit ``(u, v)`` pairs without a full matrix.
@@ -603,26 +791,77 @@ class CommutingEngine:
     # -------------------------------------------------------------- #
 
     def stats(self) -> Dict[str, int]:
-        """Cache telemetry: composed products, cached views, hit/miss."""
+        """Cache telemetry for the current generation.
+
+        - ``composed_products`` — chain multiplications actually run;
+        - ``cached_products`` / ``cached_views`` / ``cached_base`` —
+          entry counts currently resident;
+        - ``hits`` / ``misses`` — LRU lookups across products and views;
+        - ``evictions`` — entries dropped to honor the memory budget;
+        - ``spills`` — products written to the disk store;
+        - ``disk_hits`` — products loaded from disk instead of composed;
+        - ``resident_bytes`` — accounted bytes resident in the LRU cache
+          (never exceeds ``memory_budget`` when one is set).
+        """
+        cached_products = sum(
+            1 for key in self._cache.keys() if key[0] == "product"
+        )
         return {
             "composed_products": len(self.compose_log),
-            "cached_products": len(self._products),
-            "cached_views": len(self._views),
+            "cached_products": cached_products,
+            "cached_views": len(self._cache) - cached_products,
             "cached_base": len(self._base),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self._cache.evictions,
+            "spills": self.spills,
+            "disk_hits": self.disk_hits,
+            "resident_bytes": self._cache.resident_bytes,
         }
 
 
-def get_engine(hin: HIN) -> CommutingEngine:
+#: Weak-keyed registry: entries (and their engines) die with their HIN.
+#: Engines hold only a weak reference back to the graph, so dropping the
+#: last user reference to a HIN frees both it and its cached views — the
+#: registry never pins pinned-view memory past the graph's lifetime.
+_ENGINES: "weakref.WeakKeyDictionary[HIN, CommutingEngine]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_engine(
+    hin: HIN,
+    memory_budget: Union[Optional[int], object] = _UNSET,
+    cache_dir: Union[Optional[str], object] = _UNSET,
+) -> CommutingEngine:
     """The shared :class:`CommutingEngine` of a HIN (created on demand).
 
-    The engine is stowed on the HIN instance so every call site touching
-    the same graph shares one cache; mutation invalidates it lazily via
-    the HIN's structural version counter.
+    Engines live in a weak-keyed registry so every call site touching the
+    same graph shares one cache, while dropping the HIN releases the
+    engine and everything it pinned; mutation invalidates lazily via the
+    HIN's structural version counter.  ``memory_budget`` / ``cache_dir``
+    configure the engine when given (creating it if needed, reconfiguring
+    the shared instance otherwise); omit them to leave the current
+    configuration untouched.
     """
-    engine = getattr(hin, "_commuting_engine", None)
-    if engine is None or engine._hin is not hin:
-        engine = CommutingEngine(hin)
-        hin._commuting_engine = engine
+    engine = _ENGINES.get(hin)
+    if engine is None:
+        engine = CommutingEngine(hin, memory_budget=memory_budget, cache_dir=cache_dir)
+        engine._hin_pin = None  # the registry entry must not pin the HIN
+        _ENGINES[hin] = engine
+    else:
+        if memory_budget is not _UNSET:
+            engine.set_memory_budget(memory_budget)
+        if cache_dir is not _UNSET:
+            engine.set_cache_dir(cache_dir)
     return engine
+
+
+def release_engine(hin: HIN) -> None:
+    """Explicitly drop the registry's engine for ``hin`` (if any).
+
+    Usually unnecessary — the registry is weak-keyed, so engines die with
+    their HIN — but lets long-lived graphs shed all cached substrate
+    state deterministically without waiting for budget-driven eviction.
+    """
+    _ENGINES.pop(hin, None)

@@ -15,12 +15,52 @@ load by :meth:`repro.hin.graph.HIN.add_edges`.
 
 from __future__ import annotations
 
+import hashlib
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
 from repro.hin.graph import HIN
+
+
+def hin_content_hash(hin: HIN) -> str:
+    """Stable content hash of a HIN's structure (edge arrays + schema).
+
+    Covers node types with their counts and every relation's typed edge
+    arrays — CSR ``indptr``/``indices`` *and* ``data``: adjacencies are
+    binarized today, but commuting products multiply the stored values,
+    so edge weights must key the cross-process disk cache
+    (:class:`repro.hin.cache.ProductStore`) the moment any loader stops
+    binarizing.  Features and labels are not hashed (products never read
+    them).  Two HINs built from the same edges hash identically
+    regardless of instance identity.
+
+    The digest is memoized on the instance per structural version, so
+    repeated cache lookups on an unchanged graph pay the O(edges) hash
+    exactly once.
+    """
+    cached = getattr(hin, "_content_hash_memo", None)
+    if cached is not None and cached[0] == hin.version:
+        return cached[1]
+    digest = hashlib.sha256(b"hin-content-v1")
+    for node_type in sorted(hin.node_types):
+        digest.update(f"|type:{node_type}:{hin.num_nodes(node_type)}".encode())
+    for relation in sorted(hin.relations, key=lambda r: r.name):
+        matrix = hin.relation_matrix(relation.name)
+        if not matrix.has_sorted_indices:
+            matrix = matrix.copy()
+            matrix.sort_indices()
+        digest.update(
+            f"|rel:{relation.name}:{relation.src_type}:{relation.dst_type}"
+            f":{matrix.shape[0]}x{matrix.shape[1]}".encode()
+        )
+        digest.update(np.asarray(matrix.indptr, dtype=np.int64).tobytes())
+        digest.update(np.asarray(matrix.indices, dtype=np.int64).tobytes())
+        digest.update(np.asarray(matrix.data, dtype=np.float64).tobytes())
+    result = digest.hexdigest()
+    hin._content_hash_memo = (hin.version, result)
+    return result
 
 
 def save_hin(hin: HIN, path: Union[str, Path]) -> None:
