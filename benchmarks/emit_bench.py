@@ -1,0 +1,203 @@
+"""Emit `BENCH_substrate.json`: the machine-readable perf trajectory.
+
+A standalone runner (not a pytest bench) that times the substrate's
+canonical paths and writes one JSON file future PRs can diff:
+
+- ``prepare_cold`` / ``prepare_warm`` / ``prepare_disk_warm`` — the
+  three `prepare_conch_data` scenarios (full composition; memoized
+  engine; cold memory over a warm `ProductStore`, i.e. the
+  second-process case).
+- ``context_kernel_cold`` / ``context_kernel_warm`` — the batched
+  frontier-expansion kernel on the longest DBLP meta-path.
+- ``pipeline_cold`` / ``pipeline_resumed`` — a staged
+  `repro.api.Pipeline` prep against an empty store vs. the same store
+  warm (all artifacts load, zero products composed).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py [--out BENCH_substrate.json]
+        [--rounds 3] [--authors 200 --papers 700 --conferences 12]
+
+The numbers are wall-clock seconds on whatever machine runs this —
+the JSON carries enough metadata (library versions, dataset size,
+rounds) for a future reader to compare like with like.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import scipy
+
+
+def _time_rounds(fn, rounds: int):
+    seconds = []
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        seconds.append(time.perf_counter() - started)
+    return seconds
+
+
+def _summary(seconds):
+    return {
+        "seconds_mean": statistics.fmean(seconds),
+        "seconds_min": min(seconds),
+        "seconds_max": max(seconds),
+        "rounds": len(seconds),
+    }
+
+
+def run_benches(authors: int, papers: int, conferences: int, rounds: int):
+    from repro.api import Pipeline
+    from repro.core import ConCHConfig
+    from repro.core.trainer import prepare_conch_data
+    from repro.data import DBLPConfig, load_dataset
+    from repro.embedding.metapath2vec import metapath2vec_embeddings
+    from repro.hin.context import enumerate_contexts
+    from repro.hin.engine import get_engine
+    from repro.hin.neighbors import NeighborFilter
+
+    dataset = load_dataset(
+        "dblp",
+        config=DBLPConfig(
+            num_authors=authors, num_papers=papers, num_conferences=conferences
+        ),
+    )
+    config = ConCHConfig(
+        k=5, context_dim=16, embed_num_walks=2, embed_walk_length=10,
+        embed_epochs=1, max_instances=8,
+    )
+    # Precomputed embeddings isolate the substrate (filtering, retained
+    # pairs, enumeration, feature assembly) from skip-gram training.
+    embeddings = metapath2vec_embeddings(
+        dataset.hin, dataset.metapaths, dim=config.context_dim,
+        num_walks=2, walk_length=10, epochs=1, seed=0,
+    )
+    engine = get_engine(dataset.hin)
+    results = {}
+
+    # ---- prepare: cold / warm / disk-warm --------------------------- #
+    def prepare_cold():
+        engine.invalidate()
+        prepare_conch_data(dataset, config, embeddings=embeddings)
+
+    results["prepare_cold"] = _summary(_time_rounds(prepare_cold, rounds))
+
+    prepare_conch_data(dataset, config, embeddings=embeddings)  # warm it
+    results["prepare_warm"] = _summary(
+        _time_rounds(
+            lambda: prepare_conch_data(dataset, config, embeddings=embeddings),
+            rounds,
+        )
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        disk_config = config.with_overrides(cache_dir=str(Path(tmp) / "store"))
+        engine.invalidate()
+        prepare_conch_data(dataset, disk_config, embeddings=embeddings)  # warm disk
+
+        def prepare_disk_warm():
+            engine.invalidate()  # cold memory, warm store
+            prepare_conch_data(dataset, disk_config, embeddings=embeddings)
+
+        results["prepare_disk_warm"] = _summary(
+            _time_rounds(prepare_disk_warm, rounds)
+        )
+        engine.set_cache_dir(None)
+
+    # ---- context kernel: cold / warm -------------------------------- #
+    metapath = max(dataset.metapaths, key=lambda m: len(m.node_types))
+    engine.invalidate()
+    pairs = NeighborFilter(k=config.k).retained_pairs(dataset.hin, metapath)
+
+    def kernel_cold():
+        engine.invalidate()
+        enumerate_contexts(
+            dataset.hin, metapath, pairs, max_instances=config.max_instances
+        )
+
+    results["context_kernel_cold"] = _summary(_time_rounds(kernel_cold, rounds))
+    results["context_kernel_warm"] = _summary(
+        _time_rounds(
+            lambda: enumerate_contexts(
+                dataset.hin, metapath, pairs,
+                max_instances=config.max_instances,
+            ),
+            rounds,
+        )
+    )
+
+    # ---- staged pipeline: cold store vs. resumed -------------------- #
+    cold_seconds, resumed_seconds, resumed_composed = [], [], []
+    for _ in range(rounds):
+        with tempfile.TemporaryDirectory() as tmp:
+            engine.invalidate()
+            started = time.perf_counter()
+            Pipeline(dataset, config=config, store_dir=tmp).prepare()
+            cold_seconds.append(time.perf_counter() - started)
+            engine.invalidate()  # fresh-process simulation
+            started = time.perf_counter()
+            Pipeline(dataset, config=config, store_dir=tmp).prepare()
+            resumed_seconds.append(time.perf_counter() - started)
+            resumed_composed.append(len(engine.compose_log))
+            engine.set_cache_dir(None)
+    results["pipeline_cold"] = _summary(cold_seconds)
+    results["pipeline_resumed"] = _summary(resumed_seconds)
+    results["pipeline_resumed"]["products_composed"] = max(resumed_composed)
+
+    meta = {
+        "bench": "substrate",
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "dataset": {
+            "name": "dblp-synthetic",
+            "authors": authors,
+            "papers": papers,
+            "conferences": conferences,
+        },
+        "config": {
+            "k": config.k, "context_dim": config.context_dim,
+            "max_instances": config.max_instances,
+        },
+        "rounds": rounds,
+    }
+    return {"meta": meta, "results": results}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_substrate.json",
+        help="output JSON path (default: ./BENCH_substrate.json)",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--authors", type=int, default=200)
+    parser.add_argument("--papers", type=int, default=700)
+    parser.add_argument("--conferences", type=int, default=12)
+    args = parser.parse_args()
+
+    payload = run_benches(
+        args.authors, args.papers, args.conferences, args.rounds
+    )
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    for name, entry in sorted(payload["results"].items()):
+        print(
+            f"  {name:<22} mean {entry['seconds_mean'] * 1000:8.1f} ms  "
+            f"min {entry['seconds_min'] * 1000:8.1f} ms"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,11 @@ Two deployment concerns the paper's full-batch prototype leaves open:
 2. **Reusing a trained model** — `save_model` / `load_model` round-trip
    the config and every parameter through a single ``.npz`` file.
 
+This example deliberately stays on the legacy `prepare_conch_data` /
+`ConCHTrainer` entry points (now thin shims over `repro.api.Pipeline`)
+to prove the pre-pipeline surface keeps working verbatim; see
+`examples/pipeline_and_serving.py` for the staged `repro.api` flow.
+
 Usage:  python examples/minibatch_and_checkpointing.py
 """
 

@@ -1,0 +1,75 @@
+"""Staged pipeline + serving: artifacts, resume, and per-node queries.
+
+Demonstrates the three layers of `repro.api`:
+
+1. `Pipeline` with a store directory — each stage (discover → compose →
+   enumerate → featurize → fit) persists a typed, content-keyed artifact,
+   and composed commuting products write through to a disk store.
+2. Resume — a second pipeline over the same dataset + config loads every
+   artifact, composes **zero** products, and reproduces the first run's
+   predictions bit-exactly.
+3. `ModelHandle` — a serving process loads the saved estimator bundle
+   and answers per-node label queries through row slices of the cached
+   operators, never re-running preprocessing.
+
+Usage:  python examples/pipeline_and_serving.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import ModelHandle, Pipeline
+from repro.data import load_dataset, stratified_split
+from repro.hin.engine import get_engine
+
+
+def main() -> None:
+    dataset = load_dataset("dblp")
+    split = stratified_split(dataset.labels, train_fraction=0.10, seed=0)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "dblp-run"
+
+        # ---- First run: every stage computes and persists. ----------- #
+        pipeline = Pipeline(dataset, store_dir=store)
+        estimator = pipeline.fit(split=split)
+        print("First run stages:")
+        for event in pipeline.describe():
+            print(f"  {event['stage']:<10} {event['action']:<9} "
+                  f"{event['seconds']:.3f}s")
+        scores = estimator.evaluate(split.test)
+        print(f"Test Micro-F1: {scores['micro_f1']:.4f}\n")
+
+        # ---- Second run: cold memory, warm store. -------------------- #
+        engine = get_engine(dataset.hin)
+        engine.invalidate()  # simulate a fresh process
+        resumed = Pipeline(dataset, store_dir=store)
+        estimator2 = resumed.fit(split=split)
+        # Bypassed stages (compose/enumerate) log nothing: featurize's
+        # artifact makes them unnecessary.
+        print("Resumed run stages (all loaded, zero products composed):")
+        for event in resumed.describe():
+            print(f"  {event['stage']:<10} {event['action']:<9} "
+                  f"{event['seconds']:.3f}s")
+        print(f"Products composed on resume: {len(engine.compose_log)}")
+        print(f"Predictions bit-identical: "
+              f"{np.array_equal(estimator.predict(), estimator2.predict())}\n")
+
+        # ---- Serving: load the bundle, query individual nodes. ------- #
+        bundle = store / "conch-bundle.npz"
+        estimator.save(bundle)
+        handle = ModelHandle.load(bundle)
+        query = np.array([3, 141, 59])
+        print(f"Serving handle: {handle}")
+        print(f"predict_nodes({query.tolist()}) -> "
+              f"{handle.predict_nodes(query).tolist()}")
+        stats = handle.last_query_stats
+        print(f"Receptive field: {stats['subgraph_objects']} of "
+              f"{stats['total_objects']} objects "
+              f"({100 * stats['object_fraction']:.1f}%) touched")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,57 +1,49 @@
-"""Quickstart: train ConCH on the synthetic DBLP network.
+"""Quickstart: train ConCH on the synthetic DBLP network via `repro.api`.
 
-Runs the full pipeline — dataset generation, PathSim neighbor filtering,
-meta-path context extraction, and multi-task training — then reports
-test-set Micro/Macro-F1 and the learned meta-path attention weights.
+One call does it all — `api.fit` loads the dataset with its paper
+hyper-parameters, runs the staged pipeline (discover meta-paths, compose
+commuting matrices, enumerate contexts, build features) and trains; the
+returned estimator answers the shared fit/predict/evaluate contract that
+every model in this repo (ConCH, its ablations, the whole baseline zoo)
+implements.
 
 Usage:  python examples/quickstart.py
 """
 
-from repro.core import ConCHConfig, ConCHTrainer, prepare_conch_data
+import numpy as np
+
+from repro import api
 from repro.data import load_dataset, stratified_split
 
 
 def main() -> None:
-    # 1. Load a dataset (synthetic stand-in for the paper's DBLP extract).
+    # 1. Load a dataset and make a stratified split (10% labeled authors).
     dataset = load_dataset("dblp")
     print(f"Dataset: {dataset}")
-
-    # 2. Make a stratified split with 10% labeled authors.
     split = stratified_split(dataset.labels, train_fraction=0.10, seed=0)
-    print(f"Split sizes: {split.sizes}")
 
-    # 3. Configure ConCH (paper §V-C: k=5 and L=2 on DBLP).
-    config = ConCHConfig(
-        k=5,
-        num_layers=2,
-        context_dim=32,
-        hidden_dim=64,
-        out_dim=64,
-        lambda_ss=0.3,
-        epochs=200,
-        patience=60,
-    )
+    # 2. Train.  Swap model="conch" for any registry baseline ("HAN",
+    #    "GCN", "LabelProp", ...): steps 2-4 use only the shared
+    #    Estimator contract and work for every model.
+    estimator = api.fit(dataset, model="conch", split=split, seed=0)
 
-    # 4. Preprocess: PathSim top-k filtering, context features, bipartite graphs.
-    data = prepare_conch_data(dataset, config)
-    print(
-        f"Preprocessing took {data.preprocess_seconds:.1f}s; "
-        f"contexts per meta-path: "
-        f"{[m.num_contexts for m in data.metapath_data]}"
-    )
-
-    # 5. Train with the multi-task objective (Eq. 14) and early stopping.
-    trainer = ConCHTrainer(data, config).fit(split, verbose=True)
-
-    # 6. Evaluate.
-    scores = trainer.evaluate(split.test)
+    # 3. Evaluate on the held-out test set.
+    scores = estimator.evaluate(split.test)
     print(f"\nTest Micro-F1: {scores['micro_f1']:.4f}")
     print(f"Test Macro-F1: {scores['macro_f1']:.4f}")
 
-    # 7. Inspect the learned meta-path attention (Fig. 6a analogue).
-    weights = trainer.attention_weights()
+    # 4. Class probabilities and (where the model has them) embeddings.
+    proba = estimator.predict_proba(split.test[:5])
+    print(f"\nFirst 5 test authors, class probabilities:\n{np.round(proba, 3)}")
+    z = estimator.embeddings()
+    if z is not None:
+        print(f"Fused embedding matrix: {z.shape}")
+
+    # 5. ConCH-specific introspection: the learned meta-path attention
+    #    (Fig. 6a analogue) lives on the underlying trainer.
+    weights = estimator.trainer.attention_weights()
     print("\nLearned meta-path weights:")
-    for metapath, weight in zip(dataset.metapaths, weights):
+    for metapath, weight in zip(estimator.data.metapaths, weights):
         print(f"  {metapath.name:<8} {weight:.3f}")
 
 

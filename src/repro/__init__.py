@@ -8,17 +8,30 @@ datasets, the ConCH model, and the baseline zoo.
 
 Quickstart
 ----------
+>>> from repro import api
 >>> from repro.data import load_dataset, stratified_split
->>> from repro.core import ConCHConfig, ConCHTrainer, prepare_conch_data
 >>> dataset = load_dataset("dblp")
 >>> split = stratified_split(dataset.labels, train_fraction=0.2)
->>> config = ConCHConfig(epochs=50, k=5, num_layers=2)
->>> data = prepare_conch_data(dataset, config)
->>> trainer = ConCHTrainer(data, config).fit(split)
->>> trainer.evaluate(split.test)  # doctest: +SKIP
+>>> estimator = api.fit(dataset, model="conch", split=split)
+>>> estimator.evaluate(split.test)  # doctest: +SKIP
 {'micro_f1': 0.94, 'macro_f1': 0.93}
+
+``model=`` accepts any registry baseline ("HAN", "GCN", ...) through the
+same :class:`~repro.api.Estimator` contract.  For staged, resumable runs
+and per-node serving::
+
+    pipe = api.Pipeline("dblp", store_dir="runs/dblp")
+    est = pipe.fit(train_fraction=0.2)      # rerun -> all stages skip
+    est.save("conch.npz")
+    api.ModelHandle.load("conch.npz").predict_nodes([0, 7])
+
+The pre-pipeline surface (``prepare_conch_data`` + ``ConCHTrainer``)
+keeps working as thin shims over the pipeline.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["autograd", "nn", "hin", "data", "embedding", "core", "eval", "__version__"]
+__all__ = [
+    "autograd", "nn", "hin", "data", "embedding", "core", "eval", "api",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""``repro.api`` — the staged pipeline + estimator surface.
+
+Three layers, smallest on top:
+
+:func:`fit`
+    One call: ``fit("dblp", model="conch")`` or ``model="HAN"`` — every
+    model (ConCH, its ablation variants, the whole baseline registry)
+    trains through the same :class:`Estimator` contract.
+
+:class:`Pipeline`
+    The staged facade — ``discover → compose → enumerate → featurize →
+    fit`` — where each stage returns a typed artifact with a stable
+    content key.  Give it a ``store_dir`` and a rerun (or another
+    process) skips every completed stage: artifacts reload, composed
+    commuting products come from the disk store, and predictions are
+    bit-identical to the cold run.
+
+:class:`ModelHandle`
+    The serving surface: ``ModelHandle.load(path).predict_nodes(ids)``
+    answers per-node queries via row slices of the cached operators —
+    no full-graph re-preprocessing on the serving path.
+
+Quickstart
+----------
+>>> from repro import api
+>>> from repro.data import load_dataset, stratified_split
+>>> dataset = load_dataset("dblp")                         # doctest: +SKIP
+>>> split = stratified_split(dataset.labels, 0.1)          # doctest: +SKIP
+>>> est = api.fit(dataset, model="conch", split=split)     # doctest: +SKIP
+>>> est.evaluate(split.test)                               # doctest: +SKIP
+{'micro_f1': 0.96, 'macro_f1': 0.96}
+
+Staged + resumable:
+
+>>> pipe = api.Pipeline("dblp", store_dir="runs/dblp")     # doctest: +SKIP
+>>> est = pipe.fit(train_fraction=0.1)                     # doctest: +SKIP
+>>> est.save("conch.npz")                                  # doctest: +SKIP
+>>> api.ModelHandle.load("conch.npz").predict_nodes([0, 7])  # doctest: +SKIP
+"""
+
+from repro.api.artifacts import (
+    ArtifactStore,
+    ComposeReport,
+    ContextSet,
+    FeatureSet,
+    MetaPathPlan,
+    config_fingerprint,
+    split_hash,
+    stage_key,
+)
+from repro.api.estimator import (
+    ConCHEstimator,
+    Estimator,
+    MethodEstimator,
+    fit,
+    load_estimator,
+)
+from repro.api.pipeline import STAGES, Pipeline, StageEvent, default_config
+from repro.api.serving import ModelHandle
+
+__all__ = [
+    "ArtifactStore",
+    "ComposeReport",
+    "ConCHEstimator",
+    "ContextSet",
+    "Estimator",
+    "FeatureSet",
+    "MetaPathPlan",
+    "MethodEstimator",
+    "ModelHandle",
+    "Pipeline",
+    "STAGES",
+    "StageEvent",
+    "config_fingerprint",
+    "default_config",
+    "fit",
+    "load_estimator",
+    "split_hash",
+    "stage_key",
+]

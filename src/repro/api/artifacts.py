@@ -1,0 +1,551 @@
+"""Typed, content-addressed artifacts for the staged pipeline.
+
+Every stage of :class:`repro.api.Pipeline` returns one of the dataclasses
+below.  An artifact is (a) a plain in-memory result consumed by the next
+stage and (b) a serializable unit with a **stable content key**: the HIN
+content hash (:func:`repro.hin.io.hin_content_hash`) combined with a
+fingerprint of exactly the config fields that influence the stage (see
+:data:`STAGE_FIELDS`).  Same dataset + same relevant config ⇒ same key ⇒
+a rerun (or a second process sharing the store directory) loads the
+artifact instead of recomputing the stage.
+
+Persistence reuses the repo's one archive idiom (uncompressed ``.npz``
+with a JSON ``__header`` — the same layout as
+:mod:`repro.core.serialize` and :class:`repro.hin.cache.ProductStore`):
+numeric payloads round-trip bit-exactly, headers carry the key and
+shape metadata, and a corrupt or stale file reads as a miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import struct
+import zipfile
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.config import ConCHConfig
+
+#: Bumped when any artifact archive layout changes; mismatches are misses.
+FORMAT_VERSION = 1
+
+#: The corrupt-archive exception set every loader in this repo treats as
+#: a cache miss (mirrors :meth:`repro.hin.cache.ProductStore.load`).
+ARCHIVE_ERRORS = (
+    OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile,
+    zlib.error, struct.error, json.JSONDecodeError,
+)
+
+#: Config fields that influence each stage's output, cumulatively: a
+#: stage's fingerprint covers its own fields plus every upstream stage's
+#: (changing ``k`` must invalidate enumeration *and* everything after
+#: it).  ``fit`` covers the full config — any hyper-parameter change
+#: retrains.
+STAGE_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "discover": (),
+    "compose": ("neighbor_strategy",),
+    "enumerate": ("k", "use_contexts", "max_instances", "seed"),
+    "featurize": (
+        "context_dim",
+        "embed_num_walks",
+        "embed_walk_length",
+        "embed_window",
+        "embed_epochs",
+    ),
+    "fit": ("*",),
+}
+
+_STAGE_ORDER = ("discover", "compose", "enumerate", "featurize", "fit")
+
+
+def config_fingerprint(config: ConCHConfig, stage: str) -> str:
+    """Stable hash of the config fields a stage (and its upstream) reads."""
+    if stage not in STAGE_FIELDS:
+        raise KeyError(f"unknown stage {stage!r}; known: {_STAGE_ORDER}")
+    payload = dataclasses.asdict(config)
+    fields: List[str] = []
+    for name in _STAGE_ORDER:
+        fields.extend(STAGE_FIELDS[name])
+        if name == stage:
+            break
+    if "*" in fields:
+        # Full config minus the pure performance knobs: cache placement
+        # and budget cannot change any output (PR 3's eviction/disk
+        # equivalence), so they must not break fit-stage resume.
+        selected = {
+            name: value
+            for name, value in payload.items()
+            if name not in ("cache_dir", "cache_memory_budget")
+        }
+    else:
+        selected = {name: payload[name] for name in sorted(set(fields))}
+    digest = hashlib.sha256(
+        json.dumps(selected, sort_keys=True, default=str).encode()
+    )
+    return digest.hexdigest()[:16]
+
+
+def stage_key(
+    content_hash: str,
+    config: ConCHConfig,
+    stage: str,
+    extra: str = "",
+) -> str:
+    """The content key of one stage's artifact.
+
+    ``extra`` folds in non-config inputs (the meta-path plan for stages
+    downstream of discovery, the split hash for ``fit``).
+    """
+    digest = hashlib.sha256(
+        f"v{FORMAT_VERSION}|{stage}|{content_hash}|"
+        f"{config_fingerprint(config, stage)}|{extra}".encode()
+    )
+    return digest.hexdigest()[:40]
+
+
+def split_hash(split) -> str:
+    """Content hash of a train/val/test split (keys the fit stage)."""
+    digest = hashlib.sha256(b"split-v1")
+    for part in (split.train, split.val, split.test):
+        arr = np.asarray(part, dtype=np.int64)
+        digest.update(struct.pack("<q", arr.size))
+        digest.update(arr.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def supervision_hash(dataset) -> str:
+    """Content hash of the target features + labels (keys the fit stage).
+
+    :func:`repro.hin.io.hin_content_hash` deliberately hashes structure
+    only — commuting products never read features or labels.  Training
+    *does* read both, so the fit artifact must additionally key on them:
+    perturbing labels on an unchanged graph (the label-noise generators
+    do exactly this) must not resurrect a bundle trained on the old
+    supervision.
+    """
+    digest = hashlib.sha256(b"supervision-v1")
+    features = np.ascontiguousarray(dataset.features, dtype=np.float64)
+    labels = np.ascontiguousarray(dataset.labels, dtype=np.int64)
+    digest.update(struct.pack("<qq", *features.shape))
+    digest.update(features.tobytes())
+    digest.update(struct.pack("<q", labels.size))
+    digest.update(labels.tobytes())
+    return digest.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------- #
+# npz plumbing (shared by every artifact)
+# ---------------------------------------------------------------------- #
+
+
+def _pack_csr(arrays: Dict[str, np.ndarray], prefix: str, matrix: sp.spmatrix) -> None:
+    matrix = sp.csr_matrix(matrix)
+    arrays[f"{prefix}/data"] = matrix.data
+    arrays[f"{prefix}/indices"] = matrix.indices
+    arrays[f"{prefix}/indptr"] = matrix.indptr
+    arrays[f"{prefix}/shape"] = np.asarray(matrix.shape, dtype=np.int64)
+
+
+def _unpack_csr(archive, prefix: str) -> sp.csr_matrix:
+    matrix = sp.csr_matrix(
+        (
+            archive[f"{prefix}/data"],
+            archive[f"{prefix}/indices"],
+            archive[f"{prefix}/indptr"],
+        ),
+        shape=tuple(int(s) for s in archive[f"{prefix}/shape"]),
+    )
+    matrix.sort_indices()
+    return matrix
+
+
+def _write_archive(path: Path, header: dict, arrays: Dict[str, np.ndarray]) -> None:
+    """Atomic uncompressed npz write (same contract as ProductStore)."""
+    payload = dict(arrays)
+    payload["__header"] = np.array(json.dumps(header))
+    tmp_path = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(tmp_path, "wb") as handle:
+        np.savez(handle, **payload)
+    tmp_path.replace(path)
+
+
+def _read_header(
+    path: Path,
+    version_field: str = "format_version",
+    expected_version: int = FORMAT_VERSION,
+) -> Optional[dict]:
+    """JSON header of an artifact/bundle archive; None on any miss.
+
+    Corrupt, truncated, non-zip, or version-mismatched files all read
+    as misses — the one contract every store in this repo shares.
+    ``version_field``/``expected_version`` let estimator bundles (which
+    carry ``bundle_format_version``) share this implementation.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            if "__header" not in archive.files:
+                return None
+            header = json.loads(str(archive["__header"]))
+    except ARCHIVE_ERRORS:
+        return None
+    if header.get(version_field) != expected_version:
+        return None
+    return header
+
+
+# ---------------------------------------------------------------------- #
+# The artifacts
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class MetaPathPlan:
+    """``discover`` output: the meta-path set the pipeline will run on."""
+
+    key: str
+    node_types: List[Tuple[str, ...]]
+    names: List[str]
+    #: "dataset" (the bundle's declared meta-paths) or "discovery"
+    #: (schema search via repro.hin.discovery).
+    source: str = "dataset"
+
+    kind = "discover"
+
+    def metapaths(self):
+        from repro.hin.metapath import MetaPath
+
+        return [
+            MetaPath(types, name=name)
+            for types, name in zip(self.node_types, self.names)
+        ]
+
+    def plan_fingerprint(self) -> str:
+        """Keys downstream stages: the plan itself is an input to them."""
+        joined = ";".join("-".join(types) for types in self.node_types)
+        return hashlib.sha256(joined.encode()).hexdigest()[:16]
+
+    def save(self, path: Path) -> None:
+        header = {
+            "format_version": FORMAT_VERSION,
+            "kind": self.kind,
+            "key": self.key,
+            "node_types": [list(t) for t in self.node_types],
+            "names": self.names,
+            "source": self.source,
+        }
+        _write_archive(path, header, {})
+
+    @classmethod
+    def load(cls, path: Path) -> Optional["MetaPathPlan"]:
+        header = _read_header(path)
+        if header is None or header.get("kind") != cls.kind:
+            return None
+        return cls(
+            key=header["key"],
+            node_types=[tuple(t) for t in header["node_types"]],
+            names=list(header["names"]),
+            source=header.get("source", "dataset"),
+        )
+
+
+@dataclass
+class ComposeReport:
+    """``compose`` output: which commuting products back this plan.
+
+    The matrices themselves live in the :class:`CommutingEngine` (and its
+    :class:`~repro.hin.cache.ProductStore` when a store directory is
+    configured) — this artifact records the *ledger*: per meta-path, the
+    product key, its nnz, and the measured compose cost.  Reloading it on
+    a warm store proves the stage can be skipped; the products
+    re-materialize lazily from disk on first access.
+    """
+
+    key: str
+    product_keys: List[Tuple[str, ...]]
+    nnz: List[int]
+    compose_seconds: List[float]
+    composed: int  # multiplications actually run this time (0 = warm)
+
+    kind = "compose"
+
+    def save(self, path: Path) -> None:
+        header = {
+            "format_version": FORMAT_VERSION,
+            "kind": self.kind,
+            "key": self.key,
+            "product_keys": [list(k) for k in self.product_keys],
+            "nnz": [int(n) for n in self.nnz],
+            "compose_seconds": [float(s) for s in self.compose_seconds],
+            "composed": int(self.composed),
+        }
+        _write_archive(path, header, {})
+
+    @classmethod
+    def load(cls, path: Path) -> Optional["ComposeReport"]:
+        header = _read_header(path)
+        if header is None or header.get("kind") != cls.kind:
+            return None
+        return cls(
+            key=header["key"],
+            product_keys=[tuple(k) for k in header["product_keys"]],
+            nnz=list(header["nnz"]),
+            compose_seconds=list(header["compose_seconds"]),
+            composed=int(header["composed"]),
+        )
+
+
+@dataclass
+class ContextSet:
+    """``enumerate`` output: retained pairs + flat context batches.
+
+    One entry per meta-path: the neighbor filter's retained ``(u, v)``
+    pairs, and — when contexts are enabled — the enumeration kernel's
+    flat instance arrays (:class:`repro.hin.context.ContextBatch` fields),
+    which round-trip bit-exactly through the archive.
+    """
+
+    key: str
+    pairs: List[np.ndarray]                    # (m, 2) per meta-path
+    instance_ids: List[Optional[np.ndarray]]   # (total, L) or None
+    indptr: List[Optional[np.ndarray]]
+    total_counts: List[Optional[np.ndarray]]
+    truncated: List[Optional[np.ndarray]]
+
+    kind = "enumerate"
+
+    @property
+    def num_metapaths(self) -> int:
+        return len(self.pairs)
+
+    def batch(self, index: int, metapath) -> Optional["object"]:
+        """Rebuild one meta-path's :class:`ContextBatch` (None = nc mode)."""
+        from repro.hin.context import ContextBatch
+
+        if self.instance_ids[index] is None:
+            return None
+        return ContextBatch(
+            metapath=metapath,
+            pairs=self.pairs[index],
+            instance_ids=self.instance_ids[index],
+            indptr=self.indptr[index],
+            total_counts=self.total_counts[index],
+            truncated=self.truncated[index],
+        )
+
+    def save(self, path: Path) -> None:
+        arrays: Dict[str, np.ndarray] = {}
+        has_batch = []
+        for i in range(self.num_metapaths):
+            arrays[f"mp{i}/pairs"] = self.pairs[i]
+            if self.instance_ids[i] is not None:
+                arrays[f"mp{i}/instance_ids"] = self.instance_ids[i]
+                arrays[f"mp{i}/indptr"] = self.indptr[i]
+                arrays[f"mp{i}/total_counts"] = self.total_counts[i]
+                arrays[f"mp{i}/truncated"] = self.truncated[i]
+                has_batch.append(True)
+            else:
+                has_batch.append(False)
+        header = {
+            "format_version": FORMAT_VERSION,
+            "kind": self.kind,
+            "key": self.key,
+            "num_metapaths": self.num_metapaths,
+            "has_batch": has_batch,
+        }
+        _write_archive(path, header, arrays)
+
+    @classmethod
+    def load(cls, path: Path) -> Optional["ContextSet"]:
+        header = _read_header(path)
+        if header is None or header.get("kind") != cls.kind:
+            return None
+        pairs, ids, indptr, totals, truncated = [], [], [], [], []
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                for i in range(int(header["num_metapaths"])):
+                    pairs.append(archive[f"mp{i}/pairs"])
+                    if header["has_batch"][i]:
+                        ids.append(archive[f"mp{i}/instance_ids"])
+                        indptr.append(archive[f"mp{i}/indptr"])
+                        totals.append(archive[f"mp{i}/total_counts"])
+                        truncated.append(archive[f"mp{i}/truncated"])
+                    else:
+                        ids.append(None)
+                        indptr.append(None)
+                        totals.append(None)
+                        truncated.append(None)
+        except ARCHIVE_ERRORS:
+            # Intact header over corrupt members (bit rot, torn copy):
+            # same contract as a corrupt header — read as a miss.
+            return None
+        return cls(
+            key=header["key"],
+            pairs=pairs,
+            instance_ids=ids,
+            indptr=indptr,
+            total_counts=totals,
+            truncated=truncated,
+        )
+
+
+@dataclass
+class FeatureSet:
+    """``featurize`` output: everything the trainer consumes.
+
+    Per meta-path: the object×context incidence, the Eq.-3 context
+    features, and the filtered neighbor adjacency (the ``ConCH_nc``
+    operator).  Object features and labels are *not* stored — they are
+    dataset-derived, exactly like :mod:`repro.core.serialize` treats
+    model-adjacent data — so :meth:`to_conch_data` takes the dataset and
+    reassembles a :class:`~repro.core.trainer.ConCHData` bit-identical
+    to an in-memory run.
+    """
+
+    key: str
+    metapath_node_types: List[Tuple[str, ...]]
+    metapath_names: List[str]
+    incidence: List[sp.csr_matrix]
+    context_features: List[np.ndarray]
+    neighbor_adj: List[sp.csr_matrix]
+    truncated_contexts: List[int]
+    substrate_stats: Dict[str, int] = field(default_factory=dict)
+
+    kind = "featurize"
+
+    def to_conch_data(self, dataset, preprocess_seconds: float = 0.0):
+        from repro.core.trainer import ConCHData, MetaPathData
+        from repro.hin.metapath import MetaPath
+
+        metapath_data = [
+            MetaPathData(
+                metapath=MetaPath(types, name=name),
+                incidence=self.incidence[i],
+                context_features=self.context_features[i],
+                neighbor_adj=self.neighbor_adj[i],
+                truncated_contexts=self.truncated_contexts[i],
+            )
+            for i, (types, name) in enumerate(
+                zip(self.metapath_node_types, self.metapath_names)
+            )
+        ]
+        return ConCHData(
+            name=dataset.name,
+            features=dataset.features,
+            labels=dataset.labels,
+            num_classes=dataset.num_classes,
+            metapath_data=metapath_data,
+            preprocess_seconds=preprocess_seconds,
+            substrate_stats=dict(self.substrate_stats),
+        )
+
+    @classmethod
+    def from_conch_data(cls, key: str, data) -> "FeatureSet":
+        return cls(
+            key=key,
+            metapath_node_types=[
+                tuple(m.metapath.node_types) for m in data.metapath_data
+            ],
+            metapath_names=[m.metapath.name for m in data.metapath_data],
+            incidence=[m.incidence for m in data.metapath_data],
+            context_features=[m.context_features for m in data.metapath_data],
+            neighbor_adj=[m.neighbor_adj for m in data.metapath_data],
+            truncated_contexts=[m.truncated_contexts for m in data.metapath_data],
+            substrate_stats=dict(data.substrate_stats),
+        )
+
+    def save(self, path: Path) -> None:
+        arrays: Dict[str, np.ndarray] = {}
+        for i in range(len(self.metapath_names)):
+            _pack_csr(arrays, f"mp{i}/incidence", self.incidence[i])
+            _pack_csr(arrays, f"mp{i}/neighbor_adj", self.neighbor_adj[i])
+            arrays[f"mp{i}/context_features"] = self.context_features[i]
+        header = {
+            "format_version": FORMAT_VERSION,
+            "kind": self.kind,
+            "key": self.key,
+            "metapath_node_types": [list(t) for t in self.metapath_node_types],
+            "metapath_names": self.metapath_names,
+            "truncated_contexts": [int(t) for t in self.truncated_contexts],
+            "substrate_stats": {
+                k: int(v) for k, v in self.substrate_stats.items()
+            },
+        }
+        _write_archive(path, header, arrays)
+
+    @classmethod
+    def load(cls, path: Path) -> Optional["FeatureSet"]:
+        header = _read_header(path)
+        if header is None or header.get("kind") != cls.kind:
+            return None
+        incidence, context_features, neighbor_adj = [], [], []
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                for i in range(len(header["metapath_names"])):
+                    incidence.append(_unpack_csr(archive, f"mp{i}/incidence"))
+                    neighbor_adj.append(
+                        _unpack_csr(archive, f"mp{i}/neighbor_adj")
+                    )
+                    context_features.append(archive[f"mp{i}/context_features"])
+        except ARCHIVE_ERRORS:
+            return None
+        return cls(
+            key=header["key"],
+            metapath_node_types=[
+                tuple(t) for t in header["metapath_node_types"]
+            ],
+            metapath_names=list(header["metapath_names"]),
+            incidence=incidence,
+            context_features=context_features,
+            neighbor_adj=neighbor_adj,
+            truncated_contexts=list(header["truncated_contexts"]),
+            substrate_stats=dict(header.get("substrate_stats", {})),
+        )
+
+
+#: kind string → artifact class, for the store's generic loader.
+ARTIFACT_KINDS = {
+    cls.kind: cls for cls in (MetaPathPlan, ComposeReport, ContextSet, FeatureSet)
+}
+
+
+class ArtifactStore:
+    """Directory of content-addressed stage artifacts.
+
+    Files are ``<kind>-<key>.npz``; a missing, corrupt, or key-mismatched
+    file reads as a miss (the pipeline recomputes and rewrites — the
+    exact contract :class:`~repro.hin.cache.ProductStore` uses for
+    products).
+    """
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, kind: str, key: str) -> Path:
+        return self.directory / f"{kind}-{key}.npz"
+
+    def get(self, kind: str, key: str):
+        """The stored artifact for ``(kind, key)``, or None."""
+        cls = ARTIFACT_KINDS[kind]
+        path = self.path_for(kind, key)
+        if not path.exists():
+            return None
+        artifact = cls.load(path)
+        if artifact is None or artifact.key != key:
+            return None
+        return artifact
+
+    def put(self, artifact) -> Path:
+        """Persist an artifact under its content key; returns the path."""
+        path = self.path_for(artifact.kind, artifact.key)
+        artifact.save(path)
+        return path

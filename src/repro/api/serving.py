@@ -1,0 +1,189 @@
+"""Per-node serving over a trained ConCH bundle — no full-graph re-prep.
+
+:class:`ModelHandle` answers label/probability queries for *individual
+nodes* the way a serving replica would: it loads a self-contained
+estimator bundle once (model weights + the cached operators the pipeline
+built), and each ``predict_nodes(ids)`` call touches only the **rows**
+of those cached matrices that the queried nodes' receptive fields need —
+the first cut of the ROADMAP's minibatch-aware row-sliced caching
+direction.
+
+How the slice stays exact
+-------------------------
+One ConCH layer is two hops in the object/context bipartite graph
+(context ← its 2 endpoint objects, object ← its incident contexts), so
+an ``L``-layer model's output at a node depends on the ``2L``-hop ball
+around it.  ``predict_nodes`` grows that ball by ``L`` rounds of
+row-sliced sparse lookups — contexts incident to the frontier
+(``B[rows]``), then their endpoint objects (``Bᵀ[cols]``) — across *all*
+meta-path towers at once, then runs the ordinary forward on the induced
+sub-operators.  Nodes on the ball's boundary see truncated neighborhoods,
+but their (possibly wrong) deep-layer values cannot propagate back to
+the queried ids within ``L`` layers, so the returned predictions are
+**bit-identical** to a full-graph forward — the conformance tests assert
+exactly that.
+
+On the synthetic DBLP fixture a single-node query touches a few percent
+of the graph instead of all of it; the win grows with graph size and
+shrinks with ``L`` and density, exactly like minibatch GNN sampling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.autograd.tensor import Tensor, no_grad
+
+
+class ModelHandle:
+    """A loaded, query-ready ConCH model (see module docstring).
+
+    Build one with :meth:`load` (from a bundle path) or
+    :meth:`from_estimator` (from a fitted
+    :class:`~repro.api.estimator.ConCHEstimator`).
+    """
+
+    def __init__(self, data, config, model):
+        self.data = data
+        self.config = config
+        self.model = model
+        self.model.eval()
+        self.use_contexts = bool(config.use_contexts)
+        self.num_objects = data.features.shape[0]
+        # Row-sliceable cached operators.  Incidence transposes are
+        # precomputed once: they answer "which objects touch these
+        # contexts" by row slicing too.
+        self._operators: List[sp.csr_matrix] = []
+        self._transposed: List[Optional[sp.csr_matrix]] = []
+        self._context_features: List[Optional[np.ndarray]] = []
+        for m in data.metapath_data:
+            if self.use_contexts:
+                operator = sp.csr_matrix(m.incidence)
+                self._transposed.append(sp.csr_matrix(operator.T))
+                self._context_features.append(m.context_features)
+            else:
+                operator = sp.csr_matrix(m.neighbor_adj)
+                self._transposed.append(None)
+                self._context_features.append(None)
+            self._operators.append(operator)
+        #: Telemetry of the most recent query: sizes of the induced
+        #: subgraph vs. the full graph.
+        self.last_query_stats: Dict[str, object] = {}
+
+    # ------------------------------------------------------------- #
+    # Constructors
+    # ------------------------------------------------------------- #
+
+    @classmethod
+    def from_estimator(cls, estimator) -> "ModelHandle":
+        """Wrap a fitted ConCH estimator without touching disk."""
+        estimator._require_fitted()
+        return cls(estimator.data, estimator.config, estimator.trainer.model)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ModelHandle":
+        """Open a serving handle over a saved estimator bundle."""
+        from repro.api.estimator import ConCHEstimator
+
+        estimator = ConCHEstimator.load(path)
+        if estimator is None:
+            raise ValueError(f"{path} is not a ConCH estimator bundle")
+        return cls.from_estimator(estimator)
+
+    # ------------------------------------------------------------- #
+    # Receptive-field gathering (row slices only)
+    # ------------------------------------------------------------- #
+
+    def _rows_union(self, matrix: sp.csr_matrix, rows: np.ndarray) -> np.ndarray:
+        """Unique column ids touched by a set of rows (pure row slice)."""
+        if rows.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = matrix.indptr[rows]
+        stops = matrix.indptr[rows + 1]
+        chunks = [
+            matrix.indices[a:b] for a, b in zip(starts, stops) if b > a
+        ]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(chunks)).astype(np.int64)
+
+    def _gather(self, ids: np.ndarray):
+        """The ``2L``-hop ball of ``ids`` across every meta-path tower."""
+        num_layers = self.config.num_layers
+        objects = np.unique(ids)
+        contexts: List[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in self._operators
+        ]
+        for _ in range(num_layers):
+            frontier = [objects]
+            for index, operator in enumerate(self._operators):
+                if self.use_contexts:
+                    ctx = self._rows_union(operator, objects)
+                    contexts[index] = ctx
+                    frontier.append(
+                        self._rows_union(self._transposed[index], ctx)
+                    )
+                else:
+                    frontier.append(self._rows_union(operator, objects))
+            objects = np.unique(np.concatenate(frontier))
+        return objects, contexts
+
+    # ------------------------------------------------------------- #
+    # Queries
+    # ------------------------------------------------------------- #
+
+    def _sliced_forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64).ravel()
+        if ids.size == 0:
+            return np.empty((0, self.data.num_classes), dtype=np.float64)
+        if ids.min() < 0 or ids.max() >= self.num_objects:
+            raise IndexError(
+                f"node ids out of range [0, {self.num_objects})"
+            )
+        objects, contexts = self._gather(ids)
+        operators = []
+        context_tensors = []
+        for index, operator in enumerate(self._operators):
+            if self.use_contexts:
+                ctx = contexts[index]
+                operators.append(operator[objects][:, ctx])
+                context_tensors.append(
+                    Tensor(self._context_features[index][ctx])
+                )
+            else:
+                operators.append(operator[objects][:, objects])
+                context_tensors.append(None)
+        self.last_query_stats = {
+            "query_nodes": int(ids.size),
+            "subgraph_objects": int(objects.size),
+            "subgraph_contexts": [int(c.size) for c in contexts],
+            "total_objects": int(self.num_objects),
+            "object_fraction": float(objects.size) / max(self.num_objects, 1),
+        }
+        features = Tensor(self.data.features[objects])
+        self.model.eval()
+        with no_grad():
+            logits, _ = self.model(features, operators, context_tensors)
+        positions = np.searchsorted(objects, ids)
+        return logits.data[positions]
+
+    def predict_nodes(self, ids) -> np.ndarray:
+        """Predicted labels for the queried node ids (input order kept)."""
+        return self._sliced_forward(ids).argmax(axis=1)
+
+    def predict_proba_nodes(self, ids) -> np.ndarray:
+        """Per-class probabilities for the queried node ids."""
+        from repro.eval.metrics import softmax
+
+        return softmax(self._sliced_forward(ids))
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelHandle({self.data.name!r}, objects={self.num_objects}, "
+            f"metapaths={len(self._operators)}, "
+            f"layers={self.config.num_layers})"
+        )

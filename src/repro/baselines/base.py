@@ -21,7 +21,7 @@ import scipy.sparse as sp
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.base import HINDataset
 from repro.data.splits import Split
-from repro.eval.metrics import macro_f1, micro_f1
+from repro.eval.metrics import macro_f1, micro_f1, softmax
 from repro.eval.timing import ConvergenceRecorder
 from repro.hin.adjacency import metapath_binary_adjacency
 from repro.hin.metapath import MetaPath
@@ -101,14 +101,28 @@ class SemiSupervisedTrainer:
         stopper.restore(self.model)
         return self
 
-    def predict(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
+    def _logits(self) -> Tensor:
+        """One eval-mode forward over all nodes (shared by predictions)."""
         self.model.eval()
         with no_grad():
-            logits = self.forward(self.model)
-        predictions = logits.argmax(axis=1)
+            return self.forward(self.model)
+
+    def predict(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        predictions = self._logits().argmax(axis=1)
         if indices is None:
             return predictions
         return predictions[np.asarray(indices)]
+
+    def predict_proba(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Softmax class probabilities over all (or the given) nodes.
+
+        The estimator-contract counterpart of :meth:`predict`
+        (:class:`repro.api.Estimator`).
+        """
+        proba = softmax(self._logits().data)
+        if indices is None:
+            return proba
+        return proba[np.asarray(indices)]
 
     def evaluate(self, indices: np.ndarray, num_classes: int) -> Dict[str, float]:
         indices = np.asarray(indices)

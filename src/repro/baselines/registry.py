@@ -267,3 +267,20 @@ def make_method(name: str, **kwargs) -> Callable:
     if name not in BASELINES:
         raise KeyError(f"unknown baseline {name!r}; known: {sorted(BASELINES)}")
     return BASELINES[name](**kwargs)
+
+
+def baseline_names() -> list:
+    """Registered baseline names, sorted — the ``model=`` vocabulary of
+    :func:`repro.api.fit` beyond ``"conch"`` and its variants."""
+    return sorted(BASELINES)
+
+
+def make_estimator(name: str, dataset, seed: int = 0, **kwargs):
+    """A registered baseline as a :class:`repro.api.Estimator`.
+
+    Convenience wrapper over :class:`repro.api.MethodEstimator`: the
+    uniform fit/predict/save surface for any Table-I column.
+    """
+    from repro.api.estimator import MethodEstimator
+
+    return MethodEstimator(name, dataset, seed=seed, **kwargs)

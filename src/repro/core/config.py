@@ -96,3 +96,14 @@ class ConCHConfig:
     def with_overrides(self, **kwargs) -> "ConCHConfig":
         """Copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def fingerprint(self, stage: str = "fit") -> str:
+        """Stable hash of the fields a pipeline stage reads.
+
+        Stage-scoped and cumulative (``"fit"`` covers every field):
+        combined with the HIN content hash it forms the content key of
+        that stage's artifact — see :mod:`repro.api.artifacts`.
+        """
+        from repro.api.artifacts import config_fingerprint
+
+        return config_fingerprint(self, stage)

@@ -29,20 +29,20 @@ from repro.core.model import ConCH
 FORMAT_VERSION = 1
 
 
-def save_model(model: ConCH, path: Union[str, Path]) -> None:
-    """Write a trained ConCH model to ``path`` (``.npz``)."""
-    state = model.state_dict()
-    # Reconstruction metadata: config + constructor dims.  The first conv
-    # layer's input dims are the constructor's feature/context dims; in
-    # ConCH_nc mode (NeighborConv) there is no context input, but the
-    # constructor still needs a value — the config's context_dim matches
-    # what the trainer passed.
+def model_header(model: ConCH) -> dict:
+    """Reconstruction metadata of a ConCH model: config + constructor dims.
+
+    The first conv layer's input dims are the constructor's
+    feature/context dims; in ConCH_nc mode (NeighborConv) there is no
+    context input, but the constructor still needs a value — the config's
+    context_dim matches what the trainer passed.
+    """
     first = model.towers[0].layers[0]
     feature_dim = getattr(first, "object_in_dim", None)
     if feature_dim is None:
         feature_dim = first.in_dim
     context_dim = getattr(first, "context_in_dim", model.config.context_dim)
-    header = {
+    return {
         "format_version": FORMAT_VERSION,
         "config": dataclasses.asdict(model.config),
         "feature_dim": int(feature_dim),
@@ -50,17 +50,15 @@ def save_model(model: ConCH, path: Union[str, Path]) -> None:
         "num_metapaths": int(model.num_metapaths),
         "num_classes": int(model.num_classes),
     }
-    arrays = {f"param/{name}": value for name, value in state.items()}
-    arrays["__header"] = np.array(json.dumps(header))
-    np.savez_compressed(Path(path), **arrays)
 
 
-def load_model(path: Union[str, Path]) -> ConCH:
-    """Reconstruct a ConCH model saved by :func:`save_model`."""
-    archive = np.load(Path(path), allow_pickle=False)
-    if "__header" not in archive.files:
-        raise ValueError(f"{path} is not a ConCH checkpoint (missing header)")
-    header = json.loads(str(archive["__header"]))
+def model_param_arrays(model: ConCH) -> dict:
+    """``param/<name>`` arrays of a model's state dict (archive payload)."""
+    return {f"param/{name}": value for name, value in model.state_dict().items()}
+
+
+def model_from_archive(header: dict, archive) -> ConCH:
+    """Rebuild a ConCH model from its header + an open npz archive."""
     version = header.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(
@@ -83,3 +81,19 @@ def load_model(path: Union[str, Path]) -> ConCH:
     model.load_state_dict(state)
     model.eval()
     return model
+
+
+def save_model(model: ConCH, path: Union[str, Path]) -> None:
+    """Write a trained ConCH model to ``path`` (``.npz``)."""
+    arrays = model_param_arrays(model)
+    arrays["__header"] = np.array(json.dumps(model_header(model)))
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_model(path: Union[str, Path]) -> ConCH:
+    """Reconstruct a ConCH model saved by :func:`save_model`."""
+    archive = np.load(Path(path), allow_pickle=False)
+    if "__header" not in archive.files:
+        raise ValueError(f"{path} is not a ConCH checkpoint (missing header)")
+    header = json.loads(str(archive["__header"]))
+    return model_from_archive(header, archive)

@@ -2,34 +2,32 @@
 
 Preprocessing (:func:`prepare_conch_data`) is done once per (dataset, k,
 strategy) — exactly as the paper performs neighbor filtering and context
-feature extraction offline.  Training (:class:`ConCHTrainer`) then runs
-the multi-task objective with Adam and early stopping.
+feature extraction offline.  It is now a thin shim over the staged
+:class:`repro.api.Pipeline` (``discover → compose → enumerate →
+featurize``), which additionally persists per-stage artifacts and skips
+completed stages when given a store directory.  Training
+(:class:`ConCHTrainer`) then runs the multi-task objective with Adam and
+early stopping; :class:`repro.api.ConCHEstimator` wraps it in the shared
+estimator contract.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.tensor import Tensor, no_grad
-from repro.core.bipartite_conv import neighbor_adjacency_from_pairs
 from repro.core.config import ConCHConfig
-from repro.core.context_features import build_context_features
 from repro.core.discriminator import shuffle_features
 from repro.core.model import ConCH
 from repro.data.base import HINDataset
 from repro.data.splits import Split
-from repro.embedding.metapath2vec import metapath2vec_embeddings
 from repro.eval.metrics import macro_f1, micro_f1
 from repro.eval.timing import ConvergenceRecorder
-from repro.hin.bipartite import BipartiteGraph, build_bipartite_graph
-from repro.hin.engine import get_engine
 from repro.hin.metapath import MetaPath
-from repro.hin.neighbors import NeighborFilter
 from repro.nn.losses import cross_entropy
 from repro.nn.optim import Adam
 from repro.nn.schedulers import EarlyStopping
@@ -90,6 +88,15 @@ def prepare_conch_data(
 ) -> ConCHData:
     """Offline steps x–z of Fig. 2 plus context feature construction.
 
+    .. deprecated:: 1.2
+        Thin shim over the staged :class:`repro.api.Pipeline` (kept for
+        back-compat — every call site works unchanged).  The pipeline
+        runs the same stages — ``discover → compose → enumerate →
+        featurize`` — in memory and returns a bit-identical
+        :class:`ConCHData`; construct a :class:`~repro.api.Pipeline`
+        directly to persist per-stage artifacts and skip completed
+        stages on reruns.
+
     Parameters
     ----------
     dataset:
@@ -101,75 +108,9 @@ def prepare_conch_data(
         Optional precomputed per-type initial embeddings (else
         metapath2vec is trained here, as in the paper).
     """
-    start = time.perf_counter()
-    rng = np.random.default_rng(config.seed)
-    hin = dataset.hin
-    # One shared engine serves every substrate consumer below (neighbor
-    # filtering, context enumeration, random walks): each meta-path's
-    # commuting matrix is composed at most once for the whole pipeline.
-    # Config may bound the cache's resident bytes and/or point it at a
-    # disk-backed product store (a warm store skips composition entirely
-    # on repeated runs over the same dataset).
-    engine_config = {}
-    if config.cache_memory_budget is not None:
-        engine_config["memory_budget"] = config.cache_memory_budget
-    if config.cache_dir is not None:
-        engine_config["cache_dir"] = config.cache_dir
-    engine = get_engine(hin, **engine_config)
+    from repro.api.pipeline import Pipeline
 
-    if config.use_contexts and embeddings is None:
-        embeddings = metapath2vec_embeddings(
-            hin,
-            dataset.metapaths,
-            dim=config.context_dim,
-            num_walks=config.embed_num_walks,
-            walk_length=config.embed_walk_length,
-            window=config.embed_window,
-            epochs=config.embed_epochs,
-            seed=config.seed,
-        )
-
-    neighbor_filter = NeighborFilter(k=config.k, strategy=config.neighbor_strategy)
-    num_objects = dataset.num_targets
-    metapath_data: List[MetaPathData] = []
-    for metapath in dataset.metapaths:
-        bipartite = build_bipartite_graph(
-            hin,
-            metapath,
-            neighbor_filter,
-            rng=rng,
-            enumerate_instances=config.use_contexts,
-            max_instances=config.max_instances,
-        )
-        if config.use_contexts:
-            # The bipartite graph carries the kernel's flat ContextBatch;
-            # feature construction consumes it without ever materializing
-            # per-instance Python tuples.
-            context_features = build_context_features(bipartite, embeddings)
-            truncated = int(bipartite.context_batch.truncated.sum())
-        else:
-            context_features = np.zeros((bipartite.num_contexts, config.context_dim))
-            truncated = 0
-        neighbor_adj = neighbor_adjacency_from_pairs(bipartite.pairs, num_objects)
-        metapath_data.append(
-            MetaPathData(
-                metapath=metapath,
-                incidence=bipartite.incidence,
-                context_features=context_features,
-                neighbor_adj=neighbor_adj,
-                truncated_contexts=truncated,
-            )
-        )
-
-    return ConCHData(
-        name=dataset.name,
-        features=dataset.features,
-        labels=dataset.labels,
-        num_classes=dataset.num_classes,
-        metapath_data=metapath_data,
-        preprocess_seconds=time.perf_counter() - start,
-        substrate_stats=engine.stats(),
-    )
+    return Pipeline(dataset, config=config).prepare(embeddings=embeddings)
 
 
 class ConCHTrainer:
@@ -284,17 +225,31 @@ class ConCHTrainer:
     # Inference
     # ------------------------------------------------------------------ #
 
-    def predict(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
-        """Predicted labels for the given indices (default: all objects)."""
+    def _logits(self) -> np.ndarray:
+        """One full-graph forward in eval mode; raw logits ``(n, r)``."""
         self.model.eval()
         with no_grad():
             logits, _ = self.model(
                 self._features, self._operators, self._context_tensors
             )
-        predictions = logits.argmax(axis=1)
+        return logits.data
+
+    def predict(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Predicted labels for the given indices (default: all objects)."""
+        predictions = self._logits().argmax(axis=1)
         if indices is None:
             return predictions
         return predictions[np.asarray(indices)]
+
+    def predict_proba(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
+        """Softmax class probabilities (the estimator-contract twin of
+        :meth:`predict` — see :class:`repro.api.Estimator`)."""
+        from repro.eval.metrics import softmax
+
+        proba = softmax(self._logits())
+        if indices is None:
+            return proba
+        return proba[np.asarray(indices)]
 
     def embeddings(self) -> np.ndarray:
         """Final fused object embeddings ``{z_i}`` (Algorithm 1 output)."""

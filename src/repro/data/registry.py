@@ -84,3 +84,24 @@ def dataset_hyperparams(name: str) -> DatasetEntry:
     if key not in DATASETS:
         raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}")
     return DATASETS[key]
+
+
+def default_conch_config(name: str, **overrides):
+    """A :class:`~repro.core.config.ConCHConfig` with this dataset's
+    per-paper hyper-parameters (§V-C: ``k``, ``L``, context dim, λ),
+    overridable field-by-field.  Unregistered names fall back to the
+    global defaults — ad-hoc :class:`HINDataset` bundles stay usable.
+    """
+    from repro.core.config import ConCHConfig
+
+    base = {}
+    entry = DATASETS.get(name.lower())
+    if entry is not None:
+        base = dict(
+            k=entry.k,
+            num_layers=entry.num_layers,
+            context_dim=entry.context_dim,
+            lambda_ss=entry.lambda_ss,
+        )
+    base.update(overrides)
+    return ConCHConfig(**base)

@@ -36,6 +36,25 @@ class MethodOutput:
 MethodFn = Callable[[HINDataset, Split, int], MethodOutput]
 
 
+def method_from_estimator(
+    factory: Callable[[HINDataset, int], "object"],
+) -> MethodFn:
+    """Adapt an estimator factory to the harness ``MethodFn`` contract.
+
+    ``factory(dataset, seed)`` must return an unfitted
+    :class:`repro.api.Estimator`; the wrapper fits it on the contest
+    split and reports test-set predictions.  The inverse of
+    :class:`repro.api.MethodEstimator` — together they make estimators
+    and harness methods fully interchangeable.
+    """
+
+    def method(dataset: HINDataset, split: Split, seed: int) -> MethodOutput:
+        estimator = factory(dataset, seed).fit(split)
+        return MethodOutput(test_predictions=estimator.predict(split.test))
+
+    return method
+
+
 @dataclass
 class ContestResult:
     """Scores of one method on one contest (possibly averaged over repeats)."""

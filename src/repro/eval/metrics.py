@@ -15,6 +15,18 @@ from typing import Optional, Tuple
 import numpy as np
 
 
+def softmax(logits: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Numerically stable softmax over ``axis`` (shift-exp-normalize).
+
+    The one shared implementation behind every ``predict_proba`` in the
+    estimator contract (:class:`repro.api.Estimator`).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
 def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     y_true = np.asarray(y_true, dtype=np.int64)
     y_pred = np.asarray(y_pred, dtype=np.int64)

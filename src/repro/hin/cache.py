@@ -52,6 +52,7 @@ import hashlib
 import os
 import struct
 import sys
+import time
 import zipfile
 import zlib
 from collections import OrderedDict
@@ -108,17 +109,30 @@ class _Entry:
     value: Any
     nbytes: int
     evictable: bool
+    cost: float = 0.0
+    priority: float = 0.0
 
 
 class LRUByteCache:
-    """A least-recently-used cache with a byte budget.
+    """A byte-budgeted cache with cost-aware (GreedyDual-Size) eviction.
 
     Entries are kept in recency order (:class:`~collections.OrderedDict`);
     :meth:`get` freshens, :meth:`put` inserts at the most-recent end and
-    then evicts least-recently-used evictable entries until the resident
-    total fits the budget again.  Entries registered with ``nbytes=0``
-    (aliases of data pinned elsewhere) are never chosen for eviction —
-    dropping them frees nothing.
+    then evicts evictable entries until the resident total fits the budget
+    again.  Entries registered with ``nbytes=0`` (aliases of data pinned
+    elsewhere) are never chosen for eviction — dropping them frees
+    nothing.
+
+    Victim selection follows GreedyDual-Size: every entry carries a
+    priority ``clock + cost / nbytes`` stamped at insertion and refreshed
+    on access, where ``cost`` is the caller-measured expense of rebuilding
+    the entry (the engine feeds compose/build wall-clock seconds from its
+    compose-event log).  Eviction drops the minimum-priority entry and
+    advances the clock to that priority, so expensive entries survive
+    pressure from cheap ones but age out once the cheap ones have cycled
+    enough.  With every cost at the default ``0.0`` all priorities stay
+    equal and ties break toward the least recently used — i.e. the policy
+    degenerates to exact LRU, the pre-cost behavior.
 
     The cache never drops *non-evictable* entries for space, so the
     resident total can exceed the budget only by the non-evictable
@@ -137,6 +151,8 @@ class LRUByteCache:
         self._budget = self._validate_budget(budget)
         self._on_evict = on_evict
         self._resident = 0
+        #: GreedyDual-Size aging clock: rises to each evicted priority.
+        self._clock = 0.0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -183,6 +199,7 @@ class LRUByteCache:
             return default
         self.hits += 1
         self._entries.move_to_end(key)
+        entry.priority = self._priority(entry)
         return entry.value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
@@ -196,18 +213,29 @@ class LRUByteCache:
         value: Any,
         nbytes: Optional[int] = None,
         evictable: bool = True,
+        cost: float = 0.0,
     ) -> None:
         """Insert (or replace) an entry and enforce the budget.
 
         ``nbytes`` defaults to :func:`nbytes_of`; pass ``0`` for aliases
-        whose bytes are pinned elsewhere.  With a budget of 0 the entry
-        is admitted and immediately evicted — callers still return the
-        value they just built, so semantics never change.
+        whose bytes are pinned elsewhere.  ``cost`` is the measured
+        expense of rebuilding the value (seconds, or any consistent
+        unit); it weights eviction priority — see the class docstring.
+        With a budget of 0 the entry is admitted and immediately evicted
+        — callers still return the value they just built, so semantics
+        never change.
         """
         if nbytes is None:
             nbytes = nbytes_of(value)
         self.discard(key)
-        self._entries[key] = _Entry(value=value, nbytes=int(nbytes), evictable=evictable)
+        entry = _Entry(
+            value=value,
+            nbytes=int(nbytes),
+            evictable=evictable,
+            cost=float(max(cost, 0.0)),
+        )
+        entry.priority = self._priority(entry)
+        self._entries[key] = entry
         self._resident += int(nbytes)
         self._enforce()
 
@@ -221,26 +249,45 @@ class LRUByteCache:
         """Drop every entry (no eviction callbacks; counters are kept)."""
         self._entries.clear()
         self._resident = 0
+        self._clock = 0.0
 
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
+    def _priority(self, entry: _Entry) -> float:
+        """GreedyDual-Size priority at the current clock.
+
+        ``cost`` is normalized per byte so a huge cheap matrix does not
+        outrank a small expensive one purely by absolute rebuild time.
+        """
+        if entry.cost <= 0.0:
+            return self._clock
+        return self._clock + entry.cost / max(entry.nbytes, 1)
+
     def _enforce(self) -> None:
         if self._budget is None:
             return
         while self._resident > self._budget:
             victim_key = None
+            victim_priority = None
             for key, entry in self._entries.items():  # LRU-first order
-                if entry.evictable and entry.nbytes > 0:
+                if not entry.evictable or entry.nbytes <= 0:
+                    continue
+                # Strict < keeps ties on the least-recently-used entry,
+                # so zero costs reproduce exact LRU.
+                if victim_priority is None or entry.priority < victim_priority:
                     victim_key = key
-                    break
+                    victim_priority = entry.priority
             if victim_key is None:
                 return
             entry = self._entries.pop(victim_key)
             self._resident -= entry.nbytes
             self.evictions += 1
+            # Age the cache: everything still resident is now worth its
+            # cost *relative to* the evicted entry's priority.
+            self._clock = max(self._clock, entry.priority)
             if self._on_evict is not None:
                 self._on_evict(victim_key, entry.value)
 
@@ -264,14 +311,37 @@ class ProductStore:
     verified on load, so a file that is stale (graph changed), corrupt
     (truncated, garbage), or a filename collision is silently treated as
     a miss — the caller recomposes and rewrites it.
+
+    Concurrent-writer dedupe
+    ------------------------
+    Writes are atomic (temp file + ``rename``), so parallel workers can
+    never corrupt the store — but without coordination they *race to
+    compose* the same product, paying the multiplication once per
+    process.  The claim protocol fixes that: before composing, a worker
+    calls :meth:`acquire_claim` (an ``O_CREAT | O_EXCL`` sidecar file —
+    atomic on POSIX and NFS alike); exactly one worker per cluster wins
+    and composes, while the others :meth:`wait_for` the winner's
+    write-through and load the finished product from disk.  Claims are
+    leases, not locks: a claim older than ``claim_ttl`` seconds is
+    considered abandoned (crashed writer) and is broken by the next
+    waiter, which then composes itself — dedupe is best-effort and can
+    never deadlock or lose a product.
     """
 
     #: Bumped when the archive layout changes; mismatches read as misses.
     FORMAT_VERSION = 1
 
-    def __init__(self, directory: Union[str, Path]):
+    #: Seconds after which an unreleased claim counts as abandoned.
+    DEFAULT_CLAIM_TTL = 60.0
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        claim_ttl: float = DEFAULT_CLAIM_TTL,
+    ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.claim_ttl = float(claim_ttl)
 
     def path_for(self, content_hash: str, key: Sequence[str]) -> Path:
         """Deterministic archive path for one ``(hash, node-type key)``."""
@@ -346,3 +416,108 @@ class ProductStore:
                 pass
             return False
         return True
+
+    # ------------------------------------------------------------------ #
+    # Concurrent-writer dedupe (claim protocol)
+    # ------------------------------------------------------------------ #
+
+    def claim_path_for(self, content_hash: str, key: Sequence[str]) -> Path:
+        """Sidecar claim-file path for one ``(hash, node-type key)``."""
+        path = self.path_for(content_hash, key)
+        return path.with_name(path.name + ".claim")
+
+    def _claim_is_stale(self, claim_path: Path) -> bool:
+        """True when the claim is older than the TTL (abandoned writer)."""
+        try:
+            age = time.time() - claim_path.stat().st_mtime
+        except OSError:
+            # Vanished between the existence check and stat: the holder
+            # finished (or another waiter broke it) — not stale, gone.
+            return False
+        return age > self.claim_ttl
+
+    def acquire_claim(self, content_hash: str, key: Sequence[str]) -> bool:
+        """Try to become the (single) composer of one product.
+
+        Returns True when this process holds the claim and must compose
+        + :meth:`save` + :meth:`release_claim`; False when another live
+        worker holds it (call :meth:`wait_for`).  A stale claim is
+        broken and re-contested once; any filesystem error degrades to
+        False — the caller then just composes redundantly, which is
+        always safe.
+        """
+        claim_path = self.claim_path_for(content_hash, key)
+        for _attempt in range(2):
+            try:
+                fd = os.open(
+                    claim_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                if self._claim_is_stale(claim_path):
+                    try:
+                        claim_path.unlink(missing_ok=True)
+                    except OSError:
+                        return False
+                    continue  # re-contest the freed claim exactly once
+                return False
+            except OSError:
+                return False
+            try:
+                os.write(fd, str(os.getpid()).encode())
+            except OSError:
+                pass
+            finally:
+                os.close(fd)
+            return True
+        return False
+
+    def refresh_claim(self, content_hash: str, key: Sequence[str]) -> None:
+        """Renew a held claim's lease (mtime) during long compositions.
+
+        The engine calls this between a product's sub-compositions and
+        its final multiply, so deep chains do not exhaust the TTL while
+        their prefixes build.  A single multiplication longer than
+        ``claim_ttl`` can still be stolen — dedupe stays best-effort,
+        the duplicate compose is the only cost.
+        """
+        try:
+            os.utime(self.claim_path_for(content_hash, key))
+        except OSError:
+            pass
+
+    def release_claim(self, content_hash: str, key: Sequence[str]) -> None:
+        """Drop this process's claim (missing file is fine)."""
+        try:
+            self.claim_path_for(content_hash, key).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def wait_for(
+        self,
+        content_hash: str,
+        key: Sequence[str],
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ) -> Optional[sp.csr_matrix]:
+        """Poll for a product another worker claimed; None on timeout.
+
+        Returns as soon as the product loads, or — when the claim
+        disappears (writer released) or goes stale (writer died) —
+        after one final load attempt.  ``None`` means the caller should
+        compose the product itself.
+        """
+        if timeout is None:
+            timeout = self.claim_ttl
+        claim_path = self.claim_path_for(content_hash, key)
+        deadline = time.monotonic() + timeout
+        while True:
+            matrix = self.load(content_hash, key)
+            if matrix is not None:
+                return matrix
+            if not claim_path.exists() or self._claim_is_stale(claim_path):
+                # Writer finished (released before our load raced it) or
+                # died; one last look, then hand composition back.
+                return self.load(content_hash, key)
+            if time.monotonic() >= deadline:
+                return None
+            time.sleep(poll_interval)

@@ -74,6 +74,7 @@ copies for callers that want ownership).
 
 from __future__ import annotations
 
+import time
 import weakref
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -285,8 +286,17 @@ class CommutingEngine:
         #: generation — the call-count spy hook: duplicates here mean a
         #: product was rebuilt.  Cleared on invalidation.
         self.compose_log: List[Key] = []
+        #: Measured wall-clock seconds of each composition, keyed by
+        #: product key (the compose-event log).  Feeds the cost-aware
+        #: eviction priority: an entry's rebuild cost weights it against
+        #: recency, so a 5-hop product survives pressure from cheap
+        #: diagonals.
+        self.compose_seconds: Dict[Key, float] = {}
         self.disk_hits = 0
         self.spills = 0
+        #: Compositions avoided by waiting on another worker's claim
+        #: (concurrent-writer dedupe; see ProductStore.acquire_claim).
+        self.claim_waits = 0
 
     @property
     def _hin(self) -> HIN:
@@ -387,8 +397,10 @@ class CommutingEngine:
         self._cache.reset_stats()
         self._on_disk.clear()
         self.compose_log.clear()
+        self.compose_seconds.clear()
         self.disk_hits = 0
         self.spills = 0
+        self.claim_waits = 0
         self._version = self._hin.version
 
     # -------------------------------------------------------------- #
@@ -426,12 +438,15 @@ class CommutingEngine:
         On a miss the view is rebuilt by ``build()`` and re-registered —
         this is what makes eviction semantically invisible: the build
         closures only read cached products (themselves recomposable) and
-        the pinned base matrices.
+        the pinned base matrices.  The build's wall-clock cost weights
+        the entry's eviction priority (expensive views outlive cheap
+        ones under memory pressure).
         """
         value = self._cache.get(key, _MISS)
         if value is _MISS:
+            started = time.perf_counter()
             value = build()
-            self._cache.put(key, value)
+            self._cache.put(key, value, cost=time.perf_counter() - started)
         return value
 
     def chain(self, metapath: MetaPath) -> List[sp.csr_matrix]:
@@ -459,24 +474,69 @@ class CommutingEngine:
             result = self.base(key[0], key[1])
             self._cache.put(("product", key), result, nbytes=0)
             return result
+        # The entry's eviction-priority cost is what a *post-eviction*
+        # re-acquisition would pay: the measured disk-load time when the
+        # product is on disk, the measured compose time otherwise.
+        # Claim-wait blocking time is deliberately excluded — after a
+        # wait the product sits on disk, so its re-acquisition is a
+        # cheap load no matter how long the peer took to write it.
+        cost = 0.0
         result = None
         if self._store is not None:
-            result = self._store.load(self._content_hash(), key)
+            content_hash = self._content_hash()
+            started = time.perf_counter()
+            result = self._store.load(content_hash, key)
             if result is not None:
+                cost = time.perf_counter() - started
                 self.disk_hits += 1
                 self._on_disk.add(key)
-        if result is None:
-            left_key, right_key = self._split(key)
-            result = sp.csr_matrix(
-                self._product(left_key) @ self._product(right_key)
-            )
-            result.sort_indices()
-            self.compose_log.append(key)
-            if self._store is not None and key not in self._on_disk:
-                if self._store.save(self._content_hash(), key, result):
+            elif self._store.acquire_claim(content_hash, key):
+                # This worker won the compose claim for the cluster.
+                try:
+                    result = self._compose(key, holds_claim=True)
+                finally:
+                    self._store.release_claim(content_hash, key)
+                cost = self.compose_seconds.get(key, 0.0)
+            else:
+                # Another live worker is composing the same product:
+                # wait for its write-through instead of duplicating the
+                # multiplication; a dead writer's stale claim times out
+                # and composition falls back to us.
+                result = self._store.wait_for(content_hash, key)
+                if result is not None:
+                    self.disk_hits += 1
+                    self.claim_waits += 1
                     self._on_disk.add(key)
-                    self.spills += 1
-        self._cache.put(("product", key), result)
+                else:
+                    result = self._compose(key)
+                    cost = self.compose_seconds.get(key, 0.0)
+        if result is None:
+            result = self._compose(key)
+            cost = self.compose_seconds.get(key, 0.0)
+        self._cache.put(("product", key), result, cost=cost)
+        return result
+
+    def _compose(self, key: Key, holds_claim: bool = False) -> sp.csr_matrix:
+        """Multiply a chain product, log the compose event, write through."""
+        started = time.perf_counter()
+        left_key, right_key = self._split(key)
+        left = self._product(left_key)
+        right = self._product(right_key)
+        if holds_claim and self._store is not None:
+            # Sub-products may have taken a while: renew this key's
+            # claim lease before the final multiply so waiters do not
+            # mistake a slow-but-live writer for a dead one.  (Only the
+            # claim holder refreshes — a fallback composer must never
+            # extend a dead writer's lease.)
+            self._store.refresh_claim(self._content_hash(), key)
+        result = sp.csr_matrix(left @ right)
+        result.sort_indices()
+        self.compose_log.append(key)
+        self.compose_seconds[key] = time.perf_counter() - started
+        if self._store is not None and key not in self._on_disk:
+            if self._store.save(self._content_hash(), key, result):
+                self._on_disk.add(key)
+                self.spills += 1
         return result
 
     def _split(self, key: Key) -> Tuple[Key, Key]:
@@ -800,6 +860,8 @@ class CommutingEngine:
         - ``evictions`` — entries dropped to honor the memory budget;
         - ``spills`` — products written to the disk store;
         - ``disk_hits`` — products loaded from disk instead of composed;
+        - ``claim_waits`` — compositions avoided by waiting on another
+          worker's claim (concurrent-writer dedupe);
         - ``resident_bytes`` — accounted bytes resident in the LRU cache
           (never exceeds ``memory_budget`` when one is set).
         """
@@ -816,6 +878,7 @@ class CommutingEngine:
             "evictions": self._cache.evictions,
             "spills": self.spills,
             "disk_hits": self.disk_hits,
+            "claim_waits": self.claim_waits,
             "resident_bytes": self._cache.resident_bytes,
         }
 

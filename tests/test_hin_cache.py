@@ -573,3 +573,219 @@ class TestEngineRegistry:
         assert engine.memory_budget == 1024
         # ...and omitting the knobs leaves it untouched.
         assert get_engine(hin).memory_budget == 1024
+
+
+# ---------------------------------------------------------------------- #
+# 5. Cost-aware eviction (GreedyDual-Size)
+# ---------------------------------------------------------------------- #
+
+
+class TestCostAwareEviction:
+    def test_zero_costs_reproduce_exact_lru(self):
+        """The historical policy is the cost=0 degenerate case."""
+        evicted = []
+        cache = LRUByteCache(budget=200, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", _array_of(100))
+        cache.put("b", _array_of(100))
+        cache.get("a")
+        cache.put("c", _array_of(100))  # b is LRU -> evicted
+        assert evicted == ["b"]
+
+    def test_expensive_entry_survives_cheap_recency(self):
+        """A costly product outlives fresher cheap entries under pressure."""
+        evicted = []
+        cache = LRUByteCache(budget=300, on_evict=lambda k, v: evicted.append(k))
+        cache.put("expensive", _array_of(100), cost=10.0)
+        cache.put("cheap1", _array_of(100))
+        cache.put("cheap2", _array_of(100))
+        # Pure LRU would evict "expensive" (least recent); cost keeps it.
+        cache.put("cheap3", _array_of(100))
+        assert evicted == ["cheap1"]
+        cache.put("cheap4", _array_of(100))
+        assert evicted == ["cheap1", "cheap2"]
+        assert "expensive" in cache
+
+    def test_costly_entries_age_out_eventually(self):
+        """GDS aging: the clock rises with evictions, so a stale costly
+        entry cannot pin the cache forever."""
+        cache = LRUByteCache(budget=200)
+        cache.put("old-costly", _array_of(100), cost=5e-4)  # 5e-6 per byte
+        survived_rounds = 0
+        for round_id in range(8):
+            cache.put(f"fresh{round_id}", _array_of(100), cost=2e-4)
+            if "old-costly" in cache:
+                survived_rounds = round_id + 1
+        # It outlives several cheap generations (cost protection)...
+        assert survived_rounds >= 3
+        # ...but the eviction clock eventually catches up (aging).
+        assert "old-costly" not in cache
+
+    def test_engine_records_compose_costs(self):
+        hin = dblp_like_hin(0)
+        engine = get_engine(hin)
+        engine.invalidate()
+        engine.counts(APCPA)
+        key = tuple(APCPA.node_types)
+        assert key in engine.compose_seconds
+        assert engine.compose_seconds[key] >= 0.0
+        release_engine(hin)
+
+    @pytest.mark.parametrize("budget", (0, 4096))
+    def test_cost_weighting_stays_bit_exact_under_eviction(self, budget):
+        """Cost-aware victim choice changes *what* is evicted, never the
+        answers: every view matches the unlimited-budget engine."""
+        hin = dblp_like_hin(3)
+        reference = CommutingEngine(hin)
+        budgeted = CommutingEngine(hin, memory_budget=budget)
+        for metapath in (APA, APCPA, APAPA):
+            assert_csr_identical(
+                budgeted.counts(metapath), reference.counts(metapath)
+            )
+            assert_csr_identical(
+                budgeted.similarity(metapath, "pathsim"),
+                reference.similarity(metapath, "pathsim"),
+            )
+
+
+# ---------------------------------------------------------------------- #
+# 6. Concurrent-writer dedupe (claim protocol)
+# ---------------------------------------------------------------------- #
+
+
+class TestClaimProtocol:
+    KEY = ("A", "P", "C", "P", "A")
+
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        store = ProductStore(tmp_path)
+        assert store.acquire_claim("hash", self.KEY)
+        assert not store.acquire_claim("hash", self.KEY)
+        store.release_claim("hash", self.KEY)
+        assert store.acquire_claim("hash", self.KEY)
+        store.release_claim("hash", self.KEY)
+
+    def test_claims_are_per_product(self, tmp_path):
+        store = ProductStore(tmp_path)
+        assert store.acquire_claim("hash", self.KEY)
+        assert store.acquire_claim("hash", ("A", "P", "A"))
+        assert store.acquire_claim("other-hash", self.KEY)
+
+    def test_stale_claim_is_broken(self, tmp_path):
+        import os
+
+        store = ProductStore(tmp_path, claim_ttl=10.0)
+        assert store.acquire_claim("hash", self.KEY)
+        claim = store.claim_path_for("hash", self.KEY)
+        old = claim.stat().st_mtime - 60.0
+        os.utime(claim, (old, old))
+        assert store.acquire_claim("hash", self.KEY)  # broke the stale lease
+
+    def test_wait_for_returns_product_written_by_holder(self, tmp_path):
+        import threading
+
+        hin = dblp_like_hin(1)
+        matrix = CommutingEngine(hin).counts(APCPA)
+        content_hash = hin_content_hash(hin)
+        store = ProductStore(tmp_path)
+        assert store.acquire_claim(content_hash, self.KEY)
+
+        def writer():
+            store.save(content_hash, self.KEY, matrix)
+            store.release_claim(content_hash, self.KEY)
+
+        timer = threading.Timer(0.15, writer)
+        timer.start()
+        try:
+            waited = store.wait_for(content_hash, self.KEY, timeout=5.0)
+        finally:
+            timer.join()
+        assert waited is not None
+        assert_csr_identical(waited, matrix)
+
+    def test_wait_for_gives_up_on_dead_writer(self, tmp_path):
+        store = ProductStore(tmp_path, claim_ttl=0.1)
+        assert store.acquire_claim("hash", self.KEY)
+        import time as _time
+
+        _time.sleep(0.15)  # let the claim go stale
+        assert store.wait_for("hash", self.KEY, timeout=5.0) is None
+
+    def test_engine_waits_instead_of_composing(self, tmp_path):
+        """A worker that loses the claim race loads the winner's product
+        and composes nothing."""
+        import threading
+
+        hin = dblp_like_hin(2)
+        content_hash = hin_content_hash(hin)
+        key = tuple(APCPA.node_types)
+        expected = CommutingEngine(hin).counts(APCPA)
+
+        engine = CommutingEngine(hin, cache_dir=str(tmp_path))
+        store = engine._store
+        assert store.acquire_claim(content_hash, key)  # simulate a peer
+
+        def peer_finishes():
+            store.save(content_hash, key, expected)
+            store.release_claim(content_hash, key)
+
+        timer = threading.Timer(0.15, peer_finishes)
+        timer.start()
+        try:
+            result = engine.counts(APCPA)
+        finally:
+            timer.join()
+        assert_csr_identical(result, expected)
+        assert key not in engine.compose_log  # waited, never multiplied
+        assert engine.claim_waits == 1
+        assert engine.stats()["claim_waits"] == 1
+
+    def test_engine_composes_after_peer_dies(self, tmp_path):
+        """A stale claim (crashed peer) never deadlocks composition."""
+        hin = dblp_like_hin(2)
+        content_hash = hin_content_hash(hin)
+        key = tuple(APCPA.node_types)
+        engine = CommutingEngine(
+            hin, cache_dir=str(tmp_path)
+        )
+        engine._store.claim_ttl = 0.1
+        assert engine._store.acquire_claim(content_hash, key)
+        import time as _time
+
+        _time.sleep(0.15)
+        result = engine.counts(APCPA)
+        assert result.nnz > 0
+        assert key in engine.compose_log  # fell back to composing itself
+
+    def test_parallel_engines_compose_each_product_once(self, tmp_path):
+        """Two workers over one store: every product is multiplied by
+        exactly one of them (modulo the benign both-miss-then-claim race,
+        which the barrier below removes)."""
+        import threading
+
+        results = {}
+
+        def worker(name, barrier):
+            hin = dblp_like_hin(4)  # same content -> same hash
+            engine = CommutingEngine(hin, cache_dir=str(tmp_path))
+            barrier.wait()
+            if name == "late":
+                import time as _time
+
+                _time.sleep(0.05)  # guarantee the peer claims first
+            matrix = engine.counts(APCPA)
+            results[name] = (matrix, list(engine.compose_log))
+
+        barrier = threading.Barrier(2)
+        threads = [
+            threading.Thread(target=worker, args=(name, barrier))
+            for name in ("early", "late")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert_csr_identical(results["early"][0], results["late"][0])
+        composed = [
+            key for _, log in results.values() for key in log
+            if key == tuple(APCPA.node_types)
+        ]
+        assert len(composed) == 1  # once per cluster, not once per worker
