@@ -1,7 +1,9 @@
-"""Emit `BENCH_substrate.json`: the machine-readable perf trajectory.
+"""Emit `BENCH_substrate.json` + `BENCH_serving.json`: the perf trajectory.
 
-A standalone runner (not a pytest bench) that times the substrate's
-canonical paths and writes one JSON file future PRs can diff:
+A standalone runner (not a pytest bench) that times the canonical paths
+and writes machine-readable JSON files future PRs can diff.
+
+``BENCH_substrate.json``:
 
 - ``prepare_cold`` / ``prepare_warm`` / ``prepare_disk_warm`` — the
   three `prepare_conch_data` scenarios (full composition; memoized
@@ -13,9 +15,21 @@ canonical paths and writes one JSON file future PRs can diff:
   `repro.api.Pipeline` prep against an empty store vs. the same store
   warm (all artifacts load, zero products composed).
 
+``BENCH_serving.json`` (the `repro.serve` subsystem):
+
+- ``cold_start_cold_store`` / ``cold_start_warm_store`` — opening a
+  serving `ModelHandle` over a bundle with no sidecars (build + map)
+  vs. existing sidecars (map only) — the worker cold-start story.
+- ``single_request_latency`` — sequential per-node `predict_nodes`
+  through the handle.
+- ``server_concurrency_<n>`` — micro-batched throughput with ``n``
+  concurrent client threads hammering a `ModelServer`, plus observed
+  batch shape and latency quantiles.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [--out BENCH_substrate.json]
+        [--serving-out BENCH_serving.json] [--only substrate|serving]
         [--rounds 3] [--authors 200 --papers 700 --conferences 12]
 
 The numbers are wall-clock seconds on whatever machine runs this —
@@ -174,11 +188,152 @@ def run_benches(authors: int, papers: int, conferences: int, rounds: int):
     return {"meta": meta, "results": results}
 
 
+def run_serving_benches(
+    authors: int,
+    papers: int,
+    conferences: int,
+    rounds: int,
+    concurrency_levels=(1, 4, 16),
+    requests_per_level: int = 200,
+):
+    """Time the `repro.serve` subsystem; returns the BENCH_serving payload."""
+    import shutil
+    import threading
+
+    from repro.api import ConCHEstimator, ModelHandle, Pipeline
+    from repro.core import ConCHConfig
+    from repro.data import DBLPConfig, load_dataset, stratified_split
+    from repro.serve import ModelServer, ServeClient
+
+    dataset = load_dataset(
+        "dblp",
+        config=DBLPConfig(
+            num_authors=authors, num_papers=papers, num_conferences=conferences
+        ),
+    )
+    config = ConCHConfig(
+        k=5, context_dim=16, embed_num_walks=2, embed_walk_length=10,
+        embed_epochs=1, max_instances=8, epochs=10, patience=5,
+    )
+    split = stratified_split(dataset.labels, 0.10, seed=0)
+    estimator = ConCHEstimator(
+        Pipeline(dataset, config=config).data, config
+    ).fit(split)
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = Path(tmp) / "conch.npz"
+        estimator.save(bundle)
+        sidecar_dir = bundle.with_name(bundle.name + ".mmap")
+
+        # ---- cold start: cold store (build sidecars) vs. warm ------- #
+        def cold_store_load():
+            shutil.rmtree(sidecar_dir, ignore_errors=True)
+            ModelHandle.load(bundle)
+
+        results["cold_start_cold_store"] = _summary(
+            _time_rounds(cold_store_load, rounds)
+        )
+        ModelHandle.load(bundle)  # leave the sidecars warm
+        results["cold_start_warm_store"] = _summary(
+            _time_rounds(lambda: ModelHandle.load(bundle), rounds)
+        )
+
+        # ---- single-request latency (sequential, no server) --------- #
+        handle = ModelHandle.load(bundle)
+        rng = np.random.default_rng(0)
+        single_ids = rng.integers(0, handle.num_objects, size=64)
+
+        def single_requests():
+            for node in single_ids:
+                handle.predict_nodes(np.array([node]))
+
+        seconds = _time_rounds(single_requests, rounds)
+        entry = _summary(seconds)
+        entry["per_request_mean"] = entry["seconds_mean"] / single_ids.size
+        results["single_request_latency"] = entry
+
+        # ---- batched throughput at several concurrency levels ------- #
+        request_ids = [
+            rng.integers(0, handle.num_objects, size=1 + index % 4)
+            for index in range(requests_per_level)
+        ]
+        for concurrency in concurrency_levels:
+            with ModelServer(
+                handle, max_batch_size=64, max_wait_ms=2,
+                num_workers=min(2, concurrency), max_queue=1024,
+            ) as server:
+                client = ServeClient(server)
+
+                def hammer(start: int) -> None:
+                    for index in range(start, len(request_ids), concurrency):
+                        client.predict_nodes(request_ids[index])
+
+                started = time.perf_counter()
+                threads = [
+                    threading.Thread(target=hammer, args=(start,))
+                    for start in range(concurrency)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - started
+                stats = server.stats()
+            results[f"server_concurrency_{concurrency}"] = {
+                "seconds_total": elapsed,
+                "requests": len(request_ids),
+                "throughput_rps": len(request_ids) / elapsed,
+                "batches": stats["batches"],
+                "batch_size_mean": stats.get("batch_size_mean", 1.0),
+                "latency_p50": stats["latency_seconds"]["p50"],
+                "latency_p95": stats["latency_seconds"]["p95"],
+            }
+    meta = {
+        "bench": "serving",
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scipy": scipy.__version__,
+        "dataset": {
+            "name": "dblp-synthetic",
+            "authors": authors,
+            "papers": papers,
+            "conferences": conferences,
+        },
+        "rounds": rounds,
+        "requests_per_level": requests_per_level,
+    }
+    return {"meta": meta, "results": results}
+
+
+def _print_results(payload) -> None:
+    for name, entry in sorted(payload["results"].items()):
+        if "seconds_mean" in entry:
+            print(
+                f"  {name:<24} mean {entry['seconds_mean'] * 1000:8.1f} ms  "
+                f"min {entry['seconds_min'] * 1000:8.1f} ms"
+            )
+        elif "throughput_rps" in entry:
+            print(
+                f"  {name:<24} {entry['throughput_rps']:8.0f} req/s  "
+                f"batch mean {entry['batch_size_mean']:5.1f}  "
+                f"p95 {entry['latency_p95'] * 1000:6.2f} ms"
+            )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--out", default="BENCH_substrate.json",
-        help="output JSON path (default: ./BENCH_substrate.json)",
+        help="substrate JSON path (default: ./BENCH_substrate.json)",
+    )
+    parser.add_argument(
+        "--serving-out", default="BENCH_serving.json",
+        help="serving JSON path (default: ./BENCH_serving.json)",
+    )
+    parser.add_argument(
+        "--only", choices=("substrate", "serving"), default=None,
+        help="run just one bench family (default: both)",
     )
     parser.add_argument("--rounds", type=int, default=3)
     parser.add_argument("--authors", type=int, default=200)
@@ -186,17 +341,22 @@ def main() -> None:
     parser.add_argument("--conferences", type=int, default=12)
     args = parser.parse_args()
 
-    payload = run_benches(
-        args.authors, args.papers, args.conferences, args.rounds
-    )
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out}")
-    for name, entry in sorted(payload["results"].items()):
-        print(
-            f"  {name:<22} mean {entry['seconds_mean'] * 1000:8.1f} ms  "
-            f"min {entry['seconds_min'] * 1000:8.1f} ms"
+    if args.only in (None, "substrate"):
+        payload = run_benches(
+            args.authors, args.papers, args.conferences, args.rounds
         )
+        out = Path(args.out)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+        _print_results(payload)
+    if args.only in (None, "serving"):
+        payload = run_serving_benches(
+            args.authors, args.papers, args.conferences, args.rounds
+        )
+        out = Path(args.serving_out)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+        _print_results(payload)
 
 
 if __name__ == "__main__":

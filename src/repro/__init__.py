@@ -25,13 +25,19 @@ and per-node serving::
     est.save("conch.npz")
     api.ModelHandle.load("conch.npz").predict_nodes([0, 7])
 
+Under traffic, front the handle with the serving subsystem
+(:mod:`repro.serve`): a micro-batching ``ModelServer`` coalesces
+concurrent queries into union-slice forwards, sheds load past a bounded
+queue, and serves operators from a memory-mapped tier that co-located
+workers share at ~zero marginal resident memory.
+
 The pre-pipeline surface (``prepare_conch_data`` + ``ConCHTrainer``)
 keeps working as thin shims over the pipeline.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "autograd", "nn", "hin", "data", "embedding", "core", "eval", "api",
-    "__version__",
+    "serve", "__version__",
 ]

@@ -18,7 +18,11 @@ Three layers, smallest on top:
 :class:`ModelHandle`
     The serving surface: ``ModelHandle.load(path).predict_nodes(ids)``
     answers per-node queries via row slices of the cached operators —
-    no full-graph re-preprocessing on the serving path.
+    no full-graph re-preprocessing on the serving path.  Bundles load
+    through a memory-mapped operator tier (co-located workers share one
+    OS-resident copy), and ``forward_many`` coalesces many requests
+    into one union slice — the engine under
+    :class:`repro.serve.ModelServer`'s micro-batching front-end.
 
 Quickstart
 ----------

@@ -23,8 +23,6 @@ import hashlib
 import json
 import os
 import struct
-import zipfile
-import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -33,16 +31,15 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.config import ConCHConfig
+from repro.hin.cache import ARCHIVE_MISS_ERRORS
 
 #: Bumped when any artifact archive layout changes; mismatches are misses.
 FORMAT_VERSION = 1
 
 #: The corrupt-archive exception set every loader in this repo treats as
-#: a cache miss (mirrors :meth:`repro.hin.cache.ProductStore.load`).
-ARCHIVE_ERRORS = (
-    OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile,
-    zlib.error, struct.error, json.JSONDecodeError,
-)
+#: a cache miss — one definition, shared with the cache tier
+#: (:data:`repro.hin.cache.ARCHIVE_MISS_ERRORS`).
+ARCHIVE_ERRORS = ARCHIVE_MISS_ERRORS
 
 #: Config fields that influence each stage's output, cumulatively: a
 #: stage's fingerprint covers its own fields plus every upstream stage's
@@ -524,11 +521,34 @@ class ArtifactStore:
     file reads as a miss (the pipeline recomputes and rewrites — the
     exact contract :class:`~repro.hin.cache.ProductStore` uses for
     products).
+
+    Stage-level claim dedupe
+    ------------------------
+    Writes are atomic and last-writer-wins, so concurrent pipelines can
+    never corrupt the store — but two cold workers would both *pay* an
+    expensive stage (featurize trains metapath2vec) before one's
+    write-through landed.  :meth:`claim` extends the product store's
+    claim protocol (:class:`repro.hin.cache.ClaimFile` — ``O_CREAT |
+    O_EXCL`` sidecar + TTL lease) to whole stage artifacts: exactly one
+    worker per cluster computes a given ``(kind, key)``, the rest
+    :meth:`wait_for` its artifact and load it.  Claims are best-effort
+    leases — a crashed writer's claim goes stale after ``claim_ttl``
+    seconds and the next waiter computes itself, so dedupe can never
+    deadlock or lose a stage.
     """
 
-    def __init__(self, directory: Union[str, Path]):
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        claim_ttl: Optional[float] = None,
+    ):
+        from repro.hin.cache import ClaimFile
+
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.claim_ttl = (
+            ClaimFile.DEFAULT_TTL if claim_ttl is None else float(claim_ttl)
+        )
 
     def path_for(self, kind: str, key: str) -> Path:
         return self.directory / f"{kind}-{key}.npz"
@@ -549,3 +569,33 @@ class ArtifactStore:
         path = self.path_for(artifact.kind, artifact.key)
         artifact.save(path)
         return path
+
+    def claim(self, kind: str, key: str):
+        """The :class:`~repro.hin.cache.ClaimFile` guarding one artifact.
+
+        ``claim(...)`` works for fit bundles too (any ``kind`` string) —
+        the claim file sits next to where :meth:`path_for` would write.
+        """
+        from repro.hin.cache import ClaimFile
+
+        path = self.path_for(kind, key)
+        return ClaimFile(path.with_name(path.name + ".claim"), self.claim_ttl)
+
+    def wait_for(
+        self,
+        kind: str,
+        key: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ):
+        """Poll for an artifact another worker claimed; None on timeout.
+
+        ``None`` means the caller should compute the stage itself (the
+        writer died or never wrote) — mirroring
+        :meth:`repro.hin.cache.ProductStore.wait_for`.
+        """
+        return self.claim(kind, key).wait(
+            lambda: self.get(kind, key),
+            timeout=timeout,
+            poll_interval=poll_interval,
+        )

@@ -24,10 +24,13 @@ Two implementations cover everything:
     Adapts any registered harness method
     (:mod:`repro.baselines.registry`) by running it once with an
     all-nodes query set, then serving ``predict`` / ``predict_proba``
-    from the cached full prediction vector.  ``predict_proba`` is the
-    one-hot degenerate distribution for label-only methods; ``save``
-    snapshots the predictions (the adapter's whole state), which is
-    exactly what a serving replica of a frozen baseline needs.
+    from the cached full prediction vector.  ``predict_proba`` serves
+    the method's own class scores when it surfaces them
+    (``MethodOutput.test_scores`` — propagation mass, logits — see
+    :func:`repro.eval.harness.scores_to_proba`), degrading to the
+    one-hot distribution only for label-only methods; ``save``
+    snapshots predictions + probabilities (the adapter's whole state),
+    which is exactly what a serving replica of a frozen baseline needs.
 
 :func:`fit` is the one-call surface: ``fit("dblp", model="han")`` runs
 any model — ConCH or baseline — through the same code path.
@@ -257,7 +260,8 @@ class _PredictionServing:
         return self._predictions[np.asarray(indices)]
 
     def predict_proba(self, indices: Optional[np.ndarray] = None) -> np.ndarray:
-        """One-hot probabilities (label-only methods have no scores)."""
+        """Class probabilities: the method's own scores when it produced
+        them, else the one-hot degenerate distribution."""
         self._require_fitted()
         if indices is None:
             return self._proba.copy()
@@ -344,11 +348,27 @@ class MethodEstimator(_PredictionServing):
                 f"[{predictions.min()}, {predictions.max()}]"
             )
         self._predictions = predictions.astype(np.int64)
-        proba = np.zeros(
-            (predictions.shape[0], self.dataset.num_classes), dtype=np.float64
-        )
-        proba[np.arange(predictions.shape[0]), self._predictions] = 1.0
-        self._proba = proba
+        scores = getattr(output, "test_scores", None)
+        if scores is not None:
+            # Probability-aware path: the method surfaced real class
+            # scores (propagation mass, logits, calibrated proba) — use
+            # them instead of degenerating to one-hot.
+            from repro.eval.harness import scores_to_proba
+
+            scores = np.asarray(scores, dtype=np.float64)
+            if scores.shape != (predictions.shape[0], num_classes):
+                raise ValueError(
+                    f"method {self.name!r} returned scores of shape "
+                    f"{scores.shape}; expected "
+                    f"{(predictions.shape[0], num_classes)}"
+                )
+            self._proba = scores_to_proba(scores)
+        else:
+            proba = np.zeros(
+                (predictions.shape[0], num_classes), dtype=np.float64
+            )
+            proba[np.arange(predictions.shape[0]), self._predictions] = 1.0
+            self._proba = proba
         return self
 
     def _require_fitted(self) -> None:

@@ -69,11 +69,14 @@ class StageEvent:
     Stages that were never *entered* log nothing: when featurize loads
     from the store, compose/enumerate are bypassed entirely, so a fully
     warm resume logs exactly discover/featurize/fit as ``loaded``.
+    ``waited`` means another worker held the stage's claim and this
+    pipeline loaded its write-through instead of recomputing (the
+    cluster-wide stage dedupe; see ``ArtifactStore.claim``).
     """
 
     stage: str
     key: str
-    action: str          # "computed" | "loaded"
+    action: str          # "computed" | "loaded" | "waited"
     seconds: float
     detail: Dict[str, object] = field(default_factory=dict)
 
@@ -210,6 +213,39 @@ class Pipeline:
             )
         )
 
+    def _claimed_compute(self, kind: str, key: str, compute, persist=True):
+        """Compute one stage's artifact with cluster-wide claim dedupe.
+
+        Returns ``(artifact, action)`` where action is ``"computed"``
+        (this worker paid the stage) or ``"waited"`` (another worker
+        held the stage's claim; we loaded its write-through — the
+        product store's dedupe protocol extended to whole stages, so
+        two cold pipelines sharing a store never both pay featurize).
+        A dead writer's stale claim times out and computation falls
+        back to us; without a store (or for off-key artifacts) this is
+        a plain compute.
+        """
+        if self.store is None or not persist:
+            return compute(), "computed"
+        claim = self.store.claim(kind, key)
+        if claim.acquire():
+            try:
+                # Heartbeat the lease: a stage slower than the TTL
+                # (featurize trains embeddings) must not look abandoned
+                # to waiters — only a genuinely dead holder expires.
+                with claim.keepalive():
+                    artifact = compute()
+                self.store.put(artifact)
+            finally:
+                claim.release()
+            return artifact, "computed"
+        artifact = self.store.wait_for(kind, key)
+        if artifact is not None:
+            return artifact, "waited"
+        artifact = compute()
+        self.store.put(artifact)
+        return artifact, "computed"
+
     # -------------------------------------------------------------- #
     # Stage 1: discover
     # -------------------------------------------------------------- #
@@ -234,29 +270,31 @@ class Pipeline:
             self._plan = cached
             self._log("discover", key, "loaded", time.perf_counter() - started)
             return cached
-        if self.discover_source == "discovery":
-            from repro.hin.discovery import discover_metapaths
+        def build() -> MetaPathPlan:
+            if self.discover_source == "discovery":
+                from repro.hin.discovery import discover_metapaths
 
-            metapaths = discover_metapaths(
-                self.dataset.hin, self.dataset.target_type
-            )
-            if not metapaths:
-                raise RuntimeError(
-                    f"meta-path discovery found nothing for "
-                    f"{self.dataset.name!r}; use the dataset's declared set"
+                metapaths = discover_metapaths(
+                    self.dataset.hin, self.dataset.target_type
                 )
-        else:
-            metapaths = list(self.dataset.metapaths)
-        plan = MetaPathPlan(
-            key=key,
-            node_types=[tuple(m.node_types) for m in metapaths],
-            names=[m.name for m in metapaths],
-            source=self.discover_source,
-        )
-        self._persist(plan)
+                if not metapaths:
+                    raise RuntimeError(
+                        f"meta-path discovery found nothing for "
+                        f"{self.dataset.name!r}; use the dataset's declared set"
+                    )
+            else:
+                metapaths = list(self.dataset.metapaths)
+            return MetaPathPlan(
+                key=key,
+                node_types=[tuple(m.node_types) for m in metapaths],
+                names=[m.name for m in metapaths],
+                source=self.discover_source,
+            )
+
+        plan, action = self._claimed_compute("discover", key, build)
         self._plan = plan
         self._log(
-            "discover", key, "computed", time.perf_counter() - started,
+            "discover", key, action, time.perf_counter() - started,
             metapaths=plan.names,
         )
         return plan
@@ -282,26 +320,28 @@ class Pipeline:
             self._compose_report = cached
             self._log("compose", key, "loaded", time.perf_counter() - started)
             return cached
-        engine = self.engine
-        before = len(engine.compose_log)
-        product_keys, nnz, seconds = [], [], []
-        for metapath in plan.metapaths():
-            product = engine.counts(metapath)
-            product_key = tuple(metapath.node_types)
-            product_keys.append(product_key)
-            nnz.append(int(product.nnz))
-            seconds.append(engine.compose_seconds.get(product_key, 0.0))
-        report = ComposeReport(
-            key=key,
-            product_keys=product_keys,
-            nnz=nnz,
-            compose_seconds=seconds,
-            composed=len(engine.compose_log) - before,
-        )
-        self._persist(report)
+        def build() -> ComposeReport:
+            engine = self.engine
+            before = len(engine.compose_log)
+            product_keys, nnz, seconds = [], [], []
+            for metapath in plan.metapaths():
+                product = engine.counts(metapath)
+                product_key = tuple(metapath.node_types)
+                product_keys.append(product_key)
+                nnz.append(int(product.nnz))
+                seconds.append(engine.compose_seconds.get(product_key, 0.0))
+            return ComposeReport(
+                key=key,
+                product_keys=product_keys,
+                nnz=nnz,
+                compose_seconds=seconds,
+                composed=len(engine.compose_log) - before,
+            )
+
+        report, action = self._claimed_compute("compose", key, build)
         self._compose_report = report
         self._log(
-            "compose", key, "computed", time.perf_counter() - started,
+            "compose", key, action, time.perf_counter() - started,
             composed=report.composed,
         )
         return report
@@ -322,57 +362,61 @@ class Pipeline:
             self._context_set = cached
             self._log("enumerate", key, "loaded", time.perf_counter() - started)
             return cached
-        self.compose()  # products first (warm store ⇒ zero compositions)
-        from repro.hin.context import enumerate_contexts
-        from repro.hin.neighbors import NeighborFilter
+        def build() -> ContextSet:
+            self.compose()  # products first (warm store ⇒ zero compositions)
+            from repro.hin.context import enumerate_contexts
+            from repro.hin.neighbors import NeighborFilter
 
-        config = self.config
-        neighbor_filter = NeighborFilter(
-            k=config.k, strategy=config.neighbor_strategy
-        )
-        # One rng across meta-paths, matching the legacy monolith's draw
-        # order exactly (only the "random" strategy consumes it).
-        rng = np.random.default_rng(config.seed)
-        hin = self.dataset.hin
-        pairs_list, ids_list, indptr_list = [], [], []
-        totals_list, truncated_list = [], []
-        for metapath in plan.metapaths():
-            # Same guard the legacy build_bipartite_graph enforced: pair
-            # ids below index target-type objects, so an unanchored
-            # meta-path must fail loudly here, not corrupt the incidence.
-            if not metapath.endpoints_match(self.dataset.target_type):
-                raise ValueError(
-                    f"meta-path {metapath.name!r} must start and end at "
-                    f"the target type"
-                )
-            pairs = neighbor_filter.retained_pairs(hin, metapath, rng=rng)
-            pairs_list.append(pairs)
-            if config.use_contexts:
-                batch = enumerate_contexts(
-                    hin, metapath, pairs, max_instances=config.max_instances
-                )
-                ids_list.append(batch.instance_ids)
-                indptr_list.append(batch.indptr)
-                totals_list.append(batch.total_counts)
-                truncated_list.append(batch.truncated)
-            else:
-                ids_list.append(None)
-                indptr_list.append(None)
-                totals_list.append(None)
-                truncated_list.append(None)
-        context_set = ContextSet(
-            key=key,
-            pairs=pairs_list,
-            instance_ids=ids_list,
-            indptr=indptr_list,
-            total_counts=totals_list,
-            truncated=truncated_list,
-        )
-        self._persist(context_set)
+            config = self.config
+            neighbor_filter = NeighborFilter(
+                k=config.k, strategy=config.neighbor_strategy
+            )
+            # One rng across meta-paths, matching the legacy monolith's
+            # draw order exactly (only the "random" strategy consumes it).
+            rng = np.random.default_rng(config.seed)
+            hin = self.dataset.hin
+            pairs_list, ids_list, indptr_list = [], [], []
+            totals_list, truncated_list = [], []
+            for metapath in plan.metapaths():
+                # Same guard the legacy build_bipartite_graph enforced:
+                # pair ids below index target-type objects, so an
+                # unanchored meta-path must fail loudly here, not
+                # corrupt the incidence.
+                if not metapath.endpoints_match(self.dataset.target_type):
+                    raise ValueError(
+                        f"meta-path {metapath.name!r} must start and end "
+                        f"at the target type"
+                    )
+                pairs = neighbor_filter.retained_pairs(hin, metapath, rng=rng)
+                pairs_list.append(pairs)
+                if config.use_contexts:
+                    batch = enumerate_contexts(
+                        hin, metapath, pairs,
+                        max_instances=config.max_instances,
+                    )
+                    ids_list.append(batch.instance_ids)
+                    indptr_list.append(batch.indptr)
+                    totals_list.append(batch.total_counts)
+                    truncated_list.append(batch.truncated)
+                else:
+                    ids_list.append(None)
+                    indptr_list.append(None)
+                    totals_list.append(None)
+                    truncated_list.append(None)
+            return ContextSet(
+                key=key,
+                pairs=pairs_list,
+                instance_ids=ids_list,
+                indptr=indptr_list,
+                total_counts=totals_list,
+                truncated=truncated_list,
+            )
+
+        context_set, action = self._claimed_compute("enumerate", key, build)
         self._context_set = context_set
         self._log(
-            "enumerate", key, "computed", time.perf_counter() - started,
-            pairs=[int(p.shape[0]) for p in pairs_list],
+            "enumerate", key, action, time.perf_counter() - started,
+            pairs=[int(p.shape[0]) for p in context_set.pairs],
         )
         return context_set
 
@@ -402,79 +446,84 @@ class Pipeline:
                     "featurize", key, "loaded", time.perf_counter() - started
                 )
                 return cached
-        context_set = self.enumerate()
-        from repro.core.bipartite_conv import neighbor_adjacency_from_pairs
-        from repro.core.context_features import build_context_features
-        from repro.core.trainer import ConCHData, MetaPathData
-        from repro.hin.bipartite import BipartiteGraph, incidence_from_pairs
+        def build() -> FeatureSet:
+            context_set = self.enumerate()
+            from repro.core.bipartite_conv import neighbor_adjacency_from_pairs
+            from repro.core.context_features import build_context_features
+            from repro.core.trainer import ConCHData, MetaPathData
+            from repro.hin.bipartite import BipartiteGraph, incidence_from_pairs
 
-        config = self.config
-        dataset = self.dataset
-        metapaths = plan.metapaths()
-        if config.use_contexts and embeddings is None:
-            from repro.embedding.metapath2vec import metapath2vec_embeddings
+            config = self.config
+            dataset = self.dataset
+            metapaths = plan.metapaths()
+            embeds = embeddings
+            if config.use_contexts and embeds is None:
+                from repro.embedding.metapath2vec import metapath2vec_embeddings
 
-            embeddings = metapath2vec_embeddings(
-                dataset.hin,
-                metapaths,
-                dim=config.context_dim,
-                num_walks=config.embed_num_walks,
-                walk_length=config.embed_walk_length,
-                window=config.embed_window,
-                epochs=config.embed_epochs,
-                seed=config.seed,
-            )
-        self._embeddings = embeddings
-        num_objects = dataset.num_targets
-        metapath_data: List[MetaPathData] = []
-        for index, metapath in enumerate(metapaths):
-            pairs = context_set.pairs[index]
-            incidence = incidence_from_pairs(pairs, num_objects)
-            batch = context_set.batch(index, metapath)
-            bipartite = BipartiteGraph(
-                metapath=metapath,
-                num_objects=num_objects,
-                pairs=pairs,
-                incidence=incidence,
-                context_batch=batch,
-            )
-            if config.use_contexts:
-                context_features = build_context_features(bipartite, embeddings)
-                truncated = int(batch.truncated.sum())
-            else:
-                context_features = np.zeros(
-                    (bipartite.num_contexts, config.context_dim)
+                embeds = metapath2vec_embeddings(
+                    dataset.hin,
+                    metapaths,
+                    dim=config.context_dim,
+                    num_walks=config.embed_num_walks,
+                    walk_length=config.embed_walk_length,
+                    window=config.embed_window,
+                    epochs=config.embed_epochs,
+                    seed=config.seed,
                 )
-                truncated = 0
-            metapath_data.append(
-                MetaPathData(
+            self._embeddings = embeds
+            num_objects = dataset.num_targets
+            metapath_data: List[MetaPathData] = []
+            for index, metapath in enumerate(metapaths):
+                pairs = context_set.pairs[index]
+                incidence = incidence_from_pairs(pairs, num_objects)
+                batch = context_set.batch(index, metapath)
+                bipartite = BipartiteGraph(
                     metapath=metapath,
+                    num_objects=num_objects,
+                    pairs=pairs,
                     incidence=incidence,
-                    context_features=context_features,
-                    neighbor_adj=neighbor_adjacency_from_pairs(
-                        pairs, num_objects
-                    ),
-                    truncated_contexts=truncated,
+                    context_batch=batch,
                 )
+                if config.use_contexts:
+                    context_features = build_context_features(bipartite, embeds)
+                    truncated = int(batch.truncated.sum())
+                else:
+                    context_features = np.zeros(
+                        (bipartite.num_contexts, config.context_dim)
+                    )
+                    truncated = 0
+                metapath_data.append(
+                    MetaPathData(
+                        metapath=metapath,
+                        incidence=incidence,
+                        context_features=context_features,
+                        neighbor_adj=neighbor_adjacency_from_pairs(
+                            pairs, num_objects
+                        ),
+                        truncated_contexts=truncated,
+                    )
+                )
+            data = ConCHData(
+                name=dataset.name,
+                features=dataset.features,
+                labels=dataset.labels,
+                num_classes=dataset.num_classes,
+                metapath_data=metapath_data,
+                substrate_stats=self.engine.stats(),
             )
-        data = ConCHData(
-            name=dataset.name,
-            features=dataset.features,
-            labels=dataset.labels,
-            num_classes=dataset.num_classes,
-            metapath_data=metapath_data,
-            substrate_stats=self.engine.stats(),
-        )
-        feature_set = FeatureSet.from_conch_data(key, data)
+            self._data = data
+            return FeatureSet.from_conch_data(key, data)
+
         # Caller-supplied embeddings are outside the content key: never
         # store that artifact as if it were the canonical metapath2vec
-        # run (it would poison every later resume).
+        # run (it would poison every later resume) — and never claim it
+        # either, so an off-key run can't block the canonical one.
         self._off_key_features = supplied_embeddings
-        if not supplied_embeddings:
-            self._persist(feature_set)
+        feature_set, action = self._claimed_compute(
+            "featurize", key, build, persist=not supplied_embeddings
+        )
         self._feature_set = feature_set
-        self._data = data
-        self._log("featurize", key, "computed", time.perf_counter() - started)
+        self._log("featurize", key, action, time.perf_counter() - started)
         return feature_set
 
     # -------------------------------------------------------------- #
@@ -542,18 +591,41 @@ class Pipeline:
         # the content key: a fit bundle derived from them must neither
         # satisfy nor overwrite the canonical key.
         use_store = self.store is not None and not self._off_key_features
-        if use_store:
+
+        def load_bundle():
             path = self.store.path_for("fit", key)
-            if path.exists():
-                estimator = ConCHEstimator.load(path)
-                if estimator is not None:
-                    self._log(
-                        "fit", key, "loaded", time.perf_counter() - started
-                    )
-                    return estimator
-        estimator = ConCHEstimator(self.data, self.config).fit(split)
-        if use_store:
-            estimator.save(self.store.path_for("fit", key))
+            return ConCHEstimator.load(path) if path.exists() else None
+
+        def train() -> ConCHEstimator:
+            estimator = ConCHEstimator(self.data, self.config).fit(split)
+            if use_store:
+                estimator.save(self.store.path_for("fit", key))
+            return estimator
+
+        if not use_store:
+            estimator = train()
+            self._log("fit", key, "computed", time.perf_counter() - started)
+            return estimator
+        estimator = load_bundle()
+        if estimator is not None:
+            self._log("fit", key, "loaded", time.perf_counter() - started)
+            return estimator
+        # Same claim protocol as the artifact stages, over the bundle
+        # path: one worker per cluster trains, the rest load its bundle.
+        claim = self.store.claim("fit", key)
+        if claim.acquire():
+            try:
+                with claim.keepalive():  # training may outlive the TTL
+                    estimator = train()
+            finally:
+                claim.release()
+            self._log("fit", key, "computed", time.perf_counter() - started)
+            return estimator
+        estimator = claim.wait(load_bundle)
+        if estimator is not None:
+            self._log("fit", key, "waited", time.perf_counter() - started)
+            return estimator
+        estimator = train()
         self._log("fit", key, "computed", time.perf_counter() - started)
         return estimator
 

@@ -5,8 +5,7 @@ nodes* the way a serving replica would: it loads a self-contained
 estimator bundle once (model weights + the cached operators the pipeline
 built), and each ``predict_nodes(ids)`` call touches only the **rows**
 of those cached matrices that the queried nodes' receptive fields need —
-the first cut of the ROADMAP's minibatch-aware row-sliced caching
-direction.
+the ROADMAP's minibatch-aware row-sliced caching direction.
 
 How the slice stays exact
 -------------------------
@@ -23,47 +22,88 @@ the queried ids within ``L`` layers, so the returned predictions are
 **bit-identical** to a full-graph forward — the conformance tests assert
 exactly that.
 
-On the synthetic DBLP fixture a single-node query touches a few percent
-of the graph instead of all of it; the win grows with graph size and
-shrinks with ``L`` and density, exactly like minibatch GNN sampling.
+Batched (union-slice) queries
+-----------------------------
+Because the slice is exact for *any* id set, many small requests can be
+coalesced into one: :meth:`ModelHandle.forward_many` takes the requests'
+id arrays, runs a **single** sliced forward over their union, and
+scatters each request's rows back out — one receptive-field gather and
+one model forward per batch instead of per request.  The equivalence
+guarantee (pinned by the tests): predicted **labels are bit-identical**
+to issuing the requests one at a time, and raw logits/probabilities
+agree to ~1 ulp — BLAS may choose different blocking for the union
+slice's different shape, the same float-determinism standard the
+sliced-vs-full-forward conformance suite already holds the handle to.
+:class:`repro.serve.ModelServer` builds its micro-batching scheduler on
+exactly this call.
+
+Zero-copy (mmap) operator tier
+------------------------------
+``ModelHandle.load(path)`` maps the bundle's big payloads — operators,
+context features, object features — from raw ``.npy`` sidecar files
+(built next to the bundle on first load, shared by every later load)
+instead of copying the npz onto the heap, so **co-located serving
+workers share one OS-resident copy of the operator tier**; only the
+model weights (KBs) are private per process.  Sidecars are validated
+against the bundle's stat identity and rebuilt when stale; concurrent
+first loads build them once per cluster (claim-file dedupe).  Pass
+``mmap=False`` to force private heap copies.
+
+Request semantics (shared by every query path)
+----------------------------------------------
+- **empty** id arrays return an empty result of the right shape;
+- **duplicate** ids are answered per occurrence, in input order;
+- ids must be an **integer** array/sequence (``TypeError`` otherwise —
+  a float id would silently truncate to the wrong node);
+- **out-of-range** ids raise ``IndexError("node ids out of range
+  [0, N)")`` — the batched path validates each request *before* the
+  union, so one bad request cannot change any other request's answer
+  or error.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.tensor import Tensor, no_grad
 
+#: Suffix of the sidecar directory holding a bundle's mapped payloads.
+BUNDLE_SIDECAR_SUFFIX = ".mmap"
+
 
 class ModelHandle:
     """A loaded, query-ready ConCH model (see module docstring).
 
-    Build one with :meth:`load` (from a bundle path) or
-    :meth:`from_estimator` (from a fitted
-    :class:`~repro.api.estimator.ConCHEstimator`).
+    Build one with :meth:`load` (from a bundle path — memory-mapped by
+    default) or :meth:`from_estimator` (from a fitted
+    :class:`~repro.api.estimator.ConCHEstimator`, heap-backed).
     """
 
-    def __init__(self, data, config, model):
+    def __init__(self, data, config, model, transposed=None):
         self.data = data
         self.config = config
         self.model = model
         self.model.eval()
         self.use_contexts = bool(config.use_contexts)
         self.num_objects = data.features.shape[0]
-        # Row-sliceable cached operators.  Incidence transposes are
-        # precomputed once: they answer "which objects touch these
-        # contexts" by row slicing too.
+        # Row-sliceable cached operators.  Incidence transposes answer
+        # "which objects touch these contexts" by row slicing too; the
+        # mapped loader passes them precomputed (so they map from disk),
+        # otherwise they are materialized here once.
         self._operators: List[sp.csr_matrix] = []
         self._transposed: List[Optional[sp.csr_matrix]] = []
         self._context_features: List[Optional[np.ndarray]] = []
-        for m in data.metapath_data:
+        for index, m in enumerate(data.metapath_data):
             if self.use_contexts:
                 operator = sp.csr_matrix(m.incidence)
-                self._transposed.append(sp.csr_matrix(operator.T))
+                if transposed is not None and transposed[index] is not None:
+                    self._transposed.append(transposed[index])
+                else:
+                    self._transposed.append(sp.csr_matrix(operator.T))
                 self._context_features.append(m.context_features)
             else:
                 operator = sp.csr_matrix(m.neighbor_adj)
@@ -85,14 +125,51 @@ class ModelHandle:
         return cls(estimator.data, estimator.config, estimator.trainer.model)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "ModelHandle":
-        """Open a serving handle over a saved estimator bundle."""
+    def load(cls, path: Union[str, Path], mmap: bool = True) -> "ModelHandle":
+        """Open a serving handle over a saved estimator bundle.
+
+        With ``mmap=True`` (the default) the bundle's operators and
+        feature matrices are served from read-only memory-mapped sidecar
+        files next to the bundle — built on first load, after which
+        every co-located worker shares one OS-resident copy.  Falls back
+        to the heap path when sidecars cannot be built (e.g. a read-only
+        bundle directory).
+        """
+        if mmap:
+            handle = _load_mapped_handle(path)
+            if handle is not None:
+                return handle
         from repro.api.estimator import ConCHEstimator
 
         estimator = ConCHEstimator.load(path)
         if estimator is None:
             raise ValueError(f"{path} is not a ConCH estimator bundle")
         return cls.from_estimator(estimator)
+
+    # ------------------------------------------------------------- #
+    # Request validation
+    # ------------------------------------------------------------- #
+
+    def check_ids(self, ids) -> np.ndarray:
+        """Validate + normalize one request's node ids (see module docs).
+
+        Every query path — single, batched, server-side — funnels
+        through this, so error behavior (and the exact error messages)
+        cannot drift between them.
+        """
+        array = np.asarray(ids).ravel()
+        if array.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if not np.issubdtype(array.dtype, np.integer):
+            raise TypeError(
+                f"node ids must be integers, got dtype {array.dtype}"
+            )
+        array = array.astype(np.int64)
+        if array.min() < 0 or array.max() >= self.num_objects:
+            raise IndexError(
+                f"node ids out of range [0, {self.num_objects})"
+            )
+        return array
 
     # ------------------------------------------------------------- #
     # Receptive-field gathering (row slices only)
@@ -137,13 +214,9 @@ class ModelHandle:
     # ------------------------------------------------------------- #
 
     def _sliced_forward(self, ids: np.ndarray) -> np.ndarray:
-        ids = np.asarray(ids, dtype=np.int64).ravel()
+        ids = self.check_ids(ids)
         if ids.size == 0:
             return np.empty((0, self.data.num_classes), dtype=np.float64)
-        if ids.min() < 0 or ids.max() >= self.num_objects:
-            raise IndexError(
-                f"node ids out of range [0, {self.num_objects})"
-            )
         objects, contexts = self._gather(ids)
         operators = []
         context_tensors = []
@@ -152,7 +225,7 @@ class ModelHandle:
                 ctx = contexts[index]
                 operators.append(operator[objects][:, ctx])
                 context_tensors.append(
-                    Tensor(self._context_features[index][ctx])
+                    Tensor(np.asarray(self._context_features[index][ctx]))
                 )
             else:
                 operators.append(operator[objects][:, objects])
@@ -164,12 +237,51 @@ class ModelHandle:
             "total_objects": int(self.num_objects),
             "object_fraction": float(objects.size) / max(self.num_objects, 1),
         }
-        features = Tensor(self.data.features[objects])
+        features = Tensor(np.asarray(self.data.features[objects]))
         self.model.eval()
         with no_grad():
             logits, _ = self.model(features, operators, context_tensors)
         positions = np.searchsorted(objects, ids)
         return logits.data[positions]
+
+    def forward_many(
+        self, id_arrays: Sequence, validated: bool = False
+    ) -> List[np.ndarray]:
+        """Logits for many requests through ONE union sliced forward.
+
+        Validates every request first (so a bad request fails the whole
+        call before any work — per-request isolation is the
+        :class:`repro.serve.BatchPlanner`'s job), unions the ids, runs a
+        single receptive-field gather + forward, and scatters each
+        request's rows back out in its own input order.  Labels match
+        per-request calls bit-exactly, logits to ~1 ulp (see module
+        docstring) — the batched equivalence guarantee.
+
+        ``validated=True`` skips the per-array re-validation for callers
+        whose arrays already went through :meth:`check_ids` (the planner
+        and server validate per request for error isolation); the union
+        still passes one final check inside the sliced forward.
+        """
+        if validated:
+            arrays = [np.asarray(ids, dtype=np.int64) for ids in id_arrays]
+        else:
+            arrays = [self.check_ids(ids) for ids in id_arrays]
+        non_empty = [a for a in arrays if a.size]
+        if not non_empty:
+            empty = np.empty((0, self.data.num_classes), dtype=np.float64)
+            return [empty.copy() for _ in arrays]
+        union = np.unique(np.concatenate(non_empty))
+        union_logits = self._sliced_forward(union)
+        self.last_query_stats["batched_requests"] = len(arrays)
+        out: List[np.ndarray] = []
+        for array in arrays:
+            if array.size == 0:
+                out.append(
+                    np.empty((0, self.data.num_classes), dtype=np.float64)
+                )
+            else:
+                out.append(union_logits[np.searchsorted(union, array)])
+        return out
 
     def predict_nodes(self, ids) -> np.ndarray:
         """Predicted labels for the queried node ids (input order kept)."""
@@ -181,9 +293,189 @@ class ModelHandle:
 
         return softmax(self._sliced_forward(ids))
 
+    def predict_nodes_batch(self, id_arrays: Sequence) -> List[np.ndarray]:
+        """Labels for many requests via one union forward (see above)."""
+        return [
+            logits.argmax(axis=1) if logits.size else
+            np.empty(0, dtype=np.int64)
+            for logits in self.forward_many(id_arrays)
+        ]
+
+    def predict_proba_nodes_batch(self, id_arrays: Sequence) -> List[np.ndarray]:
+        """Probabilities for many requests via one union forward."""
+        from repro.eval.metrics import softmax
+
+        return [softmax(logits) for logits in self.forward_many(id_arrays)]
+
     def __repr__(self) -> str:
         return (
             f"ModelHandle({self.data.name!r}, objects={self.num_objects}, "
             f"metapaths={len(self._operators)}, "
             f"layers={self.config.num_layers})"
         )
+
+
+# ------------------------------------------------------------------ #
+# The mapped bundle loader (zero-copy operator tier)
+# ------------------------------------------------------------------ #
+
+
+def _bundle_sidecar_dir(path: Path) -> Path:
+    return path.with_name(path.name + BUNDLE_SIDECAR_SUFFIX)
+
+
+def _bundle_sidecar_meta(path: Path) -> Optional[dict]:
+    from repro.hin.cache import file_stat_identity
+
+    stat = file_stat_identity(path)
+    if stat is None:
+        return None
+    return {"kind": "conch-bundle-sidecars", "bundle_stat": stat}
+
+
+def _export_bundle_sidecars(path: Path, header: dict) -> bool:
+    """Materialize a bundle's big payloads as mappable ``.npy`` sidecars.
+
+    One manifest covers the whole export (written atomically last), so a
+    reader either sees a complete, consistent generation or rebuilds.
+    Incidence transposes are exported too — computing them per process
+    would put a full heap copy back in every worker.
+    """
+    from repro.api.artifacts import ARCHIVE_ERRORS, _unpack_csr
+    from repro.hin.cache import save_mmap_arrays
+
+    arrays: Dict[str, np.ndarray] = {}
+    csr_shapes: Dict[str, List[int]] = {}
+
+    def pack_csr(name: str, matrix: sp.csr_matrix) -> None:
+        matrix = sp.csr_matrix(matrix)
+        if not matrix.has_sorted_indices:
+            matrix.sort_indices()
+        arrays[f"{name}.data"] = matrix.data
+        arrays[f"{name}.indices"] = matrix.indices
+        arrays[f"{name}.indptr"] = matrix.indptr
+        csr_shapes[name] = [int(s) for s in matrix.shape]
+
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            arrays["features"] = archive["features"]
+            arrays["labels"] = archive["labels"]
+            for i in range(len(header["metapath_names"])):
+                incidence = _unpack_csr(archive, f"mp{i}/incidence")
+                pack_csr(f"mp{i}.incidence", incidence)
+                pack_csr(f"mp{i}.incidence_T", sp.csr_matrix(incidence.T))
+                pack_csr(
+                    f"mp{i}.neighbor_adj",
+                    _unpack_csr(archive, f"mp{i}/neighbor_adj"),
+                )
+                arrays[f"mp{i}.context_features"] = archive[
+                    f"mp{i}/context_features"
+                ]
+    except ARCHIVE_ERRORS:
+        return False
+    meta = _bundle_sidecar_meta(path)
+    if meta is None:
+        return False
+    meta["csr_shapes"] = csr_shapes
+    return save_mmap_arrays(_bundle_sidecar_dir(path), "bundle", arrays, meta)
+
+
+def _load_mapped_handle(path: Union[str, Path]) -> Optional[ModelHandle]:
+    """Open a bundle with its big payloads memory-mapped; None on any miss.
+
+    Misses fall back to the heap loader in :meth:`ModelHandle.load` —
+    never an error.  Sidecars are built on first load (claim-file
+    dedupe: concurrent cold workers build once per cluster, the rest
+    wait and map the winner's export).
+    """
+    from repro.api.estimator import _read_bundle_header
+    from repro.core.serialize import model_from_archive
+    from repro.core.config import ConCHConfig
+    from repro.core.trainer import ConCHData, MetaPathData
+    from repro.hin.cache import (
+        ClaimFile,
+        csr_from_components,
+        load_mmap_arrays,
+    )
+    from repro.hin.metapath import MetaPath
+
+    path = Path(path)
+    header = _read_bundle_header(path)
+    if header is None or header.get("kind") != "conch-estimator":
+        return None
+    expected = _bundle_sidecar_meta(path)
+    if expected is None:
+        return None
+    sidecar_dir = _bundle_sidecar_dir(path)
+
+    def try_map():
+        return load_mmap_arrays(sidecar_dir, "bundle", expected)
+
+    loaded = try_map()
+    if loaded is None:
+        claim = ClaimFile(path.with_name(path.name + ".mmap.claim"))
+        if claim.acquire():
+            try:
+                if not _export_bundle_sidecars(path, header):
+                    return None
+            finally:
+                claim.release()
+        else:
+            claim.wait(try_map)
+        loaded = try_map()
+        if loaded is None:
+            return None
+    meta, arrays = loaded
+    csr_shapes = meta.get("csr_shapes", {})
+
+    def unpack_csr(name: str) -> Optional[sp.csr_matrix]:
+        shape = csr_shapes.get(name)
+        try:
+            data = arrays[f"{name}.data"]
+            indices = arrays[f"{name}.indices"]
+            indptr = arrays[f"{name}.indptr"]
+        except KeyError:
+            return None
+        if shape is None or len(shape) != 2:
+            return None
+        if indptr.shape != (int(shape[0]) + 1,):
+            return None
+        return csr_from_components(data, indices, indptr, tuple(shape))
+
+    from repro.api.artifacts import ARCHIVE_ERRORS
+
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            model = model_from_archive(header["model"], archive)
+    except ARCHIVE_ERRORS:
+        return None
+    metapath_data: List[MetaPathData] = []
+    transposed: List[Optional[sp.csr_matrix]] = []
+    for i, (types, name) in enumerate(
+        zip(header["metapath_node_types"], header["metapath_names"])
+    ):
+        incidence = unpack_csr(f"mp{i}.incidence")
+        incidence_t = unpack_csr(f"mp{i}.incidence_T")
+        neighbor_adj = unpack_csr(f"mp{i}.neighbor_adj")
+        context_features = arrays.get(f"mp{i}.context_features")
+        if incidence is None or neighbor_adj is None or context_features is None:
+            return None
+        metapath_data.append(
+            MetaPathData(
+                metapath=MetaPath(types, name=name),
+                incidence=incidence,
+                context_features=context_features,
+                neighbor_adj=neighbor_adj,
+                truncated_contexts=int(header["truncated_contexts"][i]),
+            )
+        )
+        transposed.append(incidence_t)
+    data = ConCHData(
+        name=header["name"],
+        features=arrays["features"],
+        labels=arrays["labels"],
+        num_classes=int(header["num_classes"]),
+        metapath_data=metapath_data,
+    )
+    config = ConCHConfig(**header["model"]["config"])
+    return ModelHandle(data, config, model, transposed=transposed)

@@ -22,30 +22,39 @@ array([2., 4., 6.])
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
-_GRAD_ENABLED = True
+#: Grad mode is per-thread (like torch): concurrent inference threads —
+#: the serving scheduler runs forwards under ``no_grad`` from a worker
+#: pool — must not be able to toggle recording out from under a training
+#: loop, and an interleaved save/restore race on a process-global flag
+#: could leave recording off forever.
+_GRAD_STATE = threading.local()
 
 
 def is_grad_enabled() -> bool:
-    """Return whether gradient recording is currently enabled."""
-    return _GRAD_ENABLED
+    """Return whether gradient recording is enabled in this thread."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph recording (like torch.no_grad)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph recording (like torch.no_grad).
+
+    Thread-local: disabling recording on a serving thread never affects
+    a concurrently-training thread.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -99,7 +108,7 @@ class Tensor:
             raise TypeError(
                 f"only floating-point tensors can require grad, got {self.data.dtype}"
             )
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self.grad: Optional[np.ndarray] = None
         self._backward = _backward
         self._parents = _parents if self.requires_grad or _parents else ()
@@ -167,7 +176,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         return Tensor(
             data,
             requires_grad=requires,

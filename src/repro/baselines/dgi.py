@@ -108,6 +108,7 @@ def DGIMethod(dim: int = 32, epochs: int = 80):
         outcome = choose_best_metapath(dataset, split, run)
         return MethodOutput(
             test_predictions=np.asarray(outcome["test_predictions"]),
+            test_scores=outcome.get("test_scores"),
             extras={"metapath": outcome["metapath"].name},
         )
 

@@ -135,6 +135,7 @@ def _run_gat_on_graph(
     return {
         "val_metric": micro_f1(labels[split.val], val_pred),
         "test_predictions": trainer.predict(split.test),
+        "test_scores": trainer.predict_proba(split.test),
         "recorder": trainer.recorder,
     }
 
@@ -167,6 +168,7 @@ def GATMethod(
         )
         return MethodOutput(
             test_predictions=np.asarray(outcome["test_predictions"]),
+            test_scores=outcome.get("test_scores"),
             recorder=outcome.get("recorder"),
             extras={"metapath": outcome["metapath"].name},
         )

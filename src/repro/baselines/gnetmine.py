@@ -98,6 +98,9 @@ def GNetMineMethod(alpha: float = 0.4, iterations: int = 50):
             alpha=alpha,
             iterations=iterations,
         )
-        return MethodOutput(test_predictions=scores[split.test].argmax(axis=1))
+        return MethodOutput(
+            test_predictions=scores[split.test].argmax(axis=1),
+            test_scores=scores[split.test],
+        )
 
     return method

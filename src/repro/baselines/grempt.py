@@ -137,6 +137,7 @@ def GremptMethod(
         )
         return MethodOutput(
             test_predictions=scores[split.test].argmax(axis=1),
+            test_scores=scores[split.test],
             extras={"metapath_weights": weights},
         )
 

@@ -198,6 +198,7 @@ def GTNMethod(
         ).fit(split)
         return MethodOutput(
             test_predictions=trainer.predict(split.test),
+            test_scores=trainer.predict_proba(split.test),
             recorder=trainer.recorder,
             extras={"relation_weights": model.relation_weights()},
         )

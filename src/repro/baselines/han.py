@@ -125,6 +125,7 @@ def HANMethod(
         ).fit(split)
         return MethodOutput(
             test_predictions=trainer.predict(split.test),
+            test_scores=trainer.predict_proba(split.test),
             recorder=trainer.recorder,
             extras={"semantic_weights": model.semantic_weights()},
         )

@@ -130,6 +130,7 @@ def HGCNMethod(
         ).fit(split)
         return MethodOutput(
             test_predictions=trainer.predict(split.test),
+            test_scores=trainer.predict_proba(split.test),
             recorder=trainer.recorder,
         )
 

@@ -226,6 +226,7 @@ def HGTMethod(
         ).fit(split)
         return MethodOutput(
             test_predictions=trainer.predict(split.test),
+            test_scores=trainer.predict_proba(split.test),
             recorder=trainer.recorder,
         )
 

@@ -63,11 +63,13 @@ def LabelPropagationMethod(beta: float = 0.9, iterations: int = 50):
             return {
                 "val_metric": micro_f1(dataset.labels[split.val], val_pred),
                 "test_predictions": scores[split.test].argmax(axis=1),
+                "test_scores": scores[split.test],
             }
 
         outcome = choose_best_metapath(dataset, split, run)
         return MethodOutput(
             test_predictions=np.asarray(outcome["test_predictions"]),
+            test_scores=outcome.get("test_scores"),
             extras={"metapath": outcome["metapath"].name},
         )
 

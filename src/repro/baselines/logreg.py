@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.splits import Split
-from repro.eval.metrics import micro_f1
+from repro.eval.metrics import micro_f1, softmax
 from repro.nn.layers import Linear
 from repro.nn.losses import cross_entropy
 from repro.nn.module import Module
@@ -133,8 +133,10 @@ def logreg_validation_score(
     model.eval()
     with no_grad():
         val_pred = model(features[split.val]).argmax(axis=1)
-        test_pred = model(features[split.test]).argmax(axis=1)
+        test_logits = model(features[split.test])
+    test_pred = test_logits.argmax(axis=1)
     return {
         "val_metric": micro_f1(labels[split.val], val_pred),
         "test_predictions": test_pred,
+        "test_scores": softmax(test_logits.data),
     }

@@ -202,6 +202,7 @@ def MAGNNMethod(
         ).fit(split)
         return MethodOutput(
             test_predictions=trainer.predict(split.test),
+            test_scores=trainer.predict_proba(split.test),
             recorder=trainer.recorder,
             extras={
                 "num_instances": [d[0].shape[0] for d in instance_data],

@@ -159,6 +159,7 @@ def MVGRLMethod(dim: int = 32, epochs: int = 80, max_nodes: int = 1500):
         outcome = choose_best_metapath(dataset, split, run)
         return MethodOutput(
             test_predictions=np.asarray(outcome["test_predictions"]),
+            test_scores=outcome.get("test_scores"),
             extras={"metapath": outcome["metapath"].name},
         )
 

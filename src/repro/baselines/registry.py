@@ -105,6 +105,7 @@ def MetaPath2VecMethod(dim: int = 64, num_walks: int = 8, walk_length: int = 40)
                 best_path = metapath
         return MethodOutput(
             test_predictions=np.asarray(best["test_predictions"]),
+            test_scores=best.get("test_scores"),
             extras={"metapath": best_path.name},
         )
 
@@ -229,6 +230,7 @@ def conch_method(
         trainer = ConCHTrainer(data, config).fit(split)
         return MethodOutput(
             test_predictions=trainer.predict(split.test),
+            test_scores=trainer.predict_proba(split.test),
             recorder=trainer.recorder,
             extras={"attention": trainer.attention_weights()},
         )

@@ -31,6 +31,42 @@ class MethodOutput:
     test_predictions: np.ndarray
     recorder: Optional[ConvergenceRecorder] = None
     extras: Dict[str, object] = field(default_factory=dict)
+    #: Optional per-class scores ``(len(split.test), num_classes)`` for
+    #: the same test nodes, higher = more likely.  Any consistent scale
+    #: works: probabilities pass through, non-negative scores are
+    #: row-normalized, anything with negatives is treated as logits
+    #: (softmax) — see :func:`scores_to_proba`.  Methods that only
+    #: produce hard labels leave this ``None`` and probability consumers
+    #: (``MethodEstimator.predict_proba``) degrade to one-hot.
+    test_scores: Optional[np.ndarray] = None
+
+
+def scores_to_proba(scores: np.ndarray) -> np.ndarray:
+    """Normalize a ``(n, r)`` class-score matrix into row distributions.
+
+    Probability-shaped inputs (non-negative) are row-normalized — a
+    no-op when rows already sum to 1 — with all-zero rows mapped to the
+    uniform distribution (the method expressed no preference).  Inputs
+    with negative entries are read as logits and pushed through a
+    numerically-stable softmax.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D (n, r), got shape {scores.shape}")
+    if scores.size == 0:
+        return scores.copy()
+    if scores.min() >= 0.0:
+        row_sums = scores.sum(axis=1, keepdims=True)
+        proba = np.divide(
+            scores,
+            row_sums,
+            out=np.full_like(scores, 1.0 / scores.shape[1]),
+            where=row_sums > 0,
+        )
+        return proba
+    from repro.eval.metrics import softmax
+
+    return softmax(scores)
 
 
 MethodFn = Callable[[HINDataset, Split, int], MethodOutput]
@@ -50,7 +86,10 @@ def method_from_estimator(
 
     def method(dataset: HINDataset, split: Split, seed: int) -> MethodOutput:
         estimator = factory(dataset, seed).fit(split)
-        return MethodOutput(test_predictions=estimator.predict(split.test))
+        return MethodOutput(
+            test_predictions=estimator.predict(split.test),
+            test_scores=estimator.predict_proba(split.test),
+        )
 
     return method
 

@@ -27,6 +27,30 @@ both costs:
     is ignored and rewritten; writes are atomic (temp file + ``rename``)
     so a crashed run never leaves a torn archive behind.
 
+Zero-copy (mmap) tier
+---------------------
+Next to every ``.npz`` archive the store keeps raw ``.npy`` *sidecar*
+files of the product's CSR components (``data``/``indices``/``indptr``),
+written through :func:`save_mmap_arrays`.  :meth:`ProductStore.load`
+memory-maps those sidecars read-only (:func:`load_mmap_arrays` +
+:func:`csr_from_components`) instead of copying the npz payload onto the
+heap, so **co-located workers sharing a store directory share one
+OS-page-cache-resident copy per product** — N serving workers cost ~1×
+memory, not N×.  The npz stays the single source of truth: sidecars
+record the npz's ``stat`` identity and are rebuilt from it whenever they
+are missing, truncated, corrupt, or stale, and a corrupt *npz* is a miss
+regardless of sidecar health (the caller recomposes and rewrites both).
+Mmap-backed matrices are read-only; :func:`resident_nbytes` reports them
+at ~zero heap cost, which is how the engine's
+:class:`LRUByteCache` budget accounts for them.
+
+Claim files
+-----------
+:class:`ClaimFile` is the reusable ``O_CREAT | O_EXCL`` + TTL-lease
+protocol behind the store's concurrent-writer dedupe (see
+:class:`ProductStore`); :class:`repro.api.artifacts.ArtifactStore` reuses
+it so whole pipeline stages are also composed once per cluster.
+
 Cache tuning
 ------------
 - ``CommutingEngine(hin, memory_budget=...)`` (or
@@ -49,16 +73,29 @@ Cache tuning
 from __future__ import annotations
 
 import hashlib
+import json
+import mmap as _mmap
 import os
 import struct
 import sys
+import threading
 import time
 import zipfile
 import zlib
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Hashable, Iterator, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 import scipy.sparse as sp
@@ -71,6 +108,29 @@ DEFAULT_MEMORY_BUDGET: Optional[int] = None
 #: directory.  Unset (the default, and what CI relies on) disables the
 #: disk store unless a ``cache_dir`` is passed explicitly.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+#: Exception set every archive loader in this repo treats as a silent
+#: cache miss: missing/truncated/non-zip/garbage files, bad JSON, short
+#: reads.  Deliberately excludes ``TypeError`` — in npz/bundle loaders a
+#: TypeError means a real bug (malformed header handling), and masking
+#: it as a miss would make pipelines silently recompute forever.
+ARCHIVE_MISS_ERRORS = (
+    OSError,
+    ValueError,
+    KeyError,
+    EOFError,
+    zipfile.BadZipFile,
+    zlib.error,
+    struct.error,
+    json.JSONDecodeError,
+)
+
+#: The sidecar *manifest* parsers additionally treat ``TypeError`` /
+#: ``AttributeError`` as misses: a hand-corrupted ``.mmap.json`` can
+#: decode to any JSON shape (a bare int, a list where a dict belongs),
+#: and those surface exactly as attribute/type errors during parsing.
+_MANIFEST_MISS_ERRORS = ARCHIVE_MISS_ERRORS + (TypeError, AttributeError)
 
 
 def default_cache_dir() -> Optional[str]:
@@ -102,6 +162,301 @@ def nbytes_of(value: Any) -> int:
     if isinstance(value, dict):
         return sum(nbytes_of(item) for item in value.values())
     return int(sys.getsizeof(value))
+
+
+def _array_is_mapped(array: Any) -> bool:
+    """True when an ndarray's storage is a memory-mapped file."""
+    seen = 0
+    base = array
+    while base is not None and seen < 8:  # base chains are short
+        if isinstance(base, (np.memmap, _mmap.mmap)):
+            return True
+        base = getattr(base, "base", None)
+        seen += 1
+    return False
+
+
+def is_mmap_backed(matrix: Any) -> bool:
+    """True when a CSR/array's payload lives in mapped files, not heap.
+
+    A sparse matrix counts as mapped when *every* component array is
+    mapped (empty components — which numpy may materialize on heap —
+    are ignored; their bytes are ~zero either way).
+    """
+    if sp.issparse(matrix):
+        components = [
+            getattr(matrix, attr)
+            for attr in ("data", "indices", "indptr")
+            if getattr(matrix, attr, None) is not None
+        ]
+        sized = [c for c in components if c.size > 0]
+        return bool(sized) and all(_array_is_mapped(c) for c in sized)
+    if isinstance(matrix, np.ndarray):
+        return matrix.size > 0 and _array_is_mapped(matrix)
+    return False
+
+
+def resident_nbytes(value: Any) -> int:
+    """Heap-resident bytes of a cached value: mapped arrays count as 0.
+
+    The accounting twin of :func:`nbytes_of` for the zero-copy tier —
+    a memory-mapped product's pages belong to the OS page cache (shared
+    across every process mapping the same file, reclaimable under
+    pressure), so charging them against a per-process heap budget would
+    evict real heap entries to "free" memory that was never resident.
+    """
+    if sp.issparse(value):
+        total = 0
+        for attr in ("data", "indices", "indptr", "row", "col", "offsets"):
+            array = getattr(value, attr, None)
+            if isinstance(array, np.ndarray) and not _array_is_mapped(array):
+                total += array.nbytes
+        return total
+    if isinstance(value, np.ndarray):
+        return 0 if _array_is_mapped(value) else int(value.nbytes)
+    return nbytes_of(value)
+
+
+def csr_from_components(
+    data: np.ndarray,
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    shape: Tuple[int, int],
+) -> sp.csr_matrix:
+    """A CSR over existing component arrays with **zero copies**.
+
+    The ordinary ``sp.csr_matrix((data, indices, indptr))`` constructor
+    runs ``check_format`` which may re-cast index dtypes (copying) and
+    would later ``sort_indices`` *in place* — both fatal for read-only
+    memory-mapped components.  This builds the matrix by direct attribute
+    assignment and marks it sorted/canonical, which is the writer's
+    contract: :func:`save_mmap_arrays` callers persist only
+    sorted-deduplicated CSR.
+    """
+    matrix = sp.csr_matrix(tuple(int(s) for s in shape), dtype=data.dtype)
+    matrix.data = data
+    matrix.indices = indices
+    matrix.indptr = indptr
+    matrix.has_sorted_indices = True
+    try:
+        matrix.has_canonical_format = True
+    except AttributeError:  # older scipy spells it differently; harmless
+        pass
+    return matrix
+
+
+# ---------------------------------------------------------------------- #
+# Raw-``.npy`` sidecar persistence (the zero-copy tier's file format)
+# ---------------------------------------------------------------------- #
+
+#: Suffix of the JSON manifest naming one consistent sidecar generation.
+MMAP_META_SUFFIX = ".mmap.json"
+
+#: Superseded sidecar generations younger than this are left on disk —
+#: they may belong to a concurrent writer whose manifest rename is about
+#: to land (see the reap loop in :func:`save_mmap_arrays`).
+_REAP_GRACE_SECONDS = 60.0
+
+
+def _sidecar_meta_path(directory: Path, prefix: str) -> Path:
+    return directory / f"{prefix}{MMAP_META_SUFFIX}"
+
+
+def _sidecar_array_path(
+    directory: Path, prefix: str, generation: str, name: str
+) -> Path:
+    return directory / f"{prefix}.{generation}.{name}.npy"
+
+
+def save_mmap_arrays(
+    directory: Union[str, Path],
+    prefix: str,
+    arrays: Dict[str, np.ndarray],
+    meta: Optional[dict] = None,
+) -> bool:
+    """Persist named arrays as raw ``.npy`` files + a JSON manifest.
+
+    Every array lands in its own ``<prefix>.<generation>.<name>.npy``
+    (atomic temp-file + rename), then the manifest
+    ``<prefix>.mmap.json`` is atomically replaced to point at the new
+    generation — so readers always see a *consistent set*: a crash
+    between array writes leaves the old manifest (and old files) intact,
+    and mixed-generation reads are impossible by construction.  Older
+    generations are unlinked best-effort afterwards.  Returns False on
+    any I/O failure (callers fall back to non-mapped serving).
+    """
+    directory = Path(directory)
+    generation = os.urandom(8).hex()
+    manifest = {
+        "sidecar_version": 1,
+        "generation": generation,
+        "arrays": {},
+    }
+    if meta:
+        manifest["meta"] = dict(meta)
+    written = []
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            path = _sidecar_array_path(directory, prefix, generation, name)
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            with open(tmp, "wb") as handle:
+                np.save(handle, array)
+            os.replace(tmp, path)
+            written.append(path)
+            manifest["arrays"][name] = {
+                "shape": list(array.shape),
+                "dtype": str(array.dtype),
+            }
+        meta_path = _sidecar_meta_path(directory, prefix)
+        tmp = meta_path.with_name(f"{meta_path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(manifest, sort_keys=True))
+        os.replace(tmp, meta_path)
+    except OSError:
+        for path in written:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+        return False
+    # Reap superseded generations (best-effort; a concurrent reader that
+    # already mapped an old file keeps its pages alive via the open map).
+    # Only files older than a grace period are touched: a *concurrent
+    # writer's* fresh generation — which may become the current manifest
+    # a millisecond from now — must never be unlinked by a racing save.
+    cutoff = time.time() - _REAP_GRACE_SECONDS
+    for stale in directory.glob(f"{prefix}.*.npy"):
+        if f".{generation}." in stale.name:
+            continue
+        try:
+            if stale.stat().st_mtime < cutoff:
+                stale.unlink(missing_ok=True)
+        except OSError:
+            pass
+    return True
+
+
+def load_mmap_arrays(
+    directory: Union[str, Path],
+    prefix: str,
+    expected_meta: Optional[dict] = None,
+) -> Optional[Tuple[dict, Dict[str, np.ndarray]]]:
+    """Memory-map a sidecar generation read-only; ``None`` on any miss.
+
+    Returns ``(meta, arrays)`` — the manifest's recorded ``meta`` dict
+    plus the mapped arrays.  Misses (all silent, mirroring every loader
+    in this module): missing or corrupt manifest, ``expected_meta``
+    entries that do not match the manifest's recorded ``meta`` exactly
+    (the staleness check — e.g. the source npz's stat identity), a
+    missing/truncated array file, or a mapped array whose shape/dtype
+    disagrees with the manifest.  Zero-size arrays are loaded normally
+    (they cannot be mapped) — their heap cost is nil.
+    """
+    directory = Path(directory)
+    meta_path = _sidecar_meta_path(directory, prefix)
+    try:
+        manifest = json.loads(meta_path.read_text())
+        if manifest.get("sidecar_version") != 1:
+            return None
+        recorded = manifest.get("meta", {})
+        if expected_meta:
+            for key, value in expected_meta.items():
+                if recorded.get(key) != value:
+                    return None
+        generation = manifest["generation"]
+        out: Dict[str, np.ndarray] = {}
+        for name, spec in manifest["arrays"].items():
+            path = _sidecar_array_path(directory, prefix, generation, name)
+            expected_shape = tuple(int(s) for s in spec["shape"])
+            if int(np.prod(expected_shape)) == 0:
+                array = np.load(path, allow_pickle=False)
+            else:
+                array = np.load(path, mmap_mode="r", allow_pickle=False)
+            if tuple(array.shape) != expected_shape:
+                return None
+            if str(array.dtype) != spec["dtype"]:
+                return None
+            out[name] = array
+    except _MANIFEST_MISS_ERRORS:
+        return None
+    return recorded, out
+
+
+def load_mmap_csr(
+    directory: Union[str, Path],
+    prefix: str,
+    expected_meta: Optional[dict] = None,
+) -> Optional[sp.csr_matrix]:
+    """Map one sidecar CSR (written by :func:`save_mmap_csr`); None on miss.
+
+    Beyond :func:`load_mmap_arrays`' checks this validates the CSR
+    invariants that a torn or mismatched component set would break:
+    ``indptr`` length vs. the recorded shape, ``indptr[0] == 0``, and
+    ``indptr[-1] == nnz``.
+    """
+    loaded = load_mmap_arrays(directory, prefix, expected_meta)
+    if loaded is None:
+        return None
+    meta, arrays = loaded
+    try:
+        shape = tuple(int(s) for s in meta["shape"])
+        data, indices, indptr = (
+            arrays["data"], arrays["indices"], arrays["indptr"],
+        )
+    except _MANIFEST_MISS_ERRORS:
+        return None
+    if len(shape) != 2 or indptr.shape != (shape[0] + 1,):
+        return None
+    if indices.shape != data.shape:
+        return None
+    if indptr.size == 0 or int(indptr[0]) != 0 or int(indptr[-1]) != data.size:
+        return None
+    return csr_from_components(data, indices, indptr, shape)
+
+
+def save_mmap_csr(
+    directory: Union[str, Path],
+    prefix: str,
+    matrix: sp.spmatrix,
+    meta: Optional[dict] = None,
+) -> bool:
+    """Persist one CSR's components as mappable sidecars (sorted first)."""
+    matrix = sp.csr_matrix(matrix)
+    if not matrix.has_sorted_indices:
+        matrix = matrix.copy()
+        matrix.sort_indices()
+    full_meta = dict(meta or {})
+    full_meta["shape"] = [int(s) for s in matrix.shape]
+    return save_mmap_arrays(
+        directory,
+        prefix,
+        {
+            "data": matrix.data,
+            "indices": matrix.indices,
+            "indptr": matrix.indptr,
+        },
+        meta=full_meta,
+    )
+
+
+def file_stat_identity(path: Union[str, Path]) -> Optional[dict]:
+    """A file's (size, mtime_ns, inode) triple — the cheap staleness key.
+
+    Atomic-rename writers (every store in this repo) allocate a fresh
+    inode per rewrite, so any rewrite — even a same-size, same-content
+    one — changes the identity; in-place corruption changes size or
+    mtime.  ``None`` when the file is missing.
+    """
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return {
+        "size": int(stat.st_size),
+        "mtime_ns": int(stat.st_mtime_ns),
+        "ino": int(stat.st_ino),
+    }
 
 
 @dataclass
@@ -301,6 +656,174 @@ class LRUByteCache:
         }
 
 
+class ClaimFile:
+    """One ``O_CREAT | O_EXCL`` + TTL-lease claim on a filesystem path.
+
+    The reusable concurrent-writer dedupe primitive: before paying an
+    expensive computation whose result lands at a shared path, a worker
+    tries :meth:`acquire`; exactly one worker per cluster wins (atomic on
+    POSIX and NFS alike) and computes + :meth:`release`, while losers
+    :meth:`wait` for the winner's write-through.  Claims are leases, not
+    locks: one older than ``ttl`` seconds counts as abandoned (crashed
+    writer) and is broken by the next contender — dedupe is best-effort
+    and can never deadlock or lose a result.
+
+    :class:`ProductStore` claims products with this;
+    :class:`repro.api.artifacts.ArtifactStore` claims whole pipeline
+    stage artifacts; the serving bundle mapper claims sidecar exports.
+    """
+
+    #: Seconds after which an unreleased claim counts as abandoned.
+    DEFAULT_TTL = 60.0
+
+    def __init__(self, path: Union[str, Path], ttl: float = DEFAULT_TTL):
+        self.path = Path(path)
+        self.ttl = float(ttl)
+
+    def is_stale(self) -> bool:
+        """True when the claim is older than the TTL (abandoned writer)."""
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            # Vanished between the existence check and stat: the holder
+            # finished (or another waiter broke it) — not stale, gone.
+            return False
+        return age > self.ttl
+
+    def acquire(self) -> bool:
+        """Try to become the (single) computer of this path's result.
+
+        Returns True when this process holds the claim and must compute
+        + :meth:`release`; False when another live worker holds it (call
+        :meth:`wait`).  A stale claim is broken and re-contested once;
+        any filesystem error degrades to False — the caller then just
+        computes redundantly, which is always safe.
+        """
+        for _attempt in range(2):
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                if self.is_stale():
+                    try:
+                        self.path.unlink(missing_ok=True)
+                    except OSError:
+                        return False
+                    continue  # re-contest the freed claim exactly once
+                return False
+            except OSError:
+                return False
+            try:
+                os.write(fd, str(os.getpid()).encode())
+            except OSError:
+                pass
+            finally:
+                os.close(fd)
+            return True
+        return False
+
+    def refresh(self) -> None:
+        """Renew a held claim's lease (mtime) during long computations.
+
+        Only the claim holder should refresh — a fallback computer must
+        never extend a dead writer's lease.
+        """
+        try:
+            os.utime(self.path)
+        except OSError:
+            pass
+
+    def keepalive(self, interval: Optional[float] = None) -> "_LeaseHeartbeat":
+        """Context manager: refresh the lease periodically while held.
+
+        Wrap a computation that may outlive the TTL (featurize trains
+        embeddings, fit trains the model) so live holders are never
+        mistaken for crashed ones and waiters never duplicate the work.
+        A crashed holder's heartbeat dies with its process, so the lease
+        still expires — liveness is preserved.  Defaults to a third of
+        the TTL.
+        """
+        return _LeaseHeartbeat(
+            self, self.ttl / 3.0 if interval is None else float(interval)
+        )
+
+    def release(self) -> None:
+        """Drop this process's claim (missing file is fine)."""
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    def wait(
+        self,
+        load: Callable[[], Any],
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.05,
+    ):
+        """Poll ``load()`` until it returns non-None; None on timeout.
+
+        Returns as soon as ``load()`` produces a value, or — when the
+        claim disappears (writer released) or goes stale (writer died) —
+        after one final ``load()``.  ``None`` means the caller should
+        compute the result itself.
+
+        With ``timeout=None`` (the default) the wait is bounded by the
+        claim's **liveness**, not a fixed clock: as long as the holder
+        keeps its lease fresh (:meth:`refresh` / :meth:`keepalive`) the
+        waiter keeps waiting — that is the whole point of deduping
+        stages longer than the TTL — while a dead holder's lease goes
+        stale within ``ttl`` seconds and computation falls back.  Pass
+        an explicit ``timeout`` for a hard cap.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + float(timeout)
+        )
+        while True:
+            value = load()
+            if value is not None:
+                return value
+            if not self.path.exists() or self.is_stale():
+                # Writer finished (released before our load raced it) or
+                # died; one last look, then hand computation back.
+                return load()
+            if deadline is not None and time.monotonic() >= deadline:
+                return None
+            time.sleep(poll_interval)
+
+
+class _LeaseHeartbeat:
+    """Background lease refresh while a claim holder computes.
+
+    Created by :meth:`ClaimFile.keepalive`; the daemon thread wakes every
+    ``interval`` seconds and touches the claim file, and dies promptly on
+    exit (``Event.wait`` returns the moment the owner leaves the block).
+    """
+
+    def __init__(self, claim: ClaimFile, interval: float):
+        self._claim = claim
+        self._interval = max(float(interval), 0.01)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def __enter__(self) -> "_LeaseHeartbeat":
+        self._thread = threading.Thread(
+            target=self._loop, name="claim-keepalive", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self._interval):
+            self._claim.refresh()
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+            self._thread = None
+
+
 class ProductStore:
     """Disk-backed ``.npz`` store for composed commuting-matrix products.
 
@@ -332,16 +855,21 @@ class ProductStore:
     FORMAT_VERSION = 1
 
     #: Seconds after which an unreleased claim counts as abandoned.
-    DEFAULT_CLAIM_TTL = 60.0
+    DEFAULT_CLAIM_TTL = ClaimFile.DEFAULT_TTL
 
     def __init__(
         self,
         directory: Union[str, Path],
         claim_ttl: float = DEFAULT_CLAIM_TTL,
+        mmap: bool = True,
     ):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.claim_ttl = float(claim_ttl)
+        #: Serve loads through read-only memory-mapped sidecars when
+        #: possible (the zero-copy tier); ``False`` restores the
+        #: npz-copy behavior (e.g. on filesystems where mmap is slow).
+        self.mmap = bool(mmap)
 
     def path_for(self, content_hash: str, key: Sequence[str]) -> Path:
         """Deterministic archive path for one ``(hash, node-type key)``."""
@@ -350,10 +878,78 @@ class ProductStore:
         ).hexdigest()[:40]
         return self.directory / f"product-{digest}.npz"
 
+    def _sidecar_meta(self, content_hash: str, key: Sequence[str]) -> dict:
+        """The manifest identity sidecars must match to be served.
+
+        Tying sidecars to the npz's stat identity keeps the npz the
+        single source of truth: any rewrite or in-place corruption of
+        the archive invalidates the mapped replica too.
+        """
+        return {
+            "format_version": self.FORMAT_VERSION,
+            "content_hash": content_hash,
+            "key": [str(t) for t in key],
+            "npz_stat": file_stat_identity(self.path_for(content_hash, key)),
+        }
+
     def load(
+        self,
+        content_hash: str,
+        key: Sequence[str],
+        mmap: Optional[bool] = None,
+    ) -> Optional[sp.csr_matrix]:
+        """The stored CSR product, or ``None`` on any miss/mismatch/corruption.
+
+        With the mmap tier enabled (the default) the returned matrix is
+        **read-only and memory-mapped** whenever healthy sidecars exist;
+        missing or stale sidecars are rebuilt from the npz on the way
+        through, so the *next* load — from this or any co-located
+        process — is zero-copy.  ``mmap=False`` forces the heap path.
+        """
+        mmap = self.mmap if mmap is None else bool(mmap)
+        path = self.path_for(content_hash, key)
+        if mmap:
+            expected = self._sidecar_meta(content_hash, key)
+            if expected["npz_stat"] is not None:
+                mapped = load_mmap_csr(self.directory, path.stem, expected)
+                if mapped is not None:
+                    return mapped
+        matrix = self._load_npz(content_hash, key)
+        if matrix is None or not mmap:
+            return matrix
+        # Healthy npz but no (or stale/corrupt) sidecars: rebuild them and
+        # hand back the mapped view so even the rebuilding process serves
+        # zero-copy; the transient heap copy dies with this frame.  The
+        # rebuild is claim-guarded so a stampede of cold workers elects
+        # one writer — losers serve this load from the heap copy and map
+        # on their next access.
+        rebuild = ClaimFile(
+            path.with_name(path.name + ".mmap.claim"), self.claim_ttl
+        )
+        if not rebuild.acquire():
+            return matrix
+        try:
+            if save_mmap_csr(
+                self.directory,
+                path.stem,
+                matrix,
+                meta=self._sidecar_meta(content_hash, key),
+            ):
+                mapped = load_mmap_csr(
+                    self.directory,
+                    path.stem,
+                    self._sidecar_meta(content_hash, key),
+                )
+                if mapped is not None:
+                    return mapped
+        finally:
+            rebuild.release()
+        return matrix
+
+    def _load_npz(
         self, content_hash: str, key: Sequence[str]
     ) -> Optional[sp.csr_matrix]:
-        """The stored CSR product, or ``None`` on any miss/mismatch/corruption."""
+        """The npz-archive (heap-copy) load path."""
         path = self.path_for(content_hash, key)
         try:
             with np.load(path, allow_pickle=False) as archive:
@@ -415,6 +1011,16 @@ class ProductStore:
             except OSError:
                 pass
             return False
+        if self.mmap:
+            # Write the zero-copy sidecars eagerly so the first reader —
+            # including this process after an eviction — maps instead of
+            # copying.  Failure is benign: load() rebuilds them lazily.
+            save_mmap_csr(
+                self.directory,
+                path.stem,
+                matrix,
+                meta=self._sidecar_meta(content_hash, key),
+            )
         return True
 
     # ------------------------------------------------------------------ #
@@ -426,50 +1032,19 @@ class ProductStore:
         path = self.path_for(content_hash, key)
         return path.with_name(path.name + ".claim")
 
-    def _claim_is_stale(self, claim_path: Path) -> bool:
-        """True when the claim is older than the TTL (abandoned writer)."""
-        try:
-            age = time.time() - claim_path.stat().st_mtime
-        except OSError:
-            # Vanished between the existence check and stat: the holder
-            # finished (or another waiter broke it) — not stale, gone.
-            return False
-        return age > self.claim_ttl
+    def claim(self, content_hash: str, key: Sequence[str]) -> ClaimFile:
+        """The :class:`ClaimFile` guarding one product's composition."""
+        return ClaimFile(self.claim_path_for(content_hash, key), self.claim_ttl)
 
     def acquire_claim(self, content_hash: str, key: Sequence[str]) -> bool:
         """Try to become the (single) composer of one product.
 
         Returns True when this process holds the claim and must compose
         + :meth:`save` + :meth:`release_claim`; False when another live
-        worker holds it (call :meth:`wait_for`).  A stale claim is
-        broken and re-contested once; any filesystem error degrades to
-        False — the caller then just composes redundantly, which is
-        always safe.
+        worker holds it (call :meth:`wait_for`).  See
+        :meth:`ClaimFile.acquire` for the lease semantics.
         """
-        claim_path = self.claim_path_for(content_hash, key)
-        for _attempt in range(2):
-            try:
-                fd = os.open(
-                    claim_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
-                )
-            except FileExistsError:
-                if self._claim_is_stale(claim_path):
-                    try:
-                        claim_path.unlink(missing_ok=True)
-                    except OSError:
-                        return False
-                    continue  # re-contest the freed claim exactly once
-                return False
-            except OSError:
-                return False
-            try:
-                os.write(fd, str(os.getpid()).encode())
-            except OSError:
-                pass
-            finally:
-                os.close(fd)
-            return True
-        return False
+        return self.claim(content_hash, key).acquire()
 
     def refresh_claim(self, content_hash: str, key: Sequence[str]) -> None:
         """Renew a held claim's lease (mtime) during long compositions.
@@ -480,17 +1055,11 @@ class ProductStore:
         ``claim_ttl`` can still be stolen — dedupe stays best-effort,
         the duplicate compose is the only cost.
         """
-        try:
-            os.utime(self.claim_path_for(content_hash, key))
-        except OSError:
-            pass
+        self.claim(content_hash, key).refresh()
 
     def release_claim(self, content_hash: str, key: Sequence[str]) -> None:
         """Drop this process's claim (missing file is fine)."""
-        try:
-            self.claim_path_for(content_hash, key).unlink(missing_ok=True)
-        except OSError:
-            pass
+        self.claim(content_hash, key).release()
 
     def wait_for(
         self,
@@ -506,18 +1075,8 @@ class ProductStore:
         after one final load attempt.  ``None`` means the caller should
         compose the product itself.
         """
-        if timeout is None:
-            timeout = self.claim_ttl
-        claim_path = self.claim_path_for(content_hash, key)
-        deadline = time.monotonic() + timeout
-        while True:
-            matrix = self.load(content_hash, key)
-            if matrix is not None:
-                return matrix
-            if not claim_path.exists() or self._claim_is_stale(claim_path):
-                # Writer finished (released before our load raced it) or
-                # died; one last look, then hand composition back.
-                return self.load(content_hash, key)
-            if time.monotonic() >= deadline:
-                return None
-            time.sleep(poll_interval)
+        return self.claim(content_hash, key).wait(
+            lambda: self.load(content_hash, key),
+            timeout=timeout,
+            poll_interval=poll_interval,
+        )

@@ -59,8 +59,12 @@ Composed products can additionally persist to a disk-backed store
 pass ``cache_dir=...`` or set ``REPRO_CACHE_DIR``.  Cold lookups check
 disk before composing, compositions write through, and eviction spills
 any product not yet on disk — so a second process over the same dataset
-composes zero products from scratch.  See :mod:`repro.hin.cache` for the
-cache-tuning guide (budget, env var, cold/warm benchmarking).
+composes zero products from scratch.  Disk loads come back **read-only
+and memory-mapped** (the store's zero-copy sidecar tier): they register
+at ~zero resident bytes in the memory budget because their pages live in
+the OS page cache, shared by every co-located worker mapping the same
+store.  See :mod:`repro.hin.cache` for the cache-tuning guide (budget,
+env var, mmap tier, cold/warm benchmarking).
 
 Cache invalidation
 ------------------
@@ -83,7 +87,14 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.hin import cache as cache_config
-from repro.hin.cache import LRUByteCache, ProductStore, default_cache_dir
+from repro.hin.cache import (
+    LRUByteCache,
+    ProductStore,
+    default_cache_dir,
+    is_mmap_backed,
+    nbytes_of,
+    resident_nbytes,
+)
 from repro.hin.graph import HIN
 from repro.hin.io import hin_content_hash
 from repro.hin.metapath import MetaPath
@@ -513,7 +524,13 @@ class CommutingEngine:
         if result is None:
             result = self._compose(key)
             cost = self.compose_seconds.get(key, 0.0)
-        self._cache.put(("product", key), result, cost=cost)
+        # Mapped products are page-cache, not heap: they register at
+        # ~zero resident bytes, so N co-located workers mapping the same
+        # store pay for one copy total and never evict real heap entries
+        # to "free" shared pages.
+        self._cache.put(
+            ("product", key), result, nbytes=resident_nbytes(result), cost=cost
+        )
         return result
 
     def _compose(self, key: Key, holds_claim: bool = False) -> sp.csr_matrix:
@@ -862,12 +879,25 @@ class CommutingEngine:
         - ``disk_hits`` — products loaded from disk instead of composed;
         - ``claim_waits`` — compositions avoided by waiting on another
           worker's claim (concurrent-writer dedupe);
-        - ``resident_bytes`` — accounted bytes resident in the LRU cache
-          (never exceeds ``memory_budget`` when one is set).
+        - ``resident_bytes`` — accounted heap bytes resident in the LRU
+          cache (never exceeds ``memory_budget`` when one is set;
+          memory-mapped entries count ~0 here);
+        - ``mapped_products`` / ``mapped_bytes`` — products currently
+          served zero-copy from the store's mmap tier, and the bytes
+          they would cost if they were heap-resident (they live in the
+          OS page cache instead, shared across co-located workers).
         """
-        cached_products = sum(
-            1 for key in self._cache.keys() if key[0] == "product"
-        )
+        cached_products = 0
+        mapped_products = 0
+        mapped_bytes = 0
+        for key in self._cache.keys():
+            if key[0] != "product":
+                continue
+            cached_products += 1
+            value = self._cache.peek(key)
+            if value is not None and is_mmap_backed(value):
+                mapped_products += 1
+                mapped_bytes += nbytes_of(value)
         return {
             "composed_products": len(self.compose_log),
             "cached_products": cached_products,
@@ -880,6 +910,8 @@ class CommutingEngine:
             "disk_hits": self.disk_hits,
             "claim_waits": self.claim_waits,
             "resident_bytes": self._cache.resident_bytes,
+            "mapped_products": mapped_products,
+            "mapped_bytes": mapped_bytes,
         }
 
 

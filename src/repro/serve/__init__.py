@@ -1,0 +1,60 @@
+"""``repro.serve`` — the traffic-serving subsystem.
+
+The paper's model answers per-node label queries from fixed, precomputed
+meta-path operators — a read-heavy serving workload.  This package turns
+the repo's batch reproduction into a query *server* in three layers,
+each usable on its own:
+
+:class:`~repro.serve.batching.BatchPlanner`
+    Pure request coalescing: validate each request independently, run
+    **one** receptive-field union slice + model forward for the whole
+    batch (:meth:`repro.api.ModelHandle.forward_many`), scatter answers
+    back — bit-identical to sequential queries, including which
+    requests error and with what message.
+
+:class:`~repro.serve.server.ModelServer`
+    The thread-pool front-end: a micro-batching scheduler
+    (``max_batch_size`` / ``max_wait_ms``) over a **bounded** request
+    queue with load-shedding admission control
+    (:class:`~repro.serve.server.ServerOverloaded`), futures, and
+    latency/throughput/batch-shape telemetry.
+    :class:`~repro.serve.server.ProcessReplicaServer` runs the same
+    protocol across OS processes.
+
+The zero-copy substrate
+    Both servers load bundles through the memory-mapped operator tier
+    (:meth:`repro.api.ModelHandle.load`; sidecar plumbing in
+    :mod:`repro.hin.cache`), and pipelines sharing a store dir reuse
+    each other's composed products via the same mmap sidecars — so
+    **co-located workers share one OS-resident copy** of every operator
+    and cold-start by mapping files, not recomposing or copying.
+
+Quickstart
+----------
+>>> from repro.serve import ModelServer, ServeClient
+>>> server = ModelServer("conch.npz", max_batch_size=64)   # doctest: +SKIP
+>>> with server:                                           # doctest: +SKIP
+...     client = ServeClient(server)
+...     client.predict_nodes([0, 7, 7])     # duplicates answered per slot
+...     server.stats()["latency_seconds"]
+See ``examples/serving_under_load.py`` for a full concurrent-load run.
+"""
+
+from repro.serve.batching import BatchItem, BatchPlanner
+from repro.serve.client import ServeClient
+from repro.serve.server import (
+    ModelServer,
+    PredictionFuture,
+    ProcessReplicaServer,
+    ServerOverloaded,
+)
+
+__all__ = [
+    "BatchItem",
+    "BatchPlanner",
+    "ModelServer",
+    "PredictionFuture",
+    "ProcessReplicaServer",
+    "ServeClient",
+    "ServerOverloaded",
+]

@@ -1,0 +1,113 @@
+"""Request coalescing: many small queries → one union sliced forward.
+
+:class:`BatchPlanner` is the pure (threadless) half of the serving
+subsystem: given a batch of ``predict_nodes``-shaped requests it
+validates each one *independently*, coalesces the valid ids into a
+single receptive-field union slice via
+:meth:`repro.api.ModelHandle.forward_many`, and scatters the answers
+back per request.  :class:`repro.serve.server.ModelServer` feeds it the
+micro-batches its scheduler forms; tests drive it directly to pin the
+equivalence guarantee: batched ≡ sequential — labels bit-identical,
+probabilities to ~1 ulp (see :mod:`repro.api.serving`), and the same
+requests erroring with the same messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+
+@dataclass
+class BatchItem:
+    """One request inside a planned batch."""
+
+    ids: Optional[np.ndarray]   # validated ids (None when invalid)
+    proba: bool                 # probabilities (True) or labels (False)
+    error: Optional[Exception]  # the validation error, verbatim
+
+
+class BatchPlanner:
+    """Coalesce many per-node queries into one union forward.
+
+    Per-request isolation is the whole point: requests are validated
+    one at a time with :meth:`~repro.api.ModelHandle.check_ids` — the
+    same call (hence the same error types and messages) the sequential
+    path uses — and a request that fails validation is answered with
+    its own exception while every other request in the batch proceeds
+    untouched.  Valid requests then share a single sliced forward, so a
+    batch of B requests costs one receptive-field gather and one model
+    forward instead of B.
+    """
+
+    def __init__(self, handle):
+        self.handle = handle
+
+    def plan(self, requests: Sequence, validated: bool = False) -> List[BatchItem]:
+        """Validate a batch; ``requests`` holds id arrays or (ids, proba).
+
+        ``validated=True`` trusts the arrays (the servers validate at
+        ``submit`` with the same ``check_ids``, so re-scanning every
+        request on the hot path would only repeat work); direct callers
+        leave it False and get per-request error isolation.
+        """
+        items: List[BatchItem] = []
+        for request in requests:
+            if isinstance(request, tuple):
+                ids, proba = request
+            else:
+                ids, proba = request, False
+            if validated:
+                items.append(
+                    BatchItem(
+                        ids=np.asarray(ids, dtype=np.int64),
+                        proba=bool(proba),
+                        error=None,
+                    )
+                )
+                continue
+            try:
+                items.append(
+                    BatchItem(
+                        ids=self.handle.check_ids(ids),
+                        proba=bool(proba),
+                        error=None,
+                    )
+                )
+            except (TypeError, IndexError, ValueError) as exc:
+                items.append(BatchItem(ids=None, proba=bool(proba), error=exc))
+        return items
+
+    def run(
+        self, requests: Sequence, validated: bool = False
+    ) -> List[Union[np.ndarray, Exception]]:
+        """Answer a batch; each slot is a result array OR an exception.
+
+        Label requests get ``argmax`` over the shared logits, proba
+        requests a softmax — both computed from the *same* union forward,
+        so mixing request kinds in one batch never costs a second pass.
+        ``validated`` is forwarded to :meth:`plan`.
+        """
+        from repro.eval.metrics import softmax
+
+        items = self.plan(requests, validated=validated)
+        valid = [item for item in items if item.error is None]
+        logits_list = self.handle.forward_many(
+            [item.ids for item in valid], validated=True
+        )
+        answered = iter(logits_list)
+        out: List[Union[np.ndarray, Exception]] = []
+        for item in items:
+            if item.error is not None:
+                out.append(item.error)
+                continue
+            logits = next(answered)
+            if item.proba:
+                out.append(softmax(logits))
+            elif logits.size:
+                out.append(logits.argmax(axis=1))
+            else:
+                out.append(np.empty(0, dtype=np.int64))
+        return out

@@ -1,0 +1,97 @@
+"""In-process client for :class:`repro.serve.ModelServer`.
+
+A thin, ergonomic face over ``server.submit``: blocking single queries,
+bulk fan-out with shared deadlines, and polite handling of load-shed
+(bounded retry with backoff).  It exists so example/benchmark code — and
+any embedding application — talks to the server the way a remote client
+would (opaque requests, futures, timeouts) without inventing its own
+retry loop each time; a future network front-end can keep this exact
+surface.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.server import ServerOverloaded
+
+
+class ServeClient:
+    """Issue queries against a running server (thread- or process-based).
+
+    Parameters
+    ----------
+    server:
+        Anything with ``submit(ids, proba=...) -> future`` —
+        :class:`~repro.serve.server.ModelServer` or
+        :class:`~repro.serve.server.ProcessReplicaServer`.
+    timeout:
+        Default per-request deadline in seconds.
+    retries / backoff_s:
+        How often (and how patiently) to retry when admission control
+        sheds the request.  Retries apply *only* to
+        :class:`~repro.serve.server.ServerOverloaded` — a request the
+        server rejected as invalid is re-raised immediately, unchanged.
+    """
+
+    def __init__(
+        self,
+        server,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_s: float = 0.01,
+    ):
+        self.server = server
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        #: Requests that were shed at least once before being admitted.
+        self.retried = 0
+        #: Requests dropped after exhausting every retry.
+        self.dropped = 0
+
+    def _submit(self, ids, proba: bool):
+        delay = self.backoff_s
+        for attempt in range(self.retries + 1):
+            try:
+                future = self.server.submit(ids, proba=proba)
+            except ServerOverloaded:
+                if attempt == self.retries:
+                    self.dropped += 1
+                    raise
+                self.retried += 1
+                time.sleep(delay)
+                delay *= 2
+            else:
+                return future
+        raise AssertionError("unreachable")
+
+    def predict_nodes(
+        self, ids, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        """Blocking label query (with shed-retry)."""
+        future = self._submit(ids, proba=False)
+        return future.result(self.timeout if timeout is None else timeout)
+
+    def predict_proba_nodes(
+        self, ids, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        """Blocking probability query (with shed-retry)."""
+        future = self._submit(ids, proba=True)
+        return future.result(self.timeout if timeout is None else timeout)
+
+    def predict_many(
+        self, requests: Sequence, timeout: Optional[float] = None
+    ) -> List[np.ndarray]:
+        """Fan a list of id arrays out concurrently; gather in order.
+
+        All requests are submitted before any result is awaited, so the
+        server's micro-batcher sees them together — this is the call
+        that turns client-side concurrency into server-side batches.
+        """
+        futures = [self._submit(ids, proba=False) for ids in requests]
+        deadline = self.timeout if timeout is None else timeout
+        return [future.result(deadline) for future in futures]

@@ -1,0 +1,560 @@
+"""`ModelServer`: a micro-batching, admission-controlled query server.
+
+The front-end of the serving subsystem.  Callers :meth:`~ModelServer.submit`
+``predict_nodes``-shaped requests (or use the blocking
+``predict_nodes`` / ``predict_proba_nodes`` wrappers, or a
+:class:`repro.serve.client.ServeClient`); a scheduler thread pool forms
+**micro-batches** — up to ``max_batch_size`` requests, waiting at most
+``max_wait_ms`` after the first arrival — and answers each batch with a
+single union sliced forward through :class:`repro.serve.BatchPlanner`,
+so B concurrent single-node queries cost one receptive-field gather and
+one model forward instead of B.  Results are bit-identical to calling
+:meth:`repro.api.ModelHandle.predict_nodes` sequentially (the batched
+equivalence guarantee; the tests pin it down).
+
+Admission control
+-----------------
+The request queue is bounded (``max_queue``).  When it is full the
+server **sheds load**: :meth:`submit` raises :class:`ServerOverloaded`
+immediately instead of queueing unbounded work — the caller can back
+off, retry, or fail fast.  Invalid requests (non-integer / out-of-range
+ids) are rejected synchronously at ``submit`` with exactly the error
+the sequential :class:`~repro.api.ModelHandle` path raises; they never
+consume scheduler capacity.
+
+Telemetry
+---------
+:meth:`~ModelServer.stats` reports request/answer/shed counts, batch
+shaping (count, mean/max size), end-to-end latency quantiles
+(submit → result, seconds), and throughput since :meth:`start`.
+
+Multi-process serving
+---------------------
+:class:`ProcessReplicaServer` runs the same protocol across OS
+processes: each replica loads the bundle through the **memory-mapped
+operator tier** (:meth:`repro.api.ModelHandle.load`), so N replicas
+share one OS-resident copy of the operators and cold-start by mapping,
+not copying.  Use it when the GIL — not the hardware — is the
+bottleneck; the thread server is lighter for scipy-heavy forwards that
+release the GIL.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.serve.batching import BatchPlanner
+
+
+class ServerOverloaded(RuntimeError):
+    """Raised by ``submit`` when the bounded request queue is full."""
+
+
+class PredictionFuture:
+    """Handle to one in-flight request; resolves to labels or proba."""
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self.submitted = time.perf_counter()
+        self.completed: Optional[float] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block for the answer; re-raises the request's own error."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("prediction did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Submit → completion seconds (None while in flight)."""
+        if self.completed is None:
+            return None
+        return self.completed - self.submitted
+
+    def _finish(self, value=None, error=None) -> None:
+        self._value = value
+        self._error = error
+        self.completed = time.perf_counter()
+        self._event.set()
+
+
+class _QueuedRequest:
+    __slots__ = ("ids", "proba", "future")
+
+    def __init__(self, ids: np.ndarray, proba: bool, future: PredictionFuture):
+        self.ids = ids
+        self.proba = proba
+        self.future = future
+
+
+class ModelServer:
+    """Thread-pool micro-batching server over one :class:`ModelHandle`.
+
+    Parameters
+    ----------
+    handle:
+        A ready :class:`repro.api.ModelHandle`, or a bundle path —
+        loaded through the memory-mapped operator tier.
+    max_batch_size:
+        Most requests coalesced into one union forward.
+    max_wait_ms:
+        How long a batch may wait for companions after its first
+        request arrives.  ``0`` disables coalescing delay (batches
+        still form from whatever is already queued).
+    max_queue:
+        Bound on queued (admitted, unanswered) requests; beyond it
+        :meth:`submit` sheds load with :class:`ServerOverloaded`.
+    num_workers:
+        Scheduler threads forming and answering batches concurrently.
+    """
+
+    def __init__(
+        self,
+        handle,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        num_workers: int = 1,
+    ):
+        from repro.api.serving import ModelHandle
+
+        if isinstance(handle, (str, Path)):
+            handle = ModelHandle.load(handle)
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.handle = handle
+        self.planner = BatchPlanner(handle)
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.num_workers = int(num_workers)
+        self._queue: "queue.Queue[_QueuedRequest]" = queue.Queue(
+            maxsize=int(max_queue)
+        )
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self._latencies: deque = deque(maxlen=4096)
+        self._batch_sizes: deque = deque(maxlen=4096)
+        self._counters = {
+            "requests": 0, "answered": 0, "failed": 0, "shed": 0,
+            "batches": 0,
+        }
+
+    # ------------------------------------------------------------- #
+    # Lifecycle
+    # ------------------------------------------------------------- #
+
+    def start(self) -> "ModelServer":
+        if self._threads:
+            return self
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        for index in range(self.num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain nothing, stop everything: in-flight batches finish,
+        queued requests are failed fast so no caller blocks forever."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+        self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        """Fail every queued request so no caller blocks on a dead server."""
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            request.future._finish(error=RuntimeError("server stopped"))
+            with self._lock:
+                self._counters["failed"] += 1
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- #
+    # Request surface
+    # ------------------------------------------------------------- #
+
+    def submit(self, ids, proba: bool = False) -> PredictionFuture:
+        """Admit one request; returns a :class:`PredictionFuture`.
+
+        Validation happens here, synchronously, with the sequential
+        path's own ``check_ids`` — so the error type *and message* for a
+        bad request are identical whether it goes through the server or
+        straight through the handle.  A full queue sheds the request
+        with :class:`ServerOverloaded` (admission control).
+        """
+        if not self._threads:
+            raise RuntimeError("server is not running; call start() first")
+        checked = self.handle.check_ids(ids)  # raises exactly like the handle
+        future = PredictionFuture()
+        request = _QueuedRequest(checked, bool(proba), future)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            with self._lock:
+                self._counters["shed"] += 1
+            raise ServerOverloaded(
+                f"request queue full ({self._queue.maxsize} pending); "
+                "shedding load"
+            ) from None
+        if self._stop.is_set():
+            # stop() may have drained the queue between our running-check
+            # and the put: fail anything stranded (possibly this request)
+            # so no caller blocks forever on a dead server.
+            self._fail_pending()
+            if not future.done():
+                future._finish(error=RuntimeError("server stopped"))
+        with self._lock:
+            self._counters["requests"] += 1
+        return future
+
+    def predict_nodes(self, ids, timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking label query through the micro-batching scheduler."""
+        return self.submit(ids, proba=False).result(timeout)
+
+    def predict_proba_nodes(
+        self, ids, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        """Blocking probability query through the scheduler."""
+        return self.submit(ids, proba=True).result(timeout)
+
+    # ------------------------------------------------------------- #
+    # Scheduler
+    # ------------------------------------------------------------- #
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            batch = [first]
+            deadline = time.monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # Grab whatever is already queued, but wait no more.
+                    try:
+                        batch.append(self._queue.get_nowait())
+                    except queue.Empty:
+                        break
+                else:
+                    try:
+                        batch.append(self._queue.get(timeout=remaining))
+                    except queue.Empty:
+                        break
+            self._serve_batch(batch)
+
+    def _serve_batch(self, batch: List[_QueuedRequest]) -> None:
+        try:
+            # validated=True: every request already passed check_ids at
+            # submit — do not re-scan the hot path.
+            answers = self.planner.run(
+                [(request.ids, request.proba) for request in batch],
+                validated=True,
+            )
+        except Exception as exc:  # defensive: a failed batch must not
+            for request in batch:  # wedge its callers or kill the loop
+                request.future._finish(error=exc)
+            with self._lock:
+                self._counters["failed"] += len(batch)
+                self._counters["batches"] += 1
+                self._batch_sizes.append(len(batch))
+            return
+        answered = failed = 0
+        for request, answer in zip(batch, answers):
+            if isinstance(answer, Exception):
+                request.future._finish(error=answer)
+                failed += 1
+            else:
+                request.future._finish(value=answer)
+                answered += 1
+        with self._lock:
+            self._counters["answered"] += answered
+            self._counters["failed"] += failed
+            self._counters["batches"] += 1
+            self._batch_sizes.append(len(batch))
+            for request in batch:
+                latency = request.future.latency
+                if latency is not None:
+                    self._latencies.append(latency)
+
+    # ------------------------------------------------------------- #
+    # Telemetry
+    # ------------------------------------------------------------- #
+
+    def stats(self) -> Dict[str, object]:
+        """Counters, batch shaping, latency quantiles, and throughput."""
+        with self._lock:
+            counters = dict(self._counters)
+            latencies = np.asarray(self._latencies, dtype=np.float64)
+            batch_sizes = np.asarray(self._batch_sizes, dtype=np.float64)
+        elapsed = (
+            time.perf_counter() - self._started_at
+            if self._started_at is not None
+            else 0.0
+        )
+        out: Dict[str, object] = dict(counters)
+        out["queue_depth"] = self._queue.qsize()
+        out["workers"] = self.num_workers
+        out["uptime_seconds"] = elapsed
+        out["throughput_rps"] = (
+            counters["answered"] / elapsed if elapsed > 0 else 0.0
+        )
+        if batch_sizes.size:
+            out["batch_size_mean"] = float(batch_sizes.mean())
+            out["batch_size_max"] = int(batch_sizes.max())
+        if latencies.size:
+            out["latency_seconds"] = {
+                "mean": float(latencies.mean()),
+                "p50": float(np.percentile(latencies, 50)),
+                "p95": float(np.percentile(latencies, 95)),
+                "max": float(latencies.max()),
+            }
+        return out
+
+
+# ------------------------------------------------------------------ #
+# Optional multi-process front-end
+# ------------------------------------------------------------------ #
+
+
+def _replica_loop(
+    bundle_path: str,
+    request_queue,
+    response_queue,
+    max_batch_size: int,
+    max_wait_ms: float,
+) -> None:
+    """One replica process: map the bundle, micro-batch, answer.
+
+    Spawn-safe module-level entry point.  Each replica opens the bundle
+    through the mmap tier, so all replicas share one OS-resident
+    operator copy; requests are ``(request_id, ids, proba)`` tuples and
+    ``None`` is the shutdown sentinel.
+    """
+    from repro.api.serving import ModelHandle
+
+    handle = ModelHandle.load(bundle_path)
+    planner = BatchPlanner(handle)
+    max_wait_s = float(max_wait_ms) / 1000.0
+    while True:
+        try:
+            first = request_queue.get(timeout=0.1)
+        except queue.Empty:
+            continue
+        if first is None:
+            return
+        batch = [first]
+        deadline = time.monotonic() + max_wait_s
+        while len(batch) < max_batch_size:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = request_queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is None:
+                request_queue.put(None)  # leave the sentinel for siblings
+                break
+            batch.append(item)
+        try:
+            answers = planner.run(
+                [(ids, proba) for _, ids, proba in batch], validated=True
+            )
+        except Exception as exc:  # a failed batch must not kill the
+            # replica or strand its futures (mirrors _serve_batch)
+            for request_id, _, _ in batch:
+                response_queue.put((request_id, False, repr(exc)))
+            continue
+        for (request_id, _, _), answer in zip(batch, answers):
+            if isinstance(answer, Exception):
+                response_queue.put((request_id, False, repr(answer)))
+            else:
+                response_queue.put((request_id, True, answer))
+
+
+class ProcessReplicaServer:
+    """Micro-batching serving across OS processes sharing one mmap tier.
+
+    Every replica maps the *same* bundle sidecars, so memory cost is
+    ~one operator copy total (plus per-process model weights, KBs) —
+    the cross-process sharing the zero-copy store exists for.  The
+    parent validates ids up front (same errors as the handle), ships
+    requests over a shared queue, and a collector thread resolves
+    futures as replicas answer.  Admission control matches
+    :class:`ModelServer`: at most ``max_queue`` requests may be in
+    flight (submitted, unanswered); beyond that :meth:`submit` sheds
+    with :class:`ServerOverloaded`.  Start with ``with`` or
+    :meth:`start`; replicas are spawned (not forked), so cold-start
+    includes an interpreter boot each.
+    """
+
+    def __init__(
+        self,
+        bundle_path: Union[str, Path],
+        replicas: int = 2,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        start_timeout: float = 60.0,
+    ):
+        from repro.api.serving import ModelHandle
+
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.bundle_path = str(bundle_path)
+        self.replicas = int(replicas)
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_queue = int(max_queue)
+        self.start_timeout = float(start_timeout)
+        self.shed = 0
+        # The parent's own mapped handle: used only for request
+        # validation — and it pre-builds the sidecars, so replicas map
+        # instead of racing to export.
+        self.handle = ModelHandle.load(self.bundle_path)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._processes: List = []
+        self._request_queue = None
+        self._response_queue = None
+        self._collector: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._futures: Dict[int, PredictionFuture] = {}
+        self._futures_lock = threading.Lock()
+        self._next_id = 0
+
+    def start(self) -> "ProcessReplicaServer":
+        if self._processes:
+            return self
+        self._stop.clear()
+        self._request_queue = self._ctx.Queue()
+        self._response_queue = self._ctx.Queue()
+        for _ in range(self.replicas):
+            process = self._ctx.Process(
+                target=_replica_loop,
+                args=(
+                    self.bundle_path,
+                    self._request_queue,
+                    self._response_queue,
+                    self.max_batch_size,
+                    self.max_wait_ms,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="repro-serve-collector", daemon=True
+        )
+        self._collector.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        for _ in self._processes:
+            self._request_queue.put(None)
+        for process in self._processes:
+            process.join(timeout)
+            if process.is_alive():
+                process.terminate()
+        self._processes.clear()
+        self._stop.set()
+        if self._collector is not None:
+            self._collector.join(timeout)
+            self._collector = None
+        with self._futures_lock:
+            pending = list(self._futures.values())
+            self._futures.clear()
+        for future in pending:
+            future._finish(error=RuntimeError("server stopped"))
+
+    def __enter__(self) -> "ProcessReplicaServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def submit(self, ids, proba: bool = False) -> PredictionFuture:
+        """Admit one request (validated with the handle's own errors).
+
+        Sheds with :class:`ServerOverloaded` once ``max_queue`` requests
+        are in flight — the bounded-work guarantee of the thread server,
+        kept here by bounding the unanswered-futures set (the
+        multiprocessing queue itself cannot reject without blocking).
+        """
+        if not self._processes:
+            raise RuntimeError("server is not running; call start() first")
+        checked = self.handle.check_ids(ids)
+        future = PredictionFuture()
+        with self._futures_lock:
+            if len(self._futures) >= self.max_queue:
+                self.shed += 1
+                raise ServerOverloaded(
+                    f"{self.max_queue} requests in flight; shedding load"
+                )
+            request_id = self._next_id
+            self._next_id += 1
+            self._futures[request_id] = future
+        self._request_queue.put((request_id, checked, bool(proba)))
+        return future
+
+    def predict_nodes(self, ids, timeout: Optional[float] = None) -> np.ndarray:
+        return self.submit(ids, proba=False).result(timeout)
+
+    def predict_proba_nodes(
+        self, ids, timeout: Optional[float] = None
+    ) -> np.ndarray:
+        return self.submit(ids, proba=True).result(timeout)
+
+    def _collect_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                request_id, ok, payload = self._response_queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            except (EOFError, OSError):
+                return
+            with self._futures_lock:
+                future = self._futures.pop(request_id, None)
+            if future is None:
+                continue
+            if ok:
+                future._finish(value=payload)
+            else:
+                future._finish(error=RuntimeError(payload))

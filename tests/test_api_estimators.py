@@ -244,3 +244,80 @@ class TestFrozenSnapshot:
             reloaded.fit(split)
         scores = reloaded.evaluate(split.test)
         assert scores == fitted["LabelProp"].evaluate(split.test)
+
+
+class TestProbabilityAwareAdapters:
+    """`MethodOutput.test_scores` → real `predict_proba` for baselines
+    that produce scores (ROADMAP item), one-hot only as the label-only
+    fallback."""
+
+    def test_score_methods_expose_real_distributions(self, dblp_tiny, split):
+        for name in ("GNetMine", "LabelProp"):
+            estimator = MethodEstimator(name, dblp_tiny).fit(split)
+            proba = estimator.predict_proba(split.test)
+            np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)
+            assert not np.isin(proba, (0.0, 1.0)).all(), (
+                f"{name} should surface propagation mass, not one-hot"
+            )
+            # predict() stays authoritative and consistent with proba.
+            agreement = (
+                estimator.predict(split.test) == proba.argmax(axis=1)
+            ).mean()
+            assert agreement > 0.9
+
+    def test_label_only_method_still_one_hot(self, dblp_tiny, split):
+        from repro.eval.harness import MethodOutput
+
+        def label_only(dataset, query, seed):
+            return MethodOutput(
+                test_predictions=np.zeros(
+                    dataset.num_targets, dtype=np.int64
+                )
+            )
+
+        estimator = MethodEstimator(label_only, dblp_tiny).fit(split)
+        proba = estimator.predict_proba(split.test)
+        np.testing.assert_array_equal(proba[:, 0], 1.0)
+        np.testing.assert_array_equal(proba[:, 1:], 0.0)
+
+    def test_snapshot_round_trips_probabilities(
+        self, dblp_tiny, split, tmp_path
+    ):
+        estimator = MethodEstimator("GNetMine", dblp_tiny).fit(split)
+        path = tmp_path / "gnetmine.npz"
+        estimator.save(path)
+        reloaded = MethodEstimator.load(path)
+        np.testing.assert_array_equal(
+            reloaded.predict_proba(split.test),
+            estimator.predict_proba(split.test),
+        )
+
+    def test_malformed_scores_fail_loudly(self, dblp_tiny, split):
+        from repro.eval.harness import MethodOutput
+
+        def bad_scores(dataset, query, seed):
+            n = dataset.num_targets
+            return MethodOutput(
+                test_predictions=np.zeros(n, dtype=np.int64),
+                test_scores=np.zeros((n, dataset.num_classes + 1)),
+            )
+
+        with pytest.raises(ValueError, match="returned scores of shape"):
+            MethodEstimator(bad_scores, dblp_tiny).fit(split)
+
+    def test_scores_to_proba_conventions(self):
+        from repro.eval.harness import scores_to_proba
+
+        # Non-negative mass: row-normalized; zero rows become uniform.
+        mass = np.array([[2.0, 2.0], [0.0, 0.0], [3.0, 1.0]])
+        proba = scores_to_proba(mass)
+        np.testing.assert_allclose(
+            proba, [[0.5, 0.5], [0.5, 0.5], [0.75, 0.25]]
+        )
+        # Anything with negatives reads as logits → softmax.
+        logits = np.array([[0.0, -np.log(3.0)]])
+        np.testing.assert_allclose(
+            scores_to_proba(logits), [[0.75, 0.25]], rtol=1e-12
+        )
+        with pytest.raises(ValueError, match="2-D"):
+            scores_to_proba(np.zeros(3))

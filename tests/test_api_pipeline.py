@@ -357,3 +357,165 @@ class TestDefaultConfig:
     def test_unregistered_name_falls_back(self):
         config = default_config("custom-hin")
         assert config.k == ConCHConfig().k
+
+
+class TestStageClaimDedupe:
+    """Pipeline-level claim dedupe: two cold workers sharing a store
+    never both pay a stage — one computes, the other waits and loads
+    the write-through (`ArtifactStore.claim` / `Pipeline._claimed_compute`,
+    the product store's claim protocol extended to whole stages)."""
+
+    def test_waiter_loads_the_winners_featurize(
+        self, dblp_tiny, tiny_config, tmp_path
+    ):
+        # Worker A computes everything and releases its claims.
+        first = Pipeline(dblp_tiny, config=tiny_config, store_dir=tmp_path)
+        first.prepare()
+
+        # Simulate worker B arriving while a (fake) worker holds the
+        # featurize claim: B must *wait*, then serve A's artifact —
+        # not recompute.  The artifact is temporarily hidden so B's
+        # plain load misses and the claim path is actually exercised.
+        second = Pipeline(dblp_tiny, config=tiny_config, store_dir=tmp_path)
+        key = second._key(
+            "featurize", extra=second.discover().plan_fingerprint()
+        )
+        path = second.store.path_for("featurize", key)
+        hidden = path.with_name("hidden.npz")
+        path.rename(hidden)
+        claim = second.store.claim("featurize", key)
+        assert claim.acquire()
+
+        import threading
+
+        def writer():
+            # The "winner" finishes its write-through, then releases.
+            hidden.rename(path)
+            claim.release()
+
+        timer = threading.Timer(0.2, writer)
+        timer.start()
+        try:
+            feature_set = second.featurize()
+        finally:
+            timer.cancel()
+        actions = {e.stage: e.action for e in second.stage_log}
+        assert actions["featurize"] == "waited"
+        assert feature_set.key == key
+        reference = first.featurize()
+        for left, right in zip(
+            feature_set.context_features, reference.context_features
+        ):
+            np.testing.assert_array_equal(left, right)
+
+    def test_stale_claim_falls_back_to_computing(
+        self, dblp_tiny, tiny_config, tmp_path
+    ):
+        """A crashed writer's claim must never deadlock the cluster:
+        after the TTL the waiter computes the stage itself."""
+        pipe = Pipeline(dblp_tiny, config=tiny_config, store_dir=tmp_path)
+        pipe.store.claim_ttl = 0.2  # fast lease expiry for the test
+        key = pipe._key("discover", extra="dataset|" + ";".join(
+            "-".join(m.node_types) for m in dblp_tiny.metapaths
+        ))
+        claim = pipe.store.claim("discover", key)
+        assert claim.acquire()  # the "crashed" writer: never releases
+        plan = pipe.discover()  # waits ~ttl, then computes
+        assert plan.names
+        actions = {e.stage: e.action for e in pipe.stage_log}
+        assert actions["discover"] == "computed"
+
+    def test_fit_stage_waiter_loads_winner_bundle(
+        self, dblp_tiny, tiny_config, tmp_path
+    ):
+        split = stratified_split(dblp_tiny.labels, 0.2, seed=0)
+        first = Pipeline(dblp_tiny, config=tiny_config, store_dir=tmp_path)
+        trained = first.fit(split=split)
+
+        second = Pipeline(dblp_tiny, config=tiny_config, store_dir=tmp_path)
+        feature_set = second.featurize()
+        from repro.api.artifacts import split_hash, supervision_hash
+
+        key = second._key(
+            "fit",
+            extra=f"{feature_set.key}|{split_hash(split)}"
+                  f"|{supervision_hash(dblp_tiny)}",
+        )
+        path = second.store.path_for("fit", key)
+        hidden = path.with_name("hidden-fit.npz")
+        path.rename(hidden)
+        claim = second.store.claim("fit", key)
+        assert claim.acquire()
+
+        import threading
+
+        timer = threading.Timer(
+            0.2, lambda: (hidden.rename(path), claim.release())
+        )
+        timer.start()
+        try:
+            estimator = second.fit(split=split)
+        finally:
+            timer.cancel()
+        actions = [e for e in second.stage_log if e.stage == "fit"]
+        assert actions[-1].action == "waited"
+        np.testing.assert_array_equal(
+            estimator.predict(split.test), trained.predict(split.test)
+        )
+
+    def test_store_level_artifact_wait_api(self, tmp_path):
+        """`ArtifactStore.wait_for` returns the artifact the moment the
+        claim holder writes it (the primitive the pipeline builds on)."""
+        store = ArtifactStore(tmp_path)
+        plan = MetaPathPlan(
+            key="k1", node_types=[("A", "P", "A")], names=["APA"]
+        )
+        claim = store.claim("discover", "k1")
+        assert claim.acquire()
+
+        import threading
+
+        timer = threading.Timer(
+            0.15, lambda: (store.put(plan), claim.release())
+        )
+        timer.start()
+        try:
+            loaded = store.wait_for("discover", "k1", timeout=5.0)
+        finally:
+            timer.cancel()
+        assert loaded is not None and loaded.names == ["APA"]
+        # And an unclaimed, unwritten key times out to None (caller
+        # computes itself).
+        assert store.wait_for("discover", "nope", timeout=0.1) is None
+
+
+    def test_live_holder_outlasting_ttl_is_waited_on(self, tmp_path):
+        """A holder that heartbeats its lease past the TTL keeps waiters
+        waiting (no duplicate compute); only a *dead* holder expires."""
+        import threading
+        import time as _time
+
+        from repro.hin.cache import ClaimFile
+
+        claim = ClaimFile(tmp_path / "stage.claim", ttl=0.3)
+        assert claim.acquire()
+        result_path = tmp_path / "result.txt"
+
+        def holder():
+            with claim.keepalive(interval=0.05):
+                _time.sleep(0.8)  # well past the 0.3s TTL
+                result_path.write_text("done")
+            claim.release()
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        try:
+            waiter = ClaimFile(tmp_path / "stage.claim", ttl=0.3)
+            value = waiter.wait(
+                lambda: result_path.read_text()
+                if result_path.exists() else None,
+                poll_interval=0.02,
+            )
+        finally:
+            thread.join()
+        assert value == "done"  # waited through 2.5x TTL, no fallback

@@ -1,0 +1,371 @@
+"""The zero-copy (mmap) store tier: equivalence, corruption, accounting.
+
+Four properties of the :mod:`repro.hin.cache` sidecar tier + the engine
+integration:
+
+1. **mmap ≡ npz equivalence** — a product loaded through the mapped
+   sidecars is bit-identical (structure, values, dtype) to the npz copy.
+2. **Corruption handling** — a corrupt/truncated sidecar is silently
+   treated as a miss, rebuilt from the npz, and served mapped again; a
+   corrupt *npz* is a miss regardless of sidecar health (the archive
+   stays the single source of truth), and a rewritten npz invalidates
+   old sidecars via its stat identity.
+3. **Resident accounting** — mapped entries register ~0 heap bytes in
+   the LRU budget (``resident_nbytes``), never get evicted to "free"
+   page-cache memory, and the engine's ``stats()`` reports them under
+   ``mapped_products`` / ``mapped_bytes``.
+4. **Cross-process sharing** — two worker *processes* over one warm
+   store dir each compose zero products and serve mmap-backed operators
+   (the multi-process smoke test, run via subprocess for isolation).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.hin import HIN, MetaPath
+from repro.hin.cache import (
+    LRUByteCache,
+    ProductStore,
+    csr_from_components,
+    is_mmap_backed,
+    load_mmap_arrays,
+    nbytes_of,
+    resident_nbytes,
+    save_mmap_arrays,
+)
+from repro.hin.engine import CommutingEngine
+from repro.hin.io import hin_content_hash
+
+APCPA = MetaPath.parse("APCPA")
+
+KEY = ("A", "P", "C")
+
+
+def dblp_like_hin(seed: int = 0) -> HIN:
+    rng = np.random.default_rng(seed)
+    hin = HIN("fixture")
+    hin.add_node_type("A", 20)
+    hin.add_node_type("P", 40)
+    hin.add_node_type("C", 5)
+    hin.add_edges(
+        "writes", "A", "P",
+        rng.integers(0, 20, size=80),
+        rng.integers(0, 40, size=80),
+    )
+    hin.add_edges(
+        "published_in", "P", "C",
+        np.arange(40),
+        rng.integers(0, 5, size=40),
+    )
+    return hin
+
+
+def random_csr(seed: int = 0, shape=(13, 9), density: float = 0.3):
+    rng = np.random.default_rng(seed)
+    dense = rng.random(shape)
+    dense[dense > density] = 0.0
+    return sp.csr_matrix(dense)
+
+
+def assert_csr_identical(left, right) -> None:
+    left, right = sp.csr_matrix(left), sp.csr_matrix(right)
+    assert left.shape == right.shape
+    np.testing.assert_array_equal(left.indptr, right.indptr)
+    np.testing.assert_array_equal(left.indices, right.indices)
+    np.testing.assert_array_equal(left.data, right.data)
+    assert left.dtype == right.dtype
+
+
+def sidecar_files(directory: Path):
+    return sorted(directory.glob("product-*.npy"))
+
+
+# ---------------------------------------------------------------------- #
+# 1. mmap ≡ npz equivalence
+# ---------------------------------------------------------------------- #
+
+
+class TestMmapEquivalence:
+    def test_mapped_load_is_bit_identical_to_npz(self, tmp_path):
+        store = ProductStore(tmp_path)
+        matrix = random_csr(3)
+        assert store.save("hash-a", KEY, matrix)
+        mapped = store.load("hash-a", KEY)
+        heap = store.load("hash-a", KEY, mmap=False)
+        assert is_mmap_backed(mapped)
+        assert not is_mmap_backed(heap)
+        assert_csr_identical(mapped, heap)
+        assert_csr_identical(mapped, matrix)
+
+    def test_mapped_matrix_is_read_only_but_fully_usable(self, tmp_path):
+        store = ProductStore(tmp_path)
+        matrix = random_csr(4)
+        store.save("hash-a", KEY, matrix)
+        mapped = store.load("hash-a", KEY)
+        with pytest.raises((ValueError, TypeError)):
+            mapped.data[0] = 99.0
+        # The read paths the engine and serving tier rely on all work.
+        assert mapped.has_sorted_indices
+        assert_csr_identical(mapped[np.array([1, 3])], matrix[np.array([1, 3])])
+        np.testing.assert_allclose(
+            (mapped @ mapped.T).toarray(), (matrix @ matrix.T).toarray()
+        )
+        copied = mapped.copy()
+        copied.data[:] = 1.0  # copies are private and writable
+
+    def test_store_level_mmap_opt_out(self, tmp_path):
+        store = ProductStore(tmp_path, mmap=False)
+        matrix = random_csr(5)
+        store.save("hash-a", KEY, matrix)
+        loaded = store.load("hash-a", KEY)
+        assert loaded is not None and not is_mmap_backed(loaded)
+        assert sidecar_files(tmp_path) == []  # no sidecars ever written
+
+    def test_empty_product_round_trips(self, tmp_path):
+        store = ProductStore(tmp_path)
+        empty = sp.csr_matrix((7, 4))
+        store.save("hash-a", KEY, empty)
+        loaded = store.load("hash-a", KEY)
+        assert loaded is not None
+        assert loaded.nnz == 0 and loaded.shape == (7, 4)
+
+
+# ---------------------------------------------------------------------- #
+# 2. Corruption and staleness
+# ---------------------------------------------------------------------- #
+
+
+class TestCorruption:
+    def test_corrupt_sidecar_is_rebuilt_from_npz(self, tmp_path):
+        store = ProductStore(tmp_path)
+        matrix = random_csr(6)
+        store.save("hash-a", KEY, matrix)
+        for victim in sidecar_files(tmp_path):
+            victim.write_bytes(b"not an npy file")
+        recovered = store.load("hash-a", KEY)  # no raise
+        assert recovered is not None
+        assert_csr_identical(recovered, matrix)
+        # ... and the tier healed: the rebuilt sidecars serve mapped.
+        assert is_mmap_backed(recovered)
+        assert is_mmap_backed(store.load("hash-a", KEY))
+
+    def test_truncated_sidecar_is_a_miss_then_rewritten(self, tmp_path):
+        store = ProductStore(tmp_path)
+        matrix = random_csr(7, shape=(40, 30))
+        store.save("hash-a", KEY, matrix)
+        for victim in sidecar_files(tmp_path):
+            payload = victim.read_bytes()
+            victim.write_bytes(payload[: len(payload) // 2])
+        recovered = store.load("hash-a", KEY)
+        assert recovered is not None
+        assert_csr_identical(recovered, matrix)
+        assert is_mmap_backed(store.load("hash-a", KEY))
+
+    def test_corrupt_manifest_is_a_miss_then_rewritten(self, tmp_path):
+        store = ProductStore(tmp_path)
+        matrix = random_csr(8)
+        store.save("hash-a", KEY, matrix)
+        for manifest in tmp_path.glob("*.mmap.json"):
+            manifest.write_text("{not json")
+        recovered = store.load("hash-a", KEY)
+        assert recovered is not None and is_mmap_backed(recovered)
+        assert_csr_identical(recovered, matrix)
+
+    def test_corrupt_npz_is_a_miss_even_with_healthy_sidecars(self, tmp_path):
+        """The npz is the single source of truth: intact sidecars must
+        not resurrect a product whose durable archive is gone."""
+        store = ProductStore(tmp_path)
+        matrix = random_csr(9)
+        store.save("hash-a", KEY, matrix)
+        store.path_for("hash-a", KEY).write_bytes(b"corrupted beyond repair")
+        assert store.load("hash-a", KEY) is None
+        assert store.save("hash-a", KEY, matrix)  # rewritten
+        assert_csr_identical(store.load("hash-a", KEY), matrix)
+
+    def test_rewritten_npz_invalidates_old_sidecars(self, tmp_path):
+        """Stat-identity check: after the archive is atomically replaced
+        with a different product, stale sidecars are never served."""
+        store = ProductStore(tmp_path)
+        old = random_csr(10)
+        store.save("hash-a", KEY, old)
+        new = random_csr(11)
+        assert new.nnz != old.nnz  # genuinely different payloads
+        # Re-save through a mmap-blind handle so the sidecars stay stale.
+        ProductStore(tmp_path, mmap=False).save("hash-a", KEY, new)
+        served = store.load("hash-a", KEY)
+        assert_csr_identical(served, new)
+        assert is_mmap_backed(served)  # rebuilt, not the stale generation
+
+    def test_manifest_with_wrong_json_shape_is_a_miss(self, tmp_path):
+        """A manifest that decodes to the wrong JSON shape (an int, a
+        list) must read as a miss, not raise — and heal on reload."""
+        store = ProductStore(tmp_path)
+        matrix = random_csr(20)
+        store.save("hash-a", KEY, matrix)
+        for manifest in tmp_path.glob("*.mmap.json"):
+            manifest.write_text("3")  # valid JSON, wrong shape
+        recovered = store.load("hash-a", KEY)
+        assert recovered is not None and is_mmap_backed(recovered)
+        assert_csr_identical(recovered, matrix)
+
+    def test_generic_sidecars_reject_mismatched_expected_meta(self, tmp_path):
+        save_mmap_arrays(
+            tmp_path, "unit", {"x": np.arange(5)}, meta={"owner": "a"}
+        )
+        assert load_mmap_arrays(tmp_path, "unit", {"owner": "b"}) is None
+        loaded = load_mmap_arrays(tmp_path, "unit", {"owner": "a"})
+        assert loaded is not None
+        meta, arrays = loaded
+        assert meta["owner"] == "a"
+        np.testing.assert_array_equal(arrays["x"], np.arange(5))
+
+
+# ---------------------------------------------------------------------- #
+# 3. Resident-bytes accounting
+# ---------------------------------------------------------------------- #
+
+
+class TestResidentAccounting:
+    def test_resident_nbytes_zero_for_mapped_full_for_heap(self, tmp_path):
+        store = ProductStore(tmp_path)
+        matrix = random_csr(12)
+        store.save("hash-a", KEY, matrix)
+        mapped = store.load("hash-a", KEY)
+        heap = store.load("hash-a", KEY, mmap=False)
+        assert resident_nbytes(mapped) == 0
+        assert resident_nbytes(heap) == nbytes_of(heap) > 0
+        assert nbytes_of(mapped) == nbytes_of(heap)  # true size unchanged
+
+    def test_csr_from_components_is_zero_copy(self):
+        matrix = random_csr(13)
+        rebuilt = csr_from_components(
+            matrix.data, matrix.indices, matrix.indptr, matrix.shape
+        )
+        assert rebuilt.data is matrix.data
+        assert rebuilt.indices is matrix.indices
+        assert rebuilt.indptr is matrix.indptr
+        assert rebuilt.has_sorted_indices
+
+    def test_mapped_entries_survive_any_budget(self, tmp_path):
+        """A mapped product registers at 0 bytes, so even budget=0 keeps
+        it cached — dropping it would free no heap."""
+        hin = dblp_like_hin(0)
+        warm = CommutingEngine(hin, cache_dir=str(tmp_path))
+        warm.counts(APCPA)  # compose + write through
+
+        engine = CommutingEngine(
+            hin, cache_dir=str(tmp_path), memory_budget=0
+        )
+        served = engine.counts(APCPA)
+        assert is_mmap_backed(served)
+        assert engine.compose_log == []  # loaded, not composed
+        stats = engine.stats()
+        assert stats["mapped_products"] >= 1
+        assert stats["mapped_bytes"] > 0
+        assert stats["resident_bytes"] == 0
+        # Served again from cache, still zero compositions.
+        engine.counts(APCPA)
+        assert engine.compose_log == []
+
+    def test_engine_budget_counts_only_heap_bytes(self, tmp_path):
+        hin = dblp_like_hin(1)
+        warm = CommutingEngine(hin, cache_dir=str(tmp_path))
+        warm.counts(APCPA)
+
+        engine = CommutingEngine(hin, cache_dir=str(tmp_path))
+        engine.counts(APCPA)
+        stats = engine.stats()
+        # The product is mapped; only derived heap views may be resident.
+        assert stats["mapped_bytes"] > 0
+        assert stats["resident_bytes"] < stats["mapped_bytes"] + nbytes_of(
+            warm.counts(APCPA)
+        )
+
+    def test_lru_cache_never_evicts_zero_byte_entries(self):
+        cache = LRUByteCache(budget=10)
+        cache.put("mapped", "value", nbytes=0)
+        cache.put("heap", np.zeros(100), nbytes=800)
+        assert "mapped" in cache
+        assert "heap" not in cache  # over budget, evicted
+        assert cache.resident_bytes == 0
+
+
+# ---------------------------------------------------------------------- #
+# 4. Cross-process sharing (multi-process smoke test)
+# ---------------------------------------------------------------------- #
+
+_WORKER_SCRIPT = """
+import json, sys
+import numpy as np
+from repro.hin import HIN, MetaPath
+from repro.hin.cache import is_mmap_backed
+from repro.hin.engine import CommutingEngine
+
+rng = np.random.default_rng(0)
+hin = HIN("fixture")
+hin.add_node_type("A", 20)
+hin.add_node_type("P", 40)
+hin.add_node_type("C", 5)
+hin.add_edges("writes", "A", "P",
+              rng.integers(0, 20, size=80), rng.integers(0, 40, size=80))
+hin.add_edges("published_in", "P", "C",
+              np.arange(40), rng.integers(0, 5, size=40))
+
+engine = CommutingEngine(hin, cache_dir=sys.argv[1])
+counts = engine.counts(MetaPath.parse("APCPA"))
+print(json.dumps({
+    "composed": len(engine.compose_log),
+    "mapped": bool(is_mmap_backed(counts)),
+    "stats": {k: int(v) for k, v in engine.stats().items()},
+    "checksum": float(counts.data.sum()),
+}))
+"""
+
+
+class TestCrossProcessSharing:
+    def _run_worker(self, store_dir: Path) -> dict:
+        result = subprocess.run(
+            [sys.executable, "-c", _WORKER_SCRIPT, str(store_dir)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=Path(__file__).resolve().parent.parent,
+        )
+        assert result.returncode == 0, result.stderr
+        return json.loads(result.stdout.strip().splitlines()[-1])
+
+    def test_two_processes_share_one_store_without_recomposition(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "PYTHONPATH",
+            str(Path(__file__).resolve().parent.parent / "src"),
+        )
+        # Warm the store in this process (the "first worker of the
+        # cluster" composes and writes through)...
+        hin = dblp_like_hin(0)
+        warm = CommutingEngine(hin, cache_dir=str(tmp_path))
+        reference = warm.counts(APCPA)
+        assert len(warm.compose_log) > 0
+
+        # ... then two fresh worker processes serve from it: zero
+        # compositions each, operators mapped, identical payloads.
+        first = self._run_worker(tmp_path)
+        second = self._run_worker(tmp_path)
+        for report in (first, second):
+            assert report["composed"] == 0
+            assert report["stats"]["composed_products"] == 0
+            assert report["mapped"] is True
+            assert report["stats"]["mapped_products"] >= 1
+            assert report["stats"]["resident_bytes"] == 0
+            assert report["checksum"] == pytest.approx(
+                float(reference.data.sum())
+            )
