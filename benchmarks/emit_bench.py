@@ -26,10 +26,15 @@ and writes machine-readable JSON files future PRs can diff.
   concurrent client threads hammering a `ModelServer`, plus observed
   batch shape and latency quantiles.
 
+``analysis_full_tree`` (merged into ``BENCH_substrate.json``): the
+wall-clock of one full ``repro.analysis`` run over ``src``, ``tests``,
+``benchmarks``, and ``examples`` — the cost the tier-1 gate test adds
+to every CI run, tracked so checker growth stays cheap.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [--out BENCH_substrate.json]
-        [--serving-out BENCH_serving.json] [--only substrate|serving]
+        [--serving-out BENCH_serving.json] [--only substrate|serving|analysis]
         [--rounds 3] [--authors 200 --papers 700 --conferences 12]
 
 The numbers are wall-clock seconds on whatever machine runs this —
@@ -306,6 +311,34 @@ def run_serving_benches(
     return {"meta": meta, "results": results}
 
 
+def run_analysis_bench(rounds: int):
+    """Time the static-analysis gate over the repo's own gated trees."""
+    from repro.analysis import analyze_paths, default_rules
+
+    repo_root = Path(__file__).resolve().parent.parent
+    paths = [
+        repo_root / name
+        for name in ("src", "tests", "benchmarks", "examples")
+        if (repo_root / name).is_dir()
+    ]
+    rules = default_rules()
+    probe = analyze_paths(paths, rules=rules)
+    results = {
+        "analysis_full_tree": {
+            **_summary(
+                _time_rounds(lambda: analyze_paths(paths, rules=rules), rounds)
+            ),
+            "files_scanned": probe.files_scanned,
+            "findings": len(probe.findings),
+        }
+    }
+    for rule in rules:
+        results[f"analysis_rule_{rule.rule_id}"] = _summary(
+            _time_rounds(lambda: analyze_paths(paths, rules=[rule]), rounds)
+        )
+    return results
+
+
 def _print_results(payload) -> None:
     for name, entry in sorted(payload["results"].items()):
         if "seconds_mean" in entry:
@@ -332,8 +365,8 @@ def main() -> None:
         help="serving JSON path (default: ./BENCH_serving.json)",
     )
     parser.add_argument(
-        "--only", choices=("substrate", "serving"), default=None,
-        help="run just one bench family (default: both)",
+        "--only", choices=("substrate", "serving", "analysis"), default=None,
+        help="run just one bench family (default: all)",
     )
     parser.add_argument("--rounds", type=int, default=3)
     parser.add_argument("--authors", type=int, default=200)
@@ -357,6 +390,30 @@ def main() -> None:
         out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {out}")
         _print_results(payload)
+    if args.only in (None, "analysis"):
+        # Merged into the substrate file: the gate's cost is part of the
+        # same CI-perf trajectory the substrate numbers track.
+        out = Path(args.out)
+        if out.exists():
+            payload = json.loads(out.read_text())
+        else:
+            payload = {
+                "meta": {
+                    "python": platform.python_version(),
+                    "numpy": np.__version__,
+                    "scipy": scipy.__version__,
+                    "rounds": args.rounds,
+                },
+                "results": {},
+            }
+        payload["results"].update(run_analysis_bench(args.rounds))
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out} (analysis)")
+        _print_results({"results": {
+            name: entry
+            for name, entry in payload["results"].items()
+            if name.startswith("analysis_")
+        }})
 
 
 if __name__ == "__main__":

@@ -1,0 +1,65 @@
+"""``repro.analysis``: invariant lint framework + runtime thread-sanitizer.
+
+Static tier (:mod:`repro.analysis.core` + :mod:`repro.analysis.rules`):
+AST checkers enforcing the concurrency/caching invariants the serving
+and pipeline tiers rest on — lock discipline (``# guarded-by:``),
+fingerprint completeness (``# fingerprint-stage:``), determinism of
+content-key inputs, and canonical CSR construction.  Run them with
+``python -m repro.analysis``; ``tests/test_analysis_gate.py`` keeps the
+repo at zero unsuppressed findings in the tier-1 lane.
+
+Dynamic tier (:mod:`repro.analysis.sanitizer`): instrumented locks and
+guarded-attribute tracers that catch lock-order inversions and
+unguarded cross-thread access under real load, driven by the *same*
+``# guarded-by:`` annotations the static rules read.
+"""
+
+from repro.analysis.core import (
+    AnalysisResult,
+    Finding,
+    Rule,
+    SourceFile,
+    analyze_paths,
+    collect_guarded,
+    default_rules,
+    iter_python_files,
+)
+from repro.analysis.rules import (
+    ALL_RULES,
+    CSRCanonicalRule,
+    DeterminismRule,
+    FingerprintCompletenessRule,
+    LockDisciplineRule,
+)
+from repro.analysis.sanitizer import (
+    GuardedDeque,
+    GuardedDict,
+    GuardedOrderedDict,
+    RaceReport,
+    ThreadSanitizer,
+    TracedLock,
+    instrument,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "AnalysisResult",
+    "CSRCanonicalRule",
+    "DeterminismRule",
+    "Finding",
+    "FingerprintCompletenessRule",
+    "GuardedDeque",
+    "GuardedDict",
+    "GuardedOrderedDict",
+    "LockDisciplineRule",
+    "RaceReport",
+    "Rule",
+    "SourceFile",
+    "ThreadSanitizer",
+    "TracedLock",
+    "analyze_paths",
+    "collect_guarded",
+    "default_rules",
+    "instrument",
+    "iter_python_files",
+]

@@ -1,0 +1,336 @@
+"""The invariant-lint framework: findings, suppression, annotation parsing.
+
+PRs 3-5 made this reproduction a concurrent system whose correctness
+rests on invariants nothing checked mechanically: lock discipline in the
+cache and serving tiers, fingerprint completeness in the staged
+pipeline, determinism of every value that flows into a content key, and
+the canonical-CSR contract the zero-copy mmap tier depends on.  This
+package makes those invariants *enforceable*:
+
+- :mod:`repro.analysis.rules` — AST checkers, one per invariant, each
+  producing :class:`Finding` records with a stable ``rule`` id.
+- :mod:`repro.analysis.sanitizer` — the runtime twin: instrumented
+  locks + guarded-attribute tracers that catch what static analysis
+  cannot (actual cross-thread access, lock-order inversions under load).
+- ``python -m repro.analysis`` — the CLI gate; a tier-1 test runs it
+  over the whole repo and fails on any unsuppressed finding.
+
+Source annotations (the contract between code and checkers)
+-----------------------------------------------------------
+``# guarded-by: <lock>``
+    Trailing comment on an attribute assignment inside a class (usually
+    in ``__init__``).  Declares that ``self.<attr>`` may only be read or
+    written inside a ``with self.<lock>:`` block in methods of that
+    class (``__init__``/``__del__`` are exempt — the object is not yet
+    / no longer shared).  The same annotation drives the runtime
+    sanitizer: :func:`collect_guarded` parses it from the class source
+    so both tiers enforce one declaration.
+
+``# fingerprint-stage: <stage>``
+    Trailing comment on a ``def`` line in ``repro.api.pipeline``.
+    Declares the method implements one pipeline stage; every config
+    field the method (or its nested ``build`` closures) reads must then
+    appear in that stage's *cumulative* fingerprint
+    (``STAGE_FIELDS`` in ``repro.api.artifacts``) — an under-keyed
+    stage silently serves stale artifacts.
+
+``# repro: ignore[rule-id]`` / ``# repro: ignore``
+    Suppresses findings of one rule (or all rules) on the annotated
+    line; multi-line statements may carry the comment on any of their
+    lines.  Suppressions are deliberate and greppable.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+#: Trailing annotation declaring an attribute lock-guarded.
+GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: Trailing annotation binding a method to a pipeline stage.
+FINGERPRINT_STAGE_RE = re.compile(
+    r"#\s*fingerprint-stage:\s*([A-Za-z_][A-Za-z0-9_]*)"
+)
+
+#: ``# repro: ignore[rule-a, rule-b]`` (scoped) or ``# repro: ignore``.
+IGNORE_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_\-,\s]*)\])?"
+)
+
+#: Directories never scanned.
+SKIP_DIR_NAMES = {"__pycache__", ".git", ".pytest_cache"}
+
+
+@dataclass
+class Finding:
+    """One checker hit: where, which rule, and what is wrong."""
+
+    file: str
+    line: int
+    rule: str
+    message: str
+    severity: str = "error"
+
+    @property
+    def location(self) -> str:
+        return f"{self.file}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """One parsed module: AST + raw lines + per-line suppressions."""
+
+    def __init__(self, path: Union[str, Path], text: str):
+        self.path = Path(path)
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        #: line -> set of suppressed rule ids; empty set = all rules.
+        self.suppressions: Dict[int, set] = {}
+        for number, line in enumerate(self.lines, start=1):
+            match = IGNORE_RE.search(line)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                self.suppressions[number] = set()
+            else:
+                self.suppressions[number] = {
+                    rule.strip() for rule in rules.split(",") if rule.strip()
+                }
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def is_suppressed(
+        self, rule: str, line: int, end_line: Optional[int] = None
+    ) -> bool:
+        """True when an ignore comment covers ``rule`` on this statement."""
+        end_line = line if end_line is None else end_line
+        for number in range(line, end_line + 1):
+            rules = self.suppressions.get(number)
+            if rules is not None and (not rules or rule in rules):
+                return True
+        return False
+
+
+class Rule:
+    """Base class: one invariant checker over one :class:`SourceFile`."""
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Optional[Finding]:
+        """A :class:`Finding` at ``node``, or None when suppressed."""
+        line = getattr(node, "lineno", 1)
+        end_line = getattr(node, "end_lineno", line)
+        if source.is_suppressed(self.rule_id, line, end_line):
+            return None
+        return Finding(
+            file=str(source.path), line=line, rule=self.rule_id, message=message
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Annotation parsing shared by the static rules and the runtime sanitizer
+# ---------------------------------------------------------------------- #
+
+
+def guarded_attributes_from_source(
+    lines: Sequence[str], class_node: ast.ClassDef
+) -> Dict[str, str]:
+    """``{attribute: lock_name}`` declared via ``# guarded-by:`` comments.
+
+    Recognizes annotations trailing ``self.<attr> = ...`` (or annotated
+    ``self.<attr>: T = ...``) assignments anywhere inside the class —
+    conventionally in ``__init__`` — plus class-level ``attr = ...``
+    declarations (shared state such as a class-wide lock-guarded slot).
+    """
+    guarded: Dict[str, str] = {}
+    for node in ast.walk(class_node):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        else:
+            continue
+        line_index = node.lineno - 1
+        if not (0 <= line_index < len(lines)):
+            continue
+        match = GUARDED_BY_RE.search(lines[line_index])
+        if match is None:
+            continue
+        lock_name = match.group(1)
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                guarded[target.attr] = lock_name
+            elif isinstance(target, ast.Name):
+                guarded[target.id] = lock_name
+    return guarded
+
+
+def collect_guarded(cls: type) -> Dict[str, str]:
+    """``{attribute: lock_name}`` for a live class, via its source.
+
+    The runtime sanitizer's entry point into the static annotations: one
+    ``# guarded-by:`` declaration drives both the AST checker and the
+    instrumented-object tracer, so the two tiers can never disagree
+    about what is supposed to be guarded.  Classes without readable
+    source (builtins, REPL definitions) yield ``{}``.
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+    except (OSError, TypeError):
+        return {}
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return {}
+    lines = source.splitlines()
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == cls.__name__:
+            return guarded_attributes_from_source(lines, node)
+    return {}
+
+
+def fingerprint_stage_markers(source: SourceFile) -> Dict[str, str]:
+    """``{function_name: stage}`` from ``# fingerprint-stage:`` comments.
+
+    The marker trails the ``def`` line (or any line of a multi-line
+    signature) of the method implementing the stage.
+    """
+    markers: Dict[str, str] = {}
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        first_body_line = node.body[0].lineno if node.body else node.lineno
+        for line in range(node.lineno, first_body_line + 1):
+            match = FINGERPRINT_STAGE_RE.search(source.line_text(line))
+            if match is not None:
+                markers[node.name] = match.group(1)
+                break
+    return markers
+
+
+# ---------------------------------------------------------------------- #
+# Running the rules
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analyzer run over a set of paths."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_scanned": self.files_scanned,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "ok": self.ok,
+        }
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Every ``.py`` file under ``paths``, sorted, caches skipped."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            out.append(path)
+            continue
+        if not path.is_dir():
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in SKIP_DIR_NAMES for part in candidate.parts):
+                continue
+            out.append(candidate)
+    seen = set()
+    unique: List[Path] = []
+    for path in out:
+        key = str(path)
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def default_rules() -> List[Rule]:
+    """One instance of every repo checker (import-cycle-free accessor)."""
+    from repro.analysis.rules import ALL_RULES
+
+    return [rule_cls() for rule_cls in ALL_RULES]
+
+
+def analyze_paths(
+    paths: Iterable[Union[str, Path]],
+    rules: Optional[Sequence[Rule]] = None,
+) -> AnalysisResult:
+    """Run every rule over every python file under ``paths``.
+
+    Unparseable files produce a ``parse-error`` finding rather than
+    crashing the analyzer — a syntax error in tree the gate covers is
+    itself a failure worth surfacing.
+    """
+    rules = list(default_rules() if rules is None else rules)
+    result = AnalysisResult()
+    for path in iter_python_files(paths):
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            result.findings.append(
+                Finding(
+                    file=str(path), line=1, rule="parse-error",
+                    message=f"unreadable file: {exc}",
+                )
+            )
+            continue
+        result.files_scanned += 1
+        try:
+            source = SourceFile(path, text)
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    file=str(path), line=int(exc.lineno or 1),
+                    rule="parse-error", message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            result.findings.extend(rule.check(source))
+    result.findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return result

@@ -1,0 +1,554 @@
+"""Repo-specific invariant checkers for ``python -m repro.analysis``.
+
+Four rules, one per invariant the concurrent tier (PRs 3-5) rests on:
+
+``lock-discipline``
+    Attributes declared ``# guarded-by: <lock>`` must only be read or
+    written inside a ``with self.<lock>:`` block in methods of the
+    declaring class.  Catches the classic "stats read outside the lock"
+    drift before it becomes a torn-read bug under serving load.
+
+``fingerprint-completeness``
+    A method marked ``# fingerprint-stage: <stage>`` may only read
+    config fields covered by that stage's *cumulative* fingerprint
+    (``STAGE_FIELDS`` in ``repro.api.artifacts``).  An uncovered read
+    means two configs differing in that field map to one artifact key —
+    the pipeline silently serves stale artifacts.
+
+``determinism``
+    No module-level ``np.random.*`` calls (import-time shared RNG
+    state), no unseeded ``default_rng()`` anywhere, and inside
+    key/hash/fingerprint-building functions no wall-clock reads and no
+    ``json.dumps`` without ``sort_keys=True`` (dict iteration order must
+    never reach a content key).
+
+``csr-canonical``
+    Constructing ``csr_matrix((data, indices, indptr))`` from raw
+    components without sorting: the mmap sidecar tier persists CSR
+    as-is and marks mapped replicas pre-sorted
+    (:func:`repro.hin.cache.csr_from_components`), so an unsorted
+    product poisons every zero-copy reader.  Either call
+    ``.sort_indices()`` on the result or build through
+    ``csr_from_components`` (whose caller contract is sortedness).
+
+Every rule honors ``# repro: ignore[rule-id]`` line suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import (
+    Finding,
+    Rule,
+    SourceFile,
+    fingerprint_stage_markers,
+    guarded_attributes_from_source,
+)
+
+
+def _dotted(node: ast.expr) -> str:
+    """Best-effort dotted name of a call target (``''`` when dynamic)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_self_attr(node: ast.expr, attr: Optional[str] = None) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and (attr is None or node.attr == attr)
+    )
+
+
+# ---------------------------------------------------------------------- #
+# lock-discipline
+# ---------------------------------------------------------------------- #
+
+
+class LockDisciplineRule(Rule):
+    """``# guarded-by:`` attributes only touched under their lock."""
+
+    rule_id = "lock-discipline"
+    description = (
+        "guarded attributes must be accessed inside 'with self.<lock>:' "
+        "in methods of the declaring class"
+    )
+
+    #: Methods where unguarded access is allowed: the object is not yet
+    #: (or no longer) visible to other threads.
+    EXEMPT_METHODS = ("__init__", "__del__", "__new__")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+
+    def _check_class(
+        self, source: SourceFile, class_node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded = guarded_attributes_from_source(source.lines, class_node)
+        if not guarded:
+            return
+        for item in class_node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in self.EXEMPT_METHODS:
+                continue
+            yield from self._check_scope(source, item.body, guarded, set(), item.name)
+
+    def _with_locks(self, node: ast.With) -> Set[str]:
+        """Lock names a ``with`` statement acquires (``self.<lock>:``)."""
+        names: Set[str] = set()
+        for with_item in node.items:
+            expr = with_item.context_expr
+            if isinstance(expr, ast.Attribute) and isinstance(
+                expr.value, ast.Name
+            ):
+                if expr.value.id == "self":
+                    names.add(expr.attr)
+            elif isinstance(expr, ast.Name):
+                names.add(expr.id)
+        return names
+
+    def _check_scope(
+        self,
+        source: SourceFile,
+        body: Sequence[ast.stmt],
+        guarded: Dict[str, str],
+        held: Set[str],
+        method: str,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.With):
+                inner = held | (self._with_locks(stmt) & set(guarded.values()))
+                yield from self._check_exprs(source, stmt.items, guarded, held, method)
+                yield from self._check_scope(source, stmt.body, guarded, inner, method)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested function may run later, outside the enclosing
+                # lock scope: analyze it with nothing held (conservative).
+                yield from self._check_scope(
+                    source, stmt.body, guarded, set(), method
+                )
+            elif isinstance(stmt, (ast.If, ast.While, ast.For, ast.Try)):
+                for field_name in ("body", "orelse", "finalbody"):
+                    yield from self._check_scope(
+                        source, getattr(stmt, field_name, []) or [],
+                        guarded, held, method,
+                    )
+                for handler in getattr(stmt, "handlers", []) or []:
+                    yield from self._check_scope(
+                        source, handler.body, guarded, held, method
+                    )
+                yield from self._check_exprs(source, [stmt], guarded, held, method, shallow=True)
+            else:
+                yield from self._check_exprs(source, [stmt], guarded, held, method)
+
+    def _check_exprs(
+        self,
+        source: SourceFile,
+        nodes: Sequence[ast.AST],
+        guarded: Dict[str, str],
+        held: Set[str],
+        method: str,
+        shallow: bool = False,
+    ) -> Iterator[Finding]:
+        """Flag guarded ``self.<attr>`` accesses not under their lock.
+
+        ``shallow`` checks only a compound statement's *test/iter*
+        expressions — its nested blocks are walked separately with the
+        correct held-set.
+        """
+        for node in nodes:
+            if shallow:
+                exprs: List[ast.AST] = []
+                for attr in ("test", "iter", "subject"):
+                    child = getattr(node, attr, None)
+                    if child is not None:
+                        exprs.append(child)
+            else:
+                exprs = [node]
+            for expr in exprs:
+                for sub in ast.walk(expr):
+                    if not _is_self_attr(sub):
+                        continue
+                    lock = guarded.get(sub.attr)
+                    if lock is None or lock in held:
+                        continue
+                    found = self.finding(
+                        source,
+                        sub,
+                        f"'self.{sub.attr}' is guarded-by '{lock}' but "
+                        f"accessed outside 'with self.{lock}:' in "
+                        f"method '{method}'",
+                    )
+                    if found is not None:
+                        yield found
+
+
+# ---------------------------------------------------------------------- #
+# fingerprint-completeness
+# ---------------------------------------------------------------------- #
+
+
+class FingerprintCompletenessRule(Rule):
+    """Stage methods read only fingerprint-covered config fields."""
+
+    rule_id = "fingerprint-completeness"
+    description = (
+        "config fields read by a '# fingerprint-stage:' method must be in "
+        "that stage's cumulative STAGE_FIELDS fingerprint"
+    )
+
+    #: Pure performance knobs, exempt by design: they cannot change any
+    #: stage output (PR 3's eviction/disk equivalence pins that), and
+    #: keying on them would break resume across machines.  Mirrors the
+    #: exclusion list in ``repro.api.artifacts.config_fingerprint``.
+    PERF_EXEMPT = ("cache_dir", "cache_memory_budget")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        markers = fingerprint_stage_markers(source)
+        if not markers:
+            return
+        stage_fields = self._load_stage_fields(source)
+        if stage_fields is None:
+            yield Finding(
+                file=str(source.path), line=1, rule=self.rule_id,
+                message=(
+                    "file declares '# fingerprint-stage:' markers but no "
+                    "STAGE_FIELDS dict literal was found here or in a "
+                    "sibling artifacts.py"
+                ),
+            )
+            return
+        fields_by_stage, order = stage_fields
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stage = markers.get(node.name)
+            if stage is None:
+                continue
+            if stage not in fields_by_stage:
+                found = self.finding(
+                    source, node,
+                    f"unknown fingerprint stage {stage!r}; STAGE_FIELDS "
+                    f"declares {sorted(fields_by_stage)}",
+                )
+                if found is not None:
+                    yield found
+                continue
+            covered: Set[str] = set()
+            for name in order:
+                covered.update(fields_by_stage.get(name, ()))
+                if name == stage:
+                    break
+            if "*" in covered:
+                continue
+            covered.update(self.PERF_EXEMPT)
+            for read_node, field_name in self._config_reads(node):
+                if field_name in covered or field_name.startswith("_"):
+                    continue
+                found = self.finding(
+                    source,
+                    read_node,
+                    f"config field '{field_name}' read by stage "
+                    f"'{stage}' is not covered by its cumulative "
+                    f"fingerprint (STAGE_FIELDS) — under-keying serves "
+                    f"stale artifacts",
+                )
+                if found is not None:
+                    yield found
+
+    def _load_stage_fields(
+        self, source: SourceFile
+    ) -> Optional[Tuple[Dict[str, Tuple[str, ...]], List[str]]]:
+        """``STAGE_FIELDS`` (+ order) from this file or sibling artifacts.py."""
+        parsed = self._stage_fields_from_tree(source.tree)
+        if parsed is not None:
+            return parsed
+        sibling = source.path.parent / "artifacts.py"
+        try:
+            tree = ast.parse(sibling.read_text())
+        except (OSError, SyntaxError):
+            return None
+        return self._stage_fields_from_tree(tree)
+
+    @staticmethod
+    def _stage_fields_from_tree(
+        tree: ast.AST,
+    ) -> Optional[Tuple[Dict[str, Tuple[str, ...]], List[str]]]:
+        fields: Optional[Dict[str, Tuple[str, ...]]] = None
+        order: Optional[List[str]] = None
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            names = {t.id for t in targets if isinstance(t, ast.Name)}
+            if "STAGE_FIELDS" in names and isinstance(node.value, ast.Dict):
+                parsed: Dict[str, Tuple[str, ...]] = {}
+                for key_node, value_node in zip(
+                    node.value.keys, node.value.values
+                ):
+                    if not (
+                        isinstance(key_node, ast.Constant)
+                        and isinstance(key_node.value, str)
+                    ):
+                        return None
+                    if not isinstance(value_node, (ast.Tuple, ast.List)):
+                        return None
+                    entries = []
+                    for element in value_node.elts:
+                        if not (
+                            isinstance(element, ast.Constant)
+                            and isinstance(element.value, str)
+                        ):
+                            return None
+                        entries.append(element.value)
+                    parsed[key_node.value] = tuple(entries)
+                fields = parsed
+            if "_STAGE_ORDER" in names and isinstance(
+                node.value, (ast.Tuple, ast.List)
+            ):
+                order = [
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ]
+        if fields is None:
+            return None
+        return fields, order if order is not None else list(fields)
+
+    @staticmethod
+    def _config_reads(
+        func: ast.AST,
+    ) -> Iterator[Tuple[ast.Attribute, str]]:
+        """``(node, field)`` for every config-field read in ``func``.
+
+        Covers direct ``self.config.<field>`` chains and local aliases
+        (``config = self.config`` then ``config.<field>``), including
+        inside nested ``build()`` closures.
+        """
+        aliases: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and _is_self_attr(
+                node.value, "config"
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Attribute):
+                continue
+            base = node.value
+            if _is_self_attr(base, "config"):
+                yield node, node.attr
+            elif isinstance(base, ast.Name) and base.id in aliases:
+                yield node, node.attr
+
+
+# ---------------------------------------------------------------------- #
+# determinism
+# ---------------------------------------------------------------------- #
+
+
+class DeterminismRule(Rule):
+    """No import-time RNG, no wall-clock / dict-order in content keys."""
+
+    rule_id = "determinism"
+    description = (
+        "no module-level np.random calls, no unseeded default_rng(), no "
+        "wall-clock or unsorted-dict serialization in key/hash builders"
+    )
+
+    #: Function-name pattern marking key/hash/fingerprint builders.
+    KEY_FUNC_RE = re.compile(r"hash|fingerprint|digest|cache_key|stage_key")
+
+    #: Wall-clock call targets that must never flow into a content key.
+    WALL_CLOCK = {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+
+    _RANDOM_RE = re.compile(r"^(np|numpy)\.random\.")
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        in_function_body: Set[int] = set()
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for stmt in node.body:
+                    for sub in ast.walk(stmt):
+                        in_function_body.add(id(sub))
+            elif isinstance(node, ast.Lambda):
+                for sub in ast.walk(node.body):
+                    in_function_body.add(id(sub))
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if not name:
+                continue
+            module_level = id(node) not in in_function_body
+            if module_level and (
+                self._RANDOM_RE.search(name)
+                or name.split(".")[-1] == "default_rng"
+            ):
+                found = self.finding(
+                    source, node,
+                    f"module-level RNG call '{name}(...)' creates shared "
+                    f"random state at import time; construct a seeded "
+                    f"Generator inside the function that uses it",
+                )
+                if found is not None:
+                    yield found
+                continue
+            if name.split(".")[-1] == "default_rng" and not (
+                node.args or node.keywords
+            ):
+                found = self.finding(
+                    source, node,
+                    "unseeded default_rng() draws from OS entropy — every "
+                    "run differs; pass an explicit seed",
+                )
+                if found is not None:
+                    yield found
+        yield from self._check_key_functions(source)
+
+    def _check_key_functions(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self.KEY_FUNC_RE.search(node.name):
+                continue
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                name = _dotted(sub.func)
+                if name in self.WALL_CLOCK:
+                    found = self.finding(
+                        source, sub,
+                        f"wall-clock read '{name}()' inside key builder "
+                        f"'{node.name}' — clocks must never flow into "
+                        f"content keys",
+                    )
+                    if found is not None:
+                        yield found
+                elif name.split(".")[-1] == "dumps" and name.startswith("json"):
+                    sort_keys = any(
+                        keyword.arg == "sort_keys"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                        for keyword in sub.keywords
+                    )
+                    if not sort_keys:
+                        found = self.finding(
+                            source, sub,
+                            f"json.dumps without sort_keys=True inside key "
+                            f"builder '{node.name}' — dict iteration order "
+                            f"would leak into the content key",
+                        )
+                        if found is not None:
+                            yield found
+
+
+# ---------------------------------------------------------------------- #
+# csr-canonical
+# ---------------------------------------------------------------------- #
+
+
+class CSRCanonicalRule(Rule):
+    """Raw-component CSR construction must sort (the mmap-tier contract)."""
+
+    rule_id = "csr-canonical"
+    description = (
+        "csr_matrix((data, indices, indptr)) requires a following "
+        ".sort_indices() (or build via csr_from_components)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for func in ast.walk(source.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_function(source, func)
+
+    def _check_function(
+        self, source: SourceFile, func: ast.AST
+    ) -> Iterator[Finding]:
+        sorted_names: Dict[str, List[int]] = {}
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "sort_indices"
+                and isinstance(node.func.value, ast.Name)
+            ):
+                sorted_names.setdefault(node.func.value.id, []).append(
+                    node.lineno
+                )
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign) and not isinstance(
+                node, (ast.Return, ast.Expr)
+            ):
+                continue
+            value = getattr(node, "value", None)
+            call = self._component_csr_call(value)
+            if call is None:
+                continue
+            if isinstance(node, ast.Assign):
+                targets = [
+                    t.id for t in node.targets if isinstance(t, ast.Name)
+                ]
+                if any(
+                    any(line > call.lineno for line in sorted_names.get(t, []))
+                    for t in targets
+                ):
+                    continue
+            found = self.finding(
+                source,
+                call,
+                "csr_matrix built from raw (data, indices, indptr) "
+                "components without a following .sort_indices(); the "
+                "mmap tier persists CSR as-is and marks mapped replicas "
+                "pre-sorted (csr_from_components), so an unsorted "
+                "product corrupts every zero-copy reader",
+            )
+            if found is not None:
+                yield found
+
+    @staticmethod
+    def _component_csr_call(value: Optional[ast.AST]) -> Optional[ast.Call]:
+        if not isinstance(value, ast.Call):
+            return None
+        name = _dotted(value.func).split(".")[-1]
+        if name not in ("csr_matrix", "csc_matrix"):
+            return None
+        if not value.args:
+            return None
+        first = value.args[0]
+        if isinstance(first, ast.Tuple) and len(first.elts) == 3:
+            return value
+        return None
+
+
+#: Registry consumed by :func:`repro.analysis.core.default_rules`.
+ALL_RULES = (
+    LockDisciplineRule,
+    FingerprintCompletenessRule,
+    DeterminismRule,
+    CSRCanonicalRule,
+)

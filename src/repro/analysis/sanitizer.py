@@ -1,0 +1,381 @@
+"""Runtime thread-sanitizer: instrumented locks + guarded-access tracing.
+
+The static ``lock-discipline`` rule proves accesses are *lexically*
+inside ``with self.<lock>:`` blocks; this module proves the discipline
+holds *dynamically* — under real :class:`repro.serve.ModelServer` load,
+across threads the checker cannot see.  Two detectors:
+
+:class:`TracedLock`
+    A wrapper around ``threading.Lock``/``RLock`` that records, per
+    thread, which traced locks are held, and maintains a global
+    lock-*order* graph: acquiring B while holding A records the edge
+    A→B, and a later acquisition of A while holding B — the classic
+    deadlock-by-inversion between the engine-cache lock and a server
+    lock — is reported the moment the inverted edge appears, without
+    needing the actual deadlock to strike in CI.
+
+Guarded-attribute tracing
+    :func:`instrument` replaces an object's locks with
+    :class:`TracedLock` and wraps its ``# guarded-by:`` annotated
+    container attributes (dicts, OrderedDicts, deques) in proxies that
+    verify, on every access, that the current thread holds the guarding
+    lock.  Which attributes are guarded comes from
+    :func:`repro.analysis.core.collect_guarded` — the *same*
+    annotations the static checker enforces, so the two tiers can never
+    drift apart.
+
+Violations are collected as :class:`RaceReport` records, not raised:
+a sanitizer that throws from an arbitrary thread turns a diagnosis into
+a flake.  Tests call :meth:`ThreadSanitizer.assert_clean` at the end.
+
+Example
+-------
+>>> sanitizer = ThreadSanitizer()
+>>> instrument(sanitizer, server)        # doctest: +SKIP
+>>> ...  # drive load from many threads
+>>> sanitizer.assert_clean()             # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.core import collect_guarded
+
+#: Container types the access tracer knows how to wrap.
+_WRAPPABLE = (OrderedDict, dict, deque)
+
+
+@dataclass
+class RaceReport:
+    """One dynamic violation: what kind, where, and which thread."""
+
+    kind: str        # "unguarded-access" | "lock-order-inversion" | "self-deadlock"
+    message: str
+    thread: str
+
+    def render(self) -> str:
+        return f"[{self.kind}] {self.message} (thread={self.thread})"
+
+
+class ThreadSanitizer:
+    """Collects :class:`RaceReport` records from traced locks/objects."""
+
+    def __init__(self):
+        self._mu = threading.Lock()
+        self._reports: List[RaceReport] = []
+        #: Observed acquisition-order edges: (held.name, acquired.name).
+        self._edges: Dict[Tuple[str, str], str] = {}
+        self._inversions_reported: set = set()
+        self._tls = threading.local()
+
+    # ---------------------------------------------------------------- #
+    # Reporting
+    # ---------------------------------------------------------------- #
+
+    @property
+    def reports(self) -> List[RaceReport]:
+        with self._mu:
+            return list(self._reports)
+
+    def report(self, kind: str, message: str) -> None:
+        entry = RaceReport(
+            kind=kind, message=message, thread=threading.current_thread().name
+        )
+        with self._mu:
+            self._reports.append(entry)
+
+    def assert_clean(self) -> None:
+        """Raise with every collected report when any race was traced."""
+        reports = self.reports
+        if reports:
+            rendered = "\n".join(entry.render() for entry in reports)
+            raise AssertionError(
+                f"thread sanitizer traced {len(reports)} violation(s):\n"
+                f"{rendered}"
+            )
+
+    # ---------------------------------------------------------------- #
+    # Per-thread held-lock bookkeeping (used by TracedLock)
+    # ---------------------------------------------------------------- #
+
+    def _held(self) -> List["TracedLock"]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    def _note_acquire(self, lock: "TracedLock") -> None:
+        held = self._held()
+        if any(entry is lock for entry in held):
+            if not lock.reentrant:
+                self.report(
+                    "self-deadlock",
+                    f"non-reentrant lock '{lock.name}' re-acquired by its "
+                    f"holder — this deadlocks outside the sanitizer",
+                )
+            held.append(lock)
+            return
+        ordered = []
+        for other in held:
+            if other is not lock:
+                ordered.append((other.name, lock.name))
+        with self._mu:
+            for edge in ordered:
+                inverse = (edge[1], edge[0])
+                if edge[0] == edge[1]:
+                    continue
+                if inverse in self._edges:
+                    pair = frozenset(edge)
+                    if pair not in self._inversions_reported:
+                        self._inversions_reported.add(pair)
+                        self._reports.append(
+                            RaceReport(
+                                kind="lock-order-inversion",
+                                message=(
+                                    f"'{edge[0]}' acquired before "
+                                    f"'{edge[1]}' here, but the opposite "
+                                    f"order was observed on thread "
+                                    f"{self._edges[inverse]!r} — inversion "
+                                    f"can deadlock"
+                                ),
+                                thread=threading.current_thread().name,
+                            )
+                        )
+                self._edges.setdefault(
+                    edge, threading.current_thread().name
+                )
+        held.append(lock)
+
+    def _note_release(self, lock: "TracedLock") -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] is lock:
+                del held[index]
+                return
+
+
+class TracedLock:
+    """Drop-in lock wrapper feeding a :class:`ThreadSanitizer`.
+
+    Supports the full ``Lock``/``RLock`` surface used in this repo
+    (``acquire``/``release``/context manager), tracks holders so guarded
+    proxies can ask :meth:`held_by_current_thread`, and reports
+    lock-order inversions and non-reentrant re-acquisition.
+    """
+
+    def __init__(
+        self,
+        sanitizer: ThreadSanitizer,
+        inner=None,
+        name: Optional[str] = None,
+        reentrant: Optional[bool] = None,
+    ):
+        if inner is None:
+            inner = threading.RLock()
+        if isinstance(inner, TracedLock):  # never double-wrap
+            inner = inner.inner
+        self.sanitizer = sanitizer
+        self.inner = inner
+        self.name = name or f"lock@{id(inner):#x}"
+        if reentrant is None:
+            # RLock instances are factory-produced; sniff the repr.
+            reentrant = "RLock" in type(inner).__name__ or "RLock" in repr(
+                inner
+            )
+        self.reentrant = bool(reentrant)
+        self._holders: Dict[int, int] = {}
+        self._holders_mu = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self.sanitizer._note_acquire(self)
+        acquired = self.inner.acquire(blocking, timeout)
+        if acquired:
+            ident = threading.get_ident()
+            with self._holders_mu:
+                self._holders[ident] = self._holders.get(ident, 0) + 1
+        else:
+            self.sanitizer._note_release(self)
+        return acquired
+
+    def release(self) -> None:
+        ident = threading.get_ident()
+        with self._holders_mu:
+            count = self._holders.get(ident, 0)
+            if count <= 1:
+                self._holders.pop(ident, None)
+            else:
+                self._holders[ident] = count - 1
+        self.sanitizer._note_release(self)
+        self.inner.release()
+
+    def held_by_current_thread(self) -> bool:
+        with self._holders_mu:
+            return self._holders.get(threading.get_ident(), 0) > 0
+
+    def __enter__(self) -> "TracedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+# ---------------------------------------------------------------------- #
+# Guarded-container proxies
+# ---------------------------------------------------------------------- #
+
+
+def _checked(method_name):
+    """A subclass method that verifies the guard, then delegates."""
+
+    def method(self, *args, **kwargs):
+        self._sanitizer_check()
+        return getattr(super(type(self), self), method_name)(*args, **kwargs)
+
+    method.__name__ = method_name
+    return method
+
+
+class _GuardedMixin:
+    """Shared guard-check for traced container proxies.
+
+    ``_armed`` defends construction: base-class ``__init__`` may call
+    overridden mutators (``OrderedDict.__init__`` goes through
+    ``__setitem__``) before tracing state exists.
+    """
+
+    _armed = False
+
+    def _trace_with(self, sanitizer, lock, label) -> None:
+        self._sanitizer = sanitizer
+        self._guard_lock = lock
+        self._guard_label = label
+        self._armed = True
+
+    def _sanitizer_check(self) -> None:
+        if not self._armed:
+            return
+        if self._guard_lock.held_by_current_thread():
+            return
+        self._sanitizer.report(
+            "unguarded-access",
+            f"'{self._guard_label}' accessed without holding "
+            f"'{self._guard_lock.name}'",
+        )
+
+
+_DICT_TRACED = (
+    "__getitem__", "__setitem__", "__delitem__", "__contains__",
+    "__iter__", "__len__", "get", "pop", "popitem", "setdefault",
+    "update", "clear", "items", "keys", "values", "copy",
+)
+
+_DEQUE_TRACED = (
+    "__getitem__", "__setitem__", "__iter__", "__len__", "__contains__",
+    "append", "appendleft", "extend", "extendleft", "pop", "popleft",
+    "clear", "remove", "count",
+)
+
+
+class GuardedDict(_GuardedMixin, dict):
+    """A dict that reports accesses made without the guarding lock."""
+
+
+class GuardedOrderedDict(_GuardedMixin, OrderedDict):
+    """An OrderedDict that reports unguarded accesses."""
+
+
+class GuardedDeque(_GuardedMixin, deque):
+    """A deque that reports unguarded accesses."""
+
+
+for _name in _DICT_TRACED:
+    setattr(GuardedDict, _name, _checked(_name))
+    setattr(
+        GuardedOrderedDict,
+        _name,
+        _checked(_name),
+    )
+setattr(GuardedOrderedDict, "move_to_end", _checked("move_to_end"))
+for _name in _DEQUE_TRACED:
+    setattr(GuardedDeque, _name, _checked(_name))
+del _name
+
+
+def _wrap_container(sanitizer, value, lock, label):
+    """A traced replica of ``value``, or None when untraceable."""
+    if isinstance(value, OrderedDict):
+        wrapped = GuardedOrderedDict()
+        OrderedDict.update(wrapped, value)
+        wrapped._trace_with(sanitizer, lock, label)
+        return wrapped
+    if isinstance(value, dict):
+        wrapped = GuardedDict()
+        dict.update(wrapped, value)
+        wrapped._trace_with(sanitizer, lock, label)
+        return wrapped
+    if isinstance(value, deque):
+        wrapped = GuardedDeque(value, maxlen=value.maxlen)
+        wrapped._trace_with(sanitizer, lock, label)
+        return wrapped
+    return None
+
+
+def instrument(
+    sanitizer: ThreadSanitizer,
+    obj,
+    guarded: Optional[Dict[str, str]] = None,
+) -> Dict[str, TracedLock]:
+    """Instrument one object's declared guards; returns its traced locks.
+
+    ``guarded`` defaults to the object's own ``# guarded-by:``
+    annotations (:func:`repro.analysis.core.collect_guarded`).  Every
+    named lock is replaced with a :class:`TracedLock` (idempotent), and
+    every guarded container attribute is wrapped in a proxy that reports
+    accesses made without that lock.  Non-container guarded attributes
+    (floats, ints, arrays) are skipped — the static rule still covers
+    them lexically.  Objects whose attributes cannot be rebound
+    (``__slots__`` without the attr) are left partially instrumented
+    rather than failing.
+    """
+    if guarded is None:
+        guarded = collect_guarded(type(obj))
+    locks: Dict[str, TracedLock] = {}
+    label_prefix = type(obj).__name__
+    for lock_name in sorted(set(guarded.values())):
+        current = getattr(obj, lock_name, None)
+        if isinstance(current, TracedLock):
+            locks[lock_name] = current
+            continue
+        traced = TracedLock(
+            sanitizer, current, name=f"{label_prefix}.{lock_name}"
+        )
+        try:
+            setattr(obj, lock_name, traced)
+        except (AttributeError, TypeError):
+            continue
+        locks[lock_name] = traced
+    for attr, lock_name in guarded.items():
+        lock = locks.get(lock_name)
+        if lock is None:
+            continue
+        value = getattr(obj, attr, None)
+        if isinstance(value, _GuardedMixin) or not isinstance(
+            value, _WRAPPABLE
+        ):
+            continue
+        wrapped = _wrap_container(
+            sanitizer, value, lock, f"{label_prefix}.{attr}"
+        )
+        if wrapped is None:
+            continue
+        try:
+            setattr(obj, attr, wrapped)
+        except (AttributeError, TypeError):
+            continue
+    return locks

@@ -250,7 +250,7 @@ class Pipeline:
     # Stage 1: discover
     # -------------------------------------------------------------- #
 
-    def discover(self) -> MetaPathPlan:
+    def discover(self) -> MetaPathPlan:  # fingerprint-stage: discover
         """Decide the meta-path set (declared or schema-searched)."""
         if self._plan is not None:
             return self._plan
@@ -303,7 +303,7 @@ class Pipeline:
     # Stage 2: compose
     # -------------------------------------------------------------- #
 
-    def compose(self) -> ComposeReport:
+    def compose(self) -> ComposeReport:  # fingerprint-stage: compose
         """Materialize each meta-path's commuting product in the engine.
 
         With a store directory, products write through to disk, so any
@@ -350,7 +350,7 @@ class Pipeline:
     # Stage 3: enumerate
     # -------------------------------------------------------------- #
 
-    def enumerate(self) -> ContextSet:
+    def enumerate(self) -> ContextSet:  # fingerprint-stage: enumerate
         """Neighbor filtering + per-pair context enumeration."""
         if self._context_set is not None:
             return self._context_set
@@ -424,7 +424,7 @@ class Pipeline:
     # Stage 4: featurize
     # -------------------------------------------------------------- #
 
-    def featurize(
+    def featurize(  # fingerprint-stage: featurize
         self, embeddings: Optional[Dict[str, np.ndarray]] = None
     ) -> FeatureSet:
         """Context features + incidence/neighbor operators (→ ConCHData).
@@ -552,7 +552,7 @@ class Pipeline:
             self.prepare()
         return self._data
 
-    def fit(
+    def fit(  # fingerprint-stage: fit
         self,
         split: Optional[Split] = None,
         train_fraction: float = 0.1,

@@ -95,6 +95,17 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
 
+    #: One class-wide reentrant lock guarding ``.grad`` read-modify-write:
+    #: parameter tensors are shared objects (a trainer thread accumulates
+    #: into them while other threads may zero or inspect them), and the
+    #: ``grad is None``-then-assign sequence in :meth:`_accumulate` is a
+    #: lost-update race without it.  Class-wide (not per-instance) so the
+    #: millions of short-lived forward tensors pay no per-object lock
+    #: allocation; it is only ever taken during backward/zero_grad, where
+    #: the numpy work dominates.  The lock-discipline rule of
+    #: ``python -m repro.analysis`` enforces the annotation.
+    _lock = threading.RLock()
+
     def __init__(
         self,
         data: ArrayLike,
@@ -109,7 +120,7 @@ class Tensor:
                 f"only floating-point tensors can require grad, got {self.data.dtype}"
             )
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
-        self.grad: Optional[np.ndarray] = None
+        self.grad: Optional[np.ndarray] = None  # guarded-by: _lock
         self._backward = _backward
         self._parents = _parents if self.requires_grad or _parents else ()
         self.name = name
@@ -160,7 +171,8 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
     def zero_grad(self) -> None:
-        self.grad = None
+        with self._lock:
+            self.grad = None
 
     # ------------------------------------------------------------------ #
     # Graph construction helpers
@@ -186,10 +198,11 @@ class Tensor:
 
     def _accumulate(self, grad: np.ndarray) -> None:
         grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
-        if self.grad is None:
-            self.grad = grad.copy()
-        else:
-            self.grad += grad
+        with self._lock:
+            if self.grad is None:
+                self.grad = grad.copy()
+            else:
+                self.grad += grad
 
     # ------------------------------------------------------------------ #
     # Backward pass

@@ -495,6 +495,15 @@ class LRUByteCache:
 
     Counters (``hits``/``misses``/``evictions``) are exact per-operation
     counts; :meth:`reset_stats` zeroes them without touching contents.
+
+    Thread safety: the serving tier shares one engine — and therefore
+    one of these caches — across scheduler threads, so every mutable
+    field is guarded by a reentrant lock (the ``# guarded-by:``
+    annotations below are enforced statically by the lock-discipline
+    rule of ``python -m repro.analysis`` and dynamically by
+    :mod:`repro.analysis.sanitizer`).  The eviction callback runs with
+    the lock held — owners must not call back into the cache from a
+    different thread inside it.
     """
 
     def __init__(
@@ -502,15 +511,16 @@ class LRUByteCache:
         budget: Optional[int] = None,
         on_evict: Optional[Callable[[Hashable, Any], None]] = None,
     ):
-        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
-        self._budget = self._validate_budget(budget)
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()  # guarded-by: _lock
+        self._budget = self._validate_budget(budget)  # guarded-by: _lock
         self._on_evict = on_evict
-        self._resident = 0
+        self._resident = 0  # guarded-by: _lock
         #: GreedyDual-Size aging clock: rises to each evicted priority.
-        self._clock = 0.0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._clock = 0.0  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     @staticmethod
     def _validate_budget(budget: Optional[int]) -> Optional[int]:
@@ -524,43 +534,51 @@ class LRUByteCache:
     @property
     def budget(self) -> Optional[int]:
         """Byte budget; ``None`` = unlimited.  Shrinking evicts eagerly."""
-        return self._budget
+        with self._lock:
+            return self._budget
 
     @budget.setter
     def budget(self, budget: Optional[int]) -> None:
-        self._budget = self._validate_budget(budget)
-        self._enforce()
+        with self._lock:
+            self._budget = self._validate_budget(budget)
+            self._enforce()
 
     @property
     def resident_bytes(self) -> int:
         """Accounted bytes of all currently cached entries."""
-        return self._resident
+        with self._lock:
+            return self._resident
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> Iterator[Hashable]:
         """Keys in recency order (least recent first); no recency bump."""
-        return iter(list(self._entries))
+        with self._lock:
+            return iter(list(self._entries))
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Value for ``key`` (freshening it), else ``default``."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._entries.move_to_end(key)
-        entry.priority = self._priority(entry)
-        return entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._entries.move_to_end(key)
+            entry.priority = self._priority(entry)
+            return entry.value
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Value for ``key`` without touching recency or counters."""
-        entry = self._entries.get(key)
-        return default if entry is None else entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            return default if entry is None else entry.value
 
     def put(
         self,
@@ -582,34 +600,38 @@ class LRUByteCache:
         """
         if nbytes is None:
             nbytes = nbytes_of(value)
-        self.discard(key)
-        entry = _Entry(
-            value=value,
-            nbytes=int(nbytes),
-            evictable=evictable,
-            cost=float(max(cost, 0.0)),
-        )
-        entry.priority = self._priority(entry)
-        self._entries[key] = entry
-        self._resident += int(nbytes)
-        self._enforce()
+        with self._lock:
+            self.discard(key)
+            entry = _Entry(
+                value=value,
+                nbytes=int(nbytes),
+                evictable=evictable,
+                cost=float(max(cost, 0.0)),
+            )
+            entry.priority = self._priority(entry)
+            self._entries[key] = entry
+            self._resident += int(nbytes)
+            self._enforce()
 
     def discard(self, key: Hashable) -> None:
         """Remove an entry without counting an eviction or spilling."""
-        entry = self._entries.pop(key, None)
-        if entry is not None:
-            self._resident -= entry.nbytes
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                self._resident -= entry.nbytes
 
     def clear(self) -> None:
         """Drop every entry (no eviction callbacks; counters are kept)."""
-        self._entries.clear()
-        self._resident = 0
-        self._clock = 0.0
+        with self._lock:
+            self._entries.clear()
+            self._resident = 0
+            self._clock = 0.0
 
     def reset_stats(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def _priority(self, entry: _Entry) -> float:
         """GreedyDual-Size priority at the current clock.
@@ -617,43 +639,46 @@ class LRUByteCache:
         ``cost`` is normalized per byte so a huge cheap matrix does not
         outrank a small expensive one purely by absolute rebuild time.
         """
-        if entry.cost <= 0.0:
-            return self._clock
-        return self._clock + entry.cost / max(entry.nbytes, 1)
+        with self._lock:
+            if entry.cost <= 0.0:
+                return self._clock
+            return self._clock + entry.cost / max(entry.nbytes, 1)
 
     def _enforce(self) -> None:
-        if self._budget is None:
-            return
-        while self._resident > self._budget:
-            victim_key = None
-            victim_priority = None
-            for key, entry in self._entries.items():  # LRU-first order
-                if not entry.evictable or entry.nbytes <= 0:
-                    continue
-                # Strict < keeps ties on the least-recently-used entry,
-                # so zero costs reproduce exact LRU.
-                if victim_priority is None or entry.priority < victim_priority:
-                    victim_key = key
-                    victim_priority = entry.priority
-            if victim_key is None:
+        with self._lock:
+            if self._budget is None:
                 return
-            entry = self._entries.pop(victim_key)
-            self._resident -= entry.nbytes
-            self.evictions += 1
-            # Age the cache: everything still resident is now worth its
-            # cost *relative to* the evicted entry's priority.
-            self._clock = max(self._clock, entry.priority)
-            if self._on_evict is not None:
-                self._on_evict(victim_key, entry.value)
+            while self._resident > self._budget:
+                victim_key = None
+                victim_priority = None
+                for key, entry in self._entries.items():  # LRU-first order
+                    if not entry.evictable or entry.nbytes <= 0:
+                        continue
+                    # Strict < keeps ties on the least-recently-used entry,
+                    # so zero costs reproduce exact LRU.
+                    if victim_priority is None or entry.priority < victim_priority:
+                        victim_key = key
+                        victim_priority = entry.priority
+                if victim_key is None:
+                    return
+                entry = self._entries.pop(victim_key)
+                self._resident -= entry.nbytes
+                self.evictions += 1
+                # Age the cache: everything still resident is now worth its
+                # cost *relative to* the evicted entry's priority.
+                self._clock = max(self._clock, entry.priority)
+                if self._on_evict is not None:
+                    self._on_evict(victim_key, entry.value)
 
     def stats(self) -> dict:
-        return {
-            "entries": len(self._entries),
-            "resident_bytes": self._resident,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "resident_bytes": self._resident,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 class ClaimFile:

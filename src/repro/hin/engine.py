@@ -90,6 +90,7 @@ from repro.hin import cache as cache_config
 from repro.hin.cache import (
     LRUByteCache,
     ProductStore,
+    csr_from_components,
     default_cache_dir,
     is_mmap_backed,
     nbytes_of,
@@ -125,16 +126,22 @@ def drop_diagonal(matrix: sp.spmatrix) -> sp.csr_matrix:
     preserves that order, so no re-sort or duplicate coalescing happens.
     """
     matrix = sp.csr_matrix(matrix)
+    if not matrix.has_sorted_indices:
+        matrix = matrix.copy()
+        matrix.sort_indices()
     n_rows = matrix.shape[0]
     lengths = np.diff(matrix.indptr)
     rows = np.repeat(np.arange(n_rows, dtype=np.int64), lengths)
     keep = matrix.indices != rows
     kept_per_row = np.bincount(rows[keep], minlength=n_rows)
+    # concatenate promotes the [0] head to int64; scipy requires indptr
+    # and indices dtypes to agree, and csr_from_components skips the
+    # constructor's re-cast, so pin the dtype here.
     indptr = np.concatenate(
-        ([0], np.cumsum(kept_per_row, dtype=matrix.indptr.dtype))
-    )
-    return sp.csr_matrix(
-        (matrix.data[keep], matrix.indices[keep], indptr), shape=matrix.shape
+        ([0], np.cumsum(kept_per_row, dtype=np.int64))
+    ).astype(matrix.indptr.dtype, copy=False)
+    return csr_from_components(
+        matrix.data[keep], matrix.indices[keep], indptr, matrix.shape
     )
 
 

@@ -151,11 +151,14 @@ class ModelServer:
         )
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
+        # Telemetry shared between submitters, scheduler workers, and
+        # stats() readers; the lock-discipline rule of
+        # ``python -m repro.analysis`` enforces the annotations below.
         self._lock = threading.Lock()
-        self._started_at: Optional[float] = None
-        self._latencies: deque = deque(maxlen=4096)
-        self._batch_sizes: deque = deque(maxlen=4096)
-        self._counters = {
+        self._started_at: Optional[float] = None  # guarded-by: _lock
+        self._latencies: deque = deque(maxlen=4096)  # guarded-by: _lock
+        self._batch_sizes: deque = deque(maxlen=4096)  # guarded-by: _lock
+        self._counters = {  # guarded-by: _lock
             "requests": 0, "answered": 0, "failed": 0, "shed": 0,
             "batches": 0,
         }
@@ -168,7 +171,8 @@ class ModelServer:
         if self._threads:
             return self
         self._stop.clear()
-        self._started_at = time.perf_counter()
+        with self._lock:
+            self._started_at = time.perf_counter()
         for index in range(self.num_workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -324,9 +328,10 @@ class ModelServer:
             counters = dict(self._counters)
             latencies = np.asarray(self._latencies, dtype=np.float64)
             batch_sizes = np.asarray(self._batch_sizes, dtype=np.float64)
+            started_at = self._started_at
         elapsed = (
-            time.perf_counter() - self._started_at
-            if self._started_at is not None
+            time.perf_counter() - started_at
+            if started_at is not None
             else 0.0
         )
         out: Dict[str, object] = dict(counters)
@@ -445,7 +450,6 @@ class ProcessReplicaServer:
         self.max_wait_ms = float(max_wait_ms)
         self.max_queue = int(max_queue)
         self.start_timeout = float(start_timeout)
-        self.shed = 0
         # The parent's own mapped handle: used only for request
         # validation — and it pre-builds the sidecars, so replicas map
         # instead of racing to export.
@@ -456,9 +460,12 @@ class ProcessReplicaServer:
         self._response_queue = None
         self._collector: Optional[threading.Thread] = None
         self._stop = threading.Event()
-        self._futures: Dict[int, PredictionFuture] = {}
+        # In-flight bookkeeping shared between submitters and the
+        # collector thread (lock-discipline enforced, as in ModelServer).
         self._futures_lock = threading.Lock()
-        self._next_id = 0
+        self._futures: Dict[int, PredictionFuture] = {}  # guarded-by: _futures_lock
+        self._next_id = 0  # guarded-by: _futures_lock
+        self.shed = 0  # guarded-by: _futures_lock
 
     def start(self) -> "ProcessReplicaServer":
         if self._processes:

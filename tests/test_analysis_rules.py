@@ -1,0 +1,509 @@
+"""Per-rule fixture tests for the ``repro.analysis`` static checkers.
+
+Each rule gets seeded-violation fixtures written to ``tmp_path`` and the
+analyzer must (a) flag them with the right rule id at the right line and
+(b) stay silent on the compliant twin.  The CLI contract (exit codes,
+``--json``, ``--rules``) is exercised through ``python -m
+repro.analysis`` subprocesses — the same invocation the gate test and CI
+use.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisResult,
+    Finding,
+    SourceFile,
+    analyze_paths,
+    collect_guarded,
+    default_rules,
+    iter_python_files,
+)
+from repro.analysis.core import fingerprint_stage_markers
+from repro.analysis.rules import (
+    CSRCanonicalRule,
+    DeterminismRule,
+    FingerprintCompletenessRule,
+    LockDisciplineRule,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write(tmp_path: Path, name: str, body: str) -> Path:
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(body))
+    return path
+
+
+def run_rule(rule, path: Path):
+    source = SourceFile(path, path.read_text())
+    return list(rule.check(source))
+
+
+# ---------------------------------------------------------------------- #
+# lock-discipline
+# ---------------------------------------------------------------------- #
+
+
+class TestLockDiscipline:
+    def test_unguarded_read_and_write_flagged(self, tmp_path):
+        path = write(tmp_path, "bad_lock.py", """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0  # guarded-by: _lock
+
+                def bump(self):
+                    self.total += 1
+
+                def peek(self):
+                    return self.total
+        """)
+        findings = run_rule(LockDisciplineRule(), path)
+        assert [f.rule for f in findings] == ["lock-discipline"] * 2
+        assert sorted(f.line for f in findings) == [9, 12]
+        assert all("'self.total'" in f.message for f in findings)
+
+    def test_guarded_access_clean(self, tmp_path):
+        path = write(tmp_path, "good_lock.py", """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._lock:
+                        self.total += 1
+
+                def snapshot(self):
+                    with self._lock:
+                        return {"total": self.total}
+        """)
+        assert run_rule(LockDisciplineRule(), path) == []
+
+    def test_init_is_exempt(self, tmp_path):
+        # __init__ builds the object before it is shared; annotated
+        # assignments there must not self-flag.
+        path = write(tmp_path, "init_exempt.py", """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.items = []  # guarded-by: _lock
+                    self.items.append(1)
+        """)
+        assert run_rule(LockDisciplineRule(), path) == []
+
+    def test_nested_function_does_not_inherit_lock_scope(self, tmp_path):
+        # A closure may run on another thread after the with-block exits;
+        # the checker must treat its accesses as unguarded.
+        path = write(tmp_path, "closure.py", """\
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.value = 0  # guarded-by: _lock
+
+                def deferred(self):
+                    with self._lock:
+                        def later():
+                            return self.value
+                        return later
+        """)
+        findings = run_rule(LockDisciplineRule(), path)
+        assert len(findings) == 1
+        assert "'self.value'" in findings[0].message
+
+    def test_other_class_same_attr_name_not_flagged(self, tmp_path):
+        path = write(tmp_path, "two_classes.py", """\
+            import threading
+
+            class Guarded:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0  # guarded-by: _lock
+
+            class Plain:
+                def __init__(self):
+                    self.total = 0
+
+                def bump(self):
+                    self.total += 1
+        """)
+        assert run_rule(LockDisciplineRule(), path) == []
+
+    def test_suppression_silences_one_line(self, tmp_path):
+        path = write(tmp_path, "suppressed.py", """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0  # guarded-by: _lock
+
+                def racy_probe(self):
+                    return self.total  # repro: ignore[lock-discipline]
+        """)
+        assert run_rule(LockDisciplineRule(), path) == []
+
+    def test_collect_guarded_matches_static_view(self, tmp_path):
+        # The runtime sanitizer and the static rule must read the same
+        # annotations off the real classes.
+        from repro.hin.cache import LRUByteCache
+        from repro.serve.server import ModelServer
+
+        cache_guarded = collect_guarded(LRUByteCache)
+        assert cache_guarded.get("_entries") == "_lock"
+        assert cache_guarded.get("hits") == "_lock"
+        server_guarded = collect_guarded(ModelServer)
+        assert server_guarded.get("_counters") == "_lock"
+        assert server_guarded.get("_latencies") == "_lock"
+
+
+# ---------------------------------------------------------------------- #
+# fingerprint-completeness
+# ---------------------------------------------------------------------- #
+
+
+FP_HEADER = textwrap.dedent("""\
+    STAGE_FIELDS = {
+        "discover": (),
+        "compose": ("neighbor_strategy",),
+        "enumerate": ("k", "seed"),
+        "fit": ("*",),
+    }
+    _STAGE_ORDER = ("discover", "compose", "enumerate", "fit")
+""")
+
+
+def write_fp(tmp_path: Path, name: str, body: str) -> Path:
+    """A fixture module carrying its own STAGE_FIELDS plus ``body``."""
+    path = tmp_path / name
+    path.write_text(FP_HEADER + textwrap.dedent(body))
+    return path
+
+
+class TestFingerprintCompleteness:
+    def test_unkeyed_config_read_flagged(self, tmp_path):
+        path = write_fp(tmp_path, "under_keyed.py", """\
+
+            class Pipeline:
+                def enumerate(self):  # fingerprint-stage: enumerate
+                    k = self.config.k
+                    return k, self.config.max_instances
+        """)
+        findings = run_rule(FingerprintCompletenessRule(), path)
+        assert len(findings) == 1
+        assert findings[0].rule == "fingerprint-completeness"
+        assert "'max_instances'" in findings[0].message
+        assert "'enumerate'" in findings[0].message
+
+    def test_cumulative_fields_cover_earlier_stages(self, tmp_path):
+        # enumerate may read compose's fields: fingerprints are cumulative.
+        path = write_fp(tmp_path, "cumulative.py", """\
+
+            class Pipeline:
+                def enumerate(self):  # fingerprint-stage: enumerate
+                    return self.config.k, self.config.neighbor_strategy
+        """)
+        assert run_rule(FingerprintCompletenessRule(), path) == []
+
+    def test_star_stage_covers_everything(self, tmp_path):
+        path = write_fp(tmp_path, "star.py", """\
+
+            class Pipeline:
+                def fit(self):  # fingerprint-stage: fit
+                    return self.config.epochs, self.config.anything_at_all
+        """)
+        assert run_rule(FingerprintCompletenessRule(), path) == []
+
+    def test_perf_knobs_exempt(self, tmp_path):
+        # cache_dir/cache_memory_budget change where/how fast, never what.
+        path = write_fp(tmp_path, "perf_knob.py", """\
+
+            class Pipeline:
+                def compose(self):  # fingerprint-stage: compose
+                    return self.config.neighbor_strategy, self.config.cache_dir
+        """)
+        assert run_rule(FingerprintCompletenessRule(), path) == []
+
+    def test_config_alias_reads_tracked(self, tmp_path):
+        # `config = self.config` then `config.field` is the repo idiom.
+        path = write_fp(tmp_path, "alias.py", """\
+
+            class Pipeline:
+                def compose(self):  # fingerprint-stage: compose
+                    config = self.config
+                    return config.use_contexts
+        """)
+        findings = run_rule(FingerprintCompletenessRule(), path)
+        assert len(findings) == 1
+        assert "'use_contexts'" in findings[0].message
+
+    def test_marker_parser_reads_multiline_defs(self, tmp_path):
+        path = write_fp(tmp_path, "multiline.py", """\
+
+            class Pipeline:
+                def featurize(  # fingerprint-stage: fit
+                    self,
+                    verbose=False,
+                ):
+                    return self.config.whatever
+        """)
+        source = SourceFile(path, path.read_text())
+        assert fingerprint_stage_markers(source) == {"featurize": "fit"}
+
+    def test_real_pipeline_has_all_stage_markers(self):
+        pipeline_py = REPO_ROOT / "src" / "repro" / "api" / "pipeline.py"
+        source = SourceFile(pipeline_py, pipeline_py.read_text())
+        markers = fingerprint_stage_markers(source)
+        assert set(markers.values()) >= {
+            "discover", "compose", "enumerate", "featurize", "fit",
+        }
+
+
+# ---------------------------------------------------------------------- #
+# determinism
+# ---------------------------------------------------------------------- #
+
+
+class TestDeterminism:
+    def test_module_level_global_rng_flagged(self, tmp_path):
+        path = write(tmp_path, "global_rng.py", """\
+            import numpy as np
+
+            WEIGHTS = np.random.rand(8)
+        """)
+        findings = run_rule(DeterminismRule(), path)
+        assert len(findings) == 1
+        assert findings[0].rule == "determinism"
+        assert findings[0].line == 3
+
+    def test_unseeded_default_rng_flagged_anywhere(self, tmp_path):
+        path = write(tmp_path, "unseeded.py", """\
+            import numpy as np
+
+            def sample():
+                rng = np.random.default_rng()
+                return rng.random()
+        """)
+        findings = run_rule(DeterminismRule(), path)
+        assert len(findings) == 1
+        assert "default_rng" in findings[0].message
+
+    def test_seeded_rng_in_function_clean(self, tmp_path):
+        path = write(tmp_path, "seeded.py", """\
+            import numpy as np
+
+            def sample(seed):
+                rng = np.random.default_rng(seed)
+                return rng.random()
+        """)
+        assert run_rule(DeterminismRule(), path) == []
+
+    def test_wall_clock_in_key_builder_flagged(self, tmp_path):
+        path = write(tmp_path, "clock_key.py", """\
+            import time
+
+            def cache_key(name):
+                return f"{name}-{time.time()}"
+
+            def is_stale(age):
+                return time.time() - age > 60.0
+        """)
+        findings = run_rule(DeterminismRule(), path)
+        # Only the key builder is flagged; is_stale legitimately uses the
+        # clock (TTL checks are about time, not identity).
+        assert len(findings) == 1
+        assert findings[0].line == 4
+        assert "cache_key" in findings[0].message
+
+    def test_unsorted_json_dumps_in_fingerprint_flagged(self, tmp_path):
+        path = write(tmp_path, "unsorted.py", """\
+            import json
+
+            def config_fingerprint(payload):
+                return json.dumps(payload)
+
+            def render(payload):
+                return json.dumps(payload)
+        """)
+        findings = run_rule(DeterminismRule(), path)
+        assert len(findings) == 1
+        assert findings[0].line == 4
+
+    def test_sorted_json_dumps_clean(self, tmp_path):
+        path = write(tmp_path, "sorted.py", """\
+            import json
+
+            def config_fingerprint(payload):
+                return json.dumps(payload, sort_keys=True)
+        """)
+        assert run_rule(DeterminismRule(), path) == []
+
+
+# ---------------------------------------------------------------------- #
+# csr-canonical
+# ---------------------------------------------------------------------- #
+
+
+class TestCSRCanonical:
+    def test_raw_component_construction_flagged(self, tmp_path):
+        path = write(tmp_path, "raw_csr.py", """\
+            import scipy.sparse as sp
+
+            def rebuild(data, indices, indptr, shape):
+                return sp.csr_matrix((data, indices, indptr), shape=shape)
+        """)
+        findings = run_rule(CSRCanonicalRule(), path)
+        assert len(findings) == 1
+        assert findings[0].rule == "csr-canonical"
+
+    def test_sort_indices_guard_accepted(self, tmp_path):
+        path = write(tmp_path, "sorted_csr.py", """\
+            import scipy.sparse as sp
+
+            def rebuild(data, indices, indptr, shape):
+                matrix = sp.csr_matrix((data, indices, indptr), shape=shape)
+                matrix.sort_indices()
+                return matrix
+        """)
+        assert run_rule(CSRCanonicalRule(), path) == []
+
+    def test_dense_and_coo_style_constructors_clean(self, tmp_path):
+        path = write(tmp_path, "other_ctors.py", """\
+            import numpy as np
+            import scipy.sparse as sp
+
+            def from_dense(dense):
+                return sp.csr_matrix(dense)
+
+            def from_coo(values, rows, cols, shape):
+                return sp.csr_matrix((values, (rows, cols)), shape=shape)
+
+            def empty(shape):
+                return sp.csr_matrix(shape, dtype=np.float64)
+        """)
+        assert run_rule(CSRCanonicalRule(), path) == []
+
+
+# ---------------------------------------------------------------------- #
+# Framework behavior
+# ---------------------------------------------------------------------- #
+
+
+class TestFramework:
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        write(tmp_path, "broken.py", "def oops(:\n")
+        result = analyze_paths([tmp_path])
+        assert [f.rule for f in result.findings] == ["parse-error"]
+        assert not result.ok
+
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "mod.py").write_text("x = 1\n")
+        write(tmp_path, "mod.py", "x = 1\n")
+        files = iter_python_files([tmp_path])
+        assert [p.name for p in files] == ["mod.py"]
+        assert "__pycache__" not in str(files[0])
+
+    def test_findings_sorted_and_serializable(self, tmp_path):
+        write(tmp_path, "b.py", "import numpy as np\nX = np.random.rand(2)\n")
+        write(tmp_path, "a.py", "import numpy as np\nY = np.random.rand(2)\n")
+        result = analyze_paths([tmp_path])
+        files = [f.file for f in result.findings]
+        assert files == sorted(files)
+        payload = result.to_dict()
+        assert payload["ok"] is False
+        assert payload["files_scanned"] == 2
+        json.dumps(payload)  # round-trips
+
+    def test_blanket_ignore_suppresses_all_rules(self, tmp_path):
+        write(tmp_path, "any.py", """\
+import numpy as np
+X = np.random.rand(2)  # repro: ignore
+""")
+        result = analyze_paths([tmp_path])
+        assert result.ok
+
+    def test_default_rules_expose_four_repo_checkers(self):
+        ids = {rule.rule_id for rule in default_rules()}
+        assert ids == {
+            "lock-discipline",
+            "fingerprint-completeness",
+            "determinism",
+            "csr-canonical",
+        }
+
+
+# ---------------------------------------------------------------------- #
+# CLI: python -m repro.analysis
+# ---------------------------------------------------------------------- #
+
+
+def run_cli(*argv, cwd=None):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        capture_output=True, text=True, cwd=cwd or REPO_ROOT, env=env,
+    )
+
+
+class TestCLI:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        write(tmp_path, "fine.py", "VALUE = 1\n")
+        proc = run_cli(str(tmp_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_violation_exits_one_with_location(self, tmp_path):
+        bad = write(
+            tmp_path, "bad.py",
+            "import numpy as np\nX = np.random.rand(2)\n",
+        )
+        proc = run_cli(str(tmp_path))
+        assert proc.returncode == 1
+        assert f"{bad}:2: [determinism]" in proc.stdout
+
+    def test_json_output_is_machine_readable(self, tmp_path):
+        write(tmp_path, "bad.py", "import numpy as np\nX = np.random.rand(2)\n")
+        proc = run_cli(str(tmp_path), "--json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["ok"] is False
+        assert payload["files_scanned"] == 1
+        assert payload["findings"][0]["rule"] == "determinism"
+        assert payload["seconds"] >= 0
+
+    def test_rules_filter_and_unknown_rule(self, tmp_path):
+        write(tmp_path, "bad.py", "import numpy as np\nX = np.random.rand(2)\n")
+        only_csr = run_cli(str(tmp_path), "--rules", "csr-canonical")
+        assert only_csr.returncode == 0  # determinism hit filtered out
+        unknown = run_cli(str(tmp_path), "--rules", "no-such-rule")
+        assert unknown.returncode == 2
+        assert "unknown rule" in unknown.stderr
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for rule_id in (
+            "lock-discipline", "fingerprint-completeness",
+            "determinism", "csr-canonical",
+        ):
+            assert rule_id in proc.stdout
