@@ -31,10 +31,19 @@ wall-clock of one full ``repro.analysis`` run over ``src``, ``tests``,
 ``benchmarks``, and ``examples`` — the cost the tier-1 gate test adds
 to every CI run, tracked so checker growth stays cheap.
 
+``streaming_ingest_<n>`` (merged into ``BENCH_substrate.json``): the
+delta-ingest substrate — ``Pipeline.ingest`` absorbing an ``n``-edge
+batch (1/10/100) into live artifacts versus the cold rebuild a restart
+pays (load the edited graph, retrain metapath2vec, full prepare).  Runs
+on a larger DBLP fixture than the other substrate benches: row-scoped
+invalidation is a locality story, and a 100-edge batch on a few hundred
+nodes dirties everything.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [--out BENCH_substrate.json]
-        [--serving-out BENCH_serving.json] [--only substrate|serving|analysis]
+        [--serving-out BENCH_serving.json]
+        [--only substrate|serving|analysis|streaming]
         [--rounds 3] [--authors 200 --papers 700 --conferences 12]
 
 The numbers are wall-clock seconds on whatever machine runs this —
@@ -311,6 +320,115 @@ def run_serving_benches(
     return {"meta": meta, "results": results}
 
 
+def run_streaming_benches(
+    rounds: int,
+    authors: int = 5000,
+    papers: int = 17500,
+    conferences: int = 500,
+    batch_sizes=(1, 10, 100),
+):
+    """Time delta ingest against the cold rebuild it replaces.
+
+    The live path owns a prepared :class:`~repro.api.Pipeline` and pays
+    only :meth:`~repro.api.Pipeline.ingest` (embeddings are retained —
+    the documented live-serving contract).  The cold path is what a
+    restart costs on the edited graph: load, train metapath2vec from
+    scratch, full staged prepare.  Edit batches are shaped like real
+    publication events (~4 authors per touched paper) rather than
+    uniform scatter, which no streaming workload resembles.
+    """
+    import statistics as _stats
+
+    from repro.api import Pipeline
+    from repro.core import ConCHConfig
+    from repro.data import DBLPConfig, load_dataset
+    from repro.embedding.metapath2vec import metapath2vec_embeddings
+    from repro.hin.engine import get_engine
+    from repro.hin.graph import EdgeDelta
+
+    embed_settings = dict(dim=16, num_walks=2, walk_length=10, epochs=1, seed=0)
+    config = ConCHConfig(
+        k=5, context_dim=16, embed_num_walks=2, embed_walk_length=10,
+        embed_epochs=1, max_instances=8,
+    )
+
+    def fresh():
+        return load_dataset(
+            "dblp",
+            config=DBLPConfig(
+                num_authors=authors,
+                num_papers=papers,
+                num_conferences=conferences,
+            ),
+        )
+
+    base = fresh()
+    embeddings = metapath2vec_embeddings(
+        base.hin, base.metapaths, **embed_settings
+    )
+
+    rng = np.random.default_rng(7)
+    results = {}
+    for batch in batch_sizes:
+        ingest_seconds, cold_seconds = [], []
+        patched_products = patched_views = patched_rows = 0
+        for _ in range(rounds):
+            touched = rng.choice(papers, size=max(1, batch // 4), replace=False)
+            delta = EdgeDelta.additions(
+                "writes",
+                rng.integers(0, authors, size=batch),
+                rng.choice(touched, size=batch),
+            )
+
+            live = fresh()
+            engine = get_engine(live.hin)
+            engine.invalidate()
+            pipeline = Pipeline(live, config=config)
+            pipeline.prepare(embeddings=embeddings)
+            started = time.perf_counter()
+            pipeline.ingest(delta)
+            ingest_seconds.append(time.perf_counter() - started)
+            stats = engine.stats()
+            patched_products = stats["patched_products"]
+            patched_views = stats["patched_views"]
+            patched_rows = stats["patched_rows"]
+
+            started = time.perf_counter()
+            cold = fresh()
+            cold.hin.apply_delta(delta)
+            get_engine(cold.hin).invalidate()
+            cold_embeddings = metapath2vec_embeddings(
+                cold.hin, cold.metapaths, **embed_settings
+            )
+            Pipeline(cold, config=config).prepare(embeddings=cold_embeddings)
+            cold_seconds.append(time.perf_counter() - started)
+
+        entry = _summary(ingest_seconds)
+        entry["cold_rebuild_seconds_mean"] = _stats.fmean(cold_seconds)
+        entry["cold_rebuild_seconds_min"] = min(cold_seconds)
+        entry["speedup_vs_cold"] = (
+            entry["cold_rebuild_seconds_mean"] / entry["seconds_mean"]
+        )
+        entry["edges_per_batch"] = batch
+        entry["patched_products"] = patched_products
+        entry["patched_views"] = patched_views
+        entry["patched_rows"] = patched_rows
+        results[f"streaming_ingest_{batch}"] = entry
+
+    results["streaming_meta"] = {
+        "dataset": {
+            "name": "dblp-synthetic",
+            "authors": authors,
+            "papers": papers,
+            "conferences": conferences,
+        },
+        "rounds": rounds,
+        "edit_shape": "~4 authors per touched paper",
+        "cold_rebuild": "load + metapath2vec + full prepare",
+    }
+    return results
+
+
 def run_analysis_bench(rounds: int):
     """Time the static-analysis gate over the repo's own gated trees."""
     from repro.analysis import analyze_paths, default_rules
@@ -365,7 +483,9 @@ def main() -> None:
         help="serving JSON path (default: ./BENCH_serving.json)",
     )
     parser.add_argument(
-        "--only", choices=("substrate", "serving", "analysis"), default=None,
+        "--only",
+        choices=("substrate", "serving", "analysis", "streaming"),
+        default=None,
         help="run just one bench family (default: all)",
     )
     parser.add_argument("--rounds", type=int, default=3)
@@ -390,8 +510,13 @@ def main() -> None:
         out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {out}")
         _print_results(payload)
-    if args.only in (None, "analysis"):
-        # Merged into the substrate file: the gate's cost is part of the
+    for family, runner in (
+        ("analysis", lambda: run_analysis_bench(args.rounds)),
+        ("streaming", lambda: run_streaming_benches(args.rounds)),
+    ):
+        if args.only not in (None, family):
+            continue
+        # Merged into the substrate file: both families belong to the
         # same CI-perf trajectory the substrate numbers track.
         out = Path(args.out)
         if out.exists():
@@ -406,14 +531,21 @@ def main() -> None:
                 },
                 "results": {},
             }
-        payload["results"].update(run_analysis_bench(args.rounds))
+        payload["results"].update(runner())
         out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {out} (analysis)")
+        print(f"wrote {out} ({family})")
         _print_results({"results": {
             name: entry
             for name, entry in payload["results"].items()
-            if name.startswith("analysis_")
+            if name.startswith(f"{family}_") and isinstance(entry, dict)
         }})
+        if family == "streaming":
+            for name, entry in sorted(payload["results"].items()):
+                if name.startswith("streaming_ingest_"):
+                    print(
+                        f"  {name:<24} speedup vs cold rebuild "
+                        f"{entry['speedup_vs_cold']:.1f}x"
+                    )
 
 
 if __name__ == "__main__":

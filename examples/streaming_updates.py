@@ -1,0 +1,116 @@
+"""Live delta ingest: update a serving model without a restart.
+
+Builds the DBLP pipeline, trains ConCH, puts the model behind the
+micro-batching server, then streams edge-batch edits (new papers being
+written, stale authorships retracted) through the whole substrate:
+
+- ``HIN.apply_delta`` bumps the graph version and chains the content
+  hash,
+- the commuting engine patches only the dirty rows of its cached
+  products and resplices the affected top-k neighbor lists,
+- the pipeline re-enumerates only dirty-rooted contexts and splices
+  the rest (``StageEvent.action == "patched"``),
+- ``ModelHandle.refresh`` publishes the new operators as one atomic
+  generation swap — queries in flight keep being answered throughout.
+
+The final section verifies the live path against a cold rebuild of the
+mutated graph: predictions agree exactly, with no restart and no
+retraining.
+
+Usage:  python examples/streaming_updates.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.api import ConCHEstimator, ModelHandle, Pipeline
+from repro.core import ConCHConfig
+from repro.data import DBLPConfig, load_dataset, stratified_split
+from repro.embedding import metapath2vec_embeddings
+from repro.hin.graph import EdgeDelta
+from repro.serve import ModelServer
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    config = ConCHConfig(
+        k=4,
+        num_layers=2,
+        context_dim=16,
+        max_instances=8,
+        embed_num_walks=2,
+        embed_walk_length=10,
+        embed_epochs=1,
+        epochs=20,
+        patience=8,
+    )
+    dataset = load_dataset(
+        "dblp",
+        config=DBLPConfig(num_authors=200, num_papers=700, num_conferences=12),
+    )
+    num_authors = dataset.hin.num_nodes("A")
+    num_papers = dataset.hin.num_nodes("P")
+
+    # ---- Train once, serve forever ---------------------------------- #
+    embeddings = metapath2vec_embeddings(
+        dataset.hin,
+        dataset.metapaths,
+        dim=config.context_dim,
+        num_walks=config.embed_num_walks,
+        walk_length=config.embed_walk_length,
+        epochs=config.embed_epochs,
+        seed=config.seed,
+    )
+    pipeline = Pipeline(dataset, config=config)
+    pipeline.prepare(embeddings=embeddings)
+    split = stratified_split(dataset.labels, 0.2, seed=0)
+    estimator = ConCHEstimator(pipeline.data, config).fit(split)
+    handle = ModelHandle.from_estimator(estimator)
+
+    watched = np.arange(16)
+    with ModelServer(handle, max_wait_ms=1, pipeline=pipeline) as server:
+        before = server.predict_nodes(watched, timeout=30.0)
+        print(f"serving generation {handle.generation}, "
+              f"graph version {dataset.hin.version}")
+
+        # ---- Stream three edit batches through the live server ------ #
+        for round_index in range(3):
+            batch = 8 * (round_index + 1)
+            delta = EdgeDelta.additions(
+                "writes",
+                rng.integers(0, num_authors, size=batch),
+                rng.integers(0, num_papers, size=batch),
+            )
+            started = time.perf_counter()
+            summary = server.ingest(delta)
+            elapsed = time.perf_counter() - started
+            stats = pipeline.engine.stats()
+            print(
+                f"ingested {batch:2d} edges in {elapsed * 1000:6.1f} ms -> "
+                f"generation {summary['generation']}, "
+                f"graph version {summary['graph_version']}, "
+                f"stages {[action for _, action in summary['stages']]}, "
+                f"patched rows so far {stats['patched_rows']}"
+            )
+            applied = delta
+        after = server.predict_nodes(watched, timeout=30.0)
+
+    moved = int((before != after).sum())
+    print(f"watched predictions changed for {moved}/{watched.size} authors "
+          f"without a restart")
+
+    # ---- Cold rebuild cross-check (same weights, mutated graph) ----- #
+    cold = Pipeline(dataset, config=config)
+    cold.prepare(embeddings=embeddings)
+    cold_handle = ModelHandle(cold.data, config, estimator.trainer.model)
+    agreement = np.array_equal(
+        handle.predict_nodes(watched), cold_handle.predict_nodes(watched)
+    )
+    print(f"live ingest == cold rebuild on the mutated graph: {agreement}")
+    assert agreement
+    assert applied.num_edits == 24
+
+
+if __name__ == "__main__":
+    main()

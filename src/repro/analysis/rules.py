@@ -1,6 +1,6 @@
 """Repo-specific invariant checkers for ``python -m repro.analysis``.
 
-Four rules, one per invariant the concurrent tier (PRs 3-5) rests on:
+Five rules, one per invariant the concurrent and streaming tiers rest on:
 
 ``lock-discipline``
     Attributes declared ``# guarded-by: <lock>`` must only be read or
@@ -30,6 +30,15 @@ Four rules, one per invariant the concurrent tier (PRs 3-5) rests on:
     product poisons every zero-copy reader.  Either call
     ``.sort_indices()`` on the result or build through
     ``csr_from_components`` (whose caller contract is sortedness).
+
+``delta-discipline``
+    HIN edge storage (``_biadjacency`` entries, or matrices returned by
+    ``relation_matrix``) must never be mutated outside
+    :class:`repro.hin.graph.HIN` — all edits go through ``apply_delta``,
+    which bumps the graph version, records touched rows, and keeps the
+    delta-chained content hash honest.  A direct array write silently
+    desynchronizes every cached product, artifact key, and live serving
+    generation derived from the graph.
 
 Every rule honors ``# repro: ignore[rule-id]`` line suppressions.
 """
@@ -545,10 +554,198 @@ class CSRCanonicalRule(Rule):
         return None
 
 
+# ---------------------------------------------------------------------- #
+# delta-discipline
+# ---------------------------------------------------------------------- #
+
+
+class DeltaDisciplineRule(Rule):
+    """HIN edge arrays are only mutated through ``HIN.apply_delta``."""
+
+    rule_id = "delta-discipline"
+    description = (
+        "edge storage (_biadjacency / relation_matrix results) must not "
+        "be mutated outside HIN; route edits through apply_delta"
+    )
+
+    #: Classes whose bodies own the storage and may rebuild it.
+    EXEMPT_CLASSES = ("HIN",)
+
+    #: In-place scipy.sparse methods that rewrite the component arrays.
+    MUTATING_METHODS = frozenset(
+        {
+            "sum_duplicates",
+            "eliminate_zeros",
+            "setdiag",
+            "sort_indices",
+            "sorted_indices",
+            "prune",
+            "resize",
+        }
+    )
+
+    #: Conversions that *share* the receiver's buffers (``tocsr`` on a
+    #: CSR returns the same object; ``tocoo`` views the same data array),
+    #: so an alias through them still reaches graph-owned storage.
+    ALIAS_PASSTHROUGH = frozenset({"tocsr", "tocoo", "tocsc"})
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        exempt: Set[int] = set()
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name in self.EXEMPT_CLASSES
+            ):
+                for sub in ast.walk(node):
+                    exempt.add(id(sub))
+        yield from self._check_scope(source, source.tree.body, set(), exempt)
+
+    def _suspicious(self, node: ast.expr, aliases: Set[str]) -> bool:
+        """Does this expression chain reach graph-owned edge storage?"""
+        while True:
+            if isinstance(node, ast.Attribute):
+                if node.attr == "_biadjacency":
+                    return True
+                node = node.value
+            elif isinstance(node, ast.Subscript):
+                node = node.value
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute):
+                    if func.attr == "relation_matrix":
+                        return True
+                    if func.attr in self.ALIAS_PASSTHROUGH:
+                        node = func.value
+                        continue
+                return False
+            elif isinstance(node, ast.Name):
+                return node.id in aliases
+            else:
+                return False
+
+    def _check_scope(
+        self,
+        source: SourceFile,
+        body: Sequence[ast.stmt],
+        aliases: Set[str],
+        exempt: Set[int],
+    ) -> Iterator[Finding]:
+        """Walk statements in source order, tracking matrix aliases.
+
+        ``aliases`` holds local names currently bound to graph-owned
+        matrices; a rebinding to anything else (``m = m.copy()``) drops
+        the name, so the io.py sort-a-copy idiom stays clean.
+        """
+        for stmt in body:
+            if id(stmt) in exempt:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(
+                    source, stmt.body, set(), exempt
+                )
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._check_scope(
+                    source, stmt.body, set(), exempt
+                )
+                continue
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.Delete)):
+                yield from self._check_stores(source, stmt, aliases)
+            if isinstance(stmt, ast.Assign):
+                live = self._suspicious(stmt.value, aliases)
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if live:
+                            aliases.add(target.id)
+                        else:
+                            aliases.discard(target.id)
+            # Compound statements: check only their own expressions here
+            # (tests, iterables, with-items) — their blocks are walked
+            # above/below with the live alias set, so a full ast.walk
+            # would double-report every nested call.
+            if isinstance(stmt, (ast.If, ast.While, ast.For, ast.With, ast.Try)):
+                shallow: List[ast.AST] = []
+                for attr in ("test", "iter"):
+                    child = getattr(stmt, attr, None)
+                    if child is not None:
+                        shallow.append(child)
+                for with_item in getattr(stmt, "items", []) or []:
+                    shallow.append(with_item.context_expr)
+                for expr in shallow:
+                    yield from self._check_calls(source, expr, aliases)
+            else:
+                yield from self._check_calls(source, stmt, aliases)
+            for field_name in ("body", "orelse", "finalbody"):
+                child = getattr(stmt, field_name, None)
+                if isinstance(child, list) and child and isinstance(
+                    child[0], ast.stmt
+                ):
+                    yield from self._check_scope(
+                        source, child, aliases, exempt
+                    )
+            for handler in getattr(stmt, "handlers", []) or []:
+                yield from self._check_scope(
+                    source, handler.body, aliases, exempt
+                )
+
+    def _check_stores(
+        self,
+        source: SourceFile,
+        stmt: ast.stmt,
+        aliases: Set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+        else:
+            targets = list(stmt.targets)  # Delete
+        for target in targets:
+            if not isinstance(target, (ast.Subscript, ast.Attribute)):
+                continue
+            if not self._suspicious(target, aliases):
+                continue
+            found = self.finding(
+                source,
+                target,
+                "direct mutation of HIN edge storage outside apply_delta "
+                "— the graph version, touched-row log, and chained "
+                "content hash all go stale; apply an EdgeDelta instead",
+            )
+            if found is not None:
+                yield found
+
+    def _check_calls(
+        self,
+        source: SourceFile,
+        stmt: ast.stmt,
+        aliases: Set[str],
+    ) -> Iterator[Finding]:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in self.MUTATING_METHODS:
+                continue
+            if not self._suspicious(func.value, aliases):
+                continue
+            found = self.finding(
+                source,
+                node,
+                f"in-place '{func.attr}()' on HIN edge storage outside "
+                f"apply_delta — copy first, or apply an EdgeDelta",
+            )
+            if found is not None:
+                yield found
+
+
 #: Registry consumed by :func:`repro.analysis.core.default_rules`.
 ALL_RULES = (
     LockDisciplineRule,
     FingerprintCompletenessRule,
     DeterminismRule,
     CSRCanonicalRule,
+    DeltaDisciplineRule,
 )

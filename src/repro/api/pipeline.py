@@ -72,11 +72,14 @@ class StageEvent:
     ``waited`` means another worker held the stage's claim and this
     pipeline loaded its write-through instead of recomputing (the
     cluster-wide stage dedupe; see ``ArtifactStore.claim``).
+    ``patched`` means :meth:`Pipeline.ingest` updated the stage's
+    artifact incrementally from an edge delta instead of recomputing it
+    from scratch.
     """
 
     stage: str
     key: str
-    action: str          # "computed" | "loaded" | "waited"
+    action: str          # "computed" | "loaded" | "waited" | "patched"
     seconds: float
     detail: Dict[str, object] = field(default_factory=dict)
 
@@ -551,6 +554,225 @@ class Pipeline:
         if self._data is None:
             self.prepare()
         return self._data
+
+    # -------------------------------------------------------------- #
+    # Delta ingest: patch prepared artifacts after an edge-batch edit
+    # -------------------------------------------------------------- #
+
+    def ingest(
+        self,
+        delta,
+        embeddings: Optional[Dict[str, np.ndarray]] = None,
+    ) -> List[StageEvent]:
+        """Apply an :class:`~repro.hin.graph.EdgeDelta` and patch stages.
+
+        Applies the delta to the dataset's HIN (bumping its version and
+        chaining the content hash), lets the engine patch its cached
+        products row-wise, re-enumerates only the contexts whose
+        full-chain product rows changed, and splices the context-feature
+        rows of unaffected pairs — producing artifacts bit-identical to
+        a cold :meth:`prepare` on the mutated graph under the same
+        initial embeddings.  Each patched stage logs a
+        :class:`StageEvent` with ``action == "patched"`` under the
+        post-delta content key, so a later resume from the store is warm.
+
+        Initial embeddings are *not* retrained: the incremental path
+        keeps the embeddings featurize ran with (or ``embeddings`` when
+        given), which is exactly the live-serving contract.  When no
+        embeddings are available (featurize was loaded from a store by
+        another process) and contexts are enabled, featurize falls back
+        to a full recompute and logs ``"computed"``.
+
+        Requires a prepared pipeline; returns the events it logged.
+        The fit stage is untouched — refresh a served model with
+        :meth:`repro.api.serving.ModelHandle.refresh`.
+        """
+        if self._plan is None or self._context_set is None:
+            raise RuntimeError(
+                "ingest() needs a prepared pipeline; call prepare() first"
+            )
+        from repro.hin.context import patch_context_batch
+        from repro.hin.neighbors import NeighborFilter
+
+        engine = self.engine  # bind pre-delta so ingest sees the chain
+        hin = self.dataset.hin
+        config = self.config
+        events_before = len(self.stage_log)
+        record = hin.apply_delta(delta)
+
+        # --- discover: the plan is graph-independent; re-key it. ------
+        started = time.perf_counter()
+        extra = self.discover_source
+        if self.discover_source == "dataset":
+            declared = ";".join(
+                "-".join(m.node_types) for m in self.dataset.metapaths
+            )
+            extra = f"{extra}|{declared}"
+        plan = MetaPathPlan(
+            key=self._key("discover", extra=extra),
+            node_types=list(self._plan.node_types),
+            names=list(self._plan.names),
+            source=self._plan.source,
+        )
+        self._persist(plan)
+        self._plan = plan
+        self._log(
+            "discover", plan.key, "patched", time.perf_counter() - started,
+            metapaths=plan.names,
+        )
+
+        # --- compose: the engine patches dirty product rows in place. -
+        started = time.perf_counter()
+        key = self._key("compose", extra=plan.plan_fingerprint())
+        before = len(engine.compose_log)
+        patched_before = len(engine.patch_log)
+        metapaths = plan.metapaths()
+        dirty: Dict[int, np.ndarray] = {}
+        product_keys, nnz, seconds = [], [], []
+        for index, metapath in enumerate(metapaths):
+            # First engine touch syncs it: row-scoped patch, or a full
+            # invalidation when the delta dirties too much of the graph.
+            dirty[index] = engine.dirty_rows(
+                tuple(metapath.node_types), [record]
+            )
+            product = engine.counts(metapath)
+            product_key = tuple(metapath.node_types)
+            product_keys.append(product_key)
+            nnz.append(int(product.nnz))
+            seconds.append(engine.compose_seconds.get(product_key, 0.0))
+        report = ComposeReport(
+            key=key,
+            product_keys=product_keys,
+            nnz=nnz,
+            compose_seconds=seconds,
+            composed=len(engine.compose_log) - before,
+        )
+        self._persist(report)
+        self._compose_report = report
+        self._log(
+            "compose", key, "patched", time.perf_counter() - started,
+            composed=report.composed,
+            patched_products=len(engine.patch_log) - patched_before,
+        )
+
+        # --- enumerate: re-enumerate only dirty-rooted pairs. ---------
+        started = time.perf_counter()
+        key = self._key("enumerate", extra=plan.plan_fingerprint())
+        neighbor_filter = NeighborFilter(
+            k=config.k, strategy=config.neighbor_strategy
+        )
+        # Fresh rng in the cold stage's exact draw order, so retained
+        # pairs bit-match a from-scratch enumerate on the mutated graph.
+        rng = np.random.default_rng(config.seed)
+        pairs_list, ids_list, indptr_list = [], [], []
+        totals_list, truncated_list = [], []
+        patch_info = []  # (need, fresh, old_index) per meta-path
+        reenumerated = []
+        for index, metapath in enumerate(metapaths):
+            pairs = neighbor_filter.retained_pairs(hin, metapath, rng=rng)
+            pairs_list.append(pairs)
+            if not config.use_contexts:
+                ids_list.append(None)
+                indptr_list.append(None)
+                totals_list.append(None)
+                truncated_list.append(None)
+                patch_info.append(None)
+                continue
+            old_batch = self._context_set.batch(index, metapath)
+            batch, need, fresh, old_index = patch_context_batch(
+                hin, metapath, old_batch, pairs, dirty[index],
+                max_instances=config.max_instances,
+            )
+            pairs_list[-1] = batch.pairs
+            ids_list.append(batch.instance_ids)
+            indptr_list.append(batch.indptr)
+            totals_list.append(batch.total_counts)
+            truncated_list.append(batch.truncated)
+            patch_info.append((need, fresh, old_index))
+            reenumerated.append(int(need.sum()))
+        context_set = ContextSet(
+            key=key,
+            pairs=pairs_list,
+            instance_ids=ids_list,
+            indptr=indptr_list,
+            total_counts=totals_list,
+            truncated=truncated_list,
+        )
+        self._persist(context_set)
+        old_features = (
+            list(self._feature_set.context_features)
+            if self._feature_set is not None
+            else None
+        )
+        self._context_set = context_set
+        self._log(
+            "enumerate", key, "patched", time.perf_counter() - started,
+            pairs=[int(p.shape[0]) for p in context_set.pairs],
+            reenumerated=reenumerated,
+        )
+
+        # --- featurize: splice feature rows of unaffected pairs. ------
+        embeds = embeddings if embeddings is not None else self._embeddings
+        if embeddings is not None:
+            self._off_key_features = True
+        if config.use_contexts and (embeds is None or old_features is None):
+            # No embeddings to featurize fresh pairs with — pay the
+            # full stage (it retrains metapath2vec on the new graph).
+            self._feature_set = None
+            self._data = None
+            self.featurize()
+            self.prepare()
+            return self.stage_log[events_before:]
+        started = time.perf_counter()
+        key = self._key("featurize", extra=plan.plan_fingerprint())
+        from repro.core.bipartite_conv import neighbor_adjacency_from_pairs
+        from repro.core.context_features import context_features_from_batch
+        from repro.core.trainer import ConCHData, MetaPathData
+        from repro.hin.bipartite import incidence_from_pairs
+
+        self._embeddings = embeds
+        num_objects = self.dataset.num_targets
+        metapath_data: List[MetaPathData] = []
+        for index, metapath in enumerate(metapaths):
+            pairs = pairs_list[index]
+            if config.use_contexts:
+                need, fresh, old_index = patch_info[index]
+                keep = ~need
+                dim = embeds[metapath.source_type].shape[1]
+                features = np.zeros((pairs.shape[0], dim))
+                features[keep] = old_features[index][old_index[keep]]
+                if need.any():
+                    features[need] = context_features_from_batch(fresh, embeds)
+                truncated = int(truncated_list[index].sum())
+            else:
+                features = np.zeros((pairs.shape[0], config.context_dim))
+                truncated = 0
+            metapath_data.append(
+                MetaPathData(
+                    metapath=metapath,
+                    incidence=incidence_from_pairs(pairs, num_objects),
+                    context_features=features,
+                    neighbor_adj=neighbor_adjacency_from_pairs(
+                        pairs, num_objects
+                    ),
+                    truncated_contexts=truncated,
+                )
+            )
+        data = ConCHData(
+            name=self.dataset.name,
+            features=self.dataset.features,
+            labels=self.dataset.labels,
+            num_classes=self.dataset.num_classes,
+            metapath_data=metapath_data,
+            substrate_stats=engine.stats(),
+        )
+        self._data = data
+        feature_set = FeatureSet.from_conch_data(key, data)
+        if not self._off_key_features:
+            self._persist(feature_set)
+        self._feature_set = feature_set
+        self._log("featurize", key, "patched", time.perf_counter() - started)
+        return self.stage_log[events_before:]
 
     def fit(  # fingerprint-stage: fit
         self,

@@ -49,6 +49,17 @@ against the bundle's stat identity and rebuilt when stale; concurrent
 first loads build them once per cluster (claim-file dedupe).  Pass
 ``mmap=False`` to force private heap copies.
 
+Live refresh (delta ingest)
+---------------------------
+:meth:`ModelHandle.refresh` swaps the whole operator tier — incidence
+operators, their transposes, context features — for the artifacts a
+:meth:`repro.api.Pipeline.ingest` produced after an edge delta.  The
+next generation is built entirely outside the lock and published with a
+single pointer swap; every query takes one snapshot up front, so
+concurrent readers always see a complete generation (never operators
+from one and features from another).  Model weights are untouched:
+refresh changes *what the graph looks like*, not what the model learned.
+
 Request semantics (shared by every query path)
 ----------------------------------------------
 - **empty** id arrays return an empty result of the right shape;
@@ -63,6 +74,7 @@ Request semantics (shared by every query path)
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -73,6 +85,25 @@ from repro.autograd.tensor import Tensor, no_grad
 
 #: Suffix of the sidecar directory holding a bundle's mapped payloads.
 BUNDLE_SIDECAR_SUFFIX = ".mmap"
+
+
+class _OperatorState:
+    """One immutable generation of a handle's operator tier.
+
+    Readers snapshot the whole tier in one pointer read
+    (:meth:`ModelHandle._snapshot`), so a concurrent
+    :meth:`ModelHandle.refresh` — which builds the next generation
+    off-lock and swaps the pointer — can never expose a torn view
+    (operators of one generation with context features of another).
+    """
+
+    __slots__ = ("operators", "transposed", "context_features", "generation")
+
+    def __init__(self, operators, transposed, context_features, generation):
+        self.operators: List[sp.csr_matrix] = operators
+        self.transposed: List[Optional[sp.csr_matrix]] = transposed
+        self.context_features: List[Optional[np.ndarray]] = context_features
+        self.generation = int(generation)
 
 
 class ModelHandle:
@@ -90,29 +121,99 @@ class ModelHandle:
         self.model.eval()
         self.use_contexts = bool(config.use_contexts)
         self.num_objects = data.features.shape[0]
-        # Row-sliceable cached operators.  Incidence transposes answer
-        # "which objects touch these contexts" by row slicing too; the
-        # mapped loader passes them precomputed (so they map from disk),
-        # otherwise they are materialized here once.
-        self._operators: List[sp.csr_matrix] = []
-        self._transposed: List[Optional[sp.csr_matrix]] = []
-        self._context_features: List[Optional[np.ndarray]] = []
-        for index, m in enumerate(data.metapath_data):
-            if self.use_contexts:
-                operator = sp.csr_matrix(m.incidence)
-                if transposed is not None and transposed[index] is not None:
-                    self._transposed.append(transposed[index])
-                else:
-                    self._transposed.append(sp.csr_matrix(operator.T))
-                self._context_features.append(m.context_features)
-            else:
-                operator = sp.csr_matrix(m.neighbor_adj)
-                self._transposed.append(None)
-                self._context_features.append(None)
-            self._operators.append(operator)
+        # Row-sliceable cached operators, bundled into one immutable
+        # generation (see _OperatorState) so refresh() can swap them
+        # atomically under live queries.
+        self._refresh_lock = threading.Lock()
+        self._state = self._build_state(  # guarded-by: _refresh_lock
+            data.metapath_data, transposed=transposed, generation=0
+        )
         #: Telemetry of the most recent query: sizes of the induced
         #: subgraph vs. the full graph.
         self.last_query_stats: Dict[str, object] = {}
+
+    def _build_state(
+        self, metapath_data, transposed=None, generation=0
+    ) -> _OperatorState:
+        """Materialize one operator generation from per-meta-path data.
+
+        Incidence transposes answer "which objects touch these contexts"
+        by row slicing too; the mapped loader passes them precomputed
+        (so they map from disk), otherwise they are materialized here.
+        """
+        operators: List[sp.csr_matrix] = []
+        transposed_out: List[Optional[sp.csr_matrix]] = []
+        context_features: List[Optional[np.ndarray]] = []
+        for index, m in enumerate(metapath_data):
+            if self.use_contexts:
+                operator = sp.csr_matrix(m.incidence)
+                if transposed is not None and transposed[index] is not None:
+                    transposed_out.append(transposed[index])
+                else:
+                    transposed_out.append(sp.csr_matrix(operator.T))
+                context_features.append(m.context_features)
+            else:
+                operator = sp.csr_matrix(m.neighbor_adj)
+                transposed_out.append(None)
+                context_features.append(None)
+            if operator.shape[0] != self.num_objects:
+                raise ValueError(
+                    f"operator {index} covers {operator.shape[0]} objects, "
+                    f"handle serves {self.num_objects}"
+                )
+            operators.append(operator)
+        return _OperatorState(
+            operators, transposed_out, context_features, generation
+        )
+
+    def _snapshot(self) -> _OperatorState:
+        """The current operator generation (one consistent view)."""
+        with self._refresh_lock:
+            return self._state
+
+    # Back-compat views over the current generation (tests and examples
+    # introspect these; queries snapshot once instead — see _gather).
+    @property
+    def _operators(self) -> List[sp.csr_matrix]:
+        return self._snapshot().operators
+
+    @property
+    def _transposed(self) -> List[Optional[sp.csr_matrix]]:
+        return self._snapshot().transposed
+
+    @property
+    def _context_features(self) -> List[Optional[np.ndarray]]:
+        return self._snapshot().context_features
+
+    @property
+    def generation(self) -> int:
+        """Monotonic operator-tier generation (bumped by refresh)."""
+        return self._snapshot().generation
+
+    def refresh(self, data) -> int:
+        """Atomically swap in updated operators; returns the generation.
+
+        ``data`` is a :class:`~repro.core.trainer.ConCHData` (e.g.
+        ``pipeline.data`` after :meth:`repro.api.Pipeline.ingest`) or a
+        bare ``metapath_data`` list.  The next generation is built
+        entirely off-lock; the swap itself is one pointer write, and
+        every query takes one snapshot up front — readers always see a
+        complete generation, never a torn mix.  The object set must be
+        unchanged (edge deltas never add nodes); model weights are
+        untouched.
+        """
+        metapath_data = getattr(data, "metapath_data", data)
+        current = self._snapshot()
+        if len(metapath_data) != len(current.operators):
+            raise ValueError(
+                f"refresh got {len(metapath_data)} meta-path towers, "
+                f"handle serves {len(current.operators)}"
+            )
+        state = self._build_state(metapath_data)
+        with self._refresh_lock:
+            state.generation = self._state.generation + 1
+            self._state = state
+            return state.generation
 
     # ------------------------------------------------------------- #
     # Constructors
@@ -188,21 +289,25 @@ class ModelHandle:
             return np.empty(0, dtype=np.int64)
         return np.unique(np.concatenate(chunks)).astype(np.int64)
 
-    def _gather(self, ids: np.ndarray):
-        """The ``2L``-hop ball of ``ids`` across every meta-path tower."""
+    def _gather(self, ids: np.ndarray, state: _OperatorState):
+        """The ``2L``-hop ball of ``ids`` across every meta-path tower.
+
+        Operates on one :class:`_OperatorState` snapshot so a concurrent
+        refresh cannot mix generations mid-gather.
+        """
         num_layers = self.config.num_layers
         objects = np.unique(ids)
         contexts: List[np.ndarray] = [
-            np.empty(0, dtype=np.int64) for _ in self._operators
+            np.empty(0, dtype=np.int64) for _ in state.operators
         ]
         for _ in range(num_layers):
             frontier = [objects]
-            for index, operator in enumerate(self._operators):
+            for index, operator in enumerate(state.operators):
                 if self.use_contexts:
                     ctx = self._rows_union(operator, objects)
                     contexts[index] = ctx
                     frontier.append(
-                        self._rows_union(self._transposed[index], ctx)
+                        self._rows_union(state.transposed[index], ctx)
                     )
                 else:
                     frontier.append(self._rows_union(operator, objects))
@@ -217,15 +322,16 @@ class ModelHandle:
         ids = self.check_ids(ids)
         if ids.size == 0:
             return np.empty((0, self.data.num_classes), dtype=np.float64)
-        objects, contexts = self._gather(ids)
+        state = self._snapshot()  # one generation for the whole query
+        objects, contexts = self._gather(ids, state)
         operators = []
         context_tensors = []
-        for index, operator in enumerate(self._operators):
+        for index, operator in enumerate(state.operators):
             if self.use_contexts:
                 ctx = contexts[index]
                 operators.append(operator[objects][:, ctx])
                 context_tensors.append(
-                    Tensor(np.asarray(self._context_features[index][ctx]))
+                    Tensor(np.asarray(state.context_features[index][ctx]))
                 )
             else:
                 operators.append(operator[objects][:, objects])
@@ -236,6 +342,7 @@ class ModelHandle:
             "subgraph_contexts": [int(c.size) for c in contexts],
             "total_objects": int(self.num_objects),
             "object_fraction": float(objects.size) / max(self.num_objects, 1),
+            "generation": state.generation,
         }
         features = Tensor(np.asarray(self.data.features[objects]))
         self.model.eval()

@@ -136,9 +136,12 @@ def HDGIMethod(dim: int = 32, epochs: int = 80):
         if key not in cache:
             cache[key] = hdgi_embeddings(dataset, dim=dim, epochs=epochs, seed=seed)
         embeddings = cache[key]
-        predictions = fit_logreg_on_embeddings(
-            embeddings, dataset.labels, split, dataset.num_classes, seed=seed
+        predictions, scores = fit_logreg_on_embeddings(
+            embeddings, dataset.labels, split, dataset.num_classes,
+            seed=seed, return_scores=True,
         )
-        return MethodOutput(test_predictions=np.asarray(predictions))
+        return MethodOutput(
+            test_predictions=np.asarray(predictions), test_scores=scores
+        )
 
     return method

@@ -55,11 +55,18 @@ def fit_logreg_on_embeddings(
     num_classes: int,
     seed: int = 0,
     settings: Optional[LogRegSettings] = None,
-) -> np.ndarray:
+    return_scores: bool = False,
+):
     """Train logreg on train embeddings; return test predictions.
 
     Features are standardized (embedding scales vary wildly across
     methods, and logreg is scale-sensitive).
+
+    With ``return_scores=True`` returns ``(test_pred, test_scores)``
+    where ``test_scores`` are the softmax class probabilities of the
+    same logits the predictions argmax over — so embedding baselines
+    can report calibrated ``predict_proba`` instead of a one-hot
+    fallback.  The predictions themselves are unchanged either way.
     """
     settings = settings or LogRegSettings()
     labels = np.asarray(labels)
@@ -92,7 +99,10 @@ def fit_logreg_on_embeddings(
 
     model.eval()
     with no_grad():
-        test_pred = model(features[split.test]).argmax(axis=1)
+        test_logits = model(features[split.test])
+    test_pred = test_logits.argmax(axis=1)
+    if return_scores:
+        return test_pred, softmax(test_logits.data)
     return test_pred
 
 

@@ -64,10 +64,13 @@ def Node2VecMethod(dim: int = 64, num_walks: int = 5, walk_length: int = 30):
             offsets = dataset.hin.global_offsets()
             start = offsets[dataset.target_type]
             cache[key] = embeddings[start: start + dataset.num_targets]
-        predictions = fit_logreg_on_embeddings(
-            cache[key], dataset.labels, split, dataset.num_classes, seed=seed
+        predictions, scores = fit_logreg_on_embeddings(
+            cache[key], dataset.labels, split, dataset.num_classes,
+            seed=seed, return_scores=True,
         )
-        return MethodOutput(test_predictions=np.asarray(predictions))
+        return MethodOutput(
+            test_predictions=np.asarray(predictions), test_scores=scores
+        )
 
     return method
 
@@ -130,10 +133,13 @@ def HIN2VecMethod(dim: int = 64, epochs: int = 3, negatives: int = 4):
                 dim=dim, epochs=epochs, negatives=negatives, seed=seed
             )
             cache[key] = hin2vec_embeddings(dataset.hin, dataset.metapaths, config)
-        predictions = fit_logreg_on_embeddings(
-            cache[key], dataset.labels, split, dataset.num_classes, seed=seed
+        predictions, scores = fit_logreg_on_embeddings(
+            cache[key], dataset.labels, split, dataset.num_classes,
+            seed=seed, return_scores=True,
         )
-        return MethodOutput(test_predictions=np.asarray(predictions))
+        return MethodOutput(
+            test_predictions=np.asarray(predictions), test_scores=scores
+        )
 
     return method
 
@@ -158,10 +164,13 @@ def LINEMethod(dim: int = 64, epochs: int = 30, order: str = "both"):
             offsets = dataset.hin.global_offsets()
             start = offsets[dataset.target_type]
             cache[key] = embeddings[start: start + dataset.num_targets]
-        predictions = fit_logreg_on_embeddings(
-            cache[key], dataset.labels, split, dataset.num_classes, seed=seed
+        predictions, scores = fit_logreg_on_embeddings(
+            cache[key], dataset.labels, split, dataset.num_classes,
+            seed=seed, return_scores=True,
         )
-        return MethodOutput(test_predictions=np.asarray(predictions))
+        return MethodOutput(
+            test_predictions=np.asarray(predictions), test_scores=scores
+        )
 
     return method
 
@@ -184,10 +193,13 @@ def PTEMethod(dim: int = 64, epochs: int = 30):
             cache[key] = pte_target_embeddings(
                 dataset.hin, dataset.target_type, config=config
             )
-        predictions = fit_logreg_on_embeddings(
-            cache[key], dataset.labels, split, dataset.num_classes, seed=seed
+        predictions, scores = fit_logreg_on_embeddings(
+            cache[key], dataset.labels, split, dataset.num_classes,
+            seed=seed, return_scores=True,
         )
-        return MethodOutput(test_predictions=np.asarray(predictions))
+        return MethodOutput(
+            test_predictions=np.asarray(predictions), test_scores=scores
+        )
 
     return method
 

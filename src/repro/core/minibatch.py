@@ -22,6 +22,7 @@ training).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -35,9 +36,13 @@ from repro.core.trainer import ConCHData
 from repro.data.splits import Split
 from repro.eval.metrics import macro_f1, micro_f1
 from repro.eval.timing import ConvergenceRecorder
+from repro.hin.cache import LRUByteCache, resident_nbytes
 from repro.nn.losses import cross_entropy
 from repro.nn.optim import Adam
 from repro.nn.schedulers import EarlyStopping
+
+#: Default byte budget for a trainer's private operator-slice cache.
+DEFAULT_SLICE_CACHE_BUDGET = 64 * 1024 * 1024
 
 
 def slice_operator(
@@ -85,6 +90,15 @@ class MiniBatchConCHTrainer:
         Hyper-parameters.
     batch_size:
         Objects per batch; ``None`` or ``>= n`` degenerates to full-batch.
+    slice_cache:
+        The :class:`~repro.hin.cache.LRUByteCache` holding row-sliced
+        operators, keyed by (tower, orientation, batch digest) — the
+        engine cache tier extended to minibatch slices.  Pass a shared
+        instance to pool slices across trainers (e.g. a seed sweep over
+        the same data); ``None`` builds a private cache with a
+        ``DEFAULT_SLICE_CACHE_BUDGET`` byte budget.  Re-sliced or
+        cached, the operators are identical objects row-for-row, so
+        training is bit-exact either way.
     """
 
     def __init__(
@@ -92,6 +106,7 @@ class MiniBatchConCHTrainer:
         data: ConCHData,
         config: ConCHConfig,
         batch_size: Optional[int] = None,
+        slice_cache: Optional[LRUByteCache] = None,
     ):
         if config.training_mode == "finetune":
             raise ValueError(
@@ -120,6 +135,23 @@ class MiniBatchConCHTrainer:
         self._context_tensors = [
             Tensor(m.context_features) for m in data.metapath_data
         ]
+        self._slice_cache = (
+            slice_cache
+            if slice_cache is not None
+            else LRUByteCache(budget=DEFAULT_SLICE_CACHE_BUDGET)
+        )
+        # Content tokens make slice keys safe in a *shared* cache:
+        # trainers over the same data hit each other's slices, trainers
+        # over different graphs can never collide.  O(nnz) once.
+        self._operator_tokens = []
+        for op in self._full_operators:
+            op = op.tocsr()
+            digest = hashlib.sha1()
+            digest.update(np.int64(op.shape[1]).tobytes())
+            digest.update(np.asarray(op.indptr).tobytes())
+            digest.update(np.asarray(op.indices).tobytes())
+            digest.update(np.asarray(op.data).tobytes())
+            self._operator_tokens.append(digest.hexdigest()[:16])
 
     # ------------------------------------------------------------------ #
     # Batch machinery
@@ -129,9 +161,28 @@ class MiniBatchConCHTrainer:
         self, batch: np.ndarray, features: np.ndarray
     ) -> Tuple[Tensor, List[sp.csr_matrix]]:
         square = not self.config.use_contexts
-        operators = [
-            slice_operator(op, batch, square) for op in self._full_operators
-        ]
+        # Slices are cached by exact batch content (row order matters:
+        # the slice's rows follow the batch), so a repeated batch — the
+        # full-batch degenerate case, curriculum replays, or a shared
+        # cache across seed-sweep trainers — pays the CSR gather once.
+        digest = hashlib.sha1(
+            np.ascontiguousarray(batch, dtype=np.int64).tobytes()
+        ).hexdigest()
+        operators = []
+        for index, op in enumerate(self._full_operators):
+            key = (
+                "minibatch-slice",
+                self._operator_tokens[index],
+                square,
+                digest,
+            )
+            sliced = self._slice_cache.get(key)
+            if sliced is None:
+                sliced = slice_operator(op, batch, square)
+                self._slice_cache.put(
+                    key, sliced, nbytes=resident_nbytes(sliced)
+                )
+            operators.append(sliced)
         return Tensor(features[batch]), operators
 
     def _batch_loss(

@@ -245,6 +245,65 @@ def csr_from_components(
     return matrix
 
 
+def splice_rows(
+    matrix: sp.csr_matrix,
+    rows: np.ndarray,
+    block: sp.csr_matrix,
+) -> sp.csr_matrix:
+    """A new CSR equal to ``matrix`` with ``rows`` replaced by ``block``.
+
+    The row-scoped patch primitive of the delta-ingest tier: the engine
+    recomposes only the dirty rows of a commuting product as a row block
+    and splices them over the stale rows.  ``rows`` must be sorted unique
+    row ids; ``block`` has ``len(rows)`` rows, same column count, and
+    sorted indices (its rows land verbatim, so per-row sortedness is the
+    caller's contract — both inputs canonical ⇒ output canonical).
+
+    ``matrix`` is never written (it may be a read-only mmap-backed
+    replica); the result owns fresh component arrays assembled with one
+    vectorized scatter per component.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    num_rows, num_cols = matrix.shape
+    if block.shape != (rows.size, num_cols):
+        raise ValueError(
+            f"block shape {block.shape} != ({rows.size}, {num_cols})"
+        )
+    old_indptr = matrix.indptr
+    old_lengths = np.diff(old_indptr)
+    new_lengths = old_lengths.copy()
+    block_lengths = np.diff(block.indptr)
+    new_lengths[rows] = block_lengths
+    indptr = np.zeros(num_rows + 1, dtype=old_indptr.dtype)
+    np.cumsum(new_lengths, out=indptr[1:])
+
+    out_data = np.empty(int(indptr[-1]), dtype=matrix.data.dtype)
+    out_indices = np.empty(int(indptr[-1]), dtype=matrix.indices.dtype)
+
+    # Kept old entries: scatter each to its row's new start + offset.
+    dirty = np.zeros(num_rows, dtype=bool)
+    dirty[rows] = True
+    old_row_ids = np.repeat(np.arange(num_rows), old_lengths)
+    keep = ~dirty[old_row_ids]
+    kept_rows = old_row_ids[keep]
+    offsets = np.arange(old_indptr[-1], dtype=np.int64) - np.repeat(
+        old_indptr[:-1].astype(np.int64), old_lengths
+    )
+    dest = indptr[kept_rows].astype(np.int64) + offsets[keep]
+    out_data[dest] = matrix.data[keep]
+    out_indices[dest] = matrix.indices[keep]
+
+    # Block entries: same scatter against the block's own offsets.
+    block_row_ids = np.repeat(rows, block_lengths)
+    block_offsets = np.arange(block.indptr[-1], dtype=np.int64) - np.repeat(
+        block.indptr[:-1].astype(np.int64), block_lengths
+    )
+    dest = indptr[block_row_ids].astype(np.int64) + block_offsets
+    out_data[dest] = block.data
+    out_indices[dest] = block.indices
+    return csr_from_components(out_data, out_indices, indptr, matrix.shape)
+
+
 # ---------------------------------------------------------------------- #
 # Raw-``.npy`` sidecar persistence (the zero-copy tier's file format)
 # ---------------------------------------------------------------------- #
@@ -612,6 +671,30 @@ class LRUByteCache:
             self._entries[key] = entry
             self._resident += int(nbytes)
             self._enforce()
+
+    def replace(
+        self, key: Hashable, value: Any, nbytes: Optional[int] = None
+    ) -> bool:
+        """Swap an existing entry's value in place; ``False`` on miss.
+
+        The patch primitive of the delta-ingest tier: unlike
+        :meth:`put` it preserves the entry's recency position, cost and
+        evictability — a patched product is the *same* cache citizen
+        with updated bytes, not a freshly admitted one.  Accounting is
+        updated to the new size and the budget re-enforced.
+        """
+        if nbytes is None:
+            nbytes = nbytes_of(value)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            self._resident += int(nbytes) - entry.nbytes
+            entry.value = value
+            entry.nbytes = int(nbytes)
+            entry.priority = self._priority(entry)
+            self._enforce()
+            return True
 
     def discard(self, key: Hashable) -> None:
         """Remove an entry without counting an eviction or spilling."""

@@ -310,6 +310,133 @@ def enumerate_contexts(
     )
 
 
+def patch_context_batch(
+    hin: HIN,
+    metapath: MetaPath,
+    old: ContextBatch,
+    pairs: np.ndarray,
+    dirty_rows: np.ndarray,
+    max_instances: int = 32,
+) -> Tuple[ContextBatch, np.ndarray, ContextBatch, np.ndarray]:
+    """Incrementally rebuild a :class:`ContextBatch` after an edge delta.
+
+    Only pairs whose context can have changed are re-enumerated; every
+    other pair's instance segment is spliced verbatim from ``old``.  The
+    result is bit-identical to ``enumerate_contexts(hin, metapath,
+    pairs, max_instances)`` on the post-delta graph.
+
+    A pair ``(u, v)`` needs re-enumeration iff it is *new* (absent from
+    ``old.pairs``) or ``u`` lies in ``dirty_rows`` — the source-type rows
+    whose full-chain product rows may differ
+    (:meth:`repro.hin.engine.CommutingEngine.dirty_rows`).  Checking
+    ``u`` alone is exact: any instance (old or removed) of the pair that
+    crosses an edited edge has an unchanged hop prefix up to the first
+    edited hop, so backward reachability from that hop's touched rows
+    propagates ``u`` into the dirty set.
+
+    Parameters
+    ----------
+    old:
+        The pre-delta batch for the same meta-path; its pairs must be
+        unique (retained-pair sets are) and built with the same
+        ``max_instances``.
+    pairs:
+        ``(m, 2)`` post-delta retained pairs; need not overlap ``old``.
+    dirty_rows:
+        Dirty source-type node ids for the meta-path's full chain,
+        against the *pre-delta* engine state.
+
+    Returns
+    -------
+    ``(patched, need, fresh, old_index)`` — the spliced batch, the
+    ``(m,)`` bool mask of re-enumerated pairs, the freshly enumerated
+    sub-batch over ``pairs[need]`` (same order), and the ``(m,)`` index
+    of each retained pair into ``old.pairs`` (``-1`` where new), so
+    callers can splice derived per-pair artifacts (e.g. context feature
+    rows) the same way.
+    """
+    if old.metapath.node_types != metapath.node_types:
+        raise ValueError(
+            f"batch is for {old.metapath.name!r}, not {metapath.name!r}"
+        )
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        pairs = pairs.reshape(0, 2)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(f"pairs must have shape (m, 2), got {pairs.shape}")
+    pairs = _canonicalize_pairs(metapath, pairs)
+    m = pairs.shape[0]
+
+    # Match post-delta pairs against the old batch on flattened keys.
+    num_targets = hin.num_nodes(metapath.target_type)
+    old_keys = old.pairs[:, 0] * num_targets + old.pairs[:, 1]
+    new_keys = pairs[:, 0] * num_targets + pairs[:, 1]
+    if old_keys.size:
+        order = np.argsort(old_keys, kind="stable")
+        if np.any(old_keys[order][1:] == old_keys[order][:-1]):
+            raise ValueError("old batch has duplicate pairs")
+        slot = np.minimum(
+            np.searchsorted(old_keys[order], new_keys), old_keys.size - 1
+        )
+        old_index = np.where(
+            old_keys[order][slot] == new_keys, order[slot], np.int64(-1)
+        ).astype(np.int64)
+    else:
+        old_index = np.full(m, -1, dtype=np.int64)
+
+    dirty_mask = np.zeros(hin.num_nodes(metapath.source_type), dtype=bool)
+    dirty_mask[np.asarray(dirty_rows, dtype=np.int64)] = True
+    need = (old_index < 0) | dirty_mask[pairs[:, 0]]
+
+    fresh = enumerate_contexts(hin, metapath, pairs[need], max_instances)
+
+    keep = ~need
+    kept_source = old_index[keep]
+    sizes = np.zeros(m, dtype=np.int64)
+    sizes[keep] = old.sizes[kept_source]
+    sizes[need] = fresh.sizes
+    total_counts = np.zeros(m, dtype=np.int64)
+    total_counts[keep] = old.total_counts[kept_source]
+    total_counts[need] = fresh.total_counts
+    truncated = np.zeros(m, dtype=bool)
+    truncated[keep] = old.truncated[kept_source]
+    truncated[need] = fresh.truncated
+
+    indptr = np.zeros(m + 1, dtype=np.int64)
+    np.cumsum(sizes, out=indptr[1:])
+    path_len = old.instance_ids.shape[1]
+    instance_ids = np.empty((int(indptr[-1]), path_len), dtype=np.int64)
+
+    # Kept pairs: gather their old segments, scatter at the new offsets.
+    lengths = old.sizes[kept_source]
+    total_kept = int(lengths.sum())
+    offsets = np.arange(total_kept, dtype=np.int64) - np.repeat(
+        np.cumsum(lengths) - lengths, lengths
+    )
+    src = np.repeat(old.indptr[kept_source], lengths) + offsets
+    dst = np.repeat(indptr[np.flatnonzero(keep)], lengths) + offsets
+    instance_ids[dst] = old.instance_ids[src]
+
+    # Re-enumerated pairs: fresh segments are already contiguous in the
+    # same relative order, so only the destination offsets move.
+    lengths = fresh.sizes
+    offsets = np.arange(
+        int(fresh.indptr[-1]), dtype=np.int64
+    ) - np.repeat(fresh.indptr[:-1], lengths)
+    dst = np.repeat(indptr[np.flatnonzero(need)], lengths) + offsets
+    instance_ids[dst] = fresh.instance_ids
+
+    patched = ContextBatch(
+        metapath=metapath,
+        pairs=pairs,
+        instance_ids=instance_ids,
+        indptr=indptr,
+        total_counts=total_counts,
+        truncated=truncated,
+    )
+    return patched, need, fresh, old_index
+
+
 def dfs_enumerate_path_instances(
     hin: HIN,
     metapath: MetaPath,

@@ -69,11 +69,22 @@ env var, mmap tier, cold/warm benchmarking).
 Cache invalidation
 ------------------
 :class:`~repro.hin.graph.HIN` bumps a structural version counter on every
-mutation (``add_node_type`` / ``add_edges``); the engine compares it on
-every access and drops all cached state when the graph changed.  Matrices
-returned by engine methods are shared cache entries: **treat them as
-read-only** (the legacy wrappers in :mod:`repro.hin.adjacency` hand out
-copies for callers that want ownership).
+mutation; the engine compares it on every access.  Mutations applied
+through :meth:`HIN.apply_delta` invalidate **row-scoped**: the engine
+computes the dirty rows of every cached product by backward reachability
+from the touched nodes (exact — a row whose hop rows and reachable
+suffix rows are all unchanged cannot differ), recomposes only those rows
+as a CSR row block, and splices them over the stale rows
+(:func:`repro.hin.cache.splice_rows`).  Each product carries a per-row
+version vector (:meth:`CommutingEngine.row_versions`); derived views
+over a touched chain are dropped and rebuilt lazily from the patched
+products.  Binary hop matrices make every product an exact integer in
+float64, so patched rows are bit-identical to a cold recomposition
+regardless of association order.  Non-delta mutations
+(``add_node_type`` / ``add_edges``) still drop all cached state.
+Matrices returned by engine methods are shared cache entries: **treat
+them as read-only** (the legacy wrappers in :mod:`repro.hin.adjacency`
+hand out copies for callers that want ownership).
 """
 
 from __future__ import annotations
@@ -95,8 +106,9 @@ from repro.hin.cache import (
     is_mmap_backed,
     nbytes_of,
     resident_nbytes,
+    splice_rows,
 )
-from repro.hin.graph import HIN
+from repro.hin.graph import HIN, DeltaRecord
 from repro.hin.io import hin_content_hash
 from repro.hin.metapath import MetaPath
 
@@ -315,6 +327,22 @@ class CommutingEngine:
         #: Compositions avoided by waiting on another worker's claim
         #: (concurrent-writer dedupe; see ProductStore.acquire_claim).
         self.claim_waits = 0
+        #: Per-row version stamps of each tracked product: entry ``i``
+        #: is the graph version whose delta last rewrote row ``i`` (the
+        #: build version for untouched rows).  Row-scoped invalidation
+        #: updates only the dirty stamps.
+        self._row_versions: Dict[Key, np.ndarray] = {}
+        #: True nnz observed for every product composed, loaded, or
+        #: patched this generation — survives eviction, so _split's cost
+        #: model uses measured intermediate nnz instead of the density
+        #: bound once a sub-chain has been built once.
+        self._observed_nnz: Dict[Key, int] = {}
+        #: ``(product key, dirty row count)`` per row-scoped patch this
+        #: generation — the delta-ingest twin of ``compose_log``.
+        self.patch_log: List[Tuple[Key, int]] = []
+        #: ``(view key, dirty row count)`` per derived-view patch (top-k
+        #: neighbor lists respliced instead of dropped on ingest).
+        self.view_patch_log: List[Tuple[Tuple, int]] = []
 
     @property
     def _hin(self) -> HIN:
@@ -395,9 +423,328 @@ class CommutingEngine:
     # -------------------------------------------------------------- #
 
     def _sync(self) -> None:
-        """Drop every cache when the HIN mutated since the last access."""
-        if self._hin.version != self._version:
+        """Reconcile caches with the HIN when it mutated since last access.
+
+        Mutations reconstructible as a contiguous :class:`EdgeDelta`
+        chain (``HIN.deltas_since``) are absorbed by row-scoped patching
+        (:meth:`_ingest`); anything else — unknown history, non-delta
+        mutations, or edits touching too large a node fraction — falls
+        back to the pre-delta behavior of dropping everything.
+        """
+        if self._hin.version == self._version:
+            return
+        records = self._hin.deltas_since(self._version)
+        if not records or not self._ingest(records):
             self.invalidate()
+
+    # -------------------------------------------------------------- #
+    # Row-scoped delta ingest
+    # -------------------------------------------------------------- #
+
+    #: An edit batch touching more than this fraction of a type's rows
+    #: patches per-row with no benefit over recomposition; bail to full
+    #: invalidation above it.
+    INGEST_ROW_FRACTION = 0.5
+
+    #: Similarity measures whose score ``(u, v)`` depends only on the
+    #: commuting entry and the two diagonals — the ones whose top-k
+    #: neighbor views ingest can patch per-row instead of dropping.
+    ROW_LOCAL_MEASURES = ("pathsim", "joinsim")
+
+    def _hop_dirty(
+        self, records: Sequence[DeltaRecord]
+    ) -> Dict[Tuple[str, str], np.ndarray]:
+        """Dirty rows per directed hop type pair across delta records.
+
+        An edit to relation ``src → dst`` dirties rows ``touched[src]``
+        of ``adjacency(src, dst)`` and rows ``touched[dst]`` of the
+        reverse ``adjacency(dst, src)`` (the HIN maintains reverses in
+        the same ``apply_delta``).
+        """
+        hin = self._hin
+        hop_dirty: Dict[Tuple[str, str], np.ndarray] = {}
+        for record in records:
+            info = hin.relation_info(record.relation)
+            for side, other in (
+                (info.src_type, info.dst_type),
+                (info.dst_type, info.src_type),
+            ):
+                rows = record.touched.get(side)
+                if rows is None or rows.size == 0:
+                    continue
+                key = (side, other)
+                prev = hop_dirty.get(key)
+                hop_dirty[key] = rows if prev is None else np.union1d(prev, rows)
+        return hop_dirty
+
+    @staticmethod
+    def _backward_rows(back: sp.csr_matrix, nodes: np.ndarray) -> np.ndarray:
+        """Rows of the *forward* hop with any neighbor in ``nodes``.
+
+        ``back`` is the reverse biadjacency: the forward hop's rows
+        reaching ``nodes`` are exactly the union of ``back``'s index
+        segments for those nodes (one vectorized segment gather).
+        """
+        if nodes.size == 0:
+            return nodes
+        starts = back.indptr[nodes].astype(np.int64)
+        lengths = back.indptr[nodes + 1].astype(np.int64) - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(lengths) - lengths, lengths
+        )
+        gathered = back.indices[np.repeat(starts, lengths) + offsets]
+        return np.unique(gathered.astype(np.int64))
+
+    def _dirty_rows(
+        self, key: Key, hop_dirty: Dict[Tuple[str, str], np.ndarray]
+    ) -> np.ndarray:
+        """Rows of ``product(key)`` affected by the dirty hops.
+
+        Backward recurrence from the last hop: a row at position ``j``
+        is dirty iff its own hop row changed, or it reaches (in the new
+        graph) a dirty row of the suffix product.  Exact for untouched
+        rows — their hop rows are identical in both graph generations,
+        so the new-graph reachability used here is the old one too.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if not any(
+            (key[i], key[i + 1]) in hop_dirty for i in range(len(key) - 1)
+        ):
+            return empty
+        dirty = hop_dirty.get((key[-2], key[-1]), empty)
+        for position in range(len(key) - 3, -1, -1):
+            back = self.base(key[position + 1], key[position])
+            expanded = self._backward_rows(back, dirty)
+            hop = hop_dirty.get((key[position], key[position + 1]), empty)
+            dirty = np.union1d(expanded, hop)
+        return np.asarray(dirty, dtype=np.int64)
+
+    def dirty_rows(
+        self, node_types: Sequence[str], records: Sequence[DeltaRecord]
+    ) -> np.ndarray:
+        """Public form of :meth:`_dirty_rows` for downstream tiers.
+
+        The pipeline/context layers call this with the just-applied
+        delta records to find which product rows (and hence which
+        retained pairs) need re-enumeration.
+        """
+        self._sync()
+        return self._dirty_rows(tuple(node_types), self._hop_dirty(records))
+
+    def row_versions(self, node_types: Sequence[str]) -> Optional[np.ndarray]:
+        """Per-row version stamps of a tracked product (read-only).
+
+        Entry ``i`` is the graph version whose ingest last rewrote row
+        ``i``; ``None`` when the product has not been composed (or was
+        fully invalidated) this generation.
+        """
+        return self._row_versions.get(tuple(node_types))
+
+    def _compose_rows(self, key: Key, rows: np.ndarray) -> sp.csr_matrix:
+        """Recompose only ``rows`` of a chain product as a row block.
+
+        Slices the first hop to the dirty rows, then multiplies through
+        a cached (already-patched) suffix product when one is resident,
+        falling back to a left fold over base hops.  Binary hops make
+        every product value an exact small integer in float64, so the
+        block is bit-identical to the same rows of a cold composition
+        regardless of association order.
+        """
+        block = sp.csr_matrix(self.base(key[0], key[1])[rows, :])
+        if len(key) > 2:
+            suffix = self._cache.peek(("product", key[1:]), _MISS)
+            if suffix is not _MISS:
+                block = sp.csr_matrix(block @ suffix)
+            else:
+                for position in range(1, len(key) - 1):
+                    block = sp.csr_matrix(
+                        block @ self.base(key[position], key[position + 1])
+                    )
+        block.sort_indices()
+        return block
+
+    def _ingest(self, records: Sequence[DeltaRecord]) -> bool:
+        """Absorb a delta chain by patching dirty product rows in place.
+
+        Returns ``False`` (caller falls back to :meth:`invalidate`) when
+        the edit fraction makes patching pointless.  Otherwise: stale
+        base hops are dropped (rebuilt lazily from the mutated HIN),
+        every resident product gets its dirty rows recomposed and
+        spliced (:func:`repro.hin.cache.splice_rows` via
+        :meth:`LRUByteCache.replace`, preserving cache citizenship),
+        per-row version vectors are stamped, views over touched chains
+        are dropped, and the disk store is migrated: patched products
+        are re-saved under the new content hash, and products resident
+        only on disk are patched old-hash → new-hash without ever
+        becoming whole-product recompositions.
+        """
+        hin = self._hin
+        hop_dirty = self._hop_dirty(records)
+        for (src_type, _), rows in hop_dirty.items():
+            if rows.size > max(1, hin.num_nodes(src_type)) * self.INGEST_ROW_FRACTION:
+                return False
+
+        old_hash = records[0].prev_hash
+        old_on_disk = set(self._on_disk)
+        self._on_disk.clear()
+        self._version = hin.version
+
+        for pair in list(self._base):
+            if pair in hop_dirty:
+                del self._base[pair]
+                self._cache.discard(("product", pair))
+
+        # Drop derived views whose chain crosses a dirty hop; they
+        # rebuild lazily from the patched products below.  Top-k
+        # neighbor lists under row-local measures are captured first:
+        # those are respliced per dirty row after the products are
+        # patched (the neighbor-filter fast path for streaming ingest).
+        topk_stale: List[Tuple[Tuple, List[np.ndarray]]] = []
+        for cache_key in list(self._cache.keys()):
+            if cache_key[0] == "product":
+                continue
+            chain = next(
+                (part for part in cache_key if isinstance(part, tuple)), None
+            )
+            if chain is None:
+                continue
+            if any(
+                (chain[i], chain[i + 1]) in hop_dirty
+                for i in range(len(chain) - 1)
+            ):
+                if (
+                    cache_key[0] == "top_k"
+                    and cache_key[1] in self.ROW_LOCAL_MEASURES
+                ):
+                    topk_stale.append(
+                        (cache_key, self._cache.peek(cache_key, None))
+                    )
+                self._cache.discard(cache_key)
+
+        product_keys = sorted(
+            (
+                cache_key[1]
+                for cache_key in self._cache.keys()
+                if cache_key[0] == "product" and len(cache_key[1]) > 2
+            ),
+            key=len,
+        )
+        patched: Dict[Key, sp.csr_matrix] = {}
+        needs_diag = {cache_key[2] for cache_key, _ in topk_stale}
+        old_diags: Dict[Key, np.ndarray] = {}
+        # Detach the store while patching: a budget eviction triggered
+        # by a replace must never spill a not-yet-patched stale product
+        # under the new content hash.
+        store, self._store = self._store, None
+        try:
+            for key in product_keys:
+                old = self._cache.peek(("product", key), _MISS)
+                if old is _MISS:
+                    continue  # evicted by an earlier replace
+                dirty = self._dirty_rows(key, hop_dirty)
+                if dirty.size == 0:
+                    patched[key] = old  # content unchanged; re-key on disk
+                    continue
+                if key in needs_diag:
+                    old_diags[key] = old.diagonal()
+                block = self._compose_rows(key, dirty)
+                result = splice_rows(old, dirty, block)
+                self._cache.replace(
+                    ("product", key), result, nbytes=resident_nbytes(result)
+                )
+                stamps = self._row_versions.get(key)
+                if stamps is not None:
+                    stamps[dirty] = self._version
+                self._observed_nnz[key] = int(result.nnz)
+                self.patch_log.append((key, int(dirty.size)))
+                patched[key] = result
+        finally:
+            self._store = store
+
+        # Drop telemetry for products that are dirty but no longer
+        # resident (evicted): their recorded nnz/stamps are stale.
+        for key in list(self._observed_nnz):
+            if key in patched:
+                continue
+            if self._dirty_rows(key, hop_dirty).size:
+                self._observed_nnz.pop(key, None)
+                self._row_versions.pop(key, None)
+
+        # Resplice captured top-k neighbor lists.  A clean row's own
+        # entries and diagonal are unchanged, so its scores can shift
+        # only through a dirty *column's* diagonal; the commuting matrix
+        # is symmetric (these measures require symmetric meta-paths), so
+        # candidates live in the changed diagonals' neighbor columns,
+        # and _topk_affected_rows proves per row whether a moved score
+        # can actually perturb the cached list — usually leaving a set
+        # far tighter than D's full neighbor ball to rescore.
+        for cache_key, lists in topk_stale:
+            chain, k = cache_key[2], int(cache_key[3])
+            counts = patched.get(chain)
+            if counts is None or lists is None:
+                continue  # product not resident; view rebuilds lazily
+            dirty = self._dirty_rows(chain, hop_dirty)
+            if dirty.size == 0:
+                self._cache.put(cache_key, lists)
+                continue
+            old_diag = old_diags.get(chain)
+            if old_diag is None:
+                continue  # diagonal not captured; view rebuilds lazily
+            new_diag = counts.diagonal()
+            diag_changed = dirty[old_diag[dirty] != new_diag[dirty]]
+            sim_dirty = np.union1d(
+                dirty,
+                self._topk_affected_rows(
+                    counts, lists, dirty, diag_changed,
+                    old_diag, new_diag, cache_key[1], k,
+                ),
+            )
+            if sim_dirty.size > counts.shape[0] * self.INGEST_ROW_FRACTION:
+                continue  # patch would touch most rows; rebuild lazily
+            started = time.perf_counter()
+            block = self._row_local_scores(
+                sp.csr_matrix(counts[sim_dirty]),
+                sim_dirty,
+                new_diag,
+                cache_key[1],
+            )
+            fresh_lists = csr_row_topk(block, k)
+            respliced = list(lists)
+            for local, row in enumerate(sim_dirty):
+                respliced[row] = fresh_lists[local]
+            self._cache.put(
+                cache_key, respliced, cost=time.perf_counter() - started
+            )
+            self.view_patch_log.append((cache_key, int(sim_dirty.size)))
+
+        if store is not None:
+            new_hash = self._content_hash()
+            for key, matrix in patched.items():
+                if store.save(new_hash, key, matrix):
+                    self._on_disk.add(key)
+                    self.spills += 1
+            if old_hash is not None:
+                for key in sorted(old_on_disk - set(patched), key=len):
+                    if len(key) < 3:
+                        continue
+                    stale = store.load(old_hash, key)
+                    if stale is None:
+                        continue
+                    dirty = self._dirty_rows(key, hop_dirty)
+                    if dirty.size:
+                        matrix = splice_rows(
+                            stale, dirty, self._compose_rows(key, dirty)
+                        )
+                        self.patch_log.append((key, int(dirty.size)))
+                    else:
+                        matrix = stale
+                    if store.save(new_hash, key, matrix):
+                        self._on_disk.add(key)
+                        self.spills += 1
+        return True
 
     def invalidate(self) -> None:
         """Drop all cached state and telemetry (mutation does this lazily).
@@ -419,6 +766,10 @@ class CommutingEngine:
         self.disk_hits = 0
         self.spills = 0
         self.claim_waits = 0
+        self._row_versions.clear()
+        self._observed_nnz.clear()
+        self.patch_log.clear()
+        self.view_patch_log.clear()
         self._version = self._hin.version
 
     # -------------------------------------------------------------- #
@@ -538,6 +889,10 @@ class CommutingEngine:
         self._cache.put(
             ("product", key), result, nbytes=resident_nbytes(result), cost=cost
         )
+        self._row_versions[key] = np.full(
+            result.shape[0], self._version, dtype=np.int64
+        )
+        self._observed_nnz[key] = int(result.nnz)
         return result
 
     def _compose(self, key: Key, holds_claim: bool = False) -> sp.csr_matrix:
@@ -589,13 +944,14 @@ class CommutingEngine:
     def _estimate(self, key: Key) -> Tuple[float, float]:
         """``(estimated nnz, estimated flops to build)`` of a sub-product.
 
-        Cached products report their true nnz at zero cost; otherwise nnz
-        propagates by the standard density bound
-        ``nnz(XY) <= min(rows*cols, nnz(X)*nnz(Y)/inner)`` along a left
-        fold, which is cheap and adequate for choosing among three splits.
-        (``peek`` keeps estimation from perturbing LRU recency or the
-        hit/miss counters; after eviction the estimate simply falls back
-        to the density bound — prefix sharing consults what survives.)
+        Cached products report their true nnz at zero cost.  Otherwise
+        nnz propagates along a left fold, preferring the *observed* nnz
+        of any prefix composed earlier this generation
+        (``_observed_nnz`` — survives eviction) and falling back to the
+        standard density bound
+        ``nnz(XY) <= min(rows*cols, nnz(X)*nnz(Y)/inner)`` for prefixes
+        never built.  (``peek`` keeps estimation from perturbing LRU
+        recency or the hit/miss counters.)
         """
         cached = self._cache.peek(("product", key), _MISS)
         if cached is not _MISS:
@@ -607,10 +963,17 @@ class CommutingEngine:
             hop_nnz = float(self.base(key[position], key[position + 1]).nnz)
             inner = max(1, self._hin.num_nodes(key[position]))
             cost += nnz * hop_nnz / inner
-            bound = float(
-                self._hin.num_nodes(key[0])
-            ) * self._hin.num_nodes(key[position + 1])
-            nnz = min(bound, nnz * hop_nnz / inner)
+            prefix_observed = self._observed_nnz.get(key[: position + 2])
+            if prefix_observed is not None:
+                # True intermediate nnz from a prior composition of this
+                # prefix — replaces the density-propagation bound, which
+                # badly over-estimates on skewed (hub-heavy) graphs.
+                nnz = float(prefix_observed)
+            else:
+                bound = float(
+                    self._hin.num_nodes(key[0])
+                ) * self._hin.num_nodes(key[position + 1])
+                nnz = min(bound, nnz * hop_nnz / inner)
         return nnz, cost
 
     # -------------------------------------------------------------- #
@@ -773,6 +1136,145 @@ class CommutingEngine:
         key = ("similarity", measure, tuple(metapath.node_types))
         return self._view(key, lambda: getattr(self, f"_{measure}")(metapath))
 
+    @staticmethod
+    def _row_local_pair_scores(
+        data: np.ndarray,
+        diag_u: np.ndarray,
+        diag_v: np.ndarray,
+        measure: str,
+    ) -> np.ndarray:
+        """Elementwise row-local scores; invalid denominators score -inf.
+
+        Same arithmetic as the matrix builders, applied to parallel
+        entry arrays; ``-inf`` marks entries absent from the similarity
+        matrix (zero denominator), which can never reach a top-k list.
+        """
+        if measure == "pathsim":
+            denom = diag_u + diag_v
+        else:  # joinsim
+            denom = np.sqrt(diag_u * diag_v)
+        out = np.full(data.shape, -np.inf)
+        valid = denom > 0
+        if measure == "pathsim":
+            out[valid] = 2.0 * data[valid] / denom[valid]
+        else:
+            out[valid] = np.clip(data[valid] / denom[valid], 0.0, 1.0)
+        return out
+
+    def _topk_affected_rows(
+        self,
+        counts: sp.csr_matrix,
+        lists: List[np.ndarray],
+        dirty: np.ndarray,
+        changed: np.ndarray,
+        old_diag: np.ndarray,
+        new_diag: np.ndarray,
+        measure: str,
+        k: int,
+    ) -> np.ndarray:
+        """Clean rows whose cached top-k can differ after a diagonal shift.
+
+        A clean row's entries and own diagonal are unchanged, so only
+        its scores against columns in ``changed`` moved.  The cached
+        list survives unless a moved score belongs to a *listed*
+        neighbor, or now ties/beats the row's k-th listed score (ties
+        matter: :func:`csr_row_topk` breaks them toward the lower column
+        id, so an equal score can displace).  Both conditions are decided
+        from the two diagonals and the unchanged row data — no row is
+        rescored unless this proves it necessary.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if changed.size == 0:
+            return empty
+        sub = sp.coo_matrix(counts[changed])
+        u = sub.col.astype(np.int64)
+        v = changed[sub.row]
+        data = sub.data
+        clean = ~np.isin(u, dirty)
+        u, v, data = u[clean], v[clean], data[clean]
+        if u.size == 0:
+            return empty
+        s_old = self._row_local_pair_scores(
+            data, old_diag[u], old_diag[v], measure
+        )
+        s_new = self._row_local_pair_scores(
+            data, new_diag[u], new_diag[v], measure
+        )
+        moved = s_old != s_new
+        u, v, s_new = u[moved], v[moved], s_new[moved]
+        if u.size == 0:
+            return empty
+        rows = np.unique(u)
+        width = np.int64(counts.shape[1])
+        lens = np.fromiter(
+            (len(lists[row]) for row in rows), np.int64, count=rows.size
+        )
+        if int(lens.sum()):
+            listed_u = np.repeat(rows, lens)
+            listed_w = np.concatenate(
+                [np.asarray(lists[row], dtype=np.int64) for row in rows]
+            )
+            listed_keys = np.sort(listed_u * width + listed_w)
+        else:
+            listed_keys = empty
+        hit = np.isin(u * width + v, listed_keys)
+        # Lists come out of csr_row_topk in rank order, so the k-th
+        # (boundary) score is the last listed neighbor's — one pair
+        # lookup per full row, under the *old* diagonals (rows without a
+        # listed moved neighbor kept their boundary score bit-exact).
+        kth = np.full(rows.size, -np.inf)
+        full = lens >= k
+        if full.any():
+            last_w = np.fromiter(
+                (lists[row][-1] for row in rows[full]),
+                np.int64,
+                count=int(full.sum()),
+            )
+            numer = csr_pair_values(counts, rows[full], last_w)
+            kth[full] = self._row_local_pair_scores(
+                numer, old_diag[rows[full]], old_diag[last_w], measure
+            )
+        row_pos = np.searchsorted(rows, u)
+        enter = s_new >= kth[row_pos]
+        return rows[np.unique(row_pos[hit | enter])]
+
+    @staticmethod
+    def _row_local_scores(
+        counts_rows: sp.csr_matrix,
+        rows: np.ndarray,
+        diag: np.ndarray,
+        measure: str,
+    ) -> sp.csr_matrix:
+        """Similarity scores for a row slice under a row-local measure.
+
+        ``counts_rows`` is ``counts[rows]``; the result has shape
+        ``(len(rows), n)``.  The arithmetic is the same elementwise
+        expression as the full-matrix :meth:`_pathsim` / :meth:`_joinsim`
+        builders, so each returned row is bit-identical to the matching
+        row of the full similarity matrix.
+        """
+        coo = counts_rows.tocoo()
+        local, col, data = coo.row, coo.col, coo.data
+        source = rows[local]
+        off_diag = source != col
+        local, col, data = local[off_diag], col[off_diag], data[off_diag]
+        source = source[off_diag]
+        if measure == "pathsim":
+            denom = diag[source] + diag[col]
+        else:  # joinsim
+            denom = np.sqrt(diag[source] * diag[col])
+        valid = denom > 0
+        local, col, data, denom = (
+            local[valid], col[valid], data[valid], denom[valid]
+        )
+        if measure == "pathsim":
+            scores = 2.0 * data / denom
+        else:
+            scores = np.clip(data / denom, 0.0, 1.0)
+        return sp.csr_matrix(
+            (scores, (local, col)), shape=(rows.size, diag.shape[0])
+        )
+
     def _pathsim(self, metapath: MetaPath) -> sp.csr_matrix:
         """PathSim (Eq. 1): counts and diagonal from ONE cached product."""
         self._require_symmetric(metapath, "PathSim")
@@ -878,6 +1380,11 @@ class CommutingEngine:
         """Cache telemetry for the current generation.
 
         - ``composed_products`` — chain multiplications actually run;
+        - ``patched_products`` / ``patched_rows`` — row-scoped delta
+          patches applied this generation, and the total rows respliced
+          (a patched product is *not* a recomposition);
+        - ``patched_views`` — derived top-k neighbor views respliced
+          per-row on ingest instead of dropped;
         - ``cached_products`` / ``cached_views`` / ``cached_base`` —
           entry counts currently resident;
         - ``hits`` / ``misses`` — LRU lookups across products and views;
@@ -907,6 +1414,9 @@ class CommutingEngine:
                 mapped_bytes += nbytes_of(value)
         return {
             "composed_products": len(self.compose_log),
+            "patched_products": len(self.patch_log),
+            "patched_rows": int(sum(count for _, count in self.patch_log)),
+            "patched_views": len(self.view_patch_log),
             "cached_products": cached_products,
             "cached_views": len(self._cache) - cached_products,
             "cached_base": len(self._base),

@@ -12,7 +12,9 @@ type) hang off the graph as numpy arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+import struct
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,6 +30,77 @@ class Relation:
     name: str
     src_type: str
     dst_type: str
+
+
+def _as_id_array(ids) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(ids, dtype=np.int64).ravel())
+
+
+@dataclass(frozen=True, eq=False)
+class EdgeDelta:
+    """One batch of edge edits against a single forward relation.
+
+    ``add_*`` pairs are unioned into the relation (duplicates collapse,
+    exactly like :meth:`HIN.add_edges`); ``remove_*`` pairs are dropped
+    (removing an absent edge is a no-op, but the endpoints still count
+    as touched).  Reverse relations are maintained automatically —
+    deltas always target the forward relation.
+    """
+
+    relation: str
+    add_src: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    add_dst: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    remove_src: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    remove_dst: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+    def __post_init__(self):
+        for name in ("add_src", "add_dst", "remove_src", "remove_dst"):
+            object.__setattr__(self, name, _as_id_array(getattr(self, name)))
+        if self.add_src.shape != self.add_dst.shape:
+            raise ValueError("add_src and add_dst must have the same length")
+        if self.remove_src.shape != self.remove_dst.shape:
+            raise ValueError("remove_src and remove_dst must have the same length")
+
+    @classmethod
+    def additions(cls, relation: str, src_ids, dst_ids) -> "EdgeDelta":
+        return cls(relation, add_src=src_ids, add_dst=dst_ids)
+
+    @classmethod
+    def removals(cls, relation: str, src_ids, dst_ids) -> "EdgeDelta":
+        return cls(relation, remove_src=src_ids, remove_dst=dst_ids)
+
+    @property
+    def num_edits(self) -> int:
+        return int(self.add_src.size + self.remove_src.size)
+
+    def digest(self) -> str:
+        """Content hash of this edit batch (feeds the delta chain hash)."""
+        h = hashlib.sha256(b"edge-delta-v1")
+        h.update(self.relation.encode())
+        for name in ("add_src", "add_dst", "remove_src", "remove_dst"):
+            arr = getattr(self, name)
+            h.update(struct.pack("<q", arr.size))
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
+
+@dataclass(frozen=True, eq=False)
+class DeltaRecord:
+    """Ledger entry for one applied :class:`EdgeDelta`.
+
+    ``touched`` maps node type → sorted unique row ids whose adjacency
+    rows changed (either direction of the edited relation).  Consumers
+    (:class:`repro.hin.engine.CommutingEngine`) use it for row-scoped
+    invalidation; :func:`repro.hin.io.hin_content_hash` chains
+    ``digest`` onto ``prev_hash`` so content keys stay O(delta).
+    """
+
+    prev_version: int
+    version: int
+    relation: str
+    touched: Dict[str, np.ndarray]
+    digest: str
+    prev_hash: Optional[str] = None
 
 
 class HIN:
@@ -51,6 +124,16 @@ class HIN:
         self._features: Dict[str, np.ndarray] = {}
         self._labels: Dict[str, np.ndarray] = {}
         self._version = 0
+        #: forward relation name -> auto-registered reverse name (None
+        #: when the relation is its own reverse).  Only forward names
+        #: are valid :meth:`apply_delta` targets.
+        self._reverse_of: Dict[str, Optional[str]] = {}
+        #: Recent DeltaRecords, newest last (bounded; see deltas_since).
+        self._delta_log: List[DeltaRecord] = []
+
+    #: apply_delta keeps this many records; engines further behind than
+    #: the log reaches fall back to full invalidation.
+    DELTA_LOG_LIMIT = 64
 
     @property
     def version(self) -> int:
@@ -120,7 +203,128 @@ class HIN:
         if src_type != dst_type or relation != reverse:
             self._relations[reverse] = Relation(reverse, dst_type, src_type)
             self._biadjacency[reverse] = sp.csr_matrix(matrix.T)
+            self._reverse_of[relation] = reverse
+        else:
+            self._reverse_of[relation] = None
         self._version += 1
+
+    @staticmethod
+    def _binarize_pairs(
+        src_ids: np.ndarray, dst_ids: np.ndarray, shape: Tuple[int, int]
+    ) -> sp.csr_matrix:
+        """(src, dst) pairs -> canonical binary CSR.
+
+        The exact construction sequence :meth:`add_edges` uses, factored
+        out so :meth:`apply_delta` rebuilds are bit-identical to a cold
+        build of the same edge set.
+        """
+        data = np.ones(src_ids.shape[0], dtype=np.float64)
+        matrix = sp.csr_matrix((data, (src_ids, dst_ids)), shape=shape)
+        matrix.data[:] = 1.0  # collapse duplicates to binary
+        matrix.sum_duplicates()
+        matrix.data[:] = 1.0
+        return matrix
+
+    def apply_delta(self, delta: EdgeDelta) -> DeltaRecord:
+        """Apply an edge edit batch; returns the ledger record.
+
+        Bumps :attr:`version` exactly once, rebuilds the edited relation
+        *and* its auto-registered reverse through the same binarization
+        sequence as :meth:`add_edges` (so the mutated graph is
+        bit-identical to a cold build of the final edge set), and records
+        the touched rows per node type for row-scoped downstream
+        invalidation.
+        """
+        if delta.relation not in self._relations:
+            raise KeyError(f"unknown relation {delta.relation!r}")
+        if delta.relation not in self._reverse_of:
+            raise ValueError(
+                f"deltas must target the forward relation; "
+                f"{delta.relation!r} is an auto-registered reverse"
+            )
+        info = self._relations[delta.relation]
+        num_src = self._counts[info.src_type]
+        num_dst = self._counts[info.dst_type]
+        for ids, bound, side in (
+            (delta.add_src, num_src, "src"),
+            (delta.remove_src, num_src, "src"),
+            (delta.add_dst, num_dst, "dst"),
+            (delta.remove_dst, num_dst, "dst"),
+        ):
+            if ids.size and (ids.min() < 0 or ids.max() >= bound):
+                raise IndexError(f"{side} ids out of range for {delta.relation!r}")
+
+        current = self._biadjacency[delta.relation].tocoo()
+        src = np.asarray(current.row, dtype=np.int64)
+        dst = np.asarray(current.col, dtype=np.int64)
+        if delta.remove_src.size:
+            keys = src * num_dst + dst
+            remove_keys = delta.remove_src * num_dst + delta.remove_dst
+            keep = ~np.isin(keys, remove_keys)
+            src, dst = src[keep], dst[keep]
+        if delta.add_src.size:
+            src = np.concatenate([src, delta.add_src])
+            dst = np.concatenate([dst, delta.add_dst])
+
+        matrix = self._binarize_pairs(src, dst, (num_src, num_dst))
+        self._biadjacency[delta.relation] = matrix
+        reverse = self._reverse_of[delta.relation]
+        if reverse is not None:
+            self._biadjacency[reverse] = sp.csr_matrix(matrix.T)
+
+        touched: Dict[str, np.ndarray] = {}
+        for node_type, parts in (
+            (info.src_type, (delta.add_src, delta.remove_src)),
+            (info.dst_type, (delta.add_dst, delta.remove_dst)),
+        ):
+            merged = np.concatenate((touched.get(node_type, np.empty(0, np.int64)),) + parts)
+            touched[node_type] = np.unique(merged)
+
+        prev_version = self._version
+        memo = getattr(self, "_content_hash_memo", None)
+        prev_hash = memo[1] if memo is not None and memo[0] == prev_version else None
+        self._version += 1
+        record = DeltaRecord(
+            prev_version=prev_version,
+            version=self._version,
+            relation=delta.relation,
+            touched=touched,
+            digest=delta.digest(),
+            prev_hash=prev_hash,
+        )
+        self._delta_log.append(record)
+        del self._delta_log[: -self.DELTA_LOG_LIMIT]
+        return record
+
+    def deltas_since(self, version: int) -> Optional[List[DeltaRecord]]:
+        """The contiguous delta chain from ``version`` to the present.
+
+        Returns ``[]`` when ``version`` is current, or ``None`` when the
+        history cannot be reconstructed as pure deltas — the version is
+        too old (log trimmed), unknown, or a non-delta mutation
+        (:meth:`add_node_type` / :meth:`add_edges`) intervened.  ``None``
+        means callers must fall back to full invalidation.
+        """
+        if version == self._version:
+            return []
+        if version > self._version:
+            return None
+        chain: List[DeltaRecord] = []
+        for record in reversed(self._delta_log):
+            chain.append(record)
+            if record.prev_version == version:
+                break
+            if record.prev_version < version:
+                return None
+        else:
+            return None
+        chain.reverse()
+        if chain[-1].version != self._version:
+            return None
+        for earlier, later in zip(chain, chain[1:]):
+            if later.prev_version != earlier.version:
+                return None
+        return chain
 
     def set_features(self, node_type: str, features: np.ndarray) -> None:
         features = np.asarray(features, dtype=np.float64)

@@ -39,10 +39,32 @@ def hin_content_hash(hin: HIN) -> str:
     The digest is memoized on the instance per structural version, so
     repeated cache lookups on an unchanged graph pay the O(edges) hash
     exactly once.
+
+    Delta chaining
+    --------------
+    When the graph advanced from the memoized version purely through
+    :meth:`~repro.hin.graph.HIN.apply_delta`, the hash is the memoized
+    base hash folded with each delta's digest —
+    ``sha256("hin-delta-v1|<prev>|<delta digest>")`` per record — an
+    O(delta) update instead of an O(edges) rehash.  The chained key is
+    deliberately history-scoped: it identifies *this ingest lineage*, so
+    content keys stay stable and cheap across live edits without ever
+    colliding with an unrelated graph that happens to share the final
+    edge set.
     """
     cached = getattr(hin, "_content_hash_memo", None)
     if cached is not None and cached[0] == hin.version:
         return cached[1]
+    if cached is not None and cached[0] < hin.version:
+        records = hin.deltas_since(cached[0])
+        if records:
+            result = cached[1]
+            for record in records:
+                result = hashlib.sha256(
+                    f"hin-delta-v1|{result}|{record.digest}".encode()
+                ).hexdigest()
+            hin._content_hash_memo = (hin.version, result)
+            return result
     digest = hashlib.sha256(b"hin-content-v1")
     for node_type in sorted(hin.node_types):
         digest.update(f"|type:{node_type}:{hin.num_nodes(node_type)}".encode())

@@ -121,6 +121,10 @@ class ModelServer:
         :meth:`submit` sheds load with :class:`ServerOverloaded`.
     num_workers:
         Scheduler threads forming and answering batches concurrently.
+    pipeline:
+        Optional prepared :class:`repro.api.Pipeline` backing the
+        handle; enables :meth:`ingest` (live edge deltas without a
+        restart).
     """
 
     def __init__(
@@ -130,6 +134,7 @@ class ModelServer:
         max_wait_ms: float = 2.0,
         max_queue: int = 256,
         num_workers: int = 1,
+        pipeline=None,
     ):
         from repro.api.serving import ModelHandle
 
@@ -142,6 +147,7 @@ class ModelServer:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.handle = handle
+        self.pipeline = pipeline
         self.planner = BatchPlanner(handle)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_ms) / 1000.0
@@ -160,8 +166,12 @@ class ModelServer:
         self._batch_sizes: deque = deque(maxlen=4096)  # guarded-by: _lock
         self._counters = {  # guarded-by: _lock
             "requests": 0, "answered": 0, "failed": 0, "shed": 0,
-            "batches": 0,
+            "batches": 0, "ingests": 0,
         }
+        # Serializes whole delta ingests (pipeline patch + handle
+        # refresh); queries keep flowing — they only contend on the
+        # handle's generation-pointer swap.
+        self._ingest_lock = threading.Lock()
 
     # ------------------------------------------------------------- #
     # Lifecycle
@@ -256,6 +266,41 @@ class ModelServer:
     ) -> np.ndarray:
         """Blocking probability query through the scheduler."""
         return self.submit(ids, proba=True).result(timeout)
+
+    # ------------------------------------------------------------- #
+    # Live delta ingest
+    # ------------------------------------------------------------- #
+
+    def ingest(self, delta, pipeline=None) -> Dict[str, object]:
+        """Apply an edge delta and refresh the served operators, live.
+
+        Runs :meth:`repro.api.Pipeline.ingest` (row-scoped artifact
+        patching) and then :meth:`repro.api.ModelHandle.refresh` — one
+        atomic generation swap — so every request answered after this
+        returns sees the new edges, without a restart and without
+        stopping the scheduler.  Concurrent ingests are serialized;
+        concurrent queries keep being answered throughout (each against
+        a complete generation, old or new).
+
+        Returns a summary: the new operator generation, the patched
+        stage actions, and the graph version.
+        """
+        pipeline = pipeline if pipeline is not None else self.pipeline
+        if pipeline is None:
+            raise RuntimeError(
+                "no pipeline attached; pass pipeline= here or at "
+                "construction to enable live ingest"
+            )
+        with self._ingest_lock:
+            events = pipeline.ingest(delta)
+            generation = self.handle.refresh(pipeline.data)
+        with self._lock:
+            self._counters["ingests"] += 1
+        return {
+            "generation": generation,
+            "graph_version": pipeline.dataset.hin.version,
+            "stages": [(event.stage, event.action) for event in events],
+        }
 
     # ------------------------------------------------------------- #
     # Scheduler

@@ -29,6 +29,7 @@ from repro.analysis import (
 from repro.analysis.core import fingerprint_stage_markers
 from repro.analysis.rules import (
     CSRCanonicalRule,
+    DeltaDisciplineRule,
     DeterminismRule,
     FingerprintCompletenessRule,
     LockDisciplineRule,
@@ -402,6 +403,72 @@ class TestCSRCanonical:
 
 
 # ---------------------------------------------------------------------- #
+# delta-discipline
+# ---------------------------------------------------------------------- #
+
+
+class TestDeltaDiscipline:
+    def test_direct_store_into_edge_storage_flagged(self, tmp_path):
+        path = write(tmp_path, "bad_store.py", """\
+            def poke(hin):
+                hin.relation_matrix("writes").data[:] = 2.0
+                hin._biadjacency["writes"] = None
+        """)
+        findings = run_rule(DeltaDisciplineRule(), path)
+        assert [f.rule for f in findings] == ["delta-discipline"] * 2
+        assert sorted(f.line for f in findings) == [2, 3]
+        assert all("apply_delta" in f.message for f in findings)
+
+    def test_aliased_inplace_mutation_flagged(self, tmp_path):
+        path = write(tmp_path, "bad_alias.py", """\
+            def poke(hin):
+                matrix = hin.relation_matrix("writes")
+                coo = matrix.tocoo()
+                coo.sum_duplicates()
+                matrix.data += 1.0
+        """)
+        findings = run_rule(DeltaDisciplineRule(), path)
+        assert [f.rule for f in findings] == ["delta-discipline"] * 2
+        assert sorted(f.line for f in findings) == [4, 5]
+        assert any("sum_duplicates" in f.message for f in findings)
+
+    def test_copy_dealiases_and_hin_body_is_exempt(self, tmp_path):
+        path = write(tmp_path, "clean_delta.py", """\
+            class HIN:
+                def _rebuild(self, relation, matrix):
+                    self._biadjacency[relation] = matrix
+                    self._biadjacency[relation].sum_duplicates()
+
+            def safe(hin):
+                matrix = hin.relation_matrix("writes").copy()
+                matrix.data[:] = 2.0
+                matrix.sum_duplicates()
+                alias = hin.relation_matrix("writes")
+                alias = alias.copy()
+                alias.setdiag(0.0)
+        """)
+        assert run_rule(DeltaDisciplineRule(), path) == []
+
+    def test_inline_suppression_respected(self, tmp_path):
+        path = write(tmp_path, "suppressed.py", """\
+            def poke(hin):
+                hin.relation_matrix("writes").data[:] = 2.0  # repro: ignore[delta-discipline]
+        """)
+        assert run_rule(DeltaDisciplineRule(), path) == []
+
+    def test_mutation_in_compound_statement_reported_once(self, tmp_path):
+        path = write(tmp_path, "compound.py", """\
+            def poke(hin, flag):
+                matrix = hin.relation_matrix("writes")
+                if flag:
+                    matrix.sum_duplicates()
+        """)
+        findings = run_rule(DeltaDisciplineRule(), path)
+        assert [f.rule for f in findings] == ["delta-discipline"]
+        assert findings[0].line == 4
+
+
+# ---------------------------------------------------------------------- #
 # Framework behavior
 # ---------------------------------------------------------------------- #
 
@@ -440,13 +507,14 @@ X = np.random.rand(2)  # repro: ignore
         result = analyze_paths([tmp_path])
         assert result.ok
 
-    def test_default_rules_expose_four_repo_checkers(self):
+    def test_default_rules_expose_five_repo_checkers(self):
         ids = {rule.rule_id for rule in default_rules()}
         assert ids == {
             "lock-discipline",
             "fingerprint-completeness",
             "determinism",
             "csr-canonical",
+            "delta-discipline",
         }
 
 

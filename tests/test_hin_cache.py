@@ -326,7 +326,7 @@ class TestProductStore:
         disk store must never serve one weighting's products as the
         other's, even though today's loaders binarize)."""
         weighted = dblp_like_hin(3)
-        weighted.relation_matrix("writes").data[:] = 2.0
+        weighted.relation_matrix("writes").data[:] = 2.0  # repro: ignore[delta-discipline]
         assert hin_content_hash(weighted) != hin_content_hash(dblp_like_hin(3))
 
 
