@@ -25,6 +25,12 @@ and writes machine-readable JSON files future PRs can diff.
 - ``server_concurrency_<n>`` — micro-batched throughput with ``n``
   concurrent client threads hammering a `ModelServer`, plus observed
   batch shape and latency quantiles.
+- ``http_single_request_latency`` / ``http_concurrency_<n>`` (merged
+  via ``--only http``) — the same shapes measured **over the wire**
+  through the stdlib HTTP facade (`repro.serve.HttpServer` +
+  `HttpServeClient`), with adaptive micro-batching and the hot-query
+  cache on: request → JSON → socket → scheduler → JSON → response.
+  Latency quantiles here are client-side (full round trip).
 
 ``analysis_full_tree`` (merged into ``BENCH_substrate.json``): the
 wall-clock of one full ``repro.analysis`` run over ``src``, ``tests``,
@@ -43,7 +49,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [--out BENCH_substrate.json]
         [--serving-out BENCH_serving.json]
-        [--only substrate|serving|analysis|streaming]
+        [--only substrate|serving|analysis|streaming|http]
         [--rounds 3] [--authors 200 --papers 700 --conferences 12]
 
 The numbers are wall-clock seconds on whatever machine runs this —
@@ -320,6 +326,130 @@ def run_serving_benches(
     return {"meta": meta, "results": results}
 
 
+def run_http_benches(
+    authors: int,
+    papers: int,
+    conferences: int,
+    rounds: int,
+    concurrency_levels=(1, 4, 16),
+    requests_per_level: int = 200,
+):
+    """Time the HTTP tier end to end; merged into BENCH_serving.json.
+
+    Every number includes the full wire cost (JSON encode, socket,
+    threaded handler, JSON decode) on top of the scheduler, with the
+    production posture on: ``adaptive_wait=True`` and a hot-query
+    cache.  The single-request ids never repeat across rounds, so that
+    entry stays a *miss* latency; the concurrency levels reuse one
+    request mix per level, so their ``cache_hits`` column shows what
+    the cache absorbs under repetition.
+    """
+    import threading
+
+    from repro.api import ConCHEstimator, ModelHandle, Pipeline
+    from repro.core import ConCHConfig
+    from repro.data import DBLPConfig, load_dataset, stratified_split
+    from repro.serve import HttpServeClient, HttpServer, ModelServer
+
+    dataset = load_dataset(
+        "dblp",
+        config=DBLPConfig(
+            num_authors=authors, num_papers=papers, num_conferences=conferences
+        ),
+    )
+    config = ConCHConfig(
+        k=5, context_dim=16, embed_num_walks=2, embed_walk_length=10,
+        embed_epochs=1, max_instances=8, epochs=10, patience=5,
+    )
+    split = stratified_split(dataset.labels, 0.10, seed=0)
+    estimator = ConCHEstimator(
+        Pipeline(dataset, config=config).data, config
+    ).fit(split)
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = Path(tmp) / "conch.npz"
+        estimator.save(bundle)
+        handle = ModelHandle.load(bundle)
+        rng = np.random.default_rng(0)
+
+        def make_server():
+            return ModelServer(
+                handle, max_batch_size=64, max_wait_ms=2, num_workers=2,
+                max_queue=1024, adaptive_wait=True, hot_cache_size=512,
+            )
+
+        # ---- over-the-wire single-request latency (cache misses) ---- #
+        per_round = 64
+        fresh_ids = rng.choice(
+            handle.num_objects, size=rounds * per_round, replace=False
+        )
+        with make_server() as server, HttpServer(server) as http:
+            client = HttpServeClient(http.url)
+            cursor = {"round": 0}
+
+            def single_requests():
+                start = cursor["round"] * per_round
+                cursor["round"] += 1
+                for node in fresh_ids[start : start + per_round]:
+                    client.predict_nodes([int(node)])
+
+            entry = _summary(_time_rounds(single_requests, rounds))
+            entry["per_request_mean"] = entry["seconds_mean"] / per_round
+            results["http_single_request_latency"] = entry
+
+        # ---- over-the-wire throughput at 1 / 4 / 16 clients --------- #
+        request_ids = [
+            rng.integers(0, handle.num_objects, size=1 + index % 4)
+            for index in range(requests_per_level)
+        ]
+        for concurrency in concurrency_levels:
+            with make_server() as server, HttpServer(server) as http:
+                client = HttpServeClient(http.url)
+                latencies: list = []
+                latencies_lock = threading.Lock()
+
+                def hammer(start: int) -> None:
+                    mine = []
+                    for index in range(start, len(request_ids), concurrency):
+                        began = time.perf_counter()
+                        client.predict_nodes(request_ids[index])
+                        mine.append(time.perf_counter() - began)
+                    with latencies_lock:
+                        latencies.extend(mine)
+
+                started = time.perf_counter()
+                threads = [
+                    threading.Thread(target=hammer, args=(start,))
+                    for start in range(concurrency)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                elapsed = time.perf_counter() - started
+                stats = server.stats()
+            wire = np.asarray(latencies, dtype=np.float64)
+            results[f"http_concurrency_{concurrency}"] = {
+                "seconds_total": elapsed,
+                "requests": len(request_ids),
+                "throughput_rps": len(request_ids) / elapsed,
+                "batches": stats["batches"],
+                "batch_size_mean": stats.get("batch_size_mean", 1.0),
+                "cache_hits": stats["cache_hits"],
+                # Client-side quantiles: the full over-the-wire round trip.
+                "latency_p50": float(np.percentile(wire, 50)),
+                "latency_p95": float(np.percentile(wire, 95)),
+            }
+    results["http_meta"] = {
+        "transport": "stdlib http.server (threaded) + urllib client",
+        "adaptive_wait": True,
+        "hot_cache_size": 512,
+        "requests_per_level": requests_per_level,
+        "latency_vantage": "client-side round trip",
+    }
+    return results
+
+
 def run_streaming_benches(
     rounds: int,
     authors: int = 5000,
@@ -484,7 +614,7 @@ def main() -> None:
     )
     parser.add_argument(
         "--only",
-        choices=("substrate", "serving", "analysis", "streaming"),
+        choices=("substrate", "serving", "analysis", "streaming", "http"),
         default=None,
         help="run just one bench family (default: all)",
     )
@@ -510,15 +640,22 @@ def main() -> None:
         out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"wrote {out}")
         _print_results(payload)
-    for family, runner in (
-        ("analysis", lambda: run_analysis_bench(args.rounds)),
-        ("streaming", lambda: run_streaming_benches(args.rounds)),
+    for family, runner, outname in (
+        ("analysis", lambda: run_analysis_bench(args.rounds), args.out),
+        ("streaming", lambda: run_streaming_benches(args.rounds), args.out),
+        (
+            "http",
+            lambda: run_http_benches(
+                args.authors, args.papers, args.conferences, args.rounds
+            ),
+            args.serving_out,
+        ),
     ):
         if args.only not in (None, family):
             continue
-        # Merged into the substrate file: both families belong to the
-        # same CI-perf trajectory the substrate numbers track.
-        out = Path(args.out)
+        # Merged into an existing file: analysis/streaming ride the
+        # substrate trajectory, the HTTP tier rides the serving one.
+        out = Path(outname)
         if out.exists():
             payload = json.loads(out.read_text())
         else:

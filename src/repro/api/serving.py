@@ -318,11 +318,14 @@ class ModelHandle:
     # Queries
     # ------------------------------------------------------------- #
 
-    def _sliced_forward(self, ids: np.ndarray) -> np.ndarray:
+    def _sliced_forward(
+        self, ids: np.ndarray, state: Optional[_OperatorState] = None
+    ) -> np.ndarray:
         ids = self.check_ids(ids)
+        if state is None:
+            state = self._snapshot()  # one generation for the whole query
         if ids.size == 0:
             return np.empty((0, self.data.num_classes), dtype=np.float64)
-        state = self._snapshot()  # one generation for the whole query
         objects, contexts = self._gather(ids, state)
         operators = []
         context_tensors = []
@@ -352,8 +355,11 @@ class ModelHandle:
         return logits.data[positions]
 
     def forward_many(
-        self, id_arrays: Sequence, validated: bool = False
-    ) -> List[np.ndarray]:
+        self,
+        id_arrays: Sequence,
+        validated: bool = False,
+        return_generation: bool = False,
+    ):
         """Logits for many requests through ONE union sliced forward.
 
         Validates every request first (so a bad request fails the whole
@@ -368,17 +374,25 @@ class ModelHandle:
         whose arrays already went through :meth:`check_ids` (the planner
         and server validate per request for error isolation); the union
         still passes one final check inside the sliced forward.
+
+        ``return_generation=True`` returns ``(answers, generation)``
+        where ``generation`` is the operator generation the whole batch
+        was answered against — the snapshot is taken once up front, so
+        the tag is exact even when a concurrent :meth:`refresh` swaps
+        generations mid-call.  Serving caches key on it.
         """
         if validated:
             arrays = [np.asarray(ids, dtype=np.int64) for ids in id_arrays]
         else:
             arrays = [self.check_ids(ids) for ids in id_arrays]
+        state = self._snapshot()  # one generation for the whole batch
         non_empty = [a for a in arrays if a.size]
         if not non_empty:
             empty = np.empty((0, self.data.num_classes), dtype=np.float64)
-            return [empty.copy() for _ in arrays]
+            out = [empty.copy() for _ in arrays]
+            return (out, state.generation) if return_generation else out
         union = np.unique(np.concatenate(non_empty))
-        union_logits = self._sliced_forward(union)
+        union_logits = self._sliced_forward(union, state=state)
         self.last_query_stats["batched_requests"] = len(arrays)
         out: List[np.ndarray] = []
         for array in arrays:
@@ -388,7 +402,7 @@ class ModelHandle:
                 )
             else:
                 out.append(union_logits[np.searchsorted(union, array)])
-        return out
+        return (out, state.generation) if return_generation else out
 
     def predict_nodes(self, ids) -> np.ndarray:
         """Predicted labels for the queried node ids (input order kept)."""

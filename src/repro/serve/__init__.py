@@ -19,7 +19,18 @@ each usable on its own:
     (:class:`~repro.serve.server.ServerOverloaded`), futures, and
     latency/throughput/batch-shape telemetry.
     :class:`~repro.serve.server.ProcessReplicaServer` runs the same
-    protocol across OS processes.
+    protocol across OS processes, with elastic replica counts
+    (:meth:`~repro.serve.server.ProcessReplicaServer.scale_to`,
+    optionally driven by an
+    :class:`~repro.serve.autoscale.AutoscalePolicy`).
+
+:class:`~repro.serve.http.HttpServer`
+    The network front door: a stdlib-only HTTP facade over
+    ``ModelServer`` (``/predict``, ``/predict_proba``, ``/stats``,
+    ``/ingest``) that preserves in-process error types and messages on
+    the wire; :class:`~repro.serve.http.HttpServeClient` keeps
+    :class:`~repro.serve.client.ServeClient`'s exact surface over HTTP,
+    including shed-retry.
 
 The zero-copy substrate
     Both servers load bundles through the memory-mapped operator tier
@@ -40,8 +51,10 @@ Quickstart
 See ``examples/serving_under_load.py`` for a full concurrent-load run.
 """
 
+from repro.serve.autoscale import AutoscalePolicy, ReplicaAutoscaler
 from repro.serve.batching import BatchItem, BatchPlanner
 from repro.serve.client import ServeClient
+from repro.serve.http import HttpServeClient, HttpServer
 from repro.serve.server import (
     ModelServer,
     PredictionFuture,
@@ -50,11 +63,15 @@ from repro.serve.server import (
 )
 
 __all__ = [
+    "AutoscalePolicy",
     "BatchItem",
     "BatchPlanner",
+    "HttpServeClient",
+    "HttpServer",
     "ModelServer",
     "PredictionFuture",
     "ProcessReplicaServer",
+    "ReplicaAutoscaler",
     "ServeClient",
     "ServerOverloaded",
 ]

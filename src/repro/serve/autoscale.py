@@ -1,0 +1,248 @@
+"""Replica autoscaling for :class:`repro.serve.ProcessReplicaServer`.
+
+A small closed-loop controller: every ``interval_s`` it samples the
+server's :meth:`~repro.serve.server.ProcessReplicaServer.autoscale_signals`
+— in-flight queue depth, cumulative shed count, current replica count —
+and votes the pool up or down one replica at a time.
+
+The policy is deliberately boring (threshold + hysteresis), because a
+serving pool must not flap:
+
+* **scale up** when per-replica load (``queue_depth / replicas``)
+  reaches ``up_queue_per_replica``, *or* when any request was shed since
+  the last tick (shedding means admission control is already turning
+  callers away — the strongest possible "underprovisioned" signal);
+* **scale down** only when per-replica load has fallen to
+  ``down_queue_per_replica`` *and* nothing was shed;
+* a vote must repeat for ``up_ticks`` / ``down_ticks`` consecutive
+  samples before the controller acts (scaling down is much slower to
+  trigger than scaling up — capacity mistakes in the two directions are
+  not symmetric: a late scale-up sheds traffic, a late scale-down only
+  wastes a process);
+* after any action the controller holds still for ``cooldown_s`` so the
+  pool's reaction (spawn cost, sentinel-lagged retirement) is visible in
+  the signals before the next decision.
+
+The controller is duck-typed over its server: anything with
+``autoscale_signals()`` and ``scale_to(n)`` works, which is how the unit
+tests drive the policy against a fake server with scripted signals, one
+:meth:`ReplicaAutoscaler.tick` at a time, without processes or clocks.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Bounds and hysteresis for :class:`ReplicaAutoscaler`.
+
+    Parameters
+    ----------
+    min_replicas / max_replicas:
+        Hard pool bounds; ``scale_to`` clamps to them too.
+    interval_s:
+        Sampling period of the controller thread.
+    up_queue_per_replica:
+        Per-replica in-flight depth at (or above) which the tick votes
+        to scale up.
+    down_queue_per_replica:
+        Per-replica in-flight depth at (or below) which the tick votes
+        to scale down (only when nothing was shed since the last tick).
+    up_ticks / down_ticks:
+        Consecutive same-direction votes required before acting.
+    cooldown_s:
+        Quiet period after any scaling action.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    interval_s: float = 0.25
+    up_queue_per_replica: float = 8.0
+    down_queue_per_replica: float = 1.0
+    up_ticks: int = 2
+    down_ticks: int = 8
+    cooldown_s: float = 1.0
+
+    def __post_init__(self):
+        if self.min_replicas < 1:
+            raise ValueError(
+                f"min_replicas must be >= 1, got {self.min_replicas}"
+            )
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) must be >= "
+                f"min_replicas ({self.min_replicas})"
+            )
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {self.interval_s}")
+        if self.down_queue_per_replica > self.up_queue_per_replica:
+            raise ValueError(
+                "down_queue_per_replica must be <= up_queue_per_replica "
+                f"({self.down_queue_per_replica} > "
+                f"{self.up_queue_per_replica})"
+            )
+        if self.up_ticks < 1 or self.down_ticks < 1:
+            raise ValueError("up_ticks and down_ticks must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+
+
+class ReplicaAutoscaler:
+    """Drives ``server.scale_to`` from observed load, with hysteresis.
+
+    One background thread (started by the server's own ``start``) calls
+    :meth:`tick` every ``policy.interval_s``; tests call :meth:`tick`
+    directly.  All decision state (vote streaks, last shed total,
+    cooldown clock) is touched only by whoever runs the tick, so it
+    needs no lock; the shared telemetry (:meth:`stats` readers vs the
+    ticker) does, and is annotated for the lock-discipline checker.
+    """
+
+    def __init__(self, server, policy: AutoscalePolicy):
+        self.server = server
+        self.policy = policy
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # Controller-local decision state — single-threaded by
+        # construction (only the ticker touches it).
+        self._up_votes = 0
+        self._down_votes = 0
+        self._last_shed_total: Optional[float] = None
+        self._cooldown_left = 0.0
+        # Telemetry shared with stats() readers.
+        self._lock = threading.Lock()
+        self._ticks = 0  # guarded-by: _lock
+        self._events: List[Dict[str, object]] = []  # guarded-by: _lock
+
+    # ------------------------------------------------------------- #
+    # Lifecycle
+    # ------------------------------------------------------------- #
+
+    def start(self) -> "ReplicaAutoscaler":
+        """Start the sampling thread (idempotent, restart-safe)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-autoscaler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop_event.wait(self.policy.interval_s):
+            try:
+                self.tick(elapsed_s=self.policy.interval_s)
+            except Exception:
+                # A transient sampling failure (e.g. racing a stop)
+                # must not kill the controller; the next tick retries.
+                continue
+
+    # ------------------------------------------------------------- #
+    # The control law
+    # ------------------------------------------------------------- #
+
+    def tick(self, elapsed_s: Optional[float] = None) -> Optional[int]:
+        """One control step; returns the new replica target if it acted.
+
+        ``elapsed_s`` is the time credited against the cooldown (the
+        thread passes its sampling interval; tests pass whatever they
+        want — the controller never reads a wall clock itself, which is
+        what makes the policy unit-testable tick by tick).
+        """
+        policy = self.policy
+        if elapsed_s is None:
+            elapsed_s = policy.interval_s
+        signals = self.server.autoscale_signals()
+        queue_depth = signals["queue_depth"]
+        shed_total = signals["shed_total"]
+        replicas = int(signals["replicas"])
+        shed_delta = (
+            0.0
+            if self._last_shed_total is None
+            else max(0.0, shed_total - self._last_shed_total)
+        )
+        self._last_shed_total = shed_total
+        load = queue_depth / max(1, replicas)
+
+        wants_up = (
+            load >= policy.up_queue_per_replica or shed_delta > 0
+        ) and replicas < policy.max_replicas
+        wants_down = (
+            load <= policy.down_queue_per_replica
+            and shed_delta == 0
+            and replicas > policy.min_replicas
+        )
+        if wants_up:
+            self._up_votes += 1
+            self._down_votes = 0
+        elif wants_down:
+            self._down_votes += 1
+            self._up_votes = 0
+        else:
+            self._up_votes = 0
+            self._down_votes = 0
+
+        self._cooldown_left = max(0.0, self._cooldown_left - elapsed_s)
+        with self._lock:
+            self._ticks += 1
+        if self._cooldown_left > 0:
+            return None
+
+        target: Optional[int] = None
+        direction = ""
+        if wants_up and self._up_votes >= policy.up_ticks:
+            target, direction = replicas + 1, "up"
+        elif wants_down and self._down_votes >= policy.down_ticks:
+            target, direction = replicas - 1, "down"
+        if target is None:
+            return None
+
+        actual = self.server.scale_to(target)
+        self._up_votes = 0
+        self._down_votes = 0
+        self._cooldown_left = policy.cooldown_s
+        with self._lock:
+            self._events.append(
+                {
+                    "direction": direction,
+                    "from_replicas": replicas,
+                    "to_replicas": actual,
+                    "queue_depth": queue_depth,
+                    "shed_delta": shed_delta,
+                }
+            )
+        return actual
+
+    # ------------------------------------------------------------- #
+    # Telemetry
+    # ------------------------------------------------------------- #
+
+    def stats(self) -> Dict[str, object]:
+        """Policy, tick count, and the scaling decisions taken so far."""
+        with self._lock:
+            ticks = self._ticks
+            events = [dict(event) for event in self._events]
+        return {
+            "policy": {
+                "min_replicas": self.policy.min_replicas,
+                "max_replicas": self.policy.max_replicas,
+                "up_queue_per_replica": self.policy.up_queue_per_replica,
+                "down_queue_per_replica": self.policy.down_queue_per_replica,
+                "up_ticks": self.policy.up_ticks,
+                "down_ticks": self.policy.down_ticks,
+                "cooldown_s": self.policy.cooldown_s,
+            },
+            "ticks": ticks,
+            "scale_events": events,
+        }

@@ -81,21 +81,30 @@ class BatchPlanner:
         return items
 
     def run(
-        self, requests: Sequence, validated: bool = False
-    ) -> List[Union[np.ndarray, Exception]]:
+        self,
+        requests: Sequence,
+        validated: bool = False,
+        return_generation: bool = False,
+    ):
         """Answer a batch; each slot is a result array OR an exception.
 
         Label requests get ``argmax`` over the shared logits, proba
         requests a softmax — both computed from the *same* union forward,
         so mixing request kinds in one batch never costs a second pass.
         ``validated`` is forwarded to :meth:`plan`.
+
+        ``return_generation=True`` returns ``(answers, generation)``:
+        the exact operator generation the union forward ran against
+        (see :meth:`repro.api.ModelHandle.forward_many`), which the
+        server's hot-query cache uses as its invalidation key.
         """
         from repro.eval.metrics import softmax
 
         items = self.plan(requests, validated=validated)
         valid = [item for item in items if item.error is None]
-        logits_list = self.handle.forward_many(
-            [item.ids for item in valid], validated=True
+        logits_list, generation = self.handle.forward_many(
+            [item.ids for item in valid], validated=True,
+            return_generation=True,
         )
         answered = iter(logits_list)
         out: List[Union[np.ndarray, Exception]] = []
@@ -110,4 +119,4 @@ class BatchPlanner:
                 out.append(logits.argmax(axis=1))
             else:
                 out.append(np.empty(0, dtype=np.int64))
-        return out
+        return (out, generation) if return_generation else out

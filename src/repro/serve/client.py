@@ -53,11 +53,20 @@ class ServeClient:
         #: Requests dropped after exhausting every retry.
         self.dropped = 0
 
-    def _submit(self, ids, proba: bool):
+    def _with_shed_retry(self, attempt_fn):
+        """Run ``attempt_fn`` with bounded exponential backoff on shed.
+
+        The one retry loop both transports share: the in-process client
+        wraps ``server.submit``, the HTTP client
+        (:class:`repro.serve.http.HttpServeClient`) wraps a POST whose
+        503 is rebuilt into the same :class:`ServerOverloaded`.  Only
+        load-shed is retried — any other error is the request's own and
+        re-raises immediately, unchanged.
+        """
         delay = self.backoff_s
         for attempt in range(self.retries + 1):
             try:
-                future = self.server.submit(ids, proba=proba)
+                return attempt_fn()
             except ServerOverloaded:
                 if attempt == self.retries:
                     self.dropped += 1
@@ -65,9 +74,12 @@ class ServeClient:
                 self.retried += 1
                 time.sleep(delay)
                 delay *= 2
-            else:
-                return future
         raise AssertionError("unreachable")
+
+    def _submit(self, ids, proba: bool):
+        return self._with_shed_retry(
+            lambda: self.server.submit(ids, proba=proba)
+        )
 
     def predict_nodes(
         self, ids, timeout: Optional[float] = None

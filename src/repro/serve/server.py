@@ -22,11 +22,46 @@ ids) are rejected synchronously at ``submit`` with exactly the error
 the sequential :class:`~repro.api.ModelHandle` path raises; they never
 consume scheduler capacity.
 
+Adaptive micro-batching
+-----------------------
+With ``adaptive_wait=True`` the scheduler stops treating ``max_wait_ms``
+as a fixed delay and instead derives the *effective* wait from the
+observed request inter-arrival rate (an EWMA maintained at ``submit``):
+it waits roughly as long as filling the batch should take
+(``(max_batch_size - 1) × inter-arrival``), capped at ``max_wait_ms``
+— and waits **zero** when traffic is so sparse that no companion is
+expected inside the cap (holding a lone request would only add
+latency).  ``stats()`` reports both the EWMA and the current effective
+wait.
+
+Hot-query cache
+---------------
+``hot_cache_size > 0`` enables a small LRU of recent answers keyed on
+``(operator generation, proba, ids bytes)``.  A repeated query is
+answered at ``submit`` without touching the scheduler or the
+receptive-field gather; hits are bit-identical because the cached value
+*is* a previous batched answer from the same generation.  The
+generation component makes invalidation atomic with
+:meth:`~repro.api.ModelHandle.refresh`'s pointer swap — an entry from
+an old generation can never answer a post-ingest query — and
+:meth:`ingest` additionally clears the cache to bound stale residency.
+
+Lifecycle
+---------
+:meth:`stop` is idempotent (safe never-started, safe twice), freezes
+``uptime_seconds``/``throughput_rps`` at the recorded stop timestamp,
+and fails every queued request so no caller blocks on a dead server —
+including requests racing with the stop itself (``submit`` re-checks
+after enqueueing).  A restart (:meth:`start` after :meth:`stop`) is
+refused while any worker from the previous run is still alive: two
+worker generations must never serve the same queue.
+
 Telemetry
 ---------
-:meth:`~ModelServer.stats` reports request/answer/shed counts, batch
-shaping (count, mean/max size), end-to-end latency quantiles
-(submit → result, seconds), and throughput since :meth:`start`.
+:meth:`~ModelServer.stats` reports request/answer/shed/cache counts,
+batch shaping (count, mean/max size), end-to-end latency quantiles
+(submit → result, seconds), and throughput over the started→stopped
+window.
 
 Multi-process serving
 ---------------------
@@ -36,7 +71,11 @@ operator tier** (:meth:`repro.api.ModelHandle.load`), so N replicas
 share one OS-resident copy of the operators and cold-start by mapping,
 not copying.  Use it when the GIL — not the hardware — is the
 bottleneck; the thread server is lighter for scipy-heavy forwards that
-release the GIL.
+release the GIL.  The replica count is elastic: :meth:`~
+ProcessReplicaServer.scale_to` adds replicas (spawn) or retires them
+(a shutdown sentinel through the shared queue), and attaching an
+:class:`repro.serve.autoscale.AutoscalePolicy` drives it automatically
+from observed queue depth and shed rate.
 """
 
 from __future__ import annotations
@@ -45,9 +84,9 @@ import multiprocessing
 import queue
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -102,6 +141,11 @@ class _QueuedRequest:
         self.future = future
 
 
+#: EWMA smoothing for the observed request inter-arrival gap (the
+#: adaptive micro-batching signal): new = ALPHA*gap + (1-ALPHA)*old.
+ARRIVAL_EWMA_ALPHA = 0.2
+
+
 class ModelServer:
     """Thread-pool micro-batching server over one :class:`ModelHandle`.
 
@@ -115,12 +159,20 @@ class ModelServer:
     max_wait_ms:
         How long a batch may wait for companions after its first
         request arrives.  ``0`` disables coalescing delay (batches
-        still form from whatever is already queued).
+        still form from whatever is already queued).  With
+        ``adaptive_wait`` this becomes the *cap* on the derived wait.
     max_queue:
         Bound on queued (admitted, unanswered) requests; beyond it
         :meth:`submit` sheds load with :class:`ServerOverloaded`.
     num_workers:
         Scheduler threads forming and answering batches concurrently.
+    adaptive_wait:
+        Derive the effective wait from the observed inter-arrival EWMA
+        instead of always waiting ``max_wait_ms`` (see module docs).
+    hot_cache_size:
+        Entries in the hot-query LRU (``0`` disables).  Keys are
+        ``(generation, proba, ids)``; hits skip the scheduler and the
+        receptive-field gather entirely.
     pipeline:
         Optional prepared :class:`repro.api.Pipeline` backing the
         handle; enables :meth:`ingest` (live edge deltas without a
@@ -134,6 +186,8 @@ class ModelServer:
         max_wait_ms: float = 2.0,
         max_queue: int = 256,
         num_workers: int = 1,
+        adaptive_wait: bool = False,
+        hot_cache_size: int = 0,
         pipeline=None,
     ):
         from repro.api.serving import ModelHandle
@@ -146,12 +200,18 @@ class ModelServer:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if hot_cache_size < 0:
+            raise ValueError(
+                f"hot_cache_size must be >= 0, got {hot_cache_size}"
+            )
         self.handle = handle
         self.pipeline = pipeline
         self.planner = BatchPlanner(handle)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self.num_workers = int(num_workers)
+        self.adaptive_wait = bool(adaptive_wait)
+        self._hot_cache_size = int(hot_cache_size)
         self._queue: "queue.Queue[_QueuedRequest]" = queue.Queue(
             maxsize=int(max_queue)
         )
@@ -159,15 +219,23 @@ class ModelServer:
         self._stop = threading.Event()
         # Telemetry shared between submitters, scheduler workers, and
         # stats() readers; the lock-discipline rule of
-        # ``python -m repro.analysis`` enforces the annotations below.
+        # ``python -m repro.analysis`` enforces the annotations below,
+        # and the runtime sanitizer traces them under load.
         self._lock = threading.Lock()
         self._started_at: Optional[float] = None  # guarded-by: _lock
+        self._stopped_at: Optional[float] = None  # guarded-by: _lock
         self._latencies: deque = deque(maxlen=4096)  # guarded-by: _lock
         self._batch_sizes: deque = deque(maxlen=4096)  # guarded-by: _lock
         self._counters = {  # guarded-by: _lock
             "requests": 0, "answered": 0, "failed": 0, "shed": 0,
-            "batches": 0, "ingests": 0,
+            "batches": 0, "ingests": 0, "cache_hits": 0,
         }
+        # Adaptive micro-batching signal: EWMA of the gap between
+        # consecutive submits (seconds), maintained at admission.
+        self._last_arrival: Optional[float] = None  # guarded-by: _lock
+        self._arrival_ewma_s: Optional[float] = None  # guarded-by: _lock
+        # Hot-query LRU: (generation, proba, ids bytes) -> answer copy.
+        self._hot_cache: "OrderedDict" = OrderedDict()  # guarded-by: _lock
         # Serializes whole delta ingests (pipeline patch + handle
         # refresh); queries keep flowing — they only contend on the
         # handle's generation-pointer swap.
@@ -178,11 +246,26 @@ class ModelServer:
     # ------------------------------------------------------------- #
 
     def start(self) -> "ModelServer":
+        """Spawn the scheduler workers (idempotent while running).
+
+        Restarting after :meth:`stop` is allowed only once every worker
+        from the previous run has exited — otherwise a wedged old
+        worker and a fresh one would serve the same queue, and answers
+        could keep flowing from a generation the caller believes dead.
+        """
+        self._threads = [t for t in self._threads if t.is_alive()]
         if self._threads:
+            if self._stop.is_set():
+                raise RuntimeError(
+                    f"cannot restart: {len(self._threads)} worker(s) from "
+                    "the previous run are still alive; wait for them to "
+                    "finish their in-flight batch and call start() again"
+                )
             return self
         self._stop.clear()
         with self._lock:
             self._started_at = time.perf_counter()
+            self._stopped_at = None
         for index in range(self.num_workers):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -195,11 +278,23 @@ class ModelServer:
 
     def stop(self, timeout: float = 5.0) -> None:
         """Drain nothing, stop everything: in-flight batches finish,
-        queued requests are failed fast so no caller blocks forever."""
+        queued requests are failed fast so no caller blocks forever.
+
+        Idempotent: safe on a never-started server and safe to call
+        twice.  Freezes the telemetry clock (``uptime_seconds`` /
+        ``throughput_rps`` stop growing/decaying) and keeps any worker
+        that outlives ``timeout`` on the books so a premature restart
+        is refused rather than doubling up on the queue.
+        """
         self._stop.set()
+        with self._lock:
+            if self._started_at is not None and self._stopped_at is None:
+                self._stopped_at = time.perf_counter()
         for thread in self._threads:
             thread.join(timeout)
-        self._threads.clear()
+        # Workers that missed the deadline stay on the books: start()
+        # refuses to spawn a second generation next to them.
+        self._threads = [t for t in self._threads if t.is_alive()]
         self._fail_pending()
 
     def _fail_pending(self) -> None:
@@ -229,14 +324,41 @@ class ModelServer:
         Validation happens here, synchronously, with the sequential
         path's own ``check_ids`` — so the error type *and message* for a
         bad request are identical whether it goes through the server or
-        straight through the handle.  A full queue sheds the request
-        with :class:`ServerOverloaded` (admission control).
+        straight through the handle.  A hot-cache hit resolves the
+        future immediately (bit-identical: the cached value is a prior
+        answer from the same operator generation).  A full queue sheds
+        the request with :class:`ServerOverloaded` (admission control).
         """
         if not self._threads:
             raise RuntimeError("server is not running; call start() first")
         checked = self.handle.check_ids(ids)  # raises exactly like the handle
+        proba = bool(proba)
+        generation = self.handle.generation if self._hot_cache_size else 0
+        now = time.monotonic()
+        cached = None
+        with self._lock:
+            if self._last_arrival is not None:
+                gap = now - self._last_arrival
+                self._arrival_ewma_s = (
+                    gap
+                    if self._arrival_ewma_s is None
+                    else ARRIVAL_EWMA_ALPHA * gap
+                    + (1.0 - ARRIVAL_EWMA_ALPHA) * self._arrival_ewma_s
+                )
+            self._last_arrival = now
+            if self._hot_cache_size:
+                key = (generation, proba, checked.tobytes())
+                cached = self._hot_cache.get(key)
+                if cached is not None:
+                    self._hot_cache.move_to_end(key)
+                    self._counters["requests"] += 1
+                    self._counters["answered"] += 1
+                    self._counters["cache_hits"] += 1
         future = PredictionFuture()
-        request = _QueuedRequest(checked, bool(proba), future)
+        if cached is not None:
+            future._finish(value=cached.copy())
+            return future
+        request = _QueuedRequest(checked, proba, future)
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -249,10 +371,9 @@ class ModelServer:
         if self._stop.is_set():
             # stop() may have drained the queue between our running-check
             # and the put: fail anything stranded (possibly this request)
-            # so no caller blocks forever on a dead server.
+            # so no caller blocks forever on a dead server.  A request a
+            # worker already claimed is not stranded — it gets answered.
             self._fail_pending()
-            if not future.done():
-                future._finish(error=RuntimeError("server stopped"))
         with self._lock:
             self._counters["requests"] += 1
         return future
@@ -280,7 +401,10 @@ class ModelServer:
         returns sees the new edges, without a restart and without
         stopping the scheduler.  Concurrent ingests are serialized;
         concurrent queries keep being answered throughout (each against
-        a complete generation, old or new).
+        a complete generation, old or new).  The hot-query cache is
+        invalidated with the swap: keys carry the generation, so stale
+        entries can never answer post-ingest queries, and the cache is
+        cleared outright to bound dead residency.
 
         Returns a summary: the new operator generation, the patched
         stage actions, and the graph version.
@@ -296,6 +420,7 @@ class ModelServer:
             generation = self.handle.refresh(pipeline.data)
         with self._lock:
             self._counters["ingests"] += 1
+            self._hot_cache.clear()
         return {
             "generation": generation,
             "graph_version": pipeline.dataset.hin.version,
@@ -306,6 +431,26 @@ class ModelServer:
     # Scheduler
     # ------------------------------------------------------------- #
 
+    def _effective_wait_s(self) -> float:
+        """Companion-wait for the batch being formed right now.
+
+        Static mode returns ``max_wait_s`` unchanged.  Adaptive mode
+        sizes the wait to the traffic: filling the rest of a batch
+        should take about ``(max_batch_size - 1)`` inter-arrival gaps,
+        so that is what we wait (capped at ``max_wait_s``) — and when
+        the observed gap already exceeds the cap, no companion can be
+        expected in time, so the request is served immediately.
+        """
+        if not self.adaptive_wait:
+            return self.max_wait_s
+        with self._lock:
+            ewma = self._arrival_ewma_s
+        if ewma is None:
+            return self.max_wait_s
+        if ewma >= self.max_wait_s:
+            return 0.0
+        return min(self.max_wait_s, ewma * (self.max_batch_size - 1))
+
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
             try:
@@ -313,7 +458,7 @@ class ModelServer:
             except queue.Empty:
                 continue
             batch = [first]
-            deadline = time.monotonic() + self.max_wait_s
+            deadline = time.monotonic() + self._effective_wait_s()
             while len(batch) < self.max_batch_size:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
@@ -333,9 +478,10 @@ class ModelServer:
         try:
             # validated=True: every request already passed check_ids at
             # submit — do not re-scan the hot path.
-            answers = self.planner.run(
+            answers, generation = self.planner.run(
                 [(request.ids, request.proba) for request in batch],
                 validated=True,
+                return_generation=True,
             )
         except Exception as exc:  # defensive: a failed batch must not
             for request in batch:  # wedge its callers or kill the loop
@@ -346,6 +492,7 @@ class ModelServer:
                 self._batch_sizes.append(len(batch))
             return
         answered = failed = 0
+        cacheable = []
         for request, answer in zip(batch, answers):
             if isinstance(answer, Exception):
                 request.future._finish(error=answer)
@@ -353,6 +500,8 @@ class ModelServer:
             else:
                 request.future._finish(value=answer)
                 answered += 1
+                if self._hot_cache_size:
+                    cacheable.append((request, answer))
         with self._lock:
             self._counters["answered"] += answered
             self._counters["failed"] += failed
@@ -362,30 +511,57 @@ class ModelServer:
                 latency = request.future.latency
                 if latency is not None:
                     self._latencies.append(latency)
+            # Cache under the generation the batch actually ran against
+            # (exact even if an ingest swapped generations mid-batch:
+            # an entry keyed on the old generation is unreachable to
+            # post-swap lookups).  Private copies keep caller-side
+            # mutation of returned arrays from poisoning the cache.
+            for request, answer in cacheable:
+                key = (generation, request.proba, request.ids.tobytes())
+                self._hot_cache[key] = answer.copy()
+                self._hot_cache.move_to_end(key)
+            while len(self._hot_cache) > self._hot_cache_size:
+                self._hot_cache.popitem(last=False)
 
     # ------------------------------------------------------------- #
     # Telemetry
     # ------------------------------------------------------------- #
 
     def stats(self) -> Dict[str, object]:
-        """Counters, batch shaping, latency quantiles, and throughput."""
+        """Counters, batch shaping, latency quantiles, and throughput.
+
+        ``uptime_seconds`` and ``throughput_rps`` cover the
+        started→stopped window: on a stopped server they freeze at the
+        stop timestamp instead of decaying toward zero forever.
+        """
         with self._lock:
             counters = dict(self._counters)
             latencies = np.asarray(self._latencies, dtype=np.float64)
             batch_sizes = np.asarray(self._batch_sizes, dtype=np.float64)
             started_at = self._started_at
-        elapsed = (
-            time.perf_counter() - started_at
-            if started_at is not None
-            else 0.0
-        )
+            stopped_at = self._stopped_at
+            arrival_ewma = self._arrival_ewma_s
+            hot_entries = len(self._hot_cache)
+        if started_at is None:
+            elapsed = 0.0
+        else:
+            end = stopped_at if stopped_at is not None else time.perf_counter()
+            elapsed = max(0.0, end - started_at)
         out: Dict[str, object] = dict(counters)
         out["queue_depth"] = self._queue.qsize()
         out["workers"] = self.num_workers
+        out["running"] = any(t.is_alive() for t in self._threads)
         out["uptime_seconds"] = elapsed
         out["throughput_rps"] = (
             counters["answered"] / elapsed if elapsed > 0 else 0.0
         )
+        out["adaptive_wait"] = self.adaptive_wait
+        out["effective_wait_ms"] = self._effective_wait_s() * 1000.0
+        out["interarrival_ewma_ms"] = (
+            arrival_ewma * 1000.0 if arrival_ewma is not None else None
+        )
+        out["hot_cache_size"] = self._hot_cache_size
+        out["hot_cache_entries"] = hot_entries
         if batch_sizes.size:
             out["batch_size_mean"] = float(batch_sizes.mean())
             out["batch_size_max"] = int(batch_sizes.max())
@@ -416,7 +592,10 @@ def _replica_loop(
     Spawn-safe module-level entry point.  Each replica opens the bundle
     through the mmap tier, so all replicas share one OS-resident
     operator copy; requests are ``(request_id, ids, proba)`` tuples and
-    ``None`` is the shutdown sentinel.
+    ``None`` is the shutdown sentinel.  One sentinel retires exactly
+    one replica (a sentinel seen mid-batch is put back for a sibling),
+    which is how :meth:`ProcessReplicaServer.scale_to` shrinks the pool
+    without touching the survivors.
     """
     from repro.api.serving import ModelHandle
 
@@ -474,6 +653,16 @@ class ProcessReplicaServer:
     with :class:`ServerOverloaded`.  Start with ``with`` or
     :meth:`start`; replicas are spawned (not forked), so cold-start
     includes an interpreter boot each.
+
+    Elastic replicas
+    ----------------
+    :meth:`scale_to` grows the pool by spawning and shrinks it by
+    pushing shutdown sentinels through the shared request queue (each
+    retires exactly one replica, lazily — the sentinel queues behind
+    in-flight requests).  Pass ``autoscale=AutoscalePolicy(...)`` to
+    drive it automatically from observed queue depth and shed rate
+    with hysteresis; the controller's decisions show up under
+    ``stats()["autoscale"]``.
     """
 
     def __init__(
@@ -484,12 +673,18 @@ class ProcessReplicaServer:
         max_wait_ms: float = 2.0,
         max_queue: int = 256,
         start_timeout: float = 60.0,
+        autoscale=None,
     ):
         from repro.api.serving import ModelHandle
 
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.bundle_path = str(bundle_path)
+        self.autoscale = autoscale
+        if autoscale is not None:
+            replicas = max(
+                autoscale.min_replicas, min(autoscale.max_replicas, replicas)
+            )
         self.replicas = int(replicas)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_ms = float(max_wait_ms)
@@ -500,59 +695,113 @@ class ProcessReplicaServer:
         # instead of racing to export.
         self.handle = ModelHandle.load(self.bundle_path)
         self._ctx = multiprocessing.get_context("spawn")
-        self._processes: List = []
         self._request_queue = None
         self._response_queue = None
         self._collector: Optional[threading.Thread] = None
+        self._autoscaler = None
         self._stop = threading.Event()
+        # Replica-pool bookkeeping: submitters, the autoscaler thread,
+        # and stats() readers all look at the pool, so it gets its own
+        # (reentrant — helpers re-enter) lock.
+        self._scale_lock = threading.RLock()
+        self._processes: List = []  # guarded-by: _scale_lock
+        self._pending_retire = 0  # guarded-by: _scale_lock
         # In-flight bookkeeping shared between submitters and the
         # collector thread (lock-discipline enforced, as in ModelServer).
         self._futures_lock = threading.Lock()
         self._futures: Dict[int, PredictionFuture] = {}  # guarded-by: _futures_lock
         self._next_id = 0  # guarded-by: _futures_lock
         self.shed = 0  # guarded-by: _futures_lock
+        self._counters = {  # guarded-by: _futures_lock
+            "requests": 0, "answered": 0, "failed": 0,
+            "scale_ups": 0, "scale_downs": 0,
+        }
+        self._started_at: Optional[float] = None  # guarded-by: _futures_lock
+        self._stopped_at: Optional[float] = None  # guarded-by: _futures_lock
+
+    # ------------------------------------------------------------- #
+    # Lifecycle
+    # ------------------------------------------------------------- #
+
+    def _spawn_replica(self) -> None:
+        """Add one replica process to the pool (callers hold no locks)."""
+        process = self._ctx.Process(
+            target=_replica_loop,
+            args=(
+                self.bundle_path,
+                self._request_queue,
+                self._response_queue,
+                self.max_batch_size,
+                self.max_wait_ms,
+            ),
+            daemon=True,
+        )
+        process.start()
+        with self._scale_lock:
+            self._processes.append(process)
 
     def start(self) -> "ProcessReplicaServer":
-        if self._processes:
+        with self._scale_lock:
+            running = bool(self._processes)
+        if running:
             return self
         self._stop.clear()
+        with self._futures_lock:
+            self._started_at = time.perf_counter()
+            self._stopped_at = None
         self._request_queue = self._ctx.Queue()
         self._response_queue = self._ctx.Queue()
         for _ in range(self.replicas):
-            process = self._ctx.Process(
-                target=_replica_loop,
-                args=(
-                    self.bundle_path,
-                    self._request_queue,
-                    self._response_queue,
-                    self.max_batch_size,
-                    self.max_wait_ms,
-                ),
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
+            self._spawn_replica()
         self._collector = threading.Thread(
             target=self._collect_loop, name="repro-serve-collector", daemon=True
         )
         self._collector.start()
+        if self.autoscale is not None:
+            from repro.serve.autoscale import ReplicaAutoscaler
+
+            if self._autoscaler is None:
+                self._autoscaler = ReplicaAutoscaler(self, self.autoscale)
+            self._autoscaler.start()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
-        for _ in self._processes:
-            self._request_queue.put(None)
-        for process in self._processes:
+        """Retire every replica and fail all in-flight requests.
+
+        Idempotent: safe on a never-started server (``_request_queue``
+        still ``None``) and safe to call twice.  Freezes the telemetry
+        clock, and terminates replicas that outlive ``timeout`` so a
+        later :meth:`start` never runs two replica generations against
+        one queue.
+        """
+        if self._autoscaler is not None:
+            self._autoscaler.stop()
+        with self._scale_lock:
+            processes = list(self._processes)
+            self._processes.clear()
+            self._pending_retire = 0
+        if self._request_queue is not None:
+            for _ in processes:
+                self._request_queue.put(None)
+        for process in processes:
             process.join(timeout)
             if process.is_alive():
                 process.terminate()
-        self._processes.clear()
         self._stop.set()
+        with self._futures_lock:
+            if self._started_at is not None and self._stopped_at is None:
+                self._stopped_at = time.perf_counter()
         if self._collector is not None:
             self._collector.join(timeout)
             self._collector = None
+        self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        """Fail every in-flight future so no caller blocks forever."""
         with self._futures_lock:
             pending = list(self._futures.values())
             self._futures.clear()
+            self._counters["failed"] += len(pending)
         for future in pending:
             future._finish(error=RuntimeError("server stopped"))
 
@@ -562,6 +811,84 @@ class ProcessReplicaServer:
     def __exit__(self, *exc_info) -> None:
         self.stop()
 
+    # ------------------------------------------------------------- #
+    # Elastic replica pool
+    # ------------------------------------------------------------- #
+
+    def _reap(self) -> None:
+        """Drop exited replicas from the pool (retired or crashed)."""
+        with self._scale_lock:
+            before = len(self._processes)
+            self._processes[:] = [
+                p for p in self._processes if p.is_alive()
+            ]
+            died = before - len(self._processes)
+            if died:
+                self._pending_retire = max(0, self._pending_retire - died)
+
+    def live_replicas(self) -> int:
+        """Replicas currently alive (after reaping exited ones)."""
+        self._reap()
+        with self._scale_lock:
+            return len(self._processes)
+
+    def scale_to(self, count: int) -> int:
+        """Grow or shrink the replica pool toward ``count``; returns it.
+
+        Growth spawns immediately; shrink pushes one shutdown sentinel
+        per retired replica through the shared queue, so it lands only
+        after the requests queued ahead of it — capacity never drops
+        out from under admitted work.  ``count`` is clamped to the
+        autoscale policy's ``[min_replicas, max_replicas]`` when one is
+        attached, else to ``>= 1``.
+        """
+        count = int(count)
+        if self.autoscale is not None:
+            count = max(
+                self.autoscale.min_replicas,
+                min(self.autoscale.max_replicas, count),
+            )
+        if count < 1:
+            raise ValueError(f"replica count must be >= 1, got {count}")
+        if self._request_queue is None:
+            raise RuntimeError("server is not running; call start() first")
+        self._reap()
+        with self._scale_lock:
+            effective = len(self._processes) - self._pending_retire
+            delta = count - effective
+            if delta < 0:
+                for _ in range(-delta):
+                    self._request_queue.put(None)
+                self._pending_retire += -delta
+        if delta > 0:
+            for _ in range(delta):
+                self._spawn_replica()
+        if delta:
+            with self._futures_lock:
+                if delta > 0:
+                    self._counters["scale_ups"] += 1
+                else:
+                    self._counters["scale_downs"] += 1
+        return count
+
+    def autoscale_signals(self) -> Dict[str, float]:
+        """The controller's inputs: queue depth, shed total, pool size."""
+        with self._futures_lock:
+            queue_depth = len(self._futures)
+            shed_total = self.shed
+        self._reap()
+        with self._scale_lock:
+            replicas = len(self._processes) - self._pending_retire
+        return {
+            "queue_depth": float(queue_depth),
+            "shed_total": float(shed_total),
+            "replicas": float(max(1, replicas)),
+        }
+
+    # ------------------------------------------------------------- #
+    # Request surface
+    # ------------------------------------------------------------- #
+
     def submit(self, ids, proba: bool = False) -> PredictionFuture:
         """Admit one request (validated with the handle's own errors).
 
@@ -570,7 +897,9 @@ class ProcessReplicaServer:
         kept here by bounding the unanswered-futures set (the
         multiprocessing queue itself cannot reject without blocking).
         """
-        if not self._processes:
+        with self._scale_lock:
+            running = bool(self._processes)
+        if not running:
             raise RuntimeError("server is not running; call start() first")
         checked = self.handle.check_ids(ids)
         future = PredictionFuture()
@@ -583,7 +912,13 @@ class ProcessReplicaServer:
             request_id = self._next_id
             self._next_id += 1
             self._futures[request_id] = future
+            self._counters["requests"] += 1
         self._request_queue.put((request_id, checked, bool(proba)))
+        if self._stop.is_set():
+            # stop() may have drained the futures map between our
+            # registration and the put: fail anything stranded
+            # (possibly this request) — mirrors ModelServer.submit.
+            self._fail_pending()
         return future
 
     def predict_nodes(self, ids, timeout: Optional[float] = None) -> np.ndarray:
@@ -593,6 +928,43 @@ class ProcessReplicaServer:
         self, ids, timeout: Optional[float] = None
     ) -> np.ndarray:
         return self.submit(ids, proba=True).result(timeout)
+
+    # ------------------------------------------------------------- #
+    # Telemetry
+    # ------------------------------------------------------------- #
+
+    def stats(self) -> Dict[str, object]:
+        """Counters, pool shape, and throughput (frozen after stop)."""
+        with self._futures_lock:
+            counters = dict(self._counters)
+            counters["shed"] = self.shed
+            in_flight = len(self._futures)
+            started_at = self._started_at
+            stopped_at = self._stopped_at
+        self._reap()
+        with self._scale_lock:
+            live = len(self._processes)
+            pending_retire = self._pending_retire
+        if started_at is None:
+            elapsed = 0.0
+        else:
+            end = stopped_at if stopped_at is not None else time.perf_counter()
+            elapsed = max(0.0, end - started_at)
+        out: Dict[str, object] = dict(counters)
+        out["in_flight"] = in_flight
+        out["replicas"] = live
+        out["pending_retire"] = pending_retire
+        out["uptime_seconds"] = elapsed
+        out["throughput_rps"] = (
+            counters["answered"] / elapsed if elapsed > 0 else 0.0
+        )
+        if self._autoscaler is not None:
+            out["autoscale"] = self._autoscaler.stats()
+        return out
+
+    # ------------------------------------------------------------- #
+    # Collector
+    # ------------------------------------------------------------- #
 
     def _collect_loop(self) -> None:
         while not self._stop.is_set():
@@ -604,6 +976,11 @@ class ProcessReplicaServer:
                 return
             with self._futures_lock:
                 future = self._futures.pop(request_id, None)
+                if future is not None:
+                    if ok:
+                        self._counters["answered"] += 1
+                    else:
+                        self._counters["failed"] += 1
             if future is None:
                 continue
             if ok:

@@ -1,0 +1,150 @@
+"""The replica autoscaling policy, one deterministic tick at a time.
+
+:class:`repro.serve.autoscale.ReplicaAutoscaler` is duck-typed over its
+server and never reads a wall clock (ticks carry their own elapsed
+time), so the whole control law — thresholds, vote hysteresis, the
+shed-rate override, cooldown, and the policy bounds — is pinned here
+against a scripted fake server, no processes or sleeps involved.  The
+live loop (real thread driving a real replica pool) is exercised by the
+scale tests in ``tests/test_serve_lifecycle.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import AutoscalePolicy, ReplicaAutoscaler
+
+
+class FakeServer:
+    """Scripted signals + a recording ``scale_to``."""
+
+    def __init__(self, replicas: int = 1):
+        self.replicas = replicas
+        self.queue_depth = 0.0
+        self.shed_total = 0.0
+        self.calls: list = []
+
+    def autoscale_signals(self):
+        return {
+            "queue_depth": float(self.queue_depth),
+            "shed_total": float(self.shed_total),
+            "replicas": float(self.replicas),
+        }
+
+    def scale_to(self, count: int) -> int:
+        self.calls.append(count)
+        self.replicas = count
+        return count
+
+
+def make(replicas=1, **policy_kwargs):
+    policy_kwargs.setdefault("up_ticks", 2)
+    policy_kwargs.setdefault("down_ticks", 3)
+    policy_kwargs.setdefault("cooldown_s", 1.0)
+    policy = AutoscalePolicy(**policy_kwargs)
+    server = FakeServer(replicas=replicas)
+    return server, ReplicaAutoscaler(server, policy)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="min_replicas"):
+            AutoscalePolicy(min_replicas=0)
+        with pytest.raises(ValueError, match="max_replicas"):
+            AutoscalePolicy(min_replicas=3, max_replicas=2)
+        with pytest.raises(ValueError, match="interval_s"):
+            AutoscalePolicy(interval_s=0.0)
+        with pytest.raises(ValueError, match="down_queue_per_replica"):
+            AutoscalePolicy(
+                up_queue_per_replica=2.0, down_queue_per_replica=5.0
+            )
+        with pytest.raises(ValueError, match="up_ticks"):
+            AutoscalePolicy(up_ticks=0)
+        with pytest.raises(ValueError, match="cooldown_s"):
+            AutoscalePolicy(cooldown_s=-1.0)
+
+
+class TestControlLaw:
+    def test_scale_up_needs_consecutive_votes(self):
+        server, scaler = make()
+        server.queue_depth = 100.0  # way past up_queue_per_replica * 1
+        assert scaler.tick() is None  # first vote: hysteresis holds
+        assert scaler.tick() == 2  # second consecutive vote: act
+        assert server.calls == [2]
+
+    def test_vote_streak_resets_when_load_drops(self):
+        server, scaler = make()
+        server.queue_depth = 100.0
+        assert scaler.tick() is None
+        server.queue_depth = 4.0  # between the thresholds: neutral
+        assert scaler.tick() is None  # streak broken
+        server.queue_depth = 100.0
+        assert scaler.tick() is None  # streak restarts from one
+        assert server.calls == []
+
+    def test_shed_forces_up_vote_even_with_empty_queue(self):
+        server, scaler = make()
+        assert scaler.tick() is None  # baseline shed sample
+        server.shed_total = 5.0  # something was turned away since
+        assert scaler.tick() is None
+        server.shed_total = 6.0
+        assert scaler.tick() == 2
+        assert server.calls == [2]
+
+    def test_scale_down_is_slower_and_needs_quiet(self):
+        server, scaler = make(replicas=3)
+        server.queue_depth = 0.0
+        assert scaler.tick() is None
+        assert scaler.tick() is None
+        # A shed in the window vetoes the down vote and resets the streak.
+        server.shed_total = 1.0
+        assert scaler.tick() is None
+        assert scaler.tick() is None
+        assert scaler.tick() is None
+        assert scaler.tick() == 2  # three quiet ticks after the reset
+        assert server.calls == [2]
+
+    def test_cooldown_blocks_flapping(self):
+        server, scaler = make(cooldown_s=10.0)
+        server.queue_depth = 100.0
+        scaler.tick()
+        assert scaler.tick() == 2
+        # Load still high: votes keep accumulating, but the cooldown
+        # holds the controller still until enough time is credited.
+        assert scaler.tick(elapsed_s=1.0) is None
+        assert scaler.tick(elapsed_s=1.0) is None
+        assert scaler.tick(elapsed_s=20.0) == 3
+        assert server.calls == [2, 3]
+
+    def test_bounds_are_respected(self):
+        server, scaler = make(replicas=4, max_replicas=4)
+        server.queue_depth = 1000.0
+        for _ in range(6):
+            assert scaler.tick(elapsed_s=100.0) is None  # already at max
+        server, scaler = make(replicas=1, down_ticks=1)
+        server.queue_depth = 0.0
+        for _ in range(6):
+            assert scaler.tick(elapsed_s=100.0) is None  # already at min
+        assert server.calls == []
+
+    def test_stats_reports_ticks_and_events(self):
+        server, scaler = make()
+        server.queue_depth = 100.0
+        scaler.tick()
+        scaler.tick()
+        stats = scaler.stats()
+        assert stats["ticks"] == 2
+        assert stats["policy"]["max_replicas"] == 4
+        (event,) = stats["scale_events"]
+        assert event["direction"] == "up"
+        assert (event["from_replicas"], event["to_replicas"]) == (1, 2)
+
+    def test_thread_lifecycle_is_idempotent(self):
+        server, scaler = make()
+        scaler.start()
+        scaler.start()  # no second thread
+        scaler.stop()
+        scaler.stop()  # idempotent
+        scaler.start()  # restart-safe
+        scaler.stop()
