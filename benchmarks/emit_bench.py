@@ -561,7 +561,9 @@ def run_streaming_benches(
 
 def run_analysis_bench(rounds: int):
     """Time the static-analysis gate over the repo's own gated trees."""
-    from repro.analysis import analyze_paths, default_rules
+    import tempfile
+
+    from repro.analysis import AnalysisCache, analyze_paths, default_rules
 
     repo_root = Path(__file__).resolve().parent.parent
     paths = [
@@ -584,6 +586,35 @@ def run_analysis_bench(rounds: int):
         results[f"analysis_rule_{rule.rule_id}"] = _summary(
             _time_rounds(lambda: analyze_paths(paths, rules=[rule]), rounds)
         )
+
+    # Content-hash cache: cold pays parsing + per-file rules +
+    # call-graph summarization for every file; warm re-loads cached
+    # findings/summaries and recomputes only the project-wide rules.
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = Path(tmp) / "analysis-cache.json"
+
+        def cold_run():
+            cache_path.unlink(missing_ok=True)
+            analyze_paths(paths, rules=rules, cache=AnalysisCache(cache_path))
+
+        results["analysis_cache_cold"] = _summary(
+            _time_rounds(cold_run, rounds)
+        )
+        cold_run()  # leave a populated cache for the warm rounds
+
+        def warm_run():
+            analyze_paths(paths, rules=rules, cache=AnalysisCache(cache_path))
+
+        warm = _summary(_time_rounds(warm_run, rounds))
+        probe_cache = AnalysisCache(cache_path)
+        analyze_paths(paths, rules=rules, cache=probe_cache)
+        warm["hits"] = probe_cache.hits
+        warm["misses"] = probe_cache.misses
+        warm["speedup_vs_cold"] = (
+            results["analysis_cache_cold"]["seconds_mean"]
+            / max(warm["seconds_mean"], 1e-9)
+        )
+        results["analysis_cache_warm"] = warm
     return results
 
 

@@ -8,6 +8,23 @@ content-key inputs, and canonical CSR construction.  Run them with
 ``python -m repro.analysis``; ``tests/test_analysis_gate.py`` keeps the
 repo at zero unsuppressed findings in the tier-1 lane.
 
+Interprocedural tier (:mod:`repro.analysis.graph` +
+:mod:`repro.analysis.flow` + :mod:`repro.analysis.interproc`): a
+project-wide substrate — per-file summaries joined into a symbol table
+and conservative call graph, per-function CFGs with exception edges,
+and a held-lock dataflow lattice — carrying three rules single-file
+pattern matching cannot express: ``lock-order`` (cycles in the
+acquisition-order graph, held sets propagated across calls),
+``blocking-under-lock`` (blocking operations reachable while a
+``# guarded-by:`` lock is held), and ``future-resolution`` (every
+created future resolves or is handed off on all CFG paths, including
+the exception edges, plus the publish/stop-recheck protocol that
+closes the PR-8 stranded-caller race).  An ``unused-suppression``
+audit reports ``# repro: ignore`` comments that shield nothing.
+Per-file results and summaries are cached by content hash
+(:class:`repro.analysis.graph.AnalysisCache`); only changed files are
+re-summarized on a warm run.
+
 Dynamic tier (:mod:`repro.analysis.sanitizer`): instrumented locks and
 guarded-attribute tracers that catch lock-order inversions and
 unguarded cross-thread access under real load, driven by the *same*
@@ -17,19 +34,31 @@ unguarded cross-thread access under real load, driven by the *same*
 from repro.analysis.core import (
     AnalysisResult,
     Finding,
+    ProjectRule,
     Rule,
     SourceFile,
+    SuppressionMap,
     analyze_paths,
     collect_guarded,
     default_rules,
     iter_python_files,
 )
+from repro.analysis.graph import (
+    AnalysisCache,
+    FileSummary,
+    ProjectGraph,
+    summarize_source,
+)
 from repro.analysis.rules import (
     ALL_RULES,
+    BlockingUnderLockRule,
     CSRCanonicalRule,
     DeterminismRule,
     FingerprintCompletenessRule,
+    FutureResolutionRule,
     LockDisciplineRule,
+    LockOrderRule,
+    UnusedSuppressionRule,
 )
 from repro.analysis.sanitizer import (
     GuardedDeque,
@@ -40,26 +69,38 @@ from repro.analysis.sanitizer import (
     TracedLock,
     instrument,
 )
+from repro.analysis.sarif import to_sarif
 
 __all__ = [
     "ALL_RULES",
+    "AnalysisCache",
     "AnalysisResult",
+    "BlockingUnderLockRule",
     "CSRCanonicalRule",
     "DeterminismRule",
+    "FileSummary",
     "Finding",
     "FingerprintCompletenessRule",
+    "FutureResolutionRule",
     "GuardedDeque",
     "GuardedDict",
     "GuardedOrderedDict",
     "LockDisciplineRule",
+    "LockOrderRule",
+    "ProjectGraph",
+    "ProjectRule",
     "RaceReport",
     "Rule",
     "SourceFile",
+    "SuppressionMap",
     "ThreadSanitizer",
     "TracedLock",
+    "UnusedSuppressionRule",
     "analyze_paths",
     "collect_guarded",
     "default_rules",
     "instrument",
     "iter_python_files",
+    "summarize_source",
+    "to_sarif",
 ]

@@ -6,10 +6,16 @@ current directory) and exits non-zero when any unsuppressed finding
 remains — the same contract ``tests/test_analysis_gate.py`` enforces in
 the tier-1 lane.
 
+Per-file results (findings, call-graph summaries, suppression usage)
+are cached in ``.repro-analysis-cache.json`` keyed by content hash, so
+a warm run only re-analyzes files whose bytes changed; ``--no-cache``
+forces a cold run, ``--cache PATH`` relocates the cache file.
+
 Usage::
 
     PYTHONPATH=src python -m repro.analysis [paths...]
-        [--json] [--rules rule-a,rule-b] [--list-rules]
+        [--json | --sarif] [--rules rule-a,rule-b] [--list-rules]
+        [--no-cache] [--cache PATH]
 """
 
 from __future__ import annotations
@@ -21,9 +27,14 @@ import time
 from pathlib import Path
 
 from repro.analysis.core import analyze_paths, default_rules
+from repro.analysis.graph import AnalysisCache
+from repro.analysis.sarif import to_sarif
 
 #: Scanned when no paths are given (existing ones only).
 DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
+
+#: Default on-disk location of the per-file analysis cache.
+DEFAULT_CACHE = ".repro-analysis-cache.json"
 
 
 def main(argv=None) -> int:
@@ -36,9 +47,14 @@ def main(argv=None) -> int:
         help="files or directories to scan (default: src tests benchmarks "
              "examples, where present)",
     )
-    parser.add_argument(
+    output = parser.add_mutually_exclusive_group()
+    output.add_argument(
         "--json", action="store_true", dest="as_json",
         help="machine-readable output (findings + file count + seconds)",
+    )
+    output.add_argument(
+        "--sarif", action="store_true", dest="as_sarif",
+        help="SARIF 2.1.0 output for CI annotation tooling",
     )
     parser.add_argument(
         "--rules", default=None,
@@ -47,6 +63,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print known rule ids and exit",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the per-file analysis cache",
+    )
+    parser.add_argument(
+        "--cache", default=DEFAULT_CACHE, metavar="PATH",
+        help=f"analysis cache file (default: {DEFAULT_CACHE})",
     )
     args = parser.parse_args(argv)
 
@@ -75,15 +99,20 @@ def main(argv=None) -> int:
         print("no paths to scan", file=sys.stderr)
         return 2
 
+    cache = None if args.no_cache else AnalysisCache(args.cache)
     started = time.perf_counter()
-    result = analyze_paths(paths, rules=rules)
+    result = analyze_paths(paths, rules=rules, cache=cache)
     seconds = time.perf_counter() - started
 
     if args.as_json:
         payload = result.to_dict()
         payload["seconds"] = round(seconds, 6)
         payload["rules"] = [rule.rule_id for rule in rules]
+        if cache is not None:
+            payload["cache"] = {"hits": cache.hits, "misses": cache.misses}
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif args.as_sarif:
+        print(json.dumps(to_sarif(result, rules), indent=2, sort_keys=True))
     else:
         for finding in result.findings:
             print(finding.render())

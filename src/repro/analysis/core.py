@@ -44,11 +44,13 @@ from __future__ import annotations
 
 import ast
 import inspect
+import io
 import re
 import textwrap
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 #: Trailing annotation declaring an attribute lock-guarded.
 GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
@@ -94,6 +96,80 @@ class Finding:
         return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
 
 
+class SuppressionMap:
+    """Per-line ``# repro: ignore`` comments, with usage tracking.
+
+    ``lines`` maps a 1-based line number to the set of rule ids the
+    comment names (empty set = blanket, suppresses every rule).  Each
+    suppression that actually shields a finding records its line in
+    ``used`` — the ``unused-suppression`` audit reports the rest.
+
+    Suppressions are parsed from real ``tokenize`` COMMENT tokens, not
+    raw lines: an ignore-shaped substring inside a string literal (test
+    fixtures embed plenty) is data, not a directive — treating it as one
+    would both suppress real findings and flood the audit with
+    false "unused" hits.
+    """
+
+    def __init__(
+        self,
+        lines: Optional[Dict[int, set]] = None,
+        used: Optional[Iterable[int]] = None,
+    ):
+        self.lines: Dict[int, set] = dict(lines or {})
+        self.used: Set[int] = set(used or ())
+
+    @classmethod
+    def from_text(cls, text: str) -> "SuppressionMap":
+        lines: Dict[int, set] = {}
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(text).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            tokens = None
+        if tokens is not None:
+            candidates = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        else:  # unparseable: fall back to the raw-line scan
+            candidates = list(enumerate(text.splitlines(), start=1))
+        for number, chunk in candidates:
+            match = IGNORE_RE.search(chunk)
+            if match is None:
+                continue
+            rules = match.group("rules")
+            if rules is None:
+                lines[number] = set()
+            else:
+                lines[number] = {
+                    rule.strip() for rule in rules.split(",") if rule.strip()
+                }
+        return cls(lines)
+
+    def is_suppressed(
+        self, rule: str, line: int, end_line: Optional[int] = None
+    ) -> bool:
+        end_line = line if end_line is None else end_line
+        for number in range(line, end_line + 1):
+            rules = self.lines.get(number)
+            if rules is not None and (not rules or rule in rules):
+                self.used.add(number)
+                return True
+        return False
+
+    def to_dict(self) -> Dict[str, List[str]]:
+        return {str(n): sorted(r) for n, r in self.lines.items()}
+
+    @classmethod
+    def from_dict(
+        cls, data: Dict[str, List[str]], used: Iterable[int] = ()
+    ) -> "SuppressionMap":
+        return cls({int(n): set(r) for n, r in data.items()}, used)
+
+
 class SourceFile:
     """One parsed module: AST + raw lines + per-line suppressions."""
 
@@ -102,19 +178,9 @@ class SourceFile:
         self.text = text
         self.lines = text.splitlines()
         self.tree = ast.parse(text, filename=str(path))
+        self.suppression_map = SuppressionMap.from_text(text)
         #: line -> set of suppressed rule ids; empty set = all rules.
-        self.suppressions: Dict[int, set] = {}
-        for number, line in enumerate(self.lines, start=1):
-            match = IGNORE_RE.search(line)
-            if match is None:
-                continue
-            rules = match.group("rules")
-            if rules is None:
-                self.suppressions[number] = set()
-            else:
-                self.suppressions[number] = {
-                    rule.strip() for rule in rules.split(",") if rule.strip()
-                }
+        self.suppressions: Dict[int, set] = self.suppression_map.lines
 
     def line_text(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
@@ -125,12 +191,7 @@ class SourceFile:
         self, rule: str, line: int, end_line: Optional[int] = None
     ) -> bool:
         """True when an ignore comment covers ``rule`` on this statement."""
-        end_line = line if end_line is None else end_line
-        for number in range(line, end_line + 1):
-            rules = self.suppressions.get(number)
-            if rules is not None and (not rules or rule in rules):
-                return True
-        return False
+        return self.suppression_map.is_suppressed(rule, line, end_line)
 
 
 class Rule:
@@ -153,6 +214,23 @@ class Rule:
         return Finding(
             file=str(source.path), line=line, rule=self.rule_id, message=message
         )
+
+
+class ProjectRule(Rule):
+    """A rule that runs once over the whole project, not per file.
+
+    ``check`` is a no-op; :func:`analyze_paths` builds one
+    :class:`repro.analysis.graph.ProjectGraph` from every scanned file's
+    summary and calls :meth:`check_project` after the per-file rules.
+    Findings are filtered through the per-file suppression maps like any
+    other rule's.
+    """
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, graph) -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 # ---------------------------------------------------------------------- #
@@ -299,38 +377,148 @@ def default_rules() -> List[Rule]:
 def analyze_paths(
     paths: Iterable[Union[str, Path]],
     rules: Optional[Sequence[Rule]] = None,
+    cache=None,
 ) -> AnalysisResult:
     """Run every rule over every python file under ``paths``.
 
     Unparseable files produce a ``parse-error`` finding rather than
     crashing the analyzer — a syntax error in tree the gate covers is
     itself a failure worth surfacing.
+
+    Per-file work (parsing, the per-file rules, summarization) is
+    memoized in ``cache`` (an :class:`repro.analysis.graph.AnalysisCache`)
+    when one is given, keyed by content hash; project-wide rules
+    (:class:`ProjectRule`) recompute from the cached summaries every
+    run.  The ``unused-suppression`` audit runs last, over the
+    suppression-usage record the other rules left behind — a suppression
+    is only judged unused when every rule it names actually ran (a
+    blanket ``# repro: ignore`` requires the full default rule set).
     """
     rules = list(default_rules() if rules is None else rules)
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    audit_rules = [r for r in rules if getattr(r, "is_audit", False)]
+    local_rules = [
+        r for r in rules
+        if not isinstance(r, ProjectRule) and not getattr(r, "is_audit", False)
+    ]
+    from repro.analysis.graph import FileSummary, ProjectGraph, \
+        summarize_source  # local import: graph imports core
+
+    need_summaries = bool(project_rules) or cache is not None
+    rule_token = ",".join(sorted(r.rule_id for r in local_rules))
     result = AnalysisResult()
+    summaries: Dict[str, FileSummary] = {}
+    smaps: Dict[str, SuppressionMap] = {}
+
     for path in iter_python_files(paths):
+        spath = str(path)
         try:
-            text = path.read_text()
+            data = path.read_bytes()
         except OSError as exc:
             result.findings.append(
                 Finding(
-                    file=str(path), line=1, rule="parse-error",
+                    file=spath, line=1, rule="parse-error",
                     message=f"unreadable file: {exc}",
                 )
             )
             continue
         result.files_scanned += 1
-        try:
-            source = SourceFile(path, text)
-        except SyntaxError as exc:
-            result.findings.append(
-                Finding(
-                    file=str(path), line=int(exc.lineno or 1),
-                    rule="parse-error", message=f"syntax error: {exc.msg}",
+        key = None
+        if cache is not None:
+            key = cache.key_for(path, data, rule_token)
+            entry = cache.lookup(spath, key)
+            if entry is not None:
+                for raw in entry["findings"]:
+                    result.findings.append(Finding(**raw))
+                smaps[spath] = SuppressionMap.from_dict(
+                    entry.get("suppressions", {}), entry.get("used", ())
                 )
+                if entry.get("summary") is not None:
+                    summaries[spath] = FileSummary.from_dict(entry["summary"])
+                continue
+        try:
+            source = SourceFile(path, data.decode("utf-8"))
+        except (SyntaxError, UnicodeDecodeError, ValueError) as exc:
+            line = int(getattr(exc, "lineno", None) or 1)
+            msg = getattr(exc, "msg", None) or str(exc)
+            found = Finding(
+                file=spath, line=line, rule="parse-error",
+                message=f"syntax error: {msg}",
             )
+            result.findings.append(found)
+            if cache is not None:
+                cache.store(spath, key, {
+                    "findings": [found.to_dict()], "suppressions": {},
+                    "used": [], "summary": None,
+                })
             continue
-        for rule in rules:
-            result.findings.extend(rule.check(source))
+        file_findings: List[Finding] = []
+        for rule in local_rules:
+            file_findings.extend(rule.check(source))
+        summary = summarize_source(source) if need_summaries else None
+        smaps[spath] = source.suppression_map
+        if summary is not None:
+            summaries[spath] = summary
+        result.findings.extend(file_findings)
+        if cache is not None:
+            cache.store(spath, key, {
+                "findings": [f.to_dict() for f in file_findings],
+                "suppressions": source.suppression_map.to_dict(),
+                "used": sorted(source.suppression_map.used),
+                "summary": summary.to_dict() if summary else None,
+            })
+
+    if project_rules and summaries:
+        graph = ProjectGraph(summaries, smaps)
+        for rule in project_rules:
+            for found in rule.check_project(graph):
+                smap = smaps.get(found.file)
+                if smap is not None and smap.is_suppressed(
+                    found.rule, found.line
+                ):
+                    continue
+                result.findings.append(found)
+
+    if audit_rules:
+        executed = {r.rule_id for r in local_rules + project_rules}
+        from repro.analysis.rules import ALL_RULES
+
+        checkable = {
+            cls.rule_id for cls in ALL_RULES
+            if not getattr(cls, "is_audit", False)
+        }
+        full_run = checkable <= executed
+        audit_id = audit_rules[0].rule_id
+        for spath in sorted(smaps):
+            smap = smaps[spath]
+            for line in sorted(smap.lines):
+                if line in smap.used:
+                    continue
+                named = smap.lines[line]
+                if not named:  # blanket ignore: needs the full rule set
+                    if not full_run:
+                        continue
+                elif not named <= executed:
+                    continue
+                # Explicit ignore[unused-suppression] opts a line out of
+                # the audit; a *blanket* ignore does not get to shield
+                # itself (that exemption would be circular — every dead
+                # blanket ignore would self-justify).
+                if named and smap.is_suppressed(audit_id, line):
+                    continue
+                scope = "all rules" if not named else ", ".join(sorted(named))
+                result.findings.append(
+                    Finding(
+                        file=spath, line=line, rule=audit_id,
+                        message=(
+                            f"suppression ({scope}) shields no finding — "
+                            f"stale ignores rot the gate; delete it"
+                        ),
+                        severity="warning",
+                    )
+                )
+
     result.findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    if cache is not None:
+        cache.save()
     return result

@@ -1,0 +1,270 @@
+"""Per-function control flow: CFG with exception edges + lock context.
+
+The single-function AST rules in :mod:`repro.analysis.rules` match
+patterns lexically; the concurrency rules need two things those rules do
+not: *paths* (does every way out of ``submit`` resolve the future, even
+the way that goes through ``except queue.Full``?) and *context* (which
+locks are statically held at this call site?).  This module supplies
+both primitives; :mod:`repro.analysis.graph` composes them across files.
+
+:func:`build_cfg`
+    A statement-level control-flow graph for one function body.  Every
+    statement is a node; ``if``/``while``/``for``/``with``/``try`` wire
+    their bodies with the obvious successor edges, and — the part the
+    future-resolution rule depends on — every statement lexically inside
+    a ``try`` body gets an *exception edge* to each of its handlers (and
+    to the handlers of enclosing ``try`` statements, conservatively: the
+    analysis cannot know which exception types a call can raise).  Paths
+    that leave the function via an uncaught ``raise`` terminate at the
+    synthetic ``raise_exit`` node, distinct from the normal ``exit``.
+
+:func:`lock_events`
+    A lexical walk of a function body threading a *held-lock* tuple — a
+    tiny dataflow lattice whose elements are sets of lock tokens,
+    ordered by inclusion, joined by union.  ``with`` statements whose
+    context expression names a lock push onto the context; every other
+    statement and header expression is reported together with the locks
+    held around it.  :mod:`repro.analysis.graph` turns these events into
+    per-function summaries (acquisitions, call sites, blocking
+    operations — each with its held set) that the interprocedural
+    fixpoint then propagates along call edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["CFG", "CFGNode", "build_cfg", "lock_events", "reach_avoiding"]
+
+
+class CFGNode:
+    """One CFG vertex: a statement, or a synthetic entry/exit."""
+
+    __slots__ = ("stmt", "kind", "succ", "line")
+
+    def __init__(self, stmt: Optional[ast.stmt], kind: str = "stmt"):
+        self.stmt = stmt
+        self.kind = kind  # "stmt" | "entry" | "exit" | "raise"
+        self.succ: List["CFGNode"] = []
+        self.line = getattr(stmt, "lineno", 0)
+
+    def link(self, other: "CFGNode") -> None:
+        if other is not self and other not in self.succ:
+            self.succ.append(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.kind if self.stmt is None else type(self.stmt).__name__
+        return f"<CFGNode {label}@{self.line}>"
+
+
+class CFG:
+    """CFG of one function: entry, normal exit, exceptional exit."""
+
+    def __init__(self) -> None:
+        self.entry = CFGNode(None, "entry")
+        self.exit = CFGNode(None, "exit")
+        self.raise_exit = CFGNode(None, "raise")
+        self.nodes: List[CFGNode] = [self.entry, self.exit, self.raise_exit]
+        self._by_stmt = {}
+
+    def node_for(self, stmt: ast.stmt) -> Optional[CFGNode]:
+        return self._by_stmt.get(id(stmt))
+
+    def _make(self, stmt: ast.stmt) -> CFGNode:
+        node = CFGNode(stmt)
+        self.nodes.append(node)
+        self._by_stmt[id(stmt)] = node
+        return node
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        #: Stack of (break_collector, loop_header) for loops.
+        self._loops: List[Tuple[List[CFGNode], CFGNode]] = []
+        #: Stack of handler-entry lists for enclosing ``try`` bodies;
+        #: lists are filled *after* the body builds, so nodes record a
+        #: reference and edges are patched in :meth:`finish`.
+        self._try_frames: List[List[CFGNode]] = []
+        self._pending_exc: List[Tuple[CFGNode, List[CFGNode]]] = []
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        frontier = self._seq(body, [self.cfg.entry])
+        for node in frontier:
+            node.link(self.cfg.exit)
+        for node, frame in self._pending_exc:
+            for handler in frame:
+                node.link(handler)
+        return self.cfg
+
+    # ------------------------------------------------------------------ #
+
+    def _note(self, node: CFGNode) -> None:
+        """Record exception edges to every enclosing handler frame."""
+        for frame in self._try_frames:
+            self._pending_exc.append((node, frame))
+
+    def _seq(
+        self, stmts: Sequence[ast.stmt], frontier: List[CFGNode]
+    ) -> List[CFGNode]:
+        for stmt in stmts:
+            if not frontier:
+                # Unreachable code after return/raise/break: still build
+                # nodes (a resolver there must not count) but leave them
+                # disconnected from the path structure.
+                frontier = []
+            node = self.cfg._make(stmt)
+            self._note(node)
+            for prev in frontier:
+                prev.link(node)
+            frontier = self._stmt(stmt, node)
+        return frontier
+
+    def _stmt(self, stmt: ast.stmt, node: CFGNode) -> List[CFGNode]:
+        if isinstance(stmt, ast.Return):
+            node.link(self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node.link(self.cfg.raise_exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._loops[-1][0].append(node)
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                node.link(self._loops[-1][1])
+            return []
+        if isinstance(stmt, ast.If):
+            then_frontier = self._seq(stmt.body, [node])
+            if stmt.orelse:
+                else_frontier = self._seq(stmt.orelse, [node])
+            else:
+                else_frontier = [node]
+            return then_frontier + else_frontier
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            breaks: List[CFGNode] = []
+            self._loops.append((breaks, node))
+            body_frontier = self._seq(stmt.body, [node])
+            self._loops.pop()
+            for tail in body_frontier:
+                tail.link(node)
+            after: List[CFGNode] = [node]
+            if stmt.orelse:
+                after = self._seq(stmt.orelse, [node])
+            return after + breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._seq(stmt.body, [node])
+        if isinstance(stmt, ast.Try):
+            frame: List[CFGNode] = []
+            self._try_frames.append(frame)
+            body_frontier = self._seq(stmt.body, [node])
+            self._try_frames.pop()
+            handler_frontiers: List[CFGNode] = []
+            for handler in stmt.handlers:
+                hnode = self.cfg._make(handler)  # type: ignore[arg-type]
+                self._note(hnode)
+                frame.append(hnode)
+                handler_frontiers.extend(self._seq(handler.body, [hnode]))
+            if stmt.orelse:
+                body_frontier = self._seq(stmt.orelse, body_frontier)
+            frontier = body_frontier + handler_frontiers
+            if stmt.finalbody:
+                frontier = self._seq(stmt.finalbody, frontier)
+            return frontier
+        # Simple statements and nested defs/classes fall through.
+        return [node]
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """CFG of ``func``'s body (a FunctionDef/AsyncFunctionDef node)."""
+    body = getattr(func, "body", [])
+    return _Builder().build(body)
+
+
+def reach_avoiding(
+    start: Sequence[CFGNode],
+    target: CFGNode,
+    avoid: Set[int],
+) -> bool:
+    """True when ``target`` is reachable from ``start`` without entering
+    any node whose ``id()`` is in ``avoid`` (the avoided node itself is
+    not traversed; edges out of it do not count)."""
+    seen: Set[int] = set()
+    stack = [n for n in start if id(n) not in avoid]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if node is target:
+            return True
+        for succ in node.succ:
+            if id(succ) not in avoid and id(succ) not in seen:
+                stack.append(succ)
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# Lock-context lexical walk
+# ---------------------------------------------------------------------- #
+
+#: Event kinds produced by :func:`lock_events`:
+#:   ("acquire", token, held_before, node)  — a lock ``with`` item
+#:   ("stmt", stmt, held)                   — a simple statement
+#:   ("expr", expr, held)                   — a compound-stmt header expr
+#:   ("nested", funcdef, held)              — a nested function definition
+Event = Tuple[str, object, tuple, object]
+
+
+def lock_events(
+    body: Sequence[ast.stmt],
+    token_of: Callable[[ast.expr], Optional[str]],
+    held: Tuple[str, ...] = (),
+) -> Iterator[tuple]:
+    """Walk ``body`` lexically, threading the held-lock tuple.
+
+    ``token_of`` maps a ``with`` context expression to a lock token (or
+    None for non-lock context managers such as ``open()``).  Reentrant
+    re-acquisition of an already-held token does not extend the held
+    tuple (RLock reentry must not self-edge the order graph).
+    """
+    for stmt in body:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                token = token_of(item.context_expr)
+                if token is not None:
+                    yield ("acquire", token, inner, item.context_expr)
+                    if token not in inner:
+                        inner = inner + (token,)
+                else:
+                    yield ("expr", item.context_expr, held)
+            yield from lock_events(stmt.body, token_of, inner)
+        elif isinstance(stmt, ast.If):
+            yield ("expr", stmt.test, held)
+            yield from lock_events(stmt.body, token_of, held)
+            yield from lock_events(stmt.orelse, token_of, held)
+        elif isinstance(stmt, ast.While):
+            yield ("expr", stmt.test, held)
+            yield from lock_events(stmt.body, token_of, held)
+            yield from lock_events(stmt.orelse, token_of, held)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            yield ("expr", stmt.iter, held)
+            yield from lock_events(stmt.body, token_of, held)
+            yield from lock_events(stmt.orelse, token_of, held)
+        elif isinstance(stmt, ast.Try):
+            yield from lock_events(stmt.body, token_of, held)
+            for handler in stmt.handlers:
+                yield from lock_events(handler.body, token_of, held)
+            yield from lock_events(stmt.orelse, token_of, held)
+            yield from lock_events(stmt.finalbody, token_of, held)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield ("nested", stmt, held)
+        elif isinstance(stmt, ast.ClassDef):
+            # Method bodies of a nested class run later, under unknown
+            # context — skip, matching the nested-def treatment.
+            continue
+        else:
+            yield ("stmt", stmt, held)

@@ -1,0 +1,883 @@
+"""Project-wide analysis substrate: summaries, call graph, file cache.
+
+The interprocedural rules (``lock-order``, ``blocking-under-lock``) need
+to see across files: a lock acquired in ``repro.serve.server`` while a
+``repro.hin.cache`` method runs is a fact no single-file AST walk can
+establish.  The pipeline here is the classic summary-based design:
+
+1. :func:`summarize_source` reduces one parsed file to a
+   :class:`FileSummary` — imports, classes (lock attributes, guarded
+   locks, attribute types from ``__init__``), and per-function
+   :class:`FunctionSummary` records (lock acquisitions, call sites, and
+   blocking operations, each tagged with the lock tokens statically held
+   around it, via :func:`repro.analysis.flow.lock_events`).  Summaries
+   are pure data — JSON-serializable, so the :class:`AnalysisCache` can
+   persist them per file, keyed by content hash, and a warm run only
+   re-summarizes files whose bytes changed.
+
+2. :class:`ProjectGraph` joins the summaries: a symbol table over every
+   module, *conservative* call resolution (``self.method``, locals and
+   ``self.<attr>`` typed by constructor assignment, imported symbols,
+   and a unique-name fallback that only fires when exactly one project
+   class defines the method and the receiver's type is unknown), and
+   memoized closures over the call graph — the set of locks a call may
+   transitively acquire, and the nearest blocking operation a call may
+   transitively reach.  Unresolvable call targets (dynamic dispatch,
+   callbacks, stdlib) are dropped rather than guessed: the gate requires
+   zero false findings on the whole tree, so precision beats recall at
+   every ambiguous edge.
+
+Lock identity is module-qualified: ``repro.serve.server.ModelServer._lock``
+names one lock project-wide, which is what lets the acquisition-order
+graph span modules exactly like the runtime ``TracedLock`` edge map.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import SourceFile, guarded_attributes_from_source
+from repro.analysis.flow import lock_events
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_VERSION",
+    "ClassSummary",
+    "FileSummary",
+    "FunctionSummary",
+    "ProjectGraph",
+    "summarize_source",
+]
+
+#: Bump to invalidate every cached entry (schema or semantics change).
+CACHE_VERSION = "1"
+
+#: Constructor tails recognized as lock objects.
+_LOCK_CTORS = {"Condition", "Semaphore", "BoundedSemaphore"}
+
+#: Method names too generic for the unique-name call fallback — they
+#: collide with stdlib container/IO protocols, where a wrong edge would
+#: fabricate lock-order cycles out of thin air.
+_FALLBACK_BLACKLIST = {
+    "acquire", "add", "all", "any", "append", "appendleft", "astype",
+    "clear", "close", "copy", "count", "decode", "dot", "encode",
+    "extend", "format", "get", "get_nowait", "index", "is_set", "items",
+    "join", "keys", "max", "mean", "min", "move_to_end", "open", "pop",
+    "popitem", "popleft", "put", "put_nowait", "read", "recv",
+    "release", "remove", "render", "reshape", "result", "run", "send",
+    "set", "setdefault", "sort", "split", "start", "stop", "strip",
+    "submit", "sum", "to_dict", "tobytes", "update", "values", "wait",
+    "write",
+}
+
+
+def _dotted(node: ast.expr) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_lock_name(name: str) -> bool:
+    parts = [p for p in name.lower().split("_") if p]
+    return any(p in ("lock", "mutex", "mu") for p in parts)
+
+
+def _is_lock_ctor(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    tail = _dotted(value.func).rsplit(".", 1)[-1]
+    return tail.endswith("Lock") or tail in _LOCK_CTORS
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name for ``path`` (project layout aware).
+
+    ``src/repro/serve/server.py`` -> ``repro.serve.server``;
+    ``tests/test_serve.py`` -> ``tests.test_serve``; absolute paths
+    outside the tree (test fixtures in tmp dirs) use the bare stem so
+    same-directory fixtures can import each other by stem.
+    """
+    parts = path.parts
+    if "src" in parts:
+        rel: Tuple[str, ...] = parts[len(parts) - parts[::-1].index("src"):]
+    elif not path.is_absolute():
+        rel = parts
+    else:
+        rel = (path.name,)
+    dotted = ".".join(rel)
+    if dotted.endswith(".py"):
+        dotted = dotted[: -len(".py")]
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+# ---------------------------------------------------------------------- #
+# Summaries
+# ---------------------------------------------------------------------- #
+
+
+class FunctionSummary:
+    """Everything the project graph needs to know about one function."""
+
+    __slots__ = (
+        "qualname", "cls", "line", "acquisitions", "calls", "blocking",
+        "creates_future", "resolves_future", "local_types", "nested",
+    )
+
+    def __init__(self, qualname: str, cls: Optional[str], line: int):
+        self.qualname = qualname
+        self.cls = cls
+        self.line = line
+        #: [(lock_token, held_tuple, line)]
+        self.acquisitions: List[Tuple[str, Tuple[str, ...], int]] = []
+        #: [(kind, target, held_tuple, line)]; kind: "self"|"name"|"attr"
+        self.calls: List[Tuple[str, str, Tuple[str, ...], int]] = []
+        #: [(kind, detail, held_tuple, line)]
+        self.blocking: List[Tuple[str, str, Tuple[str, ...], int]] = []
+        self.creates_future = False
+        self.resolves_future = False
+        #: local variable -> constructor dotted name ("" = unknown call)
+        self.local_types: Dict[str, str] = {}
+        #: nested def name -> file-level qualname
+        self.nested: Dict[str, str] = {}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "qualname": self.qualname,
+            "cls": self.cls,
+            "line": self.line,
+            "acquisitions": [
+                [t, list(h), ln] for t, h, ln in self.acquisitions
+            ],
+            "calls": [[k, t, list(h), ln] for k, t, h, ln in self.calls],
+            "blocking": [[k, d, list(h), ln] for k, d, h, ln in self.blocking],
+            "creates_future": self.creates_future,
+            "resolves_future": self.resolves_future,
+            "local_types": self.local_types,
+            "nested": self.nested,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FunctionSummary":
+        out = cls(data["qualname"], data.get("cls"), int(data.get("line", 0)))
+        out.acquisitions = [
+            (t, tuple(h), ln) for t, h, ln in data.get("acquisitions", [])
+        ]
+        out.calls = [
+            (k, t, tuple(h), ln) for k, t, h, ln in data.get("calls", [])
+        ]
+        out.blocking = [
+            (k, d, tuple(h), ln) for k, d, h, ln in data.get("blocking", [])
+        ]
+        out.creates_future = bool(data.get("creates_future"))
+        out.resolves_future = bool(data.get("resolves_future"))
+        out.local_types = dict(data.get("local_types", {}))
+        out.nested = dict(data.get("nested", {}))
+        return out
+
+
+class ClassSummary:
+    """Per-class facts: locks, guarded attrs, attribute types, bases."""
+
+    __slots__ = (
+        "name", "bases", "lock_attrs", "attr_types", "guarded",
+        "methods", "stop_events", "line",
+    )
+
+    def __init__(self, name: str, line: int):
+        self.name = name
+        self.line = line
+        self.bases: List[str] = []
+        self.lock_attrs: Set[str] = set()
+        #: instance attr -> constructor dotted name
+        self.attr_types: Dict[str, str] = {}
+        #: guarded attr -> lock attr (from ``# guarded-by:``)
+        self.guarded: Dict[str, str] = {}
+        self.methods: Set[str] = set()
+        #: attrs assigned ``threading.Event()`` (stop-flag protocol)
+        self.stop_events: Set[str] = set()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "bases": self.bases,
+            "lock_attrs": sorted(self.lock_attrs),
+            "attr_types": self.attr_types,
+            "guarded": self.guarded,
+            "methods": sorted(self.methods),
+            "stop_events": sorted(self.stop_events),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ClassSummary":
+        out = cls(data["name"], int(data.get("line", 0)))
+        out.bases = list(data.get("bases", []))
+        out.lock_attrs = set(data.get("lock_attrs", []))
+        out.attr_types = dict(data.get("attr_types", {}))
+        out.guarded = dict(data.get("guarded", {}))
+        out.methods = set(data.get("methods", []))
+        out.stop_events = set(data.get("stop_events", []))
+        return out
+
+
+class FileSummary:
+    """One file reduced to the facts the project graph joins."""
+
+    __slots__ = ("path", "module", "imports", "classes", "functions",
+                 "module_locks")
+
+    def __init__(self, path: str, module: str):
+        self.path = path
+        self.module = module
+        #: local alias -> imported dotted name
+        self.imports: Dict[str, str] = {}
+        self.classes: Dict[str, ClassSummary] = {}
+        #: qualname ("Class.method", "func", "outer.inner") -> summary
+        self.functions: Dict[str, FunctionSummary] = {}
+        #: module-level names bound to lock constructors
+        self.module_locks: Set[str] = set()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "imports": self.imports,
+            "classes": {n: c.to_dict() for n, c in self.classes.items()},
+            "functions": {
+                n: f.to_dict() for n, f in self.functions.items()
+            },
+            "module_locks": sorted(self.module_locks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FileSummary":
+        out = cls(data["path"], data["module"])
+        out.imports = dict(data.get("imports", {}))
+        out.classes = {
+            n: ClassSummary.from_dict(c)
+            for n, c in data.get("classes", {}).items()
+        }
+        out.functions = {
+            n: FunctionSummary.from_dict(f)
+            for n, f in data.get("functions", {}).items()
+        }
+        out.module_locks = set(data.get("module_locks", []))
+        return out
+
+
+# ---------------------------------------------------------------------- #
+# Blocking-operation catalog
+# ---------------------------------------------------------------------- #
+
+_SUBPROCESS_CALLS = {"run", "call", "check_call", "check_output", "Popen"}
+_PATH_IO = {"read_text", "write_text", "read_bytes", "write_bytes"}
+_NUMPY_IO = {"save", "savez", "savez_compressed", "load"}
+_SOCKET_OPS = {"recv", "sendall", "accept", "connect"}
+_ENGINE_COMPOSE = {
+    "product", "chain", "suffix_products", "_compose", "_compose_rows",
+}
+_NO_ARG_WAITS = {"join", "wait", "result"}
+
+
+def _classify_blocking(
+    call: ast.Call, imports: Dict[str, str]
+) -> Optional[Tuple[str, str]]:
+    """(kind, detail) when ``call`` is a known blocking operation."""
+    func = call.func
+    dotted = _dotted(func)
+    attr = func.attr if isinstance(func, ast.Attribute) else dotted
+    kwargs = {kw.arg for kw in call.keywords}
+    resolved = imports.get(dotted.split(".", 1)[0], "") if dotted else ""
+
+    if dotted == "time.sleep" or (
+        isinstance(func, ast.Name) and imports.get(func.id) == "time.sleep"
+    ):
+        return ("sleep", dotted or "sleep")
+    if (
+        isinstance(func, ast.Attribute)
+        and attr in ("get", "put")
+        and "timeout" not in kwargs
+        and "queue" in _dotted(func.value).lower()
+    ):
+        return ("queue-wait", f"{dotted} without timeout")
+    if (
+        isinstance(func, ast.Attribute)
+        and attr in _NO_ARG_WAITS
+        and not call.args
+        and not call.keywords
+        and not isinstance(func.value, ast.Constant)
+    ):
+        return ("unbounded-wait", f"{dotted or attr}() without timeout")
+    if (
+        dotted.startswith("subprocess.") and attr in _SUBPROCESS_CALLS
+    ) or resolved == "subprocess" or attr == "communicate":
+        return ("subprocess", dotted or attr)
+    if isinstance(func, ast.Name) and func.id == "open":
+        return ("file-io", "open")
+    if isinstance(func, ast.Attribute) and attr in _PATH_IO:
+        return ("file-io", dotted or attr)
+    if isinstance(func, ast.Attribute) and attr in _NUMPY_IO and (
+        dotted.startswith("np.") or dotted.startswith("numpy.")
+    ):
+        return ("file-io", dotted)
+    if dotted.startswith(("pickle.", "shutil.")) and attr in (
+        "dump", "load", "copy", "copytree", "move", "rmtree", "copyfile"
+    ):
+        return ("file-io", dotted)
+    if attr in _SOCKET_OPS or dotted in ("socket.socket", "urlopen"):
+        return ("socket-io", dotted or attr)
+    if (
+        isinstance(func, ast.Attribute)
+        and attr in _ENGINE_COMPOSE
+        and "engine" in _dotted(func.value).lower()
+    ):
+        return ("engine-compose", dotted)
+    return None
+
+
+# ---------------------------------------------------------------------- #
+# Per-file summarization
+# ---------------------------------------------------------------------- #
+
+
+def _iter_calls(expr: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes in ``expr``, not descending into lambda bodies."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Lambda):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _Summarizer:
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.summary = FileSummary(str(source.path), module_name(source.path))
+
+    def run(self) -> FileSummary:
+        self._imports(self.source.tree)
+        for node in self.source.tree.body:
+            if isinstance(node, ast.Assign) and _is_lock_ctor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self.summary.module_locks.add(target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(node, cls=None, prefix="")
+            elif isinstance(node, ast.ClassDef):
+                self._class(node)
+        return self.summary
+
+    def _imports(self, tree: ast.Module) -> None:
+        package = self.summary.module.rsplit(".", 1)[0] \
+            if "." in self.summary.module else ""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else name
+                    self.summary.imports[name] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base_parts = self.summary.module.split(".")
+                    base_parts = base_parts[: len(base_parts) - node.level]
+                    base = ".".join(base_parts) or package
+                else:
+                    base = ""
+                root = node.module or ""
+                prefix = ".".join(p for p in (base, root) if p)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name
+                    self.summary.imports[name] = (
+                        f"{prefix}.{alias.name}" if prefix else alias.name
+                    )
+
+    def _class(self, node: ast.ClassDef) -> None:
+        cls = ClassSummary(node.name, node.lineno)
+        cls.bases = [d for d in (_dotted(b) for b in node.bases) if d]
+        cls.guarded = guarded_attributes_from_source(
+            self.source.lines, node
+        )
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and _is_lock_ctor(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        cls.lock_attrs.add(target.id)
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Assign):
+                continue
+            value = sub.value
+            for target in sub.targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                if _is_lock_ctor(value):
+                    cls.lock_attrs.add(target.attr)
+                elif isinstance(value, ast.Call):
+                    ctor = _dotted(value.func)
+                    if ctor.rsplit(".", 1)[-1] == "Event":
+                        cls.stop_events.add(target.attr)
+                    elif ctor:
+                        cls.attr_types.setdefault(target.attr, ctor)
+        self.summary.classes[node.name] = cls
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                cls.methods.add(stmt.name)
+                self._function(stmt, cls=cls, prefix=f"{node.name}.")
+
+    # ------------------------------------------------------------------ #
+
+    def _token_of(self, cls: Optional[ClassSummary], qualname: str):
+        module = self.summary.module
+        guard_locks = set(cls.guarded.values()) if cls is not None else set()
+
+        def token(expr: ast.expr) -> Optional[str]:
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+            ):
+                base, attr = expr.value.id, expr.attr
+                if base in ("self", "cls") and cls is not None:
+                    if (
+                        attr in cls.lock_attrs
+                        or attr in guard_locks
+                        or _is_lock_name(attr)
+                    ):
+                        return f"{module}.{cls.name}.{attr}"
+                    return None
+                if base in self.summary.classes:
+                    owner = self.summary.classes[base]
+                    if attr in owner.lock_attrs or _is_lock_name(attr):
+                        return f"{module}.{base}.{attr}"
+                return None
+            if isinstance(expr, ast.Name):
+                name = expr.id
+                if name in self.summary.module_locks:
+                    return f"{module}.{name}"
+                if not _is_lock_name(name):
+                    return None
+                if name in self.summary.imports:
+                    # Imported module-level lock: identity lives at the
+                    # defining module, shared across importers.
+                    return self.summary.imports[name]
+                # Function-local lock object: scope the token to this
+                # function — locals of different functions are distinct
+                # objects and must never be unified into one graph node
+                # (that fabricates cycles between unrelated tests).
+                return f"{module}.{qualname}.{name}"
+            return None
+
+        return token
+
+    def _function(
+        self,
+        node: ast.AST,
+        cls: Optional[ClassSummary],
+        prefix: str,
+    ) -> None:
+        qualname = f"{prefix}{node.name}"
+        fn = FunctionSummary(qualname, cls.name if cls else None, node.lineno)
+        self.summary.functions[qualname] = fn
+        token_of = self._token_of(cls, qualname)
+        for event in lock_events(node.body, token_of):
+            kind = event[0]
+            if kind == "acquire":
+                _, tok, held, expr = event
+                fn.acquisitions.append((tok, held, expr.lineno))
+            elif kind == "nested":
+                _, sub, _held = event
+                sub_qual = f"{qualname}.{sub.name}"
+                fn.nested[sub.name] = sub_qual
+                self._function(sub, cls=cls, prefix=f"{qualname}.")
+                self.summary.functions[sub_qual] = \
+                    self.summary.functions.pop(f"{qualname}.{sub.name}")
+            else:
+                _, payload, held = event
+                if kind == "stmt":
+                    self._scan_stmt(payload, held, fn)
+                else:
+                    self._scan_expr(payload, held, fn)
+
+    def _scan_stmt(
+        self, stmt: ast.stmt, held: Tuple[str, ...], fn: FunctionSummary
+    ) -> None:
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            ctor = _dotted(stmt.value.func)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and ctor:
+                    fn.local_types.setdefault(target.id, ctor)
+                    if ctor.rsplit(".", 1)[-1].endswith("Future"):
+                        fn.creates_future = True
+        self._scan_expr(stmt, held, fn)
+
+    def _scan_expr(
+        self, expr: ast.AST, held: Tuple[str, ...], fn: FunctionSummary
+    ) -> None:
+        for call in _iter_calls(expr):
+            blocking = _classify_blocking(call, self.summary.imports)
+            if blocking is not None:
+                fn.blocking.append(
+                    (blocking[0], blocking[1], held, call.lineno)
+                )
+            dotted = _dotted(call.func)
+            if not dotted:
+                continue
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail in ("_finish", "set_result", "set_exception"):
+                fn.resolves_future = True
+            if dotted.startswith("self.") or dotted.startswith("cls."):
+                fn.calls.append(
+                    ("self", dotted.split(".", 1)[1], held, call.lineno)
+                )
+            elif "." in dotted:
+                fn.calls.append(("attr", dotted, held, call.lineno))
+            else:
+                fn.calls.append(("name", dotted, held, call.lineno))
+
+
+def summarize_source(source: SourceFile) -> FileSummary:
+    """Reduce one parsed file to its :class:`FileSummary`."""
+    return _Summarizer(source).run()
+
+
+# ---------------------------------------------------------------------- #
+# Project graph
+# ---------------------------------------------------------------------- #
+
+
+class ProjectGraph:
+    """Symbol table + conservative call graph over file summaries.
+
+    Function identity is ``"<module>:<qualname>"`` (the colon keeps
+    module dots and qualname dots apart).  Resolution never guesses at
+    an ambiguous receiver: a call that cannot be pinned to exactly one
+    project function contributes no edge.
+    """
+
+    def __init__(
+        self,
+        summaries: Dict[str, "FileSummary"],
+        suppressions: Optional[Dict[str, object]] = None,
+    ):
+        self.summaries = summaries
+        self._supp = suppressions or {}
+        self.modules: Dict[str, FileSummary] = {}
+        self.functions: Dict[str, Tuple[FunctionSummary, FileSummary]] = {}
+        self.classes: Dict[str, Tuple[ClassSummary, FileSummary]] = {}
+        self._by_method: Dict[str, List[str]] = {}
+        self._by_class_name: Dict[str, List[str]] = {}
+        self.guarded_locks: Set[str] = set()
+        for fs in summaries.values():
+            self.modules[fs.module] = fs
+            for qual, fn in fs.functions.items():
+                self.functions[f"{fs.module}:{qual}"] = (fn, fs)
+                self._by_method.setdefault(qual.rsplit(".", 1)[-1], []) \
+                    .append(f"{fs.module}:{qual}")
+            for name, cls in fs.classes.items():
+                self.classes[f"{fs.module}:{name}"] = (cls, fs)
+                self._by_class_name.setdefault(name, []) \
+                    .append(f"{fs.module}:{name}")
+                for lock in set(cls.guarded.values()):
+                    self.guarded_locks.add(f"{fs.module}.{name}.{lock}")
+        self._acquired_memo: Dict[str, Set[str]] = {}
+        self._blocking_memo: Dict[str, Optional[tuple]] = {}
+
+    # -- suppression passthrough --------------------------------------- #
+
+    def is_suppressed(self, rule: str, file: str, line: int) -> bool:
+        smap = self._supp.get(file)
+        return bool(smap is not None and smap.is_suppressed(rule, line))
+
+    # -- symbol resolution --------------------------------------------- #
+
+    def _resolve_class_ref(
+        self, fs: FileSummary, dotted: str
+    ) -> Optional[str]:
+        """Class fqn ("module:Class") for a dotted type reference."""
+        segs = dotted.split(".")
+        if len(segs) == 1:
+            name = segs[0]
+            if f"{fs.module}:{name}" in self.classes:
+                return f"{fs.module}:{name}"
+            imported = fs.imports.get(name)
+            if imported:
+                mod, _, cls_name = imported.rpartition(".")
+                if mod and f"{mod}:{cls_name}" in self.classes:
+                    return f"{mod}:{cls_name}"
+                return None
+            hits = self._by_class_name.get(name, [])
+            return hits[0] if len(hits) == 1 else None
+        base = fs.imports.get(segs[0])
+        if base:
+            full = ".".join([base] + segs[1:])
+        else:
+            full = dotted
+        mod, _, cls_name = full.rpartition(".")
+        if mod and f"{mod}:{cls_name}" in self.classes:
+            return f"{mod}:{cls_name}"
+        return None
+
+    def _method_on(
+        self, class_fqn: str, method: str, _seen: Optional[Set[str]] = None
+    ) -> Optional[str]:
+        seen = _seen if _seen is not None else set()
+        if class_fqn in seen:
+            return None
+        seen.add(class_fqn)
+        entry = self.classes.get(class_fqn)
+        if entry is None:
+            return None
+        cls, fs = entry
+        if method in cls.methods:
+            return f"{fs.module}:{cls.name}.{method}"
+        for base in cls.bases:
+            base_fqn = self._resolve_class_ref(fs, base)
+            if base_fqn is not None:
+                found = self._method_on(base_fqn, method, seen)
+                if found is not None:
+                    return found
+        return None
+
+    def resolve_call(
+        self, caller_fqn: str, kind: str, target: str
+    ) -> Optional[str]:
+        entry = self.functions.get(caller_fqn)
+        if entry is None:
+            return None
+        fn, fs = entry
+        if kind == "self":
+            segs = target.split(".")
+            if fn.cls is None:
+                return None
+            if len(segs) == 1:
+                return self._method_on(f"{fs.module}:{fn.cls}", segs[0])
+            if len(segs) == 2:
+                cls = fs.classes.get(fn.cls)
+                ctor = cls.attr_types.get(segs[0]) if cls else None
+                if ctor is None:
+                    return self._unique_method(segs[-1])
+                owner = self._resolve_class_ref(fs, ctor)
+                if owner is None:
+                    return None  # typed, but not a project class
+                return self._method_on(owner, segs[1])
+            return None
+        if kind == "name":
+            nested = fn.nested.get(target)
+            if nested is not None:
+                return f"{fs.module}:{nested}"
+            if target in fs.functions:
+                return f"{fs.module}:{target}"
+            imported = fs.imports.get(target)
+            if imported and "." in imported:
+                mod, _, name = imported.rpartition(".")
+                if f"{mod}:{name}" in self.functions:
+                    return f"{mod}:{name}"
+                if f"{mod}:{name}" in self.classes:
+                    return self._method_on(f"{mod}:{name}", "__init__")
+                return None
+            if f"{fs.module}:{target}" in self.classes:
+                return self._method_on(f"{fs.module}:{target}", "__init__")
+            if imported:
+                return None
+            return self._unique_function(target)
+        # kind == "attr": dotted receiver
+        segs = target.split(".")
+        method = segs[-1]
+        base = segs[0]
+        if base in fn.local_types and len(segs) == 2:
+            owner = self._resolve_class_ref(fs, fn.local_types[base])
+            if owner is None:
+                return None  # typed as non-project (queue.Queue, ...)
+            return self._method_on(owner, method)
+        if base in fs.imports:
+            imported = fs.imports[base]
+            if len(segs) == 2 and f"{imported}:{method}" in self.functions:
+                return f"{imported}:{method}"
+            if len(segs) == 3:
+                cls_fqn = f"{imported}:{segs[1]}"
+                if cls_fqn in self.classes:
+                    return self._method_on(cls_fqn, method)
+                mod = f"{imported}.{segs[1]}"
+                if f"{mod}:{method}" in self.functions:
+                    return f"{mod}:{method}"
+            return None
+        if f"{fs.module}:{base}" in self.classes and len(segs) == 2:
+            return self._method_on(f"{fs.module}:{base}", method)
+        if base in fn.local_types or base in fs.module_locks:
+            return None
+        return self._unique_method(method)
+
+    def _unique_method(self, method: str) -> Optional[str]:
+        if method in _FALLBACK_BLACKLIST or method.startswith("__"):
+            return None
+        hits = self._by_method.get(method, [])
+        if len(hits) != 1:
+            return None
+        fn, _fs = self.functions[hits[0]]
+        return hits[0] if fn.cls is not None else None
+
+    def _unique_function(self, name: str) -> Optional[str]:
+        if name in _FALLBACK_BLACKLIST:
+            return None
+        hits = [
+            fqn for fqn in self._by_method.get(name, [])
+            if self.functions[fqn][0].cls is None
+            and "." not in self.functions[fqn][0].qualname
+        ]
+        return hits[0] if len(hits) == 1 else None
+
+    # -- closures over the call graph ---------------------------------- #
+
+    def acquired_closure(
+        self, fqn: str, _stack: Optional[Set[str]] = None
+    ) -> Set[str]:
+        """Locks ``fqn`` may acquire, directly or transitively."""
+        memo = self._acquired_memo.get(fqn)
+        if memo is not None:
+            return memo
+        stack = _stack if _stack is not None else set()
+        if fqn in stack:
+            return set()
+        stack.add(fqn)
+        entry = self.functions.get(fqn)
+        acquired: Set[str] = set()
+        if entry is not None:
+            fn, _fs = entry
+            acquired.update(tok for tok, _held, _line in fn.acquisitions)
+            for kind, target, _held, _line in fn.calls:
+                callee = self.resolve_call(fqn, kind, target)
+                if callee is not None:
+                    acquired |= self.acquired_closure(callee, stack)
+        stack.discard(fqn)
+        self._acquired_memo[fqn] = acquired
+        return acquired
+
+    def find_blocking(
+        self, fqn: str, _stack: Optional[Set[str]] = None
+    ) -> Optional[Tuple[str, str, str, int, Tuple[str, ...]]]:
+        """First blocking op reachable from ``fqn``:
+        ``(kind, detail, file, line, call_chain)`` or None."""
+        if fqn in self._blocking_memo:
+            return self._blocking_memo[fqn]
+        stack = _stack if _stack is not None else set()
+        if fqn in stack:
+            return None
+        stack.add(fqn)
+        entry = self.functions.get(fqn)
+        found: Optional[Tuple[str, str, str, int, Tuple[str, ...]]] = None
+        if entry is not None:
+            fn, fs = entry
+            if fn.blocking:
+                kind, detail, _held, line = fn.blocking[0]
+                found = (kind, detail, fs.path, line, (fqn,))
+            else:
+                for ckind, target, _held, _line in fn.calls:
+                    callee = self.resolve_call(fqn, ckind, target)
+                    if callee is None:
+                        continue
+                    sub = self.find_blocking(callee, stack)
+                    if sub is not None:
+                        kind, detail, path, line, chain = sub
+                        found = (kind, detail, path, line, (fqn,) + chain)
+                        break
+        stack.discard(fqn)
+        self._blocking_memo[fqn] = found
+        return found
+
+
+# ---------------------------------------------------------------------- #
+# Per-file analysis cache
+# ---------------------------------------------------------------------- #
+
+
+class AnalysisCache:
+    """Content-hash-keyed per-file cache of findings + summaries.
+
+    One JSON file maps source path -> {key, findings, suppressions,
+    used, summary}.  The key covers the cache schema version, the ids of
+    the per-file rules that ran, the file bytes, and — because the
+    fingerprint-completeness rule reads the sibling ``artifacts.py`` —
+    that sibling's bytes when one exists.  Cross-file facts (lock-order
+    edges, blocking closures) are *not* cached: they are recomputed each
+    run from the cached summaries, which is the cheap part.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        try:
+            data = json.loads(self.path.read_text())
+            if data.get("version") == CACHE_VERSION:
+                self._entries = data.get("entries", {})
+        except (OSError, ValueError):
+            self._entries = {}
+
+    def key_for(self, path: Path, data: bytes, rule_token: str) -> str:
+        digest = hashlib.sha256()
+        digest.update(CACHE_VERSION.encode())
+        digest.update(b"\x00")
+        digest.update(rule_token.encode())
+        digest.update(b"\x00")
+        digest.update(data)
+        sibling = path.parent / "artifacts.py"
+        if path.name != "artifacts.py" and sibling.is_file():
+            try:
+                digest.update(sibling.read_bytes())
+            except OSError:
+                pass
+        return digest.hexdigest()
+
+    def lookup(self, path: str, key: str) -> Optional[Dict[str, object]]:
+        entry = self._entries.get(path)
+        if entry is not None and entry.get("key") == key:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, path: str, key: str, entry: Dict[str, object]) -> None:
+        entry = dict(entry)
+        entry["key"] = key
+        self._entries[path] = entry
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = json.dumps(
+            {"version": CACHE_VERSION, "entries": self._entries},
+            separators=(",", ":"),
+        )
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.path.parent) or ".", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, self.path)
+        except OSError:
+            return
+        self._dirty = False

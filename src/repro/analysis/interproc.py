@@ -1,0 +1,546 @@
+"""Cross-module concurrency rules over the graph/flow substrate.
+
+Three checkers, each the static twin of a failure class PR 8 hit (or
+nearly hit) at runtime:
+
+``lock-order``
+    Builds the project-wide lock acquisition-order graph — an edge
+    A -> B whenever B is acquired while A is held, both from direct
+    lexical nesting and from calls made under a lock into functions
+    whose transitive closure acquires other locks — and reports every
+    cycle.  This is exactly the edge map the runtime
+    :class:`repro.analysis.sanitizer.TracedLock` maintains, computed
+    over *all* paths instead of only the ones a test happened to drive.
+
+``blocking-under-lock``
+    Flags blocking operations (unbounded ``queue.get/put``,
+    ``time.sleep``, file/socket IO, ``subprocess``, zero-timeout
+    ``join``/``wait``/``result``, engine compose entry points) executed
+    — directly or through resolvable call chains — while a
+    ``# guarded-by:`` lock is statically held.  Guarded locks are the
+    hot serving-path locks; a disk write or queue wait under one stalls
+    every request behind it.
+
+``future-resolution``
+    Path-sensitive, per function, over the exception-edged CFG of
+    :func:`repro.analysis.flow.build_cfg`.  Two obligations for every
+    created future: (a) no path may reach a *normal* return leaving the
+    future neither resolved (``_finish``/``set_result``/
+    ``set_exception``) nor handed off to an owner (stored into a
+    container/attribute or passed to a call) — paths that leave by
+    ``raise`` are fine, the caller never received the future; (b) in a
+    class with a stop event (``threading.Event``) and a drain method,
+    every path from a queue publish to a normal return must re-check the
+    stop flag and route to a resolver — the exact
+    ``ModelServer.submit``/``stop`` race PR 8 fixed, kept fixed by the
+    gate.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding, ProjectRule, Rule, SourceFile
+from repro.analysis.flow import build_cfg, reach_avoiding
+
+__all__ = [
+    "BlockingUnderLockRule",
+    "FutureResolutionRule",
+    "LockOrderRule",
+]
+
+#: Methods that settle a future.
+_RESOLVERS = {"_finish", "set_result", "set_exception", "cancel"}
+
+
+def _short(token: str) -> str:
+    """Class-qualified tail of a lock token for readable messages."""
+    parts = token.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else token
+
+
+def _dotted(node: ast.expr) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+# ---------------------------------------------------------------------- #
+# lock-order
+# ---------------------------------------------------------------------- #
+
+
+class LockOrderRule(ProjectRule):
+    """Cycles in the project-wide lock acquisition-order graph."""
+
+    rule_id = "lock-order"
+    description = (
+        "held-lock sets propagated through the call graph must induce an "
+        "acyclic project-wide lock acquisition order (static deadlock "
+        "freedom, the compile-time twin of TracedLock's inversion check)"
+    )
+
+    def check_project(self, graph) -> Iterator[Finding]:
+        edges: Dict[Tuple[str, str], Tuple[str, int, str]] = {}
+        for fqn in sorted(graph.functions):
+            fn, fs = graph.functions[fqn]
+            for token, held, line in fn.acquisitions:
+                for holder in held:
+                    if holder != token:
+                        edges.setdefault(
+                            (holder, token),
+                            (fs.path, line,
+                             f"{fqn} acquires {_short(token)} while "
+                             f"holding {_short(holder)}"),
+                        )
+            for kind, target, held, line in fn.calls:
+                if not held:
+                    continue
+                callee = graph.resolve_call(fqn, kind, target)
+                if callee is None:
+                    continue
+                for token in sorted(graph.acquired_closure(callee)):
+                    for holder in held:
+                        if holder != token:
+                            edges.setdefault(
+                                (holder, token),
+                                (fs.path, line,
+                                 f"{fqn} calls {callee} (which may "
+                                 f"acquire {_short(token)}) while "
+                                 f"holding {_short(holder)}"),
+                            )
+        edges = {
+            pair: witness
+            for pair, witness in edges.items()
+            if not graph.is_suppressed(self.rule_id, witness[0], witness[1])
+        }
+        adjacency: Dict[str, List[str]] = {}
+        for src, dst in edges:
+            adjacency.setdefault(src, []).append(dst)
+            adjacency.setdefault(dst, [])
+        reported: Set[frozenset] = set()
+        for start in sorted(adjacency):
+            cycle = self._cycle_through(start, adjacency)
+            if cycle is None:
+                continue
+            key = frozenset(cycle)
+            if key in reported:
+                continue
+            reported.add(key)
+            steps = []
+            for index, node in enumerate(cycle):
+                nxt = cycle[(index + 1) % len(cycle)]
+                path, line, desc = edges[(node, nxt)]
+                steps.append(
+                    f"{_short(node)} -> {_short(nxt)} ({path}:{line}: {desc})"
+                )
+            anchor = edges[(cycle[0], cycle[1 % len(cycle)])]
+            yield Finding(
+                file=anchor[0], line=anchor[1], rule=self.rule_id,
+                message=(
+                    "lock-order inversion cycle: " + "; ".join(steps)
+                    + " — a globally consistent acquisition order is "
+                    "required to rule out deadlock"
+                ),
+            )
+
+    @staticmethod
+    def _cycle_through(
+        start: str, adjacency: Dict[str, List[str]]
+    ) -> Optional[List[str]]:
+        """Shortest cycle back to ``start`` (BFS), or None."""
+        parents: Dict[str, Optional[str]] = {start: None}
+        queue = [start]
+        while queue:
+            node = queue.pop(0)
+            for succ in sorted(adjacency.get(node, ())):
+                if succ == start:
+                    path = [node]
+                    while parents[path[-1]] is not None:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                if succ not in parents:
+                    parents[succ] = node
+                    queue.append(succ)
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# blocking-under-lock
+# ---------------------------------------------------------------------- #
+
+
+class BlockingUnderLockRule(ProjectRule):
+    """Blocking operations reachable while a guarded lock is held."""
+
+    rule_id = "blocking-under-lock"
+    description = (
+        "no blocking operation (unbounded queue get/put, sleep, "
+        "file/socket IO, subprocess, zero-timeout join/wait/result, "
+        "engine compose) may run — directly or via resolvable calls — "
+        "while a '# guarded-by:' lock is held"
+    )
+
+    def check_project(self, graph) -> Iterator[Finding]:
+        for fqn in sorted(graph.functions):
+            fn, fs = graph.functions[fqn]
+            seen_lines: Set[int] = set()
+            for kind, detail, held, line in fn.blocking:
+                guarded = [h for h in held if h in graph.guarded_locks]
+                if not guarded or line in seen_lines:
+                    continue
+                seen_lines.add(line)
+                yield Finding(
+                    file=fs.path, line=line, rule=self.rule_id,
+                    message=(
+                        f"blocking {kind} ({detail}) in {fqn} while "
+                        f"holding guarded lock {_short(guarded[0])} — "
+                        f"move it outside the critical section"
+                    ),
+                )
+            for ckind, target, held, line in fn.calls:
+                guarded = [h for h in held if h in graph.guarded_locks]
+                if not guarded or line in seen_lines:
+                    continue
+                callee = graph.resolve_call(fqn, ckind, target)
+                if callee is None:
+                    continue
+                hit = graph.find_blocking(callee)
+                if hit is None:
+                    continue
+                bkind, detail, bpath, bline, chain = hit
+                seen_lines.add(line)
+                via = " -> ".join(chain)
+                yield Finding(
+                    file=fs.path, line=line, rule=self.rule_id,
+                    message=(
+                        f"call from {fqn} reaches blocking {bkind} "
+                        f"({detail} at {bpath}:{bline}, via {via}) while "
+                        f"holding guarded lock {_short(guarded[0])} — "
+                        f"move the call outside the critical section"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------- #
+# future-resolution
+# ---------------------------------------------------------------------- #
+
+
+def _stmt_nodes(body: Sequence[ast.stmt]) -> Iterator[ast.stmt]:
+    """Every statement in ``body``, recursively, skipping nested defs."""
+    for stmt in body:
+        yield stmt
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        for field_name in ("body", "orelse", "finalbody"):
+            yield from _stmt_nodes(getattr(stmt, field_name, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            yield from _stmt_nodes(handler.body)
+
+
+def _calls_in(root: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes under ``root``, skipping *nested* function bodies
+    (the root itself may be a function definition)."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is not root and isinstance(
+            node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _own_exprs(stmt: ast.stmt) -> List[ast.AST]:
+    """The expressions executed *by this statement itself* — compound
+    statements contribute only their headers, never their bodies (those
+    are separate CFG nodes and must not be double-attributed)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.Try):
+        return []
+    if isinstance(
+        stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+    ):
+        return []
+    return [stmt]
+
+
+def _own_calls(stmt: ast.stmt) -> Iterator[ast.Call]:
+    for expr in _own_exprs(stmt):
+        yield from _calls_in(expr)
+
+
+def _names_in(expr: ast.AST) -> Set[str]:
+    return {
+        node.id for node in ast.walk(expr) if isinstance(node, ast.Name)
+    }
+
+
+class FutureResolutionRule(Rule):
+    """Every created future resolves or is handed off on all CFG paths."""
+
+    rule_id = "future-resolution"
+    description = (
+        "a Future created in a function must, on every control-flow "
+        "path that returns normally (exception edges included), either "
+        "be resolved (_finish/set_result/set_exception) or handed to an "
+        "owner; queue publishes in stop-flagged classes must re-check "
+        "the stop flag before returning (the PR-8 stranded-caller race)"
+    )
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        for node in source.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(source, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(source, node, None, set())
+
+    # ------------------------------------------------------------------ #
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        stop_events: Set[str] = set()
+        resolves_direct: Set[str] = set()
+        self_calls: Dict[str, Set[str]] = {}
+        methods: List[ast.AST] = []
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            methods.append(stmt)
+            calls: Set[str] = set()
+            for call in _calls_in(stmt):
+                dotted = _dotted(call.func)
+                tail = dotted.rsplit(".", 1)[-1]
+                if tail in _RESOLVERS and "." in dotted:
+                    resolves_direct.add(stmt.name)
+                if dotted.startswith("self.") and dotted.count(".") == 1:
+                    calls.add(dotted.split(".", 1)[1])
+            self_calls[stmt.name] = calls
+            if stmt.name == "__init__":
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Assign) and isinstance(
+                        sub.value, ast.Call
+                    ):
+                        ctor = _dotted(sub.value.func)
+                        if ctor.rsplit(".", 1)[-1] == "Event":
+                            for target in sub.targets:
+                                if (
+                                    isinstance(target, ast.Attribute)
+                                    and isinstance(target.value, ast.Name)
+                                    and target.value.id == "self"
+                                ):
+                                    stop_events.add(target.attr)
+        # Transitive closure: a method that self-calls a resolver is one.
+        resolvers = set(resolves_direct)
+        changed = True
+        while changed:
+            changed = False
+            for name, calls in self_calls.items():
+                if name not in resolvers and calls & resolvers:
+                    resolvers.add(name)
+                    changed = True
+        for method in methods:
+            yield from self._check_function(
+                source, method, stop_events or None, resolvers
+            )
+
+    # ------------------------------------------------------------------ #
+
+    def _check_function(
+        self,
+        source: SourceFile,
+        func: ast.AST,
+        stop_events: Optional[Set[str]],
+        resolvers: Set[str],
+    ) -> Iterator[Finding]:
+        creations: List[Tuple[str, ast.stmt]] = []
+        for stmt in _stmt_nodes(func.body):
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+            ):
+                continue
+            ctor = _dotted(stmt.value.func).rsplit(".", 1)[-1]
+            if ctor.endswith("Future"):
+                creations.append((stmt.targets[0].id, stmt))
+        if not creations:
+            return
+
+        cfg = build_cfg(func)
+        statements = list(_stmt_nodes(func.body))
+
+        for var, create_stmt in creations:
+            aliases = self._aliases(statements, var)
+            resolve_nodes: Set[int] = set()
+            handoff_nodes: Set[int] = set()
+            for stmt in statements:
+                if stmt is create_stmt:
+                    continue
+                node = cfg.node_for(stmt)
+                if node is None:
+                    continue
+                if self._resolves(stmt, aliases):
+                    resolve_nodes.add(id(node))
+                elif self._hands_off(stmt, aliases):
+                    handoff_nodes.add(id(node))
+            create_node = cfg.node_for(create_stmt)
+            if create_node is None:
+                continue
+            if reach_avoiding(
+                create_node.succ, cfg.exit, resolve_nodes | handoff_nodes
+            ):
+                found = self.finding(
+                    source, create_stmt,
+                    f"future '{var}' can reach a normal return neither "
+                    f"resolved (_finish/set_result/set_exception) nor "
+                    f"handed to an owner — a caller waiting on it blocks "
+                    f"forever (check every branch and exception edge)",
+                )
+                if found is not None:
+                    yield found
+
+        if stop_events:
+            yield from self._check_publish_recheck(
+                source, func, cfg, statements, stop_events, resolvers
+            )
+
+    @staticmethod
+    def _aliases(statements: Sequence[ast.stmt], var: str) -> Set[str]:
+        aliases = {var}
+        changed = True
+        while changed:
+            changed = False
+            for stmt in statements:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and isinstance(stmt.value, ast.Name)
+                    and stmt.value.id in aliases
+                    and stmt.targets[0].id not in aliases
+                ):
+                    aliases.add(stmt.targets[0].id)
+                    changed = True
+        return aliases
+
+    @staticmethod
+    def _resolves(stmt: ast.stmt, aliases: Set[str]) -> bool:
+        for call in _own_calls(stmt):
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RESOLVERS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in aliases
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _hands_off(stmt: ast.stmt, aliases: Set[str]) -> bool:
+        # Stored into an attribute, a subscript, or a container — some
+        # other owner is now responsible for resolving it.
+        if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            if any(
+                isinstance(t, (ast.Attribute, ast.Subscript)) for t in targets
+            ) and _names_in(stmt.value) & aliases:
+                return True
+        # Passed as an argument to any call (a constructor wrapping it,
+        # an executor, a queue) — but a resolving call's *receiver* does
+        # not count, and a bare ``return future`` never does: the caller
+        # waits on the future, it does not settle it.
+        for call in _own_calls(stmt):
+            for arg in list(call.args) + [kw.value for kw in call.keywords]:
+                if _names_in(arg) & aliases:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+
+    def _check_publish_recheck(
+        self,
+        source: SourceFile,
+        func: ast.AST,
+        cfg,
+        statements: Sequence[ast.stmt],
+        stop_events: Set[str],
+        resolvers: Set[str],
+    ) -> Iterator[Finding]:
+        """After publishing to a ``self.*`` queue in a stop-flagged
+        class, every normal-return path must re-check the stop event
+        (routing to a drain/resolver) — otherwise ``stop()`` can drain
+        the pending map *before* the publish and strand the future."""
+        publishes: List[Tuple[ast.stmt, str]] = []
+        rechecks: Set[int] = set()
+        for stmt in statements:
+            node = cfg.node_for(stmt)
+            if node is None:
+                continue
+            for call in _own_calls(stmt):
+                func_expr = call.func
+                if not isinstance(func_expr, ast.Attribute):
+                    continue
+                if func_expr.attr in ("put", "put_nowait"):
+                    receiver = _dotted(func_expr.value)
+                    if receiver.startswith("self."):
+                        publishes.append((stmt, receiver))
+            if isinstance(stmt, ast.If):
+                test_calls = {
+                    _dotted(c.func) for c in _calls_in(stmt.test)
+                }
+                flagged = any(
+                    d == f"self.{event}.is_set"
+                    for d in test_calls for event in stop_events
+                )
+                if flagged and self._branch_resolves(stmt, resolvers):
+                    rechecks.add(id(node))
+        for stmt, receiver in publishes:
+            node = cfg.node_for(stmt)
+            if node is None:
+                continue
+            if reach_avoiding(node.succ, cfg.exit, rechecks):
+                found = self.finding(
+                    source, stmt,
+                    f"publish to '{receiver}' can reach a normal return "
+                    f"without re-checking the stop flag — stop() may "
+                    f"have drained the pending futures before this "
+                    f"publish, stranding the caller; re-check "
+                    f"is_set() after the publish and fail pending "
+                    f"futures (the PR-8 submit/stop race)",
+                )
+                if found is not None:
+                    yield found
+
+    @staticmethod
+    def _branch_resolves(stmt: ast.If, resolvers: Set[str]) -> bool:
+        for sub in stmt.body:
+            for call in _calls_in(sub):
+                dotted = _dotted(call.func)
+                if not dotted.startswith("self."):
+                    continue
+                tail = dotted.rsplit(".", 1)[-1]
+                if tail in resolvers or tail in _RESOLVERS:
+                    return True
+        return False

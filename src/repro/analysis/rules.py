@@ -1,6 +1,11 @@
 """Repo-specific invariant checkers for ``python -m repro.analysis``.
 
-Five rules, one per invariant the concurrent and streaming tiers rest on:
+Per-file rules, one per invariant the concurrent and streaming tiers
+rest on — plus the interprocedural concurrency rules re-exported from
+:mod:`repro.analysis.interproc` (``lock-order``,
+``blocking-under-lock``, ``future-resolution``: cross-module checks
+over the call-graph/CFG substrate in :mod:`repro.analysis.graph` and
+:mod:`repro.analysis.flow`) and the ``unused-suppression`` audit.
 
 ``lock-discipline``
     Attributes declared ``# guarded-by: <lock>`` must only be read or
@@ -741,6 +746,36 @@ class DeltaDisciplineRule(Rule):
                 yield found
 
 
+class UnusedSuppressionRule(Rule):
+    """Audit: every ``# repro: ignore[...]`` must shield a finding.
+
+    The logic lives in :func:`repro.analysis.core.analyze_paths` (it
+    needs the usage record every *other* rule leaves behind, across the
+    whole run, cache hits included); this class is the registry entry
+    that makes the audit selectable via ``--rules`` and visible in
+    ``--list-rules``.  A suppression is only judged when all the rules
+    it names actually ran — a blanket ``# repro: ignore`` requires the
+    full default rule set — so a filtered run never misreports.
+    """
+
+    rule_id = "unused-suppression"
+    description = (
+        "every '# repro: ignore[...]' comment must shield at least one "
+        "finding of a rule that ran — stale suppressions silently rot "
+        "the gate"
+    )
+    is_audit = True
+
+    def check(self, source: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+
+from repro.analysis.interproc import (  # noqa: E402  (registry import)
+    BlockingUnderLockRule,
+    FutureResolutionRule,
+    LockOrderRule,
+)
+
 #: Registry consumed by :func:`repro.analysis.core.default_rules`.
 ALL_RULES = (
     LockDisciplineRule,
@@ -748,4 +783,8 @@ ALL_RULES = (
     DeterminismRule,
     CSRCanonicalRule,
     DeltaDisciplineRule,
+    LockOrderRule,
+    BlockingUnderLockRule,
+    FutureResolutionRule,
+    UnusedSuppressionRule,
 )

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 serialization of analysis results.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca
+CI annotation tooling speaks — GitHub code scanning, VS Code problem
+matchers, sarif-tools — so the gate's findings can flow into those
+without a custom parser for our ``--json`` shape.  Only the small core
+of the spec is emitted: one run, one tool driver listing the rule
+catalog, one result per finding with a physical location.
+
+Spec: https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.core import AnalysisResult, Rule
+
+#: Canonical schema URI for SARIF 2.1.0 documents.
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def to_sarif(
+    result: AnalysisResult, rules: Sequence[Rule]
+) -> Dict[str, object]:
+    """A SARIF 2.1.0 document for ``result``.
+
+    Rules that produced no finding still appear in the driver's rule
+    catalog — consumers use it to render the set of checks that ran.
+    Findings from internal pseudo-rules (``parse-error``) that have no
+    registered Rule get a catalog entry synthesized on the fly.
+    """
+    catalog: List[Dict[str, object]] = []
+    known = set()
+    for rule in rules:
+        known.add(rule.rule_id)
+        catalog.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.description},
+            }
+        )
+    for finding in result.findings:
+        if finding.rule not in known:
+            known.add(finding.rule)
+            catalog.append(
+                {
+                    "id": finding.rule,
+                    "shortDescription": {"text": finding.rule},
+                }
+            )
+    rule_index = {entry["id"]: i for i, entry in enumerate(catalog)}
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": _LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.file.replace("\\", "/"),
+                        },
+                        "region": {"startLine": max(1, finding.line)},
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": catalog,
+                    }
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }

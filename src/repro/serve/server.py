@@ -853,13 +853,21 @@ class ProcessReplicaServer:
         if self._request_queue is None:
             raise RuntimeError("server is not running; call start() first")
         self._reap()
+        retire = 0
         with self._scale_lock:
             effective = len(self._processes) - self._pending_retire
             delta = count - effective
             if delta < 0:
-                for _ in range(-delta):
-                    self._request_queue.put(None)
-                self._pending_retire += -delta
+                retire = -delta
+                self._pending_retire += retire
+        # The sentinel puts stay outside _scale_lock: put() on the shared
+        # multiprocessing queue can block on pipe backpressure, and
+        # blocking there would stall submit()'s running-check and the
+        # autoscaler tick behind a full queue.  _pending_retire is
+        # already bumped under the lock, so a concurrent scale_to sees
+        # the correct effective capacity before the sentinels land.
+        for _ in range(retire):
+            self._request_queue.put(None)
         if delta > 0:
             for _ in range(delta):
                 self._spawn_replica()

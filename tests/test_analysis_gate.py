@@ -3,15 +3,22 @@
 This is the tier-1 enforcement point for the invariants in
 ``repro.analysis.rules``: lock discipline in the cache/serving/autograd
 tiers, fingerprint completeness in the staged pipeline, determinism of
-content-key inputs, and canonical CSR construction.  Any unsuppressed
-finding in ``src``, ``tests``, ``benchmarks``, or ``examples`` fails
-this test with the analyzer's own rendering — the same output
-``python -m repro.analysis`` prints.
+content-key inputs, canonical CSR construction, plus the
+interprocedural tier — lock acquisition order, blocking-under-lock,
+and future resolution.  Any unsuppressed finding in ``src``, ``tests``,
+``benchmarks``, or ``examples`` fails this test with the analyzer's own
+rendering — the same output ``python -m repro.analysis`` prints.
+
+The gate shares the CLI's content-hash cache
+(``.repro-analysis-cache.json`` at the repo root), so only files whose
+bytes changed since the last run — any run, CLI or test — are
+re-analyzed; a warm gate is two orders of magnitude cheaper than a
+cold one.
 """
 
 from pathlib import Path
 
-from repro.analysis import analyze_paths
+from repro.analysis import AnalysisCache, analyze_paths
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -24,7 +31,8 @@ def test_repo_tree_has_zero_findings():
         REPO_ROOT / name for name in GATED_PATHS if (REPO_ROOT / name).is_dir()
     ]
     assert paths, "repo layout changed: no gated directories found"
-    result = analyze_paths(paths)
+    cache = AnalysisCache(REPO_ROOT / ".repro-analysis-cache.json")
+    result = analyze_paths(paths, cache=cache)
     rendered = "\n".join(finding.render() for finding in result.findings)
     assert result.ok, (
         f"repro.analysis found {len(result.findings)} violation(s); fix them "

@@ -10,6 +10,7 @@ use.
 
 import json
 import os
+import re
 import subprocess
 import sys
 import textwrap
@@ -18,6 +19,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import (
+    AnalysisCache,
     AnalysisResult,
     Finding,
     SourceFile,
@@ -28,11 +30,15 @@ from repro.analysis import (
 )
 from repro.analysis.core import fingerprint_stage_markers
 from repro.analysis.rules import (
+    BlockingUnderLockRule,
     CSRCanonicalRule,
     DeltaDisciplineRule,
     DeterminismRule,
     FingerprintCompletenessRule,
+    FutureResolutionRule,
     LockDisciplineRule,
+    LockOrderRule,
+    UnusedSuppressionRule,
 )
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -469,6 +475,464 @@ class TestDeltaDiscipline:
 
 
 # ---------------------------------------------------------------------- #
+# lock-order (project-wide, over the call graph)
+# ---------------------------------------------------------------------- #
+
+
+class TestLockOrder:
+    def test_inversion_cycle_across_two_classes_flagged(self, tmp_path):
+        write(tmp_path, "inverted.py", """\
+            import threading
+
+            class Alpha:
+                def __init__(self, beta):
+                    self._alpha_lock = threading.Lock()
+                    self.beta = beta
+
+                def grant(self):
+                    with self._alpha_lock:
+                        self.beta.settle()
+
+                def reload(self):
+                    with self._alpha_lock:
+                        return 1
+
+            class Beta:
+                def __init__(self, alpha):
+                    self._beta_lock = threading.Lock()
+                    self.alpha = alpha
+
+                def settle(self):
+                    with self._beta_lock:
+                        return 2
+
+                def revoke(self):
+                    with self._beta_lock:
+                        self.alpha.reload()
+        """)
+        result = analyze_paths([tmp_path], rules=[LockOrderRule()])
+        assert [f.rule for f in result.findings] == ["lock-order"]
+        message = result.findings[0].message
+        assert "Alpha._alpha_lock" in message
+        assert "Beta._beta_lock" in message
+        assert "cycle" in message
+
+    def test_consistent_acquisition_order_clean(self, tmp_path):
+        # Same shape, but Beta calls back *before* taking its own lock:
+        # every path acquires alpha-then-beta, so the order graph is
+        # acyclic.
+        write(tmp_path, "ordered.py", """\
+            import threading
+
+            class Alpha:
+                def __init__(self, beta):
+                    self._alpha_lock = threading.Lock()
+                    self.beta = beta
+
+                def grant(self):
+                    with self._alpha_lock:
+                        self.beta.settle()
+
+                def reload(self):
+                    with self._alpha_lock:
+                        return 1
+
+            class Beta:
+                def __init__(self, alpha):
+                    self._beta_lock = threading.Lock()
+                    self.alpha = alpha
+
+                def settle(self):
+                    with self._beta_lock:
+                        return 2
+
+                def revoke(self):
+                    self.alpha.reload()
+                    with self._beta_lock:
+                        return 3
+        """)
+        result = analyze_paths([tmp_path], rules=[LockOrderRule()])
+        assert result.findings == []
+
+    def test_suppressed_witness_edge_breaks_cycle(self, tmp_path):
+        write(tmp_path, "waived.py", """\
+            import threading
+
+            class Alpha:
+                def __init__(self, beta):
+                    self._alpha_lock = threading.Lock()
+                    self.beta = beta
+
+                def grant(self):
+                    with self._alpha_lock:
+                        self.beta.settle()  # repro: ignore[lock-order]
+
+                def reload(self):
+                    with self._alpha_lock:
+                        return 1
+
+            class Beta:
+                def __init__(self, alpha):
+                    self._beta_lock = threading.Lock()
+                    self.alpha = alpha
+
+                def settle(self):
+                    with self._beta_lock:
+                        return 2
+
+                def revoke(self):
+                    with self._beta_lock:
+                        self.alpha.reload()
+        """)
+        result = analyze_paths([tmp_path], rules=[LockOrderRule()])
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------- #
+# blocking-under-lock (project-wide, through call chains)
+# ---------------------------------------------------------------------- #
+
+
+class TestBlockingUnderLock:
+    def test_direct_blocking_under_guarded_lock_flagged(self, tmp_path):
+        write(tmp_path, "hot.py", """\
+            import threading
+            import time
+
+            class Hot:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.state = {}  # guarded-by: _lock
+
+                def persist(self):
+                    with self._lock:
+                        time.sleep(0.05)
+        """)
+        result = analyze_paths([tmp_path], rules=[BlockingUnderLockRule()])
+        assert [f.rule for f in result.findings] == ["blocking-under-lock"]
+        assert result.findings[0].line == 11
+        assert "sleep" in result.findings[0].message
+        assert "Hot._lock" in result.findings[0].message
+
+    def test_blocking_one_call_graph_hop_away_flagged(self, tmp_path):
+        # The sleep lives in _spill; only the *call* happens under the
+        # lock — single-file pattern matching cannot see this one.
+        write(tmp_path, "spool.py", """\
+            import threading
+            import time
+
+            class Spool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.rows = []  # guarded-by: _lock
+
+                def flush(self):
+                    with self._lock:
+                        self._spill(self.rows)
+
+                def _spill(self, rows):
+                    time.sleep(0.01)
+                    return rows
+        """)
+        result = analyze_paths([tmp_path], rules=[BlockingUnderLockRule()])
+        assert [f.rule for f in result.findings] == ["blocking-under-lock"]
+        finding = result.findings[0]
+        assert finding.line == 11  # the call site under the lock
+        assert "sleep" in finding.message
+        assert "_spill" in finding.message
+
+    def test_call_outside_critical_section_clean(self, tmp_path):
+        write(tmp_path, "cool.py", """\
+            import threading
+            import time
+
+            class Cool:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.rows = []  # guarded-by: _lock
+
+                def flush(self):
+                    with self._lock:
+                        rows = list(self.rows)
+                    self._spill(rows)
+
+                def _spill(self, rows):
+                    time.sleep(0.01)
+                    return rows
+        """)
+        result = analyze_paths([tmp_path], rules=[BlockingUnderLockRule()])
+        assert result.findings == []
+
+    def test_unguarded_lock_not_flagged(self, tmp_path):
+        # Only '# guarded-by:' locks are hot-path contracts; a private
+        # lock with no guarded state may legitimately cover slow work.
+        write(tmp_path, "plain.py", """\
+            import threading
+            import time
+
+            class Plain:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def persist(self):
+                    with self._lock:
+                        time.sleep(0.05)
+        """)
+        result = analyze_paths([tmp_path], rules=[BlockingUnderLockRule()])
+        assert result.findings == []
+
+
+# ---------------------------------------------------------------------- #
+# future-resolution (path-sensitive, exception edges included)
+# ---------------------------------------------------------------------- #
+
+
+class TestFutureResolution:
+    def test_future_stranded_only_on_exception_edge_flagged(self, tmp_path):
+        # The happy path resolves; the ValueError edge jumps over
+        # _finish into a swallowing handler and returns the raw future.
+        path = write(tmp_path, "strand.py", """\
+            class ComputeFuture:
+                def _finish(self, value):
+                    self.value = value
+
+            def launch(job):
+                future = ComputeFuture()
+                try:
+                    value = job()
+                    future._finish(value)
+                except ValueError:
+                    pass
+                return future
+        """)
+        findings = run_rule(FutureResolutionRule(), path)
+        assert [f.rule for f in findings] == ["future-resolution"]
+        assert findings[0].line == 6  # anchored at the creation
+        assert "'future'" in findings[0].message
+
+    def test_resolving_exception_handler_clean(self, tmp_path):
+        path = write(tmp_path, "settled.py", """\
+            class ComputeFuture:
+                def _finish(self, value):
+                    self.value = value
+
+                def set_exception(self, exc):
+                    self.exc = exc
+
+            def launch(job):
+                future = ComputeFuture()
+                try:
+                    value = job()
+                    future._finish(value)
+                except ValueError as exc:
+                    future.set_exception(exc)
+                return future
+        """)
+        assert run_rule(FutureResolutionRule(), path) == []
+
+    def test_handoff_to_owner_clean(self, tmp_path):
+        # Stored into a registry: the owner resolves it later.
+        path = write(tmp_path, "handoff.py", """\
+            class ComputeFuture:
+                def set_result(self, value):
+                    self.value = value
+
+            def launch(registry, job):
+                future = ComputeFuture()
+                registry["job"] = future
+                return future
+        """)
+        assert run_rule(FutureResolutionRule(), path) == []
+
+    def test_raise_path_is_not_a_strand(self, tmp_path):
+        # Leaving by raise is fine: the caller never received the future.
+        path = write(tmp_path, "raises.py", """\
+            class ComputeFuture:
+                def _finish(self, value):
+                    self.value = value
+
+            def launch(job):
+                future = ComputeFuture()
+                if job is None:
+                    raise ValueError("no job")
+                future._finish(job())
+                return future
+        """)
+        assert run_rule(FutureResolutionRule(), path) == []
+
+    def test_publish_without_stop_recheck_flagged(self, tmp_path):
+        # The PR-8 race, distilled: stop() drains _pending, then submit's
+        # publish lands on a dead queue — nothing ever settles the future.
+        path = write(tmp_path, "miniserver.py", """\
+            import queue
+            import threading
+
+            class ReplyFuture:
+                def set_exception(self, exc):
+                    self.exc = exc
+
+            class MiniServer:
+                def __init__(self):
+                    self._stop = threading.Event()
+                    self._work_queue = queue.Queue()
+                    self._pending = {}
+
+                def _fail_pending(self):
+                    for future in self._pending.values():
+                        future.set_exception(RuntimeError("stopped"))
+
+                def submit(self, key, payload):
+                    future = ReplyFuture()
+                    self._pending[key] = future
+                    self._work_queue.put_nowait((key, payload))
+                    return future
+        """)
+        findings = run_rule(FutureResolutionRule(), path)
+        assert [f.rule for f in findings] == ["future-resolution"]
+        assert "self._work_queue" in findings[0].message
+        assert "stop" in findings[0].message
+
+    def test_publish_with_stop_recheck_clean(self, tmp_path):
+        path = write(tmp_path, "fixedserver.py", """\
+            import queue
+            import threading
+
+            class ReplyFuture:
+                def set_exception(self, exc):
+                    self.exc = exc
+
+            class MiniServer:
+                def __init__(self):
+                    self._stop = threading.Event()
+                    self._work_queue = queue.Queue()
+                    self._pending = {}
+
+                def _fail_pending(self):
+                    for future in self._pending.values():
+                        future.set_exception(RuntimeError("stopped"))
+
+                def submit(self, key, payload):
+                    future = ReplyFuture()
+                    self._pending[key] = future
+                    self._work_queue.put_nowait((key, payload))
+                    if self._stop.is_set():
+                        self._fail_pending()
+                    return future
+        """)
+        assert run_rule(FutureResolutionRule(), path) == []
+
+    def test_reverting_pr8_stop_recheck_is_caught(self):
+        # Regression gate: the real server must be clean today, and
+        # deleting ProcessReplicaServer.submit's post-put stop re-check
+        # (the PR-8 fix) must be caught statically.
+        server_py = REPO_ROOT / "src" / "repro" / "serve" / "server.py"
+        text = server_py.read_text()
+        assert run_rule(FutureResolutionRule(), server_py) == []
+        recheck = re.compile(
+            r"        if self\._stop\.is_set\(\):\n"
+            r"(?:            #.*\n)*"
+            r"            self\._fail_pending\(\)\n"
+            r"(?=        return future\n)"
+        )
+        reverted, count = recheck.subn("", text)
+        assert count == 1, "ProcessReplicaServer.submit re-check not found"
+        source = SourceFile(server_py, reverted)
+        findings = list(FutureResolutionRule().check(source))
+        assert any(
+            f.rule == "future-resolution" and "_request_queue" in f.message
+            for f in findings
+        )
+
+
+# ---------------------------------------------------------------------- #
+# unused-suppression (audit over the usage record)
+# ---------------------------------------------------------------------- #
+
+
+class TestUnusedSuppression:
+    def test_dead_suppression_flagged_on_full_run(self, tmp_path):
+        write(tmp_path, "dead.py", "VALUE = 1  # repro: ignore[determinism]\n")
+        result = analyze_paths([tmp_path])
+        assert [f.rule for f in result.findings] == ["unused-suppression"]
+        assert result.findings[0].severity == "warning"
+        assert result.findings[0].line == 1
+        assert not result.ok
+
+    def test_used_suppression_not_flagged(self, tmp_path):
+        write(tmp_path, "used.py", (
+            "import numpy as np\n"
+            "X = np.random.rand(2)  # repro: ignore[determinism]\n"
+        ))
+        result = analyze_paths([tmp_path])
+        assert result.ok
+
+    def test_named_suppression_skipped_when_rule_filtered(self, tmp_path):
+        # lock-discipline never ran, so no verdict is possible on a
+        # suppression naming it — the audit must stay silent.
+        write(tmp_path, "maybe.py",
+              "VALUE = 1  # repro: ignore[lock-discipline]\n")
+        result = analyze_paths(
+            [tmp_path], rules=[DeterminismRule(), UnusedSuppressionRule()]
+        )
+        assert result.ok
+
+    def test_blanket_suppression_needs_full_rule_set(self, tmp_path):
+        write(tmp_path, "blanket.py", "VALUE = 1  # repro: ignore\n")
+        filtered = analyze_paths(
+            [tmp_path], rules=[DeterminismRule(), UnusedSuppressionRule()]
+        )
+        assert filtered.ok
+        full = analyze_paths([tmp_path])
+        assert [f.rule for f in full.findings] == ["unused-suppression"]
+
+
+# ---------------------------------------------------------------------- #
+# Analysis cache (content-hash keyed, cold vs warm)
+# ---------------------------------------------------------------------- #
+
+
+class TestAnalysisCache:
+    def test_cold_then_warm_identical_findings(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        write(tree, "bad.py", "import numpy as np\nX = np.random.rand(2)\n")
+        cache_path = tmp_path / "cache.json"
+        cold_cache = AnalysisCache(cache_path)
+        cold = analyze_paths([tree], cache=cold_cache)
+        assert (cold_cache.hits, cold_cache.misses) == (0, 1)
+        assert cache_path.is_file()
+        warm_cache = AnalysisCache(cache_path)
+        warm = analyze_paths([tree], cache=warm_cache)
+        assert (warm_cache.hits, warm_cache.misses) == (1, 0)
+        assert [f.to_dict() for f in warm.findings] \
+            == [f.to_dict() for f in cold.findings]
+
+    def test_content_change_invalidates_entry(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        target = write(
+            tree, "bad.py", "import numpy as np\nX = np.random.rand(2)\n"
+        )
+        cache_path = tmp_path / "cache.json"
+        analyze_paths([tree], cache=AnalysisCache(cache_path))
+        target.write_text("VALUE = 1\n")
+        cache = AnalysisCache(cache_path)
+        result = analyze_paths([tree], cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert result.ok
+
+    def test_rule_set_change_invalidates_entry(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        write(tree, "fine.py", "VALUE = 1\n")
+        cache_path = tmp_path / "cache.json"
+        analyze_paths([tree], cache=AnalysisCache(cache_path))
+        cache = AnalysisCache(cache_path)
+        analyze_paths([tree], rules=[DeterminismRule()], cache=cache)
+        assert (cache.hits, cache.misses) == (0, 1)
+
+
+# ---------------------------------------------------------------------- #
 # Framework behavior
 # ---------------------------------------------------------------------- #
 
@@ -507,7 +971,7 @@ X = np.random.rand(2)  # repro: ignore
         result = analyze_paths([tmp_path])
         assert result.ok
 
-    def test_default_rules_expose_five_repo_checkers(self):
+    def test_default_rules_expose_all_repo_checkers(self):
         ids = {rule.rule_id for rule in default_rules()}
         assert ids == {
             "lock-discipline",
@@ -515,6 +979,10 @@ X = np.random.rand(2)  # repro: ignore
             "determinism",
             "csr-canonical",
             "delta-discipline",
+            "lock-order",
+            "blocking-under-lock",
+            "future-resolution",
+            "unused-suppression",
         }
 
 
@@ -572,6 +1040,50 @@ class TestCLI:
         assert proc.returncode == 0
         for rule_id in (
             "lock-discipline", "fingerprint-completeness",
-            "determinism", "csr-canonical",
+            "determinism", "csr-canonical", "lock-order",
+            "blocking-under-lock", "future-resolution",
+            "unused-suppression",
         ):
             assert rule_id in proc.stdout
+
+    def test_sarif_output_structure(self, tmp_path):
+        bad = write(
+            tmp_path, "bad.py",
+            "import numpy as np\nX = np.random.rand(2)\n",
+        )
+        proc = run_cli(str(tmp_path), "--sarif", "--no-cache")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in payload["$schema"]
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro.analysis"
+        rule_ids = [entry["id"] for entry in driver["rules"]]
+        assert "determinism" in rule_ids  # catalog lists rules that ran
+        sarif_result = run["results"][0]
+        assert sarif_result["ruleId"] == "determinism"
+        assert rule_ids[sarif_result["ruleIndex"]] == "determinism"
+        assert sarif_result["level"] == "error"
+        location = sarif_result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("bad.py")
+        assert location["region"]["startLine"] == 2
+        assert str(bad).replace("\\", "/") \
+            == location["artifactLocation"]["uri"]
+
+    def test_sarif_and_json_mutually_exclusive(self, tmp_path):
+        write(tmp_path, "fine.py", "VALUE = 1\n")
+        proc = run_cli(str(tmp_path), "--sarif", "--json")
+        assert proc.returncode == 2
+
+    def test_cache_flags_round_trip(self, tmp_path):
+        tree = tmp_path / "tree"
+        tree.mkdir()
+        write(tree, "fine.py", "VALUE = 1\n")
+        cache_file = tmp_path / "cache.json"
+        first = run_cli(str(tree), "--json", "--cache", str(cache_file))
+        assert json.loads(first.stdout)["cache"] == {"hits": 0, "misses": 1}
+        second = run_cli(str(tree), "--json", "--cache", str(cache_file))
+        assert json.loads(second.stdout)["cache"] == {"hits": 1, "misses": 0}
+        uncached = run_cli(str(tree), "--json", "--no-cache")
+        assert "cache" not in json.loads(uncached.stdout)
