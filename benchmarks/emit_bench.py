@@ -31,6 +31,11 @@ and writes machine-readable JSON files future PRs can diff.
   `HttpServeClient`), with adaptive micro-batching and the hot-query
   cache on: request → JSON → socket → scheduler → JSON → response.
   Latency quantiles here are client-side (full round trip).
+- ``obs_overhead_off`` / ``obs_overhead_on`` (merged via ``--only
+  obs``) — `ModelServer` hammer throughput with the `repro.obs` span
+  tracer disabled vs enabled (hot cache off, so every request pays the
+  full scheduler + telemetry path); the ``_on`` entry carries
+  ``overhead_pct``, the throughput cost of turning tracing on.
 
 ``analysis_full_tree`` (merged into ``BENCH_substrate.json``): the
 wall-clock of one full ``repro.analysis`` run over ``src``, ``tests``,
@@ -49,7 +54,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/emit_bench.py [--out BENCH_substrate.json]
         [--serving-out BENCH_serving.json]
-        [--only substrate|serving|analysis|streaming|http]
+        [--only substrate|serving|analysis|streaming|http|obs]
         [--rounds 3] [--authors 200 --papers 700 --conferences 12]
 
 The numbers are wall-clock seconds on whatever machine runs this —
@@ -450,6 +455,123 @@ def run_http_benches(
     return results
 
 
+def run_obs_benches(
+    authors: int,
+    papers: int,
+    conferences: int,
+    rounds: int,
+    concurrency: int = 8,
+    requests_total: int = 400,
+):
+    """Serving throughput with tracing off vs on; merged into BENCH_serving.json.
+
+    Same hammer-thread shape as ``server_concurrency_<n>`` but with the
+    hot-query cache off, so every request pays the full scheduler path —
+    the worst case for per-request telemetry.  The ``_on`` entry runs
+    with the global tracer enabled (spans recorded for submit, batch,
+    forward, and the per-request phase breakdown); ``overhead_pct`` is
+    the throughput cost of turning it on, which the tentpole promises
+    stays within a few percent.
+    """
+    import threading
+
+    from repro.api import ConCHEstimator, ModelHandle, Pipeline
+    from repro.core import ConCHConfig
+    from repro.data import DBLPConfig, load_dataset, stratified_split
+    from repro.obs import TRACER
+    from repro.serve import ModelServer, ServeClient
+
+    dataset = load_dataset(
+        "dblp",
+        config=DBLPConfig(
+            num_authors=authors, num_papers=papers, num_conferences=conferences
+        ),
+    )
+    config = ConCHConfig(
+        k=5, context_dim=16, embed_num_walks=2, embed_walk_length=10,
+        embed_epochs=1, max_instances=8, epochs=10, patience=5,
+    )
+    split = stratified_split(dataset.labels, 0.10, seed=0)
+    estimator = ConCHEstimator(
+        Pipeline(dataset, config=config).data, config
+    ).fit(split)
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        bundle = Path(tmp) / "conch.npz"
+        estimator.save(bundle)
+        handle = ModelHandle.load(bundle)
+        rng = np.random.default_rng(0)
+        request_ids = [
+            rng.integers(0, handle.num_objects, size=1 + index % 4)
+            for index in range(requests_total)
+        ]
+
+        def one_pass(enable_tracing: bool):
+            if enable_tracing:
+                TRACER.enable()
+            try:
+                with ModelServer(
+                    handle, max_batch_size=64, max_wait_ms=2,
+                    num_workers=2, max_queue=1024, hot_cache_size=0,
+                ) as server:
+                    client = ServeClient(server)
+
+                    def hammer(start: int) -> None:
+                        for index in range(
+                            start, len(request_ids), concurrency
+                        ):
+                            client.predict_nodes(request_ids[index])
+
+                    started = time.perf_counter()
+                    threads = [
+                        threading.Thread(target=hammer, args=(start,))
+                        for start in range(concurrency)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                    elapsed = time.perf_counter() - started
+                    stats = server.stats()
+            finally:
+                TRACER.disable()
+                TRACER.clear()
+            return len(request_ids) / elapsed, stats
+
+        # Warm the operators and allocator before timing, then
+        # interleave off/on rounds so machine drift (a shared, noisy
+        # box) hits both arms equally; best-of-rounds is the comparison
+        # (noise only subtracts throughput, never adds it).
+        one_pass(False)
+        runs = {"off": [], "on": []}
+        last_stats = {"off": {}, "on": {}}
+        for _ in range(rounds):
+            for label, enable in (("off", False), ("on", True)):
+                rps, stats = one_pass(enable)
+                runs[label].append(rps)
+                last_stats[label] = stats
+
+        for label, enable in (("off", False), ("on", True)):
+            stats = last_stats[label]
+            results[f"obs_overhead_{label}"] = {
+                "throughput_rps": max(runs[label]),
+                "throughput_rps_mean": statistics.fmean(runs[label]),
+                "requests": requests_total,
+                "concurrency": concurrency,
+                "rounds": rounds,
+                "tracing": enable,
+                "batch_size_mean": stats.get("batch_size_mean", 1.0),
+                "latency_p50": stats["latency_seconds"]["p50"],
+                "latency_p95": stats["latency_seconds"]["p95"],
+            }
+    off_rps = results["obs_overhead_off"]["throughput_rps"]
+    on_rps = results["obs_overhead_on"]["throughput_rps"]
+    results["obs_overhead_on"]["overhead_pct"] = (
+        (off_rps - on_rps) / off_rps * 100.0 if off_rps > 0 else 0.0
+    )
+    return results
+
+
 def run_streaming_benches(
     rounds: int,
     authors: int = 5000,
@@ -645,7 +767,7 @@ def main() -> None:
     )
     parser.add_argument(
         "--only",
-        choices=("substrate", "serving", "analysis", "streaming", "http"),
+        choices=("substrate", "serving", "analysis", "streaming", "http", "obs"),
         default=None,
         help="run just one bench family (default: all)",
     )
@@ -677,6 +799,13 @@ def main() -> None:
         (
             "http",
             lambda: run_http_benches(
+                args.authors, args.papers, args.conferences, args.rounds
+            ),
+            args.serving_out,
+        ),
+        (
+            "obs",
+            lambda: run_obs_benches(
                 args.authors, args.papers, args.conferences, args.rounds
             ),
             args.serving_out,

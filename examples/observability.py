@@ -1,0 +1,133 @@
+"""The telemetry subsystem end to end: one trace from client to forward.
+
+Demonstrates `repro.obs` over the live HTTP serving stack:
+
+1. Train once, serve over HTTP, turn the tracer on
+   (`repro.obs.TRACER.enable()` — or `REPRO_TRACE=1` in the
+   environment), and drive concurrent load.
+2. Every request stitches into **one trace**: the client's
+   `http.client.predict` span ships its context as a `traceparent`
+   header; the server parents `http.predict` under it; the scheduler
+   re-emits `server.request` (with queue-wait / batch-assembly /
+   forward children) into the same trace; the model handle's
+   `handle.sliced_forward` joins via the scheduler thread's context
+   stack. The whole tree exports as Chrome `trace_event` JSON —
+   load it in `chrome://tracing` or https://ui.perfetto.dev.
+3. `GET /metrics` renders the process-wide registry — engine, caches,
+   server, HTTP — as a Prometheus text page, and
+   `stats()["slow_requests"]` keeps the worst-N end-to-end requests
+   with their phase breakdown, tracer on or off.
+
+Usage:  python examples/observability.py
+"""
+
+import json
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import ModelHandle, Pipeline
+from repro.data import load_dataset, stratified_split
+from repro.obs import TRACER, build_span_tree
+from repro.serve import HttpServeClient, HttpServer, ModelServer
+
+
+def render_tree(node, depth=0):
+    pad = "  " * depth
+    print(f"{pad}{node['name']:<28} {node['duration_s'] * 1e3:8.3f} ms  "
+          f"[{node['thread_name']}]")
+    for child in node["children"]:
+        render_tree(child, depth + 1)
+
+
+def main() -> None:
+    dataset = load_dataset("dblp")
+    split = stratified_split(dataset.labels, train_fraction=0.10, seed=0)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        pipeline = Pipeline(dataset, store_dir=Path(tmp) / "run")
+        estimator = pipeline.fit(split=split)
+        handle = ModelHandle(pipeline.data, estimator.config,
+                             estimator.trainer.model)
+        server = ModelServer(
+            handle, max_batch_size=64, max_wait_ms=2, num_workers=2,
+        )
+        with server, HttpServer(server) as http:
+            client = HttpServeClient(http.url)
+            print(f"Serving {handle} at {http.url}\n")
+
+            TRACER.enable()
+
+            # ---- Concurrent load, every request traced end to end. -- #
+            rng = np.random.default_rng(0)
+            requests = [
+                rng.integers(0, handle.num_objects, size=1 + i % 4)
+                for i in range(64)
+            ]
+
+            def worker(start: int) -> None:
+                for index in range(start, len(requests), 8):
+                    client.predict_nodes(requests[index])
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            # ---- One request's span tree, client -> forward. -------- #
+            roots = [
+                s for s in TRACER.finished()
+                if s.name == "http.client.predict"
+            ]
+            root = roots[-1]
+            tree = build_span_tree(
+                root, TRACER.spans_for_trace(root.trace_id)
+            )
+            print(f"Trace {root.trace_id} "
+                  f"({len(TRACER.spans_for_trace(root.trace_id))} spans):")
+            render_tree(tree)
+
+            # ---- Chrome trace_event export. ------------------------- #
+            trace_path = Path(tmp) / "trace.json"
+            events = TRACER.export_chrome(str(trace_path))
+            print(f"\nWrote {len(events)} trace events -> {trace_path.name} "
+                  f"(open in chrome://tracing or ui.perfetto.dev)")
+
+            # ---- Prometheus metrics page. --------------------------- #
+            text = client.metrics_text()
+            wanted = ("repro_http_requests_total",
+                      "repro_server_latency_seconds_count",
+                      "repro_engine_", "repro_cache_")
+            shown = [
+                line for line in text.splitlines()
+                if line.startswith(wanted)
+            ]
+            print(f"\nGET /metrics ({len(text.splitlines())} lines); "
+                  f"a sample:")
+            for line in shown[:8]:
+                print(f"  {line}")
+
+            # ---- Slow-request log + opt-in timings. ----------------- #
+            slow = server.stats()["slow_requests"]
+            print(f"\nWorst request seen: {slow[0]['duration_s'] * 1e3:.3f} "
+                  f"ms, phases: " + ", ".join(
+                      f"{c['name'].split('.')[-1]} "
+                      f"{c['duration_s'] * 1e3:.3f} ms"
+                      for c in slow[0]["children"]))
+            out = client._request(
+                "POST", "/predict",
+                {"ids": [int(i) for i in requests[0]], "timings": True},
+            )
+            print("Opt-in /predict timings: "
+                  + json.dumps(out["timings"], default=float))
+            TRACER.disable()
+            TRACER.clear()
+
+
+if __name__ == "__main__":
+    main()

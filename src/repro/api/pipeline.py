@@ -57,6 +57,8 @@ from repro.data.splits import Split, stratified_split
 from repro.hin.engine import CommutingEngine, get_engine
 from repro.hin.io import hin_content_hash
 from repro.hin.metapath import MetaPath
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import TRACER
 
 #: Stage names, in execution order.
 STAGES = ("discover", "compose", "enumerate", "featurize", "fit")
@@ -75,6 +77,12 @@ class StageEvent:
     ``patched`` means :meth:`Pipeline.ingest` updated the stage's
     artifact incrementally from an edge delta instead of recomputing it
     from scratch.
+
+    ``duration_s`` mirrors ``seconds`` under the span-tier field name
+    (every :class:`repro.obs.Span` carries ``duration_s``); events are
+    also re-emitted as ``pipeline.<stage>`` spans when tracing is on,
+    so a resumed run's trace shows ``loaded`` stages at near-zero cost
+    next to the ``computed`` ones that paid.
     """
 
     stage: str
@@ -82,6 +90,11 @@ class StageEvent:
     action: str          # "computed" | "loaded" | "waited" | "patched"
     seconds: float
     detail: Dict[str, object] = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s == 0.0:
+            self.duration_s = self.seconds
 
 
 def _resolve_dataset(dataset: Union[str, HINDataset], seed: int) -> HINDataset:
@@ -215,6 +228,26 @@ class Pipeline:
                 detail=dict(detail),
             )
         )
+        obs_metrics.REGISTRY.counter(
+            f"repro_pipeline_stage_{action}_total",
+            help=f"Pipeline stage executions with action={action}",
+        ).inc()
+        obs_metrics.REGISTRY.histogram(
+            "repro_pipeline_stage_seconds",
+            help="Wall-clock seconds per pipeline stage execution",
+        ).observe(seconds)
+        if TRACER.enabled:
+            # Re-emit the stage event as a retroactive span: the stage
+            # just finished, so its end is "now" and its start follows
+            # from the measured duration.
+            end_s = time.perf_counter()
+            TRACER.record(
+                f"pipeline.{stage}",
+                start_s=end_s - max(seconds, 0.0),
+                end_s=end_s,
+                parent=TRACER.current_context(),
+                attrs={"action": action, "key": key},
+            )
 
     def _claimed_compute(self, kind: str, key: str, compute, persist=True):
         """Compute one stage's artifact with cluster-wide claim dedupe.
@@ -863,6 +896,7 @@ class Pipeline:
                 "key": event.key,
                 "action": event.action,
                 "seconds": round(event.seconds, 6),
+                "duration_s": round(event.duration_s, 6),
                 **event.detail,
             }
             for event in self.stage_log

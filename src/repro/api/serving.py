@@ -82,6 +82,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.autograd.tensor import Tensor, no_grad
+from repro.obs.trace import TRACER
 
 #: Suffix of the sidecar directory holding a bundle's mapped payloads.
 BUNDLE_SIDECAR_SUFFIX = ".mmap"
@@ -326,6 +327,15 @@ class ModelHandle:
             state = self._snapshot()  # one generation for the whole query
         if ids.size == 0:
             return np.empty((0, self.data.num_classes), dtype=np.float64)
+        with TRACER.span(
+            "handle.sliced_forward",
+            attrs={"ids": int(ids.size), "generation": state.generation},
+        ):
+            return self._sliced_forward_inner(ids, state)
+
+    def _sliced_forward_inner(
+        self, ids: np.ndarray, state: "_OperatorState"
+    ) -> np.ndarray:
         objects, contexts = self._gather(ids, state)
         operators = []
         context_tensors = []

@@ -100,6 +100,8 @@ from typing import (
 import numpy as np
 import scipy.sparse as sp
 
+from repro.obs import metrics as obs_metrics
+
 #: Module-level default for ``CommutingEngine(memory_budget=...)``.
 #: ``None`` = unlimited (the historical pin-everything behavior).
 DEFAULT_MEMORY_BUDGET: Optional[int] = None
@@ -580,6 +582,7 @@ class LRUByteCache:
         self.hits = 0  # guarded-by: _lock
         self.misses = 0  # guarded-by: _lock
         self.evictions = 0  # guarded-by: _lock
+        self._obs = obs_metrics.REGISTRY.register("cache", self._collect_metrics)
 
     @staticmethod
     def _validate_budget(budget: Optional[int]) -> Optional[int]:
@@ -753,7 +756,26 @@ class LRUByteCache:
                 if self._on_evict is not None:
                     self._on_evict(victim_key, entry.value)
 
-    def stats(self) -> dict:
+    def snapshot(self) -> dict:
+        """One consistent view of contents *and* counters, single lock hold.
+
+        ``items`` pairs each key with its cached value (no recency bump,
+        no counter effects — :meth:`peek` semantics).  Composite readers
+        (the engine's ``stats()``) use this instead of interleaving
+        ``keys()`` / ``peek()`` / ``resident_bytes`` calls, whose
+        separate lock acquisitions can observe an eviction mid-read.
+        """
+        with self._lock:
+            return {
+                "items": [(key, entry.value) for key, entry in self._entries.items()],
+                "resident_bytes": self._resident,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def _collect_metrics(self) -> dict:
+        """Registry collector; :meth:`stats` is a thin view over it."""
         with self._lock:
             return {
                 "entries": len(self._entries),
@@ -762,6 +784,9 @@ class LRUByteCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
             }
+
+    def stats(self) -> dict:
+        return self._obs.read()
 
 
 class ClaimFile:
@@ -978,6 +1003,29 @@ class ProductStore:
         #: possible (the zero-copy tier); ``False`` restores the
         #: npz-copy behavior (e.g. on filesystems where mmap is slow).
         self.mmap = bool(mmap)
+        # Telemetry counters sit behind their own leaf lock so the IO
+        # paths never run locked (blocking-under-lock rule).
+        self._stats_lock = threading.Lock()
+        self._loads = 0  # guarded-by: _stats_lock
+        self._load_hits = 0  # guarded-by: _stats_lock
+        self._saves = 0  # guarded-by: _stats_lock
+        self._save_failures = 0  # guarded-by: _stats_lock
+        self._obs = obs_metrics.REGISTRY.register("store", self._collect_metrics)
+
+    def _collect_metrics(self) -> dict:
+        """Registry collector; :meth:`stats` is a thin view over it."""
+        with self._stats_lock:
+            return {
+                "loads": self._loads,
+                "load_hits": self._load_hits,
+                "load_misses": self._loads - self._load_hits,
+                "saves": self._saves,
+                "save_failures": self._save_failures,
+            }
+
+    def stats(self) -> dict:
+        """Load/save counters for this store instance."""
+        return self._obs.read()
 
     def path_for(self, content_hash: str, key: Sequence[str]) -> Path:
         """Deterministic archive path for one ``(hash, node-type key)``."""
@@ -1014,6 +1062,19 @@ class ProductStore:
         through, so the *next* load — from this or any co-located
         process — is zero-copy.  ``mmap=False`` forces the heap path.
         """
+        matrix = self._load_impl(content_hash, key, mmap)
+        with self._stats_lock:
+            self._loads += 1
+            if matrix is not None:
+                self._load_hits += 1
+        return matrix
+
+    def _load_impl(
+        self,
+        content_hash: str,
+        key: Sequence[str],
+        mmap: Optional[bool] = None,
+    ) -> Optional[sp.csr_matrix]:
         mmap = self.mmap if mmap is None else bool(mmap)
         path = self.path_for(content_hash, key)
         if mmap:
@@ -1094,6 +1155,16 @@ class ProductStore:
         self, content_hash: str, key: Sequence[str], matrix: sp.spmatrix
     ) -> bool:
         """Atomically persist a product; returns False on I/O failure."""
+        saved = self._save_impl(content_hash, key, matrix)
+        with self._stats_lock:
+            self._saves += 1
+            if not saved:
+                self._save_failures += 1
+        return saved
+
+    def _save_impl(
+        self, content_hash: str, key: Sequence[str], matrix: sp.spmatrix
+    ) -> bool:
         matrix = sp.csr_matrix(matrix)
         path = self.path_for(content_hash, key)
         tmp_path = path.with_name(f"{path.stem}.{os.getpid()}.tmp")

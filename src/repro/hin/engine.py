@@ -111,6 +111,8 @@ from repro.hin.cache import (
 from repro.hin.graph import HIN, DeltaRecord
 from repro.hin.io import hin_content_hash
 from repro.hin.metapath import MetaPath
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import TRACER
 
 Key = Tuple[str, ...]
 
@@ -343,6 +345,7 @@ class CommutingEngine:
         #: ``(view key, dirty row count)`` per derived-view patch (top-k
         #: neighbor lists respliced instead of dropped on ingest).
         self.view_patch_log: List[Tuple[Tuple, int]] = []
+        self._obs = obs_metrics.REGISTRY.register("engine", self._collect_metrics)
 
     @property
     def _hin(self) -> HIN:
@@ -910,8 +913,21 @@ class CommutingEngine:
             self._store.refresh_claim(self._content_hash(), key)
         result = sp.csr_matrix(left @ right)
         result.sort_indices()
+        finished = time.perf_counter()
         self.compose_log.append(key)
-        self.compose_seconds[key] = time.perf_counter() - started
+        self.compose_seconds[key] = finished - started
+        obs_metrics.REGISTRY.histogram(
+            "repro_engine_compose_seconds",
+            help="Wall-clock seconds per chain-product composition",
+        ).observe(finished - started)
+        if TRACER.enabled:
+            TRACER.record(
+                "engine.compose",
+                start_s=started,
+                end_s=finished,
+                parent=TRACER.current_context(),
+                attrs={"key": "->".join(str(t) for t in key)},
+            )
         if self._store is not None and key not in self._on_disk:
             if self._store.save(self._content_hash(), key, result):
                 self._on_disk.add(key)
@@ -1400,15 +1416,26 @@ class CommutingEngine:
           served zero-copy from the store's mmap tier, and the bytes
           they would cost if they were heap-resident (they live in the
           OS page cache instead, shared across co-located workers).
+
+        The cache-derived fields come from one
+        :meth:`LRUByteCache.snapshot` (a single lock hold), so entry
+        counts, counters, and ``resident_bytes`` are mutually
+        consistent even while scheduler threads churn the cache; the
+        whole dict doubles as this engine's registry collector
+        (``repro_engine_*`` in ``GET /metrics``).
         """
+        return self._obs.read()
+
+    def _collect_metrics(self) -> Dict[str, int]:
+        """Registry collector; :meth:`stats` is a thin view over it."""
+        snap = self._cache.snapshot()
         cached_products = 0
         mapped_products = 0
         mapped_bytes = 0
-        for key in self._cache.keys():
+        for key, value in snap["items"]:
             if key[0] != "product":
                 continue
             cached_products += 1
-            value = self._cache.peek(key)
             if value is not None and is_mmap_backed(value):
                 mapped_products += 1
                 mapped_bytes += nbytes_of(value)
@@ -1418,15 +1445,15 @@ class CommutingEngine:
             "patched_rows": int(sum(count for _, count in self.patch_log)),
             "patched_views": len(self.view_patch_log),
             "cached_products": cached_products,
-            "cached_views": len(self._cache) - cached_products,
+            "cached_views": len(snap["items"]) - cached_products,
             "cached_base": len(self._base),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self._cache.evictions,
+            "hits": snap["hits"],
+            "misses": snap["misses"],
+            "evictions": snap["evictions"],
             "spills": self.spills,
             "disk_hits": self.disk_hits,
             "claim_waits": self.claim_waits,
-            "resident_bytes": self._cache.resident_bytes,
+            "resident_bytes": snap["resident_bytes"],
             "mapped_products": mapped_products,
             "mapped_bytes": mapped_bytes,
         }

@@ -1,0 +1,66 @@
+"""Unified telemetry: span tracing, metrics registry, slow-request log.
+
+``repro.obs`` is the one place every tier publishes observability data:
+
+* :mod:`repro.obs.trace` — structured spans with thread-local context
+  propagation, retroactive recording for cross-thread work, a
+  ``traceparent`` wire form for the HTTP tier, and Chrome
+  ``trace_event`` export.  Gated on :data:`TRACER` ``.enabled``
+  (initial value from the ``REPRO_TRACE`` environment variable).
+* :mod:`repro.obs.metrics` — counters/gauges/histograms plus weakly
+  registered component collectors, rendered on demand as a consistent
+  snapshot or Prometheus text (``GET /metrics``).  Component
+  ``stats()`` methods across the repo are thin views over this
+  registry.
+* :mod:`repro.obs.slowlog` — a bounded worst-N log of end-to-end
+  request spans with child trees, under ``stats()["slow_requests"]``.
+
+Metric names follow ``repro_<component>_<metric>``.  All mutable obs
+state sits behind leaf locks with ``# guarded-by:`` annotations, so the
+static analysis gate and the runtime sanitizer cover this package like
+any other tier.
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    ComponentRegistration,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.obs.slowlog import SlowRequestLog
+from repro.obs.trace import (
+    TRACE_ENV_VAR,
+    TRACER,
+    Span,
+    SpanTracer,
+    TraceContext,
+    build_span_tree,
+    format_traceparent,
+    parse_traceparent,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "REGISTRY",
+    "ComponentRegistration",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "SlowRequestLog",
+    "TRACE_ENV_VAR",
+    "TRACER",
+    "Span",
+    "SpanTracer",
+    "TraceContext",
+    "build_span_tree",
+    "format_traceparent",
+    "parse_traceparent",
+    "traced",
+    "tracing_enabled",
+]

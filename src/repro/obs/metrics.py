@@ -1,0 +1,380 @@
+"""Process-wide metrics registry: counters, gauges, histograms, collectors.
+
+Two publishing styles feed one registry (the module-level
+:data:`REGISTRY`):
+
+* **Owned instruments** — :meth:`MetricsRegistry.counter`,
+  :meth:`~MetricsRegistry.gauge`, :meth:`~MetricsRegistry.histogram`
+  get-or-create a named instrument that hot paths update directly
+  (``REGISTRY.counter("repro_server_requests_total").inc()``).
+  Histograms use fixed log-spaced latency buckets
+  (:data:`LATENCY_BUCKETS_S`) so percentile summaries are comparable
+  across components.
+* **Component collectors** — long-lived components (engine, caches,
+  servers, autoscaler) register a bound ``_collect_metrics`` method
+  under a component name (:meth:`MetricsRegistry.register`).  The
+  registry holds it via :class:`weakref.WeakMethod`, so registration
+  never extends a component's lifetime; dead components are pruned on
+  the next snapshot.  The components' public ``stats()`` methods are
+  thin views over their own registration
+  (:meth:`ComponentRegistration.read`), which keeps every key exactly
+  as callers knew it while routing all reads through one place.
+
+Naming convention: ``repro_<component>_<metric>``, e.g.
+``repro_engine_compose_seconds``.  Collector dict keys are flattened
+into that form for export with an ``instance`` label distinguishing
+multiple live instances of one component.
+
+Lock discipline: the registry lock is a strict leaf — collectors are
+*always* invoked outside it (:meth:`MetricsRegistry.snapshot` copies
+the registration list under the lock, then calls each collector
+unlocked), because collectors take their component's own lock and the
+reverse edge would create a lock-order cycle with any component that
+published an owned metric while holding its lock.
+
+Export: :meth:`MetricsRegistry.prometheus_text` renders the whole
+registry in the Prometheus text exposition format (version 0.0.4) —
+pure stdlib, served by the HTTP tier's ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+import weakref
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "ComponentRegistration",
+    "REGISTRY",
+]
+
+#: Fixed log-spaced latency buckets (seconds): 100 µs doubling up to
+#: ~13 s.  Shared by every latency histogram so distributions from
+#: different components land in comparable bins.
+LATENCY_BUCKETS_S: Tuple[float, ...] = tuple(
+    1e-4 * (2.0 ** i) for i in range(18)
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+class Counter:
+    """Monotonically increasing count (``inc`` only)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0  # guarded-by: _lock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, resident bytes)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0  # guarded-by: _lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative Prometheus semantics."""
+
+    __slots__ = ("name", "help", "buckets", "_lock", "_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+    ) -> None:
+        upper = tuple(sorted(float(b) for b in buckets))
+        if not upper:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.buckets = upper
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(upper) + 1)  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Cumulative ``(le, count)`` pairs plus sum/count, one lock hold."""
+        with self._lock:
+            counts = list(self._counts)
+            total_sum = self._sum
+            total_count = self._count
+        cumulative: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            cumulative.append((bound, running))
+        cumulative.append((math.inf, total_count))
+        return {"buckets": cumulative, "sum": total_sum, "count": total_count}
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+CollectorFn = Callable[[], Dict[str, Any]]
+
+
+class ComponentRegistration:
+    """Handle returned by :meth:`MetricsRegistry.register`.
+
+    Components keep it and implement ``stats()`` as
+    ``return self._obs.read()`` — the thin-view contract: same dict,
+    same keys, now routed through the registry.
+    """
+
+    __slots__ = ("component", "instance", "_ref", "__weakref__")
+
+    def __init__(
+        self, component: str, instance: int, collector: CollectorFn
+    ) -> None:
+        self.component = component
+        self.instance = instance
+        # WeakMethod for bound methods so the registry never pins the
+        # component; plain functions/closures are held strongly.
+        try:
+            self._ref: Callable[[], Optional[CollectorFn]] = weakref.WeakMethod(
+                collector  # type: ignore[arg-type]
+            )
+        except TypeError:
+            self._ref = lambda: collector
+
+    def collector(self) -> Optional[CollectorFn]:
+        return self._ref()
+
+    def read(self) -> Dict[str, Any]:
+        """Invoke the collector (no registry lock involved)."""
+        fn = self._ref()
+        if fn is None:  # component was garbage collected
+            return {}
+        return fn()
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store plus weakly-held component collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Instrument] = {}  # guarded-by: _lock
+        self._components: List[ComponentRegistration] = []  # guarded-by: _lock
+        self._instance_counts: Dict[str, int] = {}  # guarded-by: _lock
+
+    # -- owned instruments ---------------------------------------------
+
+    def _get_or_create(
+        self, name: str, factory: Callable[[], Instrument], kind: type
+    ) -> Instrument:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(  # type: ignore[return-value]
+            name, lambda: Counter(name, help), Counter
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(  # type: ignore[return-value]
+            name, lambda: Gauge(name, help), Gauge
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[return-value]
+            name, lambda: Histogram(name, help, buckets), Histogram
+        )
+
+    # -- component collectors ------------------------------------------
+
+    def register(
+        self, component: str, collector: CollectorFn
+    ) -> ComponentRegistration:
+        """Register a component's metric collector under *component*.
+
+        The collector is a zero-arg callable returning the component's
+        stats dict (numbers, possibly nested one level).  Bound methods
+        are held via ``WeakMethod`` — unregistration is automatic when
+        the component dies.
+        """
+        clean = _SANITIZE_RE.sub("_", component)
+        with self._lock:
+            instance = self._instance_counts.get(clean, 0)
+            self._instance_counts[clean] = instance + 1
+            registration = ComponentRegistration(clean, instance, collector)
+            self._components.append(registration)
+        return registration
+
+    def _live_components(self) -> List[ComponentRegistration]:
+        """Prune dead registrations; return the live ones (lock held briefly)."""
+        with self._lock:
+            live = [r for r in self._components if r.collector() is not None]
+            self._components = live
+            return list(live)
+
+    # -- snapshots & export --------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One dict covering every instrument and every live component.
+
+        Collectors run *outside* the registry lock (see module
+        docstring); instruments each snapshot under their own leaf
+        lock.
+        """
+        with self._lock:
+            instruments = dict(self._instruments)
+        metrics: Dict[str, Any] = {}
+        for name, instrument in sorted(instruments.items()):
+            if isinstance(instrument, Histogram):
+                metrics[name] = instrument.snapshot()
+            else:
+                metrics[name] = instrument.value
+        components: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        for registration in self._live_components():
+            stats = registration.read()
+            if not stats:
+                continue
+            components.setdefault(registration.component, {})[
+                str(registration.instance)
+            ] = stats
+        return {"metrics": metrics, "components": components}
+
+    def prometheus_text(self) -> str:
+        """Render the registry in Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        snap = self.snapshot()
+        with self._lock:
+            instruments = dict(self._instruments)
+        for name in sorted(snap["metrics"]):
+            instrument = instruments.get(name)
+            value = snap["metrics"][name]
+            if isinstance(instrument, Histogram):
+                lines.append(f"# HELP {name} {instrument.help or name}")
+                lines.append(f"# TYPE {name} histogram")
+                for bound, count in value["buckets"]:
+                    le = "+Inf" if math.isinf(bound) else _format_number(bound)
+                    lines.append(f'{name}_bucket{{le="{le}"}} {count}')
+                lines.append(f"{name}_sum {_format_number(value['sum'])}")
+                lines.append(f"{name}_count {value['count']}")
+            else:
+                kind = "counter" if isinstance(instrument, Counter) else "gauge"
+                help_text = getattr(instrument, "help", "") or name
+                lines.append(f"# HELP {name} {help_text}")
+                lines.append(f"# TYPE {name} {kind}")
+                lines.append(f"{name} {_format_number(value)}")
+        for component in sorted(snap["components"]):
+            instances = snap["components"][component]
+            for instance in sorted(instances, key=int):
+                for key, value in _flatten(instances[instance]):
+                    metric = _SANITIZE_RE.sub("_", f"repro_{component}_{key}")
+                    lines.append(
+                        f'{metric}{{instance="{instance}"}} '
+                        f"{_format_number(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    return repr(float(value))
+
+
+def _flatten(
+    stats: Dict[str, Any], prefix: str = ""
+) -> Iterable[Tuple[str, float]]:
+    """Yield ``(flattened_key, numeric_value)`` leaves of a stats dict.
+
+    Non-numeric leaves (strings, lists such as ``slow_requests``) are
+    skipped — they belong to ``stats()`` callers, not the exposition.
+    """
+    for key in sorted(stats):
+        value = stats[key]
+        flat = f"{prefix}{key}"
+        if isinstance(value, bool):
+            yield flat, float(value)
+        elif isinstance(value, (int, float)):
+            yield flat, value
+        elif isinstance(value, dict):
+            yield from _flatten(value, prefix=f"{flat}_")
+
+
+#: The process-wide registry every component publishes into.
+REGISTRY = MetricsRegistry()

@@ -1,0 +1,68 @@
+"""Bounded worst-N slow-request log.
+
+Keeps the ``capacity`` slowest end-to-end request records seen so far
+(a min-heap keyed on duration: the cheapest entry is evicted when a
+slower one arrives), each with its child-span tree — the per-phase
+breakdown the serving tier computes anyway (queue wait, batch
+assembly, forward).  Surfaced as ``stats()["slow_requests"]``.
+
+Unlike the tracer this is always on: the entries are built from
+timings the scheduler already measured, so the per-request cost is one
+short leaf-lock hold and, when the heap is full and the request is
+fast, a single comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["SlowRequestLog"]
+
+
+class SlowRequestLog:
+    """Min-heap of the worst ``capacity`` requests by ``duration_s``."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._heap: List[Tuple[float, int, Dict[str, Any]]] = []  # guarded-by: _lock
+        self._seq = 0  # guarded-by: _lock
+        self._offered = 0  # guarded-by: _lock
+
+    def offer(self, duration_s: float, entry: Dict[str, Any]) -> bool:
+        """Consider *entry* for the log; return True if it was kept.
+
+        *entry* should be a plain JSON-able dict (e.g. a span dict with
+        a ``children`` list); the log stores it as-is.
+        """
+        with self._lock:
+            self._offered += 1
+            if len(self._heap) < self.capacity:
+                self._seq += 1
+                heapq.heappush(self._heap, (duration_s, self._seq, entry))
+                return True
+            if duration_s <= self._heap[0][0]:
+                return False
+            self._seq += 1
+            heapq.heapreplace(self._heap, (duration_s, self._seq, entry))
+            return True
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The kept entries, slowest first (copies of the dicts)."""
+        with self._lock:
+            items = list(self._heap)
+        items.sort(key=lambda item: (-item[0], -item[1]))
+        return [dict(entry) for _, _, entry in items]
+
+    def offered(self) -> int:
+        with self._lock:
+            return self._offered
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()
+            self._offered = 0

@@ -1,0 +1,481 @@
+"""Structured span tracing with thread-local context propagation.
+
+The tracer produces :class:`Span` records — name, trace/span/parent
+ids, attributes, and a monotonic ``(start_s, duration_s)`` pair — from
+three entry points:
+
+* :meth:`SpanTracer.span` — a context manager (usable as a decorator
+  via :func:`traced`) that opens a span, pushes it onto the calling
+  thread's context stack so nested spans parent correctly, and records
+  it on exit.
+* :meth:`SpanTracer.record` — retroactive recording for work whose
+  start/end were measured elsewhere (e.g. a request whose lifetime
+  crosses from the submitting thread into a scheduler thread: the
+  scheduler knows ``submitted``/``completed`` only after the fact).
+* :func:`parse_traceparent` / :func:`format_traceparent` — the wire
+  form (``00-<32 hex trace id>-<16 hex span id>-01``, W3C-style) used
+  by the HTTP tier to stitch client and server spans into one trace.
+
+Cross-thread propagation is explicit: capture
+:meth:`SpanTracer.current_context` where the work is enqueued, carry
+the (immutable) :class:`TraceContext` with the work item, and pass it
+as ``parent=`` when the span is finally opened or recorded.  This is
+how ``ModelServer`` scheduler threads and process-replica workers join
+the submitting request's trace.
+
+Everything is gated on the module-level enable flag
+(:meth:`SpanTracer.enabled`, default from the ``REPRO_TRACE``
+environment variable so spawned replica processes inherit it).  When
+disabled, :meth:`~SpanTracer.span` returns a shared no-op context
+manager and :meth:`~SpanTracer.record` returns ``None`` after one
+attribute check — the hot paths stay instrumented at effectively zero
+cost.
+
+Finished spans land in a bounded ring buffer and export as Chrome
+``trace_event`` JSON (:meth:`SpanTracer.export_chrome`) for
+``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import json
+import os
+import re
+import threading
+import time
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+)
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "TraceContext",
+    "TRACER",
+    "TRACE_ENV_VAR",
+    "format_traceparent",
+    "parse_traceparent",
+    "traced",
+    "tracing_enabled",
+]
+
+#: Environment variable consulted for the initial enable flag.  Spawned
+#: replica processes inherit the environment, so exporting
+#: ``REPRO_TRACE=1`` before building a ``ProcessReplicaServer`` turns
+#: tracing on inside every worker process too.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+# Trace/span ids need uniqueness within a process tree, not secrecy: a
+# random 64-bit process prefix (distinguishes replica processes) plus a
+# monotone counter is far cheaper per span than urandom-per-id.
+# ``itertools.count.__next__`` is atomic under the GIL.
+_PROCESS_PREFIX = int.from_bytes(os.urandom(8), "big")
+_IDS = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return f"{_PROCESS_PREFIX:016x}{next(_IDS):016x}"
+
+
+def _new_span_id() -> str:
+    return f"{next(_IDS) ^ _PROCESS_PREFIX:016x}"
+
+
+# Thread-name cache: ``threading.current_thread()`` is a dict lookup plus
+# object churn per call, which adds up at several spans per request.
+# Plain-dict get/set are atomic under the GIL and thread idents are only
+# reused after a thread exits, when its (identical) name no longer
+# matters — benign by design, so not ``# guarded-by:`` annotated.
+_THREAD_NAMES: Dict[int, str] = {}
+
+
+def _thread_name(ident: int) -> str:
+    name = _THREAD_NAMES.get(ident)
+    if name is None:
+        name = threading.current_thread().name
+        _THREAD_NAMES[ident] = name
+    return name
+
+
+class TraceContext(NamedTuple):
+    """Immutable propagation handle: where new child spans attach."""
+
+    trace_id: str
+    span_id: str
+
+
+_TRACEPARENT_RE = re.compile(
+    r"^00-([0-9a-f]{32})-([0-9a-f]{16})-[0-9a-f]{2}$"
+)
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """Render *ctx* in the W3C ``traceparent`` wire form."""
+    return f"00-{ctx.trace_id}-{ctx.span_id}-01"
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header; ``None`` if absent or malformed."""
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    return TraceContext(match.group(1), match.group(2))
+
+
+class Span:
+    """One finished (or in-flight) unit of traced work.
+
+    ``start_s`` is ``time.perf_counter()`` based — monotonic and
+    comparable across threads of one process, but *not* across
+    processes and not wall-clock.  Chrome trace viewers only care
+    about relative offsets, so that is exactly what we store.
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_s",
+        "duration_s",
+        "attrs",
+        "thread_id",
+        "thread_name",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start_s: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.duration_s = 0.0
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.thread_id = threading.get_ident()
+        self.thread_name = _thread_name(self.thread_id)
+
+    @property
+    def context(self) -> TraceContext:
+        """The propagation handle for parenting children to this span."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "thread_name": self.thread_name,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id[-8:]}, "
+            f"dur={self.duration_s * 1e3:.3f}ms)"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _ActiveSpan:
+    """Context manager returned by :meth:`SpanTracer.span` when enabled."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "SpanTracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if exc_type is not None:
+            self.span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self.span)
+
+
+class SpanTracer:
+    """Process-wide span collector with a bounded finished-span buffer.
+
+    The per-thread context stack lives in a ``threading.local`` and is
+    therefore lock-free; only the finished-span ring buffer is shared,
+    and it is the sole state behind ``_lock`` (a strict leaf lock: no
+    callback, IO, or foreign method is ever invoked while holding it).
+
+    ``enabled`` is a plain attribute read without the lock on hot
+    paths; a boolean flip is atomic under the GIL and a momentarily
+    stale read merely traces (or skips) one extra span — benign by
+    design, so it is deliberately not ``# guarded-by:`` annotated.
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.enabled = os.environ.get(TRACE_ENV_VAR, "") not in ("", "0")
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._finished: "deque[Span]" = deque(maxlen=capacity)  # guarded-by: _lock
+        self._dropped = 0  # guarded-by: _lock
+
+    # -- enable flag ---------------------------------------------------
+
+    def enable(self) -> None:
+        """Turn span collection on (idempotent)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn span collection off; already-open spans still record."""
+        self.enabled = False
+
+    # -- thread-local context stack ------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def current_context(self) -> Optional[TraceContext]:
+        """Propagation handle of the calling thread's innermost span."""
+        stack = getattr(self._tls, "stack", None)
+        if not stack:
+            return None
+        return stack[-1].context
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        span.duration_s = time.perf_counter() - span.start_s
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # unbalanced exit (generator abandoned mid-span): best effort
+            try:
+                stack.remove(span)
+            except ValueError:
+                pass
+        self._store(span)
+
+    # -- span creation -------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        parent: Optional[TraceContext] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Any:
+        """Open a span as a context manager.
+
+        ``parent`` overrides the thread-local parent — pass a
+        :class:`TraceContext` carried across a thread or process hop to
+        join that trace.  When tracing is disabled this returns a
+        shared no-op context manager after a single attribute check.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        if parent is None:
+            parent = self.current_context()
+        if parent is None:
+            trace_id, parent_id = _new_trace_id(), None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(
+            name,
+            trace_id=trace_id,
+            span_id=_new_span_id(),
+            parent_id=parent_id,
+            start_s=time.perf_counter(),
+            attrs=attrs,
+        )
+        return _ActiveSpan(self, span)
+
+    def record(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        parent: Optional[TraceContext] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> Optional[Span]:
+        """Retroactively record a span whose bounds were measured elsewhere.
+
+        Does *not* touch the thread-local stack — the work may have run
+        on a different thread entirely.  Returns the recorded
+        :class:`Span` (so callers can parent children to
+        ``span.context``), or ``None`` when tracing is disabled.
+        """
+        if not self.enabled:
+            return None
+        if parent is None:
+            trace_id, parent_id = _new_trace_id(), None
+        else:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        span = Span(
+            name,
+            trace_id=trace_id,
+            span_id=_new_span_id(),
+            parent_id=parent_id,
+            start_s=start_s,
+            attrs=attrs,
+        )
+        span.duration_s = max(0.0, end_s - start_s)
+        self._store(span)
+        return span
+
+    def _store(self, span: Span) -> None:
+        with self._lock:
+            if len(self._finished) == self.capacity:
+                self._dropped += 1
+            self._finished.append(span)
+
+    # -- inspection & export -------------------------------------------
+
+    def finished(self) -> List[Span]:
+        """Snapshot of the finished-span ring buffer (oldest first)."""
+        with self._lock:
+            return list(self._finished)
+
+    def spans_for_trace(self, trace_id: str) -> List[Span]:
+        return [s for s in self.finished() if s.trace_id == trace_id]
+
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._dropped = 0
+
+    def export_chrome(self, path: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Render finished spans as Chrome ``trace_event`` objects.
+
+        Complete (``"ph": "X"``) events with microsecond timestamps,
+        loadable by ``chrome://tracing`` and Perfetto.  The snapshot is
+        copied under the lock; JSON serialization and the optional file
+        write happen outside it.
+        """
+        spans = self.finished()
+        events: List[Dict[str, Any]] = []
+        pid = os.getpid()
+        for span in spans:
+            args: Dict[str, Any] = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+            }
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args.update(span.attrs)
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": span.start_s * 1e6,
+                    "dur": span.duration_s * 1e6,
+                    "pid": pid,
+                    "tid": span.thread_id,
+                    "args": args,
+                }
+            )
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(events, handle, indent=1, default=str)
+        return events
+
+
+def build_span_tree(
+    root: Span, candidates: Sequence[Span]
+) -> Dict[str, Any]:
+    """Assemble *root* plus its (transitive) children into a nested dict.
+
+    ``candidates`` is any superset of the potential descendants, e.g.
+    ``tracer.spans_for_trace(root.trace_id)``.
+    """
+    by_parent: Dict[str, List[Span]] = {}
+    for span in candidates:
+        if span.parent_id is not None and span.span_id != root.span_id:
+            by_parent.setdefault(span.parent_id, []).append(span)
+
+    def expand(span: Span) -> Dict[str, Any]:
+        node = span.to_dict()
+        children = sorted(
+            by_parent.get(span.span_id, ()), key=lambda s: s.start_s
+        )
+        node["children"] = [expand(child) for child in children]
+        return node
+
+    return expand(root)
+
+
+#: The process-wide tracer every component publishes into.
+TRACER = SpanTracer()
+
+
+def tracing_enabled() -> bool:
+    """Cheap module-level view of the global enable flag."""
+    return TRACER.enabled
+
+
+def traced(
+    name: Optional[str] = None, **attrs: Any
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator form: trace every call of the wrapped function.
+
+    >>> @traced("pipeline.featurize", stage="featurize")
+    ... def featurize(...): ...
+    """
+
+    def decorate(func: Callable[..., Any]) -> Callable[..., Any]:
+        span_name = name or func.__qualname__
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not TRACER.enabled:
+                return func(*args, **kwargs)
+            with TRACER.span(span_name, attrs=attrs or None):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

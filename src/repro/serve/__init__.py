@@ -27,10 +27,19 @@ each usable on its own:
 :class:`~repro.serve.http.HttpServer`
     The network front door: a stdlib-only HTTP facade over
     ``ModelServer`` (``/predict``, ``/predict_proba``, ``/stats``,
-    ``/ingest``) that preserves in-process error types and messages on
-    the wire; :class:`~repro.serve.http.HttpServeClient` keeps
-    :class:`~repro.serve.client.ServeClient`'s exact surface over HTTP,
-    including shed-retry.
+    ``/ingest``, ``/metrics``) that preserves in-process error types
+    and messages on the wire; :class:`~repro.serve.http.HttpServeClient`
+    keeps :class:`~repro.serve.client.ServeClient`'s exact surface over
+    HTTP, including shed-retry.
+
+Observability (:mod:`repro.obs`)
+    Every layer publishes into the unified telemetry subsystem: spans
+    (``server.request`` with queue-wait/assembly/forward children,
+    ``http.<route>`` stitched across the wire via ``traceparent``
+    headers), registry metrics (``repro_server_*`` etc., exported at
+    ``GET /metrics``), and a worst-N ``stats()["slow_requests"]`` log.
+    Tracing is off by default; enable with ``repro.obs.TRACER.enable()``
+    or ``REPRO_TRACE=1``.
 
 The zero-copy substrate
     Both servers load bundles through the memory-mapped operator tier

@@ -35,6 +35,8 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.obs import metrics as obs_metrics
+
 
 @dataclass(frozen=True)
 class AutoscalePolicy:
@@ -117,6 +119,9 @@ class ReplicaAutoscaler:
         self._lock = threading.Lock()
         self._ticks = 0  # guarded-by: _lock
         self._events: List[Dict[str, object]] = []  # guarded-by: _lock
+        self._obs = obs_metrics.REGISTRY.register(
+            "autoscale", self._collect_metrics
+        )
 
     # ------------------------------------------------------------- #
     # Lifecycle
@@ -229,7 +234,15 @@ class ReplicaAutoscaler:
     # ------------------------------------------------------------- #
 
     def stats(self) -> Dict[str, object]:
-        """Policy, tick count, and the scaling decisions taken so far."""
+        """Policy, tick count, and the scaling decisions taken so far.
+
+        Thin view over this controller's registry registration
+        (``repro_autoscale_*`` in ``GET /metrics``).
+        """
+        return self._obs.read()
+
+    def _collect_metrics(self) -> Dict[str, object]:
+        """Registry collector; :meth:`stats` is a thin view over it."""
         with self._lock:
             ticks = self._ticks
             events = [dict(event) for event in self._events]

@@ -19,7 +19,21 @@ Endpoints
 ``POST /predict_proba``  ``{"ids": [...]}`` → ``{"proba", "shape", "generation"}``
 ``POST /ingest``         EdgeDelta fields → the ingest summary
 ``GET  /stats``          the wrapped server's ``stats()``
+``GET  /metrics``        the metrics registry, Prometheus text format
 ``GET  /healthz``        ``{"ok": true}`` while the inner server runs
+
+Observability
+-------------
+Requests may carry a W3C-style ``traceparent`` header
+(``00-<trace>-<span>-01``); the server parses it, parents its own
+``http.<route>`` span into the caller's trace (when tracing is on), and
+answers with a ``traceparent`` response header carrying the same trace
+id — so client- and server-side spans stitch into one trace even
+across processes.  ``POST /predict`` bodies may set ``"timings": true``
+to receive the scheduler's per-phase breakdown (queue wait, batch
+assembly, forward, serialization) alongside the answer.
+:class:`HttpServeClient` sends the header automatically whenever
+tracing is enabled in its process.
 
 Status mapping: 503 + ``Retry-After`` for
 :class:`~repro.serve.server.ServerOverloaded` (load shed — retryable),
@@ -42,13 +56,16 @@ from __future__ import annotations
 import builtins
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import TRACER, format_traceparent, parse_traceparent
 from repro.serve.client import ServeClient
 from repro.serve.server import ServerOverloaded
 
@@ -84,21 +101,37 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # the facade exposes stats(); per-request stderr is noise
 
-    def _respond(self, status: int, payload: Dict[str, object]) -> None:
-        body = json.dumps(payload, default=_jsonable).encode("utf-8")
+    def _respond(
+        self,
+        status: int,
+        payload: Union[Dict[str, object], str],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        # A str payload is pre-rendered text (the Prometheus exposition);
+        # everything else is JSON.
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, default=_jsonable).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if status == 503:
             self.send_header("Retry-After", "0")
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _handle(self, method: str) -> None:
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length) if length else b""
-        status, payload = self.server.facade.dispatch(method, self.path, body)
-        self._respond(status, payload)
+        status, payload, extra_headers = self.server.facade.dispatch(
+            method, self.path, body, headers=self.headers
+        )
+        self._respond(status, payload, extra_headers)
 
     def do_GET(self) -> None:
         self._handle("GET")
@@ -178,17 +211,58 @@ class HttpServer:
     # ------------------------------------------------------------- #
 
     def dispatch(
-        self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, object]]:
-        """Route one request; returns ``(status, json payload)``.
+        self, method: str, path: str, body: bytes, headers=None
+    ) -> Tuple[int, Union[Dict[str, object], str], Dict[str, str]]:
+        """Route one request; returns ``(status, payload, response headers)``.
 
-        Every handler funnels its exceptions through the one status
-        mapping, so in-process error semantics survive the wire: the
-        payload carries the original type name and message verbatim.
+        The payload is a JSON-able dict for every route except
+        ``GET /metrics``, whose payload is the pre-rendered Prometheus
+        text page (a ``str``).  An incoming ``traceparent`` header joins
+        the caller's trace: with tracing on, the whole route runs under
+        an ``http.<route>`` span parented to it and the response echoes
+        a ``traceparent`` with the *same trace id* (the server span's
+        context); with tracing off, the incoming header is echoed
+        verbatim so the caller can still correlate.
+        """
+        incoming = headers.get("traceparent") if headers is not None else None
+        parent = parse_traceparent(incoming)
+        route = path.lstrip("/") or "root"
+        obs_metrics.REGISTRY.counter(
+            "repro_http_requests_total", help="HTTP requests dispatched"
+        ).inc()
+        started = time.perf_counter()
+        response_headers: Dict[str, str] = {}
+        if TRACER.enabled:
+            with TRACER.span(
+                f"http.{route}", parent=parent, attrs={"method": method}
+            ) as span:
+                response_headers["traceparent"] = format_traceparent(
+                    span.context
+                )
+                status, payload = self._route(method, path, body)
+                span.attrs["status"] = status
+        else:
+            if incoming is not None:
+                response_headers["traceparent"] = incoming
+            status, payload = self._route(method, path, body)
+        obs_metrics.REGISTRY.histogram(
+            "repro_http_request_seconds",
+            help="HTTP request handling seconds (dispatch-side)",
+        ).observe(time.perf_counter() - started)
+        return status, payload, response_headers
+
+    def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Union[Dict[str, object], str]]:
+        """The status mapping: every handler funnels its exceptions
+        through here, so in-process error semantics survive the wire —
+        the payload carries the original type name and message verbatim.
         """
         try:
             if method == "GET" and path == "/stats":
                 return 200, self.server.stats()
+            if method == "GET" and path == "/metrics":
+                return 200, obs_metrics.REGISTRY.prometheus_text()
             if method == "GET" and path == "/healthz":
                 return 200, {"ok": True}
             if method == "POST" and path in ("/predict", "/predict_proba"):
@@ -223,21 +297,35 @@ class HttpServer:
         payload = self._decode(body)
         if "ids" not in payload:
             raise ValueError('request body must carry an "ids" field')
+        want_timings = bool(payload.get("timings", False))
         # Hand the decoded ids to submit *as-is*: check_ids runs there,
         # so a float id over HTTP raises the exact in-process TypeError.
         future = self.server.submit(payload["ids"], proba=proba)
         answer = future.result(self.request_timeout)
         generation = self.server.handle.generation
+        serialize_started = time.perf_counter()
         if proba:
-            return {
+            out: Dict[str, object] = {
                 "proba": np.asarray(answer, dtype=np.float64).ravel().tolist(),
                 "shape": list(answer.shape),
                 "generation": generation,
             }
-        return {
-            "labels": np.asarray(answer, dtype=np.int64).tolist(),
-            "generation": generation,
-        }
+        else:
+            out = {
+                "labels": np.asarray(answer, dtype=np.int64).tolist(),
+                "generation": generation,
+            }
+        if want_timings:
+            # Scheduler phases (None for hot-cache hits) + the response
+            # materialization just measured.  json.dumps cost lands in
+            # the handler and is excluded — this is the server-side
+            # payload-building share.
+            timings = dict(future.timings or {})
+            timings["serialization_s"] = (
+                time.perf_counter() - serialize_started
+            )
+            out["timings"] = timings
+        return out
 
     def _ingest(self, body: bytes) -> Dict[str, object]:
         from repro.hin.graph import EdgeDelta
@@ -315,11 +403,39 @@ class HttpServeClient(ServeClient):
         payload: Optional[Dict[str, object]] = None,
         timeout: Optional[float] = None,
     ) -> Dict[str, object]:
+        """One wire round-trip.
+
+        With tracing enabled the call runs under an
+        ``http.client.<route>`` span and sends its context as the
+        ``traceparent`` request header, so the server's spans join this
+        client's trace.
+        """
+        if not TRACER.enabled:
+            return self._request_impl(method, path, payload, timeout, None)
+        route = path.lstrip("/") or "root"
+        with TRACER.span(
+            f"http.client.{route}", attrs={"method": method}
+        ) as span:
+            return self._request_impl(
+                method, path, payload, timeout,
+                format_traceparent(span.context),
+            )
+
+    def _request_impl(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]],
+        timeout: Optional[float],
+        traceparent: Optional[str],
+    ) -> Dict[str, object]:
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload, default=_jsonable).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if traceparent is not None:
+            headers["traceparent"] = traceparent
         request = urllib.request.Request(
             self.url + path, data=body, headers=headers, method=method
         )
@@ -402,6 +518,12 @@ class HttpServeClient(ServeClient):
     def stats(self) -> Dict[str, object]:
         """The wrapped server's ``stats()``, fetched over the wire."""
         return self._request("GET", "/stats")
+
+    def metrics_text(self) -> str:
+        """The server's ``GET /metrics`` Prometheus page, as raw text."""
+        request = urllib.request.Request(self.url + "/metrics", method="GET")
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            return response.read().decode("utf-8")
 
     def healthz(self) -> bool:
         try:

@@ -90,6 +90,9 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.slowlog import SlowRequestLog
+from repro.obs.trace import TRACER, TraceContext
 from repro.serve.batching import BatchPlanner
 
 
@@ -98,7 +101,14 @@ class ServerOverloaded(RuntimeError):
 
 
 class PredictionFuture:
-    """Handle to one in-flight request; resolves to labels or proba."""
+    """Handle to one in-flight request; resolves to labels or proba.
+
+    ``timings`` is filled by the scheduler when the request is answered
+    through a batch: a ``{"queue_wait_s", "batch_assembly_s",
+    "forward_s"}`` breakdown of the end-to-end latency (batch-level
+    boundaries shared by every request in the batch).  It stays ``None``
+    for hot-cache hits and failed batches.
+    """
 
     def __init__(self):
         self._event = threading.Event()
@@ -106,6 +116,7 @@ class PredictionFuture:
         self._error: Optional[BaseException] = None
         self.submitted = time.perf_counter()
         self.completed: Optional[float] = None
+        self.timings: Optional[Dict[str, float]] = None
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -133,12 +144,21 @@ class PredictionFuture:
 
 
 class _QueuedRequest:
-    __slots__ = ("ids", "proba", "future")
+    __slots__ = ("ids", "proba", "future", "ctx")
 
-    def __init__(self, ids: np.ndarray, proba: bool, future: PredictionFuture):
+    def __init__(
+        self,
+        ids: np.ndarray,
+        proba: bool,
+        future: PredictionFuture,
+        ctx: Optional[TraceContext] = None,
+    ):
         self.ids = ids
         self.proba = proba
         self.future = future
+        #: Trace context captured on the submitting thread — how the
+        #: scheduler joins the submitter's trace across the queue hop.
+        self.ctx = ctx
 
 
 #: EWMA smoothing for the observed request inter-arrival gap (the
@@ -177,6 +197,9 @@ class ModelServer:
         Optional prepared :class:`repro.api.Pipeline` backing the
         handle; enables :meth:`ingest` (live edge deltas without a
         restart).
+    slow_log_size:
+        How many worst-latency requests to keep (with their per-phase
+        breakdown) under ``stats()["slow_requests"]``.
     """
 
     def __init__(
@@ -189,6 +212,7 @@ class ModelServer:
         adaptive_wait: bool = False,
         hot_cache_size: int = 0,
         pipeline=None,
+        slow_log_size: int = 8,
     ):
         from repro.api.serving import ModelHandle
 
@@ -240,6 +264,18 @@ class ModelServer:
         # refresh); queries keep flowing — they only contend on the
         # handle's generation-pointer swap.
         self._ingest_lock = threading.Lock()
+        # Observability: the worst-N request log (own leaf lock), the
+        # shared latency histogram (resolved once — the registry lookup
+        # stays off the hot path), and this server's registry
+        # registration; stats() is a thin view over the latter.
+        self._slow_log = SlowRequestLog(capacity=max(1, int(slow_log_size)))
+        self._latency_hist = obs_metrics.REGISTRY.histogram(
+            "repro_server_latency_seconds",
+            help="End-to-end submit->answer latency per request",
+        )
+        self._obs = obs_metrics.REGISTRY.register(
+            "server", self._collect_metrics
+        )
 
     # ------------------------------------------------------------- #
     # Lifecycle
@@ -354,11 +390,20 @@ class ModelServer:
                     self._counters["requests"] += 1
                     self._counters["answered"] += 1
                     self._counters["cache_hits"] += 1
+        ctx = TRACER.current_context() if TRACER.enabled else None
         future = PredictionFuture()
         if cached is not None:
             future._finish(value=cached.copy())
+            if TRACER.enabled:
+                TRACER.record(
+                    "server.request",
+                    start_s=future.submitted,
+                    end_s=future.completed,
+                    parent=ctx,
+                    attrs={"ids": int(checked.size), "cache_hit": True},
+                )
             return future
-        request = _QueuedRequest(checked, proba, future)
+        request = _QueuedRequest(checked, proba, future, ctx)
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -445,7 +490,14 @@ class ModelServer:
             return self.max_wait_s
         with self._lock:
             ewma = self._arrival_ewma_s
-        if ewma is None:
+        return self._wait_for_ewma(ewma)
+
+    def _wait_for_ewma(self, ewma: Optional[float]) -> float:
+        """The control law, pure in the EWMA — lets ``stats()`` derive
+        the effective wait from its own already-snapshotted EWMA instead
+        of re-reading the live field (which could disagree with the rest
+        of the snapshot)."""
+        if not self.adaptive_wait or ewma is None:
             return self.max_wait_s
         if ewma >= self.max_wait_s:
             return 0.0
@@ -458,6 +510,7 @@ class ModelServer:
             except queue.Empty:
                 continue
             batch = [first]
+            formed_at = time.perf_counter()
             deadline = time.monotonic() + self._effective_wait_s()
             while len(batch) < self.max_batch_size:
                 remaining = deadline - time.monotonic()
@@ -472,17 +525,39 @@ class ModelServer:
                         batch.append(self._queue.get(timeout=remaining))
                     except queue.Empty:
                         break
-            self._serve_batch(batch)
+            self._serve_batch(batch, formed_at, time.perf_counter())
 
-    def _serve_batch(self, batch: List[_QueuedRequest]) -> None:
+    def _serve_batch(
+        self,
+        batch: List[_QueuedRequest],
+        formed_at: Optional[float] = None,
+        assembled_at: Optional[float] = None,
+    ) -> None:
+        # ``formed_at``/``assembled_at`` bound the companion-collection
+        # window (perf_counter, same clock as PredictionFuture.submitted);
+        # direct callers may omit them and lose only the phase breakdown.
+        now = time.perf_counter()
+        if formed_at is None:
+            formed_at = now
+        if assembled_at is None:
+            assembled_at = now
+        # One batch-level span parents the whole scheduler-side subtree
+        # (planner run + the handle's sliced forward via this thread's
+        # context stack) into the first request's trace.
+        batch_span = TRACER.span(
+            "server.batch",
+            parent=batch[0].ctx if TRACER.enabled else None,
+            attrs={"batch_size": len(batch)},
+        )
         try:
-            # validated=True: every request already passed check_ids at
-            # submit — do not re-scan the hot path.
-            answers, generation = self.planner.run(
-                [(request.ids, request.proba) for request in batch],
-                validated=True,
-                return_generation=True,
-            )
+            with batch_span:
+                # validated=True: every request already passed check_ids
+                # at submit — do not re-scan the hot path.
+                answers, generation = self.planner.run(
+                    [(request.ids, request.proba) for request in batch],
+                    validated=True,
+                    return_generation=True,
+                )
         except Exception as exc:  # defensive: a failed batch must not
             for request in batch:  # wedge its callers or kill the loop
                 request.future._finish(error=exc)
@@ -491,6 +566,7 @@ class ModelServer:
                 self._counters["batches"] += 1
                 self._batch_sizes.append(len(batch))
             return
+        forward_done = time.perf_counter()
         answered = failed = 0
         cacheable = []
         for request, answer in zip(batch, answers):
@@ -522,6 +598,83 @@ class ModelServer:
                 self._hot_cache.move_to_end(key)
             while len(self._hot_cache) > self._hot_cache_size:
                 self._hot_cache.popitem(last=False)
+        # Per-request telemetry runs after the futures resolved and
+        # outside self._lock (slow log, tracer, and histogram each have
+        # their own leaf lock).
+        self._observe_batch(batch, formed_at, assembled_at, forward_done)
+
+    def _observe_batch(
+        self,
+        batch: List[_QueuedRequest],
+        formed_at: float,
+        assembled_at: float,
+        forward_done: float,
+    ) -> None:
+        """Fill timings, feed the slow log, and re-emit request spans.
+
+        The phase boundaries are batch-level: every request in a batch
+        shares the formation/assembly/forward window; what differs per
+        request is its queue wait (submit → batch formation).
+        """
+        tracing = TRACER.enabled
+        batch_size = len(batch)
+        for request in batch:
+            future = request.future
+            latency = future.latency
+            if latency is None:  # not resolved (should not happen)
+                continue
+            timings = {
+                "queue_wait_s": max(0.0, formed_at - future.submitted),
+                "batch_assembly_s": max(0.0, assembled_at - formed_at),
+                "forward_s": max(0.0, forward_done - assembled_at),
+            }
+            future.timings = timings
+            self._latency_hist.observe(latency)
+            trace_id = request.ctx.trace_id if request.ctx else None
+            span = None
+            if tracing:
+                span = TRACER.record(
+                    "server.request",
+                    start_s=future.submitted,
+                    end_s=future.completed,
+                    parent=request.ctx,
+                    attrs={
+                        "ids": int(request.ids.size),
+                        "proba": request.proba,
+                        "batch_size": batch_size,
+                    },
+                )
+                trace_id = span.trace_id
+                bounds = (
+                    ("server.queue_wait", future.submitted, formed_at),
+                    ("server.batch_assembly", formed_at, assembled_at),
+                    ("server.forward", assembled_at, forward_done),
+                )
+                for name, start_s, end_s in bounds:
+                    TRACER.record(
+                        name, start_s=start_s, end_s=end_s, parent=span.context
+                    )
+            self._slow_log.offer(
+                latency,
+                {
+                    "name": "server.request",
+                    "duration_s": latency,
+                    "trace_id": trace_id,
+                    "attrs": {
+                        "ids": int(request.ids.size),
+                        "proba": request.proba,
+                        "batch_size": batch_size,
+                    },
+                    "children": [
+                        {"name": "server.queue_wait",
+                         "duration_s": timings["queue_wait_s"]},
+                        {"name": "server.batch_assembly",
+                         "duration_s": timings["batch_assembly_s"]},
+                        {"name": "server.forward",
+                         "duration_s": timings["forward_s"]},
+                    ],
+                },
+            )
 
     # ------------------------------------------------------------- #
     # Telemetry
@@ -533,7 +686,18 @@ class ModelServer:
         ``uptime_seconds`` and ``throughput_rps`` cover the
         started→stopped window: on a stopped server they freeze at the
         stop timestamp instead of decaying toward zero forever.
+
+        Every guarded field is read under one lock hold (including the
+        EWMA the reported ``effective_wait_ms`` derives from), and the
+        whole dict doubles as this server's registry collector
+        (``repro_server_*`` in ``GET /metrics``).
+        ``slow_requests`` is the worst-latency ring buffer: each entry
+        an end-to-end request span dict with its child phase breakdown.
         """
+        return self._obs.read()
+
+    def _collect_metrics(self) -> Dict[str, object]:
+        """Registry collector; :meth:`stats` is a thin view over it."""
         with self._lock:
             counters = dict(self._counters)
             latencies = np.asarray(self._latencies, dtype=np.float64)
@@ -556,7 +720,9 @@ class ModelServer:
             counters["answered"] / elapsed if elapsed > 0 else 0.0
         )
         out["adaptive_wait"] = self.adaptive_wait
-        out["effective_wait_ms"] = self._effective_wait_s() * 1000.0
+        # Derived from the snapshotted EWMA above — NOT a fresh read of
+        # the live field, which could disagree with the snapshot.
+        out["effective_wait_ms"] = self._wait_for_ewma(arrival_ewma) * 1000.0
         out["interarrival_ewma_ms"] = (
             arrival_ewma * 1000.0 if arrival_ewma is not None else None
         )
@@ -572,6 +738,7 @@ class ModelServer:
                 "p95": float(np.percentile(latencies, 95)),
                 "max": float(latencies.max()),
             }
+        out["slow_requests"] = self._slow_log.snapshot()
         return out
 
 
@@ -591,11 +758,16 @@ def _replica_loop(
 
     Spawn-safe module-level entry point.  Each replica opens the bundle
     through the mmap tier, so all replicas share one OS-resident
-    operator copy; requests are ``(request_id, ids, proba)`` tuples and
-    ``None`` is the shutdown sentinel.  One sentinel retires exactly
-    one replica (a sentinel seen mid-batch is put back for a sibling),
-    which is how :meth:`ProcessReplicaServer.scale_to` shrinks the pool
-    without touching the survivors.
+    operator copy; requests are ``(request_id, ids, proba, ctx)``
+    tuples — ``ctx`` the submitter's ``(trace_id, span_id)`` pair or
+    ``None`` — and ``None`` is the shutdown sentinel.  One sentinel
+    retires exactly one replica (a sentinel seen mid-batch is put back
+    for a sibling), which is how
+    :meth:`ProcessReplicaServer.scale_to` shrinks the pool without
+    touching the survivors.  With ``REPRO_TRACE`` exported (the spawn
+    env is inherited) each replica records ``replica.batch`` spans into
+    its process-local tracer, parented into the submitter's trace via
+    the shipped context.
     """
     from repro.api.serving import ModelHandle
 
@@ -623,16 +795,23 @@ def _replica_loop(
                 request_queue.put(None)  # leave the sentinel for siblings
                 break
             batch.append(item)
+        parent_ctx = batch[0][3]
         try:
-            answers = planner.run(
-                [(ids, proba) for _, ids, proba in batch], validated=True
-            )
+            with TRACER.span(
+                "replica.batch",
+                parent=TraceContext(*parent_ctx) if parent_ctx else None,
+                attrs={"batch_size": len(batch)},
+            ):
+                answers = planner.run(
+                    [(ids, proba) for _, ids, proba, _ in batch],
+                    validated=True,
+                )
         except Exception as exc:  # a failed batch must not kill the
             # replica or strand its futures (mirrors _serve_batch)
-            for request_id, _, _ in batch:
+            for request_id, _, _, _ in batch:
                 response_queue.put((request_id, False, repr(exc)))
             continue
-        for (request_id, _, _), answer in zip(batch, answers):
+        for (request_id, _, _, _), answer in zip(batch, answers):
             if isinstance(answer, Exception):
                 response_queue.put((request_id, False, repr(answer)))
             else:
@@ -718,6 +897,9 @@ class ProcessReplicaServer:
         }
         self._started_at: Optional[float] = None  # guarded-by: _futures_lock
         self._stopped_at: Optional[float] = None  # guarded-by: _futures_lock
+        self._obs = obs_metrics.REGISTRY.register(
+            "replica_server", self._collect_metrics
+        )
 
     # ------------------------------------------------------------- #
     # Lifecycle
@@ -921,7 +1103,10 @@ class ProcessReplicaServer:
             self._next_id += 1
             self._futures[request_id] = future
             self._counters["requests"] += 1
-        self._request_queue.put((request_id, checked, bool(proba)))
+        ctx = TRACER.current_context() if TRACER.enabled else None
+        self._request_queue.put(
+            (request_id, checked, bool(proba), tuple(ctx) if ctx else None)
+        )
         if self._stop.is_set():
             # stop() may have drained the futures map between our
             # registration and the put: fail anything stranded
@@ -942,7 +1127,16 @@ class ProcessReplicaServer:
     # ------------------------------------------------------------- #
 
     def stats(self) -> Dict[str, object]:
-        """Counters, pool shape, and throughput (frozen after stop)."""
+        """Counters, pool shape, and throughput (frozen after stop).
+
+        Thin view over this server's registry registration
+        (``repro_replica_server_*`` in ``GET /metrics``); all
+        futures-guarded fields are read under one lock hold.
+        """
+        return self._obs.read()
+
+    def _collect_metrics(self) -> Dict[str, object]:
+        """Registry collector; :meth:`stats` is a thin view over it."""
         with self._futures_lock:
             counters = dict(self._counters)
             counters["shed"] = self.shed

@@ -1,0 +1,397 @@
+"""Unit tests for ``repro.obs``: tracer, metrics registry, slow log.
+
+What must hold:
+
+1. **Span mechanics** — nesting parents via the thread-local stack,
+   explicit-parent propagation joins a trace across threads,
+   retroactive :meth:`SpanTracer.record` keeps measured bounds, the
+   buffer is bounded, and the disabled path emits nothing.
+2. **Wire form** — ``traceparent`` format/parse round-trips and rejects
+   malformed headers.
+3. **Registry semantics** — counters/gauges/histograms behave, name
+   conflicts across kinds are errors, component collectors are weakly
+   held (death unregisters), and the Prometheus text page parses line
+   by line.
+4. **Slow log** — keeps exactly the worst N by duration, slowest first.
+5. **Concurrency** — a sanitizer-instrumented tracer + registry driven
+   by racing threads produces zero reports (the obs tier obeys the same
+   lock discipline it observes everything else with).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+
+import pytest
+
+from repro.analysis.sanitizer import ThreadSanitizer, instrument
+from repro.obs import (
+    REGISTRY,
+    MetricsRegistry,
+    SlowRequestLog,
+    SpanTracer,
+    TraceContext,
+    build_span_tree,
+    format_traceparent,
+    parse_traceparent,
+    traced,
+)
+from repro.obs import trace as trace_mod
+
+THREADS = 8
+
+
+def run_threads(count, target):
+    """Run ``target(index)`` on ``count`` threads, re-raising failures."""
+    errors = []
+
+    def wrapped(index):
+        try:
+            target(index)
+        except BaseException as exc:  # pragma: no cover - debug aid
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,), name=f"obs-stress-{i}")
+        for i in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+@pytest.fixture()
+def tracer():
+    t = SpanTracer(capacity=256)
+    t.enable()
+    return t
+
+
+# ---------------------------------------------------------------------- #
+# 1. Span mechanics
+# ---------------------------------------------------------------------- #
+
+
+class TestSpans:
+    def test_nested_spans_parent_through_thread_local_stack(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_context() == inner.context
+            assert tracer.current_context() == outer.context
+        assert tracer.current_context() is None
+        by_name = {s.name: s for s in tracer.finished()}
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].trace_id == by_name["outer"].trace_id
+        assert by_name["outer"].parent_id is None
+        assert by_name["outer"].duration_s >= by_name["inner"].duration_s >= 0
+
+    def test_explicit_parent_joins_trace_across_threads(self, tracer):
+        with tracer.span("submit") as submit_span:
+            carried = tracer.current_context()
+
+        def worker():
+            # A fresh thread has no ambient context; the carried handle
+            # is the only link back to the submitter's trace.
+            assert tracer.current_context() is None
+            with tracer.span("scheduler", parent=carried):
+                pass
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        scheduler = next(
+            s for s in tracer.finished() if s.name == "scheduler"
+        )
+        assert scheduler.trace_id == submit_span.trace_id
+        assert scheduler.parent_id == submit_span.span_id
+
+    def test_record_keeps_measured_bounds(self, tracer):
+        span = tracer.record("work", start_s=10.0, end_s=10.25)
+        assert span.start_s == 10.0
+        assert span.duration_s == pytest.approx(0.25)
+        # End before start clamps to zero rather than going negative.
+        assert tracer.record("odd", start_s=5.0, end_s=4.0).duration_s == 0.0
+
+    def test_disabled_tracer_is_silent_and_cheap(self):
+        t = SpanTracer()
+        assert not t.enabled
+        with t.span("ignored"):
+            assert t.current_context() is None
+        assert t.record("ignored", 0.0, 1.0) is None
+        assert t.finished() == []
+
+    def test_buffer_is_bounded_and_counts_drops(self):
+        t = SpanTracer(capacity=4)
+        t.enable()
+        for index in range(10):
+            t.record(f"s{index}", 0.0, 1.0)
+        assert len(t.finished()) == 4
+        assert t.dropped() == 6
+        assert [s.name for s in t.finished()] == ["s6", "s7", "s8", "s9"]
+
+    def test_exception_exit_tags_error_and_unwinds(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        span = tracer.finished()[-1]
+        assert span.attrs["error"] == "RuntimeError"
+        assert tracer.current_context() is None
+
+    def test_decorator_traces_calls(self, tracer, monkeypatch):
+        monkeypatch.setattr(trace_mod, "TRACER", tracer)
+
+        @traced("math.double", kind="unit")
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+        span = tracer.finished()[-1]
+        assert span.name == "math.double"
+        assert span.attrs == {"kind": "unit"}
+
+    def test_chrome_export_shape(self, tracer, tmp_path):
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                pass
+        path = tmp_path / "trace.json"
+        events = tracer.export_chrome(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == events
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "ts", "dur", "pid", "tid", "args"}
+        child = next(e for e in events if e["name"] == "child")
+        parent = next(e for e in events if e["name"] == "parent")
+        assert child["args"]["parent_id"] == parent["args"]["span_id"]
+
+    def test_build_span_tree_nests_transitively(self, tracer):
+        with tracer.span("root") as root:
+            with tracer.span("mid"):
+                with tracer.span("leaf"):
+                    pass
+        tree = build_span_tree(root, tracer.finished())
+        assert tree["name"] == "root"
+        assert [c["name"] for c in tree["children"]] == ["mid"]
+        assert [c["name"] for c in tree["children"][0]["children"]] == ["leaf"]
+
+
+# ---------------------------------------------------------------------- #
+# 2. Wire form
+# ---------------------------------------------------------------------- #
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8)
+        assert parse_traceparent(format_traceparent(ctx)) == ctx
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-tooshort-cdcdcdcdcdcdcdcd-01",
+            "00-" + "g" * 32 + "-" + "c" * 16 + "-01",  # non-hex
+            "99" + "-" + "a" * 32 + "-" + "c" * 16,  # missing flags
+        ],
+    )
+    def test_malformed_headers_parse_to_none(self, header):
+        assert parse_traceparent(header) is None
+
+
+# ---------------------------------------------------------------------- #
+# 3. Registry semantics
+# ---------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_instruments_get_or_create_and_behave(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_t_total")
+        assert registry.counter("repro_t_total") is counter
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        gauge = registry.gauge("repro_t_depth")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+        hist = registry.histogram("repro_t_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(100.0)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(100.55)
+        assert snap["buckets"][0] == (0.1, 1)
+        assert snap["buckets"][1] == (1.0, 2)
+        assert snap["buckets"][2] == (math.inf, 3)
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_t_thing")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_t_thing")
+        with pytest.raises(ValueError):
+            registry.counter("bad name!")
+
+    def test_dead_component_is_pruned(self):
+        registry = MetricsRegistry()
+
+        class Component:
+            def _collect_metrics(self):
+                return {"alive": 1}
+
+        component = Component()
+        registry.register("widget", component._collect_metrics)
+        assert registry.snapshot()["components"]["widget"]["0"] == {"alive": 1}
+        del component
+        assert "widget" not in registry.snapshot()["components"]
+
+    def test_collector_runs_outside_registry_lock(self):
+        registry = MetricsRegistry()
+
+        class Component:
+            def _collect_metrics(self):
+                # Re-entering the registry from a collector must not
+                # deadlock — proof the registry lock is not held here.
+                registry.counter("repro_t_reentrant_total").inc()
+                return {"ok": 1}
+
+        component = Component()
+        registry.register("reentrant", component._collect_metrics)
+        snap = registry.snapshot()
+        assert snap["components"]["reentrant"]["0"] == {"ok": 1}
+
+    def test_prometheus_text_parses_line_by_line(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_t_requests_total", help="requests").inc(7)
+        registry.gauge("repro_t_depth").set(2.5)
+        registry.histogram("repro_t_lat_seconds", buckets=(0.1, 1.0)).observe(
+            0.3
+        )
+
+        class Server:
+            def _collect_metrics(self):
+                return {
+                    "answered": 12,
+                    "running": True,
+                    "note": "skipped-string",
+                    "latency_seconds": {"p50": 0.01, "p95": 0.5},
+                    "slow_requests": [{"skipped": "list"}],
+                }
+
+        server = Server()
+        registry.register("server", server._collect_metrics)
+        text = registry.prometheus_text()
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+        )
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or sample_re.match(line), line
+        assert "repro_t_requests_total 7" in text
+        assert "# TYPE repro_t_requests_total counter" in text
+        assert "# TYPE repro_t_depth gauge" in text
+        assert 'repro_t_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert 'repro_server_answered{instance="0"} 12' in text
+        assert 'repro_server_running{instance="0"} 1' in text
+        assert 'repro_server_latency_seconds_p50{instance="0"}' in text
+        assert "skipped" not in text
+
+    def test_global_registry_is_shared(self):
+        before = REGISTRY.counter("repro_t_global_total").value
+        REGISTRY.counter("repro_t_global_total").inc()
+        assert REGISTRY.counter("repro_t_global_total").value == before + 1
+
+
+# ---------------------------------------------------------------------- #
+# 4. Slow log
+# ---------------------------------------------------------------------- #
+
+
+class TestSlowLog:
+    def test_keeps_worst_n_slowest_first(self):
+        log = SlowRequestLog(capacity=3)
+        for duration in (0.1, 0.5, 0.2, 0.05, 0.9, 0.3):
+            log.offer(duration, {"duration_s": duration})
+        kept = [entry["duration_s"] for entry in log.snapshot()]
+        assert kept == [0.9, 0.5, 0.3]
+        assert log.offered() == 6
+
+    def test_fast_request_does_not_evict_slow_ones(self):
+        log = SlowRequestLog(capacity=2)
+        assert log.offer(1.0, {"duration_s": 1.0})
+        assert log.offer(2.0, {"duration_s": 2.0})
+        assert not log.offer(0.5, {"duration_s": 0.5})
+        assert [e["duration_s"] for e in log.snapshot()] == [2.0, 1.0]
+
+
+# ---------------------------------------------------------------------- #
+# 5. Concurrency: instrumented tracer under racing threads, zero reports
+# ---------------------------------------------------------------------- #
+
+
+class TestConcurrentTracing:
+    def test_instrumented_tracer_races_cleanly(self):
+        sanitizer = ThreadSanitizer()
+        tracer = SpanTracer(capacity=512)
+        tracer.enable()
+        instrument(sanitizer, tracer)
+        log = SlowRequestLog(capacity=4)
+        instrument(sanitizer, log)
+        barrier = threading.Barrier(THREADS)
+
+        def stress(index):
+            barrier.wait()
+            for turn in range(40):
+                with tracer.span(f"outer-{index}", attrs={"turn": turn}):
+                    with tracer.span("inner") as inner:
+                        carried = inner.context
+                tracer.record(
+                    "retro", start_s=0.0, end_s=0.001, parent=carried
+                )
+                log.offer(
+                    0.001 * ((index + turn) % 7),
+                    {"name": "retro", "duration_s": 0.001},
+                )
+                if turn % 10 == 0:
+                    tracer.finished()
+                    log.snapshot()
+
+        run_threads(THREADS, stress)
+        sanitizer.assert_clean()
+        # Every span that survived the ring buffer is well-formed.
+        for span in tracer.finished():
+            assert span.duration_s >= 0
+            assert len(span.trace_id) == 32 and len(span.span_id) == 16
+
+    def test_stage_event_reemission(self, monkeypatch):
+        import repro.api.pipeline as pipeline_mod
+        from repro.api.pipeline import Pipeline, StageEvent
+
+        event = StageEvent(
+            stage="compose", key="k", action="loaded", seconds=0.125
+        )
+        assert event.duration_s == 0.125
+
+        tracer = SpanTracer()
+        tracer.enable()
+        # Patch the name pipeline.py binds at import time.
+        monkeypatch.setattr(pipeline_mod, "TRACER", tracer)
+        host = type("Host", (), {"stage_log": []})()
+        Pipeline._log(host, "featurize", "key", "loaded", 0.0002, n=3)
+        assert host.stage_log[0].duration_s == 0.0002
+        span = tracer.finished()[-1]
+        assert span.name == "pipeline.featurize"
+        assert span.attrs["action"] == "loaded"
+        assert span.duration_s == pytest.approx(0.0002, abs=1e-4)

@@ -1,0 +1,364 @@
+"""Observability through the serving stack, end to end.
+
+What must hold:
+
+1. **Cross-thread propagation** — a request submitted under a root span
+   produces ``server.request`` / ``server.batch`` / ``server.forward``
+   / ``handle.sliced_forward`` spans that all share the root's trace id,
+   with the documented parentage, even though the scheduler work runs on
+   a different thread.
+2. **Wire propagation** — with tracing on, a client predict stitches
+   ``http.client.predict`` → ``http.predict`` → ``server.request`` into
+   one trace; an explicit ``traceparent`` request header is honored and
+   the response header answers with the *same trace id* (tracing on or
+   off).
+3. **`GET /metrics`** — Prometheus text covering the engine, cache,
+   server, and HTTP instruments, line-parseable.
+4. **Timings opt-in** — ``{"timings": true}`` on ``/predict`` yields the
+   queue-wait / batch-assembly / forward / serialization breakdown.
+5. **Slow log** — ``stats()["slow_requests"]`` keeps worst-first entries
+   with the per-phase child breakdown, tracing on or not.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.api import ConCHEstimator, ModelHandle
+from repro.core import ConCHConfig
+from repro.data import DBLPConfig, load_dataset, stratified_split
+from repro.hin.engine import get_engine
+from repro.obs import TRACER, build_span_tree, parse_traceparent
+from repro.serve import HttpServeClient, HttpServer, ModelServer
+
+
+@pytest.fixture(scope="module")
+def dblp_tiny():
+    return load_dataset(
+        "dblp",
+        config=DBLPConfig(num_authors=80, num_papers=250, num_conferences=8),
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ConCHConfig(
+        k=3,
+        num_layers=2,
+        context_dim=8,
+        embed_num_walks=2,
+        embed_walk_length=8,
+        embed_epochs=1,
+        epochs=8,
+        patience=5,
+    )
+
+
+@pytest.fixture(scope="module")
+def bundle_path(dblp_tiny, tiny_config, tmp_path_factory):
+    split = stratified_split(dblp_tiny.labels, 0.2, seed=0)
+    estimator = ConCHEstimator(
+        api.Pipeline(dblp_tiny, config=tiny_config).data, tiny_config
+    ).fit(split)
+    path = tmp_path_factory.mktemp("bundle") / "conch.npz"
+    estimator.save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def handle(bundle_path):
+    return ModelHandle.load(bundle_path)
+
+
+@pytest.fixture()
+def tracing():
+    """Enable the global tracer for one test, restoring the default."""
+    TRACER.clear()
+    TRACER.enable()
+    yield TRACER
+    TRACER.disable()
+    TRACER.clear()
+
+
+@pytest.fixture()
+def server(handle):
+    server = ModelServer(
+        handle,
+        max_batch_size=16,
+        max_wait_ms=1,
+        max_queue=64,
+        num_workers=2,
+        hot_cache_size=0,  # every request exercises the full scheduler path
+    ).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture()
+def http_stack(handle):
+    server = ModelServer(
+        handle,
+        max_batch_size=16,
+        max_wait_ms=1,
+        max_queue=64,
+        num_workers=2,
+        hot_cache_size=0,
+    ).start()
+    http = HttpServer(server).start()
+    client = HttpServeClient(http.url, timeout=30.0)
+    yield server, http, client
+    http.stop()
+    server.stop()
+
+
+def wait_for_spans(names, trace_id=None, timeout_s=5.0):
+    """Poll the tracer until every span name appears (telemetry is
+    emitted *after* futures resolve, so callers can win the race)."""
+    deadline = time.perf_counter() + timeout_s
+    while True:
+        spans = TRACER.finished()
+        if trace_id is not None:
+            spans = [s for s in spans if s.trace_id == trace_id]
+        seen = {s.name for s in spans}
+        if set(names) <= seen:
+            return spans
+        if time.perf_counter() > deadline:
+            raise AssertionError(
+                f"spans {set(names) - seen} never appeared; saw {sorted(seen)}"
+            )
+        time.sleep(0.01)
+
+
+# ---------------------------------------------------------------------- #
+# 1. Cross-thread propagation inside ModelServer
+# ---------------------------------------------------------------------- #
+
+
+class TestSchedulerPropagation:
+    def test_submit_to_forward_shares_one_trace(self, server, tracing):
+        with TRACER.span("test.root") as root:
+            labels = server.predict_nodes(np.array([0, 1, 2], dtype=np.int64))
+        assert labels.shape == (3,)
+        spans = wait_for_spans(
+            ("server.request", "server.batch", "server.forward",
+             "handle.sliced_forward", "server.queue_wait"),
+            trace_id=root.trace_id,
+        )
+        by_name = {s.name: s for s in spans}
+
+        request = by_name["server.request"]
+        assert request.parent_id == root.span_id
+        assert request.attrs["ids"] == 3
+        assert request.attrs["proba"] is False
+
+        # The batch span is parented to the submitting request's context
+        # even though it was opened on a scheduler thread.
+        batch = by_name["server.batch"]
+        assert batch.parent_id == root.span_id
+        assert batch.thread_id != root.thread_id
+
+        # The handle's forward joined via the scheduler thread's own
+        # context stack (the batch span was ambient when it ran).
+        forward = by_name["handle.sliced_forward"]
+        assert forward.parent_id == batch.span_id
+
+        # Phase children hang off the request span and tile its lifetime.
+        for phase in ("server.queue_wait", "server.batch_assembly",
+                      "server.forward"):
+            assert by_name[phase].parent_id == request.span_id
+        phase_total = sum(
+            by_name[p].duration_s
+            for p in ("server.queue_wait", "server.batch_assembly",
+                      "server.forward")
+        )
+        assert phase_total <= request.duration_s + 0.05
+
+        tree = build_span_tree(root, spans)
+        assert tree["children"], "root span has no children in the tree"
+
+    def test_disabled_tracer_emits_nothing(self, server):
+        assert not TRACER.enabled
+        before = len(TRACER.finished())
+        server.predict_nodes(np.array([0, 1], dtype=np.int64))
+        time.sleep(0.05)
+        assert len(TRACER.finished()) == before
+
+
+# ---------------------------------------------------------------------- #
+# 2. Wire propagation over HTTP
+# ---------------------------------------------------------------------- #
+
+
+class TestWirePropagation:
+    def test_client_and_server_spans_share_trace(self, http_stack, tracing):
+        _, _, client = http_stack
+        client.predict_nodes(np.array([0, 1, 2], dtype=np.int64))
+        client_span = next(
+            s for s in TRACER.finished() if s.name == "http.client.predict"
+        )
+        spans = wait_for_spans(
+            ("http.client.predict", "http.predict", "server.request",
+             "server.batch", "handle.sliced_forward"),
+            trace_id=client_span.trace_id,
+        )
+        by_name = {s.name: s for s in spans}
+        assert by_name["http.predict"].parent_id == client_span.span_id
+        assert by_name["http.predict"].attrs["status"] == 200
+        assert (
+            by_name["server.request"].parent_id
+            == by_name["http.predict"].span_id
+        )
+
+    def test_explicit_traceparent_header_is_honored(self, http_stack, tracing):
+        _, http, _ = http_stack
+        trace_id, span_id = "ab" * 16, "cd" * 8
+        header = f"00-{trace_id}-{span_id}-01"
+        body = json.dumps({"ids": [0, 1]}).encode("utf-8")
+        request = urllib.request.Request(
+            http.url + "/predict",
+            data=body,
+            headers={"Content-Type": "application/json",
+                     "traceparent": header},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            echoed = parse_traceparent(response.headers["traceparent"])
+            json.loads(response.read())
+        # Same trace id, but the server's own span id (a child, not an
+        # echo of our span).
+        assert echoed.trace_id == trace_id
+        assert echoed.span_id != span_id
+        spans = wait_for_spans(("http.predict",), trace_id=trace_id)
+        server_span = next(s for s in spans if s.name == "http.predict")
+        assert server_span.parent_id == span_id
+
+    def test_header_echoed_verbatim_when_tracing_off(self, http_stack):
+        assert not TRACER.enabled
+        _, http, _ = http_stack
+        header = "00-" + "12" * 16 + "-" + "34" * 8 + "-01"
+        body = json.dumps({"ids": [0]}).encode("utf-8")
+        request = urllib.request.Request(
+            http.url + "/predict",
+            data=body,
+            headers={"Content-Type": "application/json",
+                     "traceparent": header},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            assert response.headers["traceparent"] == header
+            json.loads(response.read())
+
+    def test_chrome_export_spans_the_whole_request(
+        self, http_stack, tracing, tmp_path
+    ):
+        _, _, client = http_stack
+        client.predict_nodes(np.array([0, 1, 2, 3], dtype=np.int64))
+        client_span = next(
+            s for s in TRACER.finished() if s.name == "http.client.predict"
+        )
+        wait_for_spans(
+            ("http.predict", "server.request", "handle.sliced_forward"),
+            trace_id=client_span.trace_id,
+        )
+        path = tmp_path / "trace.json"
+        events = TRACER.export_chrome(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == events
+        in_trace = [
+            e for e in events
+            if e["args"]["trace_id"] == client_span.trace_id
+        ]
+        names = {e["name"] for e in in_trace}
+        assert {"http.client.predict", "http.predict", "server.request",
+                "handle.sliced_forward"} <= names
+
+
+# ---------------------------------------------------------------------- #
+# 3. GET /metrics
+# ---------------------------------------------------------------------- #
+
+
+class TestMetricsEndpoint:
+    def test_prometheus_page_covers_the_stack(
+        self, http_stack, dblp_tiny
+    ):
+        _, _, client = http_stack
+        # A live engine (shared per-HIN registry) guarantees engine and
+        # cache collector lines on the page.
+        engine = get_engine(dblp_tiny.hin)
+        client.predict_nodes(np.array([0, 1, 2], dtype=np.int64))
+        text = client.metrics_text()
+        assert "repro_http_requests_total" in text
+        assert "repro_http_request_seconds_bucket" in text
+        assert "repro_server_latency_seconds_bucket" in text
+        assert 'repro_server_answered{instance=' in text
+        assert 'repro_engine_' in text
+        assert 'repro_cache_' in text
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            assert name_part and value
+            float(value.replace("+Inf", "inf").replace("NaN", "nan"))
+        assert engine is not None  # keep the engine alive past the fetch
+
+
+# ---------------------------------------------------------------------- #
+# 4. Timings opt-in
+# ---------------------------------------------------------------------- #
+
+
+class TestTimingsOptIn:
+    def test_predict_returns_phase_breakdown(self, http_stack):
+        _, _, client = http_stack
+        out = client._request(
+            "POST", "/predict", {"ids": [0, 1, 2], "timings": True}
+        )
+        timings = out["timings"]
+        for key in ("queue_wait_s", "batch_assembly_s", "forward_s",
+                    "serialization_s"):
+            assert key in timings, key
+            assert timings[key] >= 0.0
+        assert "labels" in out
+
+    def test_timings_absent_unless_requested(self, http_stack):
+        _, _, client = http_stack
+        out = client._request("POST", "/predict", {"ids": [0, 1]})
+        assert "timings" not in out
+
+
+# ---------------------------------------------------------------------- #
+# 5. Slow-request log
+# ---------------------------------------------------------------------- #
+
+
+class TestSlowLog:
+    def test_stats_surface_worst_requests(self, server):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            server.predict_nodes(
+                rng.integers(0, server.handle.num_objects, size=3)
+            )
+        deadline = time.perf_counter() + 5.0
+        while True:
+            slow = server.stats()["slow_requests"]
+            if len(slow) >= server._slow_log.capacity:
+                break
+            assert time.perf_counter() < deadline, "slow log never filled"
+            time.sleep(0.01)
+        durations = [entry["duration_s"] for entry in slow]
+        assert durations == sorted(durations, reverse=True)
+        for entry in slow:
+            assert entry["name"] == "server.request"
+            child_names = [c["name"] for c in entry["children"]]
+            assert child_names == [
+                "server.queue_wait", "server.batch_assembly", "server.forward"
+            ]
+        # Served over HTTP too, as plain JSON.
+        assert json.dumps(slow)
